@@ -1,0 +1,392 @@
+//! BAR — Balance-Aware and Locality-Driven task scheduling (Jin,
+//! Luo, Song, Dong, Xiong — CCGrid 2011), as summarized in the
+//! paper's §3: "the authors introduce a function that calculates
+//! completion time with respect to data locality. Their algorithm
+//! comprises two phases: at first, they attempt to assign all the
+//! tasks so they are entirely local, only to iteratively produce
+//! alternative execution scenarios which reduce completion time on
+//! account of the locality."
+//!
+//! BAR is a *batch* algorithm: it plans an assignment for a set of
+//! jobs at once. In our streaming engine the master buffers arriving
+//! jobs for a short batching window, then plans:
+//!
+//! 1. **Phase 1 (locality first)** — every job goes to a worker
+//!    believed to hold its data (least-loaded such worker), or to the
+//!    globally least-loaded worker when no holder exists.
+//! 2. **Phase 2 (balance)** — repeatedly take a job from the worker
+//!    with the highest planned completion time and move it to the
+//!    worker where the *cluster* completion time improves the most,
+//!    paying the job's remote cost; stop when no move helps.
+//!
+//! Cost model: local job = `size / rw_speed`; remote job additionally
+//! pays `size / net_speed`. The master estimates with the nominal
+//! speeds it knows from configuration.
+
+use std::collections::HashMap;
+
+use crossbid_crossflow::{
+    Allocator, Job, MasterScheduler, ObedientPolicy, SchedCtx, WorkerId, WorkerPolicy,
+    WorkerToMaster,
+};
+use crossbid_metrics::SchedulerKind;
+use crossbid_simcore::SimDuration;
+
+use crate::locality_map::LocalityMap;
+
+/// Master-known per-worker speeds (BAR's completion-time function
+/// needs them; the real system would read them from cluster config).
+#[derive(Debug, Clone, Copy)]
+pub struct BarWorkerSpeeds {
+    /// Network bytes/sec.
+    pub net_bps: f64,
+    /// Read/write bytes/sec.
+    pub rw_bps: f64,
+}
+
+impl Default for BarWorkerSpeeds {
+    fn default() -> Self {
+        // The evaluation's "average" worker.
+        BarWorkerSpeeds {
+            net_bps: 20.0e6,
+            rw_bps: 100.0e6,
+        }
+    }
+}
+
+/// The BAR planning core, independent of the engine (unit-testable).
+#[derive(Debug)]
+pub struct BarPlanner {
+    speeds: Vec<BarWorkerSpeeds>,
+}
+
+impl BarPlanner {
+    /// Planner over `n` workers with uniform speeds.
+    pub fn uniform(n: usize, speeds: BarWorkerSpeeds) -> Self {
+        BarPlanner {
+            speeds: vec![speeds; n],
+        }
+    }
+
+    /// Planner with per-worker speeds.
+    pub fn new(speeds: Vec<BarWorkerSpeeds>) -> Self {
+        BarPlanner { speeds }
+    }
+
+    fn n(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// Cost of `job` on worker `w`, local or remote, seconds.
+    fn cost(&self, job: &Job, w: usize, local: bool) -> f64 {
+        let s = self.speeds[w];
+        let scan = job.work_bytes as f64 / s.rw_bps;
+        let fetch = if local {
+            0.0
+        } else {
+            job.resource_bytes() as f64 / s.net_bps
+        };
+        scan + fetch + job.cpu_secs
+    }
+
+    /// Plan an assignment for `jobs`, given believed locality and
+    /// current per-worker committed load (seconds). Returns
+    /// `(assignment, planned makespan)` where `assignment[i]` is the
+    /// worker for `jobs[i]`.
+    pub fn plan(
+        &self,
+        jobs: &[Job],
+        locality: &LocalityMap,
+        base_load: &[f64],
+    ) -> (Vec<WorkerId>, f64) {
+        assert_eq!(base_load.len(), self.n());
+        let n = self.n();
+        let mut load = base_load.to_vec();
+        let mut assign: Vec<usize> = Vec::with_capacity(jobs.len());
+
+        // Phase 1: locality first.
+        for job in jobs {
+            let holders: Vec<usize> = (0..n)
+                .filter(|w| locality.is_local(WorkerId(*w as u32), job))
+                .collect();
+            let candidates: &[usize] = if holders.is_empty() {
+                // No holder anywhere: balance-only placement.
+                &(0..n).collect::<Vec<_>>()
+            } else {
+                &holders
+            };
+            let w = *candidates
+                .iter()
+                .min_by(|a, b| {
+                    let ca = load[**a] + self.cost(job, **a, !holders.is_empty());
+                    let cb = load[**b] + self.cost(job, **b, !holders.is_empty());
+                    ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty candidates");
+            let local = holders.contains(&w);
+            load[w] += self.cost(job, w, local);
+            assign.push(w);
+        }
+
+        // Phase 2: iteratively trade locality for completion time.
+        loop {
+            let bottleneck = (0..n)
+                .max_by(|a, b| {
+                    load[*a]
+                        .partial_cmp(&load[*b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty");
+            let makespan = load[bottleneck];
+            let mut best: Option<(usize, usize, f64)> = None; // (job idx, target, new makespan)
+            for (ji, job) in jobs.iter().enumerate() {
+                if assign[ji] != bottleneck {
+                    continue;
+                }
+                let cur_local = locality.is_local(WorkerId(bottleneck as u32), job);
+                let removed = load[bottleneck] - self.cost(job, bottleneck, cur_local);
+                for w in 0..n {
+                    if w == bottleneck {
+                        continue;
+                    }
+                    let tgt_local = locality.is_local(WorkerId(w as u32), job);
+                    let added = load[w] + self.cost(job, w, tgt_local);
+                    // New cluster makespan if this move happens.
+                    let mut new_makespan: f64 = added.max(removed);
+                    for (o, l) in load.iter().enumerate() {
+                        if o != w && o != bottleneck {
+                            new_makespan = new_makespan.max(*l);
+                        }
+                    }
+                    if new_makespan + 1e-9 < best.map_or(makespan, |b| b.2) {
+                        best = Some((ji, w, new_makespan));
+                    }
+                }
+            }
+            match best {
+                Some((ji, w, _)) => {
+                    let job = &jobs[ji];
+                    let from = assign[ji];
+                    let from_local = locality.is_local(WorkerId(from as u32), job);
+                    let to_local = locality.is_local(WorkerId(w as u32), job);
+                    load[from] -= self.cost(job, from, from_local);
+                    load[w] += self.cost(job, w, to_local);
+                    assign[ji] = w;
+                }
+                None => break,
+            }
+        }
+
+        let makespan = load.iter().cloned().fold(0.0f64, f64::max);
+        (
+            assign.into_iter().map(|w| WorkerId(w as u32)).collect(),
+            makespan,
+        )
+    }
+}
+
+/// The BAR master: buffers jobs for a batching window, then plans and
+/// pushes the batch.
+pub struct BarMaster {
+    window: SimDuration,
+    planner_speeds: BarWorkerSpeeds,
+    pending: Vec<Job>,
+    timer: Option<u64>,
+    map: LocalityMap,
+    /// Outstanding planned seconds per worker (decays on completion).
+    committed: HashMap<WorkerId, f64>,
+}
+
+impl BarMaster {
+    /// Create with the given batching window.
+    pub fn new(window: SimDuration, speeds: BarWorkerSpeeds) -> Self {
+        BarMaster {
+            window,
+            planner_speeds: speeds,
+            pending: Vec::new(),
+            timer: None,
+            map: LocalityMap::new(),
+            committed: HashMap::new(),
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut SchedCtx) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let n = ctx.worker_count();
+        if n == 0 {
+            // Everyone is down; retry after another window.
+            let token = ctx.set_timer(self.window);
+            self.timer = Some(token);
+            return;
+        }
+        let planner = BarPlanner::uniform(n, self.planner_speeds);
+        let base: Vec<f64> = (0..n)
+            .map(|w| {
+                self.committed
+                    .get(&WorkerId(w as u32))
+                    .copied()
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let jobs = std::mem::take(&mut self.pending);
+        let (assignment, _) = planner.plan(&jobs, &self.map, &base);
+        for (job, w) in jobs.into_iter().zip(assignment) {
+            let local = self.map.is_local(w, &job);
+            let cost = planner.cost(&job, w.0 as usize, local);
+            *self.committed.entry(w).or_insert(0.0) += cost;
+            self.map.note_assignment(w, &job);
+            ctx.assign(w, job);
+        }
+    }
+}
+
+impl MasterScheduler for BarMaster {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Bar
+    }
+
+    fn on_job(&mut self, job: Job, ctx: &mut SchedCtx) {
+        self.pending.push(job);
+        if self.timer.is_none() {
+            let token = ctx.set_timer(self.window);
+            self.timer = Some(token);
+        }
+    }
+
+    fn on_worker_message(&mut self, _from: WorkerId, _msg: WorkerToMaster, _ctx: &mut SchedCtx) {}
+
+    fn on_timer(&mut self, token: u64, ctx: &mut SchedCtx) {
+        if self.timer == Some(token) {
+            self.timer = None;
+            self.flush(ctx);
+        }
+    }
+
+    fn on_job_done(&mut self, worker: WorkerId, job: &Job, _ctx: &mut SchedCtx) {
+        self.map.note_completion(worker, job);
+        if let Some(c) = self.committed.get_mut(&worker) {
+            // Approximate decay by the job's local cost.
+            let planner = BarPlanner::uniform(1, self.planner_speeds);
+            *c = (*c - planner.cost(job, 0, true)).max(0.0);
+        }
+    }
+}
+
+/// Bundled BAR allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct BarAllocator {
+    /// Batching window before each planning round.
+    pub window: SimDuration,
+    /// The speeds BAR's cost function assumes.
+    pub speeds: BarWorkerSpeeds,
+}
+
+impl Default for BarAllocator {
+    fn default() -> Self {
+        BarAllocator {
+            window: SimDuration::from_secs(5),
+            speeds: BarWorkerSpeeds::default(),
+        }
+    }
+}
+
+impl Allocator for BarAllocator {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Bar
+    }
+
+    fn master(&self) -> Box<dyn MasterScheduler> {
+        Box::new(BarMaster::new(self.window, self.speeds))
+    }
+
+    fn worker_policy(&self) -> Box<dyn WorkerPolicy> {
+        Box::new(ObedientPolicy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbid_crossflow::{JobId, Payload, ResourceRef, TaskId};
+    use crossbid_storage::ObjectId;
+
+    fn job(id: u64, repo: u64, mb: u64) -> Job {
+        Job {
+            id: JobId(id),
+            task: TaskId(0),
+            resource: Some(ResourceRef {
+                id: ObjectId(repo),
+                bytes: mb * 1_000_000,
+            }),
+            work_bytes: mb * 1_000_000,
+            cpu_secs: 0.0,
+            payload: Payload::None,
+        }
+    }
+
+    #[test]
+    fn phase1_prefers_holders() {
+        let planner = BarPlanner::uniform(3, BarWorkerSpeeds::default());
+        let mut map = LocalityMap::new();
+        map.note_completion(WorkerId(2), &job(0, 7, 100));
+        let jobs = vec![job(1, 7, 100)];
+        let (assign, _) = planner.plan(&jobs, &map, &[0.0; 3]);
+        assert_eq!(assign, vec![WorkerId(2)]);
+    }
+
+    #[test]
+    fn phase2_breaks_locality_when_it_pays() {
+        // Worker 0 holds everything, but piling ten 100 MB jobs on it
+        // is worse than paying some remote fetches.
+        let planner = BarPlanner::uniform(3, BarWorkerSpeeds::default());
+        let mut map = LocalityMap::new();
+        for r in 0..10u64 {
+            map.note_completion(WorkerId(0), &job(100 + r, r, 100));
+        }
+        let jobs: Vec<Job> = (0..10).map(|r| job(r, r, 100)).collect();
+        let (assign, makespan) = planner.plan(&jobs, &map, &[0.0; 3]);
+        let on_w0 = assign.iter().filter(|w| **w == WorkerId(0)).count();
+        assert!(on_w0 < 10, "some jobs must move off the hot holder");
+        // All-local-on-one-worker makespan would be 10 × 1 s = 10 s.
+        assert!(
+            makespan < 10.0,
+            "rebalancing must beat all-local: {makespan}"
+        );
+    }
+
+    #[test]
+    fn phase2_keeps_locality_when_remote_cost_dominates() {
+        // Two jobs, huge fetches: moving either off its holder costs
+        // far more than queueing.
+        let planner = BarPlanner::uniform(2, BarWorkerSpeeds::default());
+        let mut map = LocalityMap::new();
+        map.note_completion(WorkerId(0), &job(100, 1, 1000));
+        let jobs = vec![job(1, 1, 1000), job(2, 1, 1000)];
+        let (assign, _) = planner.plan(&jobs, &map, &[0.0; 2]);
+        // Scan = 10 s each (20 s queued) vs remote = 50 + 10 s: both
+        // stay on the holder.
+        assert_eq!(assign, vec![WorkerId(0), WorkerId(0)]);
+    }
+
+    #[test]
+    fn unknown_resources_balance_by_load() {
+        let planner = BarPlanner::uniform(2, BarWorkerSpeeds::default());
+        let map = LocalityMap::new();
+        let jobs: Vec<Job> = (0..4).map(|r| job(r, r, 100)).collect();
+        let (assign, _) = planner.plan(&jobs, &map, &[0.0; 2]);
+        let on_w0 = assign.iter().filter(|w| **w == WorkerId(0)).count();
+        assert_eq!(on_w0, 2, "even split when nothing is local");
+    }
+
+    #[test]
+    fn base_load_shifts_assignments() {
+        let planner = BarPlanner::uniform(2, BarWorkerSpeeds::default());
+        let map = LocalityMap::new();
+        let jobs = vec![job(1, 1, 100)];
+        // Worker 0 already has 100 s of planned work.
+        let (assign, _) = planner.plan(&jobs, &map, &[100.0, 0.0]);
+        assert_eq!(assign, vec![WorkerId(1)]);
+    }
+}

@@ -1,0 +1,58 @@
+//! # crossbid-baselines
+//!
+//! The comparator schedulers the paper positions itself against:
+//!
+//! * [`SparkStaticAllocator`] — the paper's characterization of Apache
+//!   Spark's behaviour on the MSR workload: "all task allocation
+//!   occurs in advance and without considering the resources that
+//!   become local during execution ... the master produces all
+//!   assignments and considers all workers equal" (§4). Implemented as
+//!   immediate round-robin assignment. This is the Figure 2
+//!   comparator.
+//! * [`SparkLocalityAllocator`] — Spark's locality-wait mechanism
+//!   (§3): prefer a worker believed to hold the data; if every such
+//!   worker is saturated, wait up to a threshold before degrading to
+//!   any worker.
+//! * [`MatchmakingAllocator`] — He et al. (§3): a free node asks for a
+//!   job with local data; if none exists it idles for one heartbeat,
+//!   and on its second attempt "it is bound to accept a task even if
+//!   it does not have data locally".
+//! * [`DelayAllocator`] — Zaharia et al. (§3): postpone a job's
+//!   non-local assignment a bounded number of times.
+//! * [`BarAllocator`] — BAR (Jin et al., §3): batch planning in two
+//!   phases, all-local assignment first, then iterative trades of
+//!   locality for completion time.
+//! * [`RandomAllocator`] — uniformly random immediate assignment; the
+//!   sanity floor for every comparison.
+//!
+//! The centralized schedulers track locality through a *believed*
+//! resource→workers map built from the assignments they made — they
+//! never see worker caches directly, so their view can go stale when
+//! workers evict, exactly as a real master's would.
+
+//! ```
+//! use crossbid_baselines::{MatchmakingAllocator, SparkStaticAllocator};
+//! use crossbid_crossflow::Allocator;
+//!
+//! // Every comparator is a drop-in Allocator for the same engine.
+//! let allocs: Vec<Box<dyn Allocator>> = vec![
+//!     Box::new(SparkStaticAllocator::with_stage_barrier()),
+//!     Box::new(MatchmakingAllocator::default()),
+//! ];
+//! assert_eq!(allocs[0].kind().name(), "spark-static");
+//! assert_eq!(allocs[1].kind().name(), "matchmaking");
+//! ```
+
+pub mod bar;
+pub mod delay;
+pub mod locality_map;
+pub mod matchmaking;
+pub mod random;
+pub mod spark;
+
+pub use bar::{BarAllocator, BarPlanner, BarWorkerSpeeds};
+pub use delay::DelayAllocator;
+pub use locality_map::LocalityMap;
+pub use matchmaking::MatchmakingAllocator;
+pub use random::RandomAllocator;
+pub use spark::{SparkLocalityAllocator, SparkStaticAllocator};

@@ -1,0 +1,141 @@
+//! The master's *believed* locality map.
+//!
+//! Centralized locality-aware schedulers (Spark-locality,
+//! Matchmaking, Delay) decide where data lives from their own
+//! assignment history — Spark reads preferred locations from partition
+//! metadata, Hadoop-era schedulers from the block map. Our equivalent:
+//! when the master sees worker `w` complete a job that required
+//! resource `r`, it records `r → w`. The map is *capacity-blind*: it
+//! does not know about evictions, so it can overestimate locality,
+//! exactly like a stale block map.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crossbid_crossflow::{Job, WorkerId};
+use crossbid_storage::ObjectId;
+
+/// Believed resource→workers mapping.
+#[derive(Debug, Default, Clone)]
+pub struct LocalityMap {
+    holders: HashMap<ObjectId, BTreeSet<WorkerId>>,
+}
+
+impl LocalityMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `worker` completed `job` (and therefore fetched its
+    /// resource, if any).
+    pub fn note_completion(&mut self, worker: WorkerId, job: &Job) {
+        if let Some(r) = job.resource {
+            self.holders.entry(r.id).or_default().insert(worker);
+        }
+    }
+
+    /// Record an assignment optimistically (the worker *will* hold the
+    /// resource once it runs the job).
+    pub fn note_assignment(&mut self, worker: WorkerId, job: &Job) {
+        self.note_completion(worker, job);
+    }
+
+    /// Workers believed to hold `r`, in id order (deterministic).
+    pub fn holders(&self, r: ObjectId) -> impl Iterator<Item = WorkerId> + '_ {
+        self.holders.get(&r).into_iter().flatten().copied()
+    }
+
+    /// Is `worker` believed to hold `job`'s resource (trivially true
+    /// for resource-free jobs)?
+    pub fn is_local(&self, worker: WorkerId, job: &Job) -> bool {
+        match job.resource {
+            None => true,
+            Some(r) => self.holders.get(&r.id).is_some_and(|s| s.contains(&worker)),
+        }
+    }
+
+    /// Any worker believed local to `job`, preferring the one with the
+    /// smallest value of `load(w)` (ties by id).
+    pub fn best_local_worker<F: Fn(WorkerId) -> usize>(
+        &self,
+        job: &Job,
+        load: F,
+    ) -> Option<WorkerId> {
+        let r = job.resource?;
+        self.holders
+            .get(&r.id)?
+            .iter()
+            .copied()
+            .min_by_key(|w| (load(*w), *w))
+    }
+
+    /// Number of resources tracked.
+    pub fn len(&self) -> usize {
+        self.holders.len()
+    }
+
+    /// True iff nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.holders.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbid_crossflow::{JobId, Payload, ResourceRef, TaskId};
+
+    fn job_with(r: u64) -> Job {
+        Job {
+            id: JobId(1),
+            task: TaskId(0),
+            resource: Some(ResourceRef {
+                id: ObjectId(r),
+                bytes: 100,
+            }),
+            work_bytes: 100,
+            cpu_secs: 0.0,
+            payload: Payload::None,
+        }
+    }
+
+    #[test]
+    fn completion_updates_holders() {
+        let mut m = LocalityMap::new();
+        assert!(m.is_empty());
+        m.note_completion(WorkerId(2), &job_with(5));
+        assert!(m.is_local(WorkerId(2), &job_with(5)));
+        assert!(!m.is_local(WorkerId(1), &job_with(5)));
+        assert!(!m.is_local(WorkerId(2), &job_with(6)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(
+            m.holders(ObjectId(5)).collect::<Vec<_>>(),
+            vec![WorkerId(2)]
+        );
+    }
+
+    #[test]
+    fn resource_free_jobs_are_local_everywhere() {
+        let m = LocalityMap::new();
+        let j = Job {
+            resource: None,
+            ..job_with(1)
+        };
+        assert!(m.is_local(WorkerId(0), &j));
+    }
+
+    #[test]
+    fn best_local_worker_prefers_least_loaded() {
+        let mut m = LocalityMap::new();
+        m.note_completion(WorkerId(0), &job_with(5));
+        m.note_completion(WorkerId(1), &job_with(5));
+        let loads = [3usize, 1usize];
+        let best = m.best_local_worker(&job_with(5), |w| loads[w.0 as usize]);
+        assert_eq!(best, Some(WorkerId(1)));
+        // Tie: lowest id.
+        let best = m.best_local_worker(&job_with(5), |_| 0);
+        assert_eq!(best, Some(WorkerId(0)));
+        // Unknown resource: none.
+        assert_eq!(m.best_local_worker(&job_with(9), |_| 0), None);
+    }
+}

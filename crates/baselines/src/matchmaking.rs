@@ -1,0 +1,281 @@
+//! Matchmaking (He, Lu, Swanson — CloudCom 2011), as summarized in
+//! the paper's §3: "Only when a node becomes available will it try to
+//! pull a task for which it has data locally. The node will remain
+//! idle for a single heartbeat if no such task is present. On the
+//! second attempt, it is bound to accept a task even if it does not
+//! have data locally."
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crossbid_crossflow::{
+    Allocator, Job, MasterScheduler, ObedientPolicy, SchedCtx, WorkerId, WorkerPolicy,
+    WorkerToMaster,
+};
+use crossbid_metrics::SchedulerKind;
+use crossbid_simcore::SimDuration;
+
+use crate::locality_map::LocalityMap;
+
+/// The matchmaking master.
+pub struct MatchmakingMaster {
+    heartbeat: SimDuration,
+    queue: VecDeque<Job>,
+    map: LocalityMap,
+    /// Consecutive empty-handed pulls per worker (reset on any
+    /// assignment).
+    strikes: HashMap<WorkerId, u32>,
+    /// Pending heartbeat timers → worker.
+    timers: HashMap<u64, WorkerId>,
+    /// Workers that pulled while the queue was empty; poked when a job
+    /// arrives (a real node would keep heartbeating — this avoids the
+    /// useless empty-queue heartbeats).
+    parked: BTreeSet<WorkerId>,
+}
+
+impl MatchmakingMaster {
+    /// Create with the given heartbeat interval.
+    pub fn new(heartbeat: SimDuration) -> Self {
+        MatchmakingMaster {
+            heartbeat,
+            queue: VecDeque::new(),
+            map: LocalityMap::new(),
+            strikes: HashMap::new(),
+            timers: HashMap::new(),
+            parked: BTreeSet::new(),
+        }
+    }
+
+    /// Serve a pulling worker. Returns true if a job was assigned.
+    fn serve(&mut self, w: WorkerId, ctx: &mut SchedCtx) -> bool {
+        if self.queue.is_empty() {
+            // Nothing to do; park the worker until a job arrives.
+            self.strikes.insert(w, 0);
+            self.parked.insert(w);
+            return false;
+        }
+        self.parked.remove(&w);
+        let strike = self.strikes.get(&w).copied().unwrap_or(0);
+        // First attempt: only a job with believed-local data.
+        if let Some(pos) = self.queue.iter().position(|j| self.map.is_local(w, j)) {
+            let job = self.queue.remove(pos).expect("position valid");
+            self.strikes.insert(w, 0);
+            self.map.note_assignment(w, &job);
+            ctx.assign(w, job);
+            return true;
+        }
+        if strike >= 1 {
+            // Second attempt: bound to accept the head job.
+            let job = self.queue.pop_front().expect("non-empty");
+            self.strikes.insert(w, 0);
+            self.map.note_assignment(w, &job);
+            ctx.assign(w, job);
+            return true;
+        }
+        // Remain idle for a single heartbeat.
+        self.strikes.insert(w, strike + 1);
+        let token = ctx.set_timer(self.heartbeat);
+        self.timers.insert(token, w);
+        false
+    }
+}
+
+impl MasterScheduler for MatchmakingMaster {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Matchmaking
+    }
+
+    fn on_job(&mut self, job: Job, ctx: &mut SchedCtx) {
+        // Jobs wait for pulls (the matchmaking model is strictly
+        // pull-based); parked workers re-pull immediately.
+        self.queue.push_back(job);
+        let parked: Vec<WorkerId> = self.parked.iter().copied().collect();
+        for w in parked {
+            if self.queue.is_empty() {
+                break;
+            }
+            self.parked.remove(&w);
+            self.serve(w, ctx);
+        }
+    }
+
+    fn on_worker_message(&mut self, from: WorkerId, msg: WorkerToMaster, ctx: &mut SchedCtx) {
+        if let WorkerToMaster::Idle = msg {
+            self.serve(from, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut SchedCtx) {
+        if let Some(w) = self.timers.remove(&token) {
+            self.serve(w, ctx);
+        }
+    }
+
+    fn on_job_done(&mut self, worker: WorkerId, job: &Job, _ctx: &mut SchedCtx) {
+        self.map.note_completion(worker, job);
+    }
+}
+
+/// Bundled matchmaking allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchmakingAllocator {
+    /// Heartbeat interval (Hadoop's classic 1 s by default).
+    pub heartbeat: SimDuration,
+}
+
+impl Default for MatchmakingAllocator {
+    fn default() -> Self {
+        MatchmakingAllocator {
+            heartbeat: SimDuration::from_secs(1),
+        }
+    }
+}
+
+impl Allocator for MatchmakingAllocator {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Matchmaking
+    }
+
+    fn master(&self) -> Box<dyn MasterScheduler> {
+        Box::new(MatchmakingMaster::new(self.heartbeat))
+    }
+
+    fn worker_policy(&self) -> Box<dyn WorkerPolicy> {
+        // Assignments are unconditional; locality was already decided
+        // master-side.
+        Box::new(ObedientPolicy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbid_crossflow::scheduler::WorkerHandle;
+    use crossbid_crossflow::{JobId, Payload, ResourceRef, SchedAction, TaskId};
+    use crossbid_simcore::{RngStream, SimTime};
+    use crossbid_storage::ObjectId;
+
+    fn mk_job(id: u64, r: u64) -> Job {
+        Job {
+            id: JobId(id),
+            task: TaskId(0),
+            resource: Some(ResourceRef {
+                id: ObjectId(r),
+                bytes: 100,
+            }),
+            work_bytes: 100,
+            cpu_secs: 0.0,
+            payload: Payload::None,
+        }
+    }
+
+    fn drive<F: FnOnce(&mut MatchmakingMaster, &mut SchedCtx)>(
+        m: &mut MatchmakingMaster,
+        f: F,
+    ) -> Vec<SchedAction> {
+        let workers: Vec<WorkerHandle> = (0..2)
+            .map(|i| WorkerHandle {
+                id: WorkerId(i),
+                name: format!("w{i}"),
+            })
+            .collect();
+        let mut rng = RngStream::from_seed(0);
+        let mut token = 0;
+        let mut ctx = SchedCtx::new(SimTime::ZERO, &workers, &mut rng, &mut token);
+        f(m, &mut ctx);
+        ctx.take_actions()
+    }
+
+    #[test]
+    fn first_pull_without_local_data_waits_one_heartbeat() {
+        let mut m = MatchmakingMaster::new(SimDuration::from_secs(1));
+        drive(&mut m, |m, ctx| m.on_job(mk_job(1, 7), ctx));
+        // Worker 0 pulls; no locality info yet → heartbeat timer, no
+        // assignment.
+        let a = drive(&mut m, |m, ctx| {
+            m.on_worker_message(WorkerId(0), WorkerToMaster::Idle, ctx)
+        });
+        assert_eq!(a.len(), 1);
+        let token = match a[0] {
+            SchedAction::Timer { token, .. } => token,
+            ref other => panic!("{other:?}"),
+        };
+        // Heartbeat fires: second attempt is bound to accept.
+        let a = drive(&mut m, |m, ctx| m.on_timer(token, ctx));
+        assert!(matches!(
+            a[0],
+            SchedAction::Assign {
+                worker: WorkerId(0),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn local_job_is_pulled_immediately() {
+        let mut m = MatchmakingMaster::new(SimDuration::from_secs(1));
+        // Teach the map that worker 1 holds resource 7.
+        drive(&mut m, |m, ctx| {
+            m.on_job_done(WorkerId(1), &mk_job(0, 7), ctx)
+        });
+        drive(&mut m, |m, ctx| m.on_job(mk_job(1, 7), ctx));
+        let a = drive(&mut m, |m, ctx| {
+            m.on_worker_message(WorkerId(1), WorkerToMaster::Idle, ctx)
+        });
+        assert!(matches!(
+            a[0],
+            SchedAction::Assign {
+                worker: WorkerId(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn local_job_deeper_in_queue_is_found() {
+        let mut m = MatchmakingMaster::new(SimDuration::from_secs(1));
+        drive(&mut m, |m, ctx| {
+            m.on_job_done(WorkerId(0), &mk_job(0, 9), ctx)
+        });
+        drive(&mut m, |m, ctx| {
+            m.on_job(mk_job(1, 7), ctx);
+            m.on_job(mk_job(2, 9), ctx);
+        });
+        let a = drive(&mut m, |m, ctx| {
+            m.on_worker_message(WorkerId(0), WorkerToMaster::Idle, ctx)
+        });
+        match &a[0] {
+            SchedAction::Assign { job, .. } => assert_eq!(job.id, JobId(2)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn strikes_reset_after_assignment() {
+        let mut m = MatchmakingMaster::new(SimDuration::from_secs(1));
+        drive(&mut m, |m, ctx| m.on_job(mk_job(1, 7), ctx));
+        let a = drive(&mut m, |m, ctx| {
+            m.on_worker_message(WorkerId(0), WorkerToMaster::Idle, ctx)
+        });
+        let token = match a[0] {
+            SchedAction::Timer { token, .. } => token,
+            ref o => panic!("{o:?}"),
+        };
+        drive(&mut m, |m, ctx| m.on_timer(token, ctx)); // assigned
+                                                        // A new unknown-resource job: the worker idles one heartbeat
+                                                        // again (strike state was reset).
+        drive(&mut m, |m, ctx| m.on_job(mk_job(2, 8), ctx));
+        let a = drive(&mut m, |m, ctx| {
+            m.on_worker_message(WorkerId(0), WorkerToMaster::Idle, ctx)
+        });
+        assert!(matches!(a[0], SchedAction::Timer { .. }));
+    }
+
+    #[test]
+    fn empty_queue_pull_is_a_noop() {
+        let mut m = MatchmakingMaster::new(SimDuration::from_secs(1));
+        let a = drive(&mut m, |m, ctx| {
+            m.on_worker_message(WorkerId(0), WorkerToMaster::Idle, ctx)
+        });
+        assert!(a.is_empty());
+    }
+}

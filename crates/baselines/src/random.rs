@@ -1,0 +1,88 @@
+//! Uniformly random immediate assignment — the sanity floor every
+//! locality-aware scheduler must beat on locality metrics.
+
+use crossbid_crossflow::{
+    Allocator, Job, MasterScheduler, ObedientPolicy, SchedCtx, WorkerId, WorkerPolicy,
+    WorkerToMaster,
+};
+use crossbid_metrics::SchedulerKind;
+
+/// The random master.
+#[derive(Debug, Default)]
+pub struct RandomMaster;
+
+impl MasterScheduler for RandomMaster {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Random
+    }
+
+    fn on_job(&mut self, job: Job, ctx: &mut SchedCtx) {
+        let w = ctx.arbitrary_worker();
+        ctx.assign(w, job);
+    }
+
+    fn on_worker_message(&mut self, _from: WorkerId, _msg: WorkerToMaster, _ctx: &mut SchedCtx) {}
+}
+
+/// Bundled random allocator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RandomAllocator;
+
+impl Allocator for RandomAllocator {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Random
+    }
+
+    fn master(&self) -> Box<dyn MasterScheduler> {
+        Box::new(RandomMaster)
+    }
+
+    fn worker_policy(&self) -> Box<dyn WorkerPolicy> {
+        Box::new(ObedientPolicy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbid_crossflow::scheduler::WorkerHandle;
+    use crossbid_crossflow::{JobId, Payload, SchedAction, TaskId};
+    use crossbid_simcore::{RngStream, SimTime};
+
+    #[test]
+    fn every_job_is_assigned_to_some_worker() {
+        let workers: Vec<WorkerHandle> = (0..4)
+            .map(|i| WorkerHandle {
+                id: WorkerId(i),
+                name: format!("w{i}"),
+            })
+            .collect();
+        let mut rng = RngStream::from_seed(5);
+        let mut token = 0;
+        let mut m = RandomMaster;
+        let mut counts = [0u32; 4];
+        for i in 0..200 {
+            let mut ctx = SchedCtx::new(SimTime::ZERO, &workers, &mut rng, &mut token);
+            m.on_job(
+                Job {
+                    id: JobId(i),
+                    task: TaskId(0),
+                    resource: None,
+                    work_bytes: 0,
+                    cpu_secs: 0.0,
+                    payload: Payload::None,
+                },
+                &mut ctx,
+            );
+            let a = ctx.take_actions();
+            match &a[0] {
+                SchedAction::Assign { worker, .. } => counts[worker.0 as usize] += 1,
+                other => panic!("{other:?}"),
+            }
+        }
+        // All workers used, roughly uniformly.
+        for (i, c) in counts.iter().enumerate() {
+            assert!(*c > 20, "worker {i} got only {c} of 200");
+        }
+    }
+}

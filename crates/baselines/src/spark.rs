@@ -1,0 +1,388 @@
+//! Spark-like centralized schedulers.
+
+use std::collections::HashMap;
+
+use crossbid_crossflow::{
+    Allocator, Job, JobId, MasterScheduler, ObedientPolicy, SchedCtx, WorkerId, WorkerPolicy,
+    WorkerToMaster,
+};
+use crossbid_metrics::SchedulerKind;
+use crossbid_simcore::SimDuration;
+
+use crate::locality_map::LocalityMap;
+
+/// Spark as the paper describes it for the MSR comparison (§4): every
+/// job is assigned round-robin, "considering all workers equal" and
+/// ignoring run-time locality entirely.
+///
+/// With `stage_barrier` enabled (the Figure 2 configuration), jobs are
+/// released in synchronous waves of one job per worker — modelling
+/// Spark's stage-oriented batch execution, where a stage's stragglers
+/// gate the next wave of tasks. Without it, jobs are pushed the moment
+/// they arrive.
+#[derive(Debug, Default)]
+pub struct SparkStaticMaster {
+    next: u32,
+    stage_barrier: bool,
+    pending: std::collections::VecDeque<Job>,
+    wave_outstanding: usize,
+}
+
+impl SparkStaticMaster {
+    /// Create; see type docs for `stage_barrier`.
+    pub fn new(stage_barrier: bool) -> Self {
+        SparkStaticMaster {
+            stage_barrier,
+            ..Default::default()
+        }
+    }
+
+    fn assign_rr(&mut self, job: Job, ctx: &mut SchedCtx) {
+        let n = ctx.worker_count() as u32;
+        let w = WorkerId(self.next % n);
+        self.next = (self.next + 1) % n;
+        ctx.assign(w, job);
+    }
+
+    fn release_wave(&mut self, ctx: &mut SchedCtx) {
+        if self.wave_outstanding > 0 {
+            return;
+        }
+        let n = ctx.worker_count();
+        for _ in 0..n {
+            let Some(job) = self.pending.pop_front() else {
+                break;
+            };
+            self.wave_outstanding += 1;
+            self.assign_rr(job, ctx);
+        }
+    }
+}
+
+impl MasterScheduler for SparkStaticMaster {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::SparkStatic
+    }
+
+    fn on_job(&mut self, job: Job, ctx: &mut SchedCtx) {
+        if self.stage_barrier {
+            self.pending.push_back(job);
+            self.release_wave(ctx);
+        } else {
+            self.assign_rr(job, ctx);
+        }
+    }
+
+    fn on_worker_message(&mut self, _from: WorkerId, _msg: WorkerToMaster, _ctx: &mut SchedCtx) {}
+
+    fn on_job_done(&mut self, _worker: WorkerId, _job: &Job, ctx: &mut SchedCtx) {
+        if self.stage_barrier {
+            self.wave_outstanding = self.wave_outstanding.saturating_sub(1);
+            self.release_wave(ctx);
+        }
+    }
+}
+
+/// Bundled Spark-static allocator.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SparkStaticAllocator {
+    /// Model Spark's synchronous stage execution (see
+    /// [`SparkStaticMaster`]).
+    pub stage_barrier: bool,
+}
+
+impl SparkStaticAllocator {
+    /// The Figure 2 configuration: stage-synchronous waves.
+    pub fn with_stage_barrier() -> Self {
+        SparkStaticAllocator {
+            stage_barrier: true,
+        }
+    }
+}
+
+impl Allocator for SparkStaticAllocator {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::SparkStatic
+    }
+
+    fn master(&self) -> Box<dyn MasterScheduler> {
+        Box::new(SparkStaticMaster::new(self.stage_barrier))
+    }
+
+    fn worker_policy(&self) -> Box<dyn WorkerPolicy> {
+        Box::new(ObedientPolicy)
+    }
+}
+
+/// Spark's locality-wait mechanism (§3: "it attempts to schedule
+/// tasks so that the maximum degree of locality is obtained. If that
+/// is not possible, it will wait a threshold period of time before
+/// reducing the level of locality for that particular task").
+///
+/// Our cluster model has two meaningful locality levels — a worker
+/// that holds the data (NODE_LOCAL) and one that does not (ANY);
+/// Spark's PROCESS/NODE/RACK distinctions collapse onto these. A job
+/// whose believed-local workers are all saturated waits up to
+/// `locality_wait`; then it degrades to the least-loaded worker.
+pub struct SparkLocalityMaster {
+    locality_wait: SimDuration,
+    /// Max outstanding jobs per worker before it counts as saturated
+    /// (Spark's executor slots).
+    slots_per_worker: usize,
+    map: LocalityMap,
+    outstanding: HashMap<WorkerId, usize>,
+    waiting: HashMap<u64, JobId>,
+    held: HashMap<JobId, Job>,
+}
+
+impl SparkLocalityMaster {
+    /// Create with the given wait threshold and per-worker slot count.
+    pub fn new(locality_wait: SimDuration, slots_per_worker: usize) -> Self {
+        SparkLocalityMaster {
+            locality_wait,
+            slots_per_worker: slots_per_worker.max(1),
+            map: LocalityMap::new(),
+            outstanding: HashMap::new(),
+            waiting: HashMap::new(),
+            held: HashMap::new(),
+        }
+    }
+
+    fn load(&self, w: WorkerId) -> usize {
+        self.outstanding.get(&w).copied().unwrap_or(0)
+    }
+
+    fn least_loaded(&self, ctx: &SchedCtx) -> WorkerId {
+        ctx.workers()
+            .iter()
+            .map(|h| h.id)
+            .min_by_key(|w| (self.load(*w), *w))
+            .expect("non-empty roster")
+    }
+
+    fn assign_to(&mut self, w: WorkerId, job: Job, ctx: &mut SchedCtx) {
+        *self.outstanding.entry(w).or_insert(0) += 1;
+        self.map.note_assignment(w, &job);
+        ctx.assign(w, job);
+    }
+
+    fn try_place(&mut self, job: Job, ctx: &mut SchedCtx) -> Option<Job> {
+        if let Some(w) = self.map.best_local_worker(&job, |w| self.load(w)) {
+            if self.load(w) < self.slots_per_worker {
+                self.assign_to(w, job, ctx);
+                return None;
+            }
+        } else if job.resource.is_none() {
+            // CPU-only jobs have no locality constraint.
+            let w = self.least_loaded(ctx);
+            self.assign_to(w, job, ctx);
+            return None;
+        }
+        Some(job)
+    }
+}
+
+impl MasterScheduler for SparkLocalityMaster {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::SparkLocality
+    }
+
+    fn on_job(&mut self, job: Job, ctx: &mut SchedCtx) {
+        match self.try_place(job, ctx) {
+            None => {}
+            Some(job) => {
+                // No satisfiable locality: wait for the threshold,
+                // then degrade.
+                let token = ctx.set_timer(self.locality_wait);
+                self.waiting.insert(token, job.id);
+                self.held.insert(job.id, job);
+            }
+        }
+    }
+
+    fn on_worker_message(&mut self, _from: WorkerId, _msg: WorkerToMaster, _ctx: &mut SchedCtx) {}
+
+    fn on_timer(&mut self, token: u64, ctx: &mut SchedCtx) {
+        let Some(job_id) = self.waiting.remove(&token) else {
+            return;
+        };
+        let Some(job) = self.held.remove(&job_id) else {
+            return;
+        };
+        // One more locality attempt, then degrade to ANY.
+        match self.try_place(job, ctx) {
+            None => {}
+            Some(job) => {
+                let w = self.least_loaded(ctx);
+                self.assign_to(w, job, ctx);
+            }
+        }
+    }
+
+    fn on_job_done(&mut self, worker: WorkerId, job: &Job, _ctx: &mut SchedCtx) {
+        if let Some(c) = self.outstanding.get_mut(&worker) {
+            *c = c.saturating_sub(1);
+        }
+        self.map.note_completion(worker, job);
+    }
+}
+
+/// Bundled Spark-locality allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct SparkLocalityAllocator {
+    /// Locality wait threshold (Spark's `spark.locality.wait`,
+    /// default 3 s).
+    pub locality_wait: SimDuration,
+    /// Executor slots per worker.
+    pub slots_per_worker: usize,
+}
+
+impl Default for SparkLocalityAllocator {
+    fn default() -> Self {
+        SparkLocalityAllocator {
+            locality_wait: SimDuration::from_secs(3),
+            slots_per_worker: 2,
+        }
+    }
+}
+
+impl Allocator for SparkLocalityAllocator {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::SparkLocality
+    }
+
+    fn master(&self) -> Box<dyn MasterScheduler> {
+        Box::new(SparkLocalityMaster::new(
+            self.locality_wait,
+            self.slots_per_worker,
+        ))
+    }
+
+    fn worker_policy(&self) -> Box<dyn WorkerPolicy> {
+        Box::new(ObedientPolicy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbid_crossflow::scheduler::WorkerHandle;
+    use crossbid_crossflow::{Payload, ResourceRef, SchedAction, TaskId};
+    use crossbid_simcore::{RngStream, SimTime};
+    use crossbid_storage::ObjectId;
+
+    fn mk_job(id: u64, r: Option<u64>) -> Job {
+        Job {
+            id: JobId(id),
+            task: TaskId(0),
+            resource: r.map(|r| ResourceRef {
+                id: ObjectId(r),
+                bytes: 100,
+            }),
+            work_bytes: 100,
+            cpu_secs: 0.0,
+            payload: Payload::None,
+        }
+    }
+
+    fn handles(n: u32) -> Vec<WorkerHandle> {
+        (0..n)
+            .map(|i| WorkerHandle {
+                id: WorkerId(i),
+                name: format!("w{i}"),
+            })
+            .collect()
+    }
+
+    fn drive<M: MasterScheduler, F: FnOnce(&mut M, &mut SchedCtx)>(
+        m: &mut M,
+        n: u32,
+        f: F,
+    ) -> Vec<SchedAction> {
+        let workers = handles(n);
+        let mut rng = RngStream::from_seed(0);
+        let mut token = 100;
+        let mut ctx = SchedCtx::new(SimTime::ZERO, &workers, &mut rng, &mut token);
+        f(m, &mut ctx);
+        ctx.take_actions()
+    }
+
+    #[test]
+    fn spark_static_round_robins() {
+        let mut m = SparkStaticMaster::default();
+        let mut seen = Vec::new();
+        for i in 0..6 {
+            let a = drive(&mut m, 3, |m, ctx| m.on_job(mk_job(i, Some(1)), ctx));
+            match &a[0] {
+                SchedAction::Assign { worker, .. } => seen.push(worker.0),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn spark_locality_prefers_believed_holder() {
+        let mut m = SparkLocalityMaster::new(SimDuration::from_secs(3), 2);
+        // Job 1 has no known holder: a wait timer is set.
+        let a = drive(&mut m, 3, |m, ctx| m.on_job(mk_job(1, Some(7)), ctx));
+        assert!(matches!(a[0], SchedAction::Timer { .. }));
+        // Timer fires: degrade to least-loaded.
+        let token = match a[0] {
+            SchedAction::Timer { token, .. } => token,
+            _ => unreachable!(),
+        };
+        let a = drive(&mut m, 3, |m, ctx| m.on_timer(token, ctx));
+        let w1 = match &a[0] {
+            SchedAction::Assign { worker, .. } => *worker,
+            other => panic!("{other:?}"),
+        };
+        // After completion, the holder is known: the next job for the
+        // same resource goes straight there.
+        drive(&mut m, 3, |m, ctx| {
+            m.on_job_done(w1, &mk_job(1, Some(7)), ctx)
+        });
+        let a = drive(&mut m, 3, |m, ctx| m.on_job(mk_job(2, Some(7)), ctx));
+        match &a[0] {
+            SchedAction::Assign { worker, .. } => assert_eq!(*worker, w1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn spark_locality_degrades_when_holder_saturated() {
+        let mut m = SparkLocalityMaster::new(SimDuration::from_secs(3), 1);
+        // Make worker 0 the holder of resource 7 with a full slot.
+        drive(&mut m, 3, |m, ctx| {
+            m.on_job_done(WorkerId(0), &mk_job(0, Some(7)), ctx)
+        });
+        let a = drive(&mut m, 3, |m, ctx| m.on_job(mk_job(1, Some(7)), ctx));
+        assert!(matches!(
+            a[0],
+            SchedAction::Assign {
+                worker: WorkerId(0),
+                ..
+            }
+        ));
+        // Worker 0 now saturated (slots=1, one outstanding): next job
+        // waits…
+        let a = drive(&mut m, 3, |m, ctx| m.on_job(mk_job(2, Some(7)), ctx));
+        let token = match a[0] {
+            SchedAction::Timer { token, .. } => token,
+            ref other => panic!("{other:?}"),
+        };
+        // …and degrades to a non-local worker on expiry.
+        let a = drive(&mut m, 3, |m, ctx| m.on_timer(token, ctx));
+        match &a[0] {
+            SchedAction::Assign { worker, .. } => assert_ne!(*worker, WorkerId(0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cpu_only_jobs_skip_the_wait() {
+        let mut m = SparkLocalityMaster::new(SimDuration::from_secs(3), 2);
+        let a = drive(&mut m, 2, |m, ctx| m.on_job(mk_job(1, None), ctx));
+        assert!(matches!(a[0], SchedAction::Assign { .. }));
+    }
+}

@@ -1,0 +1,449 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **bid window** (§5's 1 s) — allocation quality vs decision
+//!   latency;
+//! * **speed learning** (§6.4 historic averages) vs static nominal
+//!   speeds;
+//! * **noise level** (§6.3.1's noise scheme) — robustness of bids;
+//! * **cache eviction policy** — how the store interacts with each
+//!   scheduler;
+//! * **local short-circuit** (§7 future work) — closing contests
+//!   early on an essentially-local bid.
+//!
+//! Each ablation prints its sweep table (stderr) and registers one
+//! representative Criterion measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crossbid_bench::print_artifact;
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::{EngineConfig, Session, Workflow};
+use crossbid_metrics::table::f2;
+use crossbid_metrics::{RunRecord, Table};
+use crossbid_net::{MarkovNoise, NoiseModel};
+use crossbid_simcore::SimDuration;
+use crossbid_storage::EvictionPolicy;
+use crossbid_workload::{ArrivalProcess, JobConfig, WorkerConfig};
+
+const SEED: u64 = 0xAB1A;
+
+/// Run a 2-iteration session of `jc` on `wc` under a custom allocator
+/// and engine config; returns the warm-iteration record.
+fn run_once(
+    wc: WorkerConfig,
+    jc: JobConfig,
+    alloc: &dyn crossbid_crossflow::Allocator,
+    engine: EngineConfig,
+    eviction: Option<EvictionPolicy>,
+    storage_gb: Option<f64>,
+    n_jobs: usize,
+) -> RunRecord {
+    let mut specs = wc.paper_specs();
+    if let Some(p) = eviction {
+        for s in &mut specs {
+            s.eviction = p;
+        }
+    }
+    if let Some(gb) = storage_gb {
+        for s in &mut specs {
+            s.storage_bytes = (gb * 1e9) as u64;
+        }
+    }
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let stream = jc.generate(SEED, n_jobs, task, &ArrivalProcess::evaluation_default());
+    let mut session = Session::new(&specs, engine, wc.name(), jc.name(), SEED);
+    let records = session.run_iterations(&mut wf, alloc, 2, |_| stream.arrivals.clone());
+    records.into_iter().last().expect("two iterations")
+}
+
+fn ablation_bid_window(c: &mut Criterion) {
+    let mut t = Table::new(
+        "Ablation — bid window (80pct_small, all-equal, warm iteration)",
+        &["window", "time (s)", "misses", "messages", "timed-out"],
+    );
+    let windows_ms = [50u64, 200, 1000, 3000, 10000];
+    for w in windows_ms {
+        let alloc = BiddingAllocator::with_window(SimDuration::from_millis(w));
+        let r = run_once(
+            WorkerConfig::AllEqual,
+            JobConfig::Pct80Small,
+            &alloc,
+            EngineConfig::default(),
+            None,
+            None,
+            60,
+        );
+        t.row([
+            format!("{} ms", w),
+            f2(r.makespan_secs),
+            r.cache_misses.to_string(),
+            r.control_messages.to_string(),
+            r.contests_timed_out.to_string(),
+        ]);
+    }
+    print_artifact("ablation_bid_window", &t.render());
+
+    let mut group = c.benchmark_group("ablation_bid_window");
+    group.sample_size(10);
+    for w in [200u64, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            let alloc = BiddingAllocator::with_window(SimDuration::from_millis(w));
+            b.iter(|| {
+                run_once(
+                    WorkerConfig::AllEqual,
+                    JobConfig::Pct80Small,
+                    &alloc,
+                    EngineConfig::default(),
+                    None,
+                    None,
+                    30,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_speed_learning(c: &mut Criterion) {
+    let mut t = Table::new(
+        "Ablation — §6.4 speed learning (one-slow, all_diff_large, warm iteration)",
+        &["learning", "time (s)", "misses", "data (MB)"],
+    );
+    for learning in [false, true] {
+        let engine = EngineConfig {
+            speed_learning: learning,
+            ..EngineConfig::default()
+        };
+        let r = run_once(
+            WorkerConfig::OneSlow,
+            JobConfig::AllDiffLarge,
+            &BiddingAllocator::new(),
+            engine,
+            None,
+            None,
+            60,
+        );
+        t.row([
+            learning.to_string(),
+            f2(r.makespan_secs),
+            r.cache_misses.to_string(),
+            f2(r.data_load_mb),
+        ]);
+    }
+    print_artifact("ablation_speed_learning", &t.render());
+
+    let mut group = c.benchmark_group("ablation_speed_learning");
+    group.sample_size(10);
+    group.bench_function("learning_on", |b| {
+        let engine = EngineConfig {
+            speed_learning: true,
+            ..EngineConfig::default()
+        };
+        b.iter(|| {
+            run_once(
+                WorkerConfig::OneSlow,
+                JobConfig::AllDiffLarge,
+                &BiddingAllocator::new(),
+                engine.clone(),
+                None,
+                None,
+                30,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn ablation_noise(c: &mut Criterion) {
+    let mut t = Table::new(
+        "Ablation — noise scheme on actual speeds (all-equal, 80pct_large)",
+        &["noise", "time (s)", "misses", "data (MB)"],
+    );
+    let noises: [(&str, NoiseModel); 4] = [
+        ("none", NoiseModel::None),
+        ("uniform 0.7-1.15", NoiseModel::evaluation_default()),
+        ("log-normal σ=0.5", NoiseModel::LogNormal { sigma: 0.5 }),
+        (
+            "markov bursts",
+            NoiseModel::Markov(MarkovNoise {
+                p_degrade: 0.1,
+                p_recover: 0.3,
+                degraded_factor: 0.2,
+            }),
+        ),
+    ];
+    for (label, noise) in &noises {
+        let engine = EngineConfig {
+            noise: noise.clone(),
+            ..EngineConfig::default()
+        };
+        let r = run_once(
+            WorkerConfig::AllEqual,
+            JobConfig::Pct80Large,
+            &BiddingAllocator::new(),
+            engine,
+            None,
+            None,
+            60,
+        );
+        t.row([
+            label.to_string(),
+            f2(r.makespan_secs),
+            r.cache_misses.to_string(),
+            f2(r.data_load_mb),
+        ]);
+    }
+    print_artifact("ablation_noise", &t.render());
+
+    let mut group = c.benchmark_group("ablation_noise");
+    group.sample_size(10);
+    group.bench_function("lognormal", |b| {
+        let engine = EngineConfig {
+            noise: NoiseModel::LogNormal { sigma: 0.5 },
+            ..EngineConfig::default()
+        };
+        b.iter(|| {
+            run_once(
+                WorkerConfig::AllEqual,
+                JobConfig::Pct80Large,
+                &BiddingAllocator::new(),
+                engine.clone(),
+                None,
+                None,
+                30,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn ablation_cache_policy(c: &mut Criterion) {
+    let mut t = Table::new(
+        "Ablation — eviction policy (all-equal, all_diff_large, warm iteration)",
+        &["policy", "time (s)", "misses", "evictions"],
+    );
+    for policy in EvictionPolicy::ALL {
+        let r = run_once(
+            WorkerConfig::AllEqual,
+            JobConfig::AllDiffLarge,
+            &BiddingAllocator::new(),
+            EngineConfig::default(),
+            Some(policy),
+            Some(6.0),
+            120,
+        );
+        t.row([
+            policy.name().to_string(),
+            f2(r.makespan_secs),
+            r.cache_misses.to_string(),
+            r.evictions.to_string(),
+        ]);
+    }
+    print_artifact("ablation_cache_policy", &t.render());
+
+    let mut group = c.benchmark_group("ablation_cache_policy");
+    group.sample_size(10);
+    group.bench_function("lru", |b| {
+        b.iter(|| {
+            run_once(
+                WorkerConfig::AllEqual,
+                JobConfig::AllDiffLarge,
+                &BiddingAllocator::new(),
+                EngineConfig::default(),
+                Some(EvictionPolicy::Lru),
+                Some(6.0),
+                30,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn ablation_local_shortcircuit(c: &mut Criterion) {
+    let mut t = Table::new(
+        "Ablation — §7 local short-circuit (all-equal, 80pct_small, warm iteration)",
+        &["variant", "time (s)", "misses", "messages"],
+    );
+    let variants: [(&str, BiddingAllocator); 2] = [
+        ("full contest", BiddingAllocator::new()),
+        (
+            "short-circuit ≤2s",
+            BiddingAllocator::with_short_circuit(2.0),
+        ),
+    ];
+    for (label, alloc) in &variants {
+        let r = run_once(
+            WorkerConfig::AllEqual,
+            JobConfig::Pct80Small,
+            alloc,
+            EngineConfig::default(),
+            None,
+            None,
+            60,
+        );
+        t.row([
+            label.to_string(),
+            f2(r.makespan_secs),
+            r.cache_misses.to_string(),
+            r.control_messages.to_string(),
+        ]);
+    }
+    print_artifact("ablation_local_shortcircuit", &t.render());
+
+    let mut group = c.benchmark_group("ablation_local_shortcircuit");
+    group.sample_size(10);
+    group.bench_function("short_circuit", |b| {
+        let alloc = BiddingAllocator::with_short_circuit(2.0);
+        b.iter(|| {
+            run_once(
+                WorkerConfig::AllEqual,
+                JobConfig::Pct80Small,
+                &alloc,
+                EngineConfig::default(),
+                None,
+                None,
+                30,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn ablation_bid_learning(c: &mut Criterion) {
+    // §7 bid learning against a secretly throttled worker: one node's
+    // actual speeds are a third of its configured speeds (noise
+    // override) and §6.4 speed learning is off, so only the
+    // actual/estimated feedback loop can reveal it.
+    let mut t = Table::new(
+        "Ablation — §7 bid learning vs a secretly throttled worker (all_diff_equal)",
+        &["variant", "time (s)", "misses", "throttled busy %"],
+    );
+    let variants: [(&str, BiddingAllocator); 2] = [
+        ("plain bids", BiddingAllocator::new()),
+        ("learned bids", BiddingAllocator::with_bid_learning()),
+    ];
+    for (label, alloc) in &variants {
+        let mut specs = WorkerConfig::AllEqual.paper_specs();
+        let last = specs.len() - 1;
+        specs[last].noise_override = Some(NoiseModel::Uniform { lo: 0.3, hi: 0.35 });
+        let mut wf = crossbid_crossflow::Workflow::new();
+        let task = wf.add_sink("scan");
+        let stream = JobConfig::AllDiffEqual.generate(
+            SEED,
+            80,
+            task,
+            &ArrivalProcess::Poisson {
+                mean_interval_secs: 6.0,
+            },
+        );
+        let mut session = Session::new(
+            &specs,
+            EngineConfig::ideal(),
+            "all-equal+throttled",
+            "all_diff_equal",
+            SEED,
+        );
+        let r = session.run_iteration(&mut wf, alloc, stream.arrivals.clone());
+        t.row([
+            label.to_string(),
+            f2(r.makespan_secs),
+            r.cache_misses.to_string(),
+            format!("{:.1}%", r.worker_busy_frac[last] * 100.0),
+        ]);
+    }
+    print_artifact("ablation_bid_learning", &t.render());
+
+    let mut group = c.benchmark_group("ablation_bid_learning");
+    group.sample_size(10);
+    group.bench_function("learned", |b| {
+        let alloc = BiddingAllocator::with_bid_learning();
+        b.iter(|| {
+            run_once(
+                WorkerConfig::AllEqual,
+                JobConfig::AllDiffEqual,
+                &alloc,
+                EngineConfig::default(),
+                None,
+                None,
+                30,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn ablation_arrival_pressure(c: &mut Criterion) {
+    // The sensitivity that matters most to the calibration: how the
+    // bidding advantage depends on offered load. Idle clusters hide
+    // allocation quality; overloaded ones amplify it.
+    let mut t = Table::new(
+        "Ablation — arrival pressure (80pct_large, all-equal, warm iteration)",
+        &[
+            "mean interarrival",
+            "bidding (s)",
+            "baseline (s)",
+            "speedup",
+        ],
+    );
+    for mean in [6.0, 3.0, 1.5, 0.75] {
+        let mut run_one = |alloc: &dyn crossbid_crossflow::Allocator| {
+            let mut wf = crossbid_crossflow::Workflow::new();
+            let task = wf.add_sink("scan");
+            let stream = JobConfig::Pct80Large.generate(
+                SEED,
+                60,
+                task,
+                &ArrivalProcess::Poisson {
+                    mean_interval_secs: mean,
+                },
+            );
+            let mut session = Session::new(
+                &WorkerConfig::AllEqual.paper_specs(),
+                EngineConfig::default(),
+                "all-equal",
+                "80pct_large",
+                SEED,
+            );
+            let records = session.run_iterations(&mut wf, alloc, 2, |_| stream.arrivals.clone());
+            records.into_iter().last().expect("two iterations")
+        };
+        let bid = run_one(&BiddingAllocator::new());
+        let base = run_one(&crossbid_crossflow::BaselineAllocator);
+        t.row([
+            format!("{mean:.2} s"),
+            f2(bid.makespan_secs),
+            f2(base.makespan_secs),
+            format!("{:.2}x", base.makespan_secs / bid.makespan_secs),
+        ]);
+    }
+    print_artifact("ablation_arrival_pressure", &t.render());
+
+    let mut group = c.benchmark_group("ablation_arrival_pressure");
+    group.sample_size(10);
+    group.bench_function("overloaded", |b| {
+        b.iter(|| {
+            run_once(
+                WorkerConfig::AllEqual,
+                JobConfig::Pct80Large,
+                &BiddingAllocator::new(),
+                EngineConfig::default(),
+                None,
+                None,
+                30,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_bid_window,
+    ablation_speed_learning,
+    ablation_noise,
+    ablation_cache_policy,
+    ablation_local_shortcircuit,
+    ablation_bid_learning,
+    ablation_arrival_pressure
+);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Microbenchmarks of the substrates: raw event-queue throughput,
+//! store operations, bid estimation, and end-to-end engine
+//! events-per-second — the numbers that bound how large a cluster /
+//! job count the simulator can handle.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::{
+    run_workflow, Arrival, Cluster, EngineConfig, JobSpec, Payload, ResourceRef, RunMeta,
+    WorkerSpec, Workflow,
+};
+use crossbid_simcore::{EventQueue, RngStream, SimDuration, SimTime};
+use crossbid_storage::{EvictionPolicy, LocalStore, ObjectId};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            let mut rng = RngStream::from_seed(1);
+            let times: Vec<u64> = (0..n).map(|_| rng.below(1_000_000)).collect();
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.schedule_at(SimTime::from_ticks(t), i);
+                }
+                let mut acc = 0usize;
+                while let Some((_, e)) = q.pop() {
+                    acc ^= e;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_store");
+    for policy in EvictionPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("churn", policy.name()),
+            &policy,
+            |b, &policy| {
+                let mut rng = RngStream::from_seed(2);
+                let ops: Vec<(u64, u64)> = (0..10_000)
+                    .map(|_| (rng.below(200), 1 + rng.below(50)))
+                    .collect();
+                b.iter(|| {
+                    let mut s = LocalStore::new(1_000, policy);
+                    for (i, &(id, size)) in ops.iter().enumerate() {
+                        let now = SimTime::from_ticks(i as u64);
+                        if !s.lookup(ObjectId(id), now) {
+                            s.insert(ObjectId(id), size, now);
+                        }
+                    }
+                    black_box(s.stats().misses)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for n_jobs in [100usize, 1000] {
+        group.throughput(Throughput::Elements(n_jobs as u64));
+        group.bench_with_input(
+            BenchmarkId::new("bidding_jobs", n_jobs),
+            &n_jobs,
+            |b, &n_jobs| {
+                let specs: Vec<WorkerSpec> = (0..5)
+                    .map(|i| WorkerSpec::builder(format!("w{i}")).build())
+                    .collect();
+                let arrivals: Vec<Arrival> = (0..n_jobs)
+                    .map(|i| Arrival {
+                        at: SimTime::from_millis(i as u64 * 500),
+                        spec: JobSpec::scanning(
+                            crossbid_crossflow::TaskId(0),
+                            ResourceRef {
+                                id: ObjectId((i % 40) as u64),
+                                bytes: 50_000_000,
+                            },
+                            Payload::Index(i as u64),
+                        ),
+                    })
+                    .collect();
+                let cfg = EngineConfig::default();
+                b.iter(|| {
+                    let mut cluster = Cluster::new(&specs, &cfg);
+                    let mut wf = Workflow::new();
+                    wf.add_sink("scan");
+                    let out = run_workflow(
+                        &mut cluster,
+                        &mut wf,
+                        &BiddingAllocator::new(),
+                        arrivals.clone(),
+                        &cfg,
+                        &RunMeta::default(),
+                    );
+                    black_box(out.events)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_transfer_model(c: &mut Criterion) {
+    c.bench_function("link_transfer", |b| {
+        let mut link = crossbid_net::Link::new(
+            crossbid_net::Bandwidth::mb_per_sec(20.0),
+            SimDuration::from_millis(300),
+            crossbid_net::NoiseModel::evaluation_default(),
+        );
+        let mut rng = RngStream::from_seed(3);
+        b.iter(|| black_box(link.transfer(500_000_000, &mut rng).duration))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_store,
+    bench_engine_throughput,
+    bench_transfer_model
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 2 bench: regenerates the Spark-vs-Crossflow table, then
+//! times one column group per scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crossbid_bench::{bench_cfg, print_artifact};
+use crossbid_experiments::runner::{run_cell, Cell};
+use crossbid_experiments::{fig2, ExperimentConfig};
+use crossbid_metrics::SchedulerKind;
+
+fn bench_fig2(c: &mut Criterion) {
+    // Regenerate the full artifact once at paper scale.
+    let (rows, _) = fig2::run(&ExperimentConfig::default());
+    print_artifact("Figure 2", &fig2::render(&rows));
+
+    let cfg = bench_cfg();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for (label, wc, jc) in fig2::groups() {
+        for sched in [SchedulerKind::Baseline, SchedulerKind::SparkStatic] {
+            group.bench_with_input(
+                BenchmarkId::new(label, sched.name()),
+                &sched,
+                |b, &sched| {
+                    b.iter(|| {
+                        run_cell(
+                            &cfg,
+                            Cell {
+                                worker_config: wc,
+                                job_config: jc,
+                                scheduler: sched,
+                            },
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

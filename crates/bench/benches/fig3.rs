@@ -1,0 +1,47 @@
+//! Figure 3 bench: regenerates the three per-workload charts
+//! (time / cache misses / data load) plus the headline summary, then
+//! times one cell per (workload, scheduler).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crossbid_bench::{bench_cfg, print_artifact};
+use crossbid_experiments::runner::{run_cell, Cell};
+use crossbid_experiments::{fig3, summary, ExperimentConfig};
+use crossbid_metrics::SchedulerKind;
+use crossbid_workload::{JobConfig, WorkerConfig};
+
+fn bench_fig3(c: &mut Criterion) {
+    let (rows, records) = fig3::run(&ExperimentConfig::default());
+    print_artifact("Figure 3 (a/b/c)", &fig3::render(&rows));
+    print_artifact(
+        "Headline summary",
+        &summary::render(&summary::compute(&records)),
+    );
+
+    let cfg = bench_cfg();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    for jc in JobConfig::ALL {
+        for sched in [SchedulerKind::Bidding, SchedulerKind::Baseline] {
+            group.bench_with_input(
+                BenchmarkId::new(jc.name(), sched.name()),
+                &sched,
+                |b, &sched| {
+                    b.iter(|| {
+                        run_cell(
+                            &cfg,
+                            Cell {
+                                worker_config: WorkerConfig::AllEqual,
+                                job_config: jc,
+                                scheduler: sched,
+                            },
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 4 bench: regenerates the per-worker-configuration breakdown,
+//! then times one cell per (worker config, scheduler).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crossbid_bench::{bench_cfg, print_artifact};
+use crossbid_experiments::runner::{run_cell, Cell};
+use crossbid_experiments::{fig4, ExperimentConfig};
+use crossbid_metrics::SchedulerKind;
+use crossbid_workload::{JobConfig, WorkerConfig};
+
+fn bench_fig4(c: &mut Criterion) {
+    let (rows, _) = fig4::run(&ExperimentConfig::default());
+    print_artifact("Figure 4", &fig4::render(&rows));
+
+    let cfg = bench_cfg();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for wc in WorkerConfig::ALL {
+        for sched in [SchedulerKind::Bidding, SchedulerKind::Baseline] {
+            group.bench_with_input(
+                BenchmarkId::new(wc.name(), sched.name()),
+                &sched,
+                |b, &sched| {
+                    b.iter(|| {
+                        run_cell(
+                            &cfg,
+                            Cell {
+                                worker_config: wc,
+                                job_config: JobConfig::Pct80Large,
+                                scheduler: sched,
+                            },
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Tables 1–3 bench: regenerates the non-simulated MSR tables on the
+//! threaded runtime, then times a smoke-scale threaded run per
+//! scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crossbid_bench::print_artifact;
+use crossbid_experiments::tables::{self, MsrExperiment};
+
+fn bench_tables(c: &mut Criterion) {
+    let res = tables::run(&MsrExperiment::default());
+    print_artifact("Tables 1-3", &tables::render(&res));
+
+    let mut group = c.benchmark_group("msr_tables");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("threaded_smoke", "bidding+baseline"),
+        &(),
+        |b, _| {
+            b.iter(|| tables::run(&MsrExperiment::smoke()));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

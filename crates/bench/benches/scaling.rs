@@ -1,0 +1,96 @@
+//! Scalability of the simulator and the schedulers themselves: how
+//! the engine's wall-clock cost and the bidding protocol's message
+//! overhead grow with cluster size and job count. This bounds the
+//! experiment sizes the reproduction can handle and quantifies the
+//! O(workers) message cost of broadcasting every contest (§6.3.2's
+//! overhead discussion, at scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crossbid_bench::print_artifact;
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::{run_workflow, Cluster, EngineConfig, RunMeta, WorkerSpec, Workflow};
+use crossbid_metrics::Table;
+use crossbid_workload::{ArrivalProcess, JobConfig};
+
+fn specs(n: usize) -> Vec<WorkerSpec> {
+    (0..n)
+        .map(|i| {
+            WorkerSpec::builder(format!("w{i}"))
+                .storage_gb(30.0)
+                .build()
+        })
+        .collect()
+}
+
+fn run(n_workers: usize, n_jobs: usize) -> (f64, u64, u64) {
+    let cfg = EngineConfig::default();
+    let mut cluster = Cluster::new(&specs(n_workers), &cfg);
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let stream = JobConfig::AllDiffEqual.generate(
+        7,
+        n_jobs,
+        task,
+        &ArrivalProcess::Poisson {
+            mean_interval_secs: 1.5 * 5.0 / n_workers as f64,
+        },
+    );
+    let t0 = std::time::Instant::now();
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BiddingAllocator::new(),
+        stream.arrivals,
+        &cfg,
+        &RunMeta::default(),
+    );
+    (
+        t0.elapsed().as_secs_f64(),
+        out.events,
+        out.record.control_messages,
+    )
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Artifact: wall-clock and message growth.
+    let mut t = Table::new(
+        "Scaling — bidding on all_diff_equal (simulator cost)",
+        &[
+            "workers",
+            "jobs",
+            "wall (ms)",
+            "events",
+            "ctl msgs",
+            "msgs/job",
+        ],
+    );
+    for (w, j) in [(5usize, 120usize), (10, 500), (25, 1000), (50, 2000)] {
+        let (wall, events, msgs) = run(w, j);
+        t.row([
+            w.to_string(),
+            j.to_string(),
+            format!("{:.1}", wall * 1e3),
+            events.to_string(),
+            msgs.to_string(),
+            format!("{:.1}", msgs as f64 / j as f64),
+        ]);
+    }
+    print_artifact("scaling", &t.render());
+
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for n_workers in [5usize, 20] {
+        group.throughput(Throughput::Elements(200));
+        group.bench_with_input(
+            BenchmarkId::new("workers", n_workers),
+            &n_workers,
+            |b, &n| {
+                b.iter(|| run(n, 200));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench target regenerates its paper artifact once (printed to
+//! stderr, so `cargo bench` output doubles as the reproduction
+//! report) and then times a scaled-down version of the computation
+//! with Criterion.
+
+use crossbid_experiments::ExperimentConfig;
+
+/// The smoke-scale configuration used inside timed loops so that a
+/// bench iteration stays in the milliseconds.
+pub fn bench_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        n_jobs: 30,
+        iterations: 2,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Print a regenerated artifact block with a marker the bench logs can
+/// be grepped for.
+pub fn print_artifact(name: &str, body: &str) {
+    eprintln!("\n===== reproduced artifact: {name} =====\n{body}");
+}

@@ -1,0 +1,188 @@
+//! Bid learning — the paper's §7 future work:
+//!
+//! "providing more intelligence for the worker nodes by enabling them
+//! to keep the historic data of their bids and completed work and use
+//! this data to learn from it and adjust their future bids."
+//!
+//! [`BidCorrector`] keeps an exponentially weighted moving average of
+//! the ratio `actual / estimated` over a worker's completed jobs and
+//! scales future bid estimates by it. A worker whose real machine is
+//! systematically slower (or faster) than its configured speeds —
+//! e.g. one with a throttled noise profile — thus converges to honest
+//! bids even when §6.4's per-speed learning is disabled or the bias
+//! sits outside the speed model (lock contention, I/O scheduling,
+//! co-tenants).
+
+use crossbid_crossflow::{JobView, WorkerPolicy, WorkerView};
+use crossbid_simcore::Ewma;
+
+use crate::estimator::estimate_bid;
+
+/// EWMA-based estimate corrector over completed jobs.
+#[derive(Debug, Clone)]
+pub struct BidCorrector {
+    ewma: Ewma,
+}
+
+impl Default for BidCorrector {
+    fn default() -> Self {
+        Self::new(0.2)
+    }
+}
+
+impl BidCorrector {
+    /// `alpha` is the EWMA weight of each new observation (0 < α ≤ 1).
+    pub fn new(alpha: f64) -> Self {
+        BidCorrector {
+            ewma: Ewma::new(alpha),
+        }
+    }
+
+    /// Fold in one completed job. Degenerate observations (zero or
+    /// non-finite estimates/actuals) are ignored; ratios are clamped
+    /// to `[0.1, 10]` so one outlier cannot poison the factor.
+    pub fn observe(&mut self, est_secs: f64, actual_secs: f64) {
+        if !(est_secs.is_finite() && actual_secs.is_finite()) || est_secs <= 0.0 {
+            return;
+        }
+        self.ewma.push((actual_secs / est_secs).clamp(0.1, 10.0));
+    }
+
+    /// The current correction factor (1.0 before any observation).
+    pub fn factor(&self) -> f64 {
+        self.ewma.value_or(1.0)
+    }
+
+    /// Completed jobs folded in.
+    pub fn observations(&self) -> u64 {
+        self.ewma.count()
+    }
+
+    /// Apply the correction to an estimate.
+    pub fn correct(&self, est_secs: f64) -> f64 {
+        est_secs * self.factor()
+    }
+}
+
+/// The learning variant of the worker-side bidding policy: bids are
+/// Listing 2's estimate scaled by the worker's own historic
+/// actual/estimated ratio.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveBiddingPolicy {
+    corrector: BidCorrector,
+}
+
+impl AdaptiveBiddingPolicy {
+    /// With the default EWMA weight (α = 0.2).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// With a custom EWMA weight.
+    pub fn with_alpha(alpha: f64) -> Self {
+        AdaptiveBiddingPolicy {
+            corrector: BidCorrector::new(alpha),
+        }
+    }
+
+    /// Inspect the underlying corrector.
+    pub fn corrector(&self) -> &BidCorrector {
+        &self.corrector
+    }
+}
+
+impl WorkerPolicy for AdaptiveBiddingPolicy {
+    fn accept_offer(&mut self, _view: &WorkerView, _job: &JobView) -> bool {
+        true
+    }
+
+    fn bid(&mut self, view: &WorkerView, _job: &JobView) -> Option<f64> {
+        Some(self.corrector.correct(estimate_bid(view).total()))
+    }
+
+    fn on_job_finished(&mut self, est_secs: f64, actual_secs: f64) {
+        self.corrector.observe(est_secs, actual_secs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbid_crossflow::{JobId, WorkerId};
+    use crossbid_simcore::SimTime;
+
+    fn view(backlog: f64, fetch: f64, proc: f64) -> WorkerView {
+        WorkerView {
+            id: WorkerId(0),
+            now: SimTime::ZERO,
+            backlog_secs: backlog,
+            has_data: fetch == 0.0,
+            declined_before: false,
+            est_fetch_secs: fetch,
+            est_proc_secs: proc,
+            queue_len: 0,
+        }
+    }
+
+    #[test]
+    fn corrector_starts_neutral() {
+        let c = BidCorrector::default();
+        assert_eq!(c.factor(), 1.0);
+        assert_eq!(c.correct(5.0), 5.0);
+        assert_eq!(c.observations(), 0);
+    }
+
+    #[test]
+    fn corrector_converges_to_true_ratio() {
+        let mut c = BidCorrector::new(0.3);
+        for _ in 0..100 {
+            // Machine is consistently 2x slower than estimated.
+            c.observe(10.0, 20.0);
+        }
+        assert!((c.factor() - 2.0).abs() < 1e-6, "factor {}", c.factor());
+        assert!((c.correct(7.0) - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn first_observation_jumps_then_smooths() {
+        let mut c = BidCorrector::new(0.5);
+        c.observe(10.0, 30.0); // ratio 3
+        assert!((c.factor() - 3.0).abs() < 1e-12);
+        c.observe(10.0, 10.0); // ratio 1
+        assert!((c.factor() - 2.0).abs() < 1e-12, "EWMA midpoint");
+    }
+
+    #[test]
+    fn outliers_are_clamped() {
+        let mut c = BidCorrector::new(1.0);
+        c.observe(1e-9, 1e9);
+        assert!(c.factor() <= 10.0);
+        c.observe(1e9, 1e-9);
+        assert!(c.factor() >= 0.1);
+    }
+
+    #[test]
+    fn garbage_observations_ignored() {
+        let mut c = BidCorrector::default();
+        c.observe(0.0, 5.0);
+        c.observe(f64::NAN, 5.0);
+        c.observe(5.0, f64::INFINITY);
+        assert_eq!(c.observations(), 0);
+        assert_eq!(c.factor(), 1.0);
+    }
+
+    #[test]
+    fn adaptive_policy_scales_bids() {
+        let mut p = AdaptiveBiddingPolicy::with_alpha(1.0);
+        let jv = JobView {
+            id: JobId(1),
+            resource_bytes: 0,
+        };
+        let v = view(2.0, 3.0, 5.0); // plain bid = 10
+        assert_eq!(p.bid(&v, &jv), Some(10.0));
+        // Jobs actually take 1.5x the estimate on this machine.
+        p.on_job_finished(10.0, 15.0);
+        assert_eq!(p.bid(&v, &jv), Some(15.0));
+        assert!((p.corrector().factor() - 1.5).abs() < 1e-12);
+    }
+}

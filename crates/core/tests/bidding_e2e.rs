@@ -1,0 +1,439 @@
+//! End-to-end behaviour of the Bidding Scheduler on the simulation
+//! engine — the qualitative properties §5 and §6.3.2 claim.
+
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::{
+    run_workflow, Arrival, BaselineAllocator, Cluster, EngineConfig, JobSpec, Payload, ResourceRef,
+    RunMeta, TaskId, WorkerId, WorkerSpec, Workflow,
+};
+use crossbid_simcore::{SimDuration, SimTime};
+use crossbid_storage::ObjectId;
+
+fn res(id: u64, mb: u64) -> ResourceRef {
+    ResourceRef {
+        id: ObjectId(id),
+        bytes: mb * 1_000_000,
+    }
+}
+
+fn equal_specs(n: usize) -> Vec<WorkerSpec> {
+    (0..n)
+        .map(|i| {
+            WorkerSpec::builder(format!("w{i}"))
+                .net_mbps(10.0)
+                .rw_mbps(100.0)
+                .storage_gb(20.0)
+                .build()
+        })
+        .collect()
+}
+
+fn sink_workflow() -> (Workflow, TaskId) {
+    let mut wf = Workflow::new();
+    let t = wf.add_sink("scan");
+    (wf, t)
+}
+
+fn arrivals(task: TaskId, jobs: &[(u64, u64)], spacing_ms: u64) -> Vec<Arrival> {
+    jobs.iter()
+        .enumerate()
+        .map(|(i, (rid, mb))| Arrival {
+            at: SimTime::from_millis(i as u64 * spacing_ms),
+            spec: JobSpec::scanning(task, res(*rid, *mb), Payload::Index(*rid)),
+        })
+        .collect()
+}
+
+/// Ideal config but with a real (non-zero) bid window so contests take
+/// effect deterministically.
+fn cfg() -> EngineConfig {
+    EngineConfig::ideal()
+}
+
+#[test]
+fn lowest_bidder_wins_and_jobs_complete() {
+    let mut cluster = Cluster::new(&equal_specs(3), &cfg());
+    let (mut wf, task) = sink_workflow();
+    let jobs: Vec<(u64, u64)> = (0..12).map(|i| (i, 100)).collect();
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BiddingAllocator::new(),
+        arrivals(task, &jobs, 50),
+        &cfg(),
+        &RunMeta::default(),
+    );
+    let r = &out.record;
+    assert_eq!(r.jobs_completed, 12);
+    assert_eq!(r.cache_misses, 12, "all repos distinct, cold caches");
+    assert_eq!(r.contests_fallback, 0, "zero-latency bids always arrive");
+    // With instant control plane every contest closes on the full bid
+    // set, never the window.
+    assert_eq!(r.contests_timed_out, 0);
+}
+
+#[test]
+fn repeat_jobs_route_to_cache_owner() {
+    // Unlike the Baseline (which redundantly clones when the owner is
+    // briefly busy), bidding weighs waiting for the owner against
+    // downloading: for large repos, waiting wins.
+    let mut cluster = Cluster::new(&equal_specs(2), &cfg());
+    cluster
+        .node_mut(WorkerId(0))
+        .store
+        .insert(ObjectId(1), 500_000_000, SimTime::ZERO);
+    let (mut wf, task) = sink_workflow();
+    // Back-to-back jobs on the same 500 MB repo: scan = 5 s each,
+    // download would be 50 s. The owner's growing backlog stays below
+    // the transfer estimate, so all jobs go to worker 0.
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BiddingAllocator::new(),
+        arrivals(task, &[(1, 500), (1, 500), (1, 500), (1, 500)], 10),
+        &cfg(),
+        &RunMeta::default(),
+    );
+    let r = &out.record;
+    assert_eq!(r.jobs_completed, 4);
+    assert_eq!(r.cache_misses, 0, "no redundant clone");
+    assert_eq!(r.data_load_mb, 0.0);
+    assert!(!cluster.node(WorkerId(1)).holds(ObjectId(1)));
+}
+
+#[test]
+fn redundant_clone_happens_only_when_it_pays() {
+    // "redundant resources ... occur only to accelerate overall
+    // execution": if the owner's queue cost exceeds download cost,
+    // another worker wins and clones.
+    let mut cluster = Cluster::new(&equal_specs(2), &cfg());
+    cluster
+        .node_mut(WorkerId(0))
+        .store
+        .insert(ObjectId(1), 100_000_000, SimTime::ZERO);
+    let (mut wf, task) = sink_workflow();
+    // 100 MB repo: scan 1 s, download 10 s. Eleven back-to-back jobs:
+    // by the ~11th job worker 0's backlog (> 10 s) exceeds worker 1's
+    // download+scan (11 s), so worker 1 starts winning and clones once;
+    // afterwards both hold the repo.
+    let jobs: Vec<(u64, u64)> = (0..16).map(|_| (1, 100)).collect();
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BiddingAllocator::new(),
+        arrivals(task, &jobs, 1),
+        &cfg(),
+        &RunMeta::default(),
+    );
+    let r = &out.record;
+    assert_eq!(r.jobs_completed, 16);
+    assert_eq!(
+        r.cache_misses, 1,
+        "exactly one beneficial redundant clone, got {}",
+        r.cache_misses
+    );
+    assert!(cluster.node(WorkerId(1)).holds(ObjectId(1)));
+}
+
+#[test]
+fn heterogeneity_directs_work_to_fast_workers() {
+    // One fast, one slow: the slow worker's higher estimates keep the
+    // compute-intensive jobs away from it ("avoiding the prolongation
+    // of execution due to slower nodes carrying excessive workloads").
+    let specs = vec![
+        WorkerSpec::builder("fast")
+            .net_mbps(100.0)
+            .rw_mbps(500.0)
+            .storage_gb(50.0)
+            .build(),
+        WorkerSpec::builder("slow")
+            .net_mbps(5.0)
+            .rw_mbps(25.0)
+            .storage_gb(50.0)
+            .build(),
+    ];
+    let mut cluster = Cluster::new(&specs, &cfg());
+    let (mut wf, task) = sink_workflow();
+    let jobs: Vec<(u64, u64)> = (0..20).map(|i| (i, 200)).collect();
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BiddingAllocator::new(),
+        arrivals(task, &jobs, 100),
+        &cfg(),
+        &RunMeta::default(),
+    );
+    let r = &out.record;
+    assert_eq!(r.jobs_completed, 20);
+    let fast_cached = cluster.node(WorkerId(0)).cached_objects();
+    let slow_cached = cluster.node(WorkerId(1)).cached_objects();
+    assert!(
+        fast_cached > slow_cached * 2,
+        "fast worker should take the lion's share: fast={fast_cached} slow={slow_cached}"
+    );
+}
+
+#[test]
+fn bidding_beats_baseline_on_repetitive_large_workload() {
+    // The paper's headline: on repetitive large-repository workloads
+    // the Bidding Scheduler yields fewer misses, less data and faster
+    // completion than the Baseline.
+    let run = |alloc: &dyn crossbid_crossflow::Allocator| {
+        let config = EngineConfig::default();
+        // Four average workers plus one severely slow one (the paper's
+        // `one-slow` shape).
+        let mut specs = equal_specs(4);
+        specs.push(
+            WorkerSpec::builder("slow")
+                .net_mbps(2.0)
+                .rw_mbps(10.0)
+                .storage_gb(20.0)
+                .build(),
+        );
+        let mut cluster = Cluster::new(&specs, &config);
+        let (mut wf, task) = sink_workflow();
+        // 80% of jobs need repo 1 (large), the rest are distinct.
+        let jobs: Vec<(u64, u64)> = (0..40)
+            .map(|i| if i % 5 != 0 { (1, 800) } else { (100 + i, 200) })
+            .collect();
+        let meta = RunMeta {
+            seed: 99,
+            ..RunMeta::default()
+        };
+        run_workflow(
+            &mut cluster,
+            &mut wf,
+            alloc,
+            arrivals(task, &jobs, 4000),
+            &config,
+            &meta,
+        )
+        .record
+    };
+    let bid = run(&BiddingAllocator::new());
+    let base = run(&BaselineAllocator);
+    assert!(
+        bid.cache_misses < base.cache_misses,
+        "bidding {} vs baseline {} misses",
+        bid.cache_misses,
+        base.cache_misses
+    );
+    assert!(
+        bid.data_load_mb < base.data_load_mb,
+        "bidding {} vs baseline {} MB",
+        bid.data_load_mb,
+        base.data_load_mb
+    );
+    assert!(
+        bid.makespan_secs < base.makespan_secs,
+        "bidding {} vs baseline {} s",
+        bid.makespan_secs,
+        base.makespan_secs
+    );
+}
+
+#[test]
+fn window_timeout_engages_with_slow_control_plane() {
+    // Control-plane latency larger than the window: bids arrive after
+    // expiry, so contests time out and fall back.
+    let config = EngineConfig {
+        control: crossbid_net::ControlPlane::new(
+            SimDuration::from_millis(800),
+            SimDuration::from_millis(500),
+        ),
+        ..EngineConfig::default()
+    };
+    let alloc = BiddingAllocator::with_window(SimDuration::from_millis(100));
+    let mut cluster = Cluster::new(&equal_specs(3), &config);
+    let (mut wf, task) = sink_workflow();
+    let jobs: Vec<(u64, u64)> = (0..6).map(|i| (i, 50)).collect();
+    let meta = RunMeta {
+        seed: 3,
+        ..RunMeta::default()
+    };
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &alloc,
+        arrivals(task, &jobs, 10),
+        &config,
+        &meta,
+    );
+    let r = &out.record;
+    assert_eq!(r.jobs_completed, 6, "fallback still completes everything");
+    assert_eq!(r.contests_timed_out, 6);
+    assert_eq!(r.contests_fallback, 6);
+}
+
+#[test]
+fn short_circuit_reduces_decision_latency_for_local_jobs() {
+    // §7 future work: close contests early on an essentially-local
+    // bid. With a warm cache, the short-circuit variant should finish
+    // a stream of tiny local jobs no later than the full-window
+    // protocol under a laggy control plane.
+    let mut config = EngineConfig::ideal();
+    config.control =
+        crossbid_net::ControlPlane::new(SimDuration::from_millis(150), SimDuration::ZERO);
+    let run = |alloc: &dyn crossbid_crossflow::Allocator| {
+        let mut cluster = Cluster::new(&equal_specs(3), &config);
+        for w in 0..3 {
+            cluster
+                .node_mut(WorkerId(w))
+                .store
+                .insert(ObjectId(1), 10_000_000, SimTime::ZERO);
+        }
+        let (mut wf, task) = sink_workflow();
+        let jobs: Vec<(u64, u64)> = (0..10).map(|_| (1, 10)).collect();
+        run_workflow(
+            &mut cluster,
+            &mut wf,
+            alloc,
+            arrivals(task, &jobs, 10),
+            &config,
+            &RunMeta::default(),
+        )
+        .record
+    };
+    let normal = run(&BiddingAllocator::new());
+    let sc = run(&BiddingAllocator::with_short_circuit(1.0));
+    assert_eq!(normal.jobs_completed, 10);
+    assert_eq!(sc.jobs_completed, 10);
+    assert!(
+        sc.makespan_secs <= normal.makespan_secs + 1e-9,
+        "short-circuit {} vs normal {}",
+        sc.makespan_secs,
+        normal.makespan_secs
+    );
+}
+
+#[test]
+fn bidding_runs_are_deterministic() {
+    let run = || {
+        let config = EngineConfig::default();
+        let mut cluster = Cluster::new(&equal_specs(4), &config);
+        let (mut wf, task) = sink_workflow();
+        let jobs: Vec<(u64, u64)> = (0..15).map(|i| (i % 4, 150)).collect();
+        let meta = RunMeta {
+            seed: 1234,
+            ..RunMeta::default()
+        };
+        run_workflow(
+            &mut cluster,
+            &mut wf,
+            &BiddingAllocator::new(),
+            arrivals(task, &jobs, 200),
+            &config,
+            &meta,
+        )
+        .record
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits());
+    assert_eq!(a.data_load_mb.to_bits(), b.data_load_mb.to_bits());
+    assert_eq!(a.cache_misses, b.cache_misses);
+    assert_eq!(a.control_messages, b.control_messages);
+}
+
+#[test]
+fn bid_learning_routes_around_a_secretly_throttled_worker() {
+    // §7 future work: one worker's *actual* speeds are a third of its
+    // configured speeds (its noise override), and §6.4 speed learning
+    // is off, so its Listing-2 bids look just as good as everyone
+    // else's. The backlog term self-corrects somewhat (slow workers
+    // keep their estimated backlog longer), but each time the
+    // throttled worker drains it wins another job it should not have.
+    // With bid learning, its corrected bids stay high after the first
+    // few completions and the tail disappears.
+    let run = |alloc: &dyn crossbid_crossflow::Allocator| {
+        let mut specs = equal_specs(2);
+        specs.push(
+            WorkerSpec::builder("throttled")
+                .net_mbps(10.0)
+                .rw_mbps(100.0)
+                .storage_gb(20.0)
+                .noise(crossbid_net::NoiseModel::Uniform { lo: 0.3, hi: 0.32 })
+                .build(),
+        );
+        let config = EngineConfig::ideal();
+        let mut cluster = Cluster::new(&specs, &config);
+        let (mut wf, task) = sink_workflow();
+        // CPU-free scanning jobs, sustained moderate pressure so the
+        // stream lasts long enough for feedback to matter.
+        let jobs: Vec<(u64, u64)> = (0..40).map(|i| (i, 400)).collect();
+        let meta = RunMeta {
+            seed: 77,
+            ..RunMeta::default()
+        };
+        let out = run_workflow(
+            &mut cluster,
+            &mut wf,
+            alloc,
+            arrivals(task, &jobs, 15_000),
+            &config,
+            &meta,
+        );
+        let throttled_share = out
+            .assignments
+            .iter()
+            .filter(|(_, w)| *w == WorkerId(2))
+            .count();
+        (out.record.makespan_secs, throttled_share)
+    };
+    let (t_plain, share_plain) = run(&BiddingAllocator::new());
+    let (t_learn, share_learn) = run(&BiddingAllocator::with_bid_learning());
+    assert!(
+        share_learn < share_plain,
+        "learning should starve the throttled worker: {share_learn} vs {share_plain}"
+    );
+    assert!(
+        t_learn <= t_plain,
+        "learning should not slow the run down: {t_learn:.1}s vs {t_plain:.1}s"
+    );
+}
+
+#[test]
+fn serialized_contests_spread_simultaneous_bursts() {
+    // A burst of jobs arriving at the same instant: with concurrent
+    // contests every bid is computed from the same (stale) backlog, so
+    // the tie-break sends the whole burst to worker 0. Serialized
+    // contests let each assignment land before the next contest's bid
+    // requests go out, spreading the burst.
+    let burst: Vec<Arrival> = (0..6)
+        .map(|i| Arrival {
+            at: SimTime::ZERO,
+            spec: JobSpec::compute(TaskId(0), 10.0, Payload::Index(i)),
+        })
+        .collect();
+    let run = |alloc: &dyn crossbid_crossflow::Allocator| {
+        let config = EngineConfig::ideal();
+        let mut cluster = Cluster::new(&equal_specs(3), &config);
+        let (mut wf, task) = sink_workflow();
+        assert_eq!(task, TaskId(0));
+        let out = run_workflow(
+            &mut cluster,
+            &mut wf,
+            alloc,
+            burst.clone(),
+            &config,
+            &RunMeta::default(),
+        );
+        let w0 = out
+            .assignments
+            .iter()
+            .filter(|(_, w)| *w == WorkerId(0))
+            .count();
+        (out.record.makespan_secs, w0)
+    };
+    let (t_async, w0_async) = run(&BiddingAllocator::new());
+    let (t_serial, w0_serial) = run(&BiddingAllocator::with_serialized_contests());
+    assert_eq!(w0_async, 6, "concurrent contests herd to worker 0");
+    assert!(
+        w0_serial <= 3,
+        "serialized contests spread the burst (w0 got {w0_serial})"
+    );
+    assert!(
+        t_serial < t_async,
+        "spreading wins: {t_serial:.1}s vs {t_async:.1}s"
+    );
+}

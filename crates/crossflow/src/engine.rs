@@ -1,0 +1,765 @@
+//! The discrete-event execution engine.
+//!
+//! Runs a [`Workflow`] on a [`Cluster`] of worker nodes under a given
+//! [`Allocator`], reproducing the paper's distributed system on a
+//! virtual clock:
+//!
+//! * every scheduler control message (offer, reject, bid request,
+//!   bid, assignment, idle notification, completion report) pays a
+//!   sampled control-plane latency;
+//! * fetching a non-local resource pays the worker's data-plane
+//!   transfer time with the configured noise scheme, and is accounted
+//!   as a cache miss plus data load;
+//! * processing pays `work_bytes / (rw_speed × noise) × cpu_factor +
+//!   cpu_secs × cpu_factor`;
+//! * workers execute one job at a time in FIFO order (as §5 states);
+//! * completions flow back through the master, which runs the task's
+//!   logic and feeds any downstream jobs back into allocation.
+//!
+//! The run terminates when every created job (external + downstream)
+//! has completed; the [`RunRecord`] then carries the paper's §6.1
+//! metrics.
+
+use crossbid_metrics::{RunRecord, SchedulerKind};
+use crossbid_net::{ControlPlane, NoiseModel};
+use crossbid_simcore::{EventQueue, RngStream, SeedSequence, SimDuration, SimTime, Welford};
+
+use crate::faults::{FaultEvent, FaultPlan};
+use crate::job::{Arrival, Job, JobId, JobSpec, WorkerId};
+use crate::scheduler::{
+    Allocator, JobView, MasterScheduler, SchedAction, SchedCtx, WorkerHandle, WorkerPolicy,
+    WorkerToMaster, WorkerView,
+};
+use crate::task::TaskCtx;
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::worker::{WorkerActivity, WorkerNode, WorkerSpec};
+use crate::workflow::Workflow;
+
+/// Engine-wide configuration (the testbed parameters of §6.2/§6.3.1).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Control-plane latency model (master ↔ workers via the
+    /// messaging instance).
+    pub control: ControlPlane,
+    /// Per-transfer data-plane setup latency (API round trip + clone
+    /// handshake).
+    pub data_latency: SimDuration,
+    /// Noise scheme applied to actual network and read/write speeds.
+    pub noise: NoiseModel,
+    /// §6.4 speed learning: use historic-average observed speeds for
+    /// estimates instead of nominal configured speeds.
+    pub speed_learning: bool,
+    /// Time a worker spends computing a bid before sending it.
+    pub bid_compute_delay: SimDuration,
+    /// Safety cap on delivered events (guards against scheduler bugs
+    /// that re-arm timers forever).
+    pub max_events: u64,
+    /// Scheduled worker crashes/recoveries (empty in the paper's
+    /// evaluated configuration; see [`crate::faults`]).
+    pub faults: FaultPlan,
+    /// Record a per-job lifecycle trace (see [`crate::trace`]).
+    pub trace: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            control: ControlPlane::evaluation_default(),
+            data_latency: SimDuration::from_millis(300),
+            noise: NoiseModel::evaluation_default(),
+            speed_learning: false,
+            bid_compute_delay: SimDuration::from_millis(25),
+            max_events: 20_000_000,
+            faults: FaultPlan::none(),
+            trace: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration with no latency and no noise — unit tests can
+    /// predict exact timings.
+    pub fn ideal() -> Self {
+        EngineConfig {
+            control: ControlPlane::instant(),
+            data_latency: SimDuration::ZERO,
+            noise: NoiseModel::None,
+            speed_learning: false,
+            bid_compute_delay: SimDuration::ZERO,
+            max_events: 20_000_000,
+            faults: FaultPlan::none(),
+            trace: false,
+        }
+    }
+}
+
+/// The persistent cluster: worker nodes whose caches and learned
+/// speeds survive across iterations of a session (§6.3.1 runs every
+/// configuration "in three iterations" with caches warm).
+pub struct Cluster {
+    nodes: Vec<WorkerNode>,
+}
+
+impl Cluster {
+    /// Build worker nodes from specs under the given engine config.
+    pub fn new(specs: &[WorkerSpec], cfg: &EngineConfig) -> Self {
+        Cluster {
+            nodes: specs
+                .iter()
+                .map(|s| WorkerNode::new(s.clone(), cfg.data_latency, &cfg.noise))
+                .collect(),
+        }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the cluster has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node (tests / assertions).
+    pub fn node(&self, w: WorkerId) -> &WorkerNode {
+        &self.nodes[w.0 as usize]
+    }
+
+    /// Mutable access to a node (fault injection in tests).
+    pub fn node_mut(&mut self, w: WorkerId) -> &mut WorkerNode {
+        &mut self.nodes[w.0 as usize]
+    }
+
+    /// Wipe all caches (cold cluster), keeping learned speeds.
+    pub fn clear_caches(&mut self) {
+        for n in &mut self.nodes {
+            n.store.clear();
+        }
+    }
+}
+
+/// Identification of one run for the record.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// Worker-configuration preset name.
+    pub worker_config: String,
+    /// Job-configuration preset name.
+    pub job_config: String,
+    /// Iteration index within the session.
+    pub iteration: u32,
+    /// Root seed for this run.
+    pub seed: u64,
+}
+
+impl Default for RunMeta {
+    fn default() -> Self {
+        RunMeta {
+            worker_config: "custom".into(),
+            job_config: "custom".into(),
+            iteration: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The §6.1 metrics and bookkeeping.
+    pub record: RunRecord,
+    /// Total simulation events delivered (complexity proxy).
+    pub events: u64,
+    /// Which worker each job was (last) placed on, in placement order.
+    /// Jobs redistributed after a crash appear once per placement.
+    pub assignments: Vec<(JobId, WorkerId)>,
+    /// Per-job lifecycle trace (empty unless
+    /// [`EngineConfig::trace`] was set).
+    pub trace: Trace,
+}
+
+enum MasterToWorker {
+    Assign(Job),
+    Offer(Job),
+    BidRequest(Job),
+}
+
+enum Ev {
+    Arrival(JobSpec),
+    WorkerRecv {
+        worker: WorkerId,
+        msg: MasterToWorker,
+    },
+    MasterRecv {
+        from: WorkerId,
+        msg: WorkerToMaster,
+    },
+    Done {
+        worker: WorkerId,
+        job: Job,
+    },
+    Timer(u64),
+    FetchDone {
+        worker: WorkerId,
+        epoch: u64,
+    },
+    ProcDone {
+        worker: WorkerId,
+        epoch: u64,
+    },
+    /// A scheduled crash or recovery fires.
+    Fault(FaultEvent),
+    /// A stranded or bounced job re-enters allocation.
+    Redispatch(Job),
+}
+
+/// Per-worker execution slot (engine-private runtime state).
+struct Slot {
+    current: Option<Job>,
+    /// When the current job physically started (fetch begin).
+    started: Option<SimTime>,
+}
+
+struct Engine<'a> {
+    cfg: &'a EngineConfig,
+    q: EventQueue<Ev>,
+    nodes: &'a mut Vec<WorkerNode>,
+    slots: Vec<Slot>,
+    active: Vec<bool>,
+    epochs: Vec<u64>,
+    assignments: Vec<(JobId, WorkerId)>,
+    trace: Option<Trace>,
+    policies: Vec<Box<dyn WorkerPolicy>>,
+    master: Box<dyn MasterScheduler>,
+    handles: Vec<WorkerHandle>,
+    workflow: &'a mut Workflow,
+
+    rng_control: RngStream,
+    rng_master: RngStream,
+    rng_workers: Vec<RngStream>,
+
+    next_job_id: u64,
+    next_token: u64,
+    created: u64,
+    completed: u64,
+    arrivals_total: u64,
+    arrivals_seen: u64,
+    control_messages: u64,
+    last_completion: SimTime,
+}
+
+impl<'a> Engine<'a> {
+    fn worker(&mut self, w: WorkerId) -> &mut WorkerNode {
+        &mut self.nodes[w.0 as usize]
+    }
+
+    fn note_trace(&mut self, job: JobId, worker: WorkerId, kind: TraceKind) {
+        let at = self.q.now();
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent {
+                job,
+                worker,
+                kind,
+                at,
+            });
+        }
+    }
+
+    fn alloc_job_id(&mut self) -> JobId {
+        let id = JobId(self.next_job_id);
+        self.next_job_id += 1;
+        id
+    }
+
+    fn send_to_worker(&mut self, worker: WorkerId, msg: MasterToWorker) {
+        self.control_messages += 1;
+        let d = self.cfg.control.delay(&mut self.rng_control);
+        self.q.schedule_in(d, Ev::WorkerRecv { worker, msg });
+    }
+
+    fn send_to_master(&mut self, from: WorkerId, msg: WorkerToMaster, extra: SimDuration) {
+        self.control_messages += 1;
+        let d = self.cfg.control.delay(&mut self.rng_control) + extra;
+        self.q.schedule_in(d, Ev::MasterRecv { from, msg });
+    }
+
+    fn run_master<F: FnOnce(&mut dyn MasterScheduler, &mut SchedCtx)>(&mut self, f: F) {
+        // The master only sees the live roster ("activeWorkers").
+        let active_handles: Vec<WorkerHandle> = self
+            .handles
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.active[*i])
+            .map(|(_, h)| h.clone())
+            .collect();
+        let mut ctx = SchedCtx::new(
+            self.q.now(),
+            &active_handles,
+            &mut self.rng_master,
+            &mut self.next_token,
+        );
+        f(self.master.as_mut(), &mut ctx);
+        let actions = ctx.take_actions();
+        for action in actions {
+            match action {
+                SchedAction::Assign { worker, job } => {
+                    self.send_to_worker(worker, MasterToWorker::Assign(job));
+                }
+                SchedAction::Offer { worker, job } => {
+                    self.send_to_worker(worker, MasterToWorker::Offer(job));
+                }
+                SchedAction::BroadcastBidRequest { job } => {
+                    for i in 0..self.handles.len() {
+                        if self.active[i] {
+                            self.send_to_worker(
+                                WorkerId(i as u32),
+                                MasterToWorker::BidRequest(job.clone()),
+                            );
+                        }
+                    }
+                }
+                SchedAction::Timer { delay, token } => {
+                    self.q.schedule_in(delay, Ev::Timer(token));
+                }
+            }
+        }
+    }
+
+    fn view_for(&self, w: WorkerId, job: &Job) -> WorkerView {
+        let node = &self.nodes[w.0 as usize];
+        WorkerView {
+            id: w,
+            now: self.q.now(),
+            backlog_secs: node.backlog_secs(),
+            has_data: node.has_data(job),
+            declined_before: node.declined.contains(&job.id),
+            est_fetch_secs: node.est_fetch_secs(job, self.cfg.speed_learning),
+            est_proc_secs: node.est_proc_secs(job, self.cfg.speed_learning),
+            queue_len: node.queue.len(),
+        }
+    }
+
+    fn enqueue_on_worker(&mut self, w: WorkerId, job: Job) {
+        let now = self.q.now();
+        let learning = self.cfg.speed_learning;
+        self.assignments.push((job.id, w));
+        self.note_trace(job.id, w, TraceKind::Queued);
+        let node = self.worker(w);
+        let est = node.est_fetch_secs(&job, learning) + node.est_proc_secs(&job, learning);
+        node.enqueue(job, now, est);
+        self.maybe_start(w);
+    }
+
+    fn maybe_start(&mut self, w: WorkerId) {
+        let now = self.q.now();
+        if self.nodes[w.0 as usize].activity != WorkerActivity::Idle {
+            return;
+        }
+        let Some(job) = self.nodes[w.0 as usize].queue.pop_front() else {
+            return;
+        };
+        self.slots[w.0 as usize].started = Some(now);
+        self.note_trace(job.id, w, TraceKind::Started);
+        let node = &mut self.nodes[w.0 as usize];
+        node.note_start(job.id, now);
+        node.busy.set(now, 1.0);
+        // Resolve the data dependency.
+        let needs_fetch = match job.resource {
+            None => false,
+            Some(r) => !node.store.lookup(r.id, now),
+        };
+        if needs_fetch {
+            let r = job.resource.expect("needs_fetch implies resource");
+            node.activity = WorkerActivity::Fetching(job.id);
+            let rng = &mut self.rng_workers[w.0 as usize];
+            let outcome = node.link.transfer(r.bytes, rng);
+            node.net_tracker.observe(outcome.achieved_mb_per_sec());
+            self.slots[w.0 as usize].current = Some(job);
+            let epoch = self.epochs[w.0 as usize];
+            self.q
+                .schedule_in(outcome.duration, Ev::FetchDone { worker: w, epoch });
+        } else {
+            self.slots[w.0 as usize].current = Some(job);
+            self.begin_processing(w);
+        }
+    }
+
+    fn begin_processing(&mut self, w: WorkerId) {
+        let job = self.slots[w.0 as usize]
+            .current
+            .clone()
+            .expect("processing without a current job");
+        let node = &mut self.nodes[w.0 as usize];
+        node.activity = WorkerActivity::Processing(job.id);
+        let rng = &mut self.rng_workers[w.0 as usize];
+        let m = node.rw_noise.sample(rng);
+        let rw = node.spec.rw.scaled(m);
+        let scan = rw.time_for(job.work_bytes);
+        if job.work_bytes > 0 && !scan.is_zero() && scan != SimDuration::MAX {
+            let mbps = job.work_bytes as f64 / 1e6 / scan.as_secs_f64();
+            node.rw_tracker.observe(mbps);
+        }
+        let total = scan.mul_f64(node.spec.cpu_factor)
+            + SimDuration::from_secs_f64(job.cpu_secs * node.spec.cpu_factor);
+        let epoch = self.epochs[w.0 as usize];
+        self.q.schedule_in(total, Ev::ProcDone { worker: w, epoch });
+    }
+
+    /// Return a job to the master through the monitoring layer: it
+    /// re-enters allocation after the fault-detection delay. If no
+    /// worker is alive, keep retrying — the job waits for a recovery.
+    fn bounce(&mut self, job: Job) {
+        self.q
+            .schedule_in(self.cfg.faults.detection_delay, Ev::Redispatch(job));
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrival(spec) => {
+                self.arrivals_seen += 1;
+                let id = self.alloc_job_id();
+                self.created += 1;
+                let job = spec.into_job(id);
+                self.run_master(|m, ctx| m.on_job(job, ctx));
+            }
+            Ev::WorkerRecv { worker, msg } => match msg {
+                _ if !self.active[worker.0 as usize] => {
+                    // The addressee is dead. Assignments and offers
+                    // bounce back through the monitoring layer; a bid
+                    // request simply goes unanswered (the contest
+                    // resolves by window timeout).
+                    match msg {
+                        MasterToWorker::Assign(job) | MasterToWorker::Offer(job) => {
+                            self.bounce(job)
+                        }
+                        MasterToWorker::BidRequest(_) => {}
+                    }
+                }
+                MasterToWorker::Assign(job) => {
+                    self.enqueue_on_worker(worker, job);
+                }
+                MasterToWorker::Offer(job) => {
+                    let view = self.view_for(worker, &job);
+                    let jv = JobView {
+                        id: job.id,
+                        resource_bytes: job.resource_bytes(),
+                    };
+                    let accept = self.policies[worker.0 as usize].accept_offer(&view, &jv);
+                    if accept {
+                        self.enqueue_on_worker(worker, job);
+                    } else {
+                        self.worker(worker).declined.insert(job.id);
+                        self.send_to_master(
+                            worker,
+                            WorkerToMaster::Reject { job },
+                            SimDuration::ZERO,
+                        );
+                    }
+                }
+                MasterToWorker::BidRequest(job) => {
+                    let view = self.view_for(worker, &job);
+                    let jv = JobView {
+                        id: job.id,
+                        resource_bytes: job.resource_bytes(),
+                    };
+                    if let Some(est) = self.policies[worker.0 as usize].bid(&view, &jv) {
+                        self.send_to_master(
+                            worker,
+                            WorkerToMaster::Bid {
+                                job: job.id,
+                                estimate_secs: est,
+                            },
+                            self.cfg.bid_compute_delay,
+                        );
+                    }
+                }
+            },
+            Ev::MasterRecv { from, msg } => {
+                self.run_master(|m, ctx| m.on_worker_message(from, msg, ctx));
+            }
+            Ev::Timer(token) => {
+                self.run_master(|m, ctx| m.on_timer(token, ctx));
+            }
+            Ev::FetchDone { worker, epoch } => {
+                if !self.active[worker.0 as usize] || epoch != self.epochs[worker.0 as usize] {
+                    return;
+                }
+                let now = self.q.now();
+                let job = self.slots[worker.0 as usize]
+                    .current
+                    .clone()
+                    .expect("fetch without job");
+                let r = job.resource.expect("fetch without resource");
+                self.worker(worker).store.insert(r.id, r.bytes, now);
+                self.note_trace(job.id, worker, TraceKind::Fetched);
+                self.begin_processing(worker);
+            }
+            Ev::ProcDone { worker, epoch } => {
+                if !self.active[worker.0 as usize] || epoch != self.epochs[worker.0 as usize] {
+                    return;
+                }
+                let now = self.q.now();
+                let job = self.slots[worker.0 as usize]
+                    .current
+                    .take()
+                    .expect("done without job");
+                let started = self.slots[worker.0 as usize]
+                    .started
+                    .take()
+                    .expect("done without start time");
+                let est = self.nodes[worker.0 as usize]
+                    .unfinished_est
+                    .get(&job.id)
+                    .copied()
+                    .unwrap_or(0.0);
+                let actual = now.saturating_since(started).as_secs_f64();
+                self.policies[worker.0 as usize].on_job_finished(est, actual);
+                self.note_trace(job.id, worker, TraceKind::Finished);
+                {
+                    let node = self.worker(worker);
+                    node.finish(job.id);
+                    node.activity = WorkerActivity::Idle;
+                    node.busy.set(now, 0.0);
+                }
+                // Report the result to the master (Listing 2 line 14):
+                // one control message carrying the completed job.
+                self.control_messages += 1;
+                let d = self.cfg.control.delay(&mut self.rng_control);
+                self.q.schedule_in(d, Ev::Done { worker, job });
+                // If the queue drained, the worker announces idleness
+                // (the Baseline's next pull).
+                if self.nodes[worker.0 as usize].queue.is_empty() {
+                    self.send_to_master(worker, WorkerToMaster::Idle, SimDuration::ZERO);
+                }
+                self.maybe_start(worker);
+            }
+            Ev::Done { worker, job } => {
+                self.complete_at_master(worker, job);
+            }
+            Ev::Redispatch(job) => {
+                if self.active.iter().any(|a| *a) {
+                    self.run_master(|m, ctx| m.on_job(job, ctx));
+                } else {
+                    // Nobody alive: wait for a recovery.
+                    self.bounce(job);
+                }
+            }
+            Ev::Fault(FaultEvent::Crash(w)) => self.crash(w),
+            Ev::Fault(FaultEvent::Recover(w)) => self.recover(w),
+        }
+    }
+
+    fn crash(&mut self, w: WorkerId) {
+        if !self.active[w.0 as usize] {
+            return;
+        }
+        let now = self.q.now();
+        self.active[w.0 as usize] = false;
+        self.epochs[w.0 as usize] += 1;
+        let mut stranded: Vec<Job> = Vec::new();
+        if let Some(job) = self.slots[w.0 as usize].current.take() {
+            stranded.push(job);
+        }
+        {
+            let node = self.worker(w);
+            stranded.extend(node.queue.drain(..));
+            node.unfinished_est.clear();
+            node.enqueued_at.clear();
+            node.activity = WorkerActivity::Idle;
+            node.busy.set(now, 0.0);
+            // The disk dies with the instance; accounting of what was
+            // downloaded before the crash is retained.
+            node.store.clear();
+        }
+        for job in stranded {
+            self.bounce(job);
+        }
+        self.run_master(|m, ctx| m.on_worker_failed(w, ctx));
+    }
+
+    fn recover(&mut self, w: WorkerId) {
+        if self.active[w.0 as usize] {
+            return;
+        }
+        self.active[w.0 as usize] = true;
+        self.epochs[w.0 as usize] += 1;
+        self.run_master(|m, ctx| m.on_worker_recovered(w, ctx));
+        // The fresh worker announces itself idle (the initial pull).
+        self.send_to_master(w, WorkerToMaster::Idle, SimDuration::ZERO);
+    }
+
+    fn complete_at_master(&mut self, worker: WorkerId, job: Job) {
+        let now = self.q.now();
+        self.completed += 1;
+        self.last_completion = self.last_completion.max(now);
+        // Run the task logic, spawning downstream jobs.
+        let mut out: Vec<JobSpec> = Vec::new();
+        let ctx = TaskCtx { now, worker };
+        self.workflow
+            .logic_mut(job.task)
+            .process(&job, &ctx, &mut out);
+        for spec in out {
+            debug_assert!(self.workflow.contains(spec.task), "unknown task target");
+            debug_assert!(
+                self.workflow.allows(job.task, spec.task),
+                "task {:?} emitted a job for {:?} outside the declared channels",
+                job.task,
+                spec.task
+            );
+            let id = self.alloc_job_id();
+            self.created += 1;
+            let new_job = spec.into_job(id);
+            self.run_master(|m, c| m.on_job(new_job, c));
+        }
+        self.run_master(|m, c| m.on_job_done(worker, &job, c));
+    }
+}
+
+/// Execute `arrivals` through `workflow` on `cluster` under
+/// `allocator`. Per-run worker state is reset first; caches and
+/// learned speeds persist (use a fresh [`Cluster`] for a cold run).
+pub fn run_workflow(
+    cluster: &mut Cluster,
+    workflow: &mut Workflow,
+    allocator: &dyn Allocator,
+    arrivals: Vec<Arrival>,
+    cfg: &EngineConfig,
+    meta: &RunMeta,
+) -> RunOutput {
+    assert!(!cluster.is_empty(), "cannot run on an empty cluster");
+    for n in &mut cluster.nodes {
+        n.reset_for_iteration();
+    }
+    let seq = SeedSequence::new(meta.seed);
+    let n_workers = cluster.nodes.len();
+    let handles: Vec<WorkerHandle> = cluster
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| WorkerHandle {
+            id: WorkerId(i as u32),
+            name: n.spec.name.clone(),
+        })
+        .collect();
+
+    let mut q = EventQueue::new();
+    let arrivals_total = arrivals.len() as u64;
+    for a in arrivals {
+        q.schedule_at(a.at, Ev::Arrival(a.spec));
+    }
+    for (at, ev) in cfg.faults.events() {
+        q.schedule_at(*at, Ev::Fault(*ev));
+    }
+    // Workers announce themselves idle at startup (the initial pull).
+    for i in 0..n_workers {
+        q.schedule_at(
+            SimTime::ZERO,
+            Ev::MasterRecv {
+                from: WorkerId(i as u32),
+                msg: WorkerToMaster::Idle,
+            },
+        );
+    }
+
+    let mut engine = Engine {
+        cfg,
+        q,
+        nodes: &mut cluster.nodes,
+        slots: (0..n_workers)
+            .map(|_| Slot {
+                current: None,
+                started: None,
+            })
+            .collect(),
+        active: vec![true; n_workers],
+        epochs: vec![0; n_workers],
+        assignments: Vec::new(),
+        trace: if cfg.trace { Some(Trace::new()) } else { None },
+        policies: (0..n_workers).map(|_| allocator.worker_policy()).collect(),
+        master: allocator.master(),
+        handles,
+        workflow,
+        rng_control: seq.stream(0),
+        rng_master: seq.stream(1),
+        rng_workers: (0..n_workers).map(|i| seq.stream(100 + i as u64)).collect(),
+        next_job_id: 0,
+        next_token: 0,
+        created: 0,
+        completed: 0,
+        arrivals_total,
+        arrivals_seen: 0,
+        control_messages: 0,
+        last_completion: SimTime::ZERO,
+    };
+
+    while let Some((_t, ev)) = engine.q.pop() {
+        engine.handle(ev);
+        if engine.arrivals_seen == engine.arrivals_total
+            && engine.created > 0
+            && engine.completed == engine.created
+        {
+            break;
+        }
+        if engine.q.events_delivered() >= cfg.max_events {
+            panic!(
+                "engine exceeded max_events={} (scheduler livelock?)",
+                cfg.max_events
+            );
+        }
+    }
+    assert_eq!(
+        engine.completed, engine.created,
+        "conservation violated: {} created vs {} completed",
+        engine.created, engine.completed
+    );
+
+    let makespan = engine.last_completion;
+    let events = engine.q.events_delivered();
+    let control_messages = engine.control_messages;
+    let completed = engine.completed;
+    let sched_stats = engine.master.stats();
+    let assignments = std::mem::take(&mut engine.assignments);
+    let trace = engine.trace.take().unwrap_or_default();
+    let kind: SchedulerKind = allocator.kind();
+    drop(engine);
+
+    let mut misses = 0;
+    let mut hits = 0;
+    let mut evictions = 0;
+    let mut bytes = 0u64;
+    let mut wait = Welford::new();
+    let mut busy = Vec::with_capacity(n_workers);
+    for n in &cluster.nodes {
+        let s = n.store.stats();
+        misses += s.misses;
+        hits += s.hits;
+        evictions += s.evictions;
+        bytes += s.bytes_admitted;
+        wait.merge(&n.wait);
+        busy.push(n.busy.average(makespan));
+    }
+
+    RunOutput {
+        record: RunRecord {
+            scheduler: kind,
+            worker_config: meta.worker_config.clone(),
+            job_config: meta.job_config.clone(),
+            iteration: meta.iteration,
+            seed: meta.seed,
+            makespan_secs: makespan.as_secs_f64(),
+            data_load_mb: bytes as f64 / 1e6,
+            cache_misses: misses,
+            cache_hits: hits,
+            evictions,
+            jobs_completed: completed,
+            control_messages,
+            contests_timed_out: sched_stats.contests_timed_out,
+            contests_fallback: sched_stats.contests_fallback,
+            mean_queue_wait_secs: wait.mean(),
+            worker_busy_frac: busy,
+        },
+        events,
+        assignments,
+        trace,
+    }
+}

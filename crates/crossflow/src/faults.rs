@@ -1,0 +1,116 @@
+//! Fault injection — the failure modes the paper defers to future
+//! work.
+//!
+//! §5: "in the initial concept of the Bidding Scheduler, we did not
+//! address the issue of fault tolerance. As a result, there are
+//! currently no specific policies in place to handle situations such
+//! as a worker dying after winning a bid or redistributing the
+//! remaining jobs if a worker becomes unavailable."
+//!
+//! This module supplies exactly those situations, plus the minimal
+//! recovery machinery any deployment would have:
+//!
+//! * a [`FaultPlan`] schedules worker crashes and (optionally)
+//!   recoveries at virtual instants;
+//! * a crashed worker loses its queue, its in-flight job and its local
+//!   store (the disk dies with the instance);
+//! * jobs stranded on a dead worker are *redistributed*: a monitoring
+//!   layer returns them to the master after a detection delay and they
+//!   re-enter allocation;
+//! * an assignment addressed to a dead worker bounces back the same
+//!   way;
+//! * a contest opened against the old roster simply resolves via the
+//!   1-second window with the bids that still arrive — the paper's
+//!   timeout mechanism doubles as failure masking;
+//! * recovered workers rejoin with a cold cache and announce
+//!   themselves idle.
+
+use crossbid_simcore::{SimDuration, SimTime};
+
+use crate::job::WorkerId;
+
+/// One scheduled fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The worker crashes: queue, in-flight job and local store lost.
+    Crash(WorkerId),
+    /// The worker rejoins with a cold cache.
+    Recover(WorkerId),
+}
+
+/// A deterministic schedule of worker faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, FaultEvent)>,
+    /// How long the monitoring layer takes to notice a dead worker and
+    /// return its stranded jobs to the master.
+    pub detection_delay: SimDuration,
+}
+
+impl FaultPlan {
+    /// No faults (the paper's evaluated configuration).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Start building a plan with the default 2 s detection delay.
+    pub fn new() -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            detection_delay: SimDuration::from_secs(2),
+        }
+    }
+
+    /// Schedule a crash.
+    pub fn crash_at(mut self, at: SimTime, worker: WorkerId) -> Self {
+        self.events.push((at, FaultEvent::Crash(worker)));
+        self
+    }
+
+    /// Schedule a recovery.
+    pub fn recover_at(mut self, at: SimTime, worker: WorkerId) -> Self {
+        self.events.push((at, FaultEvent::Recover(worker)));
+        self
+    }
+
+    /// Override the detection delay.
+    pub fn with_detection_delay(mut self, d: SimDuration) -> Self {
+        self.detection_delay = d;
+        self
+    }
+
+    /// All scheduled events.
+    pub fn events(&self) -> &[(SimTime, FaultEvent)] {
+        &self.events
+    }
+
+    /// True iff no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_events() {
+        let plan = FaultPlan::new()
+            .crash_at(SimTime::from_secs(10), WorkerId(2))
+            .recover_at(SimTime::from_secs(60), WorkerId(2))
+            .with_detection_delay(SimDuration::from_secs(5));
+        assert_eq!(plan.events().len(), 2);
+        assert_eq!(plan.detection_delay, SimDuration::from_secs(5));
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.events()[0],
+            (SimTime::from_secs(10), FaultEvent::Crash(WorkerId(2)))
+        );
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Jobs — the unit of allocation.
+//!
+//! The paper defines a job as "a piece of data required to process a
+//! task" (§2): e.g. the pair *(library `l1`, repository `r1`)* for the
+//! `RepositorySearcher` task. A [`Job`] therefore carries an
+//! application payload, names the [`TaskId`] that will process it, and
+//! optionally references the data [`ResourceRef`] (the repository) the
+//! processing worker must hold locally.
+
+use crossbid_simcore::SimTime;
+use crossbid_storage::ObjectId;
+use serde::{Deserialize, Serialize};
+
+/// Unique job identifier, allocated by the master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// Identifier of a task (processing stage) within a workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+/// Identifier of a worker node (zero-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub u32);
+
+/// The data resource a job needs locally (a repository clone in the
+/// MSR scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourceRef {
+    /// Identity of the resource in worker stores.
+    pub id: ObjectId,
+    /// Size in bytes (drives both transfer and processing cost).
+    pub bytes: u64,
+}
+
+/// Small application payload carried through the pipeline. Rich
+/// application state lives in task logic; the payload only needs to
+/// identify what to do (e.g. which library × repository pair).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum Payload {
+    /// No payload.
+    #[default]
+    None,
+    /// A single index (e.g. a library id).
+    Index(u64),
+    /// A pair of indices (e.g. library id × repository id).
+    Pair(u64, u64),
+    /// A short text payload.
+    Text(String),
+}
+
+/// A schedulable job instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique id (allocated by the master when the job enters the
+    /// system).
+    pub id: JobId,
+    /// Task that will process this job.
+    pub task: TaskId,
+    /// Data the job needs locally, if any.
+    pub resource: Option<ResourceRef>,
+    /// Bytes the processing step reads/writes (usually the resource
+    /// size — "the processing time ... could be computed by dividing
+    /// the repository size by the current read/write speed", §5).
+    pub work_bytes: u64,
+    /// Fixed CPU seconds on a nominal-speed worker, independent of
+    /// data size (e.g. API query time).
+    pub cpu_secs: f64,
+    /// Application payload.
+    pub payload: Payload,
+}
+
+impl Job {
+    /// Bytes that would need to be transferred if the resource is not
+    /// local (0 for resource-free jobs).
+    pub fn resource_bytes(&self) -> u64 {
+        self.resource.map_or(0, |r| r.bytes)
+    }
+}
+
+/// A job *description* produced by the application (task logic or
+/// workload generator) before the master assigns it an id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Target task.
+    pub task: TaskId,
+    /// Required resource, if any.
+    pub resource: Option<ResourceRef>,
+    /// Bytes processed.
+    pub work_bytes: u64,
+    /// Fixed CPU seconds.
+    pub cpu_secs: f64,
+    /// Application payload.
+    pub payload: Payload,
+}
+
+impl JobSpec {
+    /// A job for `task` that needs `resource` locally and whose
+    /// processing scans the whole resource.
+    pub fn scanning(task: TaskId, resource: ResourceRef, payload: Payload) -> Self {
+        JobSpec {
+            task,
+            resource: Some(resource),
+            work_bytes: resource.bytes,
+            cpu_secs: 0.0,
+            payload,
+        }
+    }
+
+    /// A pure-CPU job with no data dependency.
+    pub fn compute(task: TaskId, cpu_secs: f64, payload: Payload) -> Self {
+        JobSpec {
+            task,
+            resource: None,
+            work_bytes: 0,
+            cpu_secs,
+            payload,
+        }
+    }
+
+    /// Materialize into a [`Job`] with the given id.
+    pub fn into_job(self, id: JobId) -> Job {
+        Job {
+            id,
+            task: self.task,
+            resource: self.resource,
+            work_bytes: self.work_bytes,
+            cpu_secs: self.cpu_secs,
+            payload: self.payload,
+        }
+    }
+}
+
+/// An externally arriving job: enters the master at `at`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Virtual arrival instant.
+    pub at: SimTime,
+    /// What arrives.
+    pub spec: JobSpec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(id: u64, bytes: u64) -> ResourceRef {
+        ResourceRef {
+            id: ObjectId(id),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn scanning_spec_scans_whole_resource() {
+        let s = JobSpec::scanning(TaskId(1), res(9, 5000), Payload::Pair(1, 9));
+        assert_eq!(s.work_bytes, 5000);
+        assert_eq!(s.resource.unwrap().id, ObjectId(9));
+        let j = s.into_job(JobId(3));
+        assert_eq!(j.id, JobId(3));
+        assert_eq!(j.resource_bytes(), 5000);
+    }
+
+    #[test]
+    fn compute_spec_has_no_resource() {
+        let s = JobSpec::compute(TaskId(0), 2.5, Payload::Index(4));
+        assert!(s.resource.is_none());
+        assert_eq!(s.work_bytes, 0);
+        let j = s.into_job(JobId(0));
+        assert_eq!(j.resource_bytes(), 0);
+        assert_eq!(j.cpu_secs, 2.5);
+    }
+
+    #[test]
+    fn payload_default_is_none() {
+        assert_eq!(Payload::default(), Payload::None);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(JobId(1) < JobId(2));
+        assert!(WorkerId(0) < WorkerId(4));
+        assert!(TaskId(0) < TaskId(1));
+    }
+}

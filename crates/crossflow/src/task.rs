@@ -1,0 +1,164 @@
+//! Tasks — the processing stages of a workflow.
+//!
+//! A task's [`TaskLogic`] is invoked when a worker finishes the
+//! physical part of a job (fetching + scanning the resource); it
+//! decides what flows downstream, mirroring Crossflow's
+//! `process(job) -> newJob` step (Listing 2, line 11). Logic objects
+//! may accumulate state (e.g. the MSR co-occurrence matrix) which the
+//! application retrieves after the run via [`TaskLogic::as_any_mut`].
+
+use std::any::Any;
+
+use crossbid_simcore::SimTime;
+
+use crate::job::{Job, JobSpec, Payload, WorkerId};
+
+/// Context handed to task logic for each processed job.
+pub struct TaskCtx {
+    /// Virtual time at which processing completed.
+    pub now: SimTime,
+    /// The worker that executed the job.
+    pub worker: WorkerId,
+}
+
+/// Application logic of one task.
+pub trait TaskLogic: Send {
+    /// Process a finished job; push downstream jobs into `out`.
+    fn process(&mut self, job: &Job, ctx: &TaskCtx, out: &mut Vec<JobSpec>);
+
+    /// Access accumulated state after a run (sinks, counters).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A terminal task that records everything it receives. The engine
+/// counts a workflow as complete when all jobs (including sink jobs)
+/// have been processed.
+#[derive(Debug, Default)]
+pub struct SinkTask {
+    outputs: Vec<CollectedOutputs>,
+}
+
+/// One record collected by a [`SinkTask`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectedOutputs {
+    /// Payload of the job that reached the sink.
+    pub payload: Payload,
+    /// When it arrived.
+    pub at: SimTime,
+    /// Which worker produced it.
+    pub worker: WorkerId,
+}
+
+impl SinkTask {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Everything received so far.
+    pub fn outputs(&self) -> &[CollectedOutputs] {
+        &self.outputs
+    }
+
+    /// Number of records received.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// True iff nothing was received.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// Drop collected records (between session iterations).
+    pub fn clear(&mut self) {
+        self.outputs.clear();
+    }
+}
+
+impl TaskLogic for SinkTask {
+    fn process(&mut self, job: &Job, ctx: &TaskCtx, _out: &mut Vec<JobSpec>) {
+        self.outputs.push(CollectedOutputs {
+            payload: job.payload.clone(),
+            at: ctx.now,
+            worker: ctx.worker,
+        });
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A stateless mapping task driven by a function — convenient for
+/// tests and examples.
+pub struct FnTask<F>(pub F);
+
+impl<F> TaskLogic for FnTask<F>
+where
+    F: FnMut(&Job, &TaskCtx, &mut Vec<JobSpec>) + Send + 'static,
+{
+    fn process(&mut self, job: &Job, ctx: &TaskCtx, out: &mut Vec<JobSpec>) {
+        (self.0)(job, ctx, out)
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobId, TaskId};
+
+    fn job(payload: Payload) -> Job {
+        Job {
+            id: JobId(1),
+            task: TaskId(0),
+            resource: None,
+            work_bytes: 0,
+            cpu_secs: 0.0,
+            payload,
+        }
+    }
+
+    fn ctx() -> TaskCtx {
+        TaskCtx {
+            now: SimTime::from_secs(3),
+            worker: WorkerId(2),
+        }
+    }
+
+    #[test]
+    fn sink_collects() {
+        let mut sink = SinkTask::new();
+        let mut out = Vec::new();
+        sink.process(&job(Payload::Index(7)), &ctx(), &mut out);
+        assert!(out.is_empty(), "sinks emit nothing downstream");
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.outputs()[0].payload, Payload::Index(7));
+        assert_eq!(sink.outputs()[0].worker, WorkerId(2));
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn fn_task_maps() {
+        let mut t = FnTask(|job: &Job, _ctx: &TaskCtx, out: &mut Vec<JobSpec>| {
+            if let Payload::Index(i) = job.payload {
+                out.push(JobSpec::compute(TaskId(1), 0.0, Payload::Index(i * 2)));
+            }
+        });
+        let mut out = Vec::new();
+        t.process(&job(Payload::Index(21)), &ctx(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, Payload::Index(42));
+    }
+
+    #[test]
+    fn sink_downcasts() {
+        let mut logic: Box<dyn TaskLogic> = Box::new(SinkTask::new());
+        assert!(logic.as_any_mut().downcast_mut::<SinkTask>().is_some());
+    }
+}

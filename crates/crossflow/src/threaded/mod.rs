@@ -1,0 +1,76 @@
+//! The real-threaded runtime — the paper's §6.4 "non-simulated"
+//! configuration.
+//!
+//! Where [`engine`](crate::engine) replays the distributed system on a
+//! virtual clock, this runtime actually *is* a concurrent system:
+//!
+//! * one **master thread** running the scheduler (bidding contests
+//!   with real wall-clock deadlines, or the Baseline's pull protocol);
+//! * per worker, an **executor thread** that processes jobs serially
+//!   (transfer and scan durations are realized as scaled
+//!   `thread::sleep`s) and a **bidder thread** that answers bid
+//!   requests and offers concurrently — the paper: "we envision the
+//!   bidding process to be handled by a separate thread";
+//! * crossbeam channels as the messaging fabric.
+//!
+//! Durations are *virtual seconds* scaled by
+//! [`ThreadedConfig::time_scale`] into real sleeps, so a 3000-virtual-
+//! second MSR run takes ~3 real seconds at the default scale. Races,
+//! message interleavings and late bids are real, which is exactly what
+//! this runtime exists to exercise; workers learn their speeds from
+//! observed transfers (historic averages, §6.4).
+
+mod master;
+mod worker;
+
+pub use master::{run_threaded, ThreadedConfig, ThreadedScheduler};
+
+use crate::job::Job;
+
+/// Messages workers send to the threaded master.
+#[derive(Debug)]
+pub(crate) enum ToMaster {
+    /// A bid for an open contest.
+    Bid {
+        /// Bidding worker.
+        worker: u32,
+        /// Contested job.
+        job: crate::job::JobId,
+        /// Estimated completion seconds (virtual).
+        estimate_secs: f64,
+    },
+    /// Baseline: the worker declined the offered job.
+    Reject {
+        /// Declining worker.
+        worker: u32,
+        /// The job, returned for someone else.
+        job: Job,
+    },
+    /// The worker's executor has drained its queue.
+    Idle {
+        /// Idle worker.
+        worker: u32,
+    },
+    /// A job finished; results flow back through the master.
+    Done {
+        /// Executing worker.
+        worker: u32,
+        /// The finished job.
+        job: Job,
+        /// Virtual seconds the job waited in the worker queue.
+        wait_secs: f64,
+    },
+}
+
+/// Messages the threaded master sends to a worker's bidder thread.
+#[derive(Debug)]
+pub(crate) enum ToWorker {
+    /// Estimate and bid on this job.
+    BidRequest(Job),
+    /// Baseline: consider this job (may reject once).
+    Offer(Job),
+    /// You won / were assigned: queue it for execution.
+    Assign(Job),
+    /// Run terminated; exit threads.
+    Shutdown,
+}

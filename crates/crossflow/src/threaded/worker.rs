@@ -1,0 +1,309 @@
+//! Worker-side threads of the threaded runtime.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{Receiver, Sender};
+use crossbid_net::noise::NoiseSampler;
+use crossbid_net::{Bandwidth, NoiseModel};
+use crossbid_simcore::{RngStream, SimTime};
+use crossbid_storage::LocalStore;
+use parking_lot::Mutex;
+
+use crate::job::Job;
+use crate::worker::{SpeedTracker, WorkerSpec};
+
+use super::{ToMaster, ToWorker};
+
+/// State shared between a worker's bidder and executor threads —
+/// "their internal state, i.e. their opinions".
+pub(crate) struct WorkerShared {
+    pub spec: WorkerSpec,
+    pub store: LocalStore,
+    /// Sum of estimated virtual seconds of accepted-but-unfinished
+    /// jobs (`totalCostOfUnfinishedJobs`).
+    pub committed_secs: f64,
+    /// Jobs declined once (Baseline bookkeeping).
+    pub declined: std::collections::HashSet<crate::job::JobId>,
+    /// Observed network speeds (historic average, §6.4).
+    pub net_tracker: SpeedTracker,
+    /// Observed read/write speeds (historic average, §6.4).
+    pub rw_tracker: SpeedTracker,
+    /// Virtual clock for store recency: advances with executed work.
+    pub vclock: SimTime,
+    /// Busy virtual seconds accumulated by the executor.
+    pub busy_secs: f64,
+}
+
+impl WorkerShared {
+    pub fn new(spec: WorkerSpec) -> Self {
+        WorkerShared {
+            store: LocalStore::new(spec.storage_bytes, spec.eviction),
+            committed_secs: 0.0,
+            declined: Default::default(),
+            net_tracker: SpeedTracker::default(),
+            rw_tracker: SpeedTracker::default(),
+            vclock: SimTime::ZERO,
+            busy_secs: 0.0,
+            spec,
+        }
+    }
+
+    pub fn believed_net(&self, learning: bool) -> Bandwidth {
+        if learning {
+            self.net_tracker.believed().unwrap_or(self.spec.net)
+        } else {
+            self.spec.net
+        }
+    }
+
+    pub fn believed_rw(&self, learning: bool) -> Bandwidth {
+        if learning {
+            self.rw_tracker.believed().unwrap_or(self.spec.rw)
+        } else {
+            self.spec.rw
+        }
+    }
+
+    /// The cost of `job` alone: transfer + processing, *excluding* the
+    /// backlog. This is what joins `committed_secs` when the job is
+    /// accepted.
+    pub fn marginal_cost_secs(&self, job: &Job, learning: bool) -> f64 {
+        let fetch = match job.resource {
+            Some(r) if !self.store.peek(r.id) => {
+                self.believed_net(learning).time_for(r.bytes).as_secs_f64()
+            }
+            _ => 0.0,
+        };
+        let scan = if job.work_bytes == 0 {
+            0.0
+        } else {
+            self.believed_rw(learning)
+                .time_for(job.work_bytes)
+                .as_secs_f64()
+        };
+        fetch + scan * self.spec.cpu_factor + job.cpu_secs * self.spec.cpu_factor
+    }
+
+    /// Listing 2's estimate: backlog + transfer + processing.
+    pub fn estimate_secs(&self, job: &Job, learning: bool) -> f64 {
+        self.committed_secs + self.marginal_cost_secs(job, learning)
+    }
+
+    /// Has the data (or needs none)?
+    pub fn has_data(&self, job: &Job) -> bool {
+        match job.resource {
+            None => true,
+            Some(r) => self.store.peek(r.id),
+        }
+    }
+}
+
+pub(crate) struct WorkerThreads {
+    pub bidder: std::thread::JoinHandle<()>,
+    pub executor: std::thread::JoinHandle<()>,
+}
+
+/// Which protocol the bidder thread speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Protocol {
+    Bidding,
+    Baseline,
+}
+
+struct ExecItem {
+    job: Job,
+    est_secs: f64,
+    enqueued: Instant,
+}
+
+/// Spawn one worker's bidder + executor threads.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn spawn_worker(
+    id: u32,
+    shared: Arc<Mutex<WorkerShared>>,
+    rx_control: Receiver<ToWorker>,
+    to_master: Sender<ToMaster>,
+    protocol: Protocol,
+    time_scale: f64,
+    noise: NoiseModel,
+    speed_learning: bool,
+    seed: u64,
+) -> WorkerThreads {
+    let (tx_exec, rx_exec) = crossbeam_channel::unbounded::<ExecItem>();
+
+    // ---------------- bidder thread ----------------
+    let bidder = {
+        let shared = Arc::clone(&shared);
+        let to_master = to_master.clone();
+        let tx_exec = tx_exec.clone();
+        std::thread::Builder::new()
+            .name(format!("bidder-{id}"))
+            .spawn(move || {
+                while let Ok(msg) = rx_control.recv() {
+                    match msg {
+                        ToWorker::Shutdown => break,
+                        ToWorker::BidRequest(job) => {
+                            let est = {
+                                let s = shared.lock();
+                                s.estimate_secs(&job, speed_learning)
+                            };
+                            let _ = to_master.send(ToMaster::Bid {
+                                worker: id,
+                                job: job.id,
+                                estimate_secs: est,
+                            });
+                        }
+                        ToWorker::Offer(job) => {
+                            let (accept, est) = {
+                                let mut s = shared.lock();
+                                let accept = s.has_data(&job) || s.declined.contains(&job.id);
+                                if accept {
+                                    let est = s.marginal_cost_secs(&job, speed_learning);
+                                    s.committed_secs += est;
+                                    (true, est)
+                                } else {
+                                    s.declined.insert(job.id);
+                                    (false, 0.0)
+                                }
+                            };
+                            if accept {
+                                let _ = tx_exec.send(ExecItem {
+                                    job,
+                                    est_secs: est,
+                                    enqueued: Instant::now(),
+                                });
+                            } else {
+                                let _ = to_master.send(ToMaster::Reject { worker: id, job });
+                            }
+                        }
+                        ToWorker::Assign(job) => {
+                            let est = {
+                                let mut s = shared.lock();
+                                let est = s.marginal_cost_secs(&job, speed_learning);
+                                s.committed_secs += est;
+                                est
+                            };
+                            let _ = tx_exec.send(ExecItem {
+                                job,
+                                est_secs: est,
+                                enqueued: Instant::now(),
+                            });
+                        }
+                    }
+                }
+            })
+            .expect("spawn bidder")
+    };
+
+    // ---------------- executor thread ----------------
+    let executor = std::thread::Builder::new()
+        .name(format!("exec-{id}"))
+        .spawn(move || {
+            drop(tx_exec); // executor only receives
+            let mut rng = RngStream::from_seed(seed);
+            let mut net_noise = noise.sampler();
+            let mut rw_noise = noise.sampler();
+            // Announce initial idleness (the first pull).
+            let _ = to_master.send(ToMaster::Idle { worker: id });
+            while let Ok(item) = rx_exec.recv() {
+                let wait_secs = item.enqueued.elapsed().as_secs_f64() / time_scale.max(1e-12);
+                execute_one(
+                    id,
+                    &shared,
+                    &to_master,
+                    item.job,
+                    item.est_secs,
+                    wait_secs,
+                    time_scale,
+                    &mut net_noise,
+                    &mut rw_noise,
+                    &mut rng,
+                );
+                if rx_exec.is_empty() {
+                    let _ = to_master.send(ToMaster::Idle { worker: id });
+                }
+            }
+            let _ = protocol; // protocol differences live master-side + in Offer handling
+        })
+        .expect("spawn executor");
+
+    WorkerThreads { bidder, executor }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_one(
+    id: u32,
+    shared: &Arc<Mutex<WorkerShared>>,
+    to_master: &Sender<ToMaster>,
+    job: Job,
+    est_secs: f64,
+    wait_secs: f64,
+    time_scale: f64,
+    net_noise: &mut NoiseSampler,
+    rw_noise: &mut NoiseSampler,
+    rng: &mut RngStream,
+) {
+    // ---- fetch phase ----
+    let mut fetch_secs = 0.0;
+    let mut fetched: Option<(crossbid_storage::ObjectId, u64)> = None;
+    {
+        let mut s = shared.lock();
+        if let Some(r) = job.resource {
+            let now = s.vclock;
+            if !s.store.lookup(r.id, now) {
+                let m = net_noise.sample(rng);
+                let speed = s.spec.net.scaled(m);
+                fetch_secs = speed.time_for(r.bytes).as_secs_f64();
+                fetched = Some((r.id, r.bytes));
+                if fetch_secs > 0.0 {
+                    let mbps = r.bytes as f64 / 1e6 / fetch_secs;
+                    s.net_tracker.observe(mbps);
+                }
+            }
+        }
+    }
+    if fetch_secs > 0.0 {
+        sleep_virtual(fetch_secs, time_scale);
+    }
+    if let Some((oid, bytes)) = fetched {
+        let mut s = shared.lock();
+        let now = s.vclock + crossbid_simcore::SimDuration::from_secs_f64(fetch_secs);
+        s.store.insert(oid, bytes, now);
+    }
+
+    // ---- processing phase ----
+    let proc_secs = {
+        let mut s = shared.lock();
+        let m = rw_noise.sample(rng);
+        let rw = s.spec.rw.scaled(m);
+        let scan = rw.time_for(job.work_bytes).as_secs_f64();
+        if job.work_bytes > 0 && scan > 0.0 {
+            s.rw_tracker.observe(job.work_bytes as f64 / 1e6 / scan);
+        }
+        scan * s.spec.cpu_factor + job.cpu_secs * s.spec.cpu_factor
+    };
+    if proc_secs > 0.0 {
+        sleep_virtual(proc_secs, time_scale);
+    }
+
+    // ---- bookkeeping + completion ----
+    {
+        let mut s = shared.lock();
+        s.committed_secs = (s.committed_secs - est_secs).max(0.0);
+        s.busy_secs += fetch_secs + proc_secs;
+        s.vclock += crossbid_simcore::SimDuration::from_secs_f64(fetch_secs + proc_secs);
+    }
+    let _ = to_master.send(ToMaster::Done {
+        worker: id,
+        job,
+        wait_secs,
+    });
+}
+
+fn sleep_virtual(virtual_secs: f64, time_scale: f64) {
+    let real = virtual_secs * time_scale;
+    if real > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(real.min(30.0)));
+    }
+}

@@ -1,0 +1,393 @@
+//! Execution tracing — per-job lifecycle records.
+//!
+//! When [`EngineConfig::trace`](crate::EngineConfig) is enabled the
+//! engine records every job's placement and phase transitions. The
+//! trace supports the kind of analysis the paper's discussion relies
+//! on ("slower workers having to download and process larger
+//! repositories", queue-time vs transfer-time breakdowns) and renders
+//! a text Gantt chart for eyeballing a schedule.
+
+use crossbid_simcore::{SimTime, Welford};
+use serde::{Deserialize, Serialize};
+
+use crate::job::{JobId, WorkerId};
+
+/// A job lifecycle phase transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// Placed in a worker's queue.
+    Queued,
+    /// Physical work began (fetch or scan).
+    Started,
+    /// Resource transfer finished (only for jobs that fetched).
+    Fetched,
+    /// Processing finished at the worker.
+    Finished,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// The job.
+    pub job: JobId,
+    /// The worker involved.
+    pub worker: WorkerId,
+    /// Phase transition.
+    pub kind: TraceKind,
+    /// Virtual instant.
+    pub at: SimTime,
+}
+
+/// The collected trace of one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+/// Per-job phase durations extracted from a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobPhases {
+    /// The job.
+    pub job: JobId,
+    /// The executing worker.
+    pub worker: WorkerId,
+    /// Queue wait: queued → started, seconds.
+    pub wait_secs: f64,
+    /// Transfer: started → fetched, seconds (0 when the job hit the
+    /// cache or needed no resource).
+    pub fetch_secs: f64,
+    /// Processing: (fetched|started) → finished, seconds.
+    pub proc_secs: f64,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event (engine-internal).
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// All events in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff nothing was traced.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Per-job phase breakdown for jobs that ran to completion. Jobs
+    /// that were re-placed after a crash report their *final*
+    /// placement.
+    pub fn job_phases(&self) -> Vec<JobPhases> {
+        use std::collections::HashMap;
+        #[derive(Default, Clone, Copy)]
+        struct Acc {
+            queued: Option<SimTime>,
+            started: Option<SimTime>,
+            fetched: Option<SimTime>,
+            finished: Option<SimTime>,
+            worker: Option<WorkerId>,
+        }
+        let mut acc: HashMap<JobId, Acc> = HashMap::new();
+        for ev in &self.events {
+            let a = acc.entry(ev.job).or_default();
+            match ev.kind {
+                TraceKind::Queued => {
+                    // Re-placements overwrite: final placement wins.
+                    *a = Acc {
+                        queued: Some(ev.at),
+                        worker: Some(ev.worker),
+                        ..Acc::default()
+                    };
+                }
+                TraceKind::Started => a.started = Some(ev.at),
+                TraceKind::Fetched => a.fetched = Some(ev.at),
+                TraceKind::Finished => {
+                    a.finished = Some(ev.at);
+                    a.worker = Some(ev.worker);
+                }
+            }
+        }
+        let mut out: Vec<JobPhases> = acc
+            .into_iter()
+            .filter_map(|(job, a)| {
+                let queued = a.queued?;
+                let started = a.started?;
+                let finished = a.finished?;
+                let worker = a.worker?;
+                let fetch_end = a.fetched.unwrap_or(started);
+                Some(JobPhases {
+                    job,
+                    worker,
+                    wait_secs: started.saturating_since(queued).as_secs_f64(),
+                    fetch_secs: fetch_end.saturating_since(started).as_secs_f64(),
+                    proc_secs: finished.saturating_since(fetch_end).as_secs_f64(),
+                })
+            })
+            .collect();
+        out.sort_by_key(|p| p.job);
+        out
+    }
+
+    /// Aggregate statistics over the phase breakdown:
+    /// `(wait, fetch, proc)` Welford accumulators in seconds.
+    pub fn phase_stats(&self) -> (Welford, Welford, Welford) {
+        let mut wait = Welford::new();
+        let mut fetch = Welford::new();
+        let mut proc = Welford::new();
+        for p in self.job_phases() {
+            wait.push(p.wait_secs);
+            fetch.push(p.fetch_secs);
+            proc.push(p.proc_secs);
+        }
+        (wait, fetch, proc)
+    }
+
+    /// Reconstruct a worker's queue depth over time from
+    /// Queued/Started transitions: returns `(time, depth)` change
+    /// points, depth counting jobs queued but not yet started.
+    pub fn queue_depth_series(&self, worker: WorkerId) -> Vec<(SimTime, i64)> {
+        let mut deltas: Vec<(SimTime, i64)> = Vec::new();
+        for ev in &self.events {
+            if ev.worker != worker {
+                continue;
+            }
+            match ev.kind {
+                TraceKind::Queued => deltas.push((ev.at, 1)),
+                TraceKind::Started => deltas.push((ev.at, -1)),
+                _ => {}
+            }
+        }
+        deltas.sort_by_key(|(t, _)| *t);
+        let mut out = Vec::with_capacity(deltas.len());
+        let mut depth = 0i64;
+        for (t, d) in deltas {
+            depth += d;
+            match out.last_mut() {
+                Some((lt, ld)) if *lt == t => *ld = depth,
+                _ => out.push((t, depth)),
+            }
+        }
+        out
+    }
+
+    /// Peak queue depth at `worker` over the run.
+    pub fn peak_queue_depth(&self, worker: WorkerId) -> i64 {
+        self.queue_depth_series(worker)
+            .into_iter()
+            .map(|(_, d)| d)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// A text Gantt chart: one row per worker, `#` = processing,
+    /// `▒` (rendered as `~`) = fetching, `.` = idle, with `cols`
+    /// character columns spanning the makespan.
+    pub fn gantt(&self, n_workers: usize, cols: usize) -> String {
+        let end = self
+            .events
+            .iter()
+            .map(|e| e.at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let span = end.as_secs_f64().max(1e-9);
+        let cols = cols.max(10);
+        let mut rows = vec![vec!['.'; cols]; n_workers];
+        for p in self.job_phases() {
+            let w = p.worker.0 as usize;
+            if w >= n_workers {
+                continue;
+            }
+            // Reconstruct absolute phase windows from the breakdown:
+            // find the job's Started event for the anchor.
+            let started = self
+                .events
+                .iter()
+                .find(|e| e.job == p.job && e.kind == TraceKind::Started)
+                .map(|e| e.at.as_secs_f64())
+                .unwrap_or(0.0);
+            let mark = |rows: &mut Vec<Vec<char>>, from: f64, to: f64, ch: char| {
+                let a = ((from / span) * cols as f64) as usize;
+                let b = (((to / span) * cols as f64).ceil() as usize).min(cols);
+                for c in &mut rows[w][a.min(cols.saturating_sub(1))..b] {
+                    // Processing never overwrites processing, but wins
+                    // over idle and fetch markers from other jobs.
+                    if ch == '#' || *c == '.' {
+                        *c = ch;
+                    }
+                }
+            };
+            mark(&mut rows, started, started + p.fetch_secs, '~');
+            mark(
+                &mut rows,
+                started + p.fetch_secs,
+                started + p.fetch_secs + p.proc_secs,
+                '#',
+            );
+        }
+        let mut out = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            out.push_str(&format!("w{i:<2} |"));
+            out.extend(row.iter());
+            out.push_str("|\n");
+        }
+        out.push_str(&format!(
+            "     0s {:->width$} {:.1}s\n",
+            ">",
+            end.as_secs_f64(),
+            width = cols.saturating_sub(8)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn ev(job: u64, worker: u32, kind: TraceKind, at: u64) -> TraceEvent {
+        TraceEvent {
+            job: JobId(job),
+            worker: WorkerId(worker),
+            kind,
+            at: t(at),
+        }
+    }
+
+    #[test]
+    fn phases_are_computed() {
+        let mut tr = Trace::new();
+        tr.push(ev(1, 0, TraceKind::Queued, 0));
+        tr.push(ev(1, 0, TraceKind::Started, 2));
+        tr.push(ev(1, 0, TraceKind::Fetched, 12));
+        tr.push(ev(1, 0, TraceKind::Finished, 15));
+        let phases = tr.job_phases();
+        assert_eq!(phases.len(), 1);
+        let p = phases[0];
+        assert_eq!(p.worker, WorkerId(0));
+        assert_eq!(p.wait_secs, 2.0);
+        assert_eq!(p.fetch_secs, 10.0);
+        assert_eq!(p.proc_secs, 3.0);
+    }
+
+    #[test]
+    fn cache_hit_jobs_have_zero_fetch() {
+        let mut tr = Trace::new();
+        tr.push(ev(2, 1, TraceKind::Queued, 0));
+        tr.push(ev(2, 1, TraceKind::Started, 1));
+        tr.push(ev(2, 1, TraceKind::Finished, 4));
+        let p = tr.job_phases()[0];
+        assert_eq!(p.fetch_secs, 0.0);
+        assert_eq!(p.proc_secs, 3.0);
+    }
+
+    #[test]
+    fn replacement_after_crash_keeps_final_attempt() {
+        let mut tr = Trace::new();
+        tr.push(ev(3, 0, TraceKind::Queued, 0));
+        tr.push(ev(3, 0, TraceKind::Started, 1));
+        // crash: re-placed on worker 1
+        tr.push(ev(3, 1, TraceKind::Queued, 10));
+        tr.push(ev(3, 1, TraceKind::Started, 11));
+        tr.push(ev(3, 1, TraceKind::Finished, 14));
+        let phases = tr.job_phases();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].worker, WorkerId(1));
+        assert_eq!(phases[0].wait_secs, 1.0);
+    }
+
+    #[test]
+    fn incomplete_jobs_are_skipped() {
+        let mut tr = Trace::new();
+        tr.push(ev(4, 0, TraceKind::Queued, 0));
+        tr.push(ev(4, 0, TraceKind::Started, 1));
+        assert!(tr.job_phases().is_empty());
+        assert_eq!(tr.len(), 2);
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn phase_stats_aggregate() {
+        let mut tr = Trace::new();
+        for (j, d) in [(1u64, 2u64), (2, 4)] {
+            tr.push(ev(j, 0, TraceKind::Queued, 0));
+            tr.push(ev(j, 0, TraceKind::Started, 1));
+            tr.push(ev(j, 0, TraceKind::Finished, 1 + d));
+        }
+        let (wait, fetch, proc) = tr.phase_stats();
+        assert_eq!(wait.count(), 2);
+        assert_eq!(wait.mean(), 1.0);
+        assert_eq!(fetch.mean(), 0.0);
+        assert_eq!(proc.mean(), 3.0);
+    }
+
+    #[test]
+    fn queue_depth_reconstruction() {
+        let mut tr = Trace::new();
+        tr.push(ev(1, 0, TraceKind::Queued, 0));
+        tr.push(ev(2, 0, TraceKind::Queued, 1));
+        tr.push(ev(1, 0, TraceKind::Started, 2));
+        tr.push(ev(3, 0, TraceKind::Queued, 3));
+        tr.push(ev(2, 0, TraceKind::Started, 4));
+        tr.push(ev(3, 0, TraceKind::Started, 5));
+        let series = tr.queue_depth_series(WorkerId(0));
+        assert_eq!(
+            series,
+            vec![
+                (t(0), 1),
+                (t(1), 2),
+                (t(2), 1),
+                (t(3), 2),
+                (t(4), 1),
+                (t(5), 0)
+            ]
+        );
+        assert_eq!(tr.peak_queue_depth(WorkerId(0)), 2);
+        assert_eq!(tr.peak_queue_depth(WorkerId(9)), 0);
+    }
+
+    #[test]
+    fn queue_depth_coalesces_same_instant() {
+        let mut tr = Trace::new();
+        tr.push(ev(1, 0, TraceKind::Queued, 0));
+        tr.push(ev(1, 0, TraceKind::Started, 0));
+        let series = tr.queue_depth_series(WorkerId(0));
+        assert_eq!(series, vec![(t(0), 0)]);
+    }
+
+    #[test]
+    fn gantt_renders_rows_and_marks() {
+        let mut tr = Trace::new();
+        tr.push(ev(1, 0, TraceKind::Queued, 0));
+        tr.push(ev(1, 0, TraceKind::Started, 0));
+        tr.push(ev(1, 0, TraceKind::Fetched, 50));
+        tr.push(ev(1, 0, TraceKind::Finished, 100));
+        let g = tr.gantt(2, 40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3, "{g}");
+        assert!(lines[0].contains('~'), "fetch marked: {g}");
+        assert!(lines[0].contains('#'), "processing marked: {g}");
+        assert!(lines[1].contains('.'), "idle worker: {g}");
+    }
+
+    #[test]
+    fn empty_trace_gantt_is_safe() {
+        let g = Trace::new().gantt(1, 20);
+        assert!(g.contains("w0"));
+    }
+}

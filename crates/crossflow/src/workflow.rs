@@ -1,0 +1,216 @@
+//! Workflow definition — tasks connected by streams of jobs.
+//!
+//! Figure 1 of the paper shows an MSR pipeline of tasks connected by
+//! channels carrying typed jobs. In this implementation channels are
+//! implicit: every [`JobSpec`](crate::job::JobSpec) produced by a
+//! task's logic names its destination task, and the master routes it
+//! there through the allocation machinery. [`Workflow`] owns the task
+//! table and validates the routing targets.
+
+use crate::job::TaskId;
+use crate::task::{SinkTask, TaskLogic};
+
+/// A named task in the workflow.
+pub struct TaskEntry {
+    /// Stable id (index into the workflow's task table).
+    pub id: TaskId,
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Processing logic.
+    pub logic: Box<dyn TaskLogic>,
+}
+
+/// An application workflow: an ordered table of tasks plus the
+/// declared channels between them.
+#[derive(Default)]
+pub struct Workflow {
+    tasks: Vec<TaskEntry>,
+    edges: Vec<(TaskId, TaskId)>,
+}
+
+impl Workflow {
+    /// Empty workflow.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a task and return its id.
+    pub fn add_task<S: Into<String>>(&mut self, name: S, logic: Box<dyn TaskLogic>) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(TaskEntry {
+            id,
+            name: name.into(),
+            logic,
+        });
+        id
+    }
+
+    /// Add a sink task (records every job it receives).
+    pub fn add_sink<S: Into<String>>(&mut self, name: S) -> TaskId {
+        self.add_task(name, Box::new(SinkTask::new()))
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True iff the workflow has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Does `task` exist in this workflow?
+    pub fn contains(&self, task: TaskId) -> bool {
+        (task.0 as usize) < self.tasks.len()
+    }
+
+    /// Name of a task.
+    pub fn name(&self, task: TaskId) -> &str {
+        &self.tasks[task.0 as usize].name
+    }
+
+    /// Mutable access to a task's logic (the engine calls this; tests
+    /// and applications use it to retrieve sink state).
+    pub fn logic_mut(&mut self, task: TaskId) -> &mut dyn TaskLogic {
+        self.tasks[task.0 as usize].logic.as_mut()
+    }
+
+    /// Downcast a task's logic to a concrete type (e.g. [`SinkTask`]).
+    pub fn logic_as<T: 'static>(&mut self, task: TaskId) -> Option<&mut T> {
+        self.tasks[task.0 as usize]
+            .logic
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Look a task up by name.
+    pub fn find(&self, name: &str) -> Option<TaskId> {
+        self.tasks.iter().find(|t| t.name == name).map(|t| t.id)
+    }
+
+    /// Declare a channel: jobs produced by `from`'s logic may target
+    /// `to` (Figure 1's cylinders). Channels are optional — a workflow
+    /// with no declared edges allows any routing; once any edge is
+    /// declared, the engine asserts (in debug builds) that every
+    /// downstream job follows a declared channel.
+    pub fn connect(&mut self, from: TaskId, to: TaskId) -> &mut Self {
+        assert!(self.contains(from), "connect: unknown source task");
+        assert!(self.contains(to), "connect: unknown target task");
+        if !self.edges.contains(&(from, to)) {
+            self.edges.push((from, to));
+        }
+        self
+    }
+
+    /// Declared channels.
+    pub fn edges(&self) -> &[(TaskId, TaskId)] {
+        &self.edges
+    }
+
+    /// Is routing from `from` to `to` allowed? Trivially true when no
+    /// channels were declared.
+    pub fn allows(&self, from: TaskId, to: TaskId) -> bool {
+        self.edges.is_empty() || self.edges.contains(&(from, to))
+    }
+
+    /// Tasks with no incoming declared channel (the workflow's
+    /// sources — where external jobs enter). Empty when no channels
+    /// were declared.
+    pub fn sources(&self) -> Vec<TaskId> {
+        if self.edges.is_empty() {
+            return Vec::new();
+        }
+        self.tasks
+            .iter()
+            .map(|t| t.id)
+            .filter(|t| !self.edges.iter().any(|(_, to)| to == t))
+            .collect()
+    }
+
+    /// Tasks with no outgoing declared channel (terminal sinks).
+    /// Empty when no channels were declared.
+    pub fn sinks(&self) -> Vec<TaskId> {
+        if self.edges.is_empty() {
+            return Vec::new();
+        }
+        self.tasks
+            .iter()
+            .map(|t| t.id)
+            .filter(|t| !self.edges.iter().any(|(from, _)| from == t))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Workflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.tasks.iter().map(|t| (&t.name, t.id)))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::FnTask;
+
+    #[test]
+    fn task_registration() {
+        let mut wf = Workflow::new();
+        let a = wf.add_task("search", Box::new(FnTask(|_: &_, _: &_, _: &mut _| {})));
+        let b = wf.add_sink("results");
+        assert_eq!(a, TaskId(0));
+        assert_eq!(b, TaskId(1));
+        assert_eq!(wf.len(), 2);
+        assert!(wf.contains(a) && wf.contains(b));
+        assert!(!wf.contains(TaskId(2)));
+        assert_eq!(wf.name(b), "results");
+        assert_eq!(wf.find("search"), Some(a));
+        assert_eq!(wf.find("missing"), None);
+    }
+
+    #[test]
+    fn sink_downcast_through_workflow() {
+        let mut wf = Workflow::new();
+        let sink = wf.add_sink("out");
+        assert!(wf.logic_as::<SinkTask>(sink).is_some());
+        assert!(wf.logic_as::<FnTask<fn(&crate::job::Job, &crate::task::TaskCtx, &mut Vec<crate::job::JobSpec>)>>(sink).is_none());
+    }
+
+    #[test]
+    fn empty_workflow() {
+        let wf = Workflow::new();
+        assert!(wf.is_empty());
+        assert_eq!(wf.len(), 0);
+    }
+
+    #[test]
+    fn channels_constrain_routing() {
+        let mut wf = Workflow::new();
+        let a = wf.add_sink("a");
+        let b = wf.add_sink("b");
+        let c = wf.add_sink("c");
+        // No edges declared: everything allowed.
+        assert!(wf.allows(a, c));
+        wf.connect(a, b);
+        wf.connect(b, c);
+        assert!(wf.allows(a, b));
+        assert!(wf.allows(b, c));
+        assert!(!wf.allows(a, c));
+        assert_eq!(wf.edges().len(), 2);
+        // Duplicate edges are deduped.
+        wf.connect(a, b);
+        assert_eq!(wf.edges().len(), 2);
+        assert_eq!(wf.sources(), vec![a]);
+        assert_eq!(wf.sinks(), vec![c]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn connect_rejects_unknown_tasks() {
+        let mut wf = Workflow::new();
+        let a = wf.add_sink("a");
+        wf.connect(a, TaskId(9));
+    }
+}

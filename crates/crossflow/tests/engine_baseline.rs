@@ -1,0 +1,370 @@
+//! End-to-end engine tests under the Crossflow Baseline allocator.
+
+use crossbid_crossflow::{
+    run_workflow, Arrival, BaselineAllocator, Cluster, EngineConfig, JobSpec, Payload, ResourceRef,
+    RunMeta, Session, SinkTask, TaskId, WorkerSpec, Workflow,
+};
+use crossbid_simcore::SimTime;
+use crossbid_storage::ObjectId;
+
+fn res(id: u64, mb: u64) -> ResourceRef {
+    ResourceRef {
+        id: ObjectId(id),
+        bytes: mb * 1_000_000,
+    }
+}
+
+fn specs(n: usize) -> Vec<WorkerSpec> {
+    (0..n)
+        .map(|i| {
+            WorkerSpec::builder(format!("w{i}"))
+                .net_mbps(10.0)
+                .rw_mbps(100.0)
+                .storage_gb(10.0)
+                .build()
+        })
+        .collect()
+}
+
+/// A single-task workflow whose task is a sink that records payloads.
+fn sink_workflow() -> (Workflow, TaskId) {
+    let mut wf = Workflow::new();
+    let sink = wf.add_sink("scan");
+    (wf, sink)
+}
+
+fn arrivals_for(task: TaskId, jobs: &[(u64, u64)]) -> Vec<Arrival> {
+    jobs.iter()
+        .enumerate()
+        .map(|(i, (rid, mb))| Arrival {
+            at: SimTime::from_millis(i as u64 * 10),
+            spec: JobSpec::scanning(task, res(*rid, *mb), Payload::Index(*rid)),
+        })
+        .collect()
+}
+
+#[test]
+fn single_job_single_worker() {
+    let specs = specs(1);
+    let mut cluster = Cluster::new(&specs, &EngineConfig::ideal());
+    let (mut wf, task) = sink_workflow();
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BaselineAllocator,
+        arrivals_for(task, &[(1, 100)]),
+        &EngineConfig::ideal(),
+        &RunMeta::default(),
+    );
+    let r = &out.record;
+    assert_eq!(r.jobs_completed, 1);
+    assert_eq!(r.cache_misses, 1);
+    assert_eq!(r.cache_hits, 0);
+    assert!((r.data_load_mb - 100.0).abs() < 1e-9);
+    // 100 MB at 10 MB/s download + 100 MB at 100 MB/s scan = 11 s.
+    assert!(
+        (r.makespan_secs - 11.0).abs() < 0.05,
+        "makespan {}",
+        r.makespan_secs
+    );
+    // Resource is now cached.
+    assert!(cluster
+        .node(crossbid_crossflow::WorkerId(0))
+        .holds(ObjectId(1)));
+}
+
+#[test]
+fn repeated_resource_hits_cache() {
+    let specs = specs(1);
+    let mut cluster = Cluster::new(&specs, &EngineConfig::ideal());
+    let (mut wf, task) = sink_workflow();
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BaselineAllocator,
+        arrivals_for(task, &[(1, 100), (1, 100), (1, 100)]),
+        &EngineConfig::ideal(),
+        &RunMeta::default(),
+    );
+    let r = &out.record;
+    assert_eq!(r.jobs_completed, 3);
+    assert_eq!(r.cache_misses, 1, "only the first fetch misses");
+    assert_eq!(r.cache_hits, 2);
+    assert!((r.data_load_mb - 100.0).abs() < 1e-9);
+    // 11 s for the first + 2 × 1 s scans.
+    assert!((r.makespan_secs - 13.0).abs() < 0.1, "{}", r.makespan_secs);
+}
+
+#[test]
+fn reject_once_forces_second_offer_acceptance() {
+    // Two workers, one job nobody has data for: both reject once, then
+    // the first re-offered worker must accept. Everything still
+    // completes with exactly one download.
+    let specs = specs(2);
+    let mut cluster = Cluster::new(&specs, &EngineConfig::ideal());
+    let (mut wf, task) = sink_workflow();
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BaselineAllocator,
+        arrivals_for(task, &[(7, 50)]),
+        &EngineConfig::ideal(),
+        &RunMeta::default(),
+    );
+    let r = &out.record;
+    assert_eq!(r.jobs_completed, 1);
+    assert_eq!(r.cache_misses, 1);
+    assert!((r.data_load_mb - 50.0).abs() < 1e-9);
+}
+
+#[test]
+fn locality_attracts_repeat_jobs_to_cache_owner() {
+    // Worker 0 holds repository 1. With arrivals spaced so that
+    // worker 0 is idle when each job is (re-)offered, the reject-once
+    // rule routes every job to the cache owner: other workers decline
+    // (no data), worker 0 accepts. (When the owner is *busy*, the
+    // Baseline clones redundantly — the §4 weakness — covered by
+    // `busy_owner_forces_redundant_clone` below.)
+    let cfg = EngineConfig::ideal();
+    let all = specs(2);
+    let mut cluster = Cluster::new(&all, &cfg);
+    // Warm worker 0's cache directly.
+    cluster
+        .node_mut(crossbid_crossflow::WorkerId(0))
+        .store
+        .insert(ObjectId(1), 50_000_000, SimTime::ZERO);
+
+    let (mut wf, task) = sink_workflow();
+    let arrivals: Vec<Arrival> = (0..4)
+        .map(|i| Arrival {
+            at: SimTime::from_secs(i * 2),
+            spec: JobSpec::scanning(task, res(1, 50), Payload::Index(1)),
+        })
+        .collect();
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BaselineAllocator,
+        arrivals,
+        &cfg,
+        &RunMeta::default(),
+    );
+    let r = &out.record;
+    assert_eq!(r.jobs_completed, 4);
+    assert_eq!(
+        r.cache_misses, 0,
+        "worker 0 holds the repo; locality should route all jobs there"
+    );
+    assert_eq!(r.data_load_mb, 0.0);
+}
+
+#[test]
+fn busy_owner_forces_redundant_clone() {
+    // The §4 weakness: "it is likely there will be redundant clones of
+    // the same repository if a node is offered a job it has previously
+    // seen, even though some other node has that resource locally but
+    // is currently occupied." Tight arrivals keep the cache owner busy
+    // so the other worker must clone.
+    let cfg = EngineConfig::ideal();
+    let mut cluster = Cluster::new(&specs(2), &cfg);
+    cluster
+        .node_mut(crossbid_crossflow::WorkerId(0))
+        .store
+        .insert(ObjectId(1), 50_000_000, SimTime::ZERO);
+    let (mut wf, task) = sink_workflow();
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BaselineAllocator,
+        arrivals_for(task, &[(1, 50), (1, 50), (1, 50), (1, 50)]),
+        &cfg,
+        &RunMeta::default(),
+    );
+    let r = &out.record;
+    assert_eq!(r.jobs_completed, 4);
+    assert!(
+        r.cache_misses >= 1,
+        "busy owner should force at least one redundant clone"
+    );
+    assert!(cluster
+        .node(crossbid_crossflow::WorkerId(1))
+        .holds(ObjectId(1)));
+}
+
+#[test]
+fn downstream_jobs_flow_through_pipeline() {
+    use crossbid_crossflow::task::FnTask;
+    // Tasks get sequential ids, so the sink added second is TaskId(1).
+    let analyze = TaskId(1);
+    let mut wf = Workflow::new();
+    let search = wf.add_task(
+        "search",
+        Box::new(FnTask(
+            move |job: &crossbid_crossflow::Job, _ctx: &_, out: &mut Vec<JobSpec>| {
+                // Each search emits two analysis jobs on the same repo.
+                if let Some(r) = job.resource {
+                    for k in 0..2 {
+                        out.push(JobSpec {
+                            task: analyze,
+                            resource: Some(r),
+                            work_bytes: r.bytes / 2,
+                            cpu_secs: 0.0,
+                            payload: Payload::Pair(k, r.id.0),
+                        });
+                    }
+                }
+            },
+        )),
+    );
+    let sink = wf.add_sink("analyze");
+    assert_eq!(sink, analyze);
+
+    let specs = specs(2);
+    let mut cluster = Cluster::new(&specs, &EngineConfig::ideal());
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BaselineAllocator,
+        arrivals_for(search, &[(1, 10), (2, 10)]),
+        &EngineConfig::ideal(),
+        &RunMeta::default(),
+    );
+    let r = &out.record;
+    // 2 search jobs + 4 downstream analysis jobs.
+    assert_eq!(r.jobs_completed, 6);
+    let sink_logic = wf.logic_as::<SinkTask>(sink).unwrap();
+    assert_eq!(sink_logic.len(), 4);
+}
+
+#[test]
+fn session_iterations_warm_the_caches() {
+    let cfg = EngineConfig::ideal();
+    let mut session = Session::new(&specs(2), cfg, "all-equal", "test", 42);
+    let (mut wf, task) = sink_workflow();
+    let jobs = [(1u64, 50u64), (2, 50), (3, 50), (4, 50)];
+    let r1 = session.run_iteration(&mut wf, &BaselineAllocator, arrivals_for(task, &jobs));
+    let r2 = session.run_iteration(&mut wf, &BaselineAllocator, arrivals_for(task, &jobs));
+    assert_eq!(r1.iteration, 0);
+    assert_eq!(r2.iteration, 1);
+    assert_eq!(r1.cache_misses, 4, "cold first iteration");
+    assert!(
+        r2.cache_misses < 4,
+        "warm caches must produce hits (got {} misses)",
+        r2.cache_misses
+    );
+    assert!(r2.data_load_mb < r1.data_load_mb);
+    assert_eq!(session.iterations_run(), 2);
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let cfg = EngineConfig::default(); // with noise and jitter
+        let mut cluster = Cluster::new(&specs(3), &cfg);
+        let (mut wf, task) = sink_workflow();
+        let meta = RunMeta {
+            seed,
+            ..RunMeta::default()
+        };
+        run_workflow(
+            &mut cluster,
+            &mut wf,
+            &BaselineAllocator,
+            arrivals_for(task, &[(1, 200), (2, 100), (1, 200), (3, 300), (2, 100)]),
+            &cfg,
+            &meta,
+        )
+        .record
+    };
+    let a = run(7);
+    let b = run(7);
+    let c = run(8);
+    assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits());
+    assert_eq!(a.cache_misses, b.cache_misses);
+    assert_eq!(a.control_messages, b.control_messages);
+    assert_ne!(
+        a.makespan_secs.to_bits(),
+        c.makespan_secs.to_bits(),
+        "different seeds should perturb the run"
+    );
+}
+
+#[test]
+fn many_jobs_balance_across_workers() {
+    let cfg = EngineConfig::ideal();
+    let mut cluster = Cluster::new(&specs(4), &cfg);
+    let (mut wf, task) = sink_workflow();
+    let jobs: Vec<(u64, u64)> = (0..40).map(|i| (i as u64, 20u64)).collect();
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BaselineAllocator,
+        arrivals_for(task, &jobs),
+        &cfg,
+        &RunMeta::default(),
+    );
+    let r = &out.record;
+    assert_eq!(r.jobs_completed, 40);
+    // All four workers did something.
+    for (i, b) in r.worker_busy_frac.iter().enumerate() {
+        assert!(*b > 0.0, "worker {i} never worked");
+    }
+    // Pull-based balancing: no worker hogs everything.
+    assert!(r.utilization_spread() < 0.9);
+}
+
+#[test]
+fn cpu_only_jobs_need_no_data() {
+    let cfg = EngineConfig::ideal();
+    let mut cluster = Cluster::new(&specs(2), &cfg);
+    let (mut wf, task) = sink_workflow();
+    let arrivals: Vec<Arrival> = (0..6)
+        .map(|i| Arrival {
+            at: SimTime::ZERO,
+            spec: JobSpec::compute(task, 1.0, Payload::Index(i)),
+        })
+        .collect();
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BaselineAllocator,
+        arrivals,
+        &cfg,
+        &RunMeta::default(),
+    );
+    let r = &out.record;
+    assert_eq!(r.jobs_completed, 6);
+    assert_eq!(r.cache_misses, 0);
+    assert_eq!(r.data_load_mb, 0.0);
+    // 6 × 1 s jobs on 2 workers ≈ 3 s.
+    assert!((r.makespan_secs - 3.0).abs() < 0.2, "{}", r.makespan_secs);
+}
+
+#[test]
+fn speed_learning_persists_across_session_iterations() {
+    use crossbid_net::NoiseModel;
+    // Actual speeds run at ~half the nominal (uniform 0.4-0.6 noise);
+    // with §6.4 learning on, the believed network speed after a warm
+    // iteration converges toward the observed ~half-speed.
+    let cfg = EngineConfig {
+        noise: NoiseModel::Uniform { lo: 0.4, hi: 0.6 },
+        speed_learning: true,
+        ..EngineConfig::ideal()
+    };
+    let mut session = Session::new(&specs(2), cfg, "learn", "test", 77);
+    let (mut wf, task) = sink_workflow();
+    let jobs: Vec<(u64, u64)> = (0..10).map(|i| (i, 100)).collect();
+    session.run_iteration(&mut wf, &BaselineAllocator, arrivals_for(task, &jobs));
+    for w in 0..2u32 {
+        let node = session.cluster().node(crossbid_crossflow::WorkerId(w));
+        let believed = node.believed_net(true).as_mb_per_sec();
+        let nominal = node.spec.net.as_mb_per_sec();
+        if node.net_tracker.count() > 0 {
+            assert!(
+                believed < nominal * 0.75,
+                "worker {w}: believed {believed:.1} should reflect the throttled actual (~{:.1})",
+                nominal * 0.5
+            );
+        }
+    }
+}

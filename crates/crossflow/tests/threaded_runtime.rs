@@ -1,0 +1,207 @@
+//! Tests of the real-threaded runtime. These run actual OS threads
+//! with aggressive time compression, so assertions are about
+//! *structure* (conservation, locality, metric consistency), not
+//! exact timings.
+
+use crossbid_crossflow::{
+    run_threaded, Arrival, JobSpec, Payload, ResourceRef, RunMeta, TaskId, ThreadedConfig,
+    ThreadedScheduler, WorkerSpec, Workflow,
+};
+use crossbid_net::NoiseModel;
+use crossbid_simcore::SimTime;
+use crossbid_storage::ObjectId;
+
+fn res(id: u64, mb: u64) -> ResourceRef {
+    ResourceRef {
+        id: ObjectId(id),
+        bytes: mb * 1_000_000,
+    }
+}
+
+fn specs(n: usize) -> Vec<WorkerSpec> {
+    (0..n)
+        .map(|i| {
+            WorkerSpec::builder(format!("w{i}"))
+                .net_mbps(10.0)
+                .rw_mbps(100.0)
+                .storage_gb(10.0)
+                .build()
+        })
+        .collect()
+}
+
+fn arrivals(task: TaskId, jobs: &[(u64, u64)], spacing_virtual_secs: f64) -> Vec<Arrival> {
+    jobs.iter()
+        .enumerate()
+        .map(|(i, (rid, mb))| Arrival {
+            at: SimTime::from_secs_f64(i as f64 * spacing_virtual_secs),
+            spec: JobSpec::scanning(task, res(*rid, *mb), Payload::Index(*rid)),
+        })
+        .collect()
+}
+
+/// Fast test config: 1 virtual second = 50 µs real.
+fn cfg(scheduler: ThreadedScheduler) -> ThreadedConfig {
+    ThreadedConfig {
+        time_scale: 5e-5,
+        noise: NoiseModel::None,
+        speed_learning: true,
+        scheduler,
+        seed: 7,
+        ..ThreadedConfig::default()
+    }
+}
+
+#[test]
+fn bidding_completes_all_jobs() {
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let jobs: Vec<(u64, u64)> = (0..20).map(|i| (i % 6, 100)).collect();
+    let r = run_threaded(
+        &specs(3),
+        &cfg(ThreadedScheduler::Bidding { window_secs: 1.0 }),
+        &mut wf,
+        arrivals(task, &jobs, 1.0),
+        &RunMeta::default(),
+    );
+    assert_eq!(r.jobs_completed, 20);
+    assert!(r.cache_misses >= 6, "six distinct repos must be fetched");
+    assert!(
+        r.cache_misses <= 18,
+        "locality should hold misses well below 20"
+    );
+    assert_eq!(r.cache_hits + r.cache_misses, 20);
+    assert!(r.makespan_secs > 0.0);
+    assert!(r.data_load_mb >= 600.0 - 1e-6);
+}
+
+#[test]
+fn baseline_completes_all_jobs() {
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let jobs: Vec<(u64, u64)> = (0..20).map(|i| (i % 6, 100)).collect();
+    let r = run_threaded(
+        &specs(3),
+        &cfg(ThreadedScheduler::Baseline),
+        &mut wf,
+        arrivals(task, &jobs, 1.0),
+        &RunMeta::default(),
+    );
+    assert_eq!(r.jobs_completed, 20);
+    assert_eq!(r.cache_hits + r.cache_misses, 20);
+    assert_eq!(r.contests_timed_out, 0, "baseline runs no contests");
+}
+
+#[test]
+fn downstream_jobs_flow_in_threaded_mode() {
+    use crossbid_crossflow::task::FnTask;
+    let sink_id = TaskId(1);
+    let mut wf = Workflow::new();
+    let search = wf.add_task(
+        "expand",
+        Box::new(FnTask(
+            move |job: &crossbid_crossflow::Job, _: &_, out: &mut Vec<JobSpec>| {
+                if let Some(r) = job.resource {
+                    out.push(JobSpec {
+                        task: sink_id,
+                        resource: Some(r),
+                        work_bytes: r.bytes / 2,
+                        cpu_secs: 0.0,
+                        payload: job.payload.clone(),
+                    });
+                }
+            },
+        )),
+    );
+    let sink = wf.add_sink("sink");
+    assert_eq!(sink, sink_id);
+    let r = run_threaded(
+        &specs(2),
+        &cfg(ThreadedScheduler::Bidding { window_secs: 0.5 }),
+        &mut wf,
+        arrivals(search, &[(1, 50), (2, 50), (3, 50)], 0.5),
+        &RunMeta::default(),
+    );
+    assert_eq!(r.jobs_completed, 6, "3 expand + 3 sink jobs");
+    let sink_logic = wf
+        .logic_as::<crossbid_crossflow::SinkTask>(sink)
+        .expect("sink");
+    assert_eq!(sink_logic.len(), 3);
+}
+
+#[test]
+fn warm_worker_attracts_bidding_jobs() {
+    // Single hot repo, three workers; after the first fetch, the
+    // owner's zero-transfer bids should keep the job count of clones
+    // far below the job count.
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let jobs: Vec<(u64, u64)> = (0..15).map(|_| (1, 200)).collect();
+    let r = run_threaded(
+        &specs(3),
+        &cfg(ThreadedScheduler::Bidding { window_secs: 1.0 }),
+        &mut wf,
+        // Spaced wider than a scan (2 s), so the owner is usually free.
+        arrivals(task, &jobs, 4.0),
+        &RunMeta::default(),
+    );
+    assert_eq!(r.jobs_completed, 15);
+    assert!(
+        r.cache_misses <= 3,
+        "hot repo should be cloned at most once per worker, got {}",
+        r.cache_misses
+    );
+}
+
+#[test]
+fn zero_worker_cluster_is_rejected() {
+    let mut wf = Workflow::new();
+    let _ = wf.add_sink("s");
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_threaded(
+            &[],
+            &cfg(ThreadedScheduler::Baseline),
+            &mut wf,
+            vec![],
+            &RunMeta::default(),
+        )
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn empty_arrivals_terminate_immediately() {
+    let mut wf = Workflow::new();
+    let _ = wf.add_sink("s");
+    let r = run_threaded(
+        &specs(2),
+        &cfg(ThreadedScheduler::Bidding { window_secs: 1.0 }),
+        &mut wf,
+        vec![],
+        &RunMeta::default(),
+    );
+    assert_eq!(r.jobs_completed, 0);
+    assert_eq!(r.cache_misses, 0);
+}
+
+#[test]
+fn busy_fractions_are_sane() {
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let jobs: Vec<(u64, u64)> = (0..12).map(|i| (i, 100)).collect();
+    let r = run_threaded(
+        &specs(3),
+        &cfg(ThreadedScheduler::Bidding { window_secs: 1.0 }),
+        &mut wf,
+        arrivals(task, &jobs, 0.5),
+        &RunMeta::default(),
+    );
+    assert_eq!(r.worker_busy_frac.len(), 3);
+    for b in &r.worker_busy_frac {
+        assert!((0.0..=1.0).contains(b), "busy {b}");
+    }
+    assert!(
+        r.worker_busy_frac.iter().any(|b| *b > 0.0),
+        "someone must have worked"
+    );
+}

@@ -1,0 +1,124 @@
+//! Tracing integration: the trace must reconstruct the schedule the
+//! engine actually executed.
+
+use crossbid_crossflow::{
+    run_workflow, Arrival, BaselineAllocator, Cluster, EngineConfig, JobSpec, Payload, ResourceRef,
+    RunMeta, TraceKind, WorkerSpec, Workflow,
+};
+use crossbid_simcore::SimTime;
+use crossbid_storage::ObjectId;
+
+fn specs(n: usize) -> Vec<WorkerSpec> {
+    (0..n)
+        .map(|i| {
+            WorkerSpec::builder(format!("w{i}"))
+                .net_mbps(10.0)
+                .rw_mbps(100.0)
+                .storage_gb(10.0)
+                .build()
+        })
+        .collect()
+}
+
+fn run_traced(jobs: &[(u64, u64)]) -> crossbid_crossflow::RunOutput {
+    let cfg = EngineConfig {
+        trace: true,
+        ..EngineConfig::ideal()
+    };
+    let mut cluster = Cluster::new(&specs(2), &cfg);
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let arrivals: Vec<Arrival> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, (rid, mb))| Arrival {
+            at: SimTime::from_secs(i as u64 * 5),
+            spec: JobSpec::scanning(
+                task,
+                ResourceRef {
+                    id: ObjectId(*rid),
+                    bytes: mb * 1_000_000,
+                },
+                Payload::Index(*rid),
+            ),
+        })
+        .collect();
+    run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BaselineAllocator,
+        arrivals,
+        &cfg,
+        &RunMeta::default(),
+    )
+}
+
+#[test]
+fn trace_covers_every_job() {
+    let out = run_traced(&[(1, 100), (2, 50), (1, 100), (3, 20)]);
+    let phases = out.trace.job_phases();
+    assert_eq!(phases.len(), 4);
+    // Sum of phase durations must not exceed the makespan per job.
+    for p in &phases {
+        assert!(p.wait_secs >= 0.0);
+        assert!(p.fetch_secs + p.proc_secs <= out.record.makespan_secs + 1e-6);
+    }
+    // Fetched events equal cache misses.
+    let fetches = out
+        .trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == TraceKind::Fetched)
+        .count() as u64;
+    assert_eq!(fetches, out.record.cache_misses);
+}
+
+#[test]
+fn cache_hit_jobs_show_zero_fetch_phase() {
+    let out = run_traced(&[(1, 100), (1, 100), (1, 100)]);
+    let phases = out.trace.job_phases();
+    let zero_fetch = phases.iter().filter(|p| p.fetch_secs == 0.0).count();
+    assert_eq!(
+        zero_fetch as u64, out.record.cache_hits,
+        "exactly the cache hits skip the fetch phase"
+    );
+}
+
+#[test]
+fn phase_times_match_the_cost_model() {
+    // One 100 MB job on a 10 MB/s, 100 MB/s worker: 10 s fetch, 1 s
+    // scan.
+    let out = run_traced(&[(1, 100)]);
+    let p = out.trace.job_phases()[0];
+    assert!((p.fetch_secs - 10.0).abs() < 1e-6, "fetch {}", p.fetch_secs);
+    assert!((p.proc_secs - 1.0).abs() < 1e-6, "proc {}", p.proc_secs);
+}
+
+#[test]
+fn gantt_renders_all_workers() {
+    let out = run_traced(&[(1, 100), (2, 100), (3, 100), (4, 100)]);
+    let g = out.trace.gantt(2, 60);
+    assert!(g.contains("w0"));
+    assert!(g.contains("w1"));
+    assert!(g.contains('#'), "{g}");
+}
+
+#[test]
+fn tracing_off_by_default() {
+    let cfg = EngineConfig::ideal();
+    let mut cluster = Cluster::new(&specs(1), &cfg);
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BaselineAllocator,
+        vec![Arrival {
+            at: SimTime::ZERO,
+            spec: JobSpec::compute(task, 1.0, Payload::None),
+        }],
+        &cfg,
+        &RunMeta::default(),
+    );
+    assert!(out.trace.is_empty());
+}

@@ -1,0 +1,205 @@
+//! `crossbid` — run a custom experiment from the command line.
+//!
+//! ```text
+//! crossbid [--scheduler S] [--workers W] [--jobs J] [--n N]
+//!          [--iterations I] [--seed K] [--mean-interval SECS]
+//!          [--gantt] [--csv]
+//!
+//!   S: bidding|baseline|spark-static|spark-locality|matchmaking|delay|random|all
+//!   W: all-equal|one-fast|one-slow|fast-slow
+//!   J: all_diff_equal|all_diff_large|all_diff_small|80pct_large|80pct_small
+//! ```
+//!
+//! Prints one metrics row per iteration (and optionally a Gantt chart
+//! of the last iteration, or CSV output).
+
+use crossbid_crossflow::{EngineConfig, Session, Workflow};
+use crossbid_experiments::runner::allocator_for;
+use crossbid_metrics::table::f2;
+use crossbid_metrics::{render_csv, SchedulerKind, Table};
+use crossbid_workload::{ArrivalProcess, JobConfig, WorkerConfig};
+
+struct Args {
+    schedulers: Vec<SchedulerKind>,
+    workers: WorkerConfig,
+    jobs: JobConfig,
+    n: usize,
+    iterations: u32,
+    seed: u64,
+    mean_interval: f64,
+    gantt: bool,
+    csv: bool,
+}
+
+fn parse_scheduler(s: &str) -> Option<SchedulerKind> {
+    SchedulerKind::ALL.into_iter().find(|k| k.name() == s)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        schedulers: vec![SchedulerKind::Bidding, SchedulerKind::Baseline],
+        workers: WorkerConfig::AllEqual,
+        jobs: JobConfig::Pct80Large,
+        n: 120,
+        iterations: 3,
+        seed: 0xC0FFEE,
+        mean_interval: 1.5,
+        gantt: false,
+        csv: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scheduler" => {
+                let v = value(&argv, i, "--scheduler")?;
+                args.schedulers = if v == "all" {
+                    SchedulerKind::ALL.to_vec()
+                } else {
+                    vec![parse_scheduler(&v).ok_or(format!("unknown scheduler '{v}'"))?]
+                };
+                i += 2;
+            }
+            "--workers" => {
+                let v = value(&argv, i, "--workers")?;
+                args.workers = WorkerConfig::ALL
+                    .into_iter()
+                    .find(|w| w.name() == v)
+                    .ok_or(format!("unknown worker config '{v}'"))?;
+                i += 2;
+            }
+            "--jobs" => {
+                let v = value(&argv, i, "--jobs")?;
+                args.jobs = JobConfig::ALL
+                    .into_iter()
+                    .find(|j| j.name() == v)
+                    .ok_or(format!("unknown job config '{v}'"))?;
+                i += 2;
+            }
+            "--n" => {
+                args.n = value(&argv, i, "--n")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                i += 2;
+            }
+            "--iterations" => {
+                args.iterations = value(&argv, i, "--iterations")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                args.seed = value(&argv, i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                i += 2;
+            }
+            "--mean-interval" => {
+                args.mean_interval = value(&argv, i, "--mean-interval")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                i += 2;
+            }
+            "--gantt" => {
+                args.gantt = true;
+                i += 1;
+            }
+            "--csv" => {
+                args.csv = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: crossbid [--scheduler S|all] [--workers W] [--jobs J] \
+                            [--n N] [--iterations I] [--seed K] [--mean-interval SECS] \
+                            [--gantt] [--csv]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    let headers = [
+        "scheduler",
+        "iter",
+        "time (s)",
+        "misses",
+        "hits",
+        "data (MB)",
+        "msgs",
+        "wait (s)",
+        "fairness",
+    ];
+    let mut table = Table::new(
+        format!(
+            "{} × {} — {} jobs, {} iterations, seed {}",
+            args.workers, args.jobs, args.n, args.iterations, args.seed
+        ),
+        &headers,
+    );
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+
+    for sched in &args.schedulers {
+        let alloc = allocator_for(*sched);
+        let engine = EngineConfig {
+            trace: args.gantt,
+            ..EngineConfig::default()
+        };
+        let mut wf = Workflow::new();
+        let task = wf.add_sink("scan");
+        let stream = args.jobs.generate(
+            args.seed,
+            args.n,
+            task,
+            &ArrivalProcess::Poisson {
+                mean_interval_secs: args.mean_interval,
+            },
+        );
+        let mut session = Session::new(
+            &args.workers.paper_specs(),
+            engine,
+            args.workers.name(),
+            args.jobs.name(),
+            args.seed,
+        );
+        for _ in 0..args.iterations {
+            let r = session.run_iteration(&mut wf, alloc.as_ref(), stream.arrivals.clone());
+            let row = vec![
+                sched.name().to_string(),
+                r.iteration.to_string(),
+                f2(r.makespan_secs),
+                r.cache_misses.to_string(),
+                r.cache_hits.to_string(),
+                f2(r.data_load_mb),
+                r.control_messages.to_string(),
+                f2(r.mean_queue_wait_secs),
+                format!("{:.3}", r.jains_fairness()),
+            ];
+            csv_rows.push(row.clone());
+            table.row(row);
+        }
+    }
+
+    if args.csv {
+        print!("{}", render_csv(&headers, &csv_rows));
+    } else {
+        println!("{}", table.render());
+    }
+}

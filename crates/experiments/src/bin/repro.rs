@@ -1,0 +1,169 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [fig2|fig3|fig4|tables|summary|extensions|crossover|replication|all]
+//!       [--smoke] [--seed N] [--out DIR]
+//! ```
+//!
+//! With `--out DIR` every artifact is also written to
+//! `DIR/<artifact>.md` and the raw grid records to `DIR/records.csv`.
+//!
+//! `fig3`/`fig4`/`summary` share one grid execution; `fig2` runs the
+//! Spark comparison; `tables` runs the threaded-runtime MSR
+//! experiment. `--smoke` shrinks everything for a fast check.
+
+use crossbid_experiments::{
+    crossover, extensions, fig2, fig3, fig4, replication, summary, tables, ExperimentConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok());
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(d) = &out_dir {
+        std::fs::create_dir_all(d).expect("create --out directory");
+    }
+    let emit = |name: &str, body: &str| {
+        println!("{body}");
+        if let Some(d) = &out_dir {
+            let path = std::path::Path::new(d).join(format!("{name}.md"));
+            std::fs::write(&path, body).expect("write artifact");
+            eprintln!("[repro] wrote {}", path.display());
+        }
+    };
+    let emit_records = |records: &[crossbid_metrics::RunRecord]| {
+        if let Some(d) = &out_dir {
+            let headers = [
+                "scheduler",
+                "worker_config",
+                "job_config",
+                "iteration",
+                "makespan_secs",
+                "cache_misses",
+                "cache_hits",
+                "data_load_mb",
+                "control_messages",
+            ];
+            let rows: Vec<Vec<String>> = records
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.scheduler.name().to_string(),
+                        r.worker_config.clone(),
+                        r.job_config.clone(),
+                        r.iteration.to_string(),
+                        format!("{:.3}", r.makespan_secs),
+                        r.cache_misses.to_string(),
+                        r.cache_hits.to_string(),
+                        format!("{:.3}", r.data_load_mb),
+                        r.control_messages.to_string(),
+                    ]
+                })
+                .collect();
+            let csv = crossbid_metrics::render_csv(&headers, &rows);
+            let path = std::path::Path::new(d).join("records.csv");
+            std::fs::write(&path, csv).expect("write records.csv");
+            eprintln!("[repro] wrote {}", path.display());
+        }
+    };
+
+    let mut cfg = if smoke {
+        ExperimentConfig::smoke()
+    } else {
+        ExperimentConfig::default()
+    };
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+
+    let t0 = std::time::Instant::now();
+    match what.as_str() {
+        "fig2" => {
+            let (rows, records) = fig2::run(&cfg);
+            emit("fig2", &fig2::render(&rows));
+            emit_records(&records);
+        }
+        "fig3" => {
+            let (rows, records) = fig3::run(&cfg);
+            emit("fig3", &fig3::render(&rows));
+            emit_records(&records);
+        }
+        "fig4" => {
+            let (rows, records) = fig4::run(&cfg);
+            emit("fig4", &fig4::render(&rows));
+            emit_records(&records);
+        }
+        "summary" => {
+            let (_, records) = fig3::run(&cfg);
+            emit("summary", &summary::render(&summary::compute(&records)));
+            emit_records(&records);
+        }
+        "extensions" => {
+            let rows = extensions::run_faults(&cfg);
+            emit("extensions", &extensions::render_faults(&rows));
+        }
+        "crossover" => {
+            let points = crossover::run(&cfg);
+            emit("crossover", &crossover::render(&points));
+        }
+        "replication" => {
+            let reps = args
+                .iter()
+                .position(|a| a == "--reps")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|s| s.parse::<u32>().ok())
+                .unwrap_or(5);
+            let rs = replication::run(&cfg, reps);
+            emit("replication", &replication::render(&rs));
+        }
+        "tables" => {
+            let exp = if smoke {
+                tables::MsrExperiment::smoke()
+            } else {
+                tables::MsrExperiment::default()
+            };
+            let res = tables::run(&exp);
+            emit("tables", &tables::render(&res));
+        }
+        "all" => {
+            let (rows2, _) = fig2::run(&cfg);
+            emit("fig2", &fig2::render(&rows2));
+            let (rows3, records) = fig3::run(&cfg);
+            emit("fig3", &fig3::render(&rows3));
+            emit("fig4", &fig4::render(&fig4::rows_from_records(&records)));
+            emit("summary", &summary::render(&summary::compute(&records)));
+            emit_records(&records);
+            let exp = if smoke {
+                tables::MsrExperiment::smoke()
+            } else {
+                tables::MsrExperiment::default()
+            };
+            let res = tables::run(&exp);
+            emit("tables", &tables::render(&res));
+            let rows = extensions::run_faults(&cfg);
+            emit("extensions", &extensions::render_faults(&rows));
+            let points = crossover::run(&cfg);
+            emit("crossover", &crossover::render(&points));
+        }
+        other => {
+            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crossover|replication|all");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[repro] {what} done in {:.1}s", t0.elapsed().as_secs_f64());
+}

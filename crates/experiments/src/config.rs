@@ -1,0 +1,66 @@
+//! Shared experiment configuration.
+
+use crossbid_crossflow::EngineConfig;
+use crossbid_workload::ArrivalProcess;
+
+/// Parameters shared by the whole evaluation (§6.2/§6.3.1 defaults).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Root seed; every cell derives its own stream from it.
+    pub seed: u64,
+    /// Jobs per configuration (the paper's 120).
+    pub n_jobs: usize,
+    /// Workers per cluster (the paper's 5).
+    pub n_workers: usize,
+    /// Warm-cache iterations per cell (the paper's 3).
+    pub iterations: u32,
+    /// Arrival process for the job stream.
+    pub arrivals: ArrivalProcess,
+    /// Engine parameters (latency, noise, bid window environment).
+    pub engine: EngineConfig,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            seed: 0xC0FFEE,
+            n_jobs: 120,
+            n_workers: 5,
+            iterations: 3,
+            arrivals: ArrivalProcess::evaluation_default(),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A scaled-down configuration for fast tests and smoke benches:
+    /// 30 jobs, 2 iterations, otherwise the paper's setup.
+    pub fn smoke() -> Self {
+        ExperimentConfig {
+            n_jobs: 30,
+            iterations: 2,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.n_jobs, 120);
+        assert_eq!(c.n_workers, 5);
+        assert_eq!(c.iterations, 3);
+    }
+
+    #[test]
+    fn smoke_is_smaller() {
+        let c = ExperimentConfig::smoke();
+        assert!(c.n_jobs < 120);
+        assert!(c.iterations < 3);
+    }
+}

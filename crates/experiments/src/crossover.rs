@@ -1,0 +1,150 @@
+//! The crossover sweep — §6.3.2 conclusion 3 as a curve:
+//!
+//! "The Bidding Scheduler exhibits an overhead that makes it more
+//! effective for large resources and long-running workflows. However,
+//! for small resources or short workflows, competing for jobs
+//! unnecessarily prolongs the execution, making it less advantageous
+//! compared to the Baseline."
+//!
+//! We sweep the repository size from a few megabytes to nearly a
+//! gigabyte under the paper's fixed arrival process and record the
+//! baseline/bidding speedup at each point. At small sizes both
+//! schedulers are arrival-bound — jobs are trivial next to the
+//! stream's gaps, so contesting them buys nothing and the ratio sits
+//! at ~1.0 ("performs comparably"). As the resource size grows the
+//! cluster saturates and placement quality takes over the makespan,
+//! so the ratio climbs.
+
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::{Allocator, BaselineAllocator, Session, Workflow};
+use crossbid_metrics::table::f2;
+use crossbid_metrics::{speedup, RunRecord, Table};
+use crossbid_workload::{JobMix, MixComponent, Repetition, SizeClass, WorkerConfig};
+
+use crate::config::ExperimentConfig;
+
+/// One point of the sweep.
+#[derive(Debug, Clone)]
+pub struct CrossoverPoint {
+    /// Nominal repository size in MB for this point.
+    pub repo_mb: u64,
+    /// Warm-iteration records: (bidding, baseline).
+    pub bidding: RunRecord,
+    /// Baseline record.
+    pub baseline: RunRecord,
+}
+
+impl CrossoverPoint {
+    /// Baseline time / bidding time (> 1 = bidding faster).
+    pub fn bidding_speedup(&self) -> f64 {
+        speedup(self.baseline.makespan_secs, self.bidding.makespan_secs)
+    }
+}
+
+/// The swept sizes in MB (log-spaced across the paper's 1 MB–1 GB
+/// range).
+pub const SWEEP_MB: [u64; 7] = [5, 15, 45, 120, 300, 600, 900];
+
+fn run_point(cfg: &ExperimentConfig, repo_mb: u64, alloc: &dyn Allocator) -> RunRecord {
+    // 60% of jobs draw from a hot pool of 8 repositories (locality
+    // matters), 40% are fresh (transfers persist even with warm
+    // caches). Arrival rate scales with job size so the cluster sits
+    // at the same ~1.2x utilization at every point — the paper's
+    // regime, where allocation quality decides the makespan.
+    let class = SizeClass::of(repo_mb * 1_000_000);
+    let mix = JobMix::new()
+        .with(MixComponent::data(0.6, class, Repetition::Pool { n: 8 }))
+        .with(MixComponent::data(0.4, class, Repetition::AllDifferent));
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    // The paper's arrival process is the same for every workload; the
+    // resource size alone decides whether the cluster is idle-bound
+    // (small repos: both schedulers just keep up, contest overhead
+    // buys nothing) or allocation-bound (large repos: placement
+    // quality decides the makespan).
+    let arrivals = cfg.arrivals.clone();
+    // Exact sizes: rebuild arrivals with the requested size (the class
+    // sampler varies sizes; pin them for a clean sweep).
+    let mut stream = mix.generate(cfg.seed, cfg.n_jobs, task, &arrivals);
+    for a in &mut stream.arrivals {
+        if let Some(r) = &mut a.spec.resource {
+            r.bytes = repo_mb * 1_000_000;
+            a.spec.work_bytes = r.bytes;
+        }
+    }
+    let mut session = Session::new(
+        &WorkerConfig::AllEqual.specs(cfg.n_workers),
+        cfg.engine.clone(),
+        WorkerConfig::AllEqual.name(),
+        format!("pool8_{repo_mb}mb"),
+        cfg.seed,
+    );
+    // Two iterations; report the warm one (locality in effect).
+    let records = session.run_iterations(&mut wf, alloc, 2, |_| stream.arrivals.clone());
+    records.into_iter().last().expect("two iterations")
+}
+
+/// Run the sweep.
+pub fn run(cfg: &ExperimentConfig) -> Vec<CrossoverPoint> {
+    SWEEP_MB
+        .iter()
+        .map(|&mb| CrossoverPoint {
+            repo_mb: mb,
+            bidding: run_point(cfg, mb, &BiddingAllocator::new()),
+            baseline: run_point(cfg, mb, &BaselineAllocator),
+        })
+        .collect()
+}
+
+/// Render the sweep table.
+pub fn render(points: &[CrossoverPoint]) -> String {
+    let mut t = Table::new(
+        "Crossover sweep — baseline/bidding speedup vs repository size (warm iteration)",
+        &[
+            "repo (MB)",
+            "bidding (s)",
+            "baseline (s)",
+            "speedup",
+            "bid misses",
+            "base misses",
+        ],
+    );
+    for p in points {
+        t.row([
+            p.repo_mb.to_string(),
+            f2(p.bidding.makespan_secs),
+            f2(p.baseline.makespan_secs),
+            format!("{:.2}x", p.bidding_speedup()),
+            p.bidding.cache_misses.to_string(),
+            p.baseline.cache_misses.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shows_size_dependence() {
+        let cfg = ExperimentConfig {
+            n_jobs: 40,
+            ..ExperimentConfig::default()
+        };
+        let points = run(&cfg);
+        assert_eq!(points.len(), SWEEP_MB.len());
+        // §6.3.2 conclusion 3's shape: the advantage at the largest
+        // size exceeds the advantage at the smallest.
+        let small = points.first().expect("non-empty").bidding_speedup();
+        let large = points.last().expect("non-empty").bidding_speedup();
+        assert!(
+            large > small,
+            "advantage should grow with size: {small:.2}x at {} MB vs {large:.2}x at {} MB",
+            SWEEP_MB[0],
+            SWEEP_MB[SWEEP_MB.len() - 1]
+        );
+        let rendered = render(&points);
+        assert!(rendered.contains("Crossover"));
+    }
+}

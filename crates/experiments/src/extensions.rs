@@ -1,0 +1,156 @@
+//! Experiments for the extensions this reproduction adds beyond the
+//! paper's evaluated configuration — both taken from the paper's own
+//! future-work list (§5 caveats, §7):
+//!
+//! * **fault tolerance** — "a worker dying after winning a bid" and
+//!   "redistributing the remaining jobs if a worker becomes
+//!   unavailable";
+//! * **bid learning** — workers "keep the historic data of their bids
+//!   and completed work and use this data to learn from it and adjust
+//!   their future bids".
+
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::{
+    run_workflow, Allocator, BaselineAllocator, Cluster, EngineConfig, FaultPlan, RunMeta,
+    WorkerId, Workflow,
+};
+use crossbid_metrics::table::{f2, fpct};
+use crossbid_metrics::{percent_reduction, RunRecord, Table};
+use crossbid_simcore::SimTime;
+use crossbid_workload::{ArrivalProcess, JobConfig, WorkerConfig};
+
+use crate::config::ExperimentConfig;
+
+/// One fault-tolerance row: a scheduler's run with and without a
+/// mid-run crash of one worker.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Scheduler name.
+    pub scheduler: &'static str,
+    /// The undisturbed run.
+    pub healthy: RunRecord,
+    /// The run where worker 0 crashes at 25% of the healthy makespan
+    /// and recovers at 60%.
+    pub crashed: RunRecord,
+}
+
+impl FaultRow {
+    /// Relative makespan cost of the crash (positive = slower).
+    pub fn makespan_cost_pct(&self) -> f64 {
+        -percent_reduction(self.healthy.makespan_secs, self.crashed.makespan_secs)
+    }
+}
+
+fn one_run(cfg: &ExperimentConfig, alloc: &dyn Allocator, faults: FaultPlan) -> RunRecord {
+    let engine = EngineConfig {
+        faults,
+        ..cfg.engine.clone()
+    };
+    let specs = WorkerConfig::AllEqual.specs(cfg.n_workers);
+    let mut cluster = Cluster::new(&specs, &engine);
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let stream = JobConfig::Pct80Large.generate(
+        cfg.seed,
+        cfg.n_jobs,
+        task,
+        &ArrivalProcess::evaluation_default(),
+    );
+    let meta = RunMeta {
+        worker_config: "all-equal".into(),
+        job_config: "80pct_large".into(),
+        seed: cfg.seed,
+        ..RunMeta::default()
+    };
+    run_workflow(
+        &mut cluster,
+        &mut wf,
+        alloc,
+        stream.arrivals,
+        &engine,
+        &meta,
+    )
+    .record
+}
+
+/// Run the fault-tolerance experiment for Bidding and Baseline.
+pub fn run_faults(cfg: &ExperimentConfig) -> Vec<FaultRow> {
+    let schedulers: Vec<(&'static str, Box<dyn Allocator>)> = vec![
+        ("bidding", Box::new(BiddingAllocator::new())),
+        ("baseline", Box::new(BaselineAllocator)),
+    ];
+    schedulers
+        .into_iter()
+        .map(|(name, alloc)| {
+            let healthy = one_run(cfg, alloc.as_ref(), FaultPlan::none());
+            let crash_at = SimTime::from_secs_f64(healthy.makespan_secs * 0.25);
+            let recover_at = SimTime::from_secs_f64(healthy.makespan_secs * 0.60);
+            let plan = FaultPlan::new()
+                .crash_at(crash_at, WorkerId(0))
+                .recover_at(recover_at, WorkerId(0));
+            let crashed = one_run(cfg, alloc.as_ref(), plan);
+            FaultRow {
+                scheduler: name,
+                healthy,
+                crashed,
+            }
+        })
+        .collect()
+}
+
+/// Render the fault-tolerance table.
+pub fn render_faults(rows: &[FaultRow]) -> String {
+    let mut t = Table::new(
+        "Extension — crash + recovery of one worker mid-run (80pct_large, all-equal)",
+        &[
+            "scheduler",
+            "healthy (s)",
+            "crashed (s)",
+            "cost",
+            "jobs lost",
+            "extra data (MB)",
+        ],
+    );
+    for r in rows {
+        t.row([
+            r.scheduler.to_string(),
+            f2(r.healthy.makespan_secs),
+            f2(r.crashed.makespan_secs),
+            fpct(r.makespan_cost_pct()),
+            (r.healthy.jobs_completed as i64 - r.crashed.jobs_completed as i64).to_string(),
+            f2(r.crashed.data_load_mb - r.healthy.data_load_mb),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_costs_time_but_never_jobs() {
+        let cfg = ExperimentConfig {
+            n_jobs: 30,
+            iterations: 1,
+            ..ExperimentConfig::default()
+        };
+        let rows = run_faults(&cfg);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(
+                r.healthy.jobs_completed, r.crashed.jobs_completed,
+                "{}: jobs lost to the crash",
+                r.scheduler
+            );
+            assert!(
+                r.crashed.makespan_secs >= r.healthy.makespan_secs * 0.95,
+                "{}: crash made the run much faster?",
+                r.scheduler
+            );
+        }
+        let rendered = render_faults(&rows);
+        assert!(rendered.contains("bidding"));
+        assert!(rendered.contains("baseline"));
+    }
+}

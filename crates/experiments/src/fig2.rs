@@ -1,0 +1,149 @@
+//! Figure 2 — "Execution times of MSR in Spark compared to Crossflow
+//! Baseline": four column groups contrasting Spark's centralized
+//! up-front allocation with Crossflow's opinionated pull scheduling.
+//!
+//! The paper's groups:
+//!
+//! 1. *fast-slow* workers + large repositories → Spark 7.94× slower;
+//! 2. *all-equal* workers + small repositories → Crossflow 2.3× faster;
+//! 3. *all-equal* workers + non-repetitive dataset (equal sizes);
+//! 4. varying (fast-slow) speeds + repetitive dataset (80 % of jobs
+//!    need the same repository).
+
+use crossbid_metrics::table::f2;
+use crossbid_metrics::{speedup, RunRecord, SchedulerKind, Table};
+use crossbid_workload::{JobConfig, WorkerConfig};
+
+use crate::config::ExperimentConfig;
+use crate::runner::{run_grid, Cell};
+
+/// One Figure 2 column group.
+#[derive(Debug, Clone)]
+pub struct Fig2Group {
+    /// Group label (paper ordering).
+    pub label: &'static str,
+    /// Cluster shape.
+    pub worker_config: WorkerConfig,
+    /// Job stream shape.
+    pub job_config: JobConfig,
+    /// Average seconds: (crossflow baseline, spark).
+    pub time_secs: (f64, f64),
+}
+
+impl Fig2Group {
+    /// Spark time / Crossflow time (the paper's "Spark takes 7.94x
+    /// longer" phrasing).
+    pub fn spark_slowdown(&self) -> f64 {
+        speedup(self.time_secs.1, self.time_secs.0)
+    }
+}
+
+/// The paper's four column groups.
+pub fn groups() -> [(&'static str, WorkerConfig, JobConfig); 4] {
+    [
+        (
+            "fast-slow + large",
+            WorkerConfig::FastSlow,
+            JobConfig::AllDiffLarge,
+        ),
+        (
+            "all-equal + small",
+            WorkerConfig::AllEqual,
+            JobConfig::AllDiffSmall,
+        ),
+        (
+            "all-equal + non-repetitive",
+            WorkerConfig::AllEqual,
+            JobConfig::AllDiffEqual,
+        ),
+        (
+            "varying + 80% repetitive",
+            WorkerConfig::FastSlow,
+            JobConfig::Pct80Large,
+        ),
+    ]
+}
+
+/// Run the comparison and compute the groups.
+pub fn run(cfg: &ExperimentConfig) -> (Vec<Fig2Group>, Vec<RunRecord>) {
+    let mut cells = Vec::new();
+    for (_, wc, jc) in groups() {
+        for sched in [SchedulerKind::Baseline, SchedulerKind::SparkStatic] {
+            cells.push(Cell {
+                worker_config: wc,
+                job_config: jc,
+                scheduler: sched,
+            });
+        }
+    }
+    let results = run_grid(cfg, &cells);
+    let records: Vec<RunRecord> = results.into_iter().flatten().collect();
+    let rows = groups()
+        .iter()
+        .map(|(label, wc, jc)| {
+            let avg = |sched: SchedulerKind| {
+                let rs: Vec<&RunRecord> = records
+                    .iter()
+                    .filter(|r| {
+                        r.scheduler == sched
+                            && r.worker_config == wc.name()
+                            && r.job_config == jc.name()
+                    })
+                    .collect();
+                rs.iter().map(|r| r.makespan_secs).sum::<f64>() / rs.len().max(1) as f64
+            };
+            Fig2Group {
+                label,
+                worker_config: *wc,
+                job_config: *jc,
+                time_secs: (
+                    avg(SchedulerKind::Baseline),
+                    avg(SchedulerKind::SparkStatic),
+                ),
+            }
+        })
+        .collect();
+    (rows, records)
+}
+
+/// Render the Figure 2 table.
+pub fn render(rows: &[Fig2Group]) -> String {
+    let mut t = Table::new(
+        "Figure 2 — MSR execution time: Spark vs Crossflow Baseline (s)",
+        &["group", "crossflow", "spark", "spark/crossflow"],
+    );
+    for r in rows {
+        t.row([
+            r.label.to_string(),
+            f2(r.time_secs.0),
+            f2(r.time_secs.1),
+            format!("{:.2}x", r.spark_slowdown()),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_groups_matching_the_paper() {
+        let g = groups();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g[0].1, WorkerConfig::FastSlow);
+        assert_eq!(g[1].2, JobConfig::AllDiffSmall);
+        assert!(g[3].2.is_repetitive());
+    }
+
+    #[test]
+    fn slowdown_is_spark_over_crossflow() {
+        let g = Fig2Group {
+            label: "x",
+            worker_config: WorkerConfig::AllEqual,
+            job_config: JobConfig::AllDiffSmall,
+            time_secs: (100.0, 794.0),
+        };
+        assert!((g.spark_slowdown() - 7.94).abs() < 1e-12);
+    }
+}

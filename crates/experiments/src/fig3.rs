@@ -1,0 +1,165 @@
+//! Figure 3 — "Accumulated results per workload per algorithm":
+//! average total execution time (3a), average cache-miss count (3b)
+//! and average data load (3c) per job configuration, Bidding vs
+//! Baseline, averaged over all worker configurations and iterations.
+
+use crossbid_metrics::table::{f2, fpct};
+use crossbid_metrics::{Aggregator, RunRecord, SchedulerKind, Table};
+
+use crate::config::ExperimentConfig;
+use crate::runner::{full_grid, run_grid};
+
+/// One row of the Figure 3 data: a job configuration with both
+/// schedulers' per-run averages.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Job configuration name.
+    pub workload: String,
+    /// Average end-to-end seconds: (bidding, baseline).
+    pub time_secs: (f64, f64),
+    /// Average cache misses per run: (bidding, baseline).
+    pub misses: (f64, f64),
+    /// Average data load MB per run: (bidding, baseline).
+    pub data_mb: (f64, f64),
+}
+
+impl Fig3Row {
+    /// Baseline-relative speedup percentage of the Bidding Scheduler.
+    pub fn speedup_pct(&self) -> f64 {
+        crossbid_metrics::percent_reduction(self.time_secs.1, self.time_secs.0)
+    }
+
+    /// Percentage reduction in cache misses.
+    pub fn miss_reduction_pct(&self) -> f64 {
+        crossbid_metrics::percent_reduction(self.misses.1, self.misses.0)
+    }
+
+    /// Percentage reduction in data load.
+    pub fn data_reduction_pct(&self) -> f64 {
+        crossbid_metrics::percent_reduction(self.data_mb.1, self.data_mb.0)
+    }
+}
+
+/// Compute the Figure 3 rows from a set of grid records.
+pub fn rows_from_records(records: &[RunRecord]) -> Vec<Fig3Row> {
+    let mut agg = Aggregator::new();
+    agg.push_all_by_job_config(records.iter());
+    agg.keys()
+        .into_iter()
+        .filter_map(|key| {
+            let bid = agg.get(SchedulerKind::Bidding, &key)?;
+            let base = agg.get(SchedulerKind::Baseline, &key)?;
+            Some(Fig3Row {
+                workload: key,
+                time_secs: (bid.makespan.mean(), base.makespan.mean()),
+                misses: (bid.cache_misses.mean(), base.cache_misses.mean()),
+                data_mb: (bid.data_load_mb.mean(), base.data_load_mb.mean()),
+            })
+        })
+        .collect()
+}
+
+/// Run the full grid and produce the Figure 3 rows.
+pub fn run(cfg: &ExperimentConfig) -> (Vec<Fig3Row>, Vec<RunRecord>) {
+    let cells = full_grid();
+    let records: Vec<RunRecord> = run_grid(cfg, &cells).into_iter().flatten().collect();
+    (rows_from_records(&records), records)
+}
+
+/// Render the three charts as tables (3a, 3b, 3c).
+pub fn render(rows: &[Fig3Row]) -> String {
+    let mut t_time = Table::new(
+        "Figure 3a — average total execution time per workload (s)",
+        &["workload", "bidding", "baseline", "speedup"],
+    );
+    let mut t_miss = Table::new(
+        "Figure 3b — average cache-miss count per workload",
+        &["workload", "bidding", "baseline", "reduction"],
+    );
+    let mut t_data = Table::new(
+        "Figure 3c — average data load per workload (MB)",
+        &["workload", "bidding", "baseline", "reduction"],
+    );
+    for r in rows {
+        t_time.row([
+            r.workload.clone(),
+            f2(r.time_secs.0),
+            f2(r.time_secs.1),
+            fpct(r.speedup_pct()),
+        ]);
+        t_miss.row([
+            r.workload.clone(),
+            f2(r.misses.0),
+            f2(r.misses.1),
+            fpct(r.miss_reduction_pct()),
+        ]);
+        t_data.row([
+            r.workload.clone(),
+            f2(r.data_mb.0),
+            f2(r.data_mb.1),
+            fpct(r.data_reduction_pct()),
+        ]);
+    }
+    format!(
+        "{}\n{}\n{}",
+        t_time.render(),
+        t_miss.render(),
+        t_data.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(s: SchedulerKind, job: &str, t: f64, m: u64, d: f64) -> RunRecord {
+        RunRecord {
+            scheduler: s,
+            worker_config: "all-equal".into(),
+            job_config: job.into(),
+            iteration: 0,
+            seed: 0,
+            makespan_secs: t,
+            data_load_mb: d,
+            cache_misses: m,
+            cache_hits: 0,
+            evictions: 0,
+            jobs_completed: 1,
+            control_messages: 0,
+            contests_timed_out: 0,
+            contests_fallback: 0,
+            mean_queue_wait_secs: 0.0,
+            worker_busy_frac: vec![],
+        }
+    }
+
+    #[test]
+    fn rows_pair_schedulers_per_workload() {
+        let records = vec![
+            rec(SchedulerKind::Bidding, "a", 100.0, 10, 1000.0),
+            rec(SchedulerKind::Baseline, "a", 200.0, 20, 2000.0),
+            rec(SchedulerKind::Bidding, "b", 50.0, 5, 500.0),
+            // workload "b" has no baseline record → dropped.
+        ];
+        let rows = rows_from_records(&records);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.workload, "a");
+        assert!((r.speedup_pct() - 50.0).abs() < 1e-9);
+        assert!((r.miss_reduction_pct() - 50.0).abs() < 1e-9);
+        assert!((r.data_reduction_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_all_three_charts() {
+        let rows = rows_from_records(&[
+            rec(SchedulerKind::Bidding, "x", 10.0, 1, 10.0),
+            rec(SchedulerKind::Baseline, "x", 20.0, 2, 20.0),
+        ]);
+        let s = render(&rows);
+        assert!(s.contains("Figure 3a"));
+        assert!(s.contains("Figure 3b"));
+        assert!(s.contains("Figure 3c"));
+        assert!(s.contains("50.0%"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Figure 4 — "Average execution times per workload per algorithm",
+//! broken down by worker configuration. This is the chart that shows
+//! *where* bidding pays off: it loses (or ties) when a fast worker
+//! plus small resources make contest overhead dominate, and wins on
+//! slow/heterogeneous clusters with large resources.
+
+use crossbid_metrics::table::f2;
+use crossbid_metrics::{speedup, Aggregator, RunRecord, SchedulerKind, Table};
+
+use crate::config::ExperimentConfig;
+use crate::runner::{full_grid, run_grid};
+
+/// One (worker config, job config) cell with both schedulers' average
+/// times.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Worker configuration name.
+    pub worker_config: String,
+    /// Job configuration name.
+    pub job_config: String,
+    /// Average seconds: (bidding, baseline).
+    pub time_secs: (f64, f64),
+}
+
+impl Fig4Row {
+    /// Baseline time / bidding time; > 1 means bidding is faster.
+    pub fn bidding_speedup(&self) -> f64 {
+        speedup(self.time_secs.1, self.time_secs.0)
+    }
+}
+
+/// Compute the Figure 4 rows from grid records.
+pub fn rows_from_records(records: &[RunRecord]) -> Vec<Fig4Row> {
+    let mut agg = Aggregator::new();
+    agg.push_all_by_both(records.iter());
+    agg.keys()
+        .into_iter()
+        .filter_map(|key| {
+            let bid = agg.get(SchedulerKind::Bidding, &key)?;
+            let base = agg.get(SchedulerKind::Baseline, &key)?;
+            let (wc, jc) = key.split_once('/')?;
+            Some(Fig4Row {
+                worker_config: wc.to_string(),
+                job_config: jc.to_string(),
+                time_secs: (bid.makespan.mean(), base.makespan.mean()),
+            })
+        })
+        .collect()
+}
+
+/// Run the grid and compute the rows.
+pub fn run(cfg: &ExperimentConfig) -> (Vec<Fig4Row>, Vec<RunRecord>) {
+    let cells = full_grid();
+    let records: Vec<RunRecord> = run_grid(cfg, &cells).into_iter().flatten().collect();
+    (rows_from_records(&records), records)
+}
+
+/// Render the breakdown table.
+pub fn render(rows: &[Fig4Row]) -> String {
+    let mut t = Table::new(
+        "Figure 4 — average execution time per workload per worker configuration (s)",
+        &[
+            "workers",
+            "workload",
+            "bidding",
+            "baseline",
+            "baseline/bidding",
+        ],
+    );
+    for r in rows {
+        t.row([
+            r.worker_config.clone(),
+            r.job_config.clone(),
+            f2(r.time_secs.0),
+            f2(r.time_secs.1),
+            format!("{:.2}x", r.bidding_speedup()),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(s: SchedulerKind, wc: &str, jc: &str, t: f64) -> RunRecord {
+        RunRecord {
+            scheduler: s,
+            worker_config: wc.into(),
+            job_config: jc.into(),
+            iteration: 0,
+            seed: 0,
+            makespan_secs: t,
+            data_load_mb: 0.0,
+            cache_misses: 0,
+            cache_hits: 0,
+            evictions: 0,
+            jobs_completed: 1,
+            control_messages: 0,
+            contests_timed_out: 0,
+            contests_fallback: 0,
+            mean_queue_wait_secs: 0.0,
+            worker_busy_frac: vec![],
+        }
+    }
+
+    #[test]
+    fn rows_split_worker_and_job_config() {
+        let rows = rows_from_records(&[
+            rec(SchedulerKind::Bidding, "one-slow", "80pct_large", 100.0),
+            rec(SchedulerKind::Baseline, "one-slow", "80pct_large", 150.0),
+        ]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].worker_config, "one-slow");
+        assert_eq!(rows[0].job_config, "80pct_large");
+        assert!((rows[0].bidding_speedup() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_mentions_every_cell() {
+        let s = render(&rows_from_records(&[
+            rec(SchedulerKind::Bidding, "a", "x", 1.0),
+            rec(SchedulerKind::Baseline, "a", "x", 2.0),
+            rec(SchedulerKind::Bidding, "b", "y", 3.0),
+            rec(SchedulerKind::Baseline, "b", "y", 3.0),
+        ]));
+        assert!(s.contains("2.00x"));
+        assert!(s.contains("1.00x"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # crossbid-experiments
+//!
+//! The evaluation harness. One module per paper artifact:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig2`] | Figure 2 — MSR times: Spark vs Crossflow Baseline, four column groups |
+//! | [`fig3`] | Figure 3a/b/c — avg execution time / cache misses / data load per workload, Bidding vs Baseline |
+//! | [`fig4`] | Figure 4 — avg execution time per workload per worker configuration |
+//! | [`tables`] | Tables 1–3 — three "non-simulated" MSR runs on the threaded runtime |
+//! | [`summary`] | The headline aggregates (≈24.5 % speedup, ≈49 % fewer misses, ≈45.3 % less data, up to 3.57×) |
+//!
+//! [`runner`] executes the (worker cfg × job cfg × scheduler) grid —
+//! every cell is an independent 3-iteration warm-cache session —
+//! in parallel across OS threads; everything is seeded and the
+//! simulated cells are bit-reproducible.
+
+pub mod config;
+pub mod crossover;
+pub mod extensions;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod replication;
+pub mod runner;
+pub mod summary;
+pub mod tables;
+
+pub use config::ExperimentConfig;
+pub use runner::{run_cell, run_grid, Cell};

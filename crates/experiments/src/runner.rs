@@ -1,0 +1,215 @@
+//! Grid execution: one cell = (worker config × job config ×
+//! scheduler), run as a warm-cache multi-iteration session.
+
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::{Allocator, BaselineAllocator, Session, Workflow};
+use crossbid_metrics::{RunRecord, SchedulerKind};
+use crossbid_simcore::SeedSequence;
+use crossbid_workload::{JobConfig, WorkerConfig};
+
+use crate::config::ExperimentConfig;
+
+/// One point of the evaluation grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// Cluster shape.
+    pub worker_config: WorkerConfig,
+    /// Job stream shape.
+    pub job_config: JobConfig,
+    /// Allocation algorithm.
+    pub scheduler: SchedulerKind,
+}
+
+/// Build the allocator for a scheduler kind with evaluation defaults.
+pub fn allocator_for(kind: SchedulerKind) -> Box<dyn Allocator> {
+    match kind {
+        SchedulerKind::Bidding => Box::new(BiddingAllocator::new()),
+        SchedulerKind::Baseline => Box::new(BaselineAllocator),
+        SchedulerKind::SparkStatic => {
+            Box::new(crossbid_baselines::SparkStaticAllocator::with_stage_barrier())
+        }
+        SchedulerKind::SparkLocality => {
+            Box::new(crossbid_baselines::SparkLocalityAllocator::default())
+        }
+        SchedulerKind::Matchmaking => Box::new(crossbid_baselines::MatchmakingAllocator::default()),
+        SchedulerKind::Delay => Box::new(crossbid_baselines::DelayAllocator::default()),
+        SchedulerKind::Bar => Box::new(crossbid_baselines::BarAllocator::default()),
+        SchedulerKind::Random => Box::new(crossbid_baselines::RandomAllocator),
+    }
+}
+
+/// Derive a stable per-cell seed so that *both* schedulers of a
+/// comparison see the identical workload (catalog, sizes, arrival
+/// times) — the scheduler is the only varying factor in a pair.
+fn workload_seed(cfg: &ExperimentConfig, cell: &Cell) -> u64 {
+    // Scheduler deliberately NOT mixed in.
+    let wc = cell.worker_config as u64;
+    let jc = cell.job_config as u64;
+    SeedSequence::new(cfg.seed).seed_for(wc * 31 + jc)
+}
+
+/// Run one grid cell: a fresh cluster, `cfg.iterations` warm-cache
+/// iterations of the same 120-job stream. Returns one record per
+/// iteration.
+pub fn run_cell(cfg: &ExperimentConfig, cell: Cell) -> Vec<RunRecord> {
+    let specs = cell.worker_config.specs(cfg.n_workers);
+    let wseed = workload_seed(cfg, &cell);
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("repository-searcher");
+    let stream = cell
+        .job_config
+        .generate(wseed, cfg.n_jobs, task, &cfg.arrivals);
+    let allocator = allocator_for(cell.scheduler);
+    let mut session = Session::new(
+        &specs,
+        cfg.engine.clone(),
+        cell.worker_config.name(),
+        cell.job_config.name(),
+        wseed,
+    );
+    (0..cfg.iterations)
+        .map(|_| session.run_iteration(&mut wf, allocator.as_ref(), stream.arrivals.clone()))
+        .collect()
+}
+
+/// Run many cells in parallel (one OS thread per cell, bounded by the
+/// scheduler of the OS — cells are short). Results keep `cells`'
+/// order.
+pub fn run_grid(cfg: &ExperimentConfig, cells: &[Cell]) -> Vec<Vec<RunRecord>> {
+    let mut results: Vec<Option<Vec<RunRecord>>> = (0..cells.len()).map(|_| None).collect();
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let chunk = cells.len().div_ceil(parallelism).max(1);
+    std::thread::scope(|s| {
+        for (cells_chunk, out_chunk) in cells.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            s.spawn(move || {
+                for (cell, slot) in cells_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(run_cell(cfg, *cell));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every cell filled"))
+        .collect()
+}
+
+/// The full Bidding-vs-Baseline grid of §6.3 (4 worker configs × 5
+/// job configs × 2 schedulers = 40 cells).
+pub fn full_grid() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for wc in WorkerConfig::ALL {
+        for jc in JobConfig::ALL {
+            for sched in [SchedulerKind::Bidding, SchedulerKind::Baseline] {
+                cells.push(Cell {
+                    worker_config: wc,
+                    job_config: jc,
+                    scheduler: sched,
+                });
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scheduler_kind_has_an_allocator() {
+        for kind in SchedulerKind::ALL {
+            let alloc = allocator_for(kind);
+            assert_eq!(alloc.kind(), kind, "allocator kind mismatch for {kind}");
+        }
+    }
+
+    #[test]
+    fn full_grid_has_40_cells() {
+        let g = full_grid();
+        assert_eq!(g.len(), 40);
+        // Every pair appears with both schedulers.
+        let bidding = g
+            .iter()
+            .filter(|c| c.scheduler == SchedulerKind::Bidding)
+            .count();
+        assert_eq!(bidding, 20);
+    }
+
+    #[test]
+    fn workload_seed_ignores_scheduler() {
+        let cfg = ExperimentConfig::default();
+        let a = workload_seed(
+            &cfg,
+            &Cell {
+                worker_config: WorkerConfig::AllEqual,
+                job_config: JobConfig::Pct80Large,
+                scheduler: SchedulerKind::Bidding,
+            },
+        );
+        let b = workload_seed(
+            &cfg,
+            &Cell {
+                worker_config: WorkerConfig::AllEqual,
+                job_config: JobConfig::Pct80Large,
+                scheduler: SchedulerKind::Baseline,
+            },
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_cell_produces_one_record_per_iteration() {
+        let cfg = ExperimentConfig {
+            n_jobs: 10,
+            iterations: 2,
+            ..ExperimentConfig::default()
+        };
+        let records = run_cell(
+            &cfg,
+            Cell {
+                worker_config: WorkerConfig::AllEqual,
+                job_config: JobConfig::AllDiffSmall,
+                scheduler: SchedulerKind::Bidding,
+            },
+        );
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].jobs_completed, 10);
+        assert_eq!(records[0].iteration, 0);
+        assert_eq!(records[1].iteration, 1);
+        // Warm cache: second iteration strictly fewer misses.
+        assert!(records[1].cache_misses <= records[0].cache_misses);
+    }
+
+    #[test]
+    fn grid_runner_matches_sequential() {
+        let cfg = ExperimentConfig {
+            n_jobs: 8,
+            iterations: 1,
+            ..ExperimentConfig::default()
+        };
+        let cells = vec![
+            Cell {
+                worker_config: WorkerConfig::AllEqual,
+                job_config: JobConfig::AllDiffSmall,
+                scheduler: SchedulerKind::Bidding,
+            },
+            Cell {
+                worker_config: WorkerConfig::OneSlow,
+                job_config: JobConfig::Pct80Small,
+                scheduler: SchedulerKind::Baseline,
+            },
+        ];
+        let par = run_grid(&cfg, &cells);
+        let seq: Vec<Vec<RunRecord>> = cells.iter().map(|c| run_cell(&cfg, *c)).collect();
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.len(), s.len());
+            for (a, b) in p.iter().zip(s) {
+                assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits());
+                assert_eq!(a.cache_misses, b.cache_misses);
+            }
+        }
+    }
+}

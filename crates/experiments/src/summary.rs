@@ -1,0 +1,153 @@
+//! The headline aggregates of §6.3.2:
+//!
+//! 1. "Bidding Scheduler achieves a speedup of approximately 24.5%
+//!    compared to the Baseline" — mean per-cell speedup;
+//! 2. "approximately 49% fewer cache misses and approximately 45.3%
+//!    reduction in data load per workflow run";
+//! 3. the abstract's "up to 3.57x faster execution times".
+
+use crossbid_metrics::table::{fpct, fx};
+use crossbid_metrics::{percent_reduction, speedup, RunRecord, SchedulerKind, Table};
+
+use crate::fig4::rows_from_records as fig4_rows;
+
+/// Headline aggregates over a full grid of records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Mean percentage speedup of Bidding over Baseline across grid
+    /// cells.
+    pub mean_speedup_pct: f64,
+    /// Mean percentage reduction in cache misses.
+    pub miss_reduction_pct: f64,
+    /// Mean percentage reduction in data load.
+    pub data_reduction_pct: f64,
+    /// Largest per-cell speedup factor (the "up to Nx" number).
+    pub max_speedup: f64,
+    /// Number of (worker cfg × job cfg) cells compared.
+    pub cells: usize,
+}
+
+/// Compute the summary from grid records (both schedulers present).
+pub fn compute(records: &[RunRecord]) -> Summary {
+    let rows = fig4_rows(records);
+    let mut speedups = Vec::new();
+    for r in &rows {
+        speedups.push(speedup(r.time_secs.1, r.time_secs.0));
+    }
+    let mean_speedup_pct = if rows.is_empty() {
+        0.0
+    } else {
+        rows.iter()
+            .map(|r| percent_reduction(r.time_secs.1, r.time_secs.0))
+            .sum::<f64>()
+            / rows.len() as f64
+    };
+    // Misses/data: totals per scheduler across the grid, as the paper
+    // aggregates "per workflow run".
+    let total = |kind: SchedulerKind, f: fn(&RunRecord) -> f64| -> f64 {
+        let rs: Vec<&RunRecord> = records.iter().filter(|r| r.scheduler == kind).collect();
+        if rs.is_empty() {
+            0.0
+        } else {
+            rs.iter().map(|r| f(r)).sum::<f64>() / rs.len() as f64
+        }
+    };
+    let miss_reduction_pct = percent_reduction(
+        total(SchedulerKind::Baseline, |r| r.cache_misses as f64),
+        total(SchedulerKind::Bidding, |r| r.cache_misses as f64),
+    );
+    let data_reduction_pct = percent_reduction(
+        total(SchedulerKind::Baseline, |r| r.data_load_mb),
+        total(SchedulerKind::Bidding, |r| r.data_load_mb),
+    );
+    Summary {
+        mean_speedup_pct,
+        miss_reduction_pct,
+        data_reduction_pct,
+        max_speedup: speedups.iter().copied().fold(f64::NAN, f64::max),
+        cells: rows.len(),
+    }
+}
+
+/// Render the summary table.
+pub fn render(s: &Summary) -> String {
+    let mut t = Table::new(
+        "Headline summary — Bidding vs Baseline over the full grid",
+        &["metric", "value", "paper"],
+    );
+    t.row([
+        "mean speedup".into(),
+        fpct(s.mean_speedup_pct),
+        "~24.5%".into(),
+    ]);
+    t.row([
+        "cache-miss reduction".into(),
+        fpct(s.miss_reduction_pct),
+        "~49%".into(),
+    ]);
+    t.row([
+        "data-load reduction".into(),
+        fpct(s.data_reduction_pct),
+        "~45.3%".into(),
+    ]);
+    t.row([
+        "max speedup".into(),
+        fx(s.max_speedup),
+        "up to 3.57x".into(),
+    ]);
+    t.row(["cells compared".into(), s.cells.to_string(), "20".into()]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(s: SchedulerKind, wc: &str, jc: &str, t: f64, m: u64, d: f64) -> RunRecord {
+        RunRecord {
+            scheduler: s,
+            worker_config: wc.into(),
+            job_config: jc.into(),
+            iteration: 0,
+            seed: 0,
+            makespan_secs: t,
+            data_load_mb: d,
+            cache_misses: m,
+            cache_hits: 0,
+            evictions: 0,
+            jobs_completed: 1,
+            control_messages: 0,
+            contests_timed_out: 0,
+            contests_fallback: 0,
+            mean_queue_wait_secs: 0.0,
+            worker_busy_frac: vec![],
+        }
+    }
+
+    #[test]
+    fn computes_reductions_and_max() {
+        let records = vec![
+            rec(SchedulerKind::Bidding, "a", "x", 100.0, 10, 1000.0),
+            rec(SchedulerKind::Baseline, "a", "x", 200.0, 20, 2000.0),
+            rec(SchedulerKind::Bidding, "b", "y", 100.0, 30, 3000.0),
+            rec(SchedulerKind::Baseline, "b", "y", 120.0, 40, 3000.0),
+        ];
+        let s = compute(&records);
+        assert_eq!(s.cells, 2);
+        // Cell speedups: 50% and ~16.7% → mean ≈ 33.3%.
+        assert!((s.mean_speedup_pct - (50.0 + 100.0 / 6.0) / 2.0).abs() < 1e-9);
+        assert!((s.max_speedup - 2.0).abs() < 1e-12);
+        // Misses: baseline mean 30 vs bidding mean 20 → 33.3%.
+        assert!((s.miss_reduction_pct - 100.0 / 3.0).abs() < 1e-9);
+        let rendered = render(&s);
+        assert!(rendered.contains("mean speedup"));
+        assert!(rendered.contains("2.00x"));
+    }
+
+    #[test]
+    fn empty_records_are_safe() {
+        let s = compute(&[]);
+        assert_eq!(s.cells, 0);
+        assert_eq!(s.mean_speedup_pct, 0.0);
+    }
+}

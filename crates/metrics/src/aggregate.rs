@@ -1,0 +1,221 @@
+//! Aggregation of run records across iterations and seeds.
+//!
+//! The paper reports per-workload *averages* ("Accumulated results per
+//! workload per algorithm", Figure 3) and derived comparisons
+//! ("approximately 24.5% speedup", "49% fewer cache misses", "45.3%
+//! reduction in data load"). [`Aggregator`] groups [`RunRecord`]s by a
+//! caller-chosen key and accumulates Welford statistics for each §6.1
+//! metric; [`speedup`] / [`percent_reduction`] compute the derived
+//! quantities exactly as the paper phrases them.
+
+use std::collections::BTreeMap;
+
+use crossbid_simcore::Welford;
+
+use crate::record::{RunRecord, SchedulerKind};
+
+/// Aggregated statistics of one group of runs.
+#[derive(Debug, Clone, Default)]
+pub struct Aggregate {
+    /// End-to-end execution time, seconds.
+    pub makespan: Welford,
+    /// Data load, MB.
+    pub data_load_mb: Welford,
+    /// Cache misses per run.
+    pub cache_misses: Welford,
+    /// Cache hits per run.
+    pub cache_hits: Welford,
+    /// Control messages per run (scheduling overhead).
+    pub control_messages: Welford,
+    /// Mean queue wait, seconds.
+    pub queue_wait: Welford,
+    /// Number of runs folded in.
+    pub runs: u64,
+}
+
+impl Aggregate {
+    /// Fold one record in.
+    pub fn push(&mut self, r: &RunRecord) {
+        self.makespan.push(r.makespan_secs);
+        self.data_load_mb.push(r.data_load_mb);
+        self.cache_misses.push(r.cache_misses as f64);
+        self.cache_hits.push(r.cache_hits as f64);
+        self.control_messages.push(r.control_messages as f64);
+        self.queue_wait.push(r.mean_queue_wait_secs);
+        self.runs += 1;
+    }
+}
+
+/// Groups records by `(scheduler, group key)` where the group key is
+/// produced by a caller-supplied function (job config, worker config,
+/// or their combination).
+#[derive(Debug, Default)]
+pub struct Aggregator {
+    groups: BTreeMap<(SchedulerKind, String), Aggregate>,
+}
+
+impl Aggregator {
+    /// Empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold `record` under the group key produced by `key`.
+    pub fn push_with<F: Fn(&RunRecord) -> String>(&mut self, record: &RunRecord, key: F) {
+        self.groups
+            .entry((record.scheduler, key(record)))
+            .or_default()
+            .push(record);
+    }
+
+    /// Fold many records keyed by job configuration (Figure 3's
+    /// grouping).
+    pub fn push_all_by_job_config<'a, I: IntoIterator<Item = &'a RunRecord>>(&mut self, it: I) {
+        for r in it {
+            self.push_with(r, |r| r.job_config.clone());
+        }
+    }
+
+    /// Fold many records keyed by `worker_config/job_config`
+    /// (Figure 4's grouping).
+    pub fn push_all_by_both<'a, I: IntoIterator<Item = &'a RunRecord>>(&mut self, it: I) {
+        for r in it {
+            self.push_with(r, |r| format!("{}/{}", r.worker_config, r.job_config));
+        }
+    }
+
+    /// Retrieve the aggregate for a scheduler+key pair.
+    pub fn get(&self, scheduler: SchedulerKind, key: &str) -> Option<&Aggregate> {
+        self.groups.get(&(scheduler, key.to_string()))
+    }
+
+    /// All group keys present (sorted, deduplicated).
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.groups.keys().map(|(_, k)| k.clone()).collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// All schedulers present (sorted).
+    pub fn schedulers(&self) -> Vec<SchedulerKind> {
+        let mut s: Vec<SchedulerKind> = self.groups.keys().map(|(s, _)| *s).collect();
+        s.sort();
+        s.dedup();
+        s
+    }
+
+    /// Iterate over `((scheduler, key), aggregate)` in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(SchedulerKind, String), &Aggregate)> {
+        self.groups.iter()
+    }
+}
+
+/// Speedup of `fast` relative to `slow` expressed as the paper does:
+/// `slow / fast` (e.g. "3.57x faster"). Returns `NaN` if `fast` is 0.
+pub fn speedup(slow: f64, fast: f64) -> f64 {
+    slow / fast
+}
+
+/// Percentage reduction from `before` to `after` (e.g. "51% reduction
+/// in data downloaded"). Returns 0 when `before` is 0.
+pub fn percent_reduction(before: f64, after: f64) -> f64 {
+    if before == 0.0 {
+        0.0
+    } else {
+        100.0 * (before - after) / before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(s: SchedulerKind, job: &str, makespan: f64, misses: u64, mb: f64) -> RunRecord {
+        RunRecord {
+            scheduler: s,
+            worker_config: "all-equal".into(),
+            job_config: job.into(),
+            iteration: 0,
+            seed: 0,
+            makespan_secs: makespan,
+            data_load_mb: mb,
+            cache_misses: misses,
+            cache_hits: 0,
+            evictions: 0,
+            jobs_completed: 120,
+            control_messages: 0,
+            contests_timed_out: 0,
+            contests_fallback: 0,
+            mean_queue_wait_secs: 0.0,
+            worker_busy_frac: vec![],
+        }
+    }
+
+    #[test]
+    fn groups_by_job_config() {
+        let rs = vec![
+            record(SchedulerKind::Bidding, "a", 100.0, 10, 1.0),
+            record(SchedulerKind::Bidding, "a", 200.0, 20, 3.0),
+            record(SchedulerKind::Baseline, "a", 300.0, 30, 5.0),
+            record(SchedulerKind::Bidding, "b", 50.0, 5, 2.0),
+        ];
+        let mut agg = Aggregator::new();
+        agg.push_all_by_job_config(&rs);
+        let a = agg.get(SchedulerKind::Bidding, "a").unwrap();
+        assert_eq!(a.runs, 2);
+        assert!((a.makespan.mean() - 150.0).abs() < 1e-12);
+        assert!((a.cache_misses.mean() - 15.0).abs() < 1e-12);
+        let base = agg.get(SchedulerKind::Baseline, "a").unwrap();
+        assert_eq!(base.runs, 1);
+        assert_eq!(agg.keys(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            agg.schedulers(),
+            vec![SchedulerKind::Bidding, SchedulerKind::Baseline]
+        );
+    }
+
+    #[test]
+    fn groups_by_both() {
+        let mut agg = Aggregator::new();
+        agg.push_all_by_both(&[record(SchedulerKind::Bidding, "a", 1.0, 0, 0.0)]);
+        assert!(agg.get(SchedulerKind::Bidding, "all-equal/a").is_some());
+    }
+
+    #[test]
+    fn missing_group_is_none() {
+        let agg = Aggregator::new();
+        assert!(agg.get(SchedulerKind::Random, "nope").is_none());
+    }
+
+    #[test]
+    fn speedup_matches_paper_phrasing() {
+        // Baseline 4183.5s vs Bidding 3116.52s (Table 1, run 3) was
+        // described as "25.5% longer" baseline.
+        let s = speedup(4183.5, 3116.52);
+        assert!(s > 1.34 && s < 1.35);
+        assert!((percent_reduction(4183.5, 3116.52) - 25.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn percent_reduction_edges() {
+        assert_eq!(percent_reduction(0.0, 5.0), 0.0);
+        assert!((percent_reduction(100.0, 49.0) - 51.0).abs() < 1e-12);
+        assert!(
+            percent_reduction(100.0, 150.0) < 0.0,
+            "regression shows negative"
+        );
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut agg = Aggregator::new();
+        agg.push_all_by_job_config(&[
+            record(SchedulerKind::Baseline, "z", 1.0, 0, 0.0),
+            record(SchedulerKind::Bidding, "a", 1.0, 0, 0.0),
+        ]);
+        let keys: Vec<_> = agg.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys[0].0, SchedulerKind::Bidding);
+        assert_eq!(keys[1].0, SchedulerKind::Baseline);
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-run measurement records.
+
+use serde::{Deserialize, Serialize};
+
+/// Which allocation algorithm produced a run. Mirrors the schedulers
+/// evaluated or discussed in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// The paper's contribution (§5): decentralized bidding contests.
+    Bidding,
+    /// Crossflow's reject-once opinionated workers (§4) — the paper's
+    /// Baseline.
+    Baseline,
+    /// Spark-like fully centralized up-front allocation that "considers
+    /// all workers equal" (§4, Figure 2 comparator).
+    SparkStatic,
+    /// Spark's locality-wait mechanism (§3): five locality levels with
+    /// a wait threshold before degrading.
+    SparkLocality,
+    /// Matchmaking (He et al., §3): free workers request local work,
+    /// idle one heartbeat, then accept anything.
+    Matchmaking,
+    /// Delay scheduling (Zaharia et al., §3): postpone non-local
+    /// assignment a bounded number of times.
+    Delay,
+    /// BAR (Jin et al., §3): batch two-phase planning — all-local
+    /// first, then iterative locality-for-completion-time trades.
+    Bar,
+    /// Uniformly random assignment (sanity floor).
+    Random,
+}
+
+impl SchedulerKind {
+    /// Stable display name used in tables and CSV.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Bidding => "bidding",
+            SchedulerKind::Baseline => "baseline",
+            SchedulerKind::SparkStatic => "spark-static",
+            SchedulerKind::SparkLocality => "spark-locality",
+            SchedulerKind::Matchmaking => "matchmaking",
+            SchedulerKind::Delay => "delay",
+            SchedulerKind::Bar => "bar",
+            SchedulerKind::Random => "random",
+        }
+    }
+
+    /// Every implemented scheduler.
+    pub const ALL: [SchedulerKind; 8] = [
+        SchedulerKind::Bidding,
+        SchedulerKind::Baseline,
+        SchedulerKind::SparkStatic,
+        SchedulerKind::SparkLocality,
+        SchedulerKind::Matchmaking,
+        SchedulerKind::Delay,
+        SchedulerKind::Bar,
+        SchedulerKind::Random,
+    ];
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything measured in one workflow run. Field names follow §6.1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Allocation algorithm under test.
+    pub scheduler: SchedulerKind,
+    /// Worker-configuration preset name (e.g. `one-slow`).
+    pub worker_config: String,
+    /// Job-configuration preset name (e.g. `80pct_large`).
+    pub job_config: String,
+    /// Zero-based iteration index within a session (caches persist
+    /// across iterations, §6.3.1).
+    pub iteration: u32,
+    /// Root seed of the run.
+    pub seed: u64,
+    /// Metric 1: end-to-end execution time in (virtual) seconds.
+    pub makespan_secs: f64,
+    /// Metric 2: data load — MB transferred because data was not local.
+    pub data_load_mb: f64,
+    /// Metric 3: cache misses across all workers.
+    pub cache_misses: u64,
+    /// Cache hits (locality successes) across all workers.
+    pub cache_hits: u64,
+    /// Evictions across all workers.
+    pub evictions: u64,
+    /// Jobs that completed (conservation check: must equal submitted).
+    pub jobs_completed: u64,
+    /// Scheduler control messages exchanged (bids, offers, rejects…)
+    /// — the "bidding overhead" of §6.3.2 conclusion 3.
+    pub control_messages: u64,
+    /// Bidding contests decided by the 1-second timeout rather than by
+    /// a full set of bids.
+    pub contests_timed_out: u64,
+    /// Contests that received zero bids and fell back to an arbitrary
+    /// worker (Listing 1's fallback path).
+    pub contests_fallback: u64,
+    /// Mean time jobs spent waiting in worker queues, seconds.
+    pub mean_queue_wait_secs: f64,
+    /// Per-worker busy fraction over the run.
+    pub worker_busy_frac: Vec<f64>,
+}
+
+impl RunRecord {
+    /// Cache hit ratio in `[0,1]` (0 when nothing was looked up).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Jain's fairness index over worker busy fractions, in
+    /// `(0, 1]`: 1 means perfectly equal utilization, `1/n` means one
+    /// worker did everything. The paper (§3) observes that data
+    /// awareness "is achieved through compromising the fairness of
+    /// task allocation" — this quantifies the compromise.
+    pub fn jains_fairness(&self) -> f64 {
+        let n = self.worker_busy_frac.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let sum: f64 = self.worker_busy_frac.iter().sum();
+        let sum_sq: f64 = self.worker_busy_frac.iter().map(|b| b * b).sum();
+        if sum_sq == 0.0 {
+            return 1.0;
+        }
+        (sum * sum) / (n as f64 * sum_sq)
+    }
+
+    /// Imbalance of worker utilization: max − min busy fraction.
+    pub fn utilization_spread(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &b in &self.worker_busy_frac {
+            lo = lo.min(b);
+            hi = hi.max(b);
+        }
+        if self.worker_busy_frac.is_empty() {
+            0.0
+        } else {
+            hi - lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> RunRecord {
+        RunRecord {
+            scheduler: SchedulerKind::Bidding,
+            worker_config: "all-equal".into(),
+            job_config: "80pct_large".into(),
+            iteration: 0,
+            seed: 1,
+            makespan_secs: 100.0,
+            data_load_mb: 5000.0,
+            cache_misses: 20,
+            cache_hits: 80,
+            evictions: 2,
+            jobs_completed: 120,
+            control_messages: 600,
+            contests_timed_out: 1,
+            contests_fallback: 0,
+            mean_queue_wait_secs: 3.5,
+            worker_busy_frac: vec![0.9, 0.7, 0.8, 0.6, 0.95],
+        }
+    }
+
+    #[test]
+    fn hit_ratio() {
+        assert!((record().hit_ratio() - 0.8).abs() < 1e-12);
+        let mut r = record();
+        r.cache_hits = 0;
+        r.cache_misses = 0;
+        assert_eq!(r.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn utilization_spread() {
+        assert!((record().utilization_spread() - 0.35).abs() < 1e-12);
+        let mut r = record();
+        r.worker_busy_frac.clear();
+        assert_eq!(r.utilization_spread(), 0.0);
+    }
+
+    #[test]
+    fn jains_fairness() {
+        let mut r = record();
+        r.worker_busy_frac = vec![0.5, 0.5, 0.5];
+        assert!((r.jains_fairness() - 1.0).abs() < 1e-12, "equal = 1");
+        r.worker_busy_frac = vec![1.0, 0.0, 0.0, 0.0];
+        assert!((r.jains_fairness() - 0.25).abs() < 1e-12, "one hog = 1/n");
+        r.worker_busy_frac = vec![];
+        assert_eq!(r.jains_fairness(), 1.0);
+        r.worker_busy_frac = vec![0.0, 0.0];
+        assert_eq!(r.jains_fairness(), 1.0);
+    }
+
+    #[test]
+    fn scheduler_names_unique() {
+        let mut names: Vec<_> = SchedulerKind::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SchedulerKind::ALL.len());
+    }
+
+    #[test]
+    fn record_is_serde() {
+        fn assert_serde<T: serde::Serialize + for<'a> serde::Deserialize<'a>>() {}
+        assert_serde::<RunRecord>();
+        assert_serde::<SchedulerKind>();
+    }
+}

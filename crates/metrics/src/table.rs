@@ -1,0 +1,176 @@
+//! Plain-text table and CSV rendering for experiment reports.
+
+/// A simple column-aligned ASCII table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new<S: Into<String>>(title: S, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; it is padded/truncated to the header width.
+    pub fn row<I: IntoIterator<Item = String>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text block (title, header, separator,
+    /// rows).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("## {}\n", self.title));
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                line.push_str(&format!(" {:<w$} |", cell, w = widths[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (headers + rows), RFC-4180-style quoting for
+    /// cells containing commas, quotes or newlines.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&csv_line(&self.headers));
+        for row in &self.rows {
+            out.push_str(&csv_line(row));
+        }
+        out
+    }
+}
+
+fn csv_line(cells: &[String]) -> String {
+    let mut line = cells
+        .iter()
+        .map(|c| csv_escape(c))
+        .collect::<Vec<_>>()
+        .join(",");
+    line.push('\n');
+    line
+}
+
+fn csv_escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Render rows straight to CSV without building a [`Table`].
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = csv_line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        out.push_str(&csv_line(row));
+    }
+    out
+}
+
+/// Format a float with 2 decimal places (helper for report code).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float as a multiplier, e.g. `3.57x`.
+pub fn fx(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Format a float as a percentage, e.g. `24.5%`.
+pub fn fpct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(["short".into(), "1".into()]);
+        t.row(["a-much-longer-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.starts_with("## Demo\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        // All table lines share the same width.
+        let widths: Vec<usize> = lines[1..].iter().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+        assert!(s.contains("a-much-longer-name"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new("", &["a", "b", "c"]);
+        t.row(["1".into()]);
+        assert_eq!(t.rows[0].len(), 3);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new("", &["k", "v"]);
+        t.row(["with,comma".into(), "with\"quote".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "k,v\n\"with,comma\",\"with\"\"quote\"\n");
+    }
+
+    #[test]
+    fn render_csv_free_function() {
+        let csv = render_csv(&["x"], &[vec!["1".into()], vec!["2".into()]]);
+        assert_eq!(csv, "x\n1\n2\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(12.345), "12.35");
+        assert_eq!(fx(3.567), "3.57x");
+        assert_eq!(fpct(24.49), "24.5%");
+    }
+}

@@ -1,0 +1,199 @@
+//! Analysis of the mined co-occurrence data — the insight extraction
+//! the MSR pipeline exists for ("we investigate how often these
+//! libraries are used together", §2).
+//!
+//! Beyond the raw counts of [`CoOccurrenceMatrix`], downstream users
+//! want *normalized* association measures: how often two libraries
+//! co-occur relative to how often each occurs at all. This module
+//! computes per-library occurrence counts over a universe and the
+//! standard association metrics (Jaccard similarity and lift).
+
+use std::collections::BTreeMap;
+
+use crate::cooccurrence::CoOccurrenceMatrix;
+use crate::github::{LibraryId, SyntheticGitHub};
+
+/// Per-library repository-occurrence counts over a universe.
+#[derive(Debug, Clone, Default)]
+pub struct OccurrenceCounts {
+    counts: BTreeMap<LibraryId, u64>,
+    repos: u64,
+}
+
+impl OccurrenceCounts {
+    /// Count, for every library, how many repositories depend on it.
+    pub fn from_universe(gh: &SyntheticGitHub) -> Self {
+        let mut counts: BTreeMap<LibraryId, u64> = BTreeMap::new();
+        for r in gh.repos() {
+            for &lib in &r.deps {
+                *counts.entry(lib).or_insert(0) += 1;
+            }
+        }
+        OccurrenceCounts {
+            counts,
+            repos: gh.len() as u64,
+        }
+    }
+
+    /// Repositories depending on `lib`.
+    pub fn get(&self, lib: LibraryId) -> u64 {
+        self.counts.get(&lib).copied().unwrap_or(0)
+    }
+
+    /// Number of repositories in the universe.
+    pub fn repo_count(&self) -> u64 {
+        self.repos
+    }
+
+    /// Libraries sorted by occurrence, descending.
+    pub fn ranking(&self) -> Vec<(LibraryId, u64)> {
+        let mut v: Vec<_> = self.counts.iter().map(|(l, c)| (*l, *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Association metrics between two libraries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Association {
+    /// The pair.
+    pub pair: (LibraryId, LibraryId),
+    /// Repositories containing both.
+    pub both: u64,
+    /// Jaccard similarity `|A∩B| / |A∪B|` in `[0, 1]`.
+    pub jaccard: f64,
+    /// Lift `P(A∩B) / (P(A)·P(B))`; > 1 means the pair co-occurs more
+    /// than independence predicts.
+    pub lift: f64,
+}
+
+/// Compute association metrics for every pair present in the matrix.
+/// `both` counts use the *universe* (ground truth manifests), so the
+/// metrics are independent of how many pipeline jobs touched each
+/// repo.
+pub fn associations(gh: &SyntheticGitHub, matrix: &CoOccurrenceMatrix) -> Vec<Association> {
+    let occ = OccurrenceCounts::from_universe(gh);
+    let n = occ.repo_count() as f64;
+    if n == 0.0 {
+        return Vec::new();
+    }
+    let both_count = |a: LibraryId, b: LibraryId| -> u64 {
+        gh.repos()
+            .iter()
+            .filter(|r| r.depends_on(a) && r.depends_on(b))
+            .count() as u64
+    };
+    let mut out: Vec<Association> = matrix
+        .top(usize::MAX)
+        .into_iter()
+        .map(|((a, b), _)| {
+            let ca = occ.get(a);
+            let cb = occ.get(b);
+            let both = both_count(a, b);
+            let union = ca + cb - both;
+            let jaccard = if union == 0 {
+                0.0
+            } else {
+                both as f64 / union as f64
+            };
+            let lift = if ca == 0 || cb == 0 {
+                0.0
+            } else {
+                (both as f64 / n) / ((ca as f64 / n) * (cb as f64 / n))
+            };
+            Association {
+                pair: (a, b),
+                both,
+                jaccard,
+                lift,
+            }
+        })
+        .collect();
+    out.sort_by(|x, y| {
+        y.jaccard
+            .partial_cmp(&x.jaccard)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(x.pair.cmp(&y.pair))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::github::GitHubParams;
+
+    fn universe() -> SyntheticGitHub {
+        SyntheticGitHub::generate(
+            3,
+            &GitHubParams {
+                n_repos: 20,
+                n_libraries: 15,
+                mean_deps: 5.0,
+                popularity_skew: 0.8,
+            },
+        )
+    }
+
+    #[test]
+    fn occurrence_counts_match_manifests() {
+        let gh = universe();
+        let occ = OccurrenceCounts::from_universe(&gh);
+        assert_eq!(occ.repo_count(), 20);
+        for lib in 0..15u32 {
+            let manual = gh
+                .repos()
+                .iter()
+                .filter(|r| r.depends_on(LibraryId(lib)))
+                .count() as u64;
+            assert_eq!(occ.get(LibraryId(lib)), manual);
+        }
+        // Ranking is descending.
+        let ranking = occ.ranking();
+        assert!(ranking.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn jaccard_and_lift_are_well_formed() {
+        let gh = universe();
+        // Ground-truth matrix over the whole universe.
+        let mut m = CoOccurrenceMatrix::new();
+        for r in gh.repos() {
+            m.record_group(&r.deps);
+        }
+        let assoc = associations(&gh, &m);
+        assert!(!assoc.is_empty());
+        for a in &assoc {
+            assert!((0.0..=1.0).contains(&a.jaccard), "jaccard {}", a.jaccard);
+            assert!(a.lift >= 0.0);
+            assert!(a.both > 0, "matrix pairs co-occur somewhere");
+        }
+        // Sorted by jaccard descending.
+        assert!(assoc.windows(2).all(|w| w[0].jaccard >= w[1].jaccard));
+    }
+
+    #[test]
+    fn perfect_overlap_has_jaccard_one() {
+        // Construct a tiny bespoke universe via generate is awkward;
+        // instead verify the formula on a pair that always co-occurs.
+        let gh = universe();
+        let mut m = CoOccurrenceMatrix::new();
+        for r in gh.repos() {
+            m.record_group(&r.deps);
+        }
+        for a in associations(&gh, &m) {
+            let (x, y) = a.pair;
+            let occ = OccurrenceCounts::from_universe(&gh);
+            if occ.get(x) == a.both && occ.get(y) == a.both {
+                assert!((a.jaccard - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_yields_no_associations() {
+        let gh = universe();
+        let m = CoOccurrenceMatrix::new();
+        assert!(associations(&gh, &m).is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! The co-occurrence matrix — the pipeline's final output
+//! ("Calculate the number of times libraries appear together and
+//! store the results in a CSV file", §2 step 4).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::github::LibraryId;
+
+/// Symmetric co-occurrence counts over library pairs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CoOccurrenceMatrix {
+    counts: BTreeMap<(LibraryId, LibraryId), u64>,
+}
+
+impl CoOccurrenceMatrix {
+    /// Empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one co-occurrence of `a` and `b` (order-insensitive;
+    /// self-pairs are ignored).
+    pub fn record(&mut self, a: LibraryId, b: LibraryId) {
+        if a == b {
+            return;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        *self.counts.entry(key).or_insert(0) += 1;
+    }
+
+    /// Record all pairs among `libs` found together in one repository.
+    pub fn record_group(&mut self, libs: &[LibraryId]) {
+        for i in 0..libs.len() {
+            for j in (i + 1)..libs.len() {
+                self.record(libs[i], libs[j]);
+            }
+        }
+    }
+
+    /// Count for a pair (order-insensitive).
+    pub fn get(&self, a: LibraryId, b: LibraryId) -> u64 {
+        if a == b {
+            return 0;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct pairs with non-zero count.
+    pub fn pair_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The `n` most frequent pairs, descending (ties by pair id).
+    pub fn top(&self, n: usize) -> Vec<((LibraryId, LibraryId), u64)> {
+        let mut v: Vec<_> = self.counts.iter().map(|(k, v)| (*k, *v)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Merge another matrix into this one.
+    pub fn merge(&mut self, other: &CoOccurrenceMatrix) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(*k).or_insert(0) += v;
+        }
+    }
+
+    /// CSV rendering: `lib_a,lib_b,count` rows, descending by count
+    /// (step 4's "store the results in a CSV file").
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("lib_a,lib_b,count\n");
+        for ((a, b), c) in self.top(self.counts.len()) {
+            out.push_str(&format!("{},{},{}\n", a.0, b.0, c));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LibraryId {
+        LibraryId(i)
+    }
+
+    #[test]
+    fn record_is_symmetric() {
+        let mut m = CoOccurrenceMatrix::new();
+        m.record(l(1), l(2));
+        m.record(l(2), l(1));
+        assert_eq!(m.get(l(1), l(2)), 2);
+        assert_eq!(m.get(l(2), l(1)), 2);
+        assert_eq!(m.pair_count(), 1);
+    }
+
+    #[test]
+    fn self_pairs_ignored() {
+        let mut m = CoOccurrenceMatrix::new();
+        m.record(l(3), l(3));
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.get(l(3), l(3)), 0);
+    }
+
+    #[test]
+    fn record_group_counts_all_pairs() {
+        let mut m = CoOccurrenceMatrix::new();
+        m.record_group(&[l(0), l(1), l(2)]);
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.get(l(0), l(2)), 1);
+    }
+
+    #[test]
+    fn top_sorts_descending() {
+        let mut m = CoOccurrenceMatrix::new();
+        for _ in 0..3 {
+            m.record(l(1), l(2));
+        }
+        m.record(l(3), l(4));
+        let top = m.top(10);
+        assert_eq!(top[0], ((l(1), l(2)), 3));
+        assert_eq!(top[1], ((l(3), l(4)), 1));
+        assert_eq!(m.top(1).len(), 1);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = CoOccurrenceMatrix::new();
+        a.record(l(1), l(2));
+        let mut b = CoOccurrenceMatrix::new();
+        b.record(l(1), l(2));
+        b.record(l(5), l(6));
+        a.merge(&b);
+        assert_eq!(a.get(l(1), l(2)), 2);
+        assert_eq!(a.get(l(5), l(6)), 1);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut m = CoOccurrenceMatrix::new();
+        m.record(l(2), l(1));
+        let csv = m.to_csv();
+        assert_eq!(csv, "lib_a,lib_b,count\n1,2,1\n");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// total() equals the number of record() calls with distinct
+        /// endpoints, regardless of order.
+        #[test]
+        fn totals_are_conserved(pairs in proptest::collection::vec((0u32..10, 0u32..10), 0..100)) {
+            let mut m = CoOccurrenceMatrix::new();
+            let mut expected = 0;
+            for (a, b) in &pairs {
+                m.record(LibraryId(*a), LibraryId(*b));
+                if a != b {
+                    expected += 1;
+                }
+            }
+            prop_assert_eq!(m.total(), expected);
+        }
+
+        /// record_group on n libraries yields n·(n−1)/2 pair counts.
+        #[test]
+        fn group_pair_arithmetic(n in 0usize..20) {
+            let libs: Vec<LibraryId> = (0..n as u32).map(LibraryId).collect();
+            let mut m = CoOccurrenceMatrix::new();
+            m.record_group(&libs);
+            prop_assert_eq!(m.total() as usize, n * n.saturating_sub(1) / 2);
+        }
+    }
+}

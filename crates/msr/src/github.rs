@@ -1,0 +1,322 @@
+//! A synthetic GitHub: large repositories with `package.json`
+//! dependency manifests.
+//!
+//! Substitutes the real GitHub API + `git clone` (unavailable here)
+//! while preserving what the schedulers see: a catalog of large
+//! repositories (≥ 500 MB, the paper's "favoured large-scale
+//! projects" filter), each declaring dependencies on a
+//! popularity-skewed set of NPM libraries.
+
+use crossbid_simcore::{RngStream, SeedSequence};
+use crossbid_storage::ObjectId;
+use crossbid_workload::{Repository, SizeClass};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an NPM library in the synthetic universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LibraryId(pub u32);
+
+/// A synthetic repository: size (for clone cost), popularity signals
+/// and its manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GhRepo {
+    /// Size/identity (drives transfer and scan costs).
+    pub repo: Repository,
+    /// Star count (the §2 search filters on "at least 5000 stars").
+    pub stars: u32,
+    /// Fork count (ditto for forks).
+    pub forks: u32,
+    /// Libraries this repository's `package.json` files depend on,
+    /// sorted ascending.
+    pub deps: Vec<LibraryId>,
+}
+
+impl GhRepo {
+    /// Does the manifest mention `lib`?
+    pub fn depends_on(&self, lib: LibraryId) -> bool {
+        self.deps.binary_search(&lib).is_ok()
+    }
+
+    /// The §2 "favoured large-scale project" predicate:
+    /// "repositories larger than 500MB with at least 5000 stars and
+    /// forks".
+    pub fn is_favoured(&self, min_bytes: u64, min_stars: u32, min_forks: u32) -> bool {
+        self.repo.bytes > min_bytes && self.stars >= min_stars && self.forks >= min_forks
+    }
+}
+
+/// Parameters of the synthetic universe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GitHubParams {
+    /// Number of repositories returned by the "favoured large-scale
+    /// projects" search.
+    pub n_repos: usize,
+    /// Number of NPM libraries in the popular-libraries list.
+    pub n_libraries: u32,
+    /// Mean number of dependencies per repository.
+    pub mean_deps: f64,
+    /// Zipf-like skew of library popularity (0 = uniform; 1 ≈
+    /// classic long tail).
+    pub popularity_skew: f64,
+}
+
+impl Default for GitHubParams {
+    fn default() -> Self {
+        GitHubParams {
+            n_repos: 30,
+            n_libraries: 60,
+            mean_deps: 8.0,
+            popularity_skew: 0.9,
+        }
+    }
+}
+
+/// The synthetic GitHub instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticGitHub {
+    repos: Vec<GhRepo>,
+    n_libraries: u32,
+}
+
+impl SyntheticGitHub {
+    /// Generate a universe from a seed.
+    pub fn generate(seed: u64, params: &GitHubParams) -> Self {
+        let seq = SeedSequence::new(seed);
+        let mut rng_size = seq.stream(0);
+        let mut rng_deps = seq.stream(1);
+
+        // Popularity weights: w_k = 1 / (k+1)^skew.
+        let weights: Vec<f64> = (0..params.n_libraries)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(params.popularity_skew))
+            .collect();
+
+        let repos = (0..params.n_repos)
+            .map(|i| {
+                // Favoured large-scale projects: >500 MB (§2).
+                let bytes = SizeClass::Large.sample_bytes(&mut rng_size);
+                let n_deps = sample_dep_count(params.mean_deps, &mut rng_deps)
+                    .min(params.n_libraries as usize);
+                let mut deps: Vec<LibraryId> = Vec::with_capacity(n_deps);
+                while deps.len() < n_deps {
+                    let lib = LibraryId(rng_deps.weighted_index(&weights) as u32);
+                    if !deps.contains(&lib) {
+                        deps.push(lib);
+                    }
+                }
+                deps.sort_unstable();
+                // Popularity is heavy-tailed: a log-normal around the
+                // favoured threshold so most repos qualify and some
+                // are runaway hits.
+                let stars = (5_000.0 * rng_deps.log_normal(0.4, 0.6)) as u32;
+                let forks = (stars as f64 * rng_deps.uniform(0.4, 1.2)) as u32;
+                GhRepo {
+                    repo: Repository {
+                        id: ObjectId(i as u64),
+                        bytes,
+                    },
+                    stars,
+                    forks,
+                    deps,
+                }
+            })
+            .collect();
+
+        SyntheticGitHub {
+            repos,
+            n_libraries: params.n_libraries,
+        }
+    }
+
+    /// All repositories.
+    pub fn repos(&self) -> &[GhRepo] {
+        &self.repos
+    }
+
+    /// Number of repositories.
+    pub fn len(&self) -> usize {
+        self.repos.len()
+    }
+
+    /// True iff the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.repos.is_empty()
+    }
+
+    /// Number of libraries in the universe.
+    pub fn library_count(&self) -> u32 {
+        self.n_libraries
+    }
+
+    /// Repository by object id.
+    pub fn repo(&self, id: ObjectId) -> Option<&GhRepo> {
+        self.repos.get(id.0 as usize)
+    }
+
+    /// The "RepositorySearch" task's API call: repositories whose
+    /// manifests plausibly involve `lib`. The real pipeline's GitHub
+    /// search is recall-oriented (clone first, verify by scanning), so
+    /// we return every repo that depends on the library plus a
+    /// deterministic sample of false positives — the scan step then
+    /// does the real verification, exactly like grepping
+    /// `package.json` after cloning.
+    pub fn search(
+        &self,
+        lib: LibraryId,
+        false_positive_rate: f64,
+        rng: &mut RngStream,
+    ) -> Vec<ObjectId> {
+        self.repos
+            .iter()
+            .filter(|r| r.depends_on(lib) || rng.chance(false_positive_rate))
+            .map(|r| r.repo.id)
+            .collect()
+    }
+
+    /// The §2 step-2 query: "Search GitHub for favoured large-scale
+    /// repositories (e.g. repositories larger than 500MB with at
+    /// least 5000 stars and forks)".
+    pub fn favoured(&self, min_bytes: u64, min_stars: u32, min_forks: u32) -> Vec<ObjectId> {
+        self.repos
+            .iter()
+            .filter(|r| r.is_favoured(min_bytes, min_stars, min_forks))
+            .map(|r| r.repo.id)
+            .collect()
+    }
+}
+
+fn sample_dep_count(mean: f64, rng: &mut RngStream) -> usize {
+    // Poisson-ish via rounded exponential mixture; ≥ 1 so every repo
+    // has at least one dependency.
+    let x = rng.exponential(mean.max(1.0) / 2.0) + mean.max(1.0) / 2.0;
+    (x.round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gh(seed: u64) -> SyntheticGitHub {
+        SyntheticGitHub::generate(seed, &GitHubParams::default())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gh(1);
+        let b = gh(1);
+        for (x, y) in a.repos().iter().zip(b.repos()) {
+            assert_eq!(x.repo, y.repo);
+            assert_eq!(x.deps, y.deps);
+        }
+    }
+
+    #[test]
+    fn repos_are_large_scale() {
+        for r in gh(2).repos() {
+            assert!(r.repo.bytes > 500_000_000, "{}", r.repo.bytes);
+            assert!(r.repo.bytes <= 1_000_000_000);
+            assert!(!r.deps.is_empty());
+        }
+    }
+
+    #[test]
+    fn deps_are_sorted_and_unique() {
+        for r in gh(3).repos() {
+            assert!(r.deps.windows(2).all(|w| w[0] < w[1]));
+            for &d in &r.deps {
+                assert!(d.0 < 60);
+            }
+        }
+    }
+
+    #[test]
+    fn popular_libraries_appear_more_often() {
+        let g = gh(4);
+        let count = |lib: u32| {
+            g.repos()
+                .iter()
+                .filter(|r| r.depends_on(LibraryId(lib)))
+                .count()
+        };
+        let head: usize = (0..5).map(count).sum();
+        let tail: usize = (55..60).map(count).sum();
+        assert!(head > tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn search_recalls_all_true_dependents() {
+        let g = gh(5);
+        let mut rng = RngStream::from_seed(1);
+        let lib = LibraryId(0);
+        let found = g.search(lib, 0.2, &mut rng);
+        for r in g.repos() {
+            if r.depends_on(lib) {
+                assert!(found.contains(&r.repo.id), "missing true positive");
+            }
+        }
+    }
+
+    #[test]
+    fn search_without_false_positives_is_exact() {
+        let g = gh(6);
+        let mut rng = RngStream::from_seed(1);
+        let lib = LibraryId(2);
+        let found = g.search(lib, 0.0, &mut rng);
+        let expected: Vec<ObjectId> = g
+            .repos()
+            .iter()
+            .filter(|r| r.depends_on(lib))
+            .map(|r| r.repo.id)
+            .collect();
+        assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn repo_lookup_by_id() {
+        let g = gh(7);
+        let id = g.repos()[3].repo.id;
+        assert_eq!(g.repo(id).unwrap().repo.id, id);
+        assert!(g.repo(ObjectId(9999)).is_none());
+    }
+}
+
+#[cfg(test)]
+mod favoured_tests {
+    use super::*;
+
+    #[test]
+    fn popularity_signals_are_generated() {
+        let g = SyntheticGitHub::generate(9, &GitHubParams::default());
+        assert!(g.repos().iter().any(|r| r.stars >= 5_000));
+        assert!(g.repos().iter().all(|r| r.forks > 0));
+    }
+
+    #[test]
+    fn favoured_filter_applies_all_three_criteria() {
+        let g = SyntheticGitHub::generate(9, &GitHubParams::default());
+        let favoured = g.favoured(500_000_000, 5_000, 2_000);
+        for id in &favoured {
+            let r = g.repo(*id).unwrap();
+            assert!(r.repo.bytes > 500_000_000);
+            assert!(r.stars >= 5_000);
+            assert!(r.forks >= 2_000);
+        }
+        // Impossible thresholds exclude everything.
+        assert!(g.favoured(u64::MAX, 0, 0).is_empty());
+        // Trivial thresholds include everything.
+        assert_eq!(g.favoured(0, 0, 0).len(), g.len());
+    }
+
+    #[test]
+    fn favoured_is_a_nontrivial_subset_under_paper_thresholds() {
+        let g = SyntheticGitHub::generate(
+            12,
+            &GitHubParams {
+                n_repos: 200,
+                ..GitHubParams::default()
+            },
+        );
+        let favoured = g.favoured(500_000_000, 5_000, 5_000);
+        assert!(!favoured.is_empty(), "some repos qualify");
+        assert!(favoured.len() < g.len(), "not all repos qualify");
+    }
+}

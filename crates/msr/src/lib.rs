@@ -1,0 +1,49 @@
+//! # crossbid-msr
+//!
+//! The paper's motivating application (§2): mining software
+//! repositories to measure "how often popular NPM libraries for
+//! JavaScript co-occur in favoured large-scale projects on GitHub",
+//! specified as the Crossflow pipeline of Figure 1:
+//!
+//! ```text
+//! libraries ──▶ RepositorySearch ──▶ (library, repo) jobs
+//!              ──▶ RepositorySearcher (clone + scan package.json)
+//!              ──▶ CoOccurrenceCounter ──▶ CSV-style results
+//! ```
+//!
+//! The real pipeline hits the GitHub API and clones repositories of
+//! up to a gigabyte; this crate substitutes a [`SyntheticGitHub`]
+//! whose repositories carry dependency manifests, so the *cost
+//! structure* (expensive clones, cheap scans, heavy reuse of popular
+//! repositories) and the *analysis output* (a co-occurrence matrix)
+//! are both preserved.
+
+//! ```
+//! use std::sync::Arc;
+//! use crossbid_crossflow::{run_workflow, BaselineAllocator, Cluster, EngineConfig, RunMeta, Workflow};
+//! use crossbid_msr::github::GitHubParams;
+//! use crossbid_msr::{build_pipeline, library_arrivals, SyntheticGitHub};
+//! use crossbid_workload::WorkerConfig;
+//!
+//! let gh = Arc::new(SyntheticGitHub::generate(1, &GitHubParams {
+//!     n_repos: 5, n_libraries: 8, mean_deps: 3.0, popularity_skew: 0.8,
+//! }));
+//! let mut wf = Workflow::new();
+//! let pipe = build_pipeline(&mut wf, Arc::clone(&gh), 1, 0.0);
+//! let arrivals = library_arrivals(&pipe, 8, 1.0);
+//! let cfg = EngineConfig::ideal();
+//! let mut cluster = Cluster::new(&WorkerConfig::AllEqual.specs(2), &cfg);
+//! run_workflow(&mut cluster, &mut wf, &BaselineAllocator, arrivals, &cfg, &RunMeta::default());
+//! let matrix = pipe.matrix(&mut wf);
+//! assert!(matrix.total() > 0, "some libraries co-occur");
+//! ```
+
+pub mod analysis;
+pub mod cooccurrence;
+pub mod github;
+pub mod pipeline;
+
+pub use analysis::{associations, Association, OccurrenceCounts};
+pub use cooccurrence::CoOccurrenceMatrix;
+pub use github::{GhRepo, LibraryId, SyntheticGitHub};
+pub use pipeline::{build_pipeline, library_arrivals, MsrPipeline};

@@ -1,0 +1,348 @@
+//! The Figure 1 pipeline as a Crossflow workflow.
+//!
+//! Three tasks, mirroring the paper's protocol (§2):
+//!
+//! 1. **RepositorySearch** — a cheap CPU job per library: queries the
+//!    (synthetic) GitHub API for candidate repositories and emits one
+//!    `(library, repository)` job per candidate.
+//! 2. **RepositorySearcher** — the expensive step: clone the
+//!    repository (the data dependency the schedulers fight over) and
+//!    scan its `package.json` files for the library; emits a
+//!    confirmation job when the dependency is real.
+//! 3. **CoOccurrenceCounter** — a cheap CPU job folding confirmed
+//!    `(library, repository)` pairs into the [`CoOccurrenceMatrix`].
+
+use std::any::Any;
+use std::sync::Arc;
+
+use crossbid_crossflow::{Arrival, Job, JobSpec, Payload, TaskCtx, TaskId, TaskLogic, Workflow};
+use crossbid_simcore::{RngStream, SeedSequence};
+use crossbid_storage::ObjectId;
+
+use crate::cooccurrence::CoOccurrenceMatrix;
+use crate::github::{LibraryId, SyntheticGitHub};
+
+/// Handle to the constructed pipeline: task ids plus the shared
+/// GitHub universe.
+#[derive(Clone)]
+pub struct MsrPipeline {
+    /// The synthetic GitHub all tasks consult.
+    pub github: Arc<SyntheticGitHub>,
+    /// Task 0: RepositorySearch.
+    pub search: TaskId,
+    /// Task 1: RepositorySearcher (the clone + scan step).
+    pub scan: TaskId,
+    /// Task 2: CoOccurrenceCounter (terminal).
+    pub count: TaskId,
+}
+
+/// CPU seconds for a GitHub API search call.
+const SEARCH_CPU_SECS: f64 = 1.0;
+/// CPU seconds to fold one confirmed pair into the matrix.
+const COUNT_CPU_SECS: f64 = 0.05;
+
+struct SearchTask {
+    github: Arc<SyntheticGitHub>,
+    scan: TaskId,
+    false_positive_rate: f64,
+    rng: RngStream,
+}
+
+impl TaskLogic for SearchTask {
+    fn process(&mut self, job: &Job, _ctx: &TaskCtx, out: &mut Vec<JobSpec>) {
+        let Payload::Index(lib) = job.payload else {
+            return;
+        };
+        let lib = LibraryId(lib as u32);
+        for repo_id in self
+            .github
+            .search(lib, self.false_positive_rate, &mut self.rng)
+        {
+            let repo = self.github.repo(repo_id).expect("search returns valid ids");
+            out.push(JobSpec::scanning(
+                self.scan,
+                repo.repo.as_resource(),
+                Payload::Pair(lib.0 as u64, repo_id.0),
+            ));
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct ScanTask {
+    github: Arc<SyntheticGitHub>,
+    count: TaskId,
+}
+
+impl TaskLogic for ScanTask {
+    fn process(&mut self, job: &Job, _ctx: &TaskCtx, out: &mut Vec<JobSpec>) {
+        let Payload::Pair(lib, repo_id) = job.payload else {
+            return;
+        };
+        let repo = self
+            .github
+            .repo(ObjectId(repo_id))
+            .expect("scan jobs carry valid repo ids");
+        // The actual grep over package.json: only confirmed
+        // dependencies flow downstream (false positives die here).
+        if repo.depends_on(LibraryId(lib as u32)) {
+            out.push(JobSpec::compute(
+                self.count,
+                COUNT_CPU_SECS,
+                Payload::Pair(lib, repo_id),
+            ));
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Terminal counting task; owns the matrix (retrieved after the run
+/// via [`MsrPipeline::matrix`]).
+pub struct CountTask {
+    github: Arc<SyntheticGitHub>,
+    matrix: CoOccurrenceMatrix,
+    confirmed: u64,
+}
+
+impl TaskLogic for CountTask {
+    fn process(&mut self, job: &Job, _ctx: &TaskCtx, _out: &mut Vec<JobSpec>) {
+        let Payload::Pair(lib, repo_id) = job.payload else {
+            return;
+        };
+        let lib = LibraryId(lib as u32);
+        let repo = self
+            .github
+            .repo(ObjectId(repo_id))
+            .expect("count jobs carry valid repo ids");
+        self.confirmed += 1;
+        // Count the confirmed library against every other library
+        // present in the same repository.
+        for &other in &repo.deps {
+            self.matrix.record(lib, other);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Build the MSR workflow over a GitHub universe. `seed` drives the
+/// search task's false-positive sampling; `false_positive_rate` is
+/// the fraction of non-dependent repositories the recall-oriented
+/// search still returns (they get cloned and rejected by the scan,
+/// like real over-broad search results).
+pub fn build_pipeline(
+    workflow: &mut Workflow,
+    github: Arc<SyntheticGitHub>,
+    seed: u64,
+    false_positive_rate: f64,
+) -> MsrPipeline {
+    // Ids are sequential; capture them before boxing the logic.
+    let search = TaskId(workflow.len() as u32);
+    let scan = TaskId(search.0 + 1);
+    let count = TaskId(search.0 + 2);
+    let s = workflow.add_task(
+        "repository-search",
+        Box::new(SearchTask {
+            github: Arc::clone(&github),
+            scan,
+            false_positive_rate,
+            rng: SeedSequence::new(seed).stream(77),
+        }),
+    );
+    debug_assert_eq!(s, search);
+    workflow.add_task(
+        "repository-searcher",
+        Box::new(ScanTask {
+            github: Arc::clone(&github),
+            count,
+        }),
+    );
+    workflow.add_task(
+        "co-occurrence-counter",
+        Box::new(CountTask {
+            github: Arc::clone(&github),
+            matrix: CoOccurrenceMatrix::new(),
+            confirmed: 0,
+        }),
+    );
+    // Figure 1's channels: search → searcher → counter.
+    workflow.connect(search, scan);
+    workflow.connect(scan, count);
+    MsrPipeline {
+        github,
+        search,
+        scan,
+        count,
+    }
+}
+
+impl MsrPipeline {
+    /// The accumulated co-occurrence matrix (clone; the workflow keeps
+    /// accumulating across session iterations).
+    pub fn matrix(&self, workflow: &mut Workflow) -> CoOccurrenceMatrix {
+        workflow
+            .logic_as::<CountTask>(self.count)
+            .expect("count task present")
+            .matrix
+            .clone()
+    }
+
+    /// Number of confirmed (library, repository) pairs so far.
+    pub fn confirmed(&self, workflow: &mut Workflow) -> u64 {
+        workflow
+            .logic_as::<CountTask>(self.count)
+            .expect("count task present")
+            .confirmed
+    }
+
+    /// One library-search job.
+    pub fn library_job(&self, lib: LibraryId) -> JobSpec {
+        JobSpec::compute(self.search, SEARCH_CPU_SECS, Payload::Index(lib.0 as u64))
+    }
+}
+
+/// The incoming stream of §2: one job per library in the popular-NPM
+/// list, spaced by `interval_secs`.
+pub fn library_arrivals(
+    pipeline: &MsrPipeline,
+    n_libraries: u32,
+    interval_secs: f64,
+) -> Vec<Arrival> {
+    (0..n_libraries)
+        .map(|i| Arrival {
+            at: crossbid_simcore::SimTime::from_secs_f64(i as f64 * interval_secs),
+            spec: pipeline.library_job(LibraryId(i)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::github::GitHubParams;
+    use crossbid_core::BiddingAllocator;
+    use crossbid_crossflow::{
+        run_workflow, BaselineAllocator, Cluster, EngineConfig, RunMeta, WorkerSpec,
+    };
+
+    fn small_universe() -> Arc<SyntheticGitHub> {
+        Arc::new(SyntheticGitHub::generate(
+            42,
+            &GitHubParams {
+                n_repos: 6,
+                n_libraries: 10,
+                mean_deps: 4.0,
+                popularity_skew: 0.8,
+            },
+        ))
+    }
+
+    fn specs(n: usize) -> Vec<WorkerSpec> {
+        (0..n)
+            .map(|i| {
+                WorkerSpec::builder(format!("w{i}"))
+                    .net_mbps(50.0)
+                    .rw_mbps(200.0)
+                    .storage_gb(8.0)
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_produces_cooccurrences() {
+        let gh = small_universe();
+        let mut wf = Workflow::new();
+        let pipe = build_pipeline(&mut wf, Arc::clone(&gh), 1, 0.0);
+        let arrivals = library_arrivals(&pipe, 10, 0.5);
+        let cfg = EngineConfig::ideal();
+        let mut cluster = Cluster::new(&specs(3), &cfg);
+        let out = run_workflow(
+            &mut cluster,
+            &mut wf,
+            &BaselineAllocator,
+            arrivals,
+            &cfg,
+            &RunMeta::default(),
+        );
+        // Every library job, every (lib, repo) scan, every confirmation
+        // completed.
+        let expected_scans: u64 = (0..10)
+            .map(|l| {
+                gh.repos()
+                    .iter()
+                    .filter(|r| r.depends_on(LibraryId(l)))
+                    .count() as u64
+            })
+            .sum();
+        assert_eq!(
+            out.record.jobs_completed,
+            10 + expected_scans + expected_scans,
+            "search + scan + count jobs"
+        );
+        assert_eq!(pipe.confirmed(&mut wf), expected_scans);
+        let m = pipe.matrix(&mut wf);
+        assert!(m.total() > 0, "some libraries co-occur");
+    }
+
+    #[test]
+    fn false_positives_are_cloned_but_not_counted() {
+        let gh = small_universe();
+        let run = |fp: f64| {
+            let mut wf = Workflow::new();
+            let pipe = build_pipeline(&mut wf, Arc::clone(&gh), 1, fp);
+            let arrivals = library_arrivals(&pipe, 10, 0.5);
+            let cfg = EngineConfig::ideal();
+            let mut cluster = Cluster::new(&specs(3), &cfg);
+            let out = run_workflow(
+                &mut cluster,
+                &mut wf,
+                &BaselineAllocator,
+                arrivals,
+                &cfg,
+                &RunMeta::default(),
+            );
+            (out.record.jobs_completed, pipe.confirmed(&mut wf))
+        };
+        let (jobs_exact, confirmed_exact) = run(0.0);
+        let (jobs_fuzzy, confirmed_fuzzy) = run(0.5);
+        assert!(jobs_fuzzy > jobs_exact, "false positives add scan jobs");
+        assert_eq!(
+            confirmed_exact, confirmed_fuzzy,
+            "scan filters false positives, counts unchanged"
+        );
+    }
+
+    #[test]
+    fn matrix_is_scheduler_invariant() {
+        // The analysis result must not depend on who executed what.
+        let gh = small_universe();
+        let run = |alloc: &dyn crossbid_crossflow::Allocator| {
+            let mut wf = Workflow::new();
+            let pipe = build_pipeline(&mut wf, Arc::clone(&gh), 1, 0.0);
+            let arrivals = library_arrivals(&pipe, 10, 0.5);
+            let cfg = EngineConfig::default();
+            let mut cluster = Cluster::new(&specs(3), &cfg);
+            run_workflow(
+                &mut cluster,
+                &mut wf,
+                alloc,
+                arrivals,
+                &cfg,
+                &RunMeta::default(),
+            );
+            pipe.matrix(&mut wf).to_csv()
+        };
+        let a = run(&BaselineAllocator);
+        let b = run(&BiddingAllocator::new());
+        assert_eq!(a, b);
+    }
+}

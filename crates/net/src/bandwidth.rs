@@ -1,0 +1,154 @@
+//! Transfer rates.
+
+use std::fmt;
+use std::ops::{Div, Mul};
+
+use crossbid_simcore::SimDuration;
+
+/// Number of bytes in one megabyte as the paper uses it (decimal MB,
+/// matching "MB/s" cloud bandwidth figures).
+pub const BYTES_PER_MB: f64 = 1_000_000.0;
+
+/// A non-negative transfer or processing rate in bytes per second.
+///
+/// Both network speeds ("divide the size of the repository by the
+/// current network speed") and read/write speeds ("divide the
+/// repository size by the current read/write speed") from the paper's
+/// bid formulas are represented with this type.
+#[derive(Clone, Copy, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Zero rate — transfers never complete; useful as a sentinel for
+    /// a dead link in fault-injection tests.
+    pub const ZERO: Bandwidth = Bandwidth(0.0);
+
+    /// From raw bytes per second. Negative or non-finite input is
+    /// clamped to zero.
+    pub fn bytes_per_sec(b: f64) -> Self {
+        if b.is_finite() && b > 0.0 {
+            Bandwidth(b)
+        } else {
+            Bandwidth(0.0)
+        }
+    }
+
+    /// From megabytes per second (the paper's unit).
+    pub fn mb_per_sec(mb: f64) -> Self {
+        Self::bytes_per_sec(mb * BYTES_PER_MB)
+    }
+
+    /// Rate in bytes per second.
+    #[inline]
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Rate in megabytes per second.
+    #[inline]
+    pub fn as_mb_per_sec(self) -> f64 {
+        self.0 / BYTES_PER_MB
+    }
+
+    /// True iff the rate is zero (nothing can be transferred).
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 <= 0.0
+    }
+
+    /// Time to move `bytes` at this rate. A zero rate yields
+    /// [`SimDuration::MAX`] (the transfer never finishes).
+    pub fn time_for(self, bytes: u64) -> SimDuration {
+        if self.is_zero() {
+            if bytes == 0 {
+                SimDuration::ZERO
+            } else {
+                SimDuration::MAX
+            }
+        } else {
+            SimDuration::from_secs_f64(bytes as f64 / self.0)
+        }
+    }
+
+    /// Scale the rate by a non-negative factor (noise multiplier or
+    /// heterogeneity factor).
+    pub fn scaled(self, k: f64) -> Bandwidth {
+        Bandwidth::bytes_per_sec(self.0 * k)
+    }
+}
+
+impl Mul<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn mul(self, k: f64) -> Bandwidth {
+        self.scaled(k)
+    }
+}
+
+impl Div<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn div(self, k: f64) -> Bandwidth {
+        if k <= 0.0 {
+            Bandwidth::ZERO
+        } else {
+            Bandwidth::bytes_per_sec(self.0 / k)
+        }
+    }
+}
+
+impl fmt::Debug for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} MB/s", self.as_mb_per_sec())
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} MB/s", self.as_mb_per_sec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mb_constructor_matches_bytes() {
+        assert_eq!(
+            Bandwidth::mb_per_sec(20.0).as_bytes_per_sec(),
+            20.0 * BYTES_PER_MB
+        );
+        assert!((Bandwidth::mb_per_sec(20.0).as_mb_per_sec() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time() {
+        let bw = Bandwidth::mb_per_sec(10.0);
+        // 100 MB at 10 MB/s = 10 s.
+        let t = bw.time_for(100_000_000);
+        assert!((t.as_secs_f64() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_bandwidth_never_finishes() {
+        assert_eq!(Bandwidth::ZERO.time_for(1), SimDuration::MAX);
+        assert_eq!(Bandwidth::ZERO.time_for(0), SimDuration::ZERO);
+        assert!(Bandwidth::ZERO.is_zero());
+    }
+
+    #[test]
+    fn invalid_inputs_clamp() {
+        assert!(Bandwidth::bytes_per_sec(-5.0).is_zero());
+        assert!(Bandwidth::bytes_per_sec(f64::NAN).is_zero());
+        assert!(Bandwidth::bytes_per_sec(f64::INFINITY).is_zero());
+    }
+
+    #[test]
+    fn scaling() {
+        let bw = Bandwidth::mb_per_sec(8.0);
+        assert!((bw.scaled(0.5).as_mb_per_sec() - 4.0).abs() < 1e-9);
+        assert!(((bw * 2.0).as_mb_per_sec() - 16.0).abs() < 1e-9);
+        assert!(((bw / 4.0).as_mb_per_sec() - 2.0).abs() < 1e-9);
+        assert!((bw / 0.0).is_zero());
+        assert!(bw.scaled(-1.0).is_zero());
+    }
+}

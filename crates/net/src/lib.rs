@@ -1,0 +1,51 @@
+//! # crossbid-net
+//!
+//! Network substrate for the crossbid simulation.
+//!
+//! The paper's evaluation ran on geographically distributed AWS
+//! instances whose "network and read/write speeds ... were subjected
+//! to a noise scheme during job execution to simulate realistic
+//! variations in network conditions" (§6.3.1). This crate models that
+//! world explicitly:
+//!
+//! * [`Bandwidth`] — a transfer rate with MB/s constructors (the unit
+//!   the paper reports).
+//! * [`NoiseModel`] — the noise scheme applied to *actual* transfer
+//!   and processing speeds, so that bids (computed from *believed*
+//!   speeds) are systematically imperfect exactly as in the paper.
+//! * [`Link`] — a worker's data-plane connection (to the repository
+//!   host) combining nominal bandwidth, latency and noise.
+//! * [`ControlPlane`] — latency model for master↔worker scheduler
+//!   messages (bid requests, bids, offers, assignments).
+//! * [`StarTopology`] — the 7-instance layout of the paper: one
+//!   master, one messaging hub, N workers, plus an external data
+//!   source (GitHub).
+
+//! ```
+//! use crossbid_net::{Bandwidth, Link, NoiseModel};
+//! use crossbid_simcore::{RngStream, SimDuration};
+//!
+//! // A 20 MB/s link with 300 ms setup latency and the evaluation's
+//! // noise scheme.
+//! let mut link = Link::new(
+//!     Bandwidth::mb_per_sec(20.0),
+//!     SimDuration::from_millis(300),
+//!     NoiseModel::evaluation_default(),
+//! );
+//! // The *estimate* a bid would quote (no noise): 0.3 + 100/20 s.
+//! assert!((link.estimate(100_000_000).as_secs_f64() - 5.3).abs() < 1e-9);
+//! // The *actual* transfer draws a noise multiplier.
+//! let mut rng = RngStream::from_seed(1);
+//! let out = link.transfer(100_000_000, &mut rng);
+//! assert!(out.duration.as_secs_f64() > 4.0 && out.duration.as_secs_f64() < 8.0);
+//! ```
+
+pub mod bandwidth;
+pub mod link;
+pub mod noise;
+pub mod topology;
+
+pub use bandwidth::Bandwidth;
+pub use link::{Link, TransferOutcome};
+pub use noise::{MarkovNoise, NoiseModel};
+pub use topology::{ControlPlane, NodeId, StarTopology};

@@ -1,0 +1,158 @@
+//! Data-plane links.
+//!
+//! A [`Link`] is a worker's connection to the repository host (GitHub
+//! in the paper's MSR scenario). It carries a *nominal* bandwidth —
+//! the value bids are computed from — and a [`NoiseModel`] that
+//! disturbs the *actual* speed each time a transfer really happens.
+
+use crossbid_simcore::{RngStream, SimDuration};
+
+use crate::bandwidth::Bandwidth;
+use crate::noise::{NoiseModel, NoiseSampler};
+
+/// Result of actually performing a transfer over a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferOutcome {
+    /// Wall-clock (virtual) time the transfer took, including the
+    /// link's setup latency.
+    pub duration: SimDuration,
+    /// The noisy speed that was actually achieved.
+    pub achieved: Bandwidth,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+impl TransferOutcome {
+    /// Achieved rate in MB/s — what the paper's §6.4 workers observe
+    /// and feed into their historic speed averages.
+    pub fn achieved_mb_per_sec(&self) -> f64 {
+        self.achieved.as_mb_per_sec()
+    }
+}
+
+/// A point-to-point data connection with nominal speed, per-transfer
+/// setup latency, and a noise scheme on the actual speed.
+#[derive(Debug, Clone)]
+pub struct Link {
+    nominal: Bandwidth,
+    latency: SimDuration,
+    noise: NoiseSampler,
+}
+
+impl Link {
+    /// Create a link with the given nominal bandwidth, setup latency
+    /// (connection establishment, API round trip) and noise scheme.
+    pub fn new(nominal: Bandwidth, latency: SimDuration, noise: NoiseModel) -> Self {
+        Link {
+            nominal,
+            latency,
+            noise: noise.sampler(),
+        }
+    }
+
+    /// A noise-free, zero-latency link (unit tests).
+    pub fn ideal(nominal: Bandwidth) -> Self {
+        Link::new(nominal, SimDuration::ZERO, NoiseModel::None)
+    }
+
+    /// The nominal (believed) bandwidth of this link.
+    pub fn nominal(&self) -> Bandwidth {
+        self.nominal
+    }
+
+    /// Replace the nominal bandwidth (used to model reconfiguration
+    /// and the `fast-slow` worker presets).
+    pub fn set_nominal(&mut self, bw: Bandwidth) {
+        self.nominal = bw;
+    }
+
+    /// Per-transfer setup latency.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// The *estimate* a worker would quote for transferring `bytes`:
+    /// latency + size / nominal speed. This is Listing 2 line 4 of the
+    /// paper ("dividing the size of the repository by the current
+    /// network speed") and sees no noise.
+    pub fn estimate(&self, bytes: u64) -> SimDuration {
+        self.latency + self.nominal.time_for(bytes)
+    }
+
+    /// Actually transfer `bytes`, drawing a fresh noise multiplier.
+    pub fn transfer(&mut self, bytes: u64, rng: &mut RngStream) -> TransferOutcome {
+        let m = self.noise.sample(rng);
+        let achieved = self.nominal.scaled(m);
+        TransferOutcome {
+            duration: self.latency + achieved.time_for(bytes),
+            achieved,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_link_matches_estimate() {
+        let mut l = Link::ideal(Bandwidth::mb_per_sec(10.0));
+        let mut r = RngStream::from_seed(1);
+        let out = l.transfer(50_000_000, &mut r);
+        assert_eq!(out.duration, l.estimate(50_000_000));
+        assert!((out.duration.as_secs_f64() - 5.0).abs() < 1e-6);
+        assert_eq!(out.bytes, 50_000_000);
+    }
+
+    #[test]
+    fn latency_is_added() {
+        let l = Link::new(
+            Bandwidth::mb_per_sec(10.0),
+            SimDuration::from_millis(200),
+            NoiseModel::None,
+        );
+        let est = l.estimate(10_000_000); // 1s transfer + 0.2s latency
+        assert!((est.as_secs_f64() - 1.2).abs() < 1e-6);
+        // Zero-byte transfer still pays the latency.
+        assert_eq!(l.estimate(0), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn noise_changes_actual_but_not_estimate() {
+        let model = NoiseModel::Uniform { lo: 0.5, hi: 0.9 };
+        let mut l = Link::new(Bandwidth::mb_per_sec(10.0), SimDuration::ZERO, model);
+        let mut r = RngStream::from_seed(3);
+        let est = l.estimate(10_000_000);
+        for _ in 0..50 {
+            let out = l.transfer(10_000_000, &mut r);
+            // Noise in [0.5, 0.9] always slows the transfer down.
+            assert!(out.duration > est);
+            assert!(out.achieved < l.nominal());
+        }
+        // Estimate unchanged by transfers.
+        assert_eq!(l.estimate(10_000_000), est);
+    }
+
+    #[test]
+    fn achieved_speed_reported() {
+        let mut l = Link::ideal(Bandwidth::mb_per_sec(25.0));
+        let mut r = RngStream::from_seed(5);
+        let out = l.transfer(1_000_000, &mut r);
+        assert!((out.achieved_mb_per_sec() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dead_link_never_completes() {
+        let mut l = Link::ideal(Bandwidth::ZERO);
+        let mut r = RngStream::from_seed(5);
+        assert_eq!(l.transfer(1, &mut r).duration, SimDuration::MAX);
+    }
+
+    #[test]
+    fn set_nominal_affects_future_estimates() {
+        let mut l = Link::ideal(Bandwidth::mb_per_sec(10.0));
+        l.set_nominal(Bandwidth::mb_per_sec(20.0));
+        assert!((l.estimate(20_000_000).as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,193 @@
+//! Noise schemes for actual (as opposed to believed) speeds.
+//!
+//! Paper §6.3.1: "to better replicate real-world network throttling
+//! scenarios and ensure bidding costs differed from actual execution
+//! times, the speeds were subjected to a noise scheme during job
+//! execution". A [`NoiseModel`] produces a positive multiplier that is
+//! applied to a nominal bandwidth each time a transfer or a processing
+//! step actually executes. Bids never see the noise.
+
+use crossbid_simcore::RngStream;
+
+/// A sampled multiplicative disturbance of a nominal speed.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub enum NoiseModel {
+    /// No noise: actual speed equals believed speed (useful for
+    /// isolating scheduler behaviour in tests).
+    #[default]
+    None,
+    /// Uniform multiplier in `[lo, hi]`; e.g. `Uniform { lo: 0.7,
+    /// hi: 1.2 }` models mild throttling and occasional bursts.
+    Uniform { lo: f64, hi: f64 },
+    /// Log-normal multiplier with median 1 and shape `sigma`; heavier
+    /// right tail models transient congestion.
+    LogNormal { sigma: f64 },
+    /// Two-state Markov-modulated noise ("good"/"degraded" link).
+    /// Stays in the good state (multiplier 1) and occasionally drops
+    /// into a degraded state with multiplier `degraded_factor`.
+    Markov(MarkovNoise),
+}
+
+/// Parameters of the two-state Markov noise process.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MarkovNoise {
+    /// Probability per sample of transitioning good → degraded.
+    pub p_degrade: f64,
+    /// Probability per sample of transitioning degraded → good.
+    pub p_recover: f64,
+    /// Speed multiplier while degraded (e.g. 0.25 = 4× slower).
+    pub degraded_factor: f64,
+}
+
+impl NoiseModel {
+    /// The default evaluation noise used throughout the reproduction:
+    /// mild uniform throttling around the nominal speed.
+    pub fn evaluation_default() -> Self {
+        NoiseModel::Uniform { lo: 0.7, hi: 1.15 }
+    }
+
+    /// Create a stateful sampler for this model.
+    pub fn sampler(&self) -> NoiseSampler {
+        NoiseSampler {
+            model: self.clone(),
+            degraded: false,
+        }
+    }
+}
+
+/// Stateful sampler; state only matters for [`NoiseModel::Markov`].
+#[derive(Debug, Clone)]
+pub struct NoiseSampler {
+    model: NoiseModel,
+    degraded: bool,
+}
+
+impl NoiseSampler {
+    /// Draw the next multiplier (always `> 0` for well-formed models,
+    /// clamped to a tiny positive floor defensively).
+    pub fn sample(&mut self, rng: &mut RngStream) -> f64 {
+        let m = match &self.model {
+            NoiseModel::None => 1.0,
+            NoiseModel::Uniform { lo, hi } => rng.uniform(*lo, (*hi).max(*lo)),
+            NoiseModel::LogNormal { sigma } => rng.log_normal(0.0, sigma.abs()),
+            NoiseModel::Markov(p) => {
+                if self.degraded {
+                    if rng.chance(p.p_recover) {
+                        self.degraded = false;
+                    }
+                } else if rng.chance(p.p_degrade) {
+                    self.degraded = true;
+                }
+                if self.degraded {
+                    p.degraded_factor
+                } else {
+                    1.0
+                }
+            }
+        };
+        m.max(1e-6)
+    }
+
+    /// Whether a Markov sampler is currently degraded (always false
+    /// for other models).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> RngStream {
+        RngStream::from_seed(0xBEEF)
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut s = NoiseModel::None.sampler();
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(s.sample(&mut r), 1.0);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_band() {
+        let mut s = NoiseModel::Uniform { lo: 0.5, hi: 1.5 }.sampler();
+        let mut r = rng();
+        for _ in 0..1000 {
+            let m = s.sample(&mut r);
+            assert!((0.5..=1.5).contains(&m), "{m}");
+        }
+    }
+
+    #[test]
+    fn log_normal_median_near_one() {
+        let mut s = NoiseModel::LogNormal { sigma: 0.3 }.sampler();
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..20_001).map(|_| s.sample(&mut r)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn markov_visits_both_states() {
+        let mut s = NoiseModel::Markov(MarkovNoise {
+            p_degrade: 0.2,
+            p_recover: 0.4,
+            degraded_factor: 0.25,
+        })
+        .sampler();
+        let mut r = rng();
+        let samples: Vec<f64> = (0..2000).map(|_| s.sample(&mut r)).collect();
+        let degraded = samples.iter().filter(|&&m| m == 0.25).count();
+        let good = samples.iter().filter(|&&m| m == 1.0).count();
+        assert_eq!(degraded + good, samples.len());
+        // Stationary degraded fraction = p_d / (p_d + p_r) = 1/3.
+        let frac = degraded as f64 / samples.len() as f64;
+        assert!((frac - 1.0 / 3.0).abs() < 0.07, "frac {frac}");
+    }
+
+    #[test]
+    fn markov_state_is_sticky() {
+        let mut s = NoiseModel::Markov(MarkovNoise {
+            p_degrade: 1.0,
+            p_recover: 0.0,
+            degraded_factor: 0.1,
+        })
+        .sampler();
+        let mut r = rng();
+        s.sample(&mut r);
+        assert!(s.is_degraded());
+        for _ in 0..10 {
+            assert_eq!(s.sample(&mut r), 0.1);
+        }
+    }
+
+    #[test]
+    fn samples_are_positive_even_for_weird_params() {
+        let mut s = NoiseModel::Uniform { lo: -1.0, hi: -0.5 }.sampler();
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(s.sample(&mut r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let model = NoiseModel::evaluation_default();
+        let a: Vec<f64> = {
+            let mut s = model.sampler();
+            let mut r = RngStream::from_seed(7);
+            (0..32).map(|_| s.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut s = model.sampler();
+            let mut r = RngStream::from_seed(7);
+            (0..32).map(|_| s.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests of the network substrate.
+
+use crossbid_net::{Bandwidth, ControlPlane, Link, NoiseModel};
+use crossbid_simcore::{RngStream, SimDuration};
+use proptest::prelude::*;
+
+proptest! {
+    /// Transfer time is monotone non-decreasing in bytes for a fixed
+    /// link and noise draw sequence.
+    #[test]
+    fn estimate_is_monotone_in_bytes(
+        mbps in 0.1f64..1000.0,
+        a in 0u64..1_000_000_000,
+        b in 0u64..1_000_000_000,
+    ) {
+        let link = Link::ideal(Bandwidth::mb_per_sec(mbps));
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(link.estimate(lo) <= link.estimate(hi));
+    }
+
+    /// Actual transfers under uniform noise stay within the band the
+    /// noise defines around the nominal duration.
+    #[test]
+    fn noisy_transfer_bounded_by_noise_band(
+        seed: u64,
+        mbps in 1.0f64..100.0,
+        bytes in 1_000_000u64..1_000_000_000,
+    ) {
+        let model = NoiseModel::Uniform { lo: 0.5, hi: 2.0 };
+        let mut link = Link::new(Bandwidth::mb_per_sec(mbps), SimDuration::ZERO, model);
+        let nominal = Bandwidth::mb_per_sec(mbps).time_for(bytes).as_secs_f64();
+        let mut rng = RngStream::from_seed(seed);
+        for _ in 0..16 {
+            let d = link.transfer(bytes, &mut rng).duration.as_secs_f64();
+            // Speed multiplier in [0.5, 2] → duration in [nominal/2, 2·nominal].
+            prop_assert!(d >= nominal / 2.0 - 1e-6, "{d} vs {nominal}");
+            prop_assert!(d <= nominal * 2.0 + 1e-6, "{d} vs {nominal}");
+        }
+    }
+
+    /// Control-plane delays are within [base, base + jitter].
+    #[test]
+    fn control_delay_bounds(seed: u64, base_ms in 0u64..500, jitter_ms in 0u64..500) {
+        let cp = ControlPlane::new(
+            SimDuration::from_millis(base_ms),
+            SimDuration::from_millis(jitter_ms),
+        );
+        let mut rng = RngStream::from_seed(seed);
+        for _ in 0..32 {
+            let d = cp.delay(&mut rng);
+            prop_assert!(d >= SimDuration::from_millis(base_ms));
+            prop_assert!(d <= SimDuration::from_millis(base_ms + jitter_ms));
+        }
+    }
+
+    /// Bandwidth scaling by k scales transfer times by 1/k.
+    #[test]
+    fn bandwidth_scaling_inverts_duration(
+        mbps in 1.0f64..100.0,
+        k in 0.1f64..10.0,
+        bytes in 1_000_000u64..100_000_000,
+    ) {
+        let bw = Bandwidth::mb_per_sec(mbps);
+        let t1 = bw.time_for(bytes).as_secs_f64();
+        let t2 = bw.scaled(k).time_for(bytes).as_secs_f64();
+        let expect = t1 / k;
+        prop_assert!((t2 - expect).abs() < expect * 1e-6 + 1e-5, "{t2} vs {expect}");
+    }
+}

@@ -1,0 +1,275 @@
+//! The event queue at the heart of the simulator.
+//!
+//! [`EventQueue`] is a time-ordered priority queue with a strict
+//! determinism guarantee: events scheduled for the same instant are
+//! delivered in the order they were scheduled (FIFO tie-break via a
+//! monotonically increasing sequence number). The queue also tracks
+//! the current virtual time, which advances to an event's timestamp
+//! when it is popped.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    // Reversed so that BinaryHeap (a max-heap) pops the earliest event
+    // first; ties broken by insertion order.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue parameterised over the event
+/// payload type `E`.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at virtual time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the most recently popped
+    /// event, or zero).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events delivered so far (a cheap progress /
+    /// complexity proxy used by the experiment harness).
+    #[inline]
+    pub fn events_delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in callers; the event is
+    /// clamped to `now` so that virtual time never runs backwards, and
+    /// debug builds assert.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        let time = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Schedule `event` after a relative delay from the current time.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedule `event` at the current instant (delivered after all
+    /// events already scheduled for this instant).
+    #[inline]
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_at(self.now, event);
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Pop the next event, advancing virtual time to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now);
+        self.now = s.time;
+        self.popped += 1;
+        Some((s.time, s.event))
+    }
+
+    /// Drop all pending events (the clock is left where it is).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("delivered", &self.popped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3), "c");
+        q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_at(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn schedule_now_runs_after_existing_same_instant_events() {
+        let mut q = EventQueue::new();
+        q.schedule_now("first");
+        q.schedule_now("second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), "jump");
+        q.pop();
+        q.schedule_in(SimDuration::from_secs(1), "later");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(11));
+    }
+
+    #[test]
+    fn delivered_counter() {
+        let mut q = EventQueue::new();
+        for _ in 0..7 {
+            q.schedule_now(());
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.events_delivered(), 7);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule_now(1);
+        q.schedule_now(2);
+        q.clear();
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Events always come out in non-decreasing time order, and
+        /// same-time events preserve insertion order.
+        #[test]
+        fn ordering_invariant(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule_at(SimTime::from_ticks(*t), i);
+            }
+            let mut last_time = SimTime::ZERO;
+            let mut seen_at_time: Vec<usize> = Vec::new();
+            while let Some((t, idx)) = q.pop() {
+                prop_assert!(t >= last_time);
+                if t != last_time {
+                    seen_at_time.clear();
+                    last_time = t;
+                }
+                if let Some(&prev) = seen_at_time.last() {
+                    // FIFO among equal timestamps implies increasing
+                    // insertion indices.
+                    prop_assert!(idx > prev);
+                }
+                seen_at_time.push(idx);
+            }
+        }
+
+        /// The queue delivers exactly the multiset of scheduled events.
+        #[test]
+        fn conservation(times in proptest::collection::vec(0u64..500, 0..100)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule_at(SimTime::from_ticks(*t), i);
+            }
+            let mut got: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, (0..times.len()).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Deterministic, stream-separated randomness.
+//!
+//! Every stochastic component of the simulation (per-worker noise,
+//! arrival processes, workload generation, tie-breaking) draws from
+//! its own [`RngStream`], derived from a root seed and a stream
+//! identifier through SplitMix64. Adding a new consumer of randomness
+//! therefore never changes the numbers any existing consumer sees —
+//! a property the reproduction tests rely on.
+//!
+//! `rand`'s `SmallRng` provides the underlying generator;
+//! normal/log-normal variates are produced locally via Box–Muller so
+//! we do not need the `rand_distr` crate.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 step — a tiny, well-mixed 64-bit hash used purely for
+/// seed derivation (Steele et al., "Fast Splittable Pseudorandom
+/// Number Generators").
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives independent per-stream seeds from a single root seed.
+#[derive(Debug, Clone, Copy)]
+pub struct SeedSequence {
+    root: u64,
+}
+
+impl SeedSequence {
+    /// Create a sequence rooted at `root`.
+    pub fn new(root: u64) -> Self {
+        SeedSequence { root }
+    }
+
+    /// The 64-bit seed for stream `stream`.
+    pub fn seed_for(&self, stream: u64) -> u64 {
+        let mut s = self.root ^ 0xA076_1D64_78BD_642F_u64.wrapping_mul(stream.wrapping_add(1));
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        a ^ b.rotate_left(32)
+    }
+
+    /// A ready-to-use generator for stream `stream`.
+    pub fn stream(&self, stream: u64) -> RngStream {
+        RngStream::from_seed(self.seed_for(stream))
+    }
+}
+
+/// A seeded random stream with the distribution helpers the simulation
+/// needs.
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    rng: SmallRng,
+    /// Cached second Box–Muller variate.
+    gauss_spare: Option<f64>,
+}
+
+impl RngStream {
+    /// Build directly from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        RngStream {
+            rng: SmallRng::seed_from_u64(seed),
+            gauss_spare: None,
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. `lo == hi` returns `lo`.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi);
+        if lo >= hi {
+            lo
+        } else {
+            lo + (hi - lo) * self.unit()
+        }
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal variate via Box–Muller.
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        loop {
+            // Polar method avoids trig and rejects (0,0).
+            let u = self.uniform(-1.0, 1.0);
+            let v = self.uniform(-1.0, 1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.gauss_spare = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Normal variate with given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Log-normal variate with the *underlying* normal's parameters
+    /// `mu` and `sigma` (so the median is `exp(mu)`).
+    #[inline]
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.gaussian()).exp()
+    }
+
+    /// Exponential variate with the given mean (`mean = 1/λ`). Used by
+    /// arrival processes. `mean <= 0` returns 0.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Avoid ln(0).
+        let u = 1.0 - self.unit();
+        -mean * u.ln()
+    }
+
+    /// Choose a uniformly random element of `slice`. Panics if empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose from empty slice");
+        &slice[self.below(slice.len() as u64) as usize]
+    }
+
+    /// Sample an index according to non-negative `weights`
+    /// (categorical distribution). Panics if all weights are zero or
+    /// the slice is empty.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        assert!(total > 0.0, "weighted_index with no positive weight");
+        let mut x = self.unit() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        // Floating-point slack: return the last positive-weight index.
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("checked above")
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let seq = SeedSequence::new(42);
+        let mut a = seq.stream(7);
+        let mut b = seq.stream(7);
+        for _ in 0..100 {
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let seq = SeedSequence::new(42);
+        let a: Vec<u64> = {
+            let mut r = seq.stream(0);
+            (0..32).map(|_| r.below(1 << 30)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = seq.stream(1);
+            (0..32).map(|_| r.below(1 << 30)).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_roots_differ() {
+        let a = SeedSequence::new(1).seed_for(0);
+        let b = SeedSequence::new(2).seed_for(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = RngStream::from_seed(9);
+        for _ in 0..1000 {
+            let x = r.uniform(3.0, 5.0);
+            assert!((3.0..5.0).contains(&x));
+        }
+        assert_eq!(r.uniform(2.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut r = RngStream::from_seed(1234);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = RngStream::from_seed(5);
+        for _ in 0..1000 {
+            assert!(r.log_normal(0.0, 0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = RngStream::from_seed(77);
+        let n = 50_000;
+        let mean = (0..n).map(|_| r.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert_eq!(r.exponential(0.0), 0.0);
+    }
+
+    #[test]
+    fn weighted_index_respects_zero_weights() {
+        let mut r = RngStream::from_seed(3);
+        for _ in 0..200 {
+            let i = r.weighted_index(&[0.0, 1.0, 0.0, 2.0]);
+            assert!(i == 1 || i == 3);
+        }
+    }
+
+    #[test]
+    fn weighted_index_rough_proportions() {
+        let mut r = RngStream::from_seed(11);
+        let mut counts = [0u32; 2];
+        for _ in 0..10_000 {
+            counts[r.weighted_index(&[1.0, 3.0])] += 1;
+        }
+        let frac = counts[1] as f64 / 10_000.0;
+        assert!((frac - 0.75).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = RngStream::from_seed(8);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = RngStream::from_seed(1);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn below_zero_panics() {
+        RngStream::from_seed(0).below(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn seed_derivation_deterministic(root: u64, stream: u64) {
+            let a = SeedSequence::new(root).seed_for(stream);
+            let b = SeedSequence::new(root).seed_for(stream);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn uniform_stays_in_bounds(seed: u64, lo in -1e6f64..1e6, span in 0.0f64..1e6) {
+            let mut r = RngStream::from_seed(seed);
+            let hi = lo + span;
+            let x = r.uniform(lo, hi);
+            prop_assert!(x >= lo && (x < hi || span == 0.0));
+        }
+
+        #[test]
+        fn shuffle_preserves_elements(seed: u64, mut v in proptest::collection::vec(0u32..1000, 0..50)) {
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            RngStream::from_seed(seed).shuffle(&mut v);
+            v.sort_unstable();
+            prop_assert_eq!(v, expect);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Validation of the discrete-event substrate against queueing
+//! theory: an M/M/1 queue built directly on [`EventQueue`] must
+//! reproduce the analytic mean waiting time
+//! `W_q = ρ / (μ − λ)` and utilization `ρ = λ/μ`.
+//!
+//! If this test holds, the event queue's ordering, the exponential
+//! sampler and the virtual clock are all consistent — the foundation
+//! everything above (workers, contests, transfers) relies on.
+
+use crossbid_simcore::{EventQueue, RngStream, SimDuration, SimTime, Welford};
+
+#[derive(Debug)]
+enum Ev {
+    Arrival,
+    Departure,
+}
+
+struct Mm1Result {
+    mean_wait: f64,
+    utilization: f64,
+    served: u64,
+}
+
+fn run_mm1(lambda: f64, mu: f64, n_customers: u64, seed: u64) -> Mm1Result {
+    let mut q = EventQueue::new();
+    let mut rng_arr = RngStream::from_seed(seed);
+    let mut rng_srv = RngStream::from_seed(seed ^ 0xDEAD_BEEF);
+
+    let mut queue: std::collections::VecDeque<SimTime> = Default::default();
+    let mut busy = false;
+    let mut busy_since = SimTime::ZERO;
+    let mut busy_total = 0.0;
+    let mut wait = Welford::new();
+    let mut arrived = 0u64;
+    let mut served = 0u64;
+
+    q.schedule_in(
+        SimDuration::from_secs_f64(rng_arr.exponential(1.0 / lambda)),
+        Ev::Arrival,
+    );
+    while let Some((now, ev)) = q.pop() {
+        match ev {
+            Ev::Arrival => {
+                arrived += 1;
+                if arrived < n_customers {
+                    q.schedule_in(
+                        SimDuration::from_secs_f64(rng_arr.exponential(1.0 / lambda)),
+                        Ev::Arrival,
+                    );
+                }
+                if busy {
+                    queue.push_back(now);
+                } else {
+                    busy = true;
+                    busy_since = now;
+                    wait.push(0.0);
+                    q.schedule_in(
+                        SimDuration::from_secs_f64(rng_srv.exponential(1.0 / mu)),
+                        Ev::Departure,
+                    );
+                }
+            }
+            Ev::Departure => {
+                served += 1;
+                if let Some(enq) = queue.pop_front() {
+                    wait.push(now.saturating_since(enq).as_secs_f64());
+                    q.schedule_in(
+                        SimDuration::from_secs_f64(rng_srv.exponential(1.0 / mu)),
+                        Ev::Departure,
+                    );
+                } else {
+                    busy = false;
+                    busy_total += now.saturating_since(busy_since).as_secs_f64();
+                }
+            }
+        }
+    }
+    let end = q.now().as_secs_f64().max(1e-9);
+    if busy {
+        busy_total += q.now().saturating_since(busy_since).as_secs_f64();
+    }
+    Mm1Result {
+        mean_wait: wait.mean(),
+        utilization: busy_total / end,
+        served,
+    }
+}
+
+#[test]
+fn mm1_matches_analytic_wait_and_utilization() {
+    // ρ = 0.7: W_q = ρ / (μ − λ) = 0.7 / 0.3 ≈ 2.333 s at μ = 1.
+    let lambda = 0.7;
+    let mu = 1.0;
+    let res = run_mm1(lambda, mu, 200_000, 42);
+    assert_eq!(res.served, 200_000);
+    let rho = lambda / mu;
+    let wq = rho / (mu - lambda);
+    assert!(
+        (res.mean_wait - wq).abs() / wq < 0.05,
+        "mean wait {:.3} vs theory {:.3}",
+        res.mean_wait,
+        wq
+    );
+    assert!(
+        (res.utilization - rho).abs() < 0.02,
+        "utilization {:.3} vs theory {:.3}",
+        res.utilization,
+        rho
+    );
+}
+
+#[test]
+fn mm1_light_load_has_tiny_waits() {
+    // ρ = 0.2: W_q = 0.25 s.
+    let res = run_mm1(0.2, 1.0, 100_000, 7);
+    assert!(
+        (res.mean_wait - 0.25).abs() < 0.03,
+        "mean wait {:.3}",
+        res.mean_wait
+    );
+}
+
+#[test]
+fn mm1_is_seed_deterministic() {
+    let a = run_mm1(0.5, 1.0, 10_000, 11);
+    let b = run_mm1(0.5, 1.0, 10_000, 11);
+    assert_eq!(a.mean_wait.to_bits(), b.mean_wait.to_bits());
+    assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+}

@@ -1,0 +1,75 @@
+//! Eviction policies for [`LocalStore`](crate::store::LocalStore).
+//!
+//! The paper leaves cache management to the worker ("they are
+//! responsible for maintaining their cache memories and local
+//! resources", §7) without prescribing a policy; we implement the
+//! standard family so the `ablation_cache` bench can quantify how the
+//! choice interacts with each scheduler.
+
+use serde::{Deserialize, Serialize};
+
+/// Which resident object to evict when space is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Least recently used (default: matches "keep what you just
+    /// worked on", the behaviour the paper's workers rely on).
+    #[default]
+    Lru,
+    /// Least frequently used, with recency as tie-break.
+    Lfu,
+    /// First in, first out (insertion order, ignores use).
+    Fifo,
+    /// Largest object first — frees the most space per eviction, at
+    /// the cost of discarding exactly the objects that are most
+    /// expensive to re-download.
+    LargestFirst,
+}
+
+impl EvictionPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [EvictionPolicy; 4] = [
+        EvictionPolicy::Lru,
+        EvictionPolicy::Lfu,
+        EvictionPolicy::Fifo,
+        EvictionPolicy::LargestFirst,
+    ];
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Lfu => "lfu",
+            EvictionPolicy::Fifo => "fifo",
+            EvictionPolicy::LargestFirst => "largest-first",
+        }
+    }
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = EvictionPolicy::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EvictionPolicy::ALL.len());
+    }
+
+    #[test]
+    fn default_is_lru() {
+        assert_eq!(EvictionPolicy::default(), EvictionPolicy::Lru);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(format!("{}", EvictionPolicy::LargestFirst), "largest-first");
+    }
+}

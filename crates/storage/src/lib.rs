@@ -1,0 +1,36 @@
+//! # crossbid-storage
+//!
+//! Worker-local resource storage.
+//!
+//! In the paper's MSR scenario each worker keeps cloned GitHub
+//! repositories on its local filesystem so that "repeated computations
+//! involving the same files" can be "allocated to the same worker
+//! nodes, namely the ones that already possess them" (§2). Whether a
+//! worker holds a repository locally is exactly the locality signal
+//! both schedulers consume, and the paper's evaluation metrics
+//! **cache miss** and **data load** (§6.1) are computed from this
+//! store's accounting.
+//!
+//! * [`LocalStore`] — capacity-bounded store of sized objects.
+//! * [`EvictionPolicy`] — LRU / LFU / FIFO / size-aware policies.
+//! * [`StoreStats`] — hits, misses, evictions, bytes admitted/evicted.
+
+//! ```
+//! use crossbid_simcore::SimTime;
+//! use crossbid_storage::{EvictionPolicy, LocalStore, ObjectId};
+//!
+//! let mut store = LocalStore::new(100, EvictionPolicy::Lru);
+//! assert!(!store.lookup(ObjectId(1), SimTime::ZERO));   // miss
+//! store.insert(ObjectId(1), 80, SimTime::ZERO);         // clone kept
+//! assert!(store.lookup(ObjectId(1), SimTime::from_secs(1))); // hit
+//! let evicted = store.insert(ObjectId(2), 40, SimTime::from_secs(2));
+//! assert_eq!(evicted, vec![ObjectId(1)]);               // LRU eviction
+//! assert_eq!(store.stats().misses, 1);
+//! assert_eq!(store.stats().bytes_admitted, 120);
+//! ```
+
+pub mod eviction;
+pub mod store;
+
+pub use eviction::EvictionPolicy;
+pub use store::{LocalStore, ObjectId, StoreStats};

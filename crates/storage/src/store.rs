@@ -1,0 +1,458 @@
+//! The capacity-bounded local store.
+
+use std::collections::HashMap;
+
+use crossbid_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::eviction::EvictionPolicy;
+
+/// Identifier of a stored object (a repository in the MSR scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+/// Accounting the paper's §6.1 metrics are computed from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Lookups that found the object locally.
+    pub hits: u64,
+    /// Lookups that did not ("the number of times workers did not
+    /// have the necessary data locally", §6.1 metric 3).
+    pub misses: u64,
+    /// Objects evicted to make room.
+    pub evictions: u64,
+    /// Total bytes admitted into the store — for objects fetched over
+    /// the network this equals the paper's **data load** contribution.
+    pub bytes_admitted: u64,
+    /// Total bytes evicted.
+    pub bytes_evicted: u64,
+}
+
+impl StoreStats {
+    /// Hit ratio in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Merge another worker's stats into this one (cluster totals).
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.bytes_admitted += other.bytes_admitted;
+        self.bytes_evicted += other.bytes_evicted;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    size: u64,
+    last_used: SimTime,
+    /// Monotonic recency counter (ties in `last_used` are possible
+    /// when several touches happen at the same virtual instant).
+    last_seq: u64,
+    inserted_seq: u64,
+    uses: u64,
+}
+
+/// A worker's local resource store.
+///
+/// Objects have sizes; the store holds at most `capacity` bytes and
+/// evicts according to its [`EvictionPolicy`] when an insertion would
+/// overflow. An object larger than the whole capacity is *passed
+/// through*: it is downloaded (counted in `bytes_admitted`) but not
+/// retained — mirroring a worker whose disk simply cannot keep the
+/// clone.
+#[derive(Debug, Clone)]
+pub struct LocalStore {
+    capacity: u64,
+    used: u64,
+    policy: EvictionPolicy,
+    entries: HashMap<ObjectId, Entry>,
+    seq: u64,
+    stats: StoreStats,
+}
+
+impl LocalStore {
+    /// Create an empty store.
+    pub fn new(capacity: u64, policy: EvictionPolicy) -> Self {
+        LocalStore {
+            capacity,
+            used: 0,
+            policy,
+            entries: HashMap::new(),
+            seq: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of resident objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no objects are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The eviction policy in force.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Reset statistics (e.g. between measured iterations) without
+    /// touching the resident set — the paper's multi-iteration runs
+    /// keep caches warm across iterations.
+    pub fn reset_stats(&mut self) {
+        self.stats = StoreStats::default();
+    }
+
+    /// Non-mutating membership check used when *estimating* bids —
+    /// checking "the contents of local cache memory" must not perturb
+    /// recency or hit/miss accounting.
+    pub fn peek(&self, id: ObjectId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Size of a resident object, if present.
+    pub fn size_of(&self, id: ObjectId) -> Option<u64> {
+        self.entries.get(&id).map(|e| e.size)
+    }
+
+    /// Look up `id` for actual use at time `now`. A hit refreshes
+    /// recency/frequency and is counted; a miss is counted and the
+    /// caller is expected to fetch and then [`insert`](Self::insert).
+    pub fn lookup(&mut self, id: ObjectId, now: SimTime) -> bool {
+        self.seq += 1;
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.last_used = now;
+            e.last_seq = self.seq;
+            e.uses += 1;
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Admit `id` with `size` bytes at time `now`, evicting as needed.
+    /// Returns the evicted object ids (possibly empty). Re-inserting a
+    /// resident object only refreshes its metadata.
+    pub fn insert(&mut self, id: ObjectId, size: u64, now: SimTime) -> Vec<ObjectId> {
+        self.seq += 1;
+        self.stats.bytes_admitted += size;
+        if let Some(e) = self.entries.get_mut(&id) {
+            // Refresh; size is immutable per object in our model.
+            debug_assert_eq!(e.size, size, "object size changed");
+            e.last_used = now;
+            e.last_seq = self.seq;
+            e.uses += 1;
+            return Vec::new();
+        }
+        if size > self.capacity {
+            // Pass-through: downloaded but cannot be retained.
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        while self.used + size > self.capacity {
+            let victim = self
+                .pick_victim()
+                .expect("used > 0 implies a victim exists");
+            let e = self.entries.remove(&victim).expect("victim resident");
+            self.used -= e.size;
+            self.stats.evictions += 1;
+            self.stats.bytes_evicted += e.size;
+            evicted.push(victim);
+        }
+        self.used += size;
+        self.entries.insert(
+            id,
+            Entry {
+                size,
+                last_used: now,
+                last_seq: self.seq,
+                inserted_seq: self.seq,
+                uses: 1,
+            },
+        );
+        evicted
+    }
+
+    /// Remove an object explicitly (fault injection / manual cache
+    /// management). Returns true if it was resident.
+    pub fn remove(&mut self, id: ObjectId) -> bool {
+        if let Some(e) = self.entries.remove(&id) {
+            self.used -= e.size;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop everything (cold restart of a worker).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used = 0;
+    }
+
+    /// Resident object ids in unspecified order.
+    pub fn resident(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    fn pick_victim(&self) -> Option<ObjectId> {
+        // Deterministic: ties broken by (key metric, ObjectId).
+        match self.policy {
+            EvictionPolicy::Lru => self
+                .entries
+                .iter()
+                .min_by_key(|(id, e)| (e.last_seq, **id))
+                .map(|(id, _)| *id),
+            EvictionPolicy::Lfu => self
+                .entries
+                .iter()
+                .min_by_key(|(id, e)| (e.uses, e.last_seq, **id))
+                .map(|(id, _)| *id),
+            EvictionPolicy::Fifo => self
+                .entries
+                .iter()
+                .min_by_key(|(id, e)| (e.inserted_seq, **id))
+                .map(|(id, _)| *id),
+            EvictionPolicy::LargestFirst => self
+                .entries
+                .iter()
+                .max_by_key(|(id, e)| (e.size, std::cmp::Reverse(**id)))
+                .map(|(id, _)| *id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut s = LocalStore::new(100, EvictionPolicy::Lru);
+        assert!(!s.lookup(ObjectId(1), t(0)));
+        s.insert(ObjectId(1), 40, t(0));
+        assert!(s.lookup(ObjectId(1), t(1)));
+        assert_eq!(s.stats().hits, 1);
+        assert_eq!(s.stats().misses, 1);
+        assert_eq!(s.stats().bytes_admitted, 40);
+        assert!((s.stats().hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut s = LocalStore::new(100, EvictionPolicy::Lru);
+        s.insert(ObjectId(1), 10, t(0));
+        assert!(s.peek(ObjectId(1)));
+        assert!(!s.peek(ObjectId(2)));
+        assert_eq!(s.stats().hits, 0);
+        assert_eq!(s.stats().misses, 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut s = LocalStore::new(100, EvictionPolicy::Lru);
+        s.insert(ObjectId(1), 40, t(0));
+        s.insert(ObjectId(2), 40, t(1));
+        s.lookup(ObjectId(1), t(2)); // 1 now more recent than 2
+        let evicted = s.insert(ObjectId(3), 40, t(3));
+        assert_eq!(evicted, vec![ObjectId(2)]);
+        assert!(s.peek(ObjectId(1)) && s.peek(ObjectId(3)));
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequently_used() {
+        let mut s = LocalStore::new(100, EvictionPolicy::Lfu);
+        s.insert(ObjectId(1), 40, t(0));
+        s.insert(ObjectId(2), 40, t(1));
+        for i in 0..5 {
+            s.lookup(ObjectId(2), t(2 + i));
+        }
+        let evicted = s.insert(ObjectId(3), 40, t(10));
+        assert_eq!(evicted, vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut s = LocalStore::new(100, EvictionPolicy::Fifo);
+        s.insert(ObjectId(1), 40, t(0));
+        s.insert(ObjectId(2), 40, t(1));
+        s.lookup(ObjectId(1), t(2)); // would save 1 under LRU
+        let evicted = s.insert(ObjectId(3), 40, t(3));
+        assert_eq!(evicted, vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn largest_first_frees_most_space() {
+        let mut s = LocalStore::new(100, EvictionPolicy::LargestFirst);
+        s.insert(ObjectId(1), 60, t(0));
+        s.insert(ObjectId(2), 30, t(1));
+        let evicted = s.insert(ObjectId(3), 50, t(2));
+        assert_eq!(evicted, vec![ObjectId(1)]);
+        assert_eq!(s.used(), 80);
+    }
+
+    #[test]
+    fn multiple_evictions_for_one_insert() {
+        let mut s = LocalStore::new(100, EvictionPolicy::Lru);
+        s.insert(ObjectId(1), 30, t(0));
+        s.insert(ObjectId(2), 30, t(1));
+        s.insert(ObjectId(3), 30, t(2));
+        let evicted = s.insert(ObjectId(4), 90, t(3));
+        assert_eq!(evicted.len(), 3);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.used(), 90);
+        assert_eq!(s.stats().evictions, 3);
+        assert_eq!(s.stats().bytes_evicted, 90);
+    }
+
+    #[test]
+    fn oversized_object_passes_through() {
+        let mut s = LocalStore::new(50, EvictionPolicy::Lru);
+        s.insert(ObjectId(1), 30, t(0));
+        let evicted = s.insert(ObjectId(2), 500, t(1));
+        assert!(evicted.is_empty());
+        assert!(!s.peek(ObjectId(2)));
+        assert!(s.peek(ObjectId(1)), "resident set untouched");
+        // Download still counted as data load.
+        assert_eq!(s.stats().bytes_admitted, 530);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplication() {
+        let mut s = LocalStore::new(100, EvictionPolicy::Lru);
+        s.insert(ObjectId(1), 40, t(0));
+        s.insert(ObjectId(1), 40, t(5));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.used(), 40);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut s = LocalStore::new(100, EvictionPolicy::Lru);
+        s.insert(ObjectId(1), 40, t(0));
+        s.insert(ObjectId(2), 40, t(0));
+        assert!(s.remove(ObjectId(1)));
+        assert!(!s.remove(ObjectId(1)));
+        assert_eq!(s.used(), 40);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.used(), 0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_residents() {
+        let mut s = LocalStore::new(100, EvictionPolicy::Lru);
+        s.insert(ObjectId(1), 40, t(0));
+        s.lookup(ObjectId(1), t(1));
+        s.reset_stats();
+        assert_eq!(s.stats(), &StoreStats::default());
+        assert!(s.peek(ObjectId(1)), "warm cache survives stat reset");
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = StoreStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+            bytes_admitted: 4,
+            bytes_evicted: 5,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.hits, 2);
+        assert_eq!(a.bytes_evicted, 10);
+    }
+
+    #[test]
+    fn same_instant_lru_ties_break_by_sequence() {
+        let mut s = LocalStore::new(100, EvictionPolicy::Lru);
+        // All inserted at the same virtual instant.
+        s.insert(ObjectId(1), 40, t(0));
+        s.insert(ObjectId(2), 40, t(0));
+        let evicted = s.insert(ObjectId(3), 40, t(0));
+        assert_eq!(evicted, vec![ObjectId(1)], "earliest-touched evicted");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Capacity is never exceeded and `used` always equals the sum
+        /// of resident sizes, for arbitrary operation sequences under
+        /// every policy.
+        #[test]
+        fn capacity_invariant(
+            policy_idx in 0usize..4,
+            capacity in 1u64..500,
+            ops in proptest::collection::vec((0u64..30, 1u64..200), 1..200)
+        ) {
+            let policy = EvictionPolicy::ALL[policy_idx];
+            let mut s = LocalStore::new(capacity, policy);
+            let mut sizes: std::collections::HashMap<ObjectId, u64> = Default::default();
+            for (i, (id, size)) in ops.iter().enumerate() {
+                // Per-object stable size (the model's assumption).
+                let id = ObjectId(*id);
+                let size = *sizes.entry(id).or_insert(*size);
+                s.lookup(id, SimTime::from_secs(i as u64));
+                s.insert(id, size, SimTime::from_secs(i as u64));
+                prop_assert!(s.used() <= s.capacity());
+                let sum: u64 = s.resident().map(|o| s.size_of(o).unwrap()).sum();
+                prop_assert_eq!(sum, s.used());
+            }
+        }
+
+        /// Lookups + inserts keep hit+miss == lookups, and an object
+        /// just inserted (and small enough) is always resident.
+        #[test]
+        fn accounting_invariant(ops in proptest::collection::vec((0u64..20, 1u64..50), 1..100)) {
+            let mut s = LocalStore::new(100, EvictionPolicy::Lru);
+            let mut sizes: std::collections::HashMap<ObjectId, u64> = Default::default();
+            let mut lookups = 0;
+            for (i, (id, size)) in ops.iter().enumerate() {
+                let id = ObjectId(*id);
+                let size = *sizes.entry(id).or_insert(*size);
+                let now = SimTime::from_secs(i as u64);
+                s.lookup(id, now);
+                lookups += 1;
+                s.insert(id, size, now);
+                prop_assert!(s.peek(id), "freshly inserted object resident");
+            }
+            prop_assert_eq!(s.stats().hits + s.stats().misses, lookups);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Job arrival processes.
+//!
+//! Crossflow is a *stream* processing engine: jobs arrive over time
+//! rather than as a fixed batch ("Crossflow performs impromptu task
+//! allocation as jobs arrive", §4). The arrival process controls the
+//! load pressure that separates the schedulers: sparse arrivals let
+//! every scheduler wait for the cache owner, dense arrivals force the
+//! redundancy trade-off.
+
+use crossbid_simcore::{RngStream, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How jobs enter the master over time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// All jobs at t = 0 (a batch; what Spark's up-front allocation
+    /// assumes).
+    Batch,
+    /// One job every `interval_secs`.
+    Periodic {
+        /// Fixed inter-arrival gap in seconds.
+        interval_secs: f64,
+    },
+    /// Poisson process with the given mean inter-arrival time.
+    Poisson {
+        /// Mean inter-arrival gap in seconds.
+        mean_interval_secs: f64,
+    },
+    /// Bursts of `burst_size` simultaneous jobs every `gap_secs`.
+    Bursty {
+        /// Jobs per burst.
+        burst_size: usize,
+        /// Gap between bursts in seconds.
+        gap_secs: f64,
+    },
+    /// Replay recorded arrival offsets (seconds from stream start),
+    /// cycling if more jobs are requested than offsets recorded —
+    /// trace-driven evaluation against a captured production stream.
+    Replay {
+        /// Recorded offsets, seconds; must be non-decreasing.
+        offsets_secs: Vec<f64>,
+    },
+}
+
+impl ArrivalProcess {
+    /// The default evaluation stream: Poisson arrivals, mean 1.5 s —
+    /// sustained overload on a 5-worker cluster, so makespans are
+    /// capacity-bound and allocation quality (not arrival spacing)
+    /// determines the outcome.
+    pub fn evaluation_default() -> Self {
+        ArrivalProcess::Poisson {
+            mean_interval_secs: 1.5,
+        }
+    }
+
+    /// Generate `n` arrival instants (non-decreasing).
+    pub fn times(&self, n: usize, rng: &mut RngStream) -> Vec<SimTime> {
+        let mut out = Vec::with_capacity(n);
+        match self {
+            ArrivalProcess::Replay { offsets_secs } => {
+                debug_assert!(
+                    offsets_secs.windows(2).all(|w| w[0] <= w[1]),
+                    "replay offsets must be non-decreasing"
+                );
+                if offsets_secs.is_empty() {
+                    out.resize(n, SimTime::ZERO);
+                    return out;
+                }
+                // Cycle through the recorded trace, shifting each lap
+                // by the trace's span so time keeps moving forward.
+                let span = offsets_secs.last().copied().unwrap_or(0.0).max(0.0);
+                for i in 0..n {
+                    let lap = (i / offsets_secs.len()) as f64;
+                    let off = offsets_secs[i % offsets_secs.len()].max(0.0);
+                    out.push(SimTime::from_secs_f64(lap * span + off));
+                }
+                return out;
+            }
+            ArrivalProcess::Batch => {
+                out.resize(n, SimTime::ZERO);
+            }
+            &ArrivalProcess::Periodic { interval_secs } => {
+                let mut t = SimTime::ZERO;
+                for _ in 0..n {
+                    out.push(t);
+                    t += SimDuration::from_secs_f64(interval_secs.max(0.0));
+                }
+            }
+            &ArrivalProcess::Poisson { mean_interval_secs } => {
+                let mut t = SimTime::ZERO;
+                for _ in 0..n {
+                    out.push(t);
+                    t += SimDuration::from_secs_f64(rng.exponential(mean_interval_secs));
+                }
+            }
+            &ArrivalProcess::Bursty {
+                burst_size,
+                gap_secs,
+            } => {
+                let burst = burst_size.max(1);
+                let mut t = SimTime::ZERO;
+                let mut in_burst = 0;
+                for _ in 0..n {
+                    out.push(t);
+                    in_burst += 1;
+                    if in_burst == burst {
+                        in_burst = 0;
+                        t += SimDuration::from_secs_f64(gap_secs.max(0.0));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_is_all_zero() {
+        let mut rng = RngStream::from_seed(0);
+        let t = ArrivalProcess::Batch.times(5, &mut rng);
+        assert_eq!(t, vec![SimTime::ZERO; 5]);
+    }
+
+    #[test]
+    fn periodic_spacing() {
+        let mut rng = RngStream::from_seed(0);
+        let t = ArrivalProcess::Periodic { interval_secs: 2.0 }.times(4, &mut rng);
+        assert_eq!(
+            t,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_secs(2),
+                SimTime::from_secs(4),
+                SimTime::from_secs(6)
+            ]
+        );
+    }
+
+    #[test]
+    fn poisson_is_monotone_with_roughly_right_mean() {
+        let mut rng = RngStream::from_seed(9);
+        let t = ArrivalProcess::Poisson {
+            mean_interval_secs: 3.0,
+        }
+        .times(5000, &mut rng);
+        assert!(t.windows(2).all(|w| w[0] <= w[1]));
+        let span = t.last().unwrap().as_secs_f64();
+        let mean = span / 4999.0;
+        assert!((mean - 3.0).abs() < 0.25, "mean {mean}");
+    }
+
+    #[test]
+    fn bursts_group_arrivals() {
+        let mut rng = RngStream::from_seed(0);
+        let t = ArrivalProcess::Bursty {
+            burst_size: 3,
+            gap_secs: 10.0,
+        }
+        .times(7, &mut rng);
+        assert_eq!(t[0], t[2]);
+        assert_eq!(t[3], SimTime::from_secs(10));
+        assert_eq!(t[5], SimTime::from_secs(10));
+        assert_eq!(t[6], SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn replay_cycles_with_span_shift() {
+        let mut rng = RngStream::from_seed(0);
+        let p = ArrivalProcess::Replay {
+            offsets_secs: vec![0.0, 1.0, 4.0],
+        };
+        let t = p.times(7, &mut rng);
+        assert_eq!(t[0], SimTime::ZERO);
+        assert_eq!(t[2], SimTime::from_secs(4));
+        // Second lap shifted by the span (4 s).
+        assert_eq!(t[3], SimTime::from_secs(4));
+        assert_eq!(t[4], SimTime::from_secs(5));
+        assert_eq!(t[6], SimTime::from_secs(8));
+        assert!(t.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_replay_degrades_to_batch() {
+        let mut rng = RngStream::from_seed(0);
+        let p = ArrivalProcess::Replay {
+            offsets_secs: vec![],
+        };
+        assert_eq!(p.times(3, &mut rng), vec![SimTime::ZERO; 3]);
+    }
+
+    #[test]
+    fn zero_burst_size_is_clamped() {
+        let mut rng = RngStream::from_seed(0);
+        let t = ArrivalProcess::Bursty {
+            burst_size: 0,
+            gap_secs: 1.0,
+        }
+        .times(3, &mut rng);
+        assert_eq!(t.len(), 3);
+        assert!(t.windows(2).all(|w| w[0] < w[1]));
+    }
+}

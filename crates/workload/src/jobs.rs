@@ -1,0 +1,327 @@
+//! The paper's five job configurations (§6.3.1), 120 jobs each.
+
+use crossbid_crossflow::{Arrival, JobSpec, Payload, TaskId};
+use crossbid_simcore::SeedSequence;
+use serde::{Deserialize, Serialize};
+
+use crate::arrivals::ArrivalProcess;
+use crate::repos::{RepoCatalog, SizeClass};
+
+/// The five evaluated job configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobConfig {
+    /// "Equal distribution of repository sizes, with all jobs in the
+    /// test case scenario using different repositories."
+    AllDiffEqual,
+    /// "Mostly large repositories, with all jobs ... using different
+    /// repositories."
+    AllDiffLarge,
+    /// "Mostly small repositories, with all jobs ... using different
+    /// repositories."
+    AllDiffSmall,
+    /// "Repetitive pattern with mostly large repositories. Within the
+    /// set of large-scale jobs, 80% require the same large
+    /// repository."
+    Pct80Large,
+    /// "Repetitive pattern with mostly small repositories. Within the
+    /// set of small-scale jobs, 80% require the same repository."
+    Pct80Small,
+}
+
+impl JobConfig {
+    /// All five configurations, in the paper's order.
+    pub const ALL: [JobConfig; 5] = [
+        JobConfig::AllDiffEqual,
+        JobConfig::AllDiffLarge,
+        JobConfig::AllDiffSmall,
+        JobConfig::Pct80Large,
+        JobConfig::Pct80Small,
+    ];
+
+    /// The paper's job count per configuration.
+    pub const PAPER_JOB_COUNT: usize = 120;
+
+    /// Stable name used in records and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobConfig::AllDiffEqual => "all_diff_equal",
+            JobConfig::AllDiffLarge => "all_diff_large",
+            JobConfig::AllDiffSmall => "all_diff_small",
+            JobConfig::Pct80Large => "80pct_large",
+            JobConfig::Pct80Small => "80pct_small",
+        }
+    }
+
+    /// Is this one of the repetitive configurations?
+    pub fn is_repetitive(self) -> bool {
+        matches!(self, JobConfig::Pct80Large | JobConfig::Pct80Small)
+    }
+
+    /// The dominant size class of the configuration.
+    pub fn dominant_class(self) -> Option<SizeClass> {
+        match self {
+            JobConfig::AllDiffEqual => None,
+            JobConfig::AllDiffLarge | JobConfig::Pct80Large => Some(SizeClass::Large),
+            JobConfig::AllDiffSmall | JobConfig::Pct80Small => Some(SizeClass::Small),
+        }
+    }
+
+    /// Generate the stream of jobs for this configuration.
+    ///
+    /// * `seed` — all randomness (catalog sizes, repetition choices,
+    ///   arrival jitter) derives from it;
+    /// * `n_jobs` — 120 in the paper; parameterized for scaling
+    ///   benches;
+    /// * `task` — the workflow task that consumes the jobs.
+    pub fn generate(
+        self,
+        seed: u64,
+        n_jobs: usize,
+        task: TaskId,
+        arrivals: &ArrivalProcess,
+    ) -> JobStream {
+        let seq = SeedSequence::new(seed);
+        let mut rng_cat = seq.stream(0);
+        let mut rng_pick = seq.stream(1);
+        let mut rng_arr = seq.stream(2);
+
+        // Catalog: one candidate repository per job keeps "all
+        // different" configurations honest.
+        let catalog = match self {
+            JobConfig::AllDiffEqual => RepoCatalog::equal_mix(&mut rng_cat, n_jobs),
+            JobConfig::AllDiffLarge | JobConfig::Pct80Large => {
+                RepoCatalog::mostly_large(&mut rng_cat, n_jobs)
+            }
+            JobConfig::AllDiffSmall | JobConfig::Pct80Small => {
+                RepoCatalog::mostly_small(&mut rng_cat, n_jobs)
+            }
+        };
+
+        // Which repository each job uses.
+        let repo_indices: Vec<usize> = match self {
+            JobConfig::AllDiffEqual | JobConfig::AllDiffLarge | JobConfig::AllDiffSmall => {
+                (0..n_jobs).collect()
+            }
+            JobConfig::Pct80Large | JobConfig::Pct80Small => {
+                let class = self.dominant_class().expect("repetitive has a class");
+                let hot = catalog.largest_of_class(class).unwrap_or(0);
+                (0..n_jobs)
+                    .map(|i| {
+                        // A job of the dominant class re-uses the hot
+                        // repository with probability 0.8; everything
+                        // else keeps its own repo.
+                        if catalog.get(i).size_class() == class && rng_pick.chance(0.8) {
+                            hot
+                        } else {
+                            i
+                        }
+                    })
+                    .collect()
+            }
+        };
+
+        let times = arrivals.times(n_jobs, &mut rng_arr);
+        let arrivals: Vec<Arrival> = repo_indices
+            .iter()
+            .zip(&times)
+            .map(|(&ri, &at)| {
+                let repo = catalog.get(ri);
+                Arrival {
+                    at,
+                    spec: JobSpec::scanning(
+                        task,
+                        repo.as_resource(),
+                        Payload::Pair(ri as u64, repo.id.0),
+                    ),
+                }
+            })
+            .collect();
+
+        JobStream { catalog, arrivals }
+    }
+}
+
+impl std::fmt::Display for JobConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A generated job stream plus the catalog it draws from.
+#[derive(Debug, Clone)]
+pub struct JobStream {
+    /// The repository catalog.
+    pub catalog: RepoCatalog,
+    /// The timed arrivals, ready for the engine.
+    pub arrivals: Vec<Arrival>,
+}
+
+impl JobStream {
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True iff the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Number of *distinct* repositories actually referenced.
+    pub fn distinct_repos(&self) -> usize {
+        let mut ids: Vec<u64> = self
+            .arrivals
+            .iter()
+            .filter_map(|a| a.spec.resource.map(|r| r.id.0))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Total bytes that would be transferred if every job fetched its
+    /// repository fresh (an upper bound on data load per iteration).
+    pub fn worst_case_bytes(&self) -> u64 {
+        self.arrivals
+            .iter()
+            .filter_map(|a| a.spec.resource.map(|r| r.bytes))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(cfg: JobConfig, seed: u64) -> JobStream {
+        cfg.generate(
+            seed,
+            120,
+            TaskId(0),
+            &ArrivalProcess::Periodic { interval_secs: 1.0 },
+        )
+    }
+
+    #[test]
+    fn names_unique_and_stable() {
+        let mut names: Vec<&str> = JobConfig::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+        assert_eq!(JobConfig::Pct80Large.to_string(), "80pct_large");
+    }
+
+    #[test]
+    fn all_diff_uses_distinct_repositories() {
+        for cfg in [
+            JobConfig::AllDiffEqual,
+            JobConfig::AllDiffLarge,
+            JobConfig::AllDiffSmall,
+        ] {
+            let s = gen(cfg, 11);
+            assert_eq!(s.len(), 120);
+            assert_eq!(s.distinct_repos(), 120, "{cfg}");
+        }
+    }
+
+    #[test]
+    fn repetitive_reuses_a_hot_repository() {
+        let s = gen(JobConfig::Pct80Large, 11);
+        assert_eq!(s.len(), 120);
+        assert!(
+            s.distinct_repos() < 60,
+            "heavy reuse expected, got {} distinct",
+            s.distinct_repos()
+        );
+        // The hot repo should account for the bulk of the dominant
+        // class's jobs (~80% of ~70% of 120 ≈ 67).
+        let mut counts = std::collections::HashMap::new();
+        for a in &s.arrivals {
+            *counts.entry(a.spec.resource.unwrap().id.0).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 40, "hot repo used {max} times");
+    }
+
+    #[test]
+    fn dominant_class_dominates() {
+        let s = gen(JobConfig::AllDiffLarge, 5);
+        let large = s
+            .arrivals
+            .iter()
+            .filter(|a| SizeClass::of(a.spec.resource.unwrap().bytes) == SizeClass::Large)
+            .count();
+        assert!(large > 70, "large jobs {large}/120");
+
+        let s = gen(JobConfig::AllDiffSmall, 5);
+        let small = s
+            .arrivals
+            .iter()
+            .filter(|a| SizeClass::of(a.spec.resource.unwrap().bytes) == SizeClass::Small)
+            .count();
+        assert!(small > 70, "small jobs {small}/120");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = gen(JobConfig::Pct80Small, 3);
+        let b = gen(JobConfig::Pct80Small, 3);
+        let c = gen(JobConfig::Pct80Small, 4);
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_ne!(a.arrivals, c.arrivals);
+    }
+
+    #[test]
+    fn arrivals_are_timed_by_the_process() {
+        let s = JobConfig::AllDiffEqual.generate(
+            1,
+            10,
+            TaskId(0),
+            &ArrivalProcess::Periodic { interval_secs: 2.0 },
+        );
+        assert_eq!(s.arrivals[3].at, crossbid_simcore::SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn worst_case_bytes_sums_resources() {
+        let s = gen(JobConfig::AllDiffSmall, 1);
+        let manual: u64 = s
+            .arrivals
+            .iter()
+            .map(|a| a.spec.resource.unwrap().bytes)
+            .sum();
+        assert_eq!(s.worst_case_bytes(), manual);
+        assert!(manual > 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every configuration generates exactly the requested number
+        /// of jobs, each with a resource whose size is within the
+        /// global 1 MB–1 GB range.
+        #[test]
+        fn stream_shape(seed: u64, n in 1usize..200, cfg_idx in 0usize..5) {
+            let cfg = JobConfig::ALL[cfg_idx];
+            let s = cfg.generate(seed, n, TaskId(0), &ArrivalProcess::Batch);
+            prop_assert_eq!(s.len(), n);
+            for a in &s.arrivals {
+                let r = a.spec.resource.expect("scanning jobs have resources");
+                prop_assert!((1_000_000..=1_000_000_000).contains(&r.bytes));
+                prop_assert_eq!(a.spec.work_bytes, r.bytes);
+            }
+        }
+
+        /// Repetition never *increases* the number of distinct repos
+        /// beyond the all-different equivalent.
+        #[test]
+        fn repetition_reduces_distinct(seed: u64, n in 10usize..150) {
+            let rep = JobConfig::Pct80Large.generate(seed, n, TaskId(0), &ArrivalProcess::Batch);
+            prop_assert!(rep.distinct_repos() <= n);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # crossbid-workload
+//!
+//! Synthetic workload generation matching the paper's evaluation
+//! setup (§6.3.1):
+//!
+//! * [`RepoCatalog`] — repositories "ranging between 1MB and 1GB" in
+//!   three size classes;
+//! * [`JobConfig`] — the five job configurations (120 jobs each):
+//!   `all_diff_equal`, `all_diff_large`, `all_diff_small`,
+//!   `80pct_large`, `80pct_small`;
+//! * [`WorkerConfig`] — the four worker configurations (5 workers
+//!   each): `all-equal`, `one-fast`, `one-slow`, `fast-slow`;
+//! * [`ArrivalProcess`] — periodic / Poisson / bursty job streams.
+//!
+//! All generation is a pure function of a seed.
+
+//! ```
+//! use crossbid_crossflow::TaskId;
+//! use crossbid_workload::{ArrivalProcess, JobConfig, WorkerConfig};
+//!
+//! // The paper's `80%_large` configuration: 120 jobs, repetitive
+//! // pattern over mostly large repositories.
+//! let stream = JobConfig::Pct80Large.generate(
+//!     42, JobConfig::PAPER_JOB_COUNT, TaskId(0),
+//!     &ArrivalProcess::evaluation_default(),
+//! );
+//! assert_eq!(stream.len(), 120);
+//! assert!(stream.distinct_repos() < 120, "hot repository reused");
+//!
+//! // The paper's `one-slow` 5-worker cluster.
+//! let specs = WorkerConfig::OneSlow.paper_specs();
+//! assert_eq!(specs.len(), 5);
+//! ```
+
+pub mod arrivals;
+pub mod jobs;
+pub mod mix;
+pub mod repos;
+pub mod workers;
+
+pub use arrivals::ArrivalProcess;
+pub use jobs::{JobConfig, JobStream};
+pub use mix::{JobMix, MixComponent, Repetition};
+pub use repos::{RepoCatalog, Repository, SizeClass};
+pub use workers::WorkerConfig;

@@ -1,0 +1,297 @@
+//! Custom workload mixes — a builder for job streams beyond the
+//! paper's five presets, used by the ablation benches and by
+//! downstream users exploring their own regimes.
+//!
+//! A [`JobMix`] describes a stream as a set of weighted components,
+//! each with its own size class (or exact size), repetition behaviour
+//! and optional CPU cost. The paper's presets are expressible as
+//! mixes (see the tests), but mixes can also describe e.g. "10% huge
+//! hot repository, 60% medium cold, 30% pure-CPU".
+
+use crossbid_crossflow::{Arrival, JobSpec, Payload, ResourceRef, TaskId};
+use crossbid_simcore::{RngStream, SeedSequence};
+use crossbid_storage::ObjectId;
+use serde::{Deserialize, Serialize};
+
+use crate::arrivals::ArrivalProcess;
+use crate::jobs::JobStream;
+use crate::repos::{RepoCatalog, Repository, SizeClass};
+
+/// How a component chooses repositories.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Repetition {
+    /// Every job of this component uses a fresh repository.
+    AllDifferent,
+    /// All jobs of this component share one repository ("hot").
+    SingleHot,
+    /// Jobs draw uniformly from a pool of `n` repositories.
+    Pool {
+        /// Pool size.
+        n: usize,
+    },
+}
+
+/// One weighted component of a mix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixComponent {
+    /// Relative weight (probability mass) of this component.
+    pub weight: f64,
+    /// Repository size class (`None` = CPU-only jobs).
+    pub size: Option<SizeClass>,
+    /// Repository selection behaviour.
+    pub repetition: Repetition,
+    /// Fixed CPU seconds added to each job.
+    pub cpu_secs: f64,
+}
+
+impl MixComponent {
+    /// A data component with the given weight, size class and
+    /// repetition.
+    pub fn data(weight: f64, size: SizeClass, repetition: Repetition) -> Self {
+        MixComponent {
+            weight,
+            size: Some(size),
+            repetition,
+            cpu_secs: 0.0,
+        }
+    }
+
+    /// A CPU-only component.
+    pub fn cpu(weight: f64, cpu_secs: f64) -> Self {
+        MixComponent {
+            weight,
+            size: None,
+            repetition: Repetition::AllDifferent,
+            cpu_secs,
+        }
+    }
+}
+
+/// A custom workload mix.
+#[derive(Debug, Clone, Default)]
+pub struct JobMix {
+    components: Vec<MixComponent>,
+}
+
+impl JobMix {
+    /// Empty mix; add components with [`with`](Self::with).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a component.
+    pub fn with(mut self, c: MixComponent) -> Self {
+        self.components.push(c);
+        self
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True iff no components were added.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Generate a stream of `n_jobs` for `task`. Panics if the mix is
+    /// empty or all weights are zero.
+    pub fn generate(
+        &self,
+        seed: u64,
+        n_jobs: usize,
+        task: TaskId,
+        arrivals: &ArrivalProcess,
+    ) -> JobStream {
+        assert!(!self.components.is_empty(), "empty mix");
+        let seq = SeedSequence::new(seed);
+        let mut rng_pick = seq.stream(0);
+        let mut rng_size = seq.stream(1);
+        let mut rng_arr = seq.stream(2);
+
+        let weights: Vec<f64> = self.components.iter().map(|c| c.weight).collect();
+
+        // Pre-create hot repositories and pools per component so
+        // repetition is stable across the stream.
+        let mut repos: Vec<Repository> = Vec::new();
+        let mut next_id = 0u64;
+        let mut alloc_repo =
+            |class: SizeClass, rng: &mut RngStream, repos: &mut Vec<Repository>| {
+                let r = Repository {
+                    id: ObjectId(next_id),
+                    bytes: class.sample_bytes(rng),
+                };
+                next_id += 1;
+                repos.push(r);
+                r
+            };
+        #[derive(Clone)]
+        enum Source {
+            Fresh(SizeClass),
+            Hot(Repository),
+            Pool(Vec<Repository>),
+            None,
+        }
+        let sources: Vec<Source> = self
+            .components
+            .iter()
+            .map(|c| match (c.size, c.repetition) {
+                (None, _) => Source::None,
+                (Some(class), Repetition::AllDifferent) => Source::Fresh(class),
+                (Some(class), Repetition::SingleHot) => {
+                    Source::Hot(alloc_repo(class, &mut rng_size, &mut repos))
+                }
+                (Some(class), Repetition::Pool { n }) => Source::Pool(
+                    (0..n.max(1))
+                        .map(|_| alloc_repo(class, &mut rng_size, &mut repos))
+                        .collect(),
+                ),
+            })
+            .collect();
+
+        let times = arrivals.times(n_jobs, &mut rng_arr);
+        let mut arrivals_out: Vec<Arrival> = Vec::with_capacity(n_jobs);
+        for (i, &at) in times.iter().enumerate() {
+            let ci = rng_pick.weighted_index(&weights);
+            let c = self.components[ci];
+            let resource: Option<ResourceRef> = match &sources[ci] {
+                Source::None => None,
+                Source::Fresh(class) => {
+                    Some(alloc_repo(*class, &mut rng_size, &mut repos).as_resource())
+                }
+                Source::Hot(r) => Some(r.as_resource()),
+                Source::Pool(pool) => {
+                    Some(pool[rng_pick.below(pool.len() as u64) as usize].as_resource())
+                }
+            };
+            let spec = match resource {
+                Some(r) => JobSpec {
+                    task,
+                    resource: Some(r),
+                    work_bytes: r.bytes,
+                    cpu_secs: c.cpu_secs,
+                    payload: Payload::Pair(i as u64, r.id.0),
+                },
+                None => JobSpec::compute(task, c.cpu_secs, Payload::Index(i as u64)),
+            };
+            arrivals_out.push(Arrival { at, spec });
+        }
+
+        JobStream {
+            catalog: RepoCatalog::from_repos(repos),
+            arrivals: arrivals_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(mix: &JobMix, n: usize) -> JobStream {
+        mix.generate(7, n, TaskId(0), &ArrivalProcess::Batch)
+    }
+
+    #[test]
+    fn single_hot_component_reuses_one_repo() {
+        let mix = JobMix::new().with(MixComponent::data(
+            1.0,
+            SizeClass::Large,
+            Repetition::SingleHot,
+        ));
+        let s = gen(&mix, 50);
+        assert_eq!(s.len(), 50);
+        assert_eq!(s.distinct_repos(), 1);
+    }
+
+    #[test]
+    fn all_different_component_never_reuses() {
+        let mix = JobMix::new().with(MixComponent::data(
+            1.0,
+            SizeClass::Small,
+            Repetition::AllDifferent,
+        ));
+        let s = gen(&mix, 40);
+        assert_eq!(s.distinct_repos(), 40);
+    }
+
+    #[test]
+    fn pool_component_bounded_by_pool_size() {
+        let mix = JobMix::new().with(MixComponent::data(
+            1.0,
+            SizeClass::Medium,
+            Repetition::Pool { n: 5 },
+        ));
+        let s = gen(&mix, 100);
+        assert!(s.distinct_repos() <= 5);
+        assert!(s.distinct_repos() >= 2, "100 draws hit several pool slots");
+    }
+
+    #[test]
+    fn cpu_component_has_no_resources() {
+        let mix = JobMix::new().with(MixComponent::cpu(1.0, 2.5));
+        let s = gen(&mix, 10);
+        for a in &s.arrivals {
+            assert!(a.spec.resource.is_none());
+            assert_eq!(a.spec.cpu_secs, 2.5);
+        }
+        assert_eq!(s.distinct_repos(), 0);
+    }
+
+    #[test]
+    fn weights_control_the_blend() {
+        let mix = JobMix::new()
+            .with(MixComponent::data(
+                0.8,
+                SizeClass::Large,
+                Repetition::SingleHot,
+            ))
+            .with(MixComponent::cpu(0.2, 1.0));
+        let s = gen(&mix, 500);
+        let data_jobs = s
+            .arrivals
+            .iter()
+            .filter(|a| a.spec.resource.is_some())
+            .count();
+        let frac = data_jobs as f64 / 500.0;
+        assert!((frac - 0.8).abs() < 0.06, "frac {frac}");
+    }
+
+    #[test]
+    fn paper_80pct_large_shape_is_expressible() {
+        // ~70% of jobs on one hot large repo, the rest fresh.
+        let mix = JobMix::new()
+            .with(MixComponent::data(
+                0.7,
+                SizeClass::Large,
+                Repetition::SingleHot,
+            ))
+            .with(MixComponent::data(
+                0.3,
+                SizeClass::Large,
+                Repetition::AllDifferent,
+            ));
+        let s = gen(&mix, 120);
+        assert!(s.distinct_repos() < 60);
+        assert!(s.worst_case_bytes() > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mix = JobMix::new().with(MixComponent::data(
+            1.0,
+            SizeClass::Small,
+            Repetition::Pool { n: 3 },
+        ));
+        let a = mix.generate(9, 30, TaskId(0), &ArrivalProcess::Batch);
+        let b = mix.generate(9, 30, TaskId(0), &ArrivalProcess::Batch);
+        assert_eq!(a.arrivals, b.arrivals);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_mix_panics() {
+        gen(&JobMix::new(), 5);
+    }
+}

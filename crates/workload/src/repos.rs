@@ -1,0 +1,258 @@
+//! Synthetic repository catalogs.
+//!
+//! §6.3.1: "repositories can vary in sizes (be small, medium or
+//! large, ranging between 1MB and 1GB)". The motivating scenario also
+//! mentions ">500MB" as the large-project threshold, which is where we
+//! put the large class's lower bound.
+
+use crossbid_simcore::RngStream;
+use crossbid_storage::ObjectId;
+use serde::{Deserialize, Serialize};
+
+/// Size classes of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SizeClass {
+    /// "smaller than 50MB" (§4's small-repository experiments):
+    /// 1–50 MB.
+    Small,
+    /// Between the two: 50–500 MB.
+    Medium,
+    /// "larger than 500MB" (§2): 500 MB–1 GB.
+    Large,
+}
+
+impl SizeClass {
+    /// All classes.
+    pub const ALL: [SizeClass; 3] = [SizeClass::Small, SizeClass::Medium, SizeClass::Large];
+
+    /// Inclusive byte bounds of this class.
+    pub fn bounds(self) -> (u64, u64) {
+        match self {
+            SizeClass::Small => (1_000_000, 50_000_000),
+            SizeClass::Medium => (50_000_001, 500_000_000),
+            SizeClass::Large => (500_000_001, 1_000_000_000),
+        }
+    }
+
+    /// Sample a size uniformly within the class.
+    pub fn sample_bytes(self, rng: &mut RngStream) -> u64 {
+        let (lo, hi) = self.bounds();
+        rng.range_inclusive(lo, hi)
+    }
+
+    /// Classify a byte size.
+    pub fn of(bytes: u64) -> SizeClass {
+        if bytes <= 50_000_000 {
+            SizeClass::Small
+        } else if bytes <= 500_000_000 {
+            SizeClass::Medium
+        } else {
+            SizeClass::Large
+        }
+    }
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SizeClass::Small => "small",
+            SizeClass::Medium => "medium",
+            SizeClass::Large => "large",
+        }
+    }
+}
+
+/// A synthetic repository: the unit of data locality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Repository {
+    /// Identity (used as the store object id).
+    pub id: ObjectId,
+    /// Clone size in bytes.
+    pub bytes: u64,
+}
+
+impl Repository {
+    /// The repository's size class.
+    pub fn size_class(&self) -> SizeClass {
+        SizeClass::of(self.bytes)
+    }
+
+    /// As a crossflow resource reference.
+    pub fn as_resource(&self) -> crossbid_crossflow::ResourceRef {
+        crossbid_crossflow::ResourceRef {
+            id: self.id,
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// A generated catalog of repositories.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RepoCatalog {
+    repos: Vec<Repository>,
+}
+
+impl RepoCatalog {
+    /// Generate `count` repositories with class weights
+    /// `(small, medium, large)`.
+    pub fn generate(rng: &mut RngStream, count: usize, weights: (f64, f64, f64)) -> Self {
+        let w = [weights.0, weights.1, weights.2];
+        let repos = (0..count)
+            .map(|i| {
+                let class = SizeClass::ALL[rng.weighted_index(&w)];
+                Repository {
+                    id: ObjectId(i as u64),
+                    bytes: class.sample_bytes(rng),
+                }
+            })
+            .collect();
+        RepoCatalog { repos }
+    }
+
+    /// Build directly from explicit repositories (custom mixes).
+    pub fn from_repos(repos: Vec<Repository>) -> Self {
+        RepoCatalog { repos }
+    }
+
+    /// Equal mix of the three classes.
+    pub fn equal_mix(rng: &mut RngStream, count: usize) -> Self {
+        Self::generate(rng, count, (1.0, 1.0, 1.0))
+    }
+
+    /// Mostly large repositories (the paper's `all_diff_large`
+    /// flavour): 70% large, 20% medium, 10% small.
+    pub fn mostly_large(rng: &mut RngStream, count: usize) -> Self {
+        Self::generate(rng, count, (0.1, 0.2, 0.7))
+    }
+
+    /// Mostly small repositories: 70% small, 20% medium, 10% large.
+    pub fn mostly_small(rng: &mut RngStream, count: usize) -> Self {
+        Self::generate(rng, count, (0.7, 0.2, 0.1))
+    }
+
+    /// All repositories.
+    pub fn repos(&self) -> &[Repository] {
+        &self.repos
+    }
+
+    /// Number of repositories.
+    pub fn len(&self) -> usize {
+        self.repos.len()
+    }
+
+    /// True iff the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.repos.is_empty()
+    }
+
+    /// Repository by index.
+    pub fn get(&self, idx: usize) -> Repository {
+        self.repos[idx]
+    }
+
+    /// Total bytes across the catalog.
+    pub fn total_bytes(&self) -> u64 {
+        self.repos.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Index of the largest repository of the given class, if any —
+    /// used to pick the "same large repository" of the `80%_large`
+    /// configuration.
+    pub fn largest_of_class(&self, class: SizeClass) -> Option<usize> {
+        self.repos
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.size_class() == class)
+            .max_by_key(|(_, r)| r.bytes)
+            .map(|(i, _)| i)
+    }
+
+    /// Indices of repositories in the given class.
+    pub fn of_class(&self, class: SizeClass) -> Vec<usize> {
+        self.repos
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.size_class() == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_bounds_partition_the_range() {
+        assert_eq!(SizeClass::of(1_000_000), SizeClass::Small);
+        assert_eq!(SizeClass::of(50_000_000), SizeClass::Small);
+        assert_eq!(SizeClass::of(50_000_001), SizeClass::Medium);
+        assert_eq!(SizeClass::of(500_000_000), SizeClass::Medium);
+        assert_eq!(SizeClass::of(500_000_001), SizeClass::Large);
+        assert_eq!(SizeClass::of(1_000_000_000), SizeClass::Large);
+    }
+
+    #[test]
+    fn samples_stay_in_class() {
+        let mut rng = RngStream::from_seed(1);
+        for class in SizeClass::ALL {
+            for _ in 0..200 {
+                let b = class.sample_bytes(&mut rng);
+                assert_eq!(SizeClass::of(b), class, "{b} escaped {class:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = RepoCatalog::equal_mix(&mut RngStream::from_seed(7), 50);
+        let b = RepoCatalog::equal_mix(&mut RngStream::from_seed(7), 50);
+        assert_eq!(a.repos(), b.repos());
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let c = RepoCatalog::equal_mix(&mut RngStream::from_seed(7), 10);
+        for (i, r) in c.repos().iter().enumerate() {
+            assert_eq!(r.id, ObjectId(i as u64));
+        }
+        assert_eq!(c.len(), 10);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn mostly_large_skews_large() {
+        let mut rng = RngStream::from_seed(3);
+        let c = RepoCatalog::mostly_large(&mut rng, 300);
+        let large = c.of_class(SizeClass::Large).len();
+        let small = c.of_class(SizeClass::Small).len();
+        assert!(large > 150, "large {large}");
+        assert!(small < 60, "small {small}");
+    }
+
+    #[test]
+    fn largest_of_class_finds_the_max() {
+        let mut rng = RngStream::from_seed(3);
+        let c = RepoCatalog::equal_mix(&mut rng, 100);
+        let idx = c.largest_of_class(SizeClass::Large).unwrap();
+        let max = c.get(idx).bytes;
+        for r in c.repos() {
+            if r.size_class() == SizeClass::Large {
+                assert!(r.bytes <= max);
+            }
+        }
+        // Empty class case.
+        let empty = RepoCatalog::default();
+        assert!(empty.largest_of_class(SizeClass::Small).is_none());
+    }
+
+    #[test]
+    fn resource_ref_roundtrip() {
+        let r = Repository {
+            id: ObjectId(4),
+            bytes: 123,
+        };
+        let rr = r.as_resource();
+        assert_eq!(rr.id, ObjectId(4));
+        assert_eq!(rr.bytes, 123);
+    }
+}

@@ -1,0 +1,188 @@
+//! The paper's four worker configurations (§6.3.1), five workers
+//! each.
+//!
+//! Calibration (documented in DESIGN.md §5): the *average* worker has
+//! 20 MB/s network and 100 MB/s read/write speed with a 30 GB local
+//! store; *fast* is 5× the average, *slow* is a severely throttled
+//! instance at one tenth of it — "significantly faster/slower ... in
+//! terms of network and computation speed".
+
+use crossbid_crossflow::{WorkerSpec, WorkerSpecBuilder};
+use serde::{Deserialize, Serialize};
+
+/// The four evaluated worker configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkerConfig {
+    /// "All workers have the same, or nearly the same, network and
+    /// read/write speeds as well as storage resources."
+    AllEqual,
+    /// "One worker is significantly faster than the others."
+    OneFast,
+    /// "One worker is significantly slower than the others."
+    OneSlow,
+    /// "One slow and one fast worker, while the remaining three have
+    /// average download and processing speeds."
+    FastSlow,
+}
+
+impl WorkerConfig {
+    /// All four configurations, in the paper's order.
+    pub const ALL: [WorkerConfig; 4] = [
+        WorkerConfig::AllEqual,
+        WorkerConfig::OneFast,
+        WorkerConfig::OneSlow,
+        WorkerConfig::FastSlow,
+    ];
+
+    /// The paper's cluster size.
+    pub const PAPER_WORKER_COUNT: usize = 5;
+
+    /// Stable name used in records and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkerConfig::AllEqual => "all-equal",
+            WorkerConfig::OneFast => "one-fast",
+            WorkerConfig::OneSlow => "one-slow",
+            WorkerConfig::FastSlow => "fast-slow",
+        }
+    }
+
+    /// Speed multiplier of the fast preset relative to average.
+    pub const FAST_FACTOR: f64 = 5.0;
+    /// Speed multiplier of the slow preset relative to average — a
+    /// severely throttled instance (the paper's slow node drags whole
+    /// Spark stages, implying an order-of-magnitude gap).
+    pub const SLOW_FACTOR: f64 = 0.1;
+
+    fn average(name: String) -> WorkerSpecBuilder {
+        WorkerSpec::builder(name)
+            .net_mbps(20.0)
+            .rw_mbps(100.0)
+            // A t3.micro-class instance with a ~30 GB EBS volume: big
+            // enough that caching pays, small enough that the large
+            // all-different workloads still evict.
+            .storage_gb(30.0)
+    }
+
+    /// Build the worker specs for this configuration with `n` workers
+    /// (the paper uses 5; index 0 is the fast worker when present, the
+    /// last index is the slow one when present).
+    pub fn specs(self, n: usize) -> Vec<WorkerSpec> {
+        assert!(n >= 1, "need at least one worker");
+        (0..n)
+            .map(|i| {
+                let name = format!("{}-w{}", self.name(), i);
+                let b = Self::average(name);
+                let factor = match self {
+                    WorkerConfig::AllEqual => 1.0,
+                    WorkerConfig::OneFast => {
+                        if i == 0 {
+                            Self::FAST_FACTOR
+                        } else {
+                            1.0
+                        }
+                    }
+                    WorkerConfig::OneSlow => {
+                        if i == n - 1 {
+                            Self::SLOW_FACTOR
+                        } else {
+                            1.0
+                        }
+                    }
+                    WorkerConfig::FastSlow => {
+                        if i == 0 {
+                            Self::FAST_FACTOR
+                        } else if i == n - 1 {
+                            Self::SLOW_FACTOR
+                        } else {
+                            1.0
+                        }
+                    }
+                };
+                b.speed_factor(factor).build()
+            })
+            .collect()
+    }
+
+    /// The paper's 5-worker cluster.
+    pub fn paper_specs(self) -> Vec<WorkerSpec> {
+        self.specs(Self::PAPER_WORKER_COUNT)
+    }
+}
+
+impl std::fmt::Display for WorkerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = WorkerConfig::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn all_equal_is_homogeneous() {
+        let specs = WorkerConfig::AllEqual.paper_specs();
+        assert_eq!(specs.len(), 5);
+        for s in &specs {
+            assert!((s.net.as_mb_per_sec() - 20.0).abs() < 1e-9);
+            assert!((s.rw.as_mb_per_sec() - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_fast_has_exactly_one_fast() {
+        let specs = WorkerConfig::OneFast.paper_specs();
+        let fast: Vec<_> = specs
+            .iter()
+            .filter(|s| s.net.as_mb_per_sec() > 50.0)
+            .collect();
+        assert_eq!(fast.len(), 1);
+        assert!((specs[0].net.as_mb_per_sec() - 100.0).abs() < 1e-9);
+        assert!((specs[0].rw.as_mb_per_sec() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_slow_has_exactly_one_slow() {
+        let specs = WorkerConfig::OneSlow.paper_specs();
+        let slow: Vec<_> = specs
+            .iter()
+            .filter(|s| s.net.as_mb_per_sec() < 10.0)
+            .collect();
+        assert_eq!(slow.len(), 1);
+        assert!((specs[4].net.as_mb_per_sec() - 2.0).abs() < 1e-9);
+        assert!((specs[4].rw.as_mb_per_sec() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_slow_has_both_extremes() {
+        let specs = WorkerConfig::FastSlow.paper_specs();
+        assert!((specs[0].net.as_mb_per_sec() - 100.0).abs() < 1e-9);
+        assert!((specs[4].net.as_mb_per_sec() - 2.0).abs() < 1e-9);
+        for s in &specs[1..4] {
+            assert!((s.net.as_mb_per_sec() - 20.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scales_to_other_cluster_sizes() {
+        let specs = WorkerConfig::FastSlow.specs(3);
+        assert_eq!(specs.len(), 3);
+        assert!(specs[0].net.as_mb_per_sec() > 50.0);
+        assert!(specs[2].net.as_mb_per_sec() < 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_workers_rejected() {
+        WorkerConfig::AllEqual.specs(0);
+    }
+}

@@ -1,0 +1,113 @@
+//! A second application on the framework: a three-stage ETL pipeline
+//! over warehouse datasets — showing that the Bidding Scheduler is "a
+//! general solution that could be integrated with other data
+//! processing engines" (§5), not just the MSR miner.
+//!
+//! ```text
+//! extract (pull a dataset partition: the data dependency)
+//!   └▶ transform (re-scan the same partition: locality pays twice)
+//!        └▶ load (cheap CPU append to the warehouse sink)
+//! ```
+//!
+//! Because `transform` re-reads the partition `extract` just pulled,
+//! a locality-aware allocator that sends both stages to the same
+//! worker skips the second download entirely.
+
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::task::FnTask;
+use crossbid_crossflow::{
+    run_workflow, Arrival, BaselineAllocator, Cluster, EngineConfig, Job, JobSpec, Payload,
+    ResourceRef, RunMeta, SinkTask, TaskCtx, TaskId, WorkerSpec, Workflow,
+};
+use crossbid_examples::metric_line;
+use crossbid_simcore::SimTime;
+use crossbid_storage::ObjectId;
+
+const N_PARTITIONS: u64 = 24;
+const PARTITION_MB: u64 = 250;
+
+fn build_workflow() -> (Workflow, TaskId, TaskId) {
+    // Sequential ids: extract=0, transform=1, load=2.
+    let transform_id = TaskId(1);
+    let load_id = TaskId(2);
+    let mut wf = Workflow::new();
+    let extract = wf.add_task(
+        "extract",
+        Box::new(FnTask(
+            move |job: &Job, _ctx: &TaskCtx, out: &mut Vec<JobSpec>| {
+                // The transform stage re-scans the partition just
+                // extracted.
+                if let Some(r) = job.resource {
+                    out.push(JobSpec::scanning(transform_id, r, job.payload.clone()));
+                }
+            },
+        )),
+    );
+    let transform = wf.add_task(
+        "transform",
+        Box::new(FnTask(
+            move |job: &Job, _ctx: &TaskCtx, out: &mut Vec<JobSpec>| {
+                out.push(JobSpec::compute(load_id, 0.2, job.payload.clone()));
+            },
+        )),
+    );
+    let load = wf.add_task("load", Box::new(SinkTask::new()));
+    assert_eq!((transform, load), (transform_id, load_id));
+    wf.connect(extract, transform);
+    wf.connect(transform, load);
+    (wf, extract, load)
+}
+
+fn main() {
+    let specs: Vec<WorkerSpec> = (0..4)
+        .map(|i| {
+            WorkerSpec::builder(format!("etl-w{i}"))
+                .net_mbps(20.0)
+                .rw_mbps(100.0)
+                .storage_gb(3.0)
+                .build()
+        })
+        .collect();
+
+    for (label, alloc) in [
+        (
+            "bidding",
+            &BiddingAllocator::new() as &dyn crossbid_crossflow::Allocator,
+        ),
+        ("baseline", &BaselineAllocator),
+    ] {
+        let (mut wf, extract, load) = build_workflow();
+        let arrivals: Vec<Arrival> = (0..N_PARTITIONS)
+            .map(|p| Arrival {
+                at: SimTime::from_secs(p * 4),
+                spec: JobSpec::scanning(
+                    extract,
+                    ResourceRef {
+                        id: ObjectId(p),
+                        bytes: PARTITION_MB * 1_000_000,
+                    },
+                    Payload::Index(p),
+                ),
+            })
+            .collect();
+        let cfg = EngineConfig::default();
+        let mut cluster = Cluster::new(&specs, &cfg);
+        let meta = RunMeta {
+            worker_config: "etl-4".into(),
+            job_config: "etl-partitions".into(),
+            seed: 2,
+            ..RunMeta::default()
+        };
+        let out = run_workflow(&mut cluster, &mut wf, alloc, arrivals, &cfg, &meta);
+        let loaded = wf.logic_as::<SinkTask>(load).expect("load sink").len();
+        println!(
+            "{}   loaded {loaded}/{N_PARTITIONS} partitions",
+            metric_line(label, &out.record)
+        );
+    }
+    println!(
+        "\n(The transform stage re-reads the partition extract just pulled;\n\
+         bidding sends both stages to the same worker, so ~half the\n\
+         potential downloads never happen.)"
+    );
+}

@@ -1,0 +1,65 @@
+//! Fault-injection demo: the failure scenario the paper's §5 defers
+//! to future work — "a worker dying after winning a bid" — handled by
+//! this reproduction's monitoring-layer extension.
+//!
+//! One worker crashes a third of the way into an `80pct_large` run and
+//! recovers later with a cold disk. Watch the job count stay intact
+//! while makespan and data load absorb the damage.
+
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::{
+    run_workflow, Cluster, EngineConfig, FaultPlan, RunMeta, WorkerId, Workflow,
+};
+use crossbid_examples::metric_line;
+use crossbid_simcore::SimTime;
+use crossbid_workload::{ArrivalProcess, JobConfig, WorkerConfig};
+
+fn main() {
+    let wc = WorkerConfig::AllEqual;
+    let jc = JobConfig::Pct80Large;
+    let seed = 21;
+
+    let run = |faults: FaultPlan, label: &str| {
+        let engine = EngineConfig {
+            faults,
+            ..EngineConfig::default()
+        };
+        let mut cluster = Cluster::new(&wc.paper_specs(), &engine);
+        let mut wf = Workflow::new();
+        let task = wf.add_sink("scan");
+        let stream = jc.generate(seed, 60, task, &ArrivalProcess::evaluation_default());
+        let meta = RunMeta {
+            worker_config: wc.name().into(),
+            job_config: jc.name().into(),
+            seed,
+            ..RunMeta::default()
+        };
+        let out = run_workflow(
+            &mut cluster,
+            &mut wf,
+            &BiddingAllocator::new(),
+            stream.arrivals,
+            &engine,
+            &meta,
+        );
+        println!("{}", metric_line(label, &out.record));
+        out.record
+    };
+
+    let healthy = run(FaultPlan::none(), "healthy");
+    let crashed = run(
+        FaultPlan::new()
+            .crash_at(SimTime::from_secs(60), WorkerId(2))
+            .recover_at(SimTime::from_secs(160), WorkerId(2)),
+        "crash+recover",
+    );
+
+    assert_eq!(healthy.jobs_completed, crashed.jobs_completed);
+    println!(
+        "\nworker 2 died at t=60s holding queued work and its cache;\n\
+         every job still completed ({} of {}), at a makespan cost of {:.0}%.",
+        crashed.jobs_completed,
+        healthy.jobs_completed,
+        100.0 * (crashed.makespan_secs - healthy.makespan_secs) / healthy.makespan_secs
+    );
+}

@@ -1,0 +1,69 @@
+//! Heterogeneity demo: what happens to a severely slow worker under
+//! each scheduler.
+//!
+//! The paper (§5): the Bidding Scheduler "enables the master to
+//! prioritize workers based on their capabilities, avoiding the
+//! prolongation of execution due to slower nodes carrying excessive
+//! workloads". This example prints each worker's busy fraction and
+//! cached-object count so you can watch the slow node being avoided.
+
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::{run_workflow, Cluster, EngineConfig, RunMeta, WorkerId, Workflow};
+use crossbid_workload::{ArrivalProcess, JobConfig, WorkerConfig};
+
+fn main() {
+    let worker_cfg = WorkerConfig::FastSlow; // w0 fast, w4 slow
+    let job_cfg = JobConfig::AllDiffLarge;
+    let seed = 5;
+
+    for (label, alloc) in [
+        (
+            "bidding",
+            &BiddingAllocator::new() as &dyn crossbid_crossflow::Allocator,
+        ),
+        ("baseline", &crossbid_crossflow::BaselineAllocator),
+        (
+            "spark-static",
+            &crossbid_baselines::SparkStaticAllocator::default(),
+        ),
+    ] {
+        let cfg = EngineConfig::default();
+        let specs = worker_cfg.paper_specs();
+        let mut cluster = Cluster::new(&specs, &cfg);
+        let mut wf = Workflow::new();
+        let task = wf.add_sink("scan");
+        let stream = job_cfg.generate(seed, 50, task, &ArrivalProcess::evaluation_default());
+        let meta = RunMeta {
+            worker_config: worker_cfg.name().into(),
+            job_config: job_cfg.name().into(),
+            seed,
+            ..RunMeta::default()
+        };
+        let out = run_workflow(
+            &mut cluster,
+            &mut wf,
+            alloc,
+            stream.arrivals.clone(),
+            &cfg,
+            &meta,
+        );
+        let r = &out.record;
+        println!(
+            "\n== {label}: makespan {:.0}s, {} misses, {:.0} MB ==",
+            r.makespan_secs, r.cache_misses, r.data_load_mb
+        );
+        for (i, spec) in specs.iter().enumerate() {
+            let node = cluster.node(WorkerId(i as u32));
+            println!(
+                "  {:>14}  net {:>6.1} MB/s   busy {:>5.1}%   cached {:>2} repos",
+                spec.name,
+                spec.net.as_mb_per_sec(),
+                r.worker_busy_frac[i] * 100.0,
+                node.cached_objects(),
+            );
+        }
+    }
+    println!(
+        "\n(Under bidding the slow node stays near-idle; under spark-static\n it gets an equal share of large clones and drags the makespan.)"
+    );
+}

@@ -1,0 +1,3 @@
+//! Test-support crate: the actual integration tests live in the
+//! sibling `tests/` directory of this package and span every crate in
+//! the workspace.

@@ -1,0 +1,223 @@
+//! Property-based tests of the whole engine: for arbitrary workloads,
+//! cluster shapes and schedulers, the structural invariants must hold.
+
+use crossbid_baselines::{
+    DelayAllocator, MatchmakingAllocator, RandomAllocator, SparkLocalityAllocator,
+    SparkStaticAllocator,
+};
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::{
+    run_workflow, Allocator, Arrival, BaselineAllocator, Cluster, EngineConfig, JobSpec, Payload,
+    ResourceRef, RunMeta, TaskId, WorkerSpec, Workflow,
+};
+use crossbid_simcore::SimTime;
+use crossbid_storage::ObjectId;
+use proptest::prelude::*;
+
+fn allocator(idx: usize) -> Box<dyn Allocator> {
+    match idx {
+        0 => Box::new(BiddingAllocator::new()),
+        1 => Box::new(BaselineAllocator),
+        2 => Box::new(SparkStaticAllocator::default()),
+        3 => Box::new(SparkStaticAllocator::with_stage_barrier()),
+        4 => Box::new(SparkLocalityAllocator::default()),
+        5 => Box::new(MatchmakingAllocator::default()),
+        6 => Box::new(DelayAllocator::default()),
+        7 => Box::new(BiddingAllocator::with_bid_learning()),
+        _ => Box::new(RandomAllocator),
+    }
+}
+
+/// (repo id, size MB, arrival offset ms, is cpu-only)
+type JobTuple = (u64, u64, u64, bool);
+
+fn arb_jobs() -> impl Strategy<Value = Vec<JobTuple>> {
+    proptest::collection::vec(
+        (0u64..12, 1u64..400, 0u64..60_000, proptest::bool::ANY),
+        1..30,
+    )
+}
+
+fn build_arrivals(task: TaskId, jobs: &[JobTuple]) -> Vec<Arrival> {
+    let mut arrivals: Vec<Arrival> = jobs
+        .iter()
+        .map(|&(rid, mb, at_ms, cpu_only)| Arrival {
+            at: SimTime::from_millis(at_ms),
+            spec: if cpu_only {
+                JobSpec::compute(task, 0.5, Payload::Index(rid))
+            } else {
+                JobSpec::scanning(
+                    task,
+                    ResourceRef {
+                        id: ObjectId(rid),
+                        bytes: mb * 1_000_000,
+                    },
+                    Payload::Index(rid),
+                )
+            },
+        })
+        .collect();
+    arrivals.sort_by_key(|a| a.at);
+    arrivals
+}
+
+fn specs(n: usize) -> Vec<WorkerSpec> {
+    (0..n)
+        .map(|i| {
+            WorkerSpec::builder(format!("w{i}"))
+                .net_mbps(10.0 + 10.0 * (i % 3) as f64)
+                .rw_mbps(80.0 + 40.0 * (i % 2) as f64)
+                .storage_gb(2.0)
+                .build()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation and metric sanity for every scheduler on random
+    /// workloads: every job completes exactly once, hits + misses
+    /// account for exactly the resource-bearing jobs, busy fractions
+    /// and makespan are well-formed.
+    #[test]
+    fn engine_invariants(
+        jobs in arb_jobs(),
+        sched_idx in 0usize..9,
+        n_workers in 1usize..6,
+        seed: u64,
+    ) {
+        let alloc = allocator(sched_idx);
+        let cfg = EngineConfig::default();
+        let mut cluster = Cluster::new(&specs(n_workers), &cfg);
+        let mut wf = Workflow::new();
+        let task = wf.add_sink("scan");
+        let arrivals = build_arrivals(task, &jobs);
+        let meta = RunMeta { seed, ..RunMeta::default() };
+        let out = run_workflow(&mut cluster, &mut wf, alloc.as_ref(), arrivals, &cfg, &meta);
+        let r = &out.record;
+
+        prop_assert_eq!(r.jobs_completed, jobs.len() as u64, "conservation");
+        let with_resource = jobs.iter().filter(|j| !j.3).count() as u64;
+        prop_assert_eq!(r.cache_hits + r.cache_misses, with_resource, "lookup accounting");
+        prop_assert!(r.makespan_secs >= 0.0);
+        prop_assert!(r.data_load_mb >= 0.0);
+        prop_assert_eq!(r.worker_busy_frac.len(), n_workers);
+        for b in &r.worker_busy_frac {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(b), "busy {b}");
+        }
+        // Every placement named a real worker, and every job was
+        // placed at least once.
+        prop_assert!(out.assignments.len() as u64 >= r.jobs_completed);
+        for (_, w) in &out.assignments {
+            prop_assert!((w.0 as usize) < n_workers);
+        }
+    }
+
+    /// Warm second iterations never lose jobs and never do worse than
+    /// fetching everything again.
+    #[test]
+    fn warm_iteration_bounds(
+        jobs in arb_jobs(),
+        sched_idx in 0usize..2,
+        seed: u64,
+    ) {
+        let alloc = allocator(sched_idx);
+        let cfg = EngineConfig::default();
+        let mut cluster = Cluster::new(&specs(3), &cfg);
+        let mut wf = Workflow::new();
+        let task = wf.add_sink("scan");
+        let arrivals = build_arrivals(task, &jobs);
+        let meta = RunMeta { seed, ..RunMeta::default() };
+        let a = run_workflow(&mut cluster, &mut wf, alloc.as_ref(), arrivals.clone(), &cfg, &meta).record;
+        let b = run_workflow(&mut cluster, &mut wf, alloc.as_ref(), arrivals, &cfg, &meta).record;
+        prop_assert_eq!(a.jobs_completed, b.jobs_completed);
+        let with_resource = jobs.iter().filter(|j| !j.3).count() as u64;
+        prop_assert!(b.cache_misses <= with_resource);
+    }
+
+    /// Determinism holds for every scheduler, workload and seed.
+    #[test]
+    fn determinism(
+        jobs in arb_jobs(),
+        sched_idx in 0usize..9,
+        seed: u64,
+    ) {
+        let run = || {
+            let alloc = allocator(sched_idx);
+            let cfg = EngineConfig::default();
+            let mut cluster = Cluster::new(&specs(3), &cfg);
+            let mut wf = Workflow::new();
+            let task = wf.add_sink("scan");
+            let arrivals = build_arrivals(task, &jobs);
+            let meta = RunMeta { seed, ..RunMeta::default() };
+            run_workflow(&mut cluster, &mut wf, alloc.as_ref(), arrivals, &cfg, &meta).record
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits());
+        prop_assert_eq!(a.cache_misses, b.cache_misses);
+        prop_assert_eq!(a.data_load_mb.to_bits(), b.data_load_mb.to_bits());
+        prop_assert_eq!(a.control_messages, b.control_messages);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fault injection never loses jobs: for arbitrary crash/recovery
+    /// schedules (with at least one worker alive from some point on),
+    /// every job completes exactly once and all metrics stay sane.
+    #[test]
+    fn faults_never_lose_jobs(
+        jobs in proptest::collection::vec((0u64..8, 1u64..200, 0u64..30_000), 1..20),
+        crashes in proptest::collection::vec((1u64..60, 0u32..3), 0..4),
+        sched_idx in 0usize..2,
+        seed: u64,
+    ) {
+        use crossbid_crossflow::FaultPlan;
+        let n_workers = 3usize;
+        // Build a plan: each (t, w) crashes worker w at t seconds and
+        // recovers it 20 s later, so the cluster always comes back.
+        let mut plan = crossbid_crossflow::FaultPlan::new();
+        for (t, w) in &crashes {
+            plan = plan
+                .crash_at(SimTime::from_secs(*t), crossbid_crossflow::WorkerId(*w))
+                .recover_at(
+                    SimTime::from_secs(*t + 20),
+                    crossbid_crossflow::WorkerId(*w),
+                );
+        }
+        let _: &FaultPlan = &plan;
+        let cfg = EngineConfig {
+            faults: plan,
+            ..EngineConfig::default()
+        };
+        let alloc = allocator(sched_idx);
+        let mut cluster = Cluster::new(&specs(n_workers), &cfg);
+        let mut wf = Workflow::new();
+        let task = wf.add_sink("scan");
+        let arrivals: Vec<Arrival> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(rid, mb, at_ms))| Arrival {
+                at: SimTime::from_millis(at_ms),
+                spec: JobSpec::scanning(
+                    task,
+                    ResourceRef {
+                        id: ObjectId(rid),
+                        bytes: mb * 1_000_000,
+                    },
+                    Payload::Index(i as u64),
+                ),
+            })
+            .collect();
+        let meta = RunMeta { seed, ..RunMeta::default() };
+        let out = run_workflow(&mut cluster, &mut wf, alloc.as_ref(), arrivals, &cfg, &meta);
+        prop_assert_eq!(out.record.jobs_completed, jobs.len() as u64);
+        prop_assert!(out.record.makespan_secs >= 0.0);
+        // Lookups can exceed the job count (redistributed jobs look up
+        // again) but can never be fewer.
+        prop_assert!(out.record.cache_hits + out.record.cache_misses >= jobs.len() as u64);
+    }
+}

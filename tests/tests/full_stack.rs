@@ -1,0 +1,223 @@
+//! Full-stack integration tests: workload generation → MSR pipeline →
+//! engine → metrics → experiment aggregation, across every scheduler.
+
+use std::sync::Arc;
+
+use crossbid_baselines::{
+    DelayAllocator, MatchmakingAllocator, RandomAllocator, SparkLocalityAllocator,
+    SparkStaticAllocator,
+};
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::{
+    run_workflow, Allocator, BaselineAllocator, Cluster, EngineConfig, RunMeta, Session, Workflow,
+};
+use crossbid_metrics::{Aggregator, SchedulerKind};
+use crossbid_msr::github::GitHubParams;
+use crossbid_msr::{build_pipeline, library_arrivals, SyntheticGitHub};
+use crossbid_workload::{ArrivalProcess, JobConfig, WorkerConfig};
+
+fn all_allocators() -> Vec<Box<dyn Allocator>> {
+    vec![
+        Box::new(BiddingAllocator::new()),
+        Box::new(BaselineAllocator),
+        Box::new(SparkStaticAllocator::default()),
+        Box::new(SparkStaticAllocator::with_stage_barrier()),
+        Box::new(SparkLocalityAllocator::default()),
+        Box::new(MatchmakingAllocator::default()),
+        Box::new(DelayAllocator::default()),
+        Box::new(RandomAllocator),
+    ]
+}
+
+/// Every scheduler must complete every paper workload on every
+/// cluster shape — conservation across the whole matrix.
+#[test]
+fn every_scheduler_completes_every_workload() {
+    let cfg = EngineConfig::default();
+    for alloc in all_allocators() {
+        for wc in [WorkerConfig::AllEqual, WorkerConfig::FastSlow] {
+            for jc in [JobConfig::AllDiffEqual, JobConfig::Pct80Small] {
+                let mut wf = Workflow::new();
+                let task = wf.add_sink("scan");
+                let stream = jc.generate(
+                    7,
+                    15,
+                    task,
+                    &ArrivalProcess::Poisson {
+                        mean_interval_secs: 2.0,
+                    },
+                );
+                let mut cluster = Cluster::new(&wc.specs(3), &cfg);
+                let meta = RunMeta {
+                    worker_config: wc.name().into(),
+                    job_config: jc.name().into(),
+                    seed: 7,
+                    ..RunMeta::default()
+                };
+                let out = run_workflow(
+                    &mut cluster,
+                    &mut wf,
+                    alloc.as_ref(),
+                    stream.arrivals.clone(),
+                    &cfg,
+                    &meta,
+                );
+                assert_eq!(
+                    out.record.jobs_completed,
+                    15,
+                    "{} lost jobs on {}/{}",
+                    alloc.kind(),
+                    wc.name(),
+                    jc.name()
+                );
+                assert_eq!(out.record.scheduler, alloc.kind());
+                assert!(out.record.makespan_secs > 0.0);
+            }
+        }
+    }
+}
+
+/// The MSR pipeline yields the same analysis output (co-occurrence
+/// CSV) under every scheduler — allocation must never change *what*
+/// is computed, only *where*.
+#[test]
+fn msr_analysis_is_allocation_invariant() {
+    let gh = Arc::new(SyntheticGitHub::generate(
+        31,
+        &GitHubParams {
+            n_repos: 8,
+            n_libraries: 12,
+            mean_deps: 4.0,
+            popularity_skew: 0.8,
+        },
+    ));
+    let mut csvs = Vec::new();
+    for alloc in all_allocators() {
+        let mut wf = Workflow::new();
+        let pipe = build_pipeline(&mut wf, Arc::clone(&gh), 5, 0.0);
+        let arrivals = library_arrivals(&pipe, 12, 1.0);
+        let cfg = EngineConfig::default();
+        let mut cluster = Cluster::new(&WorkerConfig::AllEqual.specs(3), &cfg);
+        run_workflow(
+            &mut cluster,
+            &mut wf,
+            alloc.as_ref(),
+            arrivals,
+            &cfg,
+            &RunMeta::default(),
+        );
+        csvs.push(pipe.matrix(&mut wf).to_csv());
+    }
+    for w in csvs.windows(2) {
+        assert_eq!(w[0], w[1], "schedulers disagreed on the analysis result");
+    }
+}
+
+/// Warm-cache sessions improve (or at least never regress) locality
+/// metrics for the locality-aware schedulers.
+#[test]
+fn sessions_warm_up_locality_for_locality_aware_schedulers() {
+    for alloc in [
+        &BiddingAllocator::new() as &dyn Allocator,
+        &BaselineAllocator,
+        &MatchmakingAllocator::default(),
+        &DelayAllocator::default(),
+    ] {
+        let wc = WorkerConfig::AllEqual;
+        let jc = JobConfig::Pct80Small;
+        let mut wf = Workflow::new();
+        let task = wf.add_sink("scan");
+        let stream = jc.generate(13, 20, task, &ArrivalProcess::evaluation_default());
+        let mut session = Session::new(
+            &wc.specs(3),
+            EngineConfig::default(),
+            wc.name(),
+            jc.name(),
+            13,
+        );
+        let records = session.run_iterations(&mut wf, alloc, 3, |_| stream.arrivals.clone());
+        assert_eq!(records.len(), 3);
+        let cold = records[0].cache_misses;
+        let warm = records[2].cache_misses;
+        assert!(
+            warm <= cold,
+            "{}: warm iteration regressed ({} -> {})",
+            alloc.kind(),
+            cold,
+            warm
+        );
+    }
+}
+
+/// End-to-end through the metrics layer: aggregating engine records by
+/// job config produces per-scheduler groups with the right counts.
+#[test]
+fn records_flow_into_aggregation() {
+    let cfg = EngineConfig::default();
+    let mut records = Vec::new();
+    for alloc in [
+        &BiddingAllocator::new() as &dyn Allocator,
+        &BaselineAllocator,
+    ] {
+        for jc in [JobConfig::AllDiffSmall, JobConfig::Pct80Small] {
+            let mut wf = Workflow::new();
+            let task = wf.add_sink("scan");
+            let stream = jc.generate(3, 10, task, &ArrivalProcess::Batch);
+            let mut cluster = Cluster::new(&WorkerConfig::AllEqual.specs(2), &cfg);
+            let meta = RunMeta {
+                job_config: jc.name().into(),
+                seed: 3,
+                ..RunMeta::default()
+            };
+            records.push(
+                run_workflow(
+                    &mut cluster,
+                    &mut wf,
+                    alloc,
+                    stream.arrivals.clone(),
+                    &cfg,
+                    &meta,
+                )
+                .record,
+            );
+        }
+    }
+    let mut agg = Aggregator::new();
+    agg.push_all_by_job_config(&records);
+    assert_eq!(agg.keys().len(), 2);
+    for kind in [SchedulerKind::Bidding, SchedulerKind::Baseline] {
+        for key in agg.keys() {
+            let a = agg.get(kind, &key).expect("group exists");
+            assert_eq!(a.runs, 1);
+            assert!(a.makespan.mean() > 0.0);
+        }
+    }
+}
+
+/// Fault-injection: clearing a worker's cache mid-session (a "disk
+/// wipe") must not break completion, only cost extra downloads.
+#[test]
+fn cache_wipe_between_iterations_is_survivable() {
+    let wc = WorkerConfig::AllEqual;
+    let jc = JobConfig::Pct80Small;
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let stream = jc.generate(17, 20, task, &ArrivalProcess::evaluation_default());
+    let mut session = Session::new(
+        &wc.specs(3),
+        EngineConfig::default(),
+        wc.name(),
+        jc.name(),
+        17,
+    );
+    let alloc = BiddingAllocator::new();
+    let warm = session.run_iteration(&mut wf, &alloc, stream.arrivals.clone());
+    session.cluster_mut().clear_caches();
+    let wiped = session.run_iteration(&mut wf, &alloc, stream.arrivals.clone());
+    assert_eq!(warm.jobs_completed, 20);
+    assert_eq!(wiped.jobs_completed, 20);
+    assert!(
+        wiped.cache_misses >= warm.cache_misses,
+        "wipe must not make locality better"
+    );
+}

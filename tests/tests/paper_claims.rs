@@ -1,0 +1,137 @@
+//! Integration tests asserting the *paper's qualitative claims* hold
+//! on scaled-down versions of the evaluation grid. These are the
+//! reproduction's guardrails: if a refactor breaks one of these, the
+//! repository no longer reproduces the paper.
+
+use crossbid_experiments::fig3::rows_from_records;
+use crossbid_experiments::runner::{full_grid, run_grid};
+use crossbid_experiments::summary::compute;
+use crossbid_experiments::{Cell, ExperimentConfig};
+use crossbid_metrics::SchedulerKind;
+use crossbid_workload::{JobConfig, WorkerConfig};
+
+fn small_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        n_jobs: 40,
+        iterations: 2,
+        seed: 0xC0FFEE,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// §6.3.2 conclusion 1/2: across the grid the Bidding Scheduler is
+/// faster on average, with fewer cache misses and less data load.
+#[test]
+fn bidding_beats_baseline_in_aggregate() {
+    let cfg = small_cfg();
+    let records: Vec<_> = run_grid(&cfg, &full_grid()).into_iter().flatten().collect();
+    let s = compute(&records);
+    assert!(
+        s.mean_speedup_pct > 5.0,
+        "expected a clear aggregate speedup, got {:.1}%",
+        s.mean_speedup_pct
+    );
+    assert!(
+        s.miss_reduction_pct > 10.0,
+        "expected a clear miss reduction, got {:.1}%",
+        s.miss_reduction_pct
+    );
+    assert!(
+        s.data_reduction_pct > 10.0,
+        "expected a clear data reduction, got {:.1}%",
+        s.data_reduction_pct
+    );
+    assert!(s.max_speedup > 1.3, "max speedup {:.2}", s.max_speedup);
+    assert_eq!(s.cells, 20);
+}
+
+/// §6.3.2 conclusion 3 + Figure 4: the advantage concentrates on
+/// large-resource workloads and slow/heterogeneous clusters; the
+/// small-resource workloads benefit least.
+#[test]
+fn advantage_concentrates_on_large_resources() {
+    let cfg = small_cfg();
+    let records: Vec<_> = run_grid(&cfg, &full_grid()).into_iter().flatten().collect();
+    let rows = rows_from_records(&records);
+    let get = |name: &str| {
+        rows.iter()
+            .find(|r| r.workload == name)
+            .unwrap_or_else(|| panic!("row {name}"))
+    };
+    let large = get("all_diff_large");
+    let small = get("all_diff_small");
+    assert!(
+        large.speedup_pct() > small.speedup_pct(),
+        "large should benefit more: large {:.1}% vs small {:.1}%",
+        large.speedup_pct(),
+        small.speedup_pct()
+    );
+}
+
+/// Figure 2's direction: Spark's centralized up-front allocation is
+/// slower than the Crossflow Baseline, most dramatically on the
+/// heterogeneous cluster with large repositories.
+#[test]
+fn spark_loses_to_crossflow_baseline() {
+    let cfg = ExperimentConfig {
+        n_jobs: 30,
+        iterations: 1,
+        ..ExperimentConfig::default()
+    };
+    let cells: Vec<Cell> = [SchedulerKind::Baseline, SchedulerKind::SparkStatic]
+        .into_iter()
+        .map(|s| Cell {
+            worker_config: WorkerConfig::FastSlow,
+            job_config: JobConfig::AllDiffLarge,
+            scheduler: s,
+        })
+        .collect();
+    let results = run_grid(&cfg, &cells);
+    let crossflow = results[0][0].makespan_secs;
+    let spark = results[1][0].makespan_secs;
+    assert!(
+        spark > crossflow * 1.5,
+        "spark {spark:.0}s should be well above crossflow {crossflow:.0}s"
+    );
+}
+
+/// The reproduction is bit-stable: the same config and seed produce
+/// identical grids run-to-run (and in parallel).
+#[test]
+fn grid_is_bit_reproducible() {
+    let cfg = ExperimentConfig {
+        n_jobs: 15,
+        iterations: 1,
+        ..ExperimentConfig::default()
+    };
+    let cells = full_grid();
+    let a: Vec<_> = run_grid(&cfg, &cells).into_iter().flatten().collect();
+    let b: Vec<_> = run_grid(&cfg, &cells).into_iter().flatten().collect();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.makespan_secs.to_bits(), y.makespan_secs.to_bits());
+        assert_eq!(x.cache_misses, y.cache_misses);
+        assert_eq!(x.data_load_mb.to_bits(), y.data_load_mb.to_bits());
+        assert_eq!(x.control_messages, y.control_messages);
+    }
+}
+
+/// Changing only the seed changes the runs (no accidental constant
+/// workloads).
+#[test]
+fn seeds_matter() {
+    let mk = |seed| ExperimentConfig {
+        n_jobs: 15,
+        iterations: 1,
+        seed,
+        ..ExperimentConfig::default()
+    };
+    let cell = Cell {
+        worker_config: WorkerConfig::AllEqual,
+        job_config: JobConfig::AllDiffEqual,
+        scheduler: SchedulerKind::Bidding,
+    };
+    let a = crossbid_experiments::run_cell(&mk(1), cell);
+    let b = crossbid_experiments::run_cell(&mk(2), cell);
+    assert_ne!(a[0].makespan_secs.to_bits(), b[0].makespan_secs.to_bits());
+}

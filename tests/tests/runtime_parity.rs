@@ -1,0 +1,136 @@
+//! Cross-validation of the two runtimes: the simulated engine and the
+//! real-threaded runtime execute the same protocol, so on the same
+//! noise-free workload their *structural* metrics (completions, cache
+//! behaviour, data load) should agree closely, and their makespans
+//! should be in the same ballpark (the threaded runtime adds real
+//! thread jitter).
+
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::{
+    run_threaded, run_workflow, Arrival, BaselineAllocator, Cluster, EngineConfig, JobSpec,
+    Payload, ResourceRef, RunMeta, TaskId, ThreadedConfig, ThreadedScheduler, WorkerSpec, Workflow,
+};
+use crossbid_net::{ControlPlane, NoiseModel};
+use crossbid_simcore::{SimDuration, SimTime};
+use crossbid_storage::ObjectId;
+
+fn specs() -> Vec<WorkerSpec> {
+    (0..3)
+        .map(|i| {
+            WorkerSpec::builder(format!("w{i}"))
+                .net_mbps(10.0)
+                .rw_mbps(100.0)
+                .storage_gb(10.0)
+                .build()
+        })
+        .collect()
+}
+
+fn arrivals(task: TaskId) -> Vec<Arrival> {
+    // Sparse arrivals: queueing effects are minimal, so both runtimes
+    // should route nearly identically.
+    (0..12)
+        .map(|i| Arrival {
+            at: SimTime::from_secs(i * 30),
+            spec: JobSpec::scanning(
+                task,
+                ResourceRef {
+                    id: ObjectId(i % 4),
+                    bytes: 100_000_000,
+                },
+                Payload::Index(i),
+            ),
+        })
+        .collect()
+}
+
+fn sim_record(bidding: bool) -> crossbid_metrics::RunRecord {
+    let cfg = EngineConfig {
+        control: ControlPlane::instant(),
+        data_latency: SimDuration::ZERO,
+        noise: NoiseModel::None,
+        ..EngineConfig::default()
+    };
+    let mut cluster = Cluster::new(&specs(), &cfg);
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let meta = RunMeta {
+        seed: 5,
+        ..RunMeta::default()
+    };
+    if bidding {
+        run_workflow(
+            &mut cluster,
+            &mut wf,
+            &BiddingAllocator::new(),
+            arrivals(task),
+            &cfg,
+            &meta,
+        )
+        .record
+    } else {
+        run_workflow(
+            &mut cluster,
+            &mut wf,
+            &BaselineAllocator,
+            arrivals(task),
+            &cfg,
+            &meta,
+        )
+        .record
+    }
+}
+
+fn threaded_record(bidding: bool) -> crossbid_metrics::RunRecord {
+    let cfg = ThreadedConfig {
+        time_scale: 1e-4,
+        noise: NoiseModel::None,
+        speed_learning: false,
+        scheduler: if bidding {
+            ThreadedScheduler::Bidding { window_secs: 1.0 }
+        } else {
+            ThreadedScheduler::Baseline
+        },
+        seed: 5,
+        ..ThreadedConfig::default()
+    };
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let meta = RunMeta {
+        seed: 5,
+        ..RunMeta::default()
+    };
+    run_threaded(&specs(), &cfg, &mut wf, arrivals(task), &meta)
+}
+
+#[test]
+fn runtimes_agree_on_structural_metrics() {
+    for bidding in [true, false] {
+        let sim = sim_record(bidding);
+        let thr = threaded_record(bidding);
+        let label = if bidding { "bidding" } else { "baseline" };
+        assert_eq!(sim.jobs_completed, thr.jobs_completed, "{label}");
+        assert_eq!(
+            sim.cache_hits + sim.cache_misses,
+            thr.cache_hits + thr.cache_misses,
+            "{label}: lookup totals"
+        );
+        // Misses may differ by a few due to real-time races, but the
+        // locality picture must be the same order: 4 distinct repos,
+        // at most a dozen fetches.
+        assert!(
+            (sim.cache_misses as i64 - thr.cache_misses as i64).abs() <= 4,
+            "{label}: sim {} vs threaded {} misses",
+            sim.cache_misses,
+            thr.cache_misses
+        );
+        // Makespans in the same ballpark (arrival-dominated ≈ 340 s).
+        let ratio = thr.makespan_secs / sim.makespan_secs;
+        assert!(
+            (0.6..1.7).contains(&ratio),
+            "{label}: sim {:.1}s vs threaded {:.1}s",
+            sim.makespan_secs,
+            thr.makespan_secs
+        );
+    }
+}
