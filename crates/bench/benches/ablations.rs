@@ -386,7 +386,7 @@ fn ablation_arrival_pressure(c: &mut Criterion) {
         ],
     );
     for mean in [6.0, 3.0, 1.5, 0.75] {
-        let mut run_one = |alloc: &dyn crossbid_crossflow::Allocator| {
+        let run_one = |alloc: &dyn crossbid_crossflow::Allocator| {
             let mut wf = crossbid_crossflow::Workflow::new();
             let task = wf.add_sink("scan");
             let stream = JobConfig::Pct80Large.generate(

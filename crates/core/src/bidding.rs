@@ -74,13 +74,12 @@ impl Contest {
     /// (ties broken by worker id for determinism) and return the
     /// winner.
     pub fn preferred_worker(&self) -> Option<WorkerId> {
+        // total_cmp keeps the ordering total even if a non-finite
+        // estimate slips into the recorded set (NaN sorts above every
+        // finite value, so it can never displace a real bid).
         self.bids
             .iter()
-            .min_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.0.cmp(&b.0))
-            })
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
             .map(|(w, _)| *w)
     }
 }
@@ -209,18 +208,27 @@ impl MasterScheduler for BiddingMaster {
     fn on_worker_message(&mut self, from: WorkerId, msg: WorkerToMaster, ctx: &mut SchedCtx) {
         match msg {
             WorkerToMaster::Bid { job, estimate_secs } => {
+                // A NaN or infinite estimate can never be a meaningful
+                // cost; drop it at intake so it neither fills a contest
+                // slot nor trips the short-circuit threshold.
+                if !estimate_secs.is_finite() {
+                    return;
+                }
                 let all_workers = ctx.worker_count();
                 let mut finished = false;
                 let mut short_circuit = false;
                 if let Some(c) = self.contests.get_mut(&job) {
                     if c.status == ContestStatus::Open {
-                        // A worker bids at most once per contest.
+                        // A worker bids at most once per contest; a
+                        // duplicate is ignored entirely — in particular
+                        // it must not re-trigger the short-circuit with
+                        // an estimate that was never recorded.
                         if !c.bids.iter().any(|(w, _)| *w == from) {
                             c.bids.push((from, estimate_secs));
-                        }
-                        finished = c.bids.len() >= all_workers;
-                        if let Some(th) = self.cfg.short_circuit_below {
-                            short_circuit = estimate_secs <= th;
+                            finished = c.bids.len() >= all_workers;
+                            if let Some(th) = self.cfg.short_circuit_below {
+                                short_circuit = estimate_secs <= th;
+                            }
                         }
                     }
                 }
@@ -604,5 +612,93 @@ mod tests {
             timer_token: 0,
         };
         assert_eq!(c.preferred_worker(), None);
+    }
+
+    #[test]
+    fn nan_bid_is_dropped_at_intake() {
+        let mut h = Harness::new(2, BiddingConfig::default());
+        h.drive(|m, ctx| m.on_job(mk_job(1), ctx));
+        // A NaN estimate must not fill a contest slot...
+        assert!(h.bid(0, 1, f64::NAN).is_empty());
+        assert!(h.bid(1, 1, 7.0).is_empty(), "set must not be complete yet");
+        // ...and the eventual winner is the worker with the real bid.
+        let a = h.bid(0, 1, 9.0);
+        match &a[0] {
+            SchedAction::Assign { worker, .. } => assert_eq!(*worker, WorkerId(1)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinite_bid_cannot_win_or_complete_a_set() {
+        let mut h = Harness::new(2, BiddingConfig::default());
+        let a = h.drive(|m, ctx| m.on_job(mk_job(1), ctx));
+        let token = match a[0] {
+            SchedAction::Timer { token, .. } => token,
+            _ => panic!(),
+        };
+        assert!(h.bid(0, 1, f64::INFINITY).is_empty());
+        assert!(h.bid(1, 1, f64::NEG_INFINITY).is_empty());
+        // No recorded bids: window expiry must take the fallback path,
+        // never assign based on a non-finite estimate.
+        let a = h.drive(|m, ctx| m.on_timer(token, ctx));
+        assert!(matches!(a[0], SchedAction::Assign { .. }));
+        assert_eq!(h.m.stats().contests_fallback, 1);
+    }
+
+    #[test]
+    fn nan_bid_does_not_trip_short_circuit() {
+        let mut h = Harness::new(
+            3,
+            BiddingConfig {
+                short_circuit_below: Some(2.0),
+                ..BiddingConfig::default()
+            },
+        );
+        h.drive(|m, ctx| m.on_job(mk_job(1), ctx));
+        // NaN <= th is false, but the guard must hold at intake too.
+        assert!(h.bid(0, 1, f64::NAN).is_empty());
+        assert_eq!(h.m.open_contests(), 1);
+    }
+
+    #[test]
+    fn duplicate_bid_cannot_short_circuit_with_stale_estimate() {
+        let mut h = Harness::new(
+            2,
+            BiddingConfig {
+                short_circuit_below: Some(2.0),
+                ..BiddingConfig::default()
+            },
+        );
+        h.drive(|m, ctx| m.on_job(mk_job(1), ctx));
+        // Recorded estimate 5.0: above the threshold, contest stays open.
+        assert!(h.bid(0, 1, 5.0).is_empty());
+        // Duplicate bid below the threshold is NOT recorded, so it must
+        // not close the contest either (the recorded estimate is 5.0).
+        assert!(
+            h.bid(0, 1, 1.0).is_empty(),
+            "unrecorded duplicate bid must not short-circuit"
+        );
+        assert_eq!(h.m.open_contests(), 1);
+        // The other worker's bid completes the set and wins on merit.
+        let a = h.bid(1, 1, 3.0);
+        match &a[0] {
+            SchedAction::Assign { worker, .. } => assert_eq!(*worker, WorkerId(1)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn preferred_worker_total_order_survives_nan_in_recorded_set() {
+        // Defence in depth: even if a NaN were recorded, total_cmp
+        // sorts it above every finite estimate so it cannot win.
+        let c = Contest {
+            job: mk_job(1),
+            bids: vec![(WorkerId(0), f64::NAN), (WorkerId(1), 4.0)],
+            status: ContestStatus::Open,
+            opened_at: SimTime::ZERO,
+            timer_token: 0,
+        };
+        assert_eq!(c.preferred_worker(), Some(WorkerId(1)));
     }
 }

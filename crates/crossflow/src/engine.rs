@@ -31,7 +31,7 @@ use crate::scheduler::{
     WorkerToMaster, WorkerView,
 };
 use crate::task::TaskCtx;
-use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::trace::{SchedEvent, SchedEventKind, SchedLog, Trace, TraceEvent, TraceKind};
 use crate::worker::{WorkerActivity, WorkerNode, WorkerSpec};
 use crate::workflow::Workflow;
 
@@ -176,6 +176,11 @@ pub struct RunOutput {
     /// Per-job lifecycle trace (empty unless
     /// [`EngineConfig::trace`] was set).
     pub trace: Trace,
+    /// Scheduler-level protocol events — contests, crashes,
+    /// redistributions (empty unless [`EngineConfig::trace`] was set).
+    /// Shares its shape with the threaded runtime's log so the same
+    /// invariants can be asserted on both.
+    pub sched_log: SchedLog,
 }
 
 enum MasterToWorker {
@@ -229,6 +234,7 @@ struct Engine<'a> {
     epochs: Vec<u64>,
     assignments: Vec<(JobId, WorkerId)>,
     trace: Option<Trace>,
+    sched_log: Option<SchedLog>,
     policies: Vec<Box<dyn WorkerPolicy>>,
     master: Box<dyn MasterScheduler>,
     handles: Vec<WorkerHandle>,
@@ -246,6 +252,10 @@ struct Engine<'a> {
     arrivals_seen: u64,
     control_messages: u64,
     last_completion: SimTime,
+    jobs_redistributed: u64,
+    worker_crashes: u64,
+    down_since: Vec<Option<SimTime>>,
+    downtime_secs: f64,
 }
 
 impl<'a> Engine<'a> {
@@ -261,6 +271,18 @@ impl<'a> Engine<'a> {
                 worker,
                 kind,
                 at,
+            });
+        }
+    }
+
+    fn note_sched(&mut self, worker: Option<WorkerId>, job: Option<JobId>, kind: SchedEventKind) {
+        let at = self.q.now();
+        if let Some(log) = &mut self.sched_log {
+            log.push(SchedEvent {
+                at,
+                worker,
+                job,
+                kind,
             });
         }
     }
@@ -303,12 +325,14 @@ impl<'a> Engine<'a> {
         for action in actions {
             match action {
                 SchedAction::Assign { worker, job } => {
+                    self.note_sched(Some(worker), Some(job.id), SchedEventKind::Assigned);
                     self.send_to_worker(worker, MasterToWorker::Assign(job));
                 }
                 SchedAction::Offer { worker, job } => {
                     self.send_to_worker(worker, MasterToWorker::Offer(job));
                 }
                 SchedAction::BroadcastBidRequest { job } => {
+                    self.note_sched(None, Some(job.id), SchedEventKind::ContestOpened);
                     for i in 0..self.handles.len() {
                         if self.active[i] {
                             self.send_to_worker(
@@ -475,6 +499,17 @@ impl<'a> Engine<'a> {
                 }
             },
             Ev::MasterRecv { from, msg } => {
+                if let WorkerToMaster::Bid { job, estimate_secs } = &msg {
+                    if estimate_secs.is_finite() {
+                        self.note_sched(
+                            Some(from),
+                            Some(*job),
+                            SchedEventKind::BidReceived {
+                                estimate_secs: *estimate_secs,
+                            },
+                        );
+                    }
+                }
                 self.run_master(|m, ctx| m.on_worker_message(from, msg, ctx));
             }
             Ev::Timer(token) => {
@@ -538,6 +573,8 @@ impl<'a> Engine<'a> {
             }
             Ev::Redispatch(job) => {
                 if self.active.iter().any(|a| *a) {
+                    self.jobs_redistributed += 1;
+                    self.note_sched(None, Some(job.id), SchedEventKind::Redistributed);
                     self.run_master(|m, ctx| m.on_job(job, ctx));
                 } else {
                     // Nobody alive: wait for a recovery.
@@ -556,6 +593,9 @@ impl<'a> Engine<'a> {
         let now = self.q.now();
         self.active[w.0 as usize] = false;
         self.epochs[w.0 as usize] += 1;
+        self.worker_crashes += 1;
+        self.down_since[w.0 as usize] = Some(now);
+        self.note_sched(Some(w), None, SchedEventKind::Crash);
         let mut stranded: Vec<Job> = Vec::new();
         if let Some(job) = self.slots[w.0 as usize].current.take() {
             stranded.push(job);
@@ -583,6 +623,10 @@ impl<'a> Engine<'a> {
         }
         self.active[w.0 as usize] = true;
         self.epochs[w.0 as usize] += 1;
+        if let Some(since) = self.down_since[w.0 as usize].take() {
+            self.downtime_secs += self.q.now().saturating_since(since).as_secs_f64();
+        }
+        self.note_sched(Some(w), None, SchedEventKind::Recover);
         self.run_master(|m, ctx| m.on_worker_recovered(w, ctx));
         // The fresh worker announces itself idle (the initial pull).
         self.send_to_master(w, WorkerToMaster::Idle, SimDuration::ZERO);
@@ -675,6 +719,11 @@ pub fn run_workflow(
         epochs: vec![0; n_workers],
         assignments: Vec::new(),
         trace: if cfg.trace { Some(Trace::new()) } else { None },
+        sched_log: if cfg.trace {
+            Some(SchedLog::new())
+        } else {
+            None
+        },
         policies: (0..n_workers).map(|_| allocator.worker_policy()).collect(),
         master: allocator.master(),
         handles,
@@ -690,6 +739,10 @@ pub fn run_workflow(
         arrivals_seen: 0,
         control_messages: 0,
         last_completion: SimTime::ZERO,
+        jobs_redistributed: 0,
+        worker_crashes: 0,
+        down_since: vec![None; n_workers],
+        downtime_secs: 0.0,
     };
 
     while let Some((_t, ev)) = engine.q.pop() {
@@ -720,6 +773,15 @@ pub fn run_workflow(
     let sched_stats = engine.master.stats();
     let assignments = std::mem::take(&mut engine.assignments);
     let trace = engine.trace.take().unwrap_or_default();
+    let sched_log = engine.sched_log.take().unwrap_or_default();
+    let jobs_redistributed = engine.jobs_redistributed;
+    let worker_crashes = engine.worker_crashes;
+    // Workers still down when the run ends are charged until the
+    // makespan (or until their crash instant, whichever is later).
+    let mut recovery_secs = engine.downtime_secs;
+    for since in engine.down_since.iter().flatten() {
+        recovery_secs += makespan.saturating_since(*since).as_secs_f64();
+    }
     let kind: SchedulerKind = allocator.kind();
     drop(engine);
 
@@ -757,9 +819,13 @@ pub fn run_workflow(
             contests_fallback: sched_stats.contests_fallback,
             mean_queue_wait_secs: wait.mean(),
             worker_busy_frac: busy,
+            jobs_redistributed,
+            worker_crashes,
+            recovery_secs,
         },
         events,
         assignments,
         trace,
+        sched_log,
     }
 }

@@ -82,7 +82,7 @@ pub use scheduler::{
 };
 pub use session::Session;
 pub use task::{CollectedOutputs, SinkTask, TaskCtx, TaskLogic};
-pub use threaded::{run_threaded, ThreadedConfig, ThreadedScheduler};
-pub use trace::{JobPhases, Trace, TraceEvent, TraceKind};
+pub use threaded::{run_threaded, run_threaded_traced, ThreadedConfig, ThreadedScheduler};
+pub use trace::{JobPhases, SchedEvent, SchedEventKind, SchedLog, Trace, TraceEvent, TraceKind};
 pub use worker::{WorkerSpec, WorkerSpecBuilder};
 pub use workflow::Workflow;

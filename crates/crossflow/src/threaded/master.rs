@@ -1,18 +1,22 @@
-//! The threaded master: job injection, scheduling, completion routing.
+//! The threaded master: job injection, scheduling, completion routing,
+//! and — mirroring the simulation engine — fault injection with
+//! detection-delayed redistribution.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use crossbid_metrics::{RunRecord, SchedulerKind};
 use crossbid_net::NoiseModel;
-use crossbid_simcore::{RngStream, SeedSequence, Welford};
+use crossbid_simcore::{RngStream, SeedSequence, SimTime, Welford};
 use parking_lot::Mutex;
 
 use crate::engine::RunMeta;
+use crate::faults::{FaultEvent, FaultPlan};
 use crate::job::{Arrival, Job, JobId, JobSpec, WorkerId};
 use crate::task::TaskCtx;
+use crate::trace::{SchedEvent, SchedEventKind, SchedLog};
 use crate::worker::WorkerSpec;
 use crate::workflow::Workflow;
 
@@ -54,6 +58,10 @@ pub struct ThreadedConfig {
     /// meaningful under compression. Contests still normally close on
     /// the full bid set long before either limit.
     pub min_real_window: Duration,
+    /// Scheduled worker crashes/recoveries, with the monitoring
+    /// layer's detection delay. Instants are virtual seconds from run
+    /// start, like arrivals. Default: no faults.
+    pub faults: FaultPlan,
 }
 
 impl Default for ThreadedConfig {
@@ -65,6 +73,7 @@ impl Default for ThreadedConfig {
             scheduler: ThreadedScheduler::Bidding { window_secs: 1.0 },
             seed: 0,
             min_real_window: Duration::from_millis(2),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -73,6 +82,13 @@ struct Contest {
     job: Job,
     bids: Vec<(u32, f64)>,
     deadline: Instant,
+}
+
+/// A job handed to a worker whose completion has not come back yet.
+struct Outstanding {
+    job: Job,
+    worker: u32,
+    assigned_at: Instant,
 }
 
 struct MasterState {
@@ -89,6 +105,22 @@ struct MasterState {
     // Baseline.
     ready: VecDeque<Job>,
     idle: VecDeque<u32>,
+    /// Who rejected a job last (Baseline): the next offer prefers a
+    /// different idle worker when one exists.
+    rejected_by: HashMap<JobId, u32>,
+    // Fault masking. `known_live` is the master's *belief*: it only
+    // flips to `false` once the detection delay has elapsed after a
+    // crash, so for a while the master keeps scheduling against a
+    // stale roster — exactly the masking window the contest timeout
+    // covers.
+    known_live: Vec<bool>,
+    /// Assigned-but-unfinished jobs, for redistribution on failure.
+    outstanding: HashMap<JobId, Outstanding>,
+    /// Completed job ids: de-duplicates a redistribution racing a
+    /// completion that was already in flight.
+    done_ids: HashSet<JobId>,
+    jobs_redistributed: u64,
+    log: SchedLog,
     // Common.
     created: u64,
     completed: u64,
@@ -101,6 +133,10 @@ impl MasterState {
         let id = JobId(self.next_job_id);
         self.next_job_id += 1;
         id
+    }
+
+    fn live_count(&self) -> usize {
+        self.known_live.iter().filter(|l| **l).count()
     }
 }
 
@@ -117,6 +153,20 @@ pub fn run_threaded(
     arrivals: Vec<Arrival>,
     meta: &RunMeta,
 ) -> RunRecord {
+    run_threaded_traced(specs, cfg, workflow, arrivals, meta).0
+}
+
+/// [`run_threaded`], additionally returning the scheduler event log —
+/// the same [`SchedLog`] shape the simulation engine emits, so parity
+/// and fault-tolerance tests can assert identical invariants on both
+/// runtimes.
+pub fn run_threaded_traced(
+    specs: &[WorkerSpec],
+    cfg: &ThreadedConfig,
+    workflow: &mut Workflow,
+    arrivals: Vec<Arrival>,
+    meta: &RunMeta,
+) -> (RunRecord, SchedLog) {
     assert!(!specs.is_empty(), "need at least one worker");
     assert!(cfg.time_scale > 0.0, "time_scale must be positive");
     let n = specs.len();
@@ -157,6 +207,7 @@ pub fn run_threaded(
 
     let start = Instant::now();
     let virt = |v: f64| Duration::from_secs_f64((v * cfg.time_scale).max(0.0));
+    let vnow = move || SimTime::from_secs_f64(start.elapsed().as_secs_f64() / cfg.time_scale);
     // Arrival schedule in real time.
     let mut pending_arrivals: VecDeque<(Instant, JobSpec)> = arrivals
         .into_iter()
@@ -165,6 +216,28 @@ pub fn run_threaded(
     let total_arrivals = pending_arrivals.len() as u64;
     let mut arrivals_seen = 0u64;
 
+    // Fault schedule in real time. The master doubles as the fault
+    // injector: it flips the worker's shared liveness flag (the
+    // "instance dies") and, `detection_delay` later, acts on it (the
+    // "monitoring layer notices").
+    let mut fault_events: VecDeque<(Instant, FaultEvent)> = {
+        let mut evs: Vec<(Instant, FaultEvent)> = cfg
+            .faults
+            .events()
+            .iter()
+            .map(|(at, ev)| (start + virt(at.as_secs_f64()), *ev))
+            .collect();
+        evs.sort_by_key(|(at, _)| *at);
+        evs.into()
+    };
+    let detection_real = virt(cfg.faults.detection_delay.as_secs_f64());
+    // (fire_at, worker, flip instant of the crash being detected)
+    let mut detections: VecDeque<(Instant, u32, Instant)> = VecDeque::new();
+    let mut down_since: Vec<Option<Instant>> = vec![None; n];
+    let mut last_recover: Vec<Option<Instant>> = vec![None; n];
+    let mut worker_crashes = 0u64;
+    let mut downtime_real = 0.0f64;
+
     let mut st = MasterState {
         contests: HashMap::new(),
         contest_queue: VecDeque::new(),
@@ -172,6 +245,12 @@ pub fn run_threaded(
         fallback: 0,
         ready: VecDeque::new(),
         idle: VecDeque::new(),
+        rejected_by: HashMap::new(),
+        known_live: vec![true; n],
+        outstanding: HashMap::new(),
+        done_ids: HashSet::new(),
+        jobs_redistributed: 0,
+        log: SchedLog::new(),
         created: 0,
         completed: 0,
         control_messages: 0,
@@ -180,16 +259,27 @@ pub fn run_threaded(
     let mut wait_stats = Welford::new();
     let mut last_completion = start;
 
-    // Open the next queued contest if none is running.
+    // Open the next queued contest if none is running. With no
+    // believed-live workers there is no one to ask: the job stays
+    // queued until a recovery re-populates the roster.
     let open_next_contest = |st: &mut MasterState, txs: &[Sender<ToWorker>], window_secs: f64| {
-        if !st.contests.is_empty() {
+        if !st.contests.is_empty() || st.live_count() == 0 {
             return;
         }
         let Some(job) = st.contest_queue.pop_front() else {
             return;
         };
         let deadline = Instant::now() + virt(window_secs).max(cfg.min_real_window);
+        st.log.push(SchedEvent {
+            at: vnow(),
+            worker: None,
+            job: Some(job.id),
+            kind: SchedEventKind::ContestOpened,
+        });
         for w in 0..txs.len() as u32 {
+            if !st.known_live[w as usize] {
+                continue;
+            }
             st.control_messages += 1;
             let _ = txs[w as usize].send(ToWorker::BidRequest(job.clone()));
         }
@@ -203,7 +293,7 @@ pub fn run_threaded(
         );
     };
 
-    // Dispatch a new job according to the protocol.
+    // Dispatch a new (or reclaimed) job according to the protocol.
     let dispatch = |st: &mut MasterState,
                     txs: &[Sender<ToWorker>],
                     cfg: &ThreadedConfig,
@@ -220,8 +310,26 @@ pub fn run_threaded(
     let baseline_pump = |st: &mut MasterState, txs: &[Sender<ToWorker>]| {
         while !st.ready.is_empty() && !st.idle.is_empty() {
             let job = st.ready.pop_front().expect("non-empty");
-            let w = st.idle.pop_front().expect("non-empty");
+            // A worker that just rejected this job would accept it on
+            // the rebound (reject-once); prefer any *other* idle
+            // worker first so the rejection can actually route the
+            // job somewhere better.
+            let rejector = st.rejected_by.get(&job.id).copied();
+            let pos = st
+                .idle
+                .iter()
+                .position(|w| Some(*w) != rejector)
+                .unwrap_or(0);
+            let w = st.idle.remove(pos).expect("position in range");
             st.control_messages += 1;
+            st.outstanding.insert(
+                job.id,
+                Outstanding {
+                    job: job.clone(),
+                    worker: w,
+                    assigned_at: Instant::now(),
+                },
+            );
             let _ = txs[w as usize].send(ToWorker::Offer(job));
         }
     };
@@ -237,23 +345,54 @@ pub fn run_threaded(
         if timed_out {
             st.timed_out += 1;
         }
+        // Total order over estimates (NaN cannot occur here — intake
+        // drops non-finite bids — but total_cmp keeps the comparison
+        // honest regardless); ties break on worker id.
         let winner = c
             .bids
             .iter()
-            .min_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.0.cmp(&b.0))
-            })
+            .filter(|(w, _)| st.known_live[*w as usize])
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
             .map(|(w, _)| *w);
-        let w = match winner {
-            Some(w) => w,
+        let (w, fallback) = match winner {
+            Some(w) => (w, false),
             None => {
+                let live: Vec<u32> = (0..txs.len() as u32)
+                    .filter(|w| st.known_live[*w as usize])
+                    .collect();
+                if live.is_empty() {
+                    // Nobody to draft: park the job until a recovery.
+                    st.contest_queue.push_front(c.job);
+                    return;
+                }
                 st.fallback += 1;
-                rng.below(txs.len() as u64) as u32
+                (live[rng.below(live.len() as u64) as usize], true)
             }
         };
+        st.log.push(SchedEvent {
+            at: vnow(),
+            worker: None,
+            job: Some(id),
+            kind: SchedEventKind::ContestClosed {
+                timed_out,
+                fallback,
+            },
+        });
+        st.log.push(SchedEvent {
+            at: vnow(),
+            worker: Some(WorkerId(w)),
+            job: Some(id),
+            kind: SchedEventKind::Assigned,
+        });
         st.control_messages += 1;
+        st.outstanding.insert(
+            id,
+            Outstanding {
+                job: c.job.clone(),
+                worker: w,
+                assigned_at: Instant::now(),
+            },
+        );
         let _ = txs[w as usize].send(ToWorker::Assign(c.job));
     };
 
@@ -272,6 +411,124 @@ pub fn run_threaded(
             st.created += 1;
             dispatch(&mut st, &worker_txs, cfg, spec.into_job(id));
         }
+
+        // Fire due faults: flip the worker's shared state on the spot,
+        // schedule the detection for later.
+        while fault_events.front().is_some_and(|(at, _)| *at <= now) {
+            let (_, ev) = fault_events.pop_front().expect("non-empty");
+            match ev {
+                FaultEvent::Crash(wid) => {
+                    let w = wid.0 as usize;
+                    if w >= n || down_since[w].is_some() {
+                        continue;
+                    }
+                    {
+                        // The instance dies: queue, in-flight job and
+                        // local store go with it. The epoch bump makes
+                        // the executor abandon whatever it was doing.
+                        let mut s = shareds[w].lock();
+                        s.alive = false;
+                        s.epoch += 1;
+                        s.store.clear();
+                        s.committed_secs = 0.0;
+                        s.declined.clear();
+                    }
+                    worker_crashes += 1;
+                    down_since[w] = Some(now);
+                    st.log.push(SchedEvent {
+                        at: vnow(),
+                        worker: Some(wid),
+                        job: None,
+                        kind: SchedEventKind::Crash,
+                    });
+                    detections.push_back((now + detection_real, wid.0, now));
+                }
+                FaultEvent::Recover(wid) => {
+                    let w = wid.0 as usize;
+                    if w >= n || down_since[w].is_none() {
+                        continue;
+                    }
+                    {
+                        let mut s = shareds[w].lock();
+                        s.alive = true;
+                        s.epoch += 1;
+                    }
+                    if let Some(since) = down_since[w].take() {
+                        downtime_real += now.saturating_duration_since(since).as_secs_f64();
+                    }
+                    last_recover[w] = Some(now);
+                    st.known_live[w] = true;
+                    st.log.push(SchedEvent {
+                        at: vnow(),
+                        worker: Some(wid),
+                        job: None,
+                        kind: SchedEventKind::Recover,
+                    });
+                    // The rejoined worker's queue is empty but its
+                    // executor has no reason to say so; the master
+                    // re-seats it.
+                    if !st.idle.contains(&wid.0) {
+                        st.idle.push_back(wid.0);
+                    }
+                    baseline_pump(&mut st, &worker_txs);
+                    open_next_contest(&mut st, &worker_txs, window_secs);
+                }
+            }
+        }
+
+        // Fire matured detections: the monitoring layer reports on a
+        // crash `detection_delay` after it happened.
+        while detections.front().is_some_and(|(at, _, _)| *at <= now) {
+            let (_, dw, crashed_at) = detections.pop_front().expect("non-empty");
+            let w = dw as usize;
+            // Did the worker come back between the crash and now?
+            let recovered_since = last_recover[w].filter(|r| *r >= crashed_at);
+            if recovered_since.is_none() {
+                // Still down: declare it dead. It leaves the idle
+                // pool, its recorded bids can no longer win, and the
+                // affected contests re-check completeness against the
+                // shrunken roster.
+                st.known_live[w] = false;
+                st.idle.retain(|x| *x != dw);
+                let live = st.live_count();
+                let mut complete: Vec<JobId> = Vec::new();
+                for (id, c) in st.contests.iter_mut() {
+                    c.bids.retain(|(bw, _)| *bw != dw);
+                    if live > 0 && c.bids.len() >= live {
+                        complete.push(*id);
+                    }
+                }
+                for id in complete {
+                    close_contest(&mut st, &worker_txs, &mut rng_master, id, false);
+                }
+            }
+            // Reclaim what the worker lost: everything assigned to it
+            // before its latest recovery — or everything, if it has
+            // not recovered. (Jobs assigned after a recovery live on
+            // the rejoined worker and stay put.)
+            let stranded: Vec<JobId> = st
+                .outstanding
+                .iter()
+                .filter(|(_, o)| {
+                    o.worker == dw && recovered_since.is_none_or(|r| o.assigned_at < r)
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            for id in stranded {
+                let o = st.outstanding.remove(&id).expect("present");
+                st.jobs_redistributed += 1;
+                st.log.push(SchedEvent {
+                    at: vnow(),
+                    worker: Some(WorkerId(dw)),
+                    job: Some(id),
+                    kind: SchedEventKind::Redistributed,
+                });
+                dispatch(&mut st, &worker_txs, cfg, o.job);
+            }
+            baseline_pump(&mut st, &worker_txs);
+            open_next_contest(&mut st, &worker_txs, window_secs);
+        }
+
         baseline_pump(&mut st, &worker_txs);
         // Close expired contests.
         let due: Vec<JobId> = st
@@ -292,6 +549,16 @@ pub fn run_threaded(
         if total_arrivals == 0 {
             break;
         }
+        // Liveness: with every worker believed dead and no recovery
+        // left in the schedule, remaining jobs can never complete —
+        // report the partial run rather than deadlock.
+        if st.live_count() == 0
+            && !fault_events
+                .iter()
+                .any(|(_, e)| matches!(e, FaultEvent::Recover(_)))
+        {
+            break;
+        }
 
         // Wait for the next event.
         let next_deadline = pending_arrivals
@@ -299,6 +566,8 @@ pub fn run_threaded(
             .map(|(at, _)| *at)
             .into_iter()
             .chain(st.contests.values().map(|c| c.deadline))
+            .chain(fault_events.front().map(|(at, _)| *at))
+            .chain(detections.front().map(|(at, _, _)| *at))
             .min();
         let msg = match next_deadline {
             Some(d) => match to_master_rx.recv_deadline(d) {
@@ -312,6 +581,20 @@ pub fn run_threaded(
             },
         };
         let Some(msg) = msg else { continue };
+        // A worker the master has declared dead cannot talk: any of
+        // its messages still sitting in the channel predate the
+        // detection and are dropped. (Messages from a *crashed but
+        // undetected* worker are in-flight traffic of the masking
+        // window and are processed normally.)
+        let from = match &msg {
+            ToMaster::Bid { worker, .. }
+            | ToMaster::Reject { worker, .. }
+            | ToMaster::Idle { worker }
+            | ToMaster::Done { worker, .. } => *worker,
+        };
+        if !st.known_live[from as usize] {
+            continue;
+        }
         match msg {
             ToMaster::Bid {
                 worker,
@@ -319,14 +602,33 @@ pub fn run_threaded(
                 estimate_secs,
             } => {
                 st.control_messages += 1;
-                let full = if let Some(c) = st.contests.get_mut(&job) {
+                // Intake guard: a non-finite estimate is protocol
+                // garbage — never record it, never let it count
+                // toward the bid set.
+                if !estimate_secs.is_finite() {
+                    continue;
+                }
+                let live = st.live_count();
+                let mut recorded = false;
+                let mut full = false;
+                if let Some(c) = st.contests.get_mut(&job) {
+                    // Duplicates are ignored entirely: only a freshly
+                    // recorded bid may complete the set and trigger
+                    // the short-circuit close.
                     if !c.bids.iter().any(|(w, _)| *w == worker) {
                         c.bids.push((worker, estimate_secs));
+                        recorded = true;
+                        full = c.bids.len() >= live;
                     }
-                    c.bids.len() >= n
-                } else {
-                    false
-                };
+                }
+                if recorded {
+                    st.log.push(SchedEvent {
+                        at: vnow(),
+                        worker: Some(WorkerId(worker)),
+                        job: Some(job),
+                        kind: SchedEventKind::BidReceived { estimate_secs },
+                    });
+                }
                 if full {
                     close_contest(&mut st, &worker_txs, &mut rng_master, job, false);
                     open_next_contest(&mut st, &worker_txs, window_secs);
@@ -334,6 +636,8 @@ pub fn run_threaded(
             }
             ToMaster::Reject { worker, job } => {
                 st.control_messages += 1;
+                st.outstanding.remove(&job.id);
+                st.rejected_by.insert(job.id, worker);
                 if !st.idle.contains(&worker) {
                     st.idle.push_back(worker);
                 }
@@ -353,14 +657,18 @@ pub fn run_threaded(
                 wait_secs,
             } => {
                 st.control_messages += 1;
+                st.outstanding.remove(&job.id);
+                st.rejected_by.remove(&job.id);
+                if !st.done_ids.insert(job.id) {
+                    // A redistributed copy already finished elsewhere.
+                    continue;
+                }
                 st.completed += 1;
                 last_completion = Instant::now();
                 wait_stats.push(wait_secs.max(0.0));
                 let mut out: Vec<JobSpec> = Vec::new();
                 let ctx = TaskCtx {
-                    now: crossbid_simcore::SimTime::from_secs_f64(
-                        start.elapsed().as_secs_f64() / cfg.time_scale,
-                    ),
+                    now: vnow(),
                     worker: WorkerId(worker),
                 };
                 workflow.logic_mut(job.task).process(&job, &ctx, &mut out);
@@ -373,6 +681,7 @@ pub fn run_threaded(
             }
         }
     }
+    let end = Instant::now();
 
     // Shutdown and join.
     for tx in &worker_txs {
@@ -384,10 +693,20 @@ pub fn run_threaded(
         let _ = h.executor.join();
     }
 
-    let makespan_secs = last_completion
-        .saturating_duration_since(start)
-        .as_secs_f64()
-        / cfg.time_scale;
+    // A run that completed nothing has no makespan: report explicit
+    // zeros instead of clock residue.
+    let makespan_secs = if st.completed > 0 {
+        last_completion
+            .saturating_duration_since(start)
+            .as_secs_f64()
+            / cfg.time_scale
+    } else {
+        0.0
+    };
+    // Downtime of workers still dead at the end runs to end-of-run.
+    for since in down_since.iter().flatten() {
+        downtime_real += end.saturating_duration_since(*since).as_secs_f64();
+    }
     let mut misses = 0;
     let mut hits = 0;
     let mut evictions = 0;
@@ -407,7 +726,7 @@ pub fn run_threaded(
         });
     }
 
-    RunRecord {
+    let record = RunRecord {
         scheduler: match cfg.scheduler {
             ThreadedScheduler::Bidding { .. } => SchedulerKind::Bidding,
             ThreadedScheduler::Baseline => SchedulerKind::Baseline,
@@ -427,5 +746,9 @@ pub fn run_threaded(
         contests_fallback: st.fallback,
         mean_queue_wait_secs: wait_stats.mean(),
         worker_busy_frac: busy,
-    }
+        jobs_redistributed: st.jobs_redistributed,
+        worker_crashes,
+        recovery_secs: downtime_real / cfg.time_scale,
+    };
+    (record, st.log)
 }

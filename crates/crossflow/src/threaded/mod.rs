@@ -23,7 +23,7 @@
 mod master;
 mod worker;
 
-pub use master::{run_threaded, ThreadedConfig, ThreadedScheduler};
+pub use master::{run_threaded, run_threaded_traced, ThreadedConfig, ThreadedScheduler};
 
 use crate::job::Job;
 

@@ -19,6 +19,14 @@ use super::{ToMaster, ToWorker};
 /// "their internal state, i.e. their opinions".
 pub(crate) struct WorkerShared {
     pub spec: WorkerSpec,
+    /// Fault-injection switch: while `false` the worker is crashed —
+    /// the bidder goes silent and the executor abandons its work.
+    pub alive: bool,
+    /// Incarnation counter, bumped on every crash *and* recovery.
+    /// Queued work is tagged with the epoch it was accepted in; the
+    /// executor discards anything from an older incarnation (a
+    /// crashed instance's queue does not survive into the next one).
+    pub epoch: u64,
     pub store: LocalStore,
     /// Sum of estimated virtual seconds of accepted-but-unfinished
     /// jobs (`totalCostOfUnfinishedJobs`).
@@ -38,6 +46,8 @@ pub(crate) struct WorkerShared {
 impl WorkerShared {
     pub fn new(spec: WorkerSpec) -> Self {
         WorkerShared {
+            alive: true,
+            epoch: 0,
             store: LocalStore::new(spec.storage_bytes, spec.eviction),
             committed_secs: 0.0,
             declined: Default::default(),
@@ -115,6 +125,8 @@ struct ExecItem {
     job: Job,
     est_secs: f64,
     enqueued: Instant,
+    /// Incarnation that accepted the job; stale items are discarded.
+    epoch: u64,
 }
 
 /// Spawn one worker's bidder + executor threads.
@@ -144,8 +156,14 @@ pub(crate) fn spawn_worker(
                     match msg {
                         ToWorker::Shutdown => break,
                         ToWorker::BidRequest(job) => {
+                            // A crashed worker is silent: the request
+                            // simply goes unanswered and the contest
+                            // resolves by timeout.
                             let est = {
                                 let s = shared.lock();
+                                if !s.alive {
+                                    continue;
+                                }
                                 s.estimate_secs(&job, speed_learning)
                             };
                             let _ = to_master.send(ToMaster::Bid {
@@ -155,16 +173,19 @@ pub(crate) fn spawn_worker(
                             });
                         }
                         ToWorker::Offer(job) => {
-                            let (accept, est) = {
+                            let (accept, est, epoch) = {
                                 let mut s = shared.lock();
+                                if !s.alive {
+                                    continue;
+                                }
                                 let accept = s.has_data(&job) || s.declined.contains(&job.id);
                                 if accept {
                                     let est = s.marginal_cost_secs(&job, speed_learning);
                                     s.committed_secs += est;
-                                    (true, est)
+                                    (true, est, s.epoch)
                                 } else {
                                     s.declined.insert(job.id);
-                                    (false, 0.0)
+                                    (false, 0.0, s.epoch)
                                 }
                             };
                             if accept {
@@ -172,22 +193,27 @@ pub(crate) fn spawn_worker(
                                     job,
                                     est_secs: est,
                                     enqueued: Instant::now(),
+                                    epoch,
                                 });
                             } else {
                                 let _ = to_master.send(ToMaster::Reject { worker: id, job });
                             }
                         }
                         ToWorker::Assign(job) => {
-                            let est = {
+                            let (est, epoch) = {
                                 let mut s = shared.lock();
+                                if !s.alive {
+                                    continue;
+                                }
                                 let est = s.marginal_cost_secs(&job, speed_learning);
                                 s.committed_secs += est;
-                                est
+                                (est, s.epoch)
                             };
                             let _ = tx_exec.send(ExecItem {
                                 job,
                                 est_secs: est,
                                 enqueued: Instant::now(),
+                                epoch,
                             });
                         }
                     }
@@ -207,20 +233,30 @@ pub(crate) fn spawn_worker(
             // Announce initial idleness (the first pull).
             let _ = to_master.send(ToMaster::Idle { worker: id });
             while let Ok(item) = rx_exec.recv() {
+                // A crash bumps the epoch: anything accepted by the
+                // previous incarnation is the dead instance's queue
+                // and evaporates here.
+                {
+                    let s = shared.lock();
+                    if !s.alive || s.epoch != item.epoch {
+                        continue;
+                    }
+                }
                 let wait_secs = item.enqueued.elapsed().as_secs_f64() / time_scale.max(1e-12);
-                execute_one(
+                let completed = execute_one(
                     id,
                     &shared,
                     &to_master,
                     item.job,
                     item.est_secs,
+                    item.epoch,
                     wait_secs,
                     time_scale,
                     &mut net_noise,
                     &mut rw_noise,
                     &mut rng,
                 );
-                if rx_exec.is_empty() {
+                if completed && rx_exec.is_empty() {
                     let _ = to_master.send(ToMaster::Idle { worker: id });
                 }
             }
@@ -231,6 +267,9 @@ pub(crate) fn spawn_worker(
     WorkerThreads { bidder, executor }
 }
 
+/// Execute one job. Returns `false` if the worker crashed mid-job
+/// (epoch moved on): the job is abandoned without a completion — the
+/// master's detection machinery will redistribute it.
 #[allow(clippy::too_many_arguments)]
 fn execute_one(
     id: u32,
@@ -238,17 +277,22 @@ fn execute_one(
     to_master: &Sender<ToMaster>,
     job: Job,
     est_secs: f64,
+    epoch: u64,
     wait_secs: f64,
     time_scale: f64,
     net_noise: &mut NoiseSampler,
     rw_noise: &mut NoiseSampler,
     rng: &mut RngStream,
-) {
+) -> bool {
+    let stale = |s: &WorkerShared| !s.alive || s.epoch != epoch;
     // ---- fetch phase ----
     let mut fetch_secs = 0.0;
     let mut fetched: Option<(crossbid_storage::ObjectId, u64)> = None;
     {
         let mut s = shared.lock();
+        if stale(&s) {
+            return false;
+        }
         if let Some(r) = job.resource {
             let now = s.vclock;
             if !s.store.lookup(r.id, now) {
@@ -268,6 +312,10 @@ fn execute_one(
     }
     if let Some((oid, bytes)) = fetched {
         let mut s = shared.lock();
+        if stale(&s) {
+            // Crashed during the transfer: the bytes never landed.
+            return false;
+        }
         let now = s.vclock + crossbid_simcore::SimDuration::from_secs_f64(fetch_secs);
         s.store.insert(oid, bytes, now);
     }
@@ -275,6 +323,9 @@ fn execute_one(
     // ---- processing phase ----
     let proc_secs = {
         let mut s = shared.lock();
+        if stale(&s) {
+            return false;
+        }
         let m = rw_noise.sample(rng);
         let rw = s.spec.rw.scaled(m);
         let scan = rw.time_for(job.work_bytes).as_secs_f64();
@@ -290,6 +341,11 @@ fn execute_one(
     // ---- bookkeeping + completion ----
     {
         let mut s = shared.lock();
+        if stale(&s) {
+            // Crashed during processing: the result dies with the
+            // instance, no completion is reported.
+            return false;
+        }
         s.committed_secs = (s.committed_secs - est_secs).max(0.0);
         s.busy_secs += fetch_secs + proc_secs;
         s.vclock += crossbid_simcore::SimDuration::from_secs_f64(fetch_secs + proc_secs);
@@ -299,6 +355,7 @@ fn execute_one(
         job,
         wait_secs,
     });
+    true
 }
 
 fn sleep_virtual(virtual_secs: f64, time_scale: f64) {

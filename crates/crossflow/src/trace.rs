@@ -252,6 +252,179 @@ impl Trace {
     }
 }
 
+/// A scheduler-level protocol event. Where [`TraceKind`] records the
+/// *data plane* (a job's physical lifecycle on a worker), this records
+/// the *control plane*: contest arbitration, failures, and the
+/// redistribution machinery. Both runtimes emit the same shape so
+/// parity and fault-tolerance tests can assert identical invariants on
+/// the simulated and the threaded scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchedEventKind {
+    /// A bidding contest was opened (bid requests broadcast).
+    ContestOpened,
+    /// A (finite) bid was received and recorded.
+    BidReceived {
+        /// The worker's completion-time estimate.
+        estimate_secs: f64,
+    },
+    /// The job was assigned to a worker.
+    Assigned,
+    /// The contest was decided.
+    ContestClosed {
+        /// Closed by window expiry rather than a complete bid set.
+        timed_out: bool,
+        /// No usable bids: an arbitrary live worker was drafted.
+        fallback: bool,
+    },
+    /// The worker failed (fault injection).
+    Crash,
+    /// The worker came back with an empty store and queue.
+    Recover,
+    /// A job stranded on a failed worker was taken back by the master
+    /// for re-placement.
+    Redistributed,
+}
+
+/// One scheduler event. `worker`/`job` are filled where meaningful:
+/// crash/recover events carry no job, contest-opened events carry no
+/// worker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedEvent {
+    /// Virtual instant.
+    pub at: SimTime,
+    /// The worker involved, if any.
+    pub worker: Option<WorkerId>,
+    /// The job involved, if any.
+    pub job: Option<JobId>,
+    /// What happened.
+    pub kind: SchedEventKind,
+}
+
+/// The collected scheduler event log of one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SchedLog {
+    events: Vec<SchedEvent>,
+}
+
+impl SchedLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event (runtime-internal).
+    pub fn push(&mut self, ev: SchedEvent) {
+        self.events.push(ev);
+    }
+
+    /// All events in emission order.
+    pub fn events(&self) -> &[SchedEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn count(&self, f: impl Fn(&SchedEventKind) -> bool) -> usize {
+        self.events.iter().filter(|e| f(&e.kind)).count()
+    }
+
+    /// Number of crash events.
+    pub fn crashes(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::Crash))
+    }
+
+    /// Number of recovery events.
+    pub fn recoveries(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::Recover))
+    }
+
+    /// Number of jobs pulled back from failed workers.
+    pub fn redistributions(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::Redistributed))
+    }
+
+    /// Number of contests opened.
+    pub fn contests_opened(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::ContestOpened))
+    }
+
+    /// Number of assignments issued.
+    pub fn assignments(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::Assigned))
+    }
+
+    /// Number of contests closed by window expiry.
+    pub fn timeouts(&self) -> usize {
+        self.count(|k| {
+            matches!(
+                k,
+                SchedEventKind::ContestClosed {
+                    timed_out: true,
+                    ..
+                }
+            )
+        })
+    }
+
+    /// Number of contests decided by drafting an arbitrary worker.
+    pub fn fallbacks(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::ContestClosed { fallback: true, .. }))
+    }
+
+    /// Jobs assigned to `worker`, in order.
+    pub fn assignments_to(&self, worker: WorkerId) -> Vec<JobId> {
+        self.events
+            .iter()
+            .filter(|e| e.worker == Some(worker) && matches!(e.kind, SchedEventKind::Assigned))
+            .filter_map(|e| e.job)
+            .collect()
+    }
+
+    /// True iff no [`SchedEventKind::Assigned`] event for `worker`
+    /// falls inside a window where the log shows it crashed and not
+    /// yet recovered, once the detection delay has elapsed. Used by
+    /// parity tests: after detection, a dead worker must never be
+    /// handed work.
+    pub fn no_assignments_to_detected_dead(&self, detection_delay_secs: f64) -> bool {
+        use std::collections::HashMap;
+        let mut down_since: HashMap<WorkerId, SimTime> = HashMap::new();
+        for ev in &self.events {
+            match ev.kind {
+                SchedEventKind::Crash => {
+                    if let Some(w) = ev.worker {
+                        down_since.insert(w, ev.at);
+                    }
+                }
+                SchedEventKind::Recover => {
+                    if let Some(w) = ev.worker {
+                        down_since.remove(&w);
+                    }
+                }
+                SchedEventKind::Assigned => {
+                    if let Some(w) = ev.worker {
+                        if let Some(&since) = down_since.get(&w) {
+                            let down_for = ev.at.saturating_since(since).as_secs_f64();
+                            if down_for > detection_delay_secs {
+                                return false;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,5 +562,65 @@ mod tests {
     fn empty_trace_gantt_is_safe() {
         let g = Trace::new().gantt(1, 20);
         assert!(g.contains("w0"));
+    }
+
+    fn sev(at: u64, worker: Option<u32>, job: Option<u64>, kind: SchedEventKind) -> SchedEvent {
+        SchedEvent {
+            at: t(at),
+            worker: worker.map(WorkerId),
+            job: job.map(JobId),
+            kind,
+        }
+    }
+
+    #[test]
+    fn sched_log_counts() {
+        let mut log = SchedLog::new();
+        log.push(sev(0, None, Some(1), SchedEventKind::ContestOpened));
+        log.push(sev(
+            0,
+            Some(0),
+            Some(1),
+            SchedEventKind::BidReceived { estimate_secs: 3.0 },
+        ));
+        log.push(sev(
+            1,
+            None,
+            Some(1),
+            SchedEventKind::ContestClosed {
+                timed_out: true,
+                fallback: false,
+            },
+        ));
+        log.push(sev(1, Some(0), Some(1), SchedEventKind::Assigned));
+        log.push(sev(2, Some(0), None, SchedEventKind::Crash));
+        log.push(sev(4, Some(0), Some(1), SchedEventKind::Redistributed));
+        log.push(sev(5, Some(0), None, SchedEventKind::Recover));
+        assert_eq!(log.contests_opened(), 1);
+        assert_eq!(log.timeouts(), 1);
+        assert_eq!(log.fallbacks(), 0);
+        assert_eq!(log.crashes(), 1);
+        assert_eq!(log.recoveries(), 1);
+        assert_eq!(log.redistributions(), 1);
+        assert_eq!(log.assignments(), 1);
+        assert_eq!(log.assignments_to(WorkerId(0)), vec![JobId(1)]);
+        assert_eq!(log.len(), 7);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn dead_worker_assignment_invariant() {
+        let mut ok = SchedLog::new();
+        ok.push(sev(0, Some(0), None, SchedEventKind::Crash));
+        // Within the detection window: allowed (masking not yet done).
+        ok.push(sev(1, Some(0), Some(1), SchedEventKind::Assigned));
+        ok.push(sev(5, Some(0), None, SchedEventKind::Recover));
+        ok.push(sev(9, Some(0), Some(2), SchedEventKind::Assigned));
+        assert!(ok.no_assignments_to_detected_dead(2.0));
+
+        let mut bad = SchedLog::new();
+        bad.push(sev(0, Some(0), None, SchedEventKind::Crash));
+        bad.push(sev(8, Some(0), Some(1), SchedEventKind::Assigned));
+        assert!(!bad.no_assignments_to_detected_dead(2.0));
     }
 }

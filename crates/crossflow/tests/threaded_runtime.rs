@@ -182,6 +182,11 @@ fn empty_arrivals_terminate_immediately() {
     );
     assert_eq!(r.jobs_completed, 0);
     assert_eq!(r.cache_misses, 0);
+    // A run that completed nothing has no makespan and no queue wait:
+    // explicit zeros, not clock residue (regression).
+    assert_eq!(r.makespan_secs, 0.0);
+    assert_eq!(r.mean_queue_wait_secs, 0.0);
+    assert!(r.worker_busy_frac.iter().all(|b| *b == 0.0));
 }
 
 #[test]

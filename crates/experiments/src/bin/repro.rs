@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [fig2|fig3|fig4|tables|summary|extensions|crossover|replication|all]
+//! repro [fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|all]
 //!       [--smoke] [--seed N] [--out DIR]
 //! ```
 //!
@@ -13,7 +13,8 @@
 //! experiment. `--smoke` shrinks everything for a fast check.
 
 use crossbid_experiments::{
-    crossover, extensions, fig2, fig3, fig4, replication, summary, tables, ExperimentConfig,
+    crash_sweep, crossover, extensions, fig2, fig3, fig4, replication, summary, tables,
+    ExperimentConfig,
 };
 
 fn main() {
@@ -117,6 +118,15 @@ fn main() {
             let rows = extensions::run_faults(&cfg);
             emit("extensions", &extensions::render_faults(&rows));
         }
+        "crash_sweep" => {
+            let exp = if smoke {
+                crash_sweep::CrashSweepExperiment::smoke()
+            } else {
+                crash_sweep::CrashSweepExperiment::default()
+            };
+            let cells = crash_sweep::run(&exp);
+            emit("crash_sweep", &crash_sweep::render(&cells));
+        }
         "crossover" => {
             let points = crossover::run(&cfg);
             emit("crossover", &crossover::render(&points));
@@ -157,11 +167,18 @@ fn main() {
             emit("tables", &tables::render(&res));
             let rows = extensions::run_faults(&cfg);
             emit("extensions", &extensions::render_faults(&rows));
+            let sweep = if smoke {
+                crash_sweep::CrashSweepExperiment::smoke()
+            } else {
+                crash_sweep::CrashSweepExperiment::default()
+            };
+            let cells = crash_sweep::run(&sweep);
+            emit("crash_sweep", &crash_sweep::render(&cells));
             let points = crossover::run(&cfg);
             emit("crossover", &crossover::render(&points));
         }
         other => {
-            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crossover|replication|all");
+            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|all");
             std::process::exit(2);
         }
     }

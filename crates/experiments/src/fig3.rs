@@ -130,6 +130,9 @@ mod tests {
             contests_fallback: 0,
             mean_queue_wait_secs: 0.0,
             worker_busy_frac: vec![],
+            jobs_redistributed: 0,
+            worker_crashes: 0,
+            recovery_secs: 0.0,
         }
     }
 

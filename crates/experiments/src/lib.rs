@@ -9,6 +9,7 @@
 //! | [`fig4`] | Figure 4 — avg execution time per workload per worker configuration |
 //! | [`tables`] | Tables 1–3 — three "non-simulated" MSR runs on the threaded runtime |
 //! | [`summary`] | The headline aggregates (≈24.5 % speedup, ≈49 % fewer misses, ≈45.3 % less data, up to 3.57×) |
+//! | [`crash_sweep`] | Extension — threaded-runtime crash sweep: masked failures under 0/1/2 dead workers |
 //!
 //! [`runner`] executes the (worker cfg × job cfg × scheduler) grid —
 //! every cell is an independent 3-iteration warm-cache session —
@@ -16,6 +17,7 @@
 //! simulated cells are bit-reproducible.
 
 pub mod config;
+pub mod crash_sweep;
 pub mod crossover;
 pub mod extensions;
 pub mod fig2;

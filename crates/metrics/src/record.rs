@@ -103,6 +103,15 @@ pub struct RunRecord {
     pub mean_queue_wait_secs: f64,
     /// Per-worker busy fraction over the run.
     pub worker_busy_frac: Vec<f64>,
+    /// Jobs the master pulled back from a failed worker and re-placed
+    /// (fault-injection runs only; 0 otherwise).
+    pub jobs_redistributed: u64,
+    /// Worker crash events injected during the run.
+    pub worker_crashes: u64,
+    /// Total worker downtime in (virtual) seconds, summed across
+    /// workers, counted from each crash until the matching recovery or
+    /// the end of the run.
+    pub recovery_secs: f64,
 }
 
 impl RunRecord {
@@ -172,6 +181,9 @@ mod tests {
             contests_fallback: 0,
             mean_queue_wait_secs: 3.5,
             worker_busy_frac: vec![0.9, 0.7, 0.8, 0.6, 0.95],
+            jobs_redistributed: 0,
+            worker_crashes: 0,
+            recovery_secs: 0.0,
         }
     }
 

@@ -4,8 +4,9 @@
 
 use crossbid_core::BiddingAllocator;
 use crossbid_crossflow::{
-    run_workflow, Arrival, BaselineAllocator, Cluster, EngineConfig, FaultPlan, JobSpec, Payload,
-    ResourceRef, RunMeta, WorkerId, WorkerSpec, Workflow,
+    run_threaded_traced, run_workflow, Arrival, BaselineAllocator, Cluster, EngineConfig,
+    FaultPlan, JobSpec, Payload, ResourceRef, RunMeta, ThreadedConfig, ThreadedScheduler, WorkerId,
+    WorkerSpec, Workflow,
 };
 use crossbid_simcore::{SimDuration, SimTime};
 use crossbid_storage::ObjectId;
@@ -182,6 +183,115 @@ fn contests_mask_mid_contest_failures_via_window() {
     // first contest may time out, later ones see a 2-worker roster.
     for (_, w) in &out.assignments {
         assert_ne!(*w, WorkerId(2), "assignment to a dead worker leaked");
+    }
+}
+
+#[test]
+fn sim_records_fault_metrics_and_log() {
+    // The sim engine's scheduler log and the new RunRecord fault
+    // fields must agree with each other and with the plan.
+    let faults = FaultPlan::new()
+        .crash_at(SimTime::from_secs(20), WorkerId(0))
+        .recover_at(SimTime::from_secs(60), WorkerId(0));
+    let mut cfg = cfg_with(faults);
+    cfg.trace = true;
+    let mut cluster = Cluster::new(&specs(3), &cfg);
+    let mut wf = Workflow::new();
+    wf.add_sink("scan");
+    let out = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BiddingAllocator::new(),
+        arrivals(12, 5, 100),
+        &cfg,
+        &RunMeta::default(),
+    );
+    assert_eq!(out.record.jobs_completed, 12);
+    assert_eq!(out.record.worker_crashes, 1);
+    assert_eq!(out.sched_log.crashes(), 1);
+    assert_eq!(out.sched_log.recoveries(), 1);
+    assert_eq!(
+        out.sched_log.redistributions() as u64,
+        out.record.jobs_redistributed
+    );
+    // Down from t=20 to t=60: forty virtual seconds of downtime.
+    assert!(
+        (out.record.recovery_secs - 40.0).abs() < 1e-6,
+        "downtime should be 40 s, got {}",
+        out.record.recovery_secs
+    );
+    assert!(out
+        .sched_log
+        .no_assignments_to_detected_dead(cfg.faults.detection_delay.as_secs_f64()));
+}
+
+#[test]
+fn both_runtimes_mask_the_same_crash() {
+    // The headline parity claim of the fault work: inject the same
+    // crash into the simulated and the threaded runtime and both must
+    // uphold the same invariants — nothing lost, the crash observed,
+    // stranded work redistributed, no post-detection assignment to
+    // the corpse.
+    // Early enough that every worker still holds unfinished work (the
+    // run spans ~20 virtual seconds), late enough that the first
+    // contests have resolved.
+    let crash_at = SimTime::from_secs(8);
+    // Hot repo: queues concentrate, so the dead worker has work to
+    // strand in both runtimes.
+    let hot: Vec<Arrival> = (0..10)
+        .map(|i| Arrival {
+            at: SimTime::from_secs(i),
+            spec: JobSpec::scanning(
+                crossbid_crossflow::TaskId(0),
+                res(1, 100),
+                Payload::Index(i),
+            ),
+        })
+        .collect();
+
+    let sim_cfg = EngineConfig {
+        trace: true,
+        faults: FaultPlan::new().crash_at(crash_at, WorkerId(0)),
+        ..EngineConfig::ideal()
+    };
+    let mut cluster = Cluster::new(&specs(3), &sim_cfg);
+    let mut wf = Workflow::new();
+    wf.add_sink("scan");
+    let sim = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BiddingAllocator::new(),
+        hot.clone(),
+        &sim_cfg,
+        &RunMeta::default(),
+    );
+
+    let thr_cfg = ThreadedConfig {
+        time_scale: 1e-3,
+        noise: crossbid_net::NoiseModel::None,
+        scheduler: ThreadedScheduler::Bidding { window_secs: 1.0 },
+        seed: 5,
+        faults: FaultPlan::new().crash_at(crash_at, WorkerId(0)),
+        ..ThreadedConfig::default()
+    };
+    let mut wf2 = Workflow::new();
+    wf2.add_sink("scan");
+    let (thr, tlog) = run_threaded_traced(&specs(3), &thr_cfg, &mut wf2, hot, &RunMeta::default());
+
+    for (label, rec, log) in [
+        ("sim", &sim.record, &sim.sched_log),
+        ("threaded", &thr, &tlog),
+    ] {
+        assert_eq!(rec.jobs_completed, 10, "{label}: no job may be lost");
+        assert_eq!(rec.worker_crashes, 1, "{label}");
+        assert_eq!(log.crashes(), 1, "{label}");
+        assert_eq!(
+            log.redistributions() as u64,
+            rec.jobs_redistributed,
+            "{label}"
+        );
+        assert!(log.no_assignments_to_detected_dead(2.0), "{label}");
+        assert!(rec.recovery_secs > 0.0, "{label}: downtime to end of run");
     }
 }
 

@@ -7,8 +7,9 @@
 
 use crossbid_core::BiddingAllocator;
 use crossbid_crossflow::{
-    run_threaded, run_workflow, Arrival, BaselineAllocator, Cluster, EngineConfig, JobSpec,
-    Payload, ResourceRef, RunMeta, TaskId, ThreadedConfig, ThreadedScheduler, WorkerSpec, Workflow,
+    run_threaded, run_threaded_traced, run_workflow, Arrival, BaselineAllocator, Cluster,
+    EngineConfig, JobSpec, Payload, ResourceRef, RunMeta, TaskId, ThreadedConfig,
+    ThreadedScheduler, WorkerSpec, Workflow,
 };
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{SimDuration, SimTime};
@@ -133,4 +134,103 @@ fn runtimes_agree_on_structural_metrics() {
             thr.makespan_secs
         );
     }
+}
+
+#[test]
+fn sched_logs_share_invariants_across_runtimes() {
+    // Both runtimes emit the same SchedLog shape; on the same fault-
+    // free bidding workload the control-plane invariants must match.
+    let cfg = EngineConfig {
+        control: ControlPlane::instant(),
+        data_latency: SimDuration::ZERO,
+        noise: NoiseModel::None,
+        trace: true,
+        ..EngineConfig::default()
+    };
+    let mut cluster = Cluster::new(&specs(), &cfg);
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let sim = run_workflow(
+        &mut cluster,
+        &mut wf,
+        &BiddingAllocator::new(),
+        arrivals(task),
+        &cfg,
+        &RunMeta::default(),
+    );
+
+    let tcfg = ThreadedConfig {
+        time_scale: 1e-4,
+        noise: NoiseModel::None,
+        speed_learning: false,
+        scheduler: ThreadedScheduler::Bidding { window_secs: 1.0 },
+        seed: 5,
+        ..ThreadedConfig::default()
+    };
+    let mut wf2 = Workflow::new();
+    let task2 = wf2.add_sink("scan");
+    let (thr, tlog) = run_threaded_traced(
+        &specs(),
+        &tcfg,
+        &mut wf2,
+        arrivals(task2),
+        &RunMeta::default(),
+    );
+
+    for (label, log, completed) in [
+        ("sim", &sim.sched_log, sim.record.jobs_completed),
+        ("threaded", &tlog, thr.jobs_completed),
+    ] {
+        assert_eq!(completed, 12, "{label}");
+        // Every job runs exactly one contest and lands exactly once.
+        assert_eq!(log.contests_opened(), 12, "{label}: contests");
+        assert_eq!(log.assignments(), 12, "{label}: assignments");
+        // No faults were injected.
+        assert_eq!(log.crashes(), 0, "{label}");
+        assert_eq!(log.recoveries(), 0, "{label}");
+        assert_eq!(log.redistributions(), 0, "{label}");
+        assert!(log.no_assignments_to_detected_dead(2.0), "{label}");
+    }
+}
+
+#[test]
+fn baseline_reoffer_prefers_a_different_idle_worker() {
+    // Regression: a rejected job used to bounce straight back to the
+    // rejector (who must accept the second time under reject-once),
+    // so a cold worker could slurp a job whose data another idle
+    // worker already held. With the fix, the re-offer goes to the
+    // other idle worker first, and repeat jobs on a hot repo always
+    // land on the warm worker: exactly one fetch, ever.
+    let cfg = ThreadedConfig {
+        time_scale: 1e-4,
+        noise: NoiseModel::None,
+        speed_learning: false,
+        scheduler: ThreadedScheduler::Baseline,
+        seed: 5,
+        ..ThreadedConfig::default()
+    };
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    // Same repo throughout, spaced wider than fetch + scan so both
+    // workers are idle when each job arrives.
+    let jobs: Vec<Arrival> = (0..6)
+        .map(|i| Arrival {
+            at: SimTime::from_secs(i * 40),
+            spec: JobSpec::scanning(
+                task,
+                ResourceRef {
+                    id: ObjectId(1),
+                    bytes: 100_000_000,
+                },
+                Payload::Index(i),
+            ),
+        })
+        .collect();
+    let r = run_threaded(&specs()[..2], &cfg, &mut wf, jobs, &RunMeta::default());
+    assert_eq!(r.jobs_completed, 6);
+    assert_eq!(
+        r.cache_misses, 1,
+        "after the first fetch every re-offer must find the warm worker"
+    );
+    assert_eq!(r.cache_hits, 5);
 }

@@ -1,0 +1,4 @@
+//! Offline facade for the `crossbeam` umbrella crate: re-exports the
+//! local `crossbeam-channel` stand-in under the usual `channel` path.
+
+pub use crossbeam_channel as channel;

@@ -1,0 +1,47 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace builds in environments with no crates.io access, so
+//! the real `serde` cannot be downloaded. The codebase only relies on
+//! `Serialize`/`Deserialize` as *derive targets and trait bounds*
+//! (records are rendered through our own table/CSV writers, never
+//! through a serde serializer), so marker traits with blanket impls
+//! are sufficient and keep every `#[derive(Serialize, Deserialize)]`
+//! and `T: Serialize + DeserializeOwned` bound compiling unchanged.
+//!
+//! If a future change needs real serialization, replace this stub by
+//! vendoring the actual crate; no call sites need to change.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+/// `serde::de` module surface used in bounds.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` module surface used in bounds.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn blanket_impls_satisfy_bounds() {
+        fn assert_serde<T: crate::Serialize + crate::DeserializeOwned>() {}
+        assert_serde::<u64>();
+        assert_serde::<Vec<String>>();
+    }
+}

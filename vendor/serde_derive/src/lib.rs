@@ -1,0 +1,18 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! The sibling `serde` stub blanket-implements `Serialize` and
+//! `Deserialize` for every type, so the derives have nothing to emit —
+//! they exist purely so `#[derive(Serialize, Deserialize)]` attributes
+//! resolve.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
