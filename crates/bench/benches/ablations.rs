@@ -16,7 +16,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crossbid_bench::print_artifact;
 use crossbid_core::BiddingAllocator;
-use crossbid_crossflow::{EngineConfig, Session, Workflow};
+use crossbid_crossflow::{EngineConfig, RunSpec, Workflow};
 use crossbid_metrics::table::f2;
 use crossbid_metrics::{RunRecord, Table};
 use crossbid_net::{MarkovNoise, NoiseModel};
@@ -51,7 +51,13 @@ fn run_once(
     let mut wf = Workflow::new();
     let task = wf.add_sink("scan");
     let stream = jc.generate(SEED, n_jobs, task, &ArrivalProcess::evaluation_default());
-    let mut session = Session::new(&specs, engine, wc.name(), jc.name(), SEED);
+    let mut session = RunSpec::builder()
+        .workers(specs)
+        .engine(engine)
+        .names(wc.name(), jc.name())
+        .seed(SEED)
+        .build()
+        .sim();
     let records = session.run_iterations(&mut wf, alloc, 2, |_| stream.arrivals.clone());
     records.into_iter().last().expect("two iterations")
 }
@@ -336,14 +342,16 @@ fn ablation_bid_learning(c: &mut Criterion) {
                 mean_interval_secs: 6.0,
             },
         );
-        let mut session = Session::new(
-            &specs,
-            EngineConfig::ideal(),
-            "all-equal+throttled",
-            "all_diff_equal",
-            SEED,
-        );
-        let r = session.run_iteration(&mut wf, alloc, stream.arrivals.clone());
+        let mut session = RunSpec::builder()
+            .workers(specs)
+            .engine(EngineConfig::ideal())
+            .names("all-equal+throttled", "all_diff_equal")
+            .seed(SEED)
+            .build()
+            .sim();
+        let r = session
+            .run_iteration(&mut wf, alloc, stream.arrivals.clone())
+            .record;
         t.row([
             label.to_string(),
             f2(r.makespan_secs),
@@ -397,13 +405,12 @@ fn ablation_arrival_pressure(c: &mut Criterion) {
                     mean_interval_secs: mean,
                 },
             );
-            let mut session = Session::new(
-                &WorkerConfig::AllEqual.paper_specs(),
-                EngineConfig::default(),
-                "all-equal",
-                "80pct_large",
-                SEED,
-            );
+            let mut session = RunSpec::builder()
+                .workers(WorkerConfig::AllEqual.paper_specs())
+                .names("all-equal", "80pct_large")
+                .seed(SEED)
+                .build()
+                .sim();
             let records = session.run_iterations(&mut wf, alloc, 2, |_| stream.arrivals.clone());
             records.into_iter().last().expect("two iterations")
         };

@@ -20,12 +20,15 @@
 //! has completed; the [`RunRecord`] then carries the paper's §6.1
 //! metrics.
 
-use crossbid_metrics::{RunRecord, SchedulerKind};
+use std::collections::HashMap;
+
+use crossbid_metrics::{Registry, RegistrySnapshot, RunRecord, SchedulerKind};
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{EventQueue, RngStream, SeedSequence, SimDuration, SimTime, Welford};
 
 use crate::faults::{FaultEvent, FaultPlan};
 use crate::job::{Arrival, Job, JobId, JobSpec, WorkerId};
+use crate::obs::RuntimeMetrics;
 use crate::scheduler::{
     Allocator, JobView, MasterScheduler, SchedAction, SchedCtx, WorkerHandle, WorkerPolicy,
     WorkerToMaster, WorkerView,
@@ -59,6 +62,10 @@ pub struct EngineConfig {
     pub faults: FaultPlan,
     /// Record a per-job lifecycle trace (see [`crate::trace`]).
     pub trace: bool,
+    /// Shared metrics sink. When `None` the engine collects into a
+    /// private [`Registry`] — a snapshot is returned in
+    /// [`RunOutput::metrics`] either way.
+    pub metrics: Option<Registry>,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +79,7 @@ impl Default for EngineConfig {
             max_events: 20_000_000,
             faults: FaultPlan::none(),
             trace: false,
+            metrics: None,
         }
     }
 }
@@ -89,6 +97,7 @@ impl EngineConfig {
             max_events: 20_000_000,
             faults: FaultPlan::none(),
             trace: false,
+            metrics: None,
         }
     }
 }
@@ -181,6 +190,9 @@ pub struct RunOutput {
     /// Shares its shape with the threaded runtime's log so the same
     /// invariants can be asserted on both.
     pub sched_log: SchedLog,
+    /// Frozen end-of-run metrics (see [`crate::obs`] for the
+    /// instrument vocabulary, shared with the threaded runtime).
+    pub metrics: RegistrySnapshot,
 }
 
 enum MasterToWorker {
@@ -223,6 +235,9 @@ struct Slot {
     current: Option<Job>,
     /// When the current job physically started (fetch begin).
     started: Option<SimTime>,
+    /// When the current job's fetch completed (processing begin);
+    /// `None` while fetching or when the data was already local.
+    fetch_done: Option<SimTime>,
 }
 
 struct Engine<'a> {
@@ -250,12 +265,17 @@ struct Engine<'a> {
     completed: u64,
     arrivals_total: u64,
     arrivals_seen: u64,
-    control_messages: u64,
     last_completion: SimTime,
-    jobs_redistributed: u64,
-    worker_crashes: u64,
     down_since: Vec<Option<SimTime>>,
     downtime_secs: f64,
+    /// Registry-backed tallies (control messages, crashes,
+    /// redistributions, phase histograms…), replacing the old
+    /// hand-rolled counters.
+    m: RuntimeMetrics,
+    /// Contests opened but not yet decided: job → broadcast instant.
+    /// Lets the engine synthesize `ContestClosed` events and bid
+    /// latencies around the master's internal contest state.
+    open_contests: HashMap<JobId, SimTime>,
 }
 
 impl<'a> Engine<'a> {
@@ -294,13 +314,13 @@ impl<'a> Engine<'a> {
     }
 
     fn send_to_worker(&mut self, worker: WorkerId, msg: MasterToWorker) {
-        self.control_messages += 1;
+        self.m.control_messages.inc();
         let d = self.cfg.control.delay(&mut self.rng_control);
         self.q.schedule_in(d, Ev::WorkerRecv { worker, msg });
     }
 
     fn send_to_master(&mut self, from: WorkerId, msg: WorkerToMaster, extra: SimDuration) {
-        self.control_messages += 1;
+        self.m.control_messages.inc();
         let d = self.cfg.control.delay(&mut self.rng_control) + extra;
         self.q.schedule_in(d, Ev::MasterRecv { from, msg });
     }
@@ -314,6 +334,10 @@ impl<'a> Engine<'a> {
             .filter(|(i, _)| self.active[*i])
             .map(|(_, h)| h.clone())
             .collect();
+        // Contest decisions (timeout / fallback) happen inside the
+        // master; diff its stats around the call so the closures can
+        // be attributed to the assignments it emits.
+        let stats_before = self.master.stats();
         let mut ctx = SchedCtx::new(
             self.q.now(),
             &active_handles,
@@ -322,9 +346,33 @@ impl<'a> Engine<'a> {
         );
         f(self.master.as_mut(), &mut ctx);
         let actions = ctx.take_actions();
+        let stats_after = self.master.stats();
+        let mut timed_out_delta = stats_after.contests_timed_out - stats_before.contests_timed_out;
+        let mut fallback_delta = stats_after.contests_fallback - stats_before.contests_fallback;
+        self.m.contests_timed_out.add(timed_out_delta);
+        self.m.contests_fallback.add(fallback_delta);
         for action in actions {
             match action {
                 SchedAction::Assign { worker, job } => {
+                    if self.open_contests.remove(&job.id).is_some() {
+                        // This assignment decides a bidding contest.
+                        // The stats deltas belong to the first contest
+                        // closed in this batch (at most one closes per
+                        // master call in practice).
+                        let timed_out = timed_out_delta > 0;
+                        let fallback = fallback_delta > 0;
+                        timed_out_delta = 0;
+                        fallback_delta = 0;
+                        self.m.contests_closed.inc();
+                        self.note_sched(
+                            Some(worker),
+                            Some(job.id),
+                            SchedEventKind::ContestClosed {
+                                timed_out,
+                                fallback,
+                            },
+                        );
+                    }
                     self.note_sched(Some(worker), Some(job.id), SchedEventKind::Assigned);
                     self.send_to_worker(worker, MasterToWorker::Assign(job));
                 }
@@ -332,6 +380,8 @@ impl<'a> Engine<'a> {
                     self.send_to_worker(worker, MasterToWorker::Offer(job));
                 }
                 SchedAction::BroadcastBidRequest { job } => {
+                    self.m.contests_opened.inc();
+                    self.open_contests.insert(job.id, self.q.now());
                     self.note_sched(None, Some(job.id), SchedEventKind::ContestOpened);
                     for i in 0..self.handles.len() {
                         if self.active[i] {
@@ -366,6 +416,7 @@ impl<'a> Engine<'a> {
     fn enqueue_on_worker(&mut self, w: WorkerId, job: Job) {
         let now = self.q.now();
         let learning = self.cfg.speed_learning;
+        self.m.assignments.inc();
         self.assignments.push((job.id, w));
         self.note_trace(job.id, w, TraceKind::Queued);
         let node = self.worker(w);
@@ -385,6 +436,11 @@ impl<'a> Engine<'a> {
         self.slots[w.0 as usize].started = Some(now);
         self.note_trace(job.id, w, TraceKind::Started);
         let node = &mut self.nodes[w.0 as usize];
+        if let Some(&t0) = node.enqueued_at.get(&job.id) {
+            self.m
+                .queue_wait_secs
+                .record(now.saturating_since(t0).as_secs_f64());
+        }
         node.note_start(job.id, now);
         node.busy.set(now, 1.0);
         // Resolve the data dependency.
@@ -501,6 +557,12 @@ impl<'a> Engine<'a> {
             Ev::MasterRecv { from, msg } => {
                 if let WorkerToMaster::Bid { job, estimate_secs } = &msg {
                     if estimate_secs.is_finite() {
+                        self.m.bids_received.inc();
+                        if let Some(&opened) = self.open_contests.get(job) {
+                            self.m
+                                .bid_latency_secs
+                                .record(self.q.now().saturating_since(opened).as_secs_f64());
+                        }
                         self.note_sched(
                             Some(from),
                             Some(*job),
@@ -525,6 +587,12 @@ impl<'a> Engine<'a> {
                     .clone()
                     .expect("fetch without job");
                 let r = job.resource.expect("fetch without resource");
+                if let Some(started) = self.slots[worker.0 as usize].started {
+                    self.m
+                        .fetch_secs
+                        .record(now.saturating_since(started).as_secs_f64());
+                }
+                self.slots[worker.0 as usize].fetch_done = Some(now);
                 self.worker(worker).store.insert(r.id, r.bytes, now);
                 self.note_trace(job.id, worker, TraceKind::Fetched);
                 self.begin_processing(worker);
@@ -542,6 +610,15 @@ impl<'a> Engine<'a> {
                     .started
                     .take()
                     .expect("done without start time");
+                // Processing phase: from fetch completion (or physical
+                // start when the data was local) until now.
+                let proc_from = self.slots[worker.0 as usize]
+                    .fetch_done
+                    .take()
+                    .unwrap_or(started);
+                self.m
+                    .proc_secs
+                    .record(now.saturating_since(proc_from).as_secs_f64());
                 let est = self.nodes[worker.0 as usize]
                     .unfinished_est
                     .get(&job.id)
@@ -558,7 +635,7 @@ impl<'a> Engine<'a> {
                 }
                 // Report the result to the master (Listing 2 line 14):
                 // one control message carrying the completed job.
-                self.control_messages += 1;
+                self.m.control_messages.inc();
                 let d = self.cfg.control.delay(&mut self.rng_control);
                 self.q.schedule_in(d, Ev::Done { worker, job });
                 // If the queue drained, the worker announces idleness
@@ -573,7 +650,7 @@ impl<'a> Engine<'a> {
             }
             Ev::Redispatch(job) => {
                 if self.active.iter().any(|a| *a) {
-                    self.jobs_redistributed += 1;
+                    self.m.jobs_redistributed.inc();
                     self.note_sched(None, Some(job.id), SchedEventKind::Redistributed);
                     self.run_master(|m, ctx| m.on_job(job, ctx));
                 } else {
@@ -593,7 +670,7 @@ impl<'a> Engine<'a> {
         let now = self.q.now();
         self.active[w.0 as usize] = false;
         self.epochs[w.0 as usize] += 1;
-        self.worker_crashes += 1;
+        self.m.worker_crashes.inc();
         self.down_since[w.0 as usize] = Some(now);
         self.note_sched(Some(w), None, SchedEventKind::Crash);
         let mut stranded: Vec<Job> = Vec::new();
@@ -623,6 +700,7 @@ impl<'a> Engine<'a> {
         }
         self.active[w.0 as usize] = true;
         self.epochs[w.0 as usize] += 1;
+        self.m.worker_recoveries.inc();
         if let Some(since) = self.down_since[w.0 as usize].take() {
             self.downtime_secs += self.q.now().saturating_since(since).as_secs_f64();
         }
@@ -635,6 +713,7 @@ impl<'a> Engine<'a> {
     fn complete_at_master(&mut self, worker: WorkerId, job: Job) {
         let now = self.q.now();
         self.completed += 1;
+        self.m.jobs_completed.inc();
         self.last_completion = self.last_completion.max(now);
         // Run the task logic, spawning downstream jobs.
         let mut out: Vec<JobSpec> = Vec::new();
@@ -713,6 +792,7 @@ pub fn run_workflow(
             .map(|_| Slot {
                 current: None,
                 started: None,
+                fetch_done: None,
             })
             .collect(),
         active: vec![true; n_workers],
@@ -737,13 +817,18 @@ pub fn run_workflow(
         completed: 0,
         arrivals_total,
         arrivals_seen: 0,
-        control_messages: 0,
         last_completion: SimTime::ZERO,
-        jobs_redistributed: 0,
-        worker_crashes: 0,
         down_since: vec![None; n_workers],
         downtime_secs: 0.0,
+        m: RuntimeMetrics::from_sink(cfg.metrics.clone()),
+        open_contests: HashMap::new(),
     };
+
+    // A shared sink accumulates across iterations; the per-run record
+    // reports deltas from these baselines.
+    let base_control = engine.m.control_messages.get();
+    let base_redistributed = engine.m.jobs_redistributed.get();
+    let base_crashes = engine.m.worker_crashes.get();
 
     while let Some((_t, ev)) = engine.q.pop() {
         engine.handle(ev);
@@ -768,14 +853,12 @@ pub fn run_workflow(
 
     let makespan = engine.last_completion;
     let events = engine.q.events_delivered();
-    let control_messages = engine.control_messages;
     let completed = engine.completed;
     let sched_stats = engine.master.stats();
     let assignments = std::mem::take(&mut engine.assignments);
     let trace = engine.trace.take().unwrap_or_default();
     let sched_log = engine.sched_log.take().unwrap_or_default();
-    let jobs_redistributed = engine.jobs_redistributed;
-    let worker_crashes = engine.worker_crashes;
+    let m = engine.m.clone();
     // Workers still down when the run ends are charged until the
     // makespan (or until their crash instant, whichever is later).
     let mut recovery_secs = engine.downtime_secs;
@@ -791,15 +874,22 @@ pub fn run_workflow(
     let mut bytes = 0u64;
     let mut wait = Welford::new();
     let mut busy = Vec::with_capacity(n_workers);
-    for n in &cluster.nodes {
+    for (i, n) in cluster.nodes.iter().enumerate() {
         let s = n.store.stats();
         misses += s.misses;
         hits += s.hits;
         evictions += s.evictions;
         bytes += s.bytes_admitted;
         wait.merge(&n.wait);
-        busy.push(n.busy.average(makespan));
+        let frac = n.busy.average(makespan);
+        m.set_worker_busy_frac(i, frac);
+        busy.push(frac);
     }
+    m.cache_misses.add(misses);
+    m.cache_hits.add(hits);
+    m.cache_evictions.add(evictions);
+    m.set_makespan_secs(makespan.as_secs_f64());
+    m.set_data_load_mb(bytes as f64 / 1e6);
 
     RunOutput {
         record: RunRecord {
@@ -814,18 +904,19 @@ pub fn run_workflow(
             cache_hits: hits,
             evictions,
             jobs_completed: completed,
-            control_messages,
+            control_messages: m.control_messages.get() - base_control,
             contests_timed_out: sched_stats.contests_timed_out,
             contests_fallback: sched_stats.contests_fallback,
             mean_queue_wait_secs: wait.mean(),
             worker_busy_frac: busy,
-            jobs_redistributed,
-            worker_crashes,
+            jobs_redistributed: m.jobs_redistributed.get() - base_redistributed,
+            worker_crashes: m.worker_crashes.get() - base_crashes,
             recovery_secs,
         },
         events,
         assignments,
         trace,
         sched_log,
+        metrics: m.snapshot(),
     }
 }

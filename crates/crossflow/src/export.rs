@@ -1,0 +1,376 @@
+//! Streaming JSONL export of run output.
+//!
+//! One run becomes one stream of newline-delimited JSON objects, each
+//! tagged with a `"type"` discriminator:
+//!
+//! | `type`     | payload                                              |
+//! |------------|------------------------------------------------------|
+//! | `run_meta` | schema version, runtime/scheduler names, seed, names |
+//! | `trace`    | one [`TraceEvent`] (data plane: job lifecycle)       |
+//! | `sched`    | one [`SchedEvent`] (control plane: contests, faults) |
+//! | `record`   | the run's [`RunRecord`] (§6.1 metrics)               |
+//! | `metrics`  | the run's [`RegistrySnapshot`]                       |
+//!
+//! Both runtimes emit the same vocabulary, so a stream parses
+//! identically whether it came from the simulation engine or the
+//! threaded runtime; [`parse_run_stream`] round-trips everything
+//! [`write_run_stream`] emits. The schema is versioned via
+//! [`SCHEMA_VERSION`] on the `run_meta` line; consumers should reject
+//! newer versions rather than misread them.
+
+use std::io::{self, Write};
+
+use crossbid_metrics::{Json, JsonError, JsonlWriter, RegistrySnapshot, RunRecord};
+use crossbid_simcore::SimTime;
+
+use crate::engine::RunOutput;
+use crate::job::{JobId, WorkerId};
+use crate::trace::{SchedEvent, SchedEventKind, TraceEvent, TraceKind};
+
+/// Version stamped into every `run_meta` line. Bump on any change to
+/// line shapes or the event vocabulary.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The stream header: which run produced the lines that follow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunStreamMeta {
+    /// Runtime name (`"sim"` or `"threaded"`).
+    pub runtime: String,
+    /// Scheduler name (e.g. `"bidding"`).
+    pub scheduler: String,
+    /// Worker-configuration preset name.
+    pub worker_config: String,
+    /// Job-configuration preset name.
+    pub job_config: String,
+    /// Iteration index within the session.
+    pub iteration: u32,
+    /// The iteration's derived seed.
+    pub seed: u64,
+}
+
+impl RunStreamMeta {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("type", Json::str("run_meta")),
+            ("schema", Json::UInt(SCHEMA_VERSION)),
+            ("runtime", Json::str(&self.runtime)),
+            ("scheduler", Json::str(&self.scheduler)),
+            ("worker_config", Json::str(&self.worker_config)),
+            ("job_config", Json::str(&self.job_config)),
+            ("iteration", Json::UInt(self.iteration as u64)),
+            ("seed", Json::UInt(self.seed)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let schema = v.req_u64("schema")?;
+        if schema > SCHEMA_VERSION {
+            return Err(JsonError(format!(
+                "run stream schema {schema} is newer than supported {SCHEMA_VERSION}"
+            )));
+        }
+        Ok(RunStreamMeta {
+            runtime: v.req_str("runtime")?.to_string(),
+            scheduler: v.req_str("scheduler")?.to_string(),
+            worker_config: v.req_str("worker_config")?.to_string(),
+            job_config: v.req_str("job_config")?.to_string(),
+            iteration: v.req_u64("iteration")? as u32,
+            seed: v.req_u64("seed")?,
+        })
+    }
+}
+
+/// One parsed line of a run stream.
+#[derive(Debug, Clone)]
+pub enum RunStreamLine {
+    /// The `run_meta` header.
+    Meta(RunStreamMeta),
+    /// A data-plane lifecycle event.
+    Trace(TraceEvent),
+    /// A control-plane scheduler event.
+    Sched(SchedEvent),
+    /// The run's §6.1 record.
+    Record(RunRecord),
+    /// The run's metrics snapshot.
+    Metrics(RegistrySnapshot),
+}
+
+fn trace_kind_name(kind: TraceKind) -> &'static str {
+    match kind {
+        TraceKind::Queued => "queued",
+        TraceKind::Started => "started",
+        TraceKind::Fetched => "fetched",
+        TraceKind::Finished => "finished",
+    }
+}
+
+fn trace_kind_from(name: &str) -> Result<TraceKind, JsonError> {
+    match name {
+        "queued" => Ok(TraceKind::Queued),
+        "started" => Ok(TraceKind::Started),
+        "fetched" => Ok(TraceKind::Fetched),
+        "finished" => Ok(TraceKind::Finished),
+        other => Err(JsonError(format!("unknown trace kind {other:?}"))),
+    }
+}
+
+fn trace_event_to_json(ev: &TraceEvent) -> Json {
+    Json::obj([
+        ("type", Json::str("trace")),
+        ("job", Json::UInt(ev.job.0)),
+        ("worker", Json::UInt(ev.worker.0 as u64)),
+        ("kind", Json::str(trace_kind_name(ev.kind))),
+        ("at_secs", Json::Num(ev.at.as_secs_f64())),
+    ])
+}
+
+fn trace_event_from_json(v: &Json) -> Result<TraceEvent, JsonError> {
+    Ok(TraceEvent {
+        job: JobId(v.req_u64("job")?),
+        worker: WorkerId(v.req_u64("worker")? as u32),
+        kind: trace_kind_from(v.req_str("kind")?)?,
+        at: SimTime::from_secs_f64(v.req_f64("at_secs")?),
+    })
+}
+
+/// The stable wire name of a scheduler event kind.
+pub fn sched_kind_name(kind: &SchedEventKind) -> &'static str {
+    match kind {
+        SchedEventKind::ContestOpened => "contest_opened",
+        SchedEventKind::BidReceived { .. } => "bid_received",
+        SchedEventKind::Assigned => "assigned",
+        SchedEventKind::ContestClosed { .. } => "contest_closed",
+        SchedEventKind::Crash => "crash",
+        SchedEventKind::Recover => "recover",
+        SchedEventKind::Redistributed => "redistributed",
+    }
+}
+
+fn sched_event_to_json(ev: &SchedEvent) -> Json {
+    let mut fields = vec![
+        ("type".to_string(), Json::str("sched")),
+        ("at_secs".to_string(), Json::Num(ev.at.as_secs_f64())),
+        (
+            "worker".to_string(),
+            match ev.worker {
+                Some(w) => Json::UInt(w.0 as u64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "job".to_string(),
+            match ev.job {
+                Some(j) => Json::UInt(j.0),
+                None => Json::Null,
+            },
+        ),
+        ("kind".to_string(), Json::str(sched_kind_name(&ev.kind))),
+    ];
+    match ev.kind {
+        SchedEventKind::BidReceived { estimate_secs } => {
+            fields.push(("estimate_secs".to_string(), Json::Num(estimate_secs)));
+        }
+        SchedEventKind::ContestClosed {
+            timed_out,
+            fallback,
+        } => {
+            fields.push(("timed_out".to_string(), Json::Bool(timed_out)));
+            fields.push(("fallback".to_string(), Json::Bool(fallback)));
+        }
+        _ => {}
+    }
+    Json::Obj(fields)
+}
+
+fn sched_event_from_json(v: &Json) -> Result<SchedEvent, JsonError> {
+    let kind = match v.req_str("kind")? {
+        "contest_opened" => SchedEventKind::ContestOpened,
+        "bid_received" => SchedEventKind::BidReceived {
+            estimate_secs: v.req_f64("estimate_secs")?,
+        },
+        "assigned" => SchedEventKind::Assigned,
+        "contest_closed" => SchedEventKind::ContestClosed {
+            timed_out: v.req_bool("timed_out")?,
+            fallback: v.req_bool("fallback")?,
+        },
+        "crash" => SchedEventKind::Crash,
+        "recover" => SchedEventKind::Recover,
+        "redistributed" => SchedEventKind::Redistributed,
+        other => return Err(JsonError(format!("unknown sched kind {other:?}"))),
+    };
+    let opt_u64 = |key: &str| -> Result<Option<u64>, JsonError> {
+        match v.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(x) => x
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| JsonError(format!("field {key:?} is not an integer"))),
+        }
+    };
+    Ok(SchedEvent {
+        at: SimTime::from_secs_f64(v.req_f64("at_secs")?),
+        worker: opt_u64("worker")?.map(|w| WorkerId(w as u32)),
+        job: opt_u64("job")?.map(JobId),
+        kind,
+    })
+}
+
+impl RunStreamLine {
+    /// Encode this line.
+    pub fn to_json(&self) -> Json {
+        match self {
+            RunStreamLine::Meta(m) => m.to_json(),
+            RunStreamLine::Trace(ev) => trace_event_to_json(ev),
+            RunStreamLine::Sched(ev) => sched_event_to_json(ev),
+            RunStreamLine::Record(r) => {
+                let mut fields = vec![("type".to_string(), Json::str("record"))];
+                if let Json::Obj(inner) = r.to_json() {
+                    fields.extend(inner);
+                }
+                Json::Obj(fields)
+            }
+            RunStreamLine::Metrics(s) => {
+                Json::obj([("type", Json::str("metrics")), ("snapshot", s.to_json())])
+            }
+        }
+    }
+
+    /// Decode one line.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.req_str("type")? {
+            "run_meta" => Ok(RunStreamLine::Meta(RunStreamMeta::from_json(v)?)),
+            "trace" => Ok(RunStreamLine::Trace(trace_event_from_json(v)?)),
+            "sched" => Ok(RunStreamLine::Sched(sched_event_from_json(v)?)),
+            "record" => Ok(RunStreamLine::Record(RunRecord::from_json(v)?)),
+            "metrics" => Ok(RunStreamLine::Metrics(RegistrySnapshot::from_json(
+                v.req("snapshot")?,
+            )?)),
+            other => Err(JsonError(format!("unknown stream line type {other:?}"))),
+        }
+    }
+}
+
+/// Write one run as a JSONL stream: the `run_meta` header, every
+/// trace event, every scheduler event, the record, and the metrics
+/// snapshot. Returns the number of lines written.
+pub fn write_run_stream<W: Write>(
+    out: W,
+    meta: &RunStreamMeta,
+    run: &RunOutput,
+) -> io::Result<u64> {
+    let mut w = JsonlWriter::new(out);
+    w.write(&RunStreamLine::Meta(meta.clone()).to_json())?;
+    for ev in run.trace.events() {
+        w.write(&RunStreamLine::Trace(*ev).to_json())?;
+    }
+    for ev in run.sched_log.events() {
+        w.write(&RunStreamLine::Sched(*ev).to_json())?;
+    }
+    w.write(&RunStreamLine::Record(run.record.clone()).to_json())?;
+    w.write(&RunStreamLine::Metrics(run.metrics.clone()).to_json())?;
+    let lines = w.lines();
+    w.finish()?;
+    Ok(lines)
+}
+
+/// Parse a JSONL run stream produced by [`write_run_stream`] (or any
+/// concatenation of such streams).
+pub fn parse_run_stream(text: &str) -> Result<Vec<RunStreamLine>, JsonError> {
+    crossbid_metrics::parse_jsonl(text)?
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            RunStreamLine::from_json(v).map_err(|e| JsonError(format!("line {}: {}", i + 1, e.0)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn trace_events_round_trip() {
+        for kind in [
+            TraceKind::Queued,
+            TraceKind::Started,
+            TraceKind::Fetched,
+            TraceKind::Finished,
+        ] {
+            let ev = TraceEvent {
+                job: JobId(7),
+                worker: WorkerId(2),
+                kind,
+                at: t(12.5),
+            };
+            let back = trace_event_from_json(&trace_event_to_json(&ev)).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn sched_events_round_trip_all_kinds() {
+        let kinds = [
+            SchedEventKind::ContestOpened,
+            SchedEventKind::BidReceived {
+                estimate_secs: 3.25,
+            },
+            SchedEventKind::Assigned,
+            SchedEventKind::ContestClosed {
+                timed_out: true,
+                fallback: false,
+            },
+            SchedEventKind::Crash,
+            SchedEventKind::Recover,
+            SchedEventKind::Redistributed,
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let ev = SchedEvent {
+                at: t(i as f64),
+                worker: if i % 2 == 0 { Some(WorkerId(1)) } else { None },
+                job: if i % 3 == 0 {
+                    None
+                } else {
+                    Some(JobId(i as u64))
+                },
+                kind,
+            };
+            let back = sched_event_from_json(&sched_event_to_json(&ev)).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn meta_rejects_newer_schema() {
+        let mut m = RunStreamMeta {
+            runtime: "sim".into(),
+            scheduler: "bidding".into(),
+            worker_config: "w".into(),
+            job_config: "j".into(),
+            iteration: 0,
+            seed: 1,
+        };
+        let good = m.to_json();
+        m = RunStreamMeta::from_json(&good).unwrap();
+        assert_eq!(m.runtime, "sim");
+        let Json::Obj(mut fields) = good else {
+            panic!()
+        };
+        for (k, v) in &mut fields {
+            if k == "schema" {
+                *v = Json::UInt(SCHEMA_VERSION + 1);
+            }
+        }
+        assert!(RunStreamMeta::from_json(&Json::Obj(fields)).is_err());
+    }
+
+    #[test]
+    fn unknown_line_type_is_an_error() {
+        let err = parse_run_stream("{\"type\":\"mystery\"}").unwrap_err();
+        assert!(err.0.contains("mystery"), "{err}");
+    }
+}

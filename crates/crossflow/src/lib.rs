@@ -62,10 +62,15 @@
 
 pub mod baseline;
 pub mod engine;
+pub mod export;
 pub mod faults;
 pub mod job;
+pub mod obs;
+pub mod prelude;
+pub mod runtime;
 pub mod scheduler;
 pub mod session;
+pub mod spec;
 pub mod task;
 pub mod threaded;
 pub mod trace;
@@ -74,15 +79,24 @@ pub mod workflow;
 
 pub use baseline::BaselineAllocator;
 pub use engine::{run_workflow, Cluster, EngineConfig, RunMeta, RunOutput};
+pub use export::{
+    parse_run_stream, sched_kind_name, write_run_stream, RunStreamLine, RunStreamMeta,
+    SCHEMA_VERSION,
+};
 pub use faults::{FaultEvent, FaultPlan};
 pub use job::{Arrival, Job, JobId, JobSpec, Payload, ResourceRef, TaskId, WorkerId};
+pub use obs::RuntimeMetrics;
+pub use runtime::{Runtime, ThreadedSession};
 pub use scheduler::{
     Allocator, JobView, MasterScheduler, ObedientPolicy, SchedAction, SchedCtx, SchedStats,
     WorkerPolicy, WorkerToMaster, WorkerView,
 };
 pub use session::Session;
+pub use spec::{RunSpec, RunSpecBuilder};
 pub use task::{CollectedOutputs, SinkTask, TaskCtx, TaskLogic};
-pub use threaded::{run_threaded, run_threaded_traced, ThreadedConfig, ThreadedScheduler};
+#[allow(deprecated)]
+pub use threaded::{run_threaded, run_threaded_traced};
+pub use threaded::{run_threaded_output, ThreadedConfig, ThreadedScheduler};
 pub use trace::{JobPhases, SchedEvent, SchedEventKind, SchedLog, Trace, TraceEvent, TraceKind};
 pub use worker::{WorkerSpec, WorkerSpecBuilder};
 pub use workflow::Workflow;

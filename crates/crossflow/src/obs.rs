@@ -1,0 +1,139 @@
+//! Observability bundle shared by both runtimes.
+//!
+//! [`RuntimeMetrics`] pre-resolves every instrument the engine and the
+//! threaded master/worker record into, so the hot paths touch only
+//! atomics — never the registry's name map.  Both runtimes use the
+//! same instrument names, which is what lets parity tests compare a
+//! sim run and a threaded run through their
+//! [`RegistrySnapshot`]s.
+//!
+//! Instrument names (all under the run's registry):
+//!
+//! | name | kind | §6.1 meaning |
+//! |------|------|--------------|
+//! | `jobs/completed` | counter | jobs finished (conservation) |
+//! | `jobs/redistributed` | counter | re-placed after a crash |
+//! | `assignments` | counter | placements onto a worker queue |
+//! | `contests/opened` | counter | bid broadcasts (Listing 1) |
+//! | `contests/closed` | counter | contests decided |
+//! | `contests/timed_out` | counter | decided by window timeout |
+//! | `contests/fallback` | counter | zero bids → arbitrary worker |
+//! | `bids/received` | counter | finite bids reaching the master |
+//! | `control/messages` | counter | §6.3.2 bidding overhead |
+//! | `workers/crashes` | counter | injected crash events |
+//! | `workers/recoveries` | counter | recovery events |
+//! | `cache/hits`, `cache/misses`, `cache/evictions` | counter | store behaviour |
+//! | `job/queue_wait_secs` | histogram | queue-wait phase |
+//! | `job/fetch_secs` | histogram | transfer phase (misses only) |
+//! | `job/proc_secs` | histogram | processing phase |
+//! | `contest/bid_latency_secs` | histogram | bid-request → bid |
+//! | `makespan_secs` | gauge | end-to-end time |
+//! | `data_load_mb` | gauge | non-local MB moved |
+//! | `worker/<i>/busy_frac` | gauge | per-worker utilization |
+
+use crossbid_metrics::{Counter, Histogram, Registry, RegistrySnapshot};
+
+/// Pre-resolved instrument handles over one [`Registry`].
+///
+/// Cloning is cheap (each handle is an `Arc`); the threaded runtime
+/// hands a clone to every worker thread so bidders and executors
+/// record without messaging the master.
+#[derive(Debug, Clone)]
+pub struct RuntimeMetrics {
+    registry: Registry,
+    pub jobs_completed: Counter,
+    pub jobs_redistributed: Counter,
+    pub assignments: Counter,
+    pub contests_opened: Counter,
+    pub contests_closed: Counter,
+    pub contests_timed_out: Counter,
+    pub contests_fallback: Counter,
+    pub bids_received: Counter,
+    pub control_messages: Counter,
+    pub worker_crashes: Counter,
+    pub worker_recoveries: Counter,
+    pub cache_hits: Counter,
+    pub cache_misses: Counter,
+    pub cache_evictions: Counter,
+    pub queue_wait_secs: Histogram,
+    pub fetch_secs: Histogram,
+    pub proc_secs: Histogram,
+    pub bid_latency_secs: Histogram,
+}
+
+impl RuntimeMetrics {
+    /// Bind every instrument in `registry`.
+    pub fn new(registry: Registry) -> Self {
+        RuntimeMetrics {
+            jobs_completed: registry.counter("jobs/completed"),
+            jobs_redistributed: registry.counter("jobs/redistributed"),
+            assignments: registry.counter("assignments"),
+            contests_opened: registry.counter("contests/opened"),
+            contests_closed: registry.counter("contests/closed"),
+            contests_timed_out: registry.counter("contests/timed_out"),
+            contests_fallback: registry.counter("contests/fallback"),
+            bids_received: registry.counter("bids/received"),
+            control_messages: registry.counter("control/messages"),
+            worker_crashes: registry.counter("workers/crashes"),
+            worker_recoveries: registry.counter("workers/recoveries"),
+            cache_hits: registry.counter("cache/hits"),
+            cache_misses: registry.counter("cache/misses"),
+            cache_evictions: registry.counter("cache/evictions"),
+            queue_wait_secs: registry.histogram("job/queue_wait_secs"),
+            fetch_secs: registry.histogram("job/fetch_secs"),
+            proc_secs: registry.histogram("job/proc_secs"),
+            bid_latency_secs: registry.histogram("contest/bid_latency_secs"),
+            registry,
+        }
+    }
+
+    /// Use the caller's sink when provided, else a private registry
+    /// (metrics are always collected; a sink only shares them).
+    pub fn from_sink(sink: Option<Registry>) -> Self {
+        Self::new(sink.unwrap_or_default())
+    }
+
+    /// End-of-run summary gauges.
+    pub fn set_makespan_secs(&self, v: f64) {
+        self.registry.gauge("makespan_secs").set(v);
+    }
+
+    pub fn set_data_load_mb(&self, v: f64) {
+        self.registry.gauge("data_load_mb").set(v);
+    }
+
+    /// Per-worker utilization gauge, `worker/<i>/busy_frac`.
+    pub fn set_worker_busy_frac(&self, worker: usize, v: f64) {
+        self.registry
+            .gauge(&format!("worker/{worker}/busy_frac"))
+            .set(v);
+    }
+
+    /// Freeze the current state of every instrument.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sink_shares_the_registry() {
+        let reg = Registry::new();
+        let m = RuntimeMetrics::from_sink(Some(reg.clone()));
+        m.assignments.add(3);
+        assert_eq!(reg.snapshot().counter("assignments"), 3);
+    }
+
+    #[test]
+    fn private_registry_still_snapshots() {
+        let m = RuntimeMetrics::from_sink(None);
+        m.contests_opened.inc();
+        m.set_worker_busy_frac(2, 0.5);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("contests/opened"), 1);
+        assert_eq!(snap.gauge("worker/2/busy_frac"), Some(0.5));
+    }
+}

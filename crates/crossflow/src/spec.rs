@@ -1,0 +1,256 @@
+//! One specification for both runtimes.
+//!
+//! [`RunSpec`] replaces the old twin construction paths — the
+//! positional arguments of `Session::new` and the hand-assembled
+//! `ThreadedConfig` — with a single builder covering the engine
+//! configuration, the cluster shape, the run names, the seed, the
+//! fault plan and the trace/metrics sinks.  From one spec you get
+//! either runtime:
+//!
+//! ```
+//! use crossbid_crossflow::prelude::*;
+//!
+//! let spec = RunSpec::builder()
+//!     .workers((0..3).map(|i| WorkerSpec::builder(format!("w{i}")).build()))
+//!     .engine(EngineConfig::ideal())
+//!     .seed(7)
+//!     .build();
+//! let sim = spec.sim();            // deterministic discrete-event engine
+//! let threaded = spec.threaded();  // real threads, scaled time
+//! assert_eq!(sim.iterations_run(), 0);
+//! assert_eq!(threaded.iterations_run(), 0);
+//! ```
+
+use std::time::Duration;
+
+use crossbid_metrics::Registry;
+use crossbid_net::NoiseModel;
+
+use crate::engine::EngineConfig;
+use crate::faults::FaultPlan;
+use crate::runtime::ThreadedSession;
+use crate::session::Session;
+use crate::worker::WorkerSpec;
+
+/// Everything needed to run a scenario on either runtime.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The cluster shape.
+    pub workers: Vec<WorkerSpec>,
+    /// Engine parameters (noise, latency, faults, trace/metrics
+    /// sinks). The threaded runtime derives its configuration from
+    /// the shared fields (noise, speed learning, faults, trace,
+    /// metrics).
+    pub engine: EngineConfig,
+    /// Worker-configuration preset name for the records.
+    pub worker_config: String,
+    /// Job-configuration preset name for the records.
+    pub job_config: String,
+    /// Session root seed; per-iteration seeds derive from it.
+    pub seed: u64,
+    /// Threaded runtime: real seconds per virtual second.
+    pub time_scale: f64,
+    /// Threaded runtime: floor on the real duration of a bidding
+    /// window (see [`crate::threaded::ThreadedConfig`]).
+    pub min_real_window: Duration,
+    /// Threaded runtime: contest window in virtual seconds (the
+    /// paper's 1 s). The sim engine takes its window from the
+    /// allocator instead.
+    pub contest_window_secs: f64,
+}
+
+impl RunSpec {
+    /// Start building a spec.
+    pub fn builder() -> RunSpecBuilder {
+        RunSpecBuilder::default()
+    }
+
+    /// A simulation session over this spec (cold caches; they warm
+    /// across iterations).
+    pub fn sim(&self) -> Session {
+        Session::from_spec(self.clone())
+    }
+
+    /// A threaded session over this spec (cold caches; they warm
+    /// across iterations, like the sim cluster).
+    pub fn threaded(&self) -> ThreadedSession {
+        ThreadedSession::from_spec(self.clone())
+    }
+}
+
+/// Builder for [`RunSpec`].
+#[derive(Debug, Clone)]
+pub struct RunSpecBuilder {
+    workers: Vec<WorkerSpec>,
+    engine: EngineConfig,
+    worker_config: String,
+    job_config: String,
+    seed: u64,
+    time_scale: f64,
+    min_real_window: Duration,
+    contest_window_secs: f64,
+}
+
+impl Default for RunSpecBuilder {
+    fn default() -> Self {
+        RunSpecBuilder {
+            workers: Vec::new(),
+            engine: EngineConfig::default(),
+            worker_config: "custom".into(),
+            job_config: "custom".into(),
+            seed: 0,
+            time_scale: 1e-3,
+            min_real_window: Duration::from_millis(2),
+            contest_window_secs: 1.0,
+        }
+    }
+}
+
+impl RunSpecBuilder {
+    /// Set the cluster shape (replaces any workers set before).
+    pub fn workers(mut self, specs: impl IntoIterator<Item = WorkerSpec>) -> Self {
+        self.workers = specs.into_iter().collect();
+        self
+    }
+
+    /// Append one worker.
+    pub fn worker(mut self, spec: WorkerSpec) -> Self {
+        self.workers.push(spec);
+        self
+    }
+
+    /// Set the full engine configuration (the convenience setters
+    /// below tweak individual fields of it afterwards).
+    pub fn engine(mut self, cfg: EngineConfig) -> Self {
+        self.engine = cfg;
+        self
+    }
+
+    /// Noise scheme on actual speeds (both runtimes).
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.engine.noise = noise;
+        self
+    }
+
+    /// §6.4 speed learning (both runtimes).
+    pub fn speed_learning(mut self, on: bool) -> Self {
+        self.engine.speed_learning = on;
+        self
+    }
+
+    /// Scheduled crashes/recoveries (both runtimes).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.engine.faults = plan;
+        self
+    }
+
+    /// Record per-job lifecycle traces (both runtimes).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.engine.trace = on;
+        self
+    }
+
+    /// Share a metrics registry with the caller (both runtimes).
+    pub fn metrics(mut self, sink: Registry) -> Self {
+        self.engine.metrics = Some(sink);
+        self
+    }
+
+    /// Worker- and job-configuration preset names for the records.
+    pub fn names(
+        mut self,
+        worker_config: impl Into<String>,
+        job_config: impl Into<String>,
+    ) -> Self {
+        self.worker_config = worker_config.into();
+        self.job_config = job_config.into();
+        self
+    }
+
+    /// Session root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Threaded runtime: real seconds per virtual second.
+    pub fn time_scale(mut self, scale: f64) -> Self {
+        self.time_scale = scale;
+        self
+    }
+
+    /// Threaded runtime: floor on the real bidding-window duration.
+    pub fn min_real_window(mut self, floor: Duration) -> Self {
+        self.min_real_window = floor;
+        self
+    }
+
+    /// Threaded runtime: contest window in virtual seconds.
+    pub fn contest_window_secs(mut self, secs: f64) -> Self {
+        self.contest_window_secs = secs;
+        self
+    }
+
+    /// Finish the spec.
+    ///
+    /// # Panics
+    /// When no workers were provided or `time_scale` is not positive.
+    pub fn build(self) -> RunSpec {
+        assert!(
+            !self.workers.is_empty(),
+            "RunSpec needs at least one worker"
+        );
+        assert!(self.time_scale > 0.0, "time_scale must be positive");
+        RunSpec {
+            workers: self.workers,
+            engine: self.engine,
+            worker_config: self.worker_config,
+            job_config: self.job_config,
+            seed: self.seed,
+            time_scale: self.time_scale,
+            min_real_window: self.min_real_window,
+            contest_window_secs: self.contest_window_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let spec = RunSpec::builder()
+            .worker(WorkerSpec::builder("w0").build())
+            .build();
+        assert_eq!(spec.workers.len(), 1);
+        assert_eq!(spec.seed, 0);
+        assert_eq!(spec.contest_window_secs, 1.0);
+        assert_eq!(spec.worker_config, "custom");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_cluster_is_rejected() {
+        let _ = RunSpec::builder().build();
+    }
+
+    #[test]
+    fn convenience_setters_reach_the_engine_config() {
+        let reg = Registry::new();
+        let spec = RunSpec::builder()
+            .worker(WorkerSpec::builder("w0").build())
+            .noise(NoiseModel::None)
+            .speed_learning(true)
+            .trace(true)
+            .metrics(reg)
+            .names("all-equal", "80pct_large")
+            .seed(42)
+            .build();
+        assert!(spec.engine.trace);
+        assert!(spec.engine.speed_learning);
+        assert!(spec.engine.metrics.is_some());
+        assert_eq!(spec.worker_config, "all-equal");
+        assert_eq!(spec.seed, 42);
+    }
+}

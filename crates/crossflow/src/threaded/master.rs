@@ -7,16 +7,17 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use crossbid_metrics::{RunRecord, SchedulerKind};
+use crossbid_metrics::{Registry, RunRecord, SchedulerKind};
 use crossbid_net::NoiseModel;
-use crossbid_simcore::{RngStream, SeedSequence, SimTime, Welford};
+use crossbid_simcore::{RngStream, SeedSequence, SimDuration, SimTime, Welford};
 use parking_lot::Mutex;
 
-use crate::engine::RunMeta;
+use crate::engine::{RunMeta, RunOutput};
 use crate::faults::{FaultEvent, FaultPlan};
 use crate::job::{Arrival, Job, JobId, JobSpec, WorkerId};
+use crate::obs::RuntimeMetrics;
 use crate::task::TaskCtx;
-use crate::trace::{SchedEvent, SchedEventKind, SchedLog};
+use crate::trace::{SchedEvent, SchedEventKind, SchedLog, Trace, TraceEvent, TraceKind};
 use crate::worker::WorkerSpec;
 use crate::workflow::Workflow;
 
@@ -62,6 +63,15 @@ pub struct ThreadedConfig {
     /// layer's detection delay. Instants are virtual seconds from run
     /// start, like arrivals. Default: no faults.
     pub faults: FaultPlan,
+    /// Synthesize a per-job lifecycle [`Trace`] from the phase
+    /// breakdowns workers report with each completion, matching the
+    /// engine's trace vocabulary. The scheduler event log is always
+    /// collected regardless.
+    pub trace: bool,
+    /// Shared metrics sink. When `None` the runtime collects into a
+    /// private [`Registry`]; a snapshot is returned in
+    /// [`RunOutput::metrics`] either way.
+    pub metrics: Option<Registry>,
 }
 
 impl Default for ThreadedConfig {
@@ -74,6 +84,8 @@ impl Default for ThreadedConfig {
             seed: 0,
             min_real_window: Duration::from_millis(2),
             faults: FaultPlan::none(),
+            trace: false,
+            metrics: None,
         }
     }
 }
@@ -81,6 +93,7 @@ impl Default for ThreadedConfig {
 struct Contest {
     job: Job,
     bids: Vec<(u32, f64)>,
+    opened: Instant,
     deadline: Instant,
 }
 
@@ -119,13 +132,13 @@ struct MasterState {
     /// Completed job ids: de-duplicates a redistribution racing a
     /// completion that was already in flight.
     done_ids: HashSet<JobId>,
-    jobs_redistributed: u64,
     log: SchedLog,
     // Common.
     created: u64,
     completed: u64,
-    control_messages: u64,
     next_job_id: u64,
+    /// Registry-backed tallies shared with the worker threads.
+    m: RuntimeMetrics,
 }
 
 impl MasterState {
@@ -142,10 +155,11 @@ impl MasterState {
 
 /// Run `arrivals` through `workflow` on real threads. Returns the run
 /// record with the same §6.1 metrics as the simulation engine.
-///
-/// Unlike the simulated engine this function is *not* deterministic:
-/// thread interleavings, late bids and real queueing are part of what
-/// it measures (§6.4's role in the paper).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_threaded_output` (or `RunSpec::…::threaded()` and the \
+            `Runtime` trait) and read `.record`"
+)]
 pub fn run_threaded(
     specs: &[WorkerSpec],
     cfg: &ThreadedConfig,
@@ -153,13 +167,15 @@ pub fn run_threaded(
     arrivals: Vec<Arrival>,
     meta: &RunMeta,
 ) -> RunRecord {
-    run_threaded_traced(specs, cfg, workflow, arrivals, meta).0
+    run_threaded_output(specs, cfg, workflow, arrivals, meta).record
 }
 
-/// [`run_threaded`], additionally returning the scheduler event log —
-/// the same [`SchedLog`] shape the simulation engine emits, so parity
-/// and fault-tolerance tests can assert identical invariants on both
-/// runtimes.
+/// [`run_threaded`], additionally returning the scheduler event log.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_threaded_output` (or `RunSpec::…::threaded()` and the \
+            `Runtime` trait) and read `.record` / `.sched_log`"
+)]
 pub fn run_threaded_traced(
     specs: &[WorkerSpec],
     cfg: &ThreadedConfig,
@@ -167,7 +183,47 @@ pub fn run_threaded_traced(
     arrivals: Vec<Arrival>,
     meta: &RunMeta,
 ) -> (RunRecord, SchedLog) {
+    let out = run_threaded_output(specs, cfg, workflow, arrivals, meta);
+    (out.record, out.sched_log)
+}
+
+/// Run `arrivals` through `workflow` on real threads — the one entry
+/// point of the threaded runtime. Returns the same [`RunOutput`] shape
+/// as the simulation engine: record, scheduler log, synthesized trace
+/// (when [`ThreadedConfig::trace`] is set), per-job placements (in
+/// completion order) and a metrics snapshot.
+///
+/// Unlike the simulated engine this function is *not* deterministic:
+/// thread interleavings, late bids and real queueing are part of what
+/// it measures (§6.4's role in the paper).
+pub fn run_threaded_output(
+    specs: &[WorkerSpec],
+    cfg: &ThreadedConfig,
+    workflow: &mut Workflow,
+    arrivals: Vec<Arrival>,
+    meta: &RunMeta,
+) -> RunOutput {
+    let shareds: Vec<Arc<Mutex<WorkerShared>>> = specs
+        .iter()
+        .map(|spec| Arc::new(Mutex::new(WorkerShared::new(spec.clone()))))
+        .collect();
+    run_threaded_with_shareds(specs, &shareds, cfg, workflow, arrivals, meta)
+}
+
+/// Core of the threaded runtime, over caller-owned worker state.
+/// [`crate::runtime::ThreadedSession`] passes the same `shareds`
+/// across iterations so caches and learned speeds stay warm, exactly
+/// like the engine's persistent [`crate::engine::Cluster`].
+pub(crate) fn run_threaded_with_shareds(
+    specs: &[WorkerSpec],
+    shareds: &[Arc<Mutex<WorkerShared>>],
+    cfg: &ThreadedConfig,
+    workflow: &mut Workflow,
+    arrivals: Vec<Arrival>,
+    meta: &RunMeta,
+) -> RunOutput {
     assert!(!specs.is_empty(), "need at least one worker");
+    assert_eq!(specs.len(), shareds.len(), "one shared state per spec");
     assert!(cfg.time_scale > 0.0, "time_scale must be positive");
     let n = specs.len();
     let protocol = match cfg.scheduler {
@@ -176,21 +232,26 @@ pub fn run_threaded_traced(
     };
     let seq = SeedSequence::new(cfg.seed);
     let mut rng_master = seq.stream(1);
+    let metrics = RuntimeMetrics::from_sink(cfg.metrics.clone());
+    // A shared sink accumulates across iterations; the per-run record
+    // reports deltas from these baselines.
+    let base_control = metrics.control_messages.get();
+    let base_redistributed = metrics.jobs_redistributed.get();
+    let base_crashes = metrics.worker_crashes.get();
 
     let (to_master_tx, to_master_rx): (Sender<ToMaster>, Receiver<ToMaster>) = unbounded();
     let mut worker_txs: Vec<Sender<ToWorker>> = Vec::with_capacity(n);
-    let mut shareds: Vec<Arc<Mutex<WorkerShared>>> = Vec::with_capacity(n);
     let mut handles = Vec::with_capacity(n);
-    for (i, spec) in specs.iter().enumerate() {
+    for (i, (spec, shared)) in specs.iter().zip(shareds).enumerate() {
+        shared.lock().reset_for_run();
         let (tx, rx) = unbounded::<ToWorker>();
-        let shared = Arc::new(Mutex::new(WorkerShared::new(spec.clone())));
         let worker_noise = spec
             .noise_override
             .clone()
             .unwrap_or_else(|| cfg.noise.clone());
         let threads = spawn_worker(
             i as u32,
-            Arc::clone(&shared),
+            Arc::clone(shared),
             rx,
             to_master_tx.clone(),
             protocol,
@@ -198,9 +259,9 @@ pub fn run_threaded_traced(
             worker_noise,
             cfg.speed_learning,
             seq.seed_for(100 + i as u64),
+            metrics.clone(),
         );
         worker_txs.push(tx);
-        shareds.push(shared);
         handles.push(threads);
     }
     drop(to_master_tx);
@@ -235,7 +296,6 @@ pub fn run_threaded_traced(
     let mut detections: VecDeque<(Instant, u32, Instant)> = VecDeque::new();
     let mut down_since: Vec<Option<Instant>> = vec![None; n];
     let mut last_recover: Vec<Option<Instant>> = vec![None; n];
-    let mut worker_crashes = 0u64;
     let mut downtime_real = 0.0f64;
 
     let mut st = MasterState {
@@ -249,15 +309,21 @@ pub fn run_threaded_traced(
         known_live: vec![true; n],
         outstanding: HashMap::new(),
         done_ids: HashSet::new(),
-        jobs_redistributed: 0,
         log: SchedLog::new(),
         created: 0,
         completed: 0,
-        control_messages: 0,
         next_job_id: 0,
+        m: metrics.clone(),
     };
     let mut wait_stats = Welford::new();
     let mut last_completion = start;
+    // Per-job lifecycle trace, synthesized from the phase breakdown
+    // each completion carries (the engine records the same vocabulary
+    // live; here the events are reconstructed at completion time).
+    let mut trace: Option<Trace> = if cfg.trace { Some(Trace::new()) } else { None };
+    // Placements in completion order (the threaded master only learns
+    // a placement authoritatively when the worker reports it done).
+    let mut assignments: Vec<(JobId, WorkerId)> = Vec::new();
 
     // Open the next queued contest if none is running. With no
     // believed-live workers there is no one to ask: the job stays
@@ -269,7 +335,9 @@ pub fn run_threaded_traced(
         let Some(job) = st.contest_queue.pop_front() else {
             return;
         };
-        let deadline = Instant::now() + virt(window_secs).max(cfg.min_real_window);
+        let opened = Instant::now();
+        let deadline = opened + virt(window_secs).max(cfg.min_real_window);
+        st.m.contests_opened.inc();
         st.log.push(SchedEvent {
             at: vnow(),
             worker: None,
@@ -280,7 +348,7 @@ pub fn run_threaded_traced(
             if !st.known_live[w as usize] {
                 continue;
             }
-            st.control_messages += 1;
+            st.m.control_messages.inc();
             let _ = txs[w as usize].send(ToWorker::BidRequest(job.clone()));
         }
         st.contests.insert(
@@ -288,6 +356,7 @@ pub fn run_threaded_traced(
             Contest {
                 job,
                 bids: Vec::new(),
+                opened,
                 deadline,
             },
         );
@@ -321,7 +390,7 @@ pub fn run_threaded_traced(
                 .position(|w| Some(*w) != rejector)
                 .unwrap_or(0);
             let w = st.idle.remove(pos).expect("position in range");
-            st.control_messages += 1;
+            st.m.control_messages.inc();
             st.outstanding.insert(
                 job.id,
                 Outstanding {
@@ -344,6 +413,7 @@ pub fn run_threaded_traced(
         };
         if timed_out {
             st.timed_out += 1;
+            st.m.contests_timed_out.inc();
         }
         // Total order over estimates (NaN cannot occur here — intake
         // drops non-finite bids — but total_cmp keeps the comparison
@@ -366,9 +436,11 @@ pub fn run_threaded_traced(
                     return;
                 }
                 st.fallback += 1;
+                st.m.contests_fallback.inc();
                 (live[rng.below(live.len() as u64) as usize], true)
             }
         };
+        st.m.contests_closed.inc();
         st.log.push(SchedEvent {
             at: vnow(),
             worker: None,
@@ -384,7 +456,7 @@ pub fn run_threaded_traced(
             job: Some(id),
             kind: SchedEventKind::Assigned,
         });
-        st.control_messages += 1;
+        st.m.control_messages.inc();
         st.outstanding.insert(
             id,
             Outstanding {
@@ -433,7 +505,7 @@ pub fn run_threaded_traced(
                         s.committed_secs = 0.0;
                         s.declined.clear();
                     }
-                    worker_crashes += 1;
+                    st.m.worker_crashes.inc();
                     down_since[w] = Some(now);
                     st.log.push(SchedEvent {
                         at: vnow(),
@@ -453,6 +525,7 @@ pub fn run_threaded_traced(
                         s.alive = true;
                         s.epoch += 1;
                     }
+                    st.m.worker_recoveries.inc();
                     if let Some(since) = down_since[w].take() {
                         downtime_real += now.saturating_duration_since(since).as_secs_f64();
                     }
@@ -516,7 +589,7 @@ pub fn run_threaded_traced(
                 .collect();
             for id in stranded {
                 let o = st.outstanding.remove(&id).expect("present");
-                st.jobs_redistributed += 1;
+                st.m.jobs_redistributed.inc();
                 st.log.push(SchedEvent {
                     at: vnow(),
                     worker: Some(WorkerId(dw)),
@@ -601,7 +674,7 @@ pub fn run_threaded_traced(
                 job,
                 estimate_secs,
             } => {
-                st.control_messages += 1;
+                st.m.control_messages.inc();
                 // Intake guard: a non-finite estimate is protocol
                 // garbage — never record it, never let it count
                 // toward the bid set.
@@ -619,6 +692,9 @@ pub fn run_threaded_traced(
                         c.bids.push((worker, estimate_secs));
                         recorded = true;
                         full = c.bids.len() >= live;
+                        st.m.bids_received.inc();
+                        st.m.bid_latency_secs
+                            .record(c.opened.elapsed().as_secs_f64() / cfg.time_scale);
                     }
                 }
                 if recorded {
@@ -635,7 +711,7 @@ pub fn run_threaded_traced(
                 }
             }
             ToMaster::Reject { worker, job } => {
-                st.control_messages += 1;
+                st.m.control_messages.inc();
                 st.outstanding.remove(&job.id);
                 st.rejected_by.insert(job.id, worker);
                 if !st.idle.contains(&worker) {
@@ -645,7 +721,7 @@ pub fn run_threaded_traced(
                 baseline_pump(&mut st, &worker_txs);
             }
             ToMaster::Idle { worker } => {
-                st.control_messages += 1;
+                st.m.control_messages.inc();
                 if !st.idle.contains(&worker) {
                     st.idle.push_back(worker);
                 }
@@ -655,8 +731,10 @@ pub fn run_threaded_traced(
                 worker,
                 job,
                 wait_secs,
+                fetch_secs,
+                proc_secs,
             } => {
-                st.control_messages += 1;
+                st.m.control_messages.inc();
                 st.outstanding.remove(&job.id);
                 st.rejected_by.remove(&job.id);
                 if !st.done_ids.insert(job.id) {
@@ -664,8 +742,46 @@ pub fn run_threaded_traced(
                     continue;
                 }
                 st.completed += 1;
+                st.m.jobs_completed.inc();
                 last_completion = Instant::now();
                 wait_stats.push(wait_secs.max(0.0));
+                assignments.push((job.id, WorkerId(worker)));
+                if let Some(t) = &mut trace {
+                    // Reconstruct the lifecycle from the phase
+                    // breakdown: the completion instant is authoritative
+                    // and the phases are laid out backwards from it.
+                    let finished = vnow();
+                    let total = (wait_secs + fetch_secs + proc_secs).max(0.0);
+                    let queued = SimTime::from_secs_f64((finished.as_secs_f64() - total).max(0.0));
+                    let started = queued + SimDuration::from_secs_f64(wait_secs.max(0.0));
+                    let w = WorkerId(worker);
+                    t.push(TraceEvent {
+                        job: job.id,
+                        worker: w,
+                        kind: TraceKind::Queued,
+                        at: queued,
+                    });
+                    t.push(TraceEvent {
+                        job: job.id,
+                        worker: w,
+                        kind: TraceKind::Started,
+                        at: started,
+                    });
+                    if fetch_secs > 0.0 {
+                        t.push(TraceEvent {
+                            job: job.id,
+                            worker: w,
+                            kind: TraceKind::Fetched,
+                            at: started + SimDuration::from_secs_f64(fetch_secs),
+                        });
+                    }
+                    t.push(TraceEvent {
+                        job: job.id,
+                        worker: w,
+                        kind: TraceKind::Finished,
+                        at: finished,
+                    });
+                }
                 let mut out: Vec<JobSpec> = Vec::new();
                 let ctx = TaskCtx {
                     now: vnow(),
@@ -712,19 +828,26 @@ pub fn run_threaded_traced(
     let mut evictions = 0;
     let mut bytes = 0u64;
     let mut busy = Vec::with_capacity(n);
-    for s in &shareds {
+    for (i, s) in shareds.iter().enumerate() {
         let s = s.lock();
         let st2 = s.store.stats();
         misses += st2.misses;
         hits += st2.hits;
         evictions += st2.evictions;
         bytes += st2.bytes_admitted;
-        busy.push(if makespan_secs > 0.0 {
+        let frac = if makespan_secs > 0.0 {
             (s.busy_secs / makespan_secs).min(1.0)
         } else {
             0.0
-        });
+        };
+        metrics.set_worker_busy_frac(i, frac);
+        busy.push(frac);
     }
+    metrics.cache_misses.add(misses);
+    metrics.cache_hits.add(hits);
+    metrics.cache_evictions.add(evictions);
+    metrics.set_makespan_secs(makespan_secs);
+    metrics.set_data_load_mb(bytes as f64 / 1e6);
 
     let record = RunRecord {
         scheduler: match cfg.scheduler {
@@ -741,14 +864,21 @@ pub fn run_threaded_traced(
         cache_hits: hits,
         evictions,
         jobs_completed: st.completed,
-        control_messages: st.control_messages,
+        control_messages: metrics.control_messages.get() - base_control,
         contests_timed_out: st.timed_out,
         contests_fallback: st.fallback,
         mean_queue_wait_secs: wait_stats.mean(),
         worker_busy_frac: busy,
-        jobs_redistributed: st.jobs_redistributed,
-        worker_crashes,
+        jobs_redistributed: metrics.jobs_redistributed.get() - base_redistributed,
+        worker_crashes: metrics.worker_crashes.get() - base_crashes,
         recovery_secs: downtime_real / cfg.time_scale,
     };
-    (record, st.log)
+    RunOutput {
+        record,
+        events: 0,
+        assignments,
+        trace: trace.take().unwrap_or_default(),
+        sched_log: st.log,
+        metrics: metrics.snapshot(),
+    }
 }

@@ -23,7 +23,11 @@
 mod master;
 mod worker;
 
-pub use master::{run_threaded, run_threaded_traced, ThreadedConfig, ThreadedScheduler};
+pub(crate) use master::run_threaded_with_shareds;
+#[allow(deprecated)]
+pub use master::{run_threaded, run_threaded_traced};
+pub use master::{run_threaded_output, ThreadedConfig, ThreadedScheduler};
+pub(crate) use worker::WorkerShared;
 
 use crate::job::Job;
 
@@ -51,7 +55,9 @@ pub(crate) enum ToMaster {
         /// Idle worker.
         worker: u32,
     },
-    /// A job finished; results flow back through the master.
+    /// A job finished; results flow back through the master. The
+    /// phase breakdown rides along so the master can synthesize the
+    /// same per-job trace the simulation engine records.
     Done {
         /// Executing worker.
         worker: u32,
@@ -59,6 +65,11 @@ pub(crate) enum ToMaster {
         job: Job,
         /// Virtual seconds the job waited in the worker queue.
         wait_secs: f64,
+        /// Virtual seconds spent transferring the resource (0 when
+        /// the data was already local).
+        fetch_secs: f64,
+        /// Virtual seconds spent processing.
+        proc_secs: f64,
     },
 }
 

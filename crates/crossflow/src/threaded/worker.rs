@@ -11,6 +11,7 @@ use crossbid_storage::LocalStore;
 use parking_lot::Mutex;
 
 use crate::job::Job;
+use crate::obs::RuntimeMetrics;
 use crate::worker::{SpeedTracker, WorkerSpec};
 
 use super::{ToMaster, ToWorker};
@@ -107,6 +108,19 @@ impl WorkerShared {
             Some(r) => self.store.peek(r.id),
         }
     }
+
+    /// Reset per-run state between session iterations: the cache
+    /// contents and learned speeds persist (warm iterations, §6.3.1);
+    /// commitments, decline memory, busy time and store *statistics*
+    /// start fresh. The epoch bump invalidates any stale queue items.
+    pub fn reset_for_run(&mut self) {
+        self.alive = true;
+        self.epoch += 1;
+        self.committed_secs = 0.0;
+        self.declined.clear();
+        self.busy_secs = 0.0;
+        self.store.reset_stats();
+    }
 }
 
 pub(crate) struct WorkerThreads {
@@ -141,6 +155,7 @@ pub(crate) fn spawn_worker(
     noise: NoiseModel,
     speed_learning: bool,
     seed: u64,
+    metrics: RuntimeMetrics,
 ) -> WorkerThreads {
     let (tx_exec, rx_exec) = crossbeam_channel::unbounded::<ExecItem>();
 
@@ -149,6 +164,7 @@ pub(crate) fn spawn_worker(
         let shared = Arc::clone(&shared);
         let to_master = to_master.clone();
         let tx_exec = tx_exec.clone();
+        let metrics = metrics.clone();
         std::thread::Builder::new()
             .name(format!("bidder-{id}"))
             .spawn(move || {
@@ -189,6 +205,7 @@ pub(crate) fn spawn_worker(
                                 }
                             };
                             if accept {
+                                metrics.assignments.inc();
                                 let _ = tx_exec.send(ExecItem {
                                     job,
                                     est_secs: est,
@@ -209,6 +226,7 @@ pub(crate) fn spawn_worker(
                                 s.committed_secs += est;
                                 (est, s.epoch)
                             };
+                            metrics.assignments.inc();
                             let _ = tx_exec.send(ExecItem {
                                 job,
                                 est_secs: est,
@@ -243,6 +261,7 @@ pub(crate) fn spawn_worker(
                     }
                 }
                 let wait_secs = item.enqueued.elapsed().as_secs_f64() / time_scale.max(1e-12);
+                metrics.queue_wait_secs.record(wait_secs);
                 let completed = execute_one(
                     id,
                     &shared,
@@ -255,6 +274,7 @@ pub(crate) fn spawn_worker(
                     &mut net_noise,
                     &mut rw_noise,
                     &mut rng,
+                    &metrics,
                 );
                 if completed && rx_exec.is_empty() {
                     let _ = to_master.send(ToMaster::Idle { worker: id });
@@ -283,6 +303,7 @@ fn execute_one(
     net_noise: &mut NoiseSampler,
     rw_noise: &mut NoiseSampler,
     rng: &mut RngStream,
+    metrics: &RuntimeMetrics,
 ) -> bool {
     let stale = |s: &WorkerShared| !s.alive || s.epoch != epoch;
     // ---- fetch phase ----
@@ -350,10 +371,18 @@ fn execute_one(
         s.busy_secs += fetch_secs + proc_secs;
         s.vclock += crossbid_simcore::SimDuration::from_secs_f64(fetch_secs + proc_secs);
     }
+    if fetched.is_some() {
+        // One fetch-histogram sample per actual transfer, mirroring
+        // the engine's per-FetchDone recording (count == misses).
+        metrics.fetch_secs.record(fetch_secs);
+    }
+    metrics.proc_secs.record(proc_secs);
     let _ = to_master.send(ToMaster::Done {
         worker: id,
         job,
         wait_secs,
+        fetch_secs,
+        proc_secs,
     });
     true
 }

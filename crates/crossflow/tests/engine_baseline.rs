@@ -2,7 +2,7 @@
 
 use crossbid_crossflow::{
     run_workflow, Arrival, BaselineAllocator, Cluster, EngineConfig, JobSpec, Payload, ResourceRef,
-    RunMeta, Session, SinkTask, TaskId, WorkerSpec, Workflow,
+    RunMeta, RunSpec, SinkTask, TaskId, WorkerSpec, Workflow,
 };
 use crossbid_simcore::SimTime;
 use crossbid_storage::ObjectId;
@@ -238,12 +238,21 @@ fn downstream_jobs_flow_through_pipeline() {
 
 #[test]
 fn session_iterations_warm_the_caches() {
-    let cfg = EngineConfig::ideal();
-    let mut session = Session::new(&specs(2), cfg, "all-equal", "test", 42);
+    let mut session = RunSpec::builder()
+        .workers(specs(2))
+        .engine(EngineConfig::ideal())
+        .names("all-equal", "test")
+        .seed(42)
+        .build()
+        .sim();
     let (mut wf, task) = sink_workflow();
     let jobs = [(1u64, 50u64), (2, 50), (3, 50), (4, 50)];
-    let r1 = session.run_iteration(&mut wf, &BaselineAllocator, arrivals_for(task, &jobs));
-    let r2 = session.run_iteration(&mut wf, &BaselineAllocator, arrivals_for(task, &jobs));
+    let r1 = session
+        .run_iteration(&mut wf, &BaselineAllocator, arrivals_for(task, &jobs))
+        .record;
+    let r2 = session
+        .run_iteration(&mut wf, &BaselineAllocator, arrivals_for(task, &jobs))
+        .record;
     assert_eq!(r1.iteration, 0);
     assert_eq!(r2.iteration, 1);
     assert_eq!(r1.cache_misses, 4, "cold first iteration");
@@ -351,7 +360,13 @@ fn speed_learning_persists_across_session_iterations() {
         speed_learning: true,
         ..EngineConfig::ideal()
     };
-    let mut session = Session::new(&specs(2), cfg, "learn", "test", 77);
+    let mut session = RunSpec::builder()
+        .workers(specs(2))
+        .engine(cfg)
+        .names("learn", "test")
+        .seed(77)
+        .build()
+        .sim();
     let (mut wf, task) = sink_workflow();
     let jobs: Vec<(u64, u64)> = (0..10).map(|i| (i, 100)).collect();
     session.run_iteration(&mut wf, &BaselineAllocator, arrivals_for(task, &jobs));

@@ -5,12 +5,36 @@
 //! the simulation engine.
 
 use crossbid_crossflow::{
-    run_threaded, run_threaded_traced, Arrival, FaultPlan, JobSpec, Payload, ResourceRef, RunMeta,
-    TaskId, ThreadedConfig, ThreadedScheduler, WorkerId, WorkerSpec, Workflow,
+    run_threaded_output, Arrival, FaultPlan, JobSpec, Payload, ResourceRef, RunMeta, TaskId,
+    ThreadedConfig, ThreadedScheduler, WorkerId, WorkerSpec, Workflow,
 };
 use crossbid_net::NoiseModel;
 use crossbid_simcore::{SimDuration, SimTime};
 use crossbid_storage::ObjectId;
+
+/// Local shim over the non-deprecated entry point: these tests only
+/// need the record.
+fn run_threaded(
+    specs: &[WorkerSpec],
+    cfg: &ThreadedConfig,
+    wf: &mut Workflow,
+    arrivals: Vec<Arrival>,
+    meta: &RunMeta,
+) -> crossbid_metrics::RunRecord {
+    run_threaded_output(specs, cfg, wf, arrivals, meta).record
+}
+
+/// Record + scheduler log, via the non-deprecated entry point.
+fn run_threaded_traced(
+    specs: &[WorkerSpec],
+    cfg: &ThreadedConfig,
+    wf: &mut Workflow,
+    arrivals: Vec<Arrival>,
+    meta: &RunMeta,
+) -> (crossbid_metrics::RunRecord, crossbid_crossflow::SchedLog) {
+    let out = run_threaded_output(specs, cfg, wf, arrivals, meta);
+    (out.record, out.sched_log)
+}
 
 fn res(id: u64, mb: u64) -> ResourceRef {
     ResourceRef {

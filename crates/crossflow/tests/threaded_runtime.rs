@@ -4,12 +4,24 @@
 //! exact timings.
 
 use crossbid_crossflow::{
-    run_threaded, Arrival, JobSpec, Payload, ResourceRef, RunMeta, TaskId, ThreadedConfig,
+    run_threaded_output, Arrival, JobSpec, Payload, ResourceRef, RunMeta, TaskId, ThreadedConfig,
     ThreadedScheduler, WorkerSpec, Workflow,
 };
 use crossbid_net::NoiseModel;
 use crossbid_simcore::SimTime;
 use crossbid_storage::ObjectId;
+
+/// Local shim over the non-deprecated entry point: these tests only
+/// need the record.
+fn run_threaded(
+    specs: &[WorkerSpec],
+    cfg: &ThreadedConfig,
+    wf: &mut Workflow,
+    arrivals: Vec<Arrival>,
+    meta: &RunMeta,
+) -> crossbid_metrics::RunRecord {
+    run_threaded_output(specs, cfg, wf, arrivals, meta).record
+}
 
 fn res(id: u64, mb: u64) -> ResourceRef {
     ResourceRef {

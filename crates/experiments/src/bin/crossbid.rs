@@ -13,7 +13,7 @@
 //! Prints one metrics row per iteration (and optionally a Gantt chart
 //! of the last iteration, or CSV output).
 
-use crossbid_crossflow::{EngineConfig, Session, Workflow};
+use crossbid_crossflow::{EngineConfig, RunSpec, Workflow};
 use crossbid_experiments::runner::allocator_for;
 use crossbid_metrics::table::f2;
 use crossbid_metrics::{render_csv, SchedulerKind, Table};
@@ -172,15 +172,17 @@ fn main() {
                 mean_interval_secs: args.mean_interval,
             },
         );
-        let mut session = Session::new(
-            &args.workers.paper_specs(),
-            engine,
-            args.workers.name(),
-            args.jobs.name(),
-            args.seed,
-        );
+        let mut session = RunSpec::builder()
+            .workers(args.workers.paper_specs())
+            .engine(engine)
+            .names(args.workers.name(), args.jobs.name())
+            .seed(args.seed)
+            .build()
+            .sim();
         for _ in 0..args.iterations {
-            let r = session.run_iteration(&mut wf, alloc.as_ref(), stream.arrivals.clone());
+            let r = session
+                .run_iteration(&mut wf, alloc.as_ref(), stream.arrivals.clone())
+                .record;
             let row = vec![
                 sched.name().to_string(),
                 r.iteration.to_string(),

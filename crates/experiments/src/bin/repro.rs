@@ -1,21 +1,40 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|all]
-//!       [--smoke] [--seed N] [--out DIR]
+//! repro [fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|all]
+//!       [--smoke] [--seed N] [--out DIR] [--trace FILE]
 //! ```
 //!
 //! With `--out DIR` every artifact is also written to
 //! `DIR/<artifact>.md` and the raw grid records to `DIR/records.csv`.
+//! With `--trace FILE` the run records behind the artifact are also
+//! streamed to `FILE` as JSONL (`crossbid_crossflow::export` schema).
 //!
 //! `fig3`/`fig4`/`summary` share one grid execution; `fig2` runs the
 //! Spark comparison; `tables` runs the threaded-runtime MSR
 //! experiment. `--smoke` shrinks everything for a fast check.
+//!
+//! The `trace` artifact runs one scenario with full observability on
+//! either runtime and prints the phase-breakdown table:
+//!
+//! ```text
+//! repro trace [--runtime sim|threaded] [--scheduler S] [--workers W]
+//!             [--jobs J] [--n N] [--iterations I] [--seed K]
+//!             [--trace FILE]
+//! ```
 
+use crossbid_experiments::trace_run::{self, RuntimeChoice, TraceRunConfig};
 use crossbid_experiments::{
     crash_sweep, crossover, extensions, fig2, fig3, fig4, replication, summary, tables,
     ExperimentConfig,
 };
+use crossbid_metrics::SchedulerKind;
+use crossbid_workload::{JobConfig, WorkerConfig};
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +58,18 @@ fn main() {
     if let Some(d) = &out_dir {
         std::fs::create_dir_all(d).expect("create --out directory");
     }
+    let trace_file = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let emit_trace_records = |records: &[crossbid_metrics::RunRecord]| {
+        if let Some(path) = &trace_file {
+            let f = std::fs::File::create(path).expect("create --trace file");
+            let lines = trace_run::write_records_jsonl(f, records).expect("write --trace JSONL");
+            eprintln!("[repro] wrote {lines} JSONL lines to {path}");
+        }
+    };
     let emit = |name: &str, body: &str| {
         println!("{body}");
         if let Some(d) = &out_dir {
@@ -103,6 +134,7 @@ fn main() {
             let (rows, records) = fig3::run(&cfg);
             emit("fig3", &fig3::render(&rows));
             emit_records(&records);
+            emit_trace_records(&records);
         }
         "fig4" => {
             let (rows, records) = fig4::run(&cfg);
@@ -126,6 +158,9 @@ fn main() {
             };
             let cells = crash_sweep::run(&exp);
             emit("crash_sweep", &crash_sweep::render(&cells));
+            let records: Vec<crossbid_metrics::RunRecord> =
+                cells.iter().map(|c| c.record.clone()).collect();
+            emit_trace_records(&records);
         }
         "crossover" => {
             let points = crossover::run(&cfg);
@@ -149,6 +184,59 @@ fn main() {
             };
             let res = tables::run(&exp);
             emit("tables", &tables::render(&res));
+        }
+        "trace" => {
+            let flag = |name: &str| {
+                args.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| args.get(i + 1))
+            };
+            let mut tcfg = TraceRunConfig {
+                seed: seed.unwrap_or(0xC0FFEE),
+                ..TraceRunConfig::default()
+            };
+            if smoke {
+                tcfg.n_jobs = 12;
+            }
+            if let Some(v) = flag("--runtime") {
+                tcfg.runtime = RuntimeChoice::from_name(v)
+                    .unwrap_or_else(|| die(&format!("unknown runtime '{v}' (sim|threaded)")));
+            }
+            if let Some(v) = flag("--scheduler") {
+                tcfg.scheduler = SchedulerKind::from_name(v)
+                    .unwrap_or_else(|| die(&format!("unknown scheduler '{v}'")));
+            }
+            if let Some(v) = flag("--workers") {
+                tcfg.worker_config = WorkerConfig::ALL
+                    .into_iter()
+                    .find(|w| w.name() == v)
+                    .unwrap_or_else(|| die(&format!("unknown worker config '{v}'")));
+            }
+            if let Some(v) = flag("--jobs") {
+                tcfg.job_config = JobConfig::ALL
+                    .into_iter()
+                    .find(|j| j.name() == v)
+                    .unwrap_or_else(|| die(&format!("unknown job config '{v}'")));
+            }
+            if let Some(v) = flag("--n") {
+                tcfg.n_jobs = v.parse().unwrap_or_else(|e| die(&format!("--n: {e}")));
+            }
+            if let Some(v) = flag("--iterations") {
+                tcfg.iterations = v
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--iterations: {e}")));
+            }
+            let runs = trace_run::run(&tcfg).unwrap_or_else(|e| die(&e));
+            emit("trace", &trace_run::render_phase_table(&runs));
+            if let Some(path) = &trace_file {
+                let f = std::fs::File::create(path).expect("create --trace file");
+                let lines = trace_run::write_streams(f, &runs).expect("write --trace JSONL");
+                eprintln!("[repro] wrote {lines} JSONL lines to {path}");
+            } else {
+                let lines = trace_run::write_streams(std::io::stdout().lock(), &runs)
+                    .expect("write JSONL to stdout");
+                eprintln!("[repro] streamed {lines} JSONL lines to stdout");
+            }
         }
         "all" => {
             let (rows2, _) = fig2::run(&cfg);
@@ -178,7 +266,7 @@ fn main() {
             emit("crossover", &crossover::render(&points));
         }
         other => {
-            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|all");
+            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|all");
             std::process::exit(2);
         }
     }

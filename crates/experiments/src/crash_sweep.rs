@@ -8,7 +8,7 @@
 //! redistributed, accumulated downtime.
 
 use crossbid_crossflow::{
-    run_threaded, FaultPlan, RunMeta, ThreadedConfig, ThreadedScheduler, WorkerId, Workflow,
+    run_threaded_output, FaultPlan, RunMeta, ThreadedConfig, ThreadedScheduler, WorkerId, Workflow,
 };
 use crossbid_metrics::table::{f2, fpct};
 use crossbid_metrics::{percent_reduction, RunRecord, Table};
@@ -111,7 +111,7 @@ fn one_run(
         seed: exp.seed,
         ..RunMeta::default()
     };
-    run_threaded(&specs, &cfg, &mut wf, stream.arrivals, &meta)
+    run_threaded_output(&specs, &cfg, &mut wf, stream.arrivals, &meta).record
 }
 
 /// Run the sweep for Bidding and Baseline. Crash times are anchored

@@ -16,7 +16,7 @@
 //! so the ratio climbs.
 
 use crossbid_core::BiddingAllocator;
-use crossbid_crossflow::{Allocator, BaselineAllocator, Session, Workflow};
+use crossbid_crossflow::{Allocator, BaselineAllocator, RunSpec, Workflow};
 use crossbid_metrics::table::f2;
 use crossbid_metrics::{speedup, RunRecord, Table};
 use crossbid_workload::{JobMix, MixComponent, Repetition, SizeClass, WorkerConfig};
@@ -72,13 +72,13 @@ fn run_point(cfg: &ExperimentConfig, repo_mb: u64, alloc: &dyn Allocator) -> Run
             a.spec.work_bytes = r.bytes;
         }
     }
-    let mut session = Session::new(
-        &WorkerConfig::AllEqual.specs(cfg.n_workers),
-        cfg.engine.clone(),
-        WorkerConfig::AllEqual.name(),
-        format!("pool8_{repo_mb}mb"),
-        cfg.seed,
-    );
+    let mut session = RunSpec::builder()
+        .workers(WorkerConfig::AllEqual.specs(cfg.n_workers))
+        .engine(cfg.engine.clone())
+        .names(WorkerConfig::AllEqual.name(), format!("pool8_{repo_mb}mb"))
+        .seed(cfg.seed)
+        .build()
+        .sim();
     // Two iterations; report the warm one (locality in effect).
     let records = session.run_iterations(&mut wf, alloc, 2, |_| stream.arrivals.clone());
     records.into_iter().last().expect("two iterations")

@@ -27,6 +27,7 @@ pub mod replication;
 pub mod runner;
 pub mod summary;
 pub mod tables;
+pub mod trace_run;
 
 pub use config::ExperimentConfig;
 pub use runner::{run_cell, run_grid, Cell};

@@ -2,7 +2,7 @@
 //! scheduler), run as a warm-cache multi-iteration session.
 
 use crossbid_core::BiddingAllocator;
-use crossbid_crossflow::{Allocator, BaselineAllocator, Session, Workflow};
+use crossbid_crossflow::{Allocator, BaselineAllocator, RunSpec, Workflow};
 use crossbid_metrics::{RunRecord, SchedulerKind};
 use crossbid_simcore::SeedSequence;
 use crossbid_workload::{JobConfig, WorkerConfig};
@@ -60,16 +60,16 @@ pub fn run_cell(cfg: &ExperimentConfig, cell: Cell) -> Vec<RunRecord> {
         .job_config
         .generate(wseed, cfg.n_jobs, task, &cfg.arrivals);
     let allocator = allocator_for(cell.scheduler);
-    let mut session = Session::new(
-        &specs,
-        cfg.engine.clone(),
-        cell.worker_config.name(),
-        cell.job_config.name(),
-        wseed,
-    );
-    (0..cfg.iterations)
-        .map(|_| session.run_iteration(&mut wf, allocator.as_ref(), stream.arrivals.clone()))
-        .collect()
+    let mut session = RunSpec::builder()
+        .workers(specs)
+        .engine(cfg.engine.clone())
+        .names(cell.worker_config.name(), cell.job_config.name())
+        .seed(wseed)
+        .build()
+        .sim();
+    session.run_iterations(&mut wf, allocator.as_ref(), cfg.iterations, |_| {
+        stream.arrivals.clone()
+    })
 }
 
 /// Run many cells in parallel (one OS thread per cell, bounded by the

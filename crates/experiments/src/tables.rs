@@ -6,7 +6,9 @@
 
 use std::sync::Arc;
 
-use crossbid_crossflow::{run_threaded, RunMeta, ThreadedConfig, ThreadedScheduler, Workflow};
+use crossbid_crossflow::{
+    run_threaded_output, RunMeta, ThreadedConfig, ThreadedScheduler, Workflow,
+};
 use crossbid_metrics::table::f2;
 use crossbid_metrics::{RunRecord, SchedulerKind, Table};
 use crossbid_msr::github::GitHubParams;
@@ -115,7 +117,7 @@ pub fn run(exp: &MsrExperiment) -> MsrResults {
                     iteration: i,
                     seed: run_seed,
                 };
-                let mut r = run_threaded(&specs, &cfg, &mut wf, arrivals, &meta);
+                let mut r = run_threaded_output(&specs, &cfg, &mut wf, arrivals, &meta).record;
                 r.scheduler = kind;
                 r
             })

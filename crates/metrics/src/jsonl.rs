@@ -1,0 +1,200 @@
+//! Streaming JSONL (one JSON object per line) writing and parsing.
+//!
+//! The trace-export schema emits one self-describing object per line
+//! (`{"type":"trace",...}`), so a consumer can stream-filter a run
+//! without loading it whole.  [`JsonlWriter`] renders each value
+//! compactly and flushes on drop; [`parse_jsonl`] is the inverse.
+
+use crate::json::{Json, JsonError};
+use crate::registry::{HistogramSnapshot, RegistrySnapshot};
+use std::io::{self, Write};
+
+/// Line-oriented writer: one compact JSON document per line.
+pub struct JsonlWriter<W: Write> {
+    out: W,
+    lines: u64,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    pub fn new(out: W) -> Self {
+        Self { out, lines: 0 }
+    }
+
+    /// Write one value as a single line.
+    pub fn write(&mut self, value: &Json) -> io::Result<()> {
+        self.out.write_all(value.render().as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Number of lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Parse a JSONL document: one JSON value per non-empty line.
+pub fn parse_jsonl(s: &str) -> Result<Vec<Json>, JsonError> {
+    s.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            Json::parse(line).map_err(|e| JsonError(format!("line {}: {}", i + 1, e.0)))
+        })
+        .collect()
+}
+
+impl RegistrySnapshot {
+    /// Stable JSON form: three name-sorted sections.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.to_json()))
+                .collect(),
+        );
+        Json::obj([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let section = |name: &str| -> Result<&[(String, Json)], JsonError> {
+            match v.req(name)? {
+                Json::Obj(fields) => Ok(fields),
+                _ => Err(JsonError(format!("`{name}` is not an object"))),
+            }
+        };
+        let counters = section("counters")?
+            .iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| JsonError(format!("counter `{k}` is not a u64")))
+            })
+            .collect::<Result<_, _>>()?;
+        let gauges = section("gauges")?
+            .iter()
+            .map(|(k, v)| {
+                v.as_f64()
+                    .map(|x| (k.clone(), x))
+                    .ok_or_else(|| JsonError(format!("gauge `{k}` is not a number")))
+            })
+            .collect::<Result<_, _>>()?;
+        let histograms = section("histograms")?
+            .iter()
+            .map(|(k, v)| HistogramSnapshot::from_json(v).map(|h| (k.clone(), h)))
+            .collect::<Result<_, _>>()?;
+        Ok(RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::UInt(self.count)),
+            ("sum", Json::Num(self.sum)),
+            (
+                "buckets",
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|(lo, n)| Json::Arr(vec![Json::Num(*lo), Json::UInt(*n)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let count = v.req_u64("count")?;
+        let sum = v.req_f64("sum")?;
+        let buckets = v
+            .req("buckets")?
+            .as_arr()
+            .ok_or_else(|| JsonError("`buckets` is not an array".into()))?
+            .iter()
+            .map(|pair| {
+                let pair = pair
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| JsonError("bucket is not a [bound, count] pair".into()))?;
+                let lo = pair[0]
+                    .as_f64()
+                    .ok_or_else(|| JsonError("bucket bound is not a number".into()))?;
+                let n = pair[1]
+                    .as_u64()
+                    .ok_or_else(|| JsonError("bucket count is not a u64".into()))?;
+                Ok((lo, n))
+            })
+            .collect::<Result<_, JsonError>>()?;
+        Ok(HistogramSnapshot {
+            count,
+            sum,
+            buckets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn writer_emits_one_line_per_value() {
+        let mut w = JsonlWriter::new(Vec::new());
+        w.write(&Json::obj([("a", Json::UInt(1))])).unwrap();
+        w.write(&Json::str("two")).unwrap();
+        assert_eq!(w.lines(), 2);
+        let buf = w.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "{\"a\":1}\n\"two\"\n");
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn registry_snapshot_round_trips() {
+        let reg = Registry::new();
+        reg.counter("contests/opened").add(12);
+        reg.gauge("worker/0/busy_frac").set(0.8125);
+        let h = reg.histogram("job/queue_wait_secs");
+        h.record(0.5);
+        h.record(2.0);
+        h.record(2.1);
+        let snap = reg.snapshot();
+        let back = RegistrySnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let err = parse_jsonl("{\"ok\":1}\nnot json\n").unwrap_err();
+        assert!(err.0.starts_with("line 2:"), "{err}");
+    }
+}

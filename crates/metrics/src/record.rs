@@ -1,5 +1,6 @@
 //! Per-run measurement records.
 
+use crate::json::{Json, JsonError};
 use serde::{Deserialize, Serialize};
 
 /// Which allocation algorithm produced a run. Mirrors the schedulers
@@ -43,6 +44,11 @@ impl SchedulerKind {
             SchedulerKind::Bar => "bar",
             SchedulerKind::Random => "random",
         }
+    }
+
+    /// Inverse of [`SchedulerKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
     }
 
     /// Every implemented scheduler.
@@ -143,6 +149,79 @@ impl RunRecord {
         (sum * sum) / (n as f64 * sum_sq)
     }
 
+    /// JSONL-schema form of the record (field order is stable).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("scheduler", Json::str(self.scheduler.name())),
+            ("worker_config", Json::str(&self.worker_config)),
+            ("job_config", Json::str(&self.job_config)),
+            ("iteration", Json::UInt(self.iteration as u64)),
+            ("seed", Json::UInt(self.seed)),
+            ("makespan_secs", Json::Num(self.makespan_secs)),
+            ("data_load_mb", Json::Num(self.data_load_mb)),
+            ("cache_misses", Json::UInt(self.cache_misses)),
+            ("cache_hits", Json::UInt(self.cache_hits)),
+            ("evictions", Json::UInt(self.evictions)),
+            ("jobs_completed", Json::UInt(self.jobs_completed)),
+            ("control_messages", Json::UInt(self.control_messages)),
+            ("contests_timed_out", Json::UInt(self.contests_timed_out)),
+            ("contests_fallback", Json::UInt(self.contests_fallback)),
+            ("mean_queue_wait_secs", Json::Num(self.mean_queue_wait_secs)),
+            (
+                "worker_busy_frac",
+                Json::Arr(
+                    self.worker_busy_frac
+                        .iter()
+                        .map(|&b| Json::Num(b))
+                        .collect(),
+                ),
+            ),
+            ("jobs_redistributed", Json::UInt(self.jobs_redistributed)),
+            ("worker_crashes", Json::UInt(self.worker_crashes)),
+            ("recovery_secs", Json::Num(self.recovery_secs)),
+        ])
+    }
+
+    /// Inverse of [`RunRecord::to_json`].
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let name = v.req_str("scheduler")?;
+        let scheduler = SchedulerKind::from_name(name)
+            .ok_or_else(|| JsonError(format!("unknown scheduler `{name}`")))?;
+        let iteration = u32::try_from(v.req_u64("iteration")?)
+            .map_err(|_| JsonError("iteration out of range".into()))?;
+        let worker_busy_frac = v
+            .req("worker_busy_frac")?
+            .as_arr()
+            .ok_or_else(|| JsonError("`worker_busy_frac` is not an array".into()))?
+            .iter()
+            .map(|b| {
+                b.as_f64()
+                    .ok_or_else(|| JsonError("busy fraction is not a number".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(RunRecord {
+            scheduler,
+            worker_config: v.req_str("worker_config")?.to_string(),
+            job_config: v.req_str("job_config")?.to_string(),
+            iteration,
+            seed: v.req_u64("seed")?,
+            makespan_secs: v.req_f64("makespan_secs")?,
+            data_load_mb: v.req_f64("data_load_mb")?,
+            cache_misses: v.req_u64("cache_misses")?,
+            cache_hits: v.req_u64("cache_hits")?,
+            evictions: v.req_u64("evictions")?,
+            jobs_completed: v.req_u64("jobs_completed")?,
+            control_messages: v.req_u64("control_messages")?,
+            contests_timed_out: v.req_u64("contests_timed_out")?,
+            contests_fallback: v.req_u64("contests_fallback")?,
+            mean_queue_wait_secs: v.req_f64("mean_queue_wait_secs")?,
+            worker_busy_frac,
+            jobs_redistributed: v.req_u64("jobs_redistributed")?,
+            worker_crashes: v.req_u64("worker_crashes")?,
+            recovery_secs: v.req_f64("recovery_secs")?,
+        })
+    }
+
     /// Imbalance of worker utilization: max − min busy fraction.
     pub fn utilization_spread(&self) -> f64 {
         let mut lo = f64::INFINITY;
@@ -223,6 +302,26 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), SchedulerKind::ALL.len());
+    }
+
+    #[test]
+    fn record_json_round_trips() {
+        let r = record();
+        let back = RunRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(format!("{r:?}"), format!("{back:?}"));
+        // And through an actual rendered line.
+        let reparsed = Json::parse(&r.to_json().render()).unwrap();
+        let back2 = RunRecord::from_json(&reparsed).unwrap();
+        assert_eq!(back2.seed, r.seed);
+        assert_eq!(back2.worker_busy_frac, r.worker_busy_frac);
+    }
+
+    #[test]
+    fn scheduler_from_name_is_inverse() {
+        for k in SchedulerKind::ALL {
+            assert_eq!(SchedulerKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(SchedulerKind::from_name("nope"), None);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! mostly large repositories) on the `one-slow` cluster: the setting
 //! where allocation quality matters most.
 
-use crossbid_crossflow::{Session, Workflow};
+use crossbid_crossflow::{RunSpec, Workflow};
 use crossbid_examples::metric_line;
 use crossbid_experiments_shim::*;
 
@@ -15,7 +15,7 @@ mod crossbid_experiments_shim {
         SparkLocalityAllocator, SparkStaticAllocator,
     };
     pub use crossbid_core::BiddingAllocator;
-    pub use crossbid_crossflow::{Allocator, BaselineAllocator, EngineConfig};
+    pub use crossbid_crossflow::{Allocator, BaselineAllocator};
     pub use crossbid_workload::{ArrivalProcess, JobConfig, WorkerConfig};
 }
 
@@ -48,13 +48,12 @@ fn main() {
         let mut wf = Workflow::new();
         let task = wf.add_sink("scan");
         let stream = job_cfg.generate(seed, 60, task, &ArrivalProcess::evaluation_default());
-        let mut session = Session::new(
-            &worker_cfg.paper_specs(),
-            EngineConfig::default(),
-            worker_cfg.name(),
-            job_cfg.name(),
-            seed,
-        );
+        let mut session = RunSpec::builder()
+            .workers(worker_cfg.paper_specs())
+            .names(worker_cfg.name(), job_cfg.name())
+            .seed(seed)
+            .build()
+            .sim();
         // Two iterations: the second shows warm-cache behaviour.
         let records =
             session.run_iterations(&mut wf, alloc.as_ref(), 2, |_| stream.arrivals.clone());

@@ -5,7 +5,9 @@
 
 use std::sync::Arc;
 
-use crossbid_crossflow::{run_threaded, RunMeta, ThreadedConfig, ThreadedScheduler, Workflow};
+use crossbid_crossflow::{
+    run_threaded_output, RunMeta, ThreadedConfig, ThreadedScheduler, Workflow,
+};
 use crossbid_examples::metric_line;
 use crossbid_msr::github::GitHubParams;
 use crossbid_msr::{build_pipeline, library_arrivals, SyntheticGitHub};
@@ -44,7 +46,7 @@ fn main() {
             ..RunMeta::default()
         };
         let t0 = std::time::Instant::now();
-        let record = run_threaded(&specs, &cfg, &mut wf, arrivals, &meta);
+        let record = run_threaded_output(&specs, &cfg, &mut wf, arrivals, &meta).record;
         println!(
             "{}   (virtual; {:.2}s real, {} jobs)",
             metric_line(label, &record),

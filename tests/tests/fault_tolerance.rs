@@ -4,7 +4,7 @@
 
 use crossbid_core::BiddingAllocator;
 use crossbid_crossflow::{
-    run_threaded_traced, run_workflow, Arrival, BaselineAllocator, Cluster, EngineConfig,
+    run_threaded_output, run_workflow, Arrival, BaselineAllocator, Cluster, EngineConfig,
     FaultPlan, JobSpec, Payload, ResourceRef, RunMeta, ThreadedConfig, ThreadedScheduler, WorkerId,
     WorkerSpec, Workflow,
 };
@@ -276,11 +276,11 @@ fn both_runtimes_mask_the_same_crash() {
     };
     let mut wf2 = Workflow::new();
     wf2.add_sink("scan");
-    let (thr, tlog) = run_threaded_traced(&specs(3), &thr_cfg, &mut wf2, hot, &RunMeta::default());
+    let thr = run_threaded_output(&specs(3), &thr_cfg, &mut wf2, hot, &RunMeta::default());
 
     for (label, rec, log) in [
         ("sim", &sim.record, &sim.sched_log),
-        ("threaded", &thr, &tlog),
+        ("threaded", &thr.record, &thr.sched_log),
     ] {
         assert_eq!(rec.jobs_completed, 10, "{label}: no job may be lost");
         assert_eq!(rec.worker_crashes, 1, "{label}");

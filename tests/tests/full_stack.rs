@@ -9,7 +9,7 @@ use crossbid_baselines::{
 };
 use crossbid_core::BiddingAllocator;
 use crossbid_crossflow::{
-    run_workflow, Allocator, BaselineAllocator, Cluster, EngineConfig, RunMeta, Session, Workflow,
+    run_workflow, Allocator, BaselineAllocator, Cluster, EngineConfig, RunMeta, RunSpec, Workflow,
 };
 use crossbid_metrics::{Aggregator, SchedulerKind};
 use crossbid_msr::github::GitHubParams;
@@ -128,13 +128,12 @@ fn sessions_warm_up_locality_for_locality_aware_schedulers() {
         let mut wf = Workflow::new();
         let task = wf.add_sink("scan");
         let stream = jc.generate(13, 20, task, &ArrivalProcess::evaluation_default());
-        let mut session = Session::new(
-            &wc.specs(3),
-            EngineConfig::default(),
-            wc.name(),
-            jc.name(),
-            13,
-        );
+        let mut session = RunSpec::builder()
+            .workers(wc.specs(3))
+            .names(wc.name(), jc.name())
+            .seed(13)
+            .build()
+            .sim();
         let records = session.run_iterations(&mut wf, alloc, 3, |_| stream.arrivals.clone());
         assert_eq!(records.len(), 3);
         let cold = records[0].cache_misses;
@@ -203,17 +202,20 @@ fn cache_wipe_between_iterations_is_survivable() {
     let mut wf = Workflow::new();
     let task = wf.add_sink("scan");
     let stream = jc.generate(17, 20, task, &ArrivalProcess::evaluation_default());
-    let mut session = Session::new(
-        &wc.specs(3),
-        EngineConfig::default(),
-        wc.name(),
-        jc.name(),
-        17,
-    );
+    let mut session = RunSpec::builder()
+        .workers(wc.specs(3))
+        .names(wc.name(), jc.name())
+        .seed(17)
+        .build()
+        .sim();
     let alloc = BiddingAllocator::new();
-    let warm = session.run_iteration(&mut wf, &alloc, stream.arrivals.clone());
+    let warm = session
+        .run_iteration(&mut wf, &alloc, stream.arrivals.clone())
+        .record;
     session.cluster_mut().clear_caches();
-    let wiped = session.run_iteration(&mut wf, &alloc, stream.arrivals.clone());
+    let wiped = session
+        .run_iteration(&mut wf, &alloc, stream.arrivals.clone())
+        .record;
     assert_eq!(warm.jobs_completed, 20);
     assert_eq!(wiped.jobs_completed, 20);
     assert!(

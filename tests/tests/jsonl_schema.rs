@@ -1,0 +1,152 @@
+//! JSONL export schema tests: every line kind survives a
+//! write→parse→write round trip byte-identically, and both runtimes
+//! emit the same event vocabulary (pinned by a golden file, so a
+//! renamed or dropped event kind is a reviewed schema change, not an
+//! accident).
+
+use std::collections::BTreeSet;
+
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::{
+    parse_run_stream, sched_kind_name, Arrival, EngineConfig, FaultPlan, JobSpec, Payload,
+    ResourceRef, RunSpec, RunStreamLine, Runtime, TraceKind, WorkerId, WorkerSpec, Workflow,
+};
+use crossbid_net::{ControlPlane, NoiseModel};
+use crossbid_simcore::{SimDuration, SimTime};
+use crossbid_storage::ObjectId;
+
+const GOLDEN_VOCABULARY: &str = include_str!("../golden/event_vocabulary.txt");
+
+fn specs(n: usize) -> Vec<WorkerSpec> {
+    (0..n)
+        .map(|i| {
+            WorkerSpec::builder(format!("w{i}"))
+                .net_mbps(10.0)
+                .rw_mbps(100.0)
+                .storage_gb(10.0)
+                .build()
+        })
+        .collect()
+}
+
+/// Twelve jobs chasing one repo arrive within 5.5 virtual seconds —
+/// far faster than the ~10 s fetch — so by the crash at t=6 worker 0
+/// (winner of the all-equal first-contest tie on lowest id) holds
+/// unfinished work to strand. The recovery at t=12 exercises the
+/// remaining fault event kinds.
+fn faulted_spec() -> RunSpec {
+    RunSpec::builder()
+        .workers(specs(3))
+        .engine(EngineConfig {
+            control: ControlPlane::instant(),
+            data_latency: SimDuration::ZERO,
+            noise: NoiseModel::None,
+            ..EngineConfig::default()
+        })
+        .speed_learning(false)
+        .faults(
+            FaultPlan::new()
+                .crash_at(SimTime::from_secs(6), WorkerId(0))
+                .recover_at(SimTime::from_secs(12), WorkerId(0)),
+        )
+        .trace(true)
+        .seed(7)
+        .time_scale(1e-3)
+        .build()
+}
+
+fn hot_repo_arrivals(task: crossbid_crossflow::TaskId) -> Vec<Arrival> {
+    (0..12)
+        .map(|i| Arrival {
+            at: SimTime::from_secs_f64(i as f64 * 0.5),
+            spec: JobSpec::scanning(
+                task,
+                ResourceRef {
+                    id: ObjectId(1),
+                    bytes: 100_000_000,
+                },
+                Payload::Index(i),
+            ),
+        })
+        .collect()
+}
+
+fn trace_kind_label(kind: TraceKind) -> &'static str {
+    match kind {
+        TraceKind::Queued => "trace/queued",
+        TraceKind::Started => "trace/started",
+        TraceKind::Fetched => "trace/fetched",
+        TraceKind::Finished => "trace/finished",
+    }
+}
+
+/// Stream one faulted run and return `(raw JSONL, event vocabulary)`.
+fn stream_vocabulary(rt: &mut dyn Runtime) -> (String, BTreeSet<String>) {
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let out = rt.run_iteration(&mut wf, &BiddingAllocator::new(), hot_repo_arrivals(task));
+    assert_eq!(out.record.jobs_completed, 12, "{}", rt.name());
+    let meta = crossbid_crossflow::RunStreamMeta {
+        runtime: rt.name().to_string(),
+        scheduler: "bidding".to_string(),
+        worker_config: "custom".to_string(),
+        job_config: "custom".to_string(),
+        iteration: 0,
+        seed: 7,
+    };
+    let mut buf = Vec::new();
+    crossbid_crossflow::write_run_stream(&mut buf, &meta, &out).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let mut vocab = BTreeSet::new();
+    for line in parse_run_stream(&text).unwrap() {
+        match line {
+            RunStreamLine::Trace(ev) => {
+                vocab.insert(trace_kind_label(ev.kind).to_string());
+            }
+            RunStreamLine::Sched(ev) => {
+                vocab.insert(format!("sched/{}", sched_kind_name(&ev.kind)));
+            }
+            _ => {}
+        }
+    }
+    (text, vocab)
+}
+
+#[test]
+fn run_streams_round_trip_byte_identically() {
+    // parse(write(run)) re-rendered must be byte-identical to the
+    // original stream: no field is lost, reordered, or reformatted.
+    let spec = faulted_spec();
+    let runtimes: [Box<dyn Runtime>; 2] = [Box::new(spec.sim()), Box::new(spec.threaded())];
+    for mut rt in runtimes {
+        let (text, _) = stream_vocabulary(rt.as_mut());
+        let rewritten: String = parse_run_stream(&text)
+            .unwrap()
+            .iter()
+            .map(|l| l.to_json().render() + "\n")
+            .collect();
+        assert_eq!(text, rewritten, "{}: lossy round trip", rt.name());
+    }
+}
+
+#[test]
+fn both_runtimes_emit_the_golden_event_vocabulary() {
+    let golden: BTreeSet<String> = GOLDEN_VOCABULARY
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(String::from)
+        .collect();
+    assert_eq!(golden.len(), 11, "golden file lists every event kind");
+    let spec = faulted_spec();
+    let runtimes: [Box<dyn Runtime>; 2] = [Box::new(spec.sim()), Box::new(spec.threaded())];
+    for mut rt in runtimes {
+        let (_, vocab) = stream_vocabulary(rt.as_mut());
+        assert_eq!(
+            vocab,
+            golden,
+            "{}: emitted vocabulary diverged from tests/golden/event_vocabulary.txt",
+            rt.name()
+        );
+    }
+}

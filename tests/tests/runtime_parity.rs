@@ -4,19 +4,21 @@
 //! behaviour, data load) should agree closely, and their makespans
 //! should be in the same ballpark (the threaded runtime adds real
 //! thread jitter).
+//!
+//! Written once against the [`Runtime`] trait: every scenario builds
+//! one [`RunSpec`] and executes it on both runtimes.
 
 use crossbid_core::BiddingAllocator;
 use crossbid_crossflow::{
-    run_threaded, run_threaded_traced, run_workflow, Arrival, BaselineAllocator, Cluster,
-    EngineConfig, JobSpec, Payload, ResourceRef, RunMeta, TaskId, ThreadedConfig,
-    ThreadedScheduler, WorkerSpec, Workflow,
+    Allocator, Arrival, BaselineAllocator, EngineConfig, JobSpec, Payload, ResourceRef, RunOutput,
+    RunSpec, Runtime, TaskId, WorkerSpec, Workflow,
 };
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{SimDuration, SimTime};
 use crossbid_storage::ObjectId;
 
-fn specs() -> Vec<WorkerSpec> {
-    (0..3)
+fn specs(n: usize) -> Vec<WorkerSpec> {
+    (0..n)
         .map(|i| {
             WorkerSpec::builder(format!("w{i}"))
                 .net_mbps(10.0)
@@ -25,6 +27,27 @@ fn specs() -> Vec<WorkerSpec> {
                 .build()
         })
         .collect()
+}
+
+fn parity_spec(n_workers: usize) -> RunSpec {
+    RunSpec::builder()
+        .workers(specs(n_workers))
+        .engine(EngineConfig {
+            control: ControlPlane::instant(),
+            data_latency: SimDuration::ZERO,
+            noise: NoiseModel::None,
+            ..EngineConfig::default()
+        })
+        .speed_learning(false)
+        .trace(true)
+        .seed(5)
+        .time_scale(1e-4)
+        .build()
+}
+
+/// Both runtimes over the same spec, labelled.
+fn both_runtimes(spec: &RunSpec) -> Vec<Box<dyn Runtime>> {
+    vec![Box::new(spec.sim()), Box::new(spec.threaded())]
 }
 
 fn arrivals(task: TaskId) -> Vec<Arrival> {
@@ -45,70 +68,24 @@ fn arrivals(task: TaskId) -> Vec<Arrival> {
         .collect()
 }
 
-fn sim_record(bidding: bool) -> crossbid_metrics::RunRecord {
-    let cfg = EngineConfig {
-        control: ControlPlane::instant(),
-        data_latency: SimDuration::ZERO,
-        noise: NoiseModel::None,
-        ..EngineConfig::default()
-    };
-    let mut cluster = Cluster::new(&specs(), &cfg);
+fn run_once(rt: &mut dyn Runtime, allocator: &dyn Allocator) -> RunOutput {
     let mut wf = Workflow::new();
     let task = wf.add_sink("scan");
-    let meta = RunMeta {
-        seed: 5,
-        ..RunMeta::default()
-    };
-    if bidding {
-        run_workflow(
-            &mut cluster,
-            &mut wf,
-            &BiddingAllocator::new(),
-            arrivals(task),
-            &cfg,
-            &meta,
-        )
-        .record
-    } else {
-        run_workflow(
-            &mut cluster,
-            &mut wf,
-            &BaselineAllocator,
-            arrivals(task),
-            &cfg,
-            &meta,
-        )
-        .record
-    }
-}
-
-fn threaded_record(bidding: bool) -> crossbid_metrics::RunRecord {
-    let cfg = ThreadedConfig {
-        time_scale: 1e-4,
-        noise: NoiseModel::None,
-        speed_learning: false,
-        scheduler: if bidding {
-            ThreadedScheduler::Bidding { window_secs: 1.0 }
-        } else {
-            ThreadedScheduler::Baseline
-        },
-        seed: 5,
-        ..ThreadedConfig::default()
-    };
-    let mut wf = Workflow::new();
-    let task = wf.add_sink("scan");
-    let meta = RunMeta {
-        seed: 5,
-        ..RunMeta::default()
-    };
-    run_threaded(&specs(), &cfg, &mut wf, arrivals(task), &meta)
+    let jobs = arrivals(task);
+    rt.run_iteration(&mut wf, allocator, jobs)
 }
 
 #[test]
 fn runtimes_agree_on_structural_metrics() {
     for bidding in [true, false] {
-        let sim = sim_record(bidding);
-        let thr = threaded_record(bidding);
+        let allocator: Box<dyn Allocator> = if bidding {
+            Box::new(BiddingAllocator::new())
+        } else {
+            Box::new(BaselineAllocator)
+        };
+        let spec = parity_spec(3);
+        let sim = run_once(&mut spec.sim(), allocator.as_ref()).record;
+        let thr = run_once(&mut spec.threaded(), allocator.as_ref()).record;
         let label = if bidding { "bidding" } else { "baseline" };
         assert_eq!(sim.jobs_completed, thr.jobs_completed, "{label}");
         assert_eq!(
@@ -140,48 +117,12 @@ fn runtimes_agree_on_structural_metrics() {
 fn sched_logs_share_invariants_across_runtimes() {
     // Both runtimes emit the same SchedLog shape; on the same fault-
     // free bidding workload the control-plane invariants must match.
-    let cfg = EngineConfig {
-        control: ControlPlane::instant(),
-        data_latency: SimDuration::ZERO,
-        noise: NoiseModel::None,
-        trace: true,
-        ..EngineConfig::default()
-    };
-    let mut cluster = Cluster::new(&specs(), &cfg);
-    let mut wf = Workflow::new();
-    let task = wf.add_sink("scan");
-    let sim = run_workflow(
-        &mut cluster,
-        &mut wf,
-        &BiddingAllocator::new(),
-        arrivals(task),
-        &cfg,
-        &RunMeta::default(),
-    );
-
-    let tcfg = ThreadedConfig {
-        time_scale: 1e-4,
-        noise: NoiseModel::None,
-        speed_learning: false,
-        scheduler: ThreadedScheduler::Bidding { window_secs: 1.0 },
-        seed: 5,
-        ..ThreadedConfig::default()
-    };
-    let mut wf2 = Workflow::new();
-    let task2 = wf2.add_sink("scan");
-    let (thr, tlog) = run_threaded_traced(
-        &specs(),
-        &tcfg,
-        &mut wf2,
-        arrivals(task2),
-        &RunMeta::default(),
-    );
-
-    for (label, log, completed) in [
-        ("sim", &sim.sched_log, sim.record.jobs_completed),
-        ("threaded", &tlog, thr.jobs_completed),
-    ] {
-        assert_eq!(completed, 12, "{label}");
+    let spec = parity_spec(3);
+    for mut rt in both_runtimes(&spec) {
+        let out = run_once(rt.as_mut(), &BiddingAllocator::new());
+        let label = rt.name();
+        assert_eq!(out.record.jobs_completed, 12, "{label}");
+        let log = &out.sched_log;
         // Every job runs exactly one contest and lands exactly once.
         assert_eq!(log.contests_opened(), 12, "{label}: contests");
         assert_eq!(log.assignments(), 12, "{label}: assignments");
@@ -194,6 +135,48 @@ fn sched_logs_share_invariants_across_runtimes() {
 }
 
 #[test]
+fn registries_agree_on_protocol_counters() {
+    // The typed metrics layer must tell the same structural story on
+    // both runtimes: same contest count, same assignment count, no
+    // redistributions, and instrument cardinalities consistent with
+    // the record.
+    let spec = parity_spec(3);
+    let mut snaps = Vec::new();
+    for mut rt in both_runtimes(&spec) {
+        let out = run_once(rt.as_mut(), &BiddingAllocator::new());
+        let snap = out.metrics;
+        let label = rt.name();
+        assert_eq!(snap.counter("jobs/completed"), 12, "{label}");
+        assert_eq!(
+            snap.counter("cache/misses"),
+            out.record.cache_misses,
+            "{label}: registry and record disagree on misses"
+        );
+        // Phase histograms: every completed job waited and processed;
+        // every miss fetched.
+        let wait = snap.histogram("job/queue_wait_secs").expect(label);
+        assert_eq!(wait.count, 12, "{label}: queue_wait count");
+        let proc = snap.histogram("job/proc_secs").expect(label);
+        assert_eq!(proc.count, 12, "{label}: proc count");
+        let fetch = snap.histogram("job/fetch_secs").expect(label);
+        assert_eq!(
+            fetch.count, out.record.cache_misses,
+            "{label}: one fetch sample per miss"
+        );
+        snaps.push((label, snap));
+    }
+    let (_, sim) = &snaps[0];
+    let (_, thr) = &snaps[1];
+    for key in ["contests/opened", "assignments", "jobs/redistributed"] {
+        assert_eq!(
+            sim.counter(key),
+            thr.counter(key),
+            "runtimes disagree on {key}"
+        );
+    }
+}
+
+#[test]
 fn baseline_reoffer_prefers_a_different_idle_worker() {
     // Regression: a rejected job used to bounce straight back to the
     // rejector (who must accept the second time under reject-once),
@@ -201,14 +184,8 @@ fn baseline_reoffer_prefers_a_different_idle_worker() {
     // worker already held. With the fix, the re-offer goes to the
     // other idle worker first, and repeat jobs on a hot repo always
     // land on the warm worker: exactly one fetch, ever.
-    let cfg = ThreadedConfig {
-        time_scale: 1e-4,
-        noise: NoiseModel::None,
-        speed_learning: false,
-        scheduler: ThreadedScheduler::Baseline,
-        seed: 5,
-        ..ThreadedConfig::default()
-    };
+    let spec = parity_spec(2);
+    let mut rt = spec.threaded();
     let mut wf = Workflow::new();
     let task = wf.add_sink("scan");
     // Same repo throughout, spaced wider than fetch + scan so both
@@ -226,11 +203,39 @@ fn baseline_reoffer_prefers_a_different_idle_worker() {
             ),
         })
         .collect();
-    let r = run_threaded(&specs()[..2], &cfg, &mut wf, jobs, &RunMeta::default());
+    let r = rt.run_iteration(&mut wf, &BaselineAllocator, jobs).record;
     assert_eq!(r.jobs_completed, 6);
     assert_eq!(
         r.cache_misses, 1,
         "after the first fetch every re-offer must find the warm worker"
     );
     assert_eq!(r.cache_hits, 5);
+}
+
+#[test]
+fn threaded_session_keeps_caches_warm_across_iterations() {
+    // The ThreadedSession mirrors the sim Session's §6.3.1 semantics:
+    // stores persist, so a second identical iteration re-fetches
+    // nothing it already holds.
+    let spec = parity_spec(3);
+    for mut rt in both_runtimes(&spec) {
+        let alloc = BiddingAllocator::new();
+        let cold = run_once(rt.as_mut(), &alloc).record;
+        let warm = run_once(rt.as_mut(), &alloc).record;
+        assert_eq!(rt.iterations_run(), 2, "{}", rt.name());
+        assert_eq!(warm.iteration, 1, "{}", rt.name());
+        assert!(
+            warm.cache_misses <= cold.cache_misses,
+            "{}: warm iteration regressed ({} -> {})",
+            rt.name(),
+            cold.cache_misses,
+            warm.cache_misses
+        );
+        assert!(
+            warm.cache_misses <= 1,
+            "{}: nearly everything should be cached on iteration 2, got {} misses",
+            rt.name(),
+            warm.cache_misses
+        );
+    }
 }
