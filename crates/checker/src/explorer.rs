@@ -1,0 +1,333 @@
+//! The controlled-interleaving explorer.
+//!
+//! One threaded run explores one interleaving of the protocol
+//! messages. The explorer sweeps many: for each iteration it derives a
+//! fresh chaos seed, runs the scenario on the threaded runtime with
+//! the intake perturbed ([`ChaosConfig`]), feeds the resulting
+//! control-plane log to the invariant [`oracle`](crate::oracle), and
+//! cross-checks conservation counters against one deterministic run on
+//! the simulation engine. On a violation it *shrinks*: greedily drops
+//! jobs, then whole workers' fault schedules, keeping each removal
+//! only if the violation still reproduces, and reports the minimal
+//! scenario together with the chaos seed and the recorded delivery
+//! schedule — everything needed to replay the failure.
+//!
+//! The threaded runtime is genuinely nondeterministic, so
+//! "reproduces" means "within a few attempts under the same seeds";
+//! the shrinker is conservative and keeps anything it cannot confirm
+//! removable.
+
+use crossbid_crossflow::{ChaosConfig, ProtocolMutation, RunOutput};
+use crossbid_simcore::SeedSequence;
+
+use crate::oracle::{check_log, Violation};
+use crate::scenario::{Scenario, ThreadedRun};
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Interleavings (threaded runs) to explore per scenario.
+    pub iters: u32,
+    /// Root seed; per-iteration run and chaos seeds derive from it.
+    pub base_seed: u64,
+    /// Reintroduced protocol bug, if any (checker self-validation;
+    /// requires the `protocol-mutation` cargo feature).
+    pub mutation: ProtocolMutation,
+    /// Perturb message delivery (hold/reorder/duplicate/corrupt).
+    pub chaos: bool,
+    /// Enforce the Baseline's reject-once re-offer routing. Only sound
+    /// without chaos (reordering legitimizes re-offers), so the
+    /// explorer ignores it whenever `chaos` is on.
+    pub strict_reoffer: bool,
+    /// Cross-check conservation counters against one deterministic
+    /// simulation run of the same scenario.
+    pub parity: bool,
+    /// Shrink attempts per removal candidate (the threaded runtime is
+    /// nondeterministic; a violation counts as reproduced if any
+    /// attempt shows one).
+    pub repro_attempts: u32,
+}
+
+impl ExploreConfig {
+    /// A quick sweep of the correct protocol under chaos.
+    pub fn quick(iters: u32, base_seed: u64) -> Self {
+        ExploreConfig {
+            iters,
+            base_seed,
+            mutation: ProtocolMutation::None,
+            chaos: true,
+            strict_reoffer: false,
+            parity: true,
+            repro_attempts: 3,
+        }
+    }
+
+    /// Strict-mode sweep without chaos: deterministic delivery, plus
+    /// the Baseline re-offer routing invariant.
+    pub fn strict(iters: u32, base_seed: u64) -> Self {
+        ExploreConfig {
+            iters,
+            base_seed,
+            mutation: ProtocolMutation::None,
+            chaos: false,
+            strict_reoffer: true,
+            parity: true,
+            repro_attempts: 3,
+        }
+    }
+
+    fn effective_strict_reoffer(&self) -> bool {
+        self.strict_reoffer && !self.chaos
+    }
+}
+
+/// A minimized failing interleaving.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Iteration index at which the violation first appeared.
+    pub iteration: u32,
+    /// Run seed of the minimal repro.
+    pub run_seed: u64,
+    /// Chaos seed of the minimal repro (same as `run_seed` derivation;
+    /// `None` when chaos was off).
+    pub chaos_seed: Option<u64>,
+    /// Violations observed in the minimal repro.
+    pub violations: Vec<Violation>,
+    /// Job indices of the minimal repro.
+    pub kept_jobs: Vec<usize>,
+    /// Workers whose fault schedules the minimal repro still needs.
+    pub kept_fault_workers: Vec<u32>,
+    /// The recorded delivery schedule of the minimal failing run
+    /// (empty when chaos was off).
+    pub schedule: String,
+}
+
+/// Result of exploring one scenario.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Protocol name.
+    pub protocol: String,
+    /// Interleavings actually run (stops early on failure).
+    pub iterations_run: u32,
+    /// Conservation mismatches against the simulation run.
+    pub parity_mismatches: Vec<String>,
+    /// The minimized failure, if any iteration violated an invariant.
+    pub failure: Option<Failure>,
+}
+
+impl ExploreReport {
+    /// No violations and no parity mismatches.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none() && self.parity_mismatches.is_empty()
+    }
+
+    /// Human-readable report; on failure this is the full repro
+    /// recipe (seed + minimal scenario + delivery schedule).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} [{}]: {} interleaving(s)",
+            self.scenario, self.protocol, self.iterations_run
+        );
+        if self.passed() {
+            out.push_str(" — ok\n");
+            return out;
+        }
+        out.push('\n');
+        for m in &self.parity_mismatches {
+            out.push_str(&format!("  parity: {m}\n"));
+        }
+        if let Some(f) = &self.failure {
+            out.push_str(&format!(
+                "  VIOLATION at iteration {} (run seed {}, chaos seed {})\n",
+                f.iteration,
+                f.run_seed,
+                f.chaos_seed.map_or("-".into(), |s| s.to_string()),
+            ));
+            for v in &f.violations {
+                out.push_str(&format!("    {v}\n"));
+            }
+            out.push_str(&format!(
+                "  minimal repro: jobs {:?}, faulted workers {:?}\n",
+                f.kept_jobs, f.kept_fault_workers
+            ));
+            if !f.schedule.is_empty() {
+                out.push_str("  delivery schedule of the minimal failing run:\n");
+                for line in f.schedule.lines() {
+                    out.push_str(&format!("    {line}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One attempt: run + oracle. Returns the output and any violations.
+fn attempt(
+    sc: &Scenario,
+    cfg: &ExploreConfig,
+    run: &ThreadedRun,
+) -> (RunOutput, Vec<Violation>, String) {
+    let (chaos, log) = match &run.chaos {
+        Some(c) => {
+            let (c, h) = c.clone().with_delivery_log();
+            (Some(c), Some(h))
+        }
+        None => (None, None),
+    };
+    let run = ThreadedRun {
+        chaos,
+        ..run.clone()
+    };
+    let out = sc.run_threaded(&run);
+    let violations = check_log(
+        &out.sched_log,
+        sc.oracle_options(cfg.effective_strict_reoffer()),
+    );
+    let schedule = log.map(|h| h.lock().render()).unwrap_or_default();
+    (out, violations, schedule)
+}
+
+/// Does the violation reproduce under this (shrunk) run? Retries
+/// because the threaded runtime is nondeterministic.
+fn reproduces(sc: &Scenario, cfg: &ExploreConfig, run: &ThreadedRun) -> bool {
+    (0..cfg.repro_attempts.max(1)).any(|_| !attempt(sc, cfg, run).1.is_empty())
+}
+
+/// Greedy delta-debugging: drop jobs one at a time, then whole
+/// workers' fault schedules, keeping each removal only if the
+/// violation still reproduces.
+fn shrink(sc: &Scenario, cfg: &ExploreConfig, seed_run: &ThreadedRun) -> (Vec<usize>, Vec<u32>) {
+    let mut jobs: Vec<usize> = (0..sc.jobs.len()).collect();
+    for candidate in (0..sc.jobs.len()).rev() {
+        if jobs.len() == 1 {
+            break;
+        }
+        let trial: Vec<usize> = jobs.iter().copied().filter(|j| *j != candidate).collect();
+        if trial.len() < jobs.len()
+            && reproduces(
+                sc,
+                cfg,
+                &ThreadedRun {
+                    keep_jobs: Some(trial.clone()),
+                    ..seed_run.clone()
+                },
+            )
+        {
+            jobs = trial;
+        }
+    }
+    let mut fault_workers = sc.faulted_workers();
+    for candidate in sc.faulted_workers() {
+        let trial: Vec<u32> = fault_workers
+            .iter()
+            .copied()
+            .filter(|w| *w != candidate)
+            .collect();
+        if trial.len() < fault_workers.len()
+            && reproduces(
+                sc,
+                cfg,
+                &ThreadedRun {
+                    keep_jobs: Some(jobs.clone()),
+                    keep_fault_workers: Some(trial.clone()),
+                    ..seed_run.clone()
+                },
+            )
+        {
+            fault_workers = trial;
+        }
+    }
+    (jobs, fault_workers)
+}
+
+/// Sweep `cfg.iters` interleavings of `sc` on the threaded runtime.
+/// Stops at (and shrinks) the first violation.
+pub fn explore(sc: &Scenario, cfg: &ExploreConfig) -> ExploreReport {
+    let mut report = ExploreReport {
+        scenario: sc.name.to_string(),
+        protocol: sc.protocol.name().to_string(),
+        iterations_run: 0,
+        parity_mismatches: Vec::new(),
+        failure: None,
+    };
+    // One deterministic reference run for conservation parity.
+    let sim = cfg.parity.then(|| sc.run_sim(cfg.base_seed));
+    let seeds = SeedSequence::new(cfg.base_seed);
+    for i in 0..cfg.iters {
+        let run_seed = seeds.seed_for(i as u64);
+        let run = ThreadedRun {
+            seed: run_seed,
+            chaos: cfg.chaos.then(|| ChaosConfig::aggressive(run_seed)),
+            mutation: cfg.mutation,
+            keep_jobs: None,
+            keep_fault_workers: None,
+        };
+        let (out, violations, schedule) = attempt(sc, cfg, &run);
+        report.iterations_run = i + 1;
+        if let Some(sim) = &sim {
+            for (what, simv, thrv) in [
+                (
+                    "jobs_completed",
+                    sim.record.jobs_completed,
+                    out.record.jobs_completed,
+                ),
+                (
+                    "submissions",
+                    sim.sched_log.submissions() as u64,
+                    out.sched_log.submissions() as u64,
+                ),
+                (
+                    "completions",
+                    sim.sched_log.completions() as u64,
+                    out.sched_log.completions() as u64,
+                ),
+            ] {
+                if simv != thrv {
+                    report
+                        .parity_mismatches
+                        .push(format!("iteration {i}: {what} sim={simv} threaded={thrv}"));
+                }
+            }
+        }
+        if !violations.is_empty() {
+            let (kept_jobs, kept_fault_workers) = shrink(sc, cfg, &run);
+            // Re-run the minimal scenario to capture its schedule and
+            // violations; fall back to the original capture if the
+            // nondeterminism refuses to cooperate one more time.
+            let minimal = ThreadedRun {
+                keep_jobs: Some(kept_jobs.clone()),
+                keep_fault_workers: Some(kept_fault_workers.clone()),
+                ..run.clone()
+            };
+            let (mut min_violations, mut min_schedule) = (violations, schedule);
+            for _ in 0..cfg.repro_attempts.max(1) {
+                let (_, v, s) = attempt(sc, cfg, &minimal);
+                if !v.is_empty() {
+                    (min_violations, min_schedule) = (v, s);
+                    break;
+                }
+            }
+            report.failure = Some(Failure {
+                iteration: i,
+                run_seed,
+                chaos_seed: cfg.chaos.then_some(run_seed),
+                violations: min_violations,
+                kept_jobs,
+                kept_fault_workers,
+                schedule: min_schedule,
+            });
+            break;
+        }
+    }
+    report
+}
+
+/// Explore every built-in scenario; returns one report per scenario.
+pub fn explore_builtins(cfg: &ExploreConfig) -> Vec<ExploreReport> {
+    Scenario::builtins()
+        .iter()
+        .map(|sc| explore(sc, cfg))
+        .collect()
+}

@@ -1,0 +1,39 @@
+//! # crossbid-checker
+//!
+//! The correctness backstop for both crossflow runtimes: a **protocol
+//! invariant oracle** plus a **controlled-interleaving explorer**.
+//!
+//! The paper's protocols make conservation promises — every submitted
+//! job completes exactly once or is accounted to a crash, a contested
+//! job goes only to a worker that bid before the contest closed,
+//! redistribution reclaims only from the dead (§5, §6.2) — but
+//! neither runtime *checks* them; they just behave. This crate closes
+//! the loop:
+//!
+//! * [`oracle`] is a pure state machine over the shared control-plane
+//!   event log ([`crossbid_crossflow::SchedLog`], also reconstructible
+//!   from an exported JSONL stream). It knows nothing about either
+//!   runtime's internals, so the same invariants hold the simulation
+//!   engine and the threaded runtime to one standard.
+//! * [`scenario`] defines small, fully-specified workloads as *data*,
+//!   so a failing one can be shrunk mechanically.
+//! * [`explorer`] sweeps seeded message-delivery interleavings of the
+//!   threaded runtime (via [`crossbid_crossflow::ChaosConfig`]), runs
+//!   the oracle after every run, cross-checks conservation counters
+//!   against the deterministic simulation, and on failure shrinks to
+//!   a minimal scenario and prints the seed plus the recorded delivery
+//!   schedule — a replayable repro.
+//!
+//! The checker validates *itself* through
+//! [`crossbid_crossflow::ProtocolMutation`]: each variant
+//! re-introduces one protocol bug fixed in PR 1 (behind the
+//! `protocol-mutation` cargo feature of `crossbid-crossflow`), and the
+//! test suite asserts the explorer finds a violation for every one.
+
+pub mod explorer;
+pub mod oracle;
+pub mod scenario;
+
+pub use explorer::{explore, explore_builtins, ExploreConfig, ExploreReport, Failure};
+pub use oracle::{check_log, Oracle, OracleOptions, Violation};
+pub use scenario::{FaultDef, JobDef, Protocol, Scenario, ThreadedRun};

@@ -1,0 +1,847 @@
+//! The protocol invariant oracle: a pure state machine over the
+//! control-plane event log ([`SchedLog`]) asserting the conservation
+//! invariants the bidding protocol (paper §5, Listings 1–2) and the
+//! Baseline (§6.2) must uphold under *any* interleaving:
+//!
+//! 1. **Conservation** — every submitted job completes exactly once
+//!    (or, when the caller says a partial run is legitimate, at most
+//!    once); nothing completes that was never submitted.
+//! 2. **No assignment without a winning bid** — a contested job is
+//!    assigned only after its contest closed, to a worker that bid in
+//!    it (unless the close was an explicit no-bid fallback draft).
+//! 3. **No bid after close** — bids are recorded only into open
+//!    contests, at most one per worker per contest, and never with a
+//!    non-finite estimate.
+//! 4. **Redistribution only from the dead** — a job is redistributed
+//!    from a worker only if that worker's incarnation died holding it:
+//!    the worker crashed *after* the placement, or the placement
+//!    landed inside the worker's dead-but-undetected masking window.
+//! 5. **Queues never go negative** — per worker, rejections and
+//!    completions never outnumber placements.
+//!
+//! The oracle is runtime-agnostic: both the discrete-event engine and
+//! the threaded runtime emit the same vocabulary (pinned by
+//! `tests/golden/event_vocabulary.txt`), and the same `SchedLog` can be
+//! reconstructed from an exported JSONL stream.
+
+use std::collections::{HashMap, HashSet};
+
+use crossbid_crossflow::{JobId, SchedEvent, SchedEventKind, SchedLog, WorkerId};
+
+/// One invariant violation, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A job was submitted twice (id reuse).
+    DuplicateSubmit {
+        /// Offending job.
+        job: JobId,
+    },
+    /// A bid carried a NaN or infinite estimate.
+    NonFiniteBid {
+        /// Offending job.
+        job: JobId,
+        /// Bidding worker.
+        worker: WorkerId,
+    },
+    /// A bid was recorded outside any open contest for the job.
+    BidAfterClose {
+        /// Offending job.
+        job: JobId,
+        /// Bidding worker.
+        worker: WorkerId,
+    },
+    /// A second bid from the same worker was recorded into one
+    /// contest.
+    DuplicateBid {
+        /// Offending job.
+        job: JobId,
+        /// Bidding worker.
+        worker: WorkerId,
+    },
+    /// A contested job was assigned without a contest close, after a
+    /// close with no bids (and no fallback flag), or to a worker that
+    /// never bid in the closing contest.
+    AssignmentWithoutBid {
+        /// Offending job.
+        job: JobId,
+        /// Assignee.
+        worker: WorkerId,
+    },
+    /// A job was placed (assigned/offered) while the log still shows
+    /// it placed elsewhere — a double assignment.
+    AssignedWhilePlaced {
+        /// Offending job.
+        job: JobId,
+        /// New assignee.
+        worker: WorkerId,
+        /// Where the log believes the job already sits.
+        previous: WorkerId,
+    },
+    /// A worker rejected a job it was never offered.
+    RejectWithoutOffer {
+        /// Offending job.
+        job: JobId,
+        /// Rejecting worker.
+        worker: WorkerId,
+    },
+    /// Baseline strict mode: a job bounced straight back to the worker
+    /// that just rejected it.
+    ReofferToRejector {
+        /// Offending job.
+        job: JobId,
+        /// The rejector it bounced back to.
+        worker: WorkerId,
+    },
+    /// A completion was logged for a job never submitted.
+    CompletedUnknownJob {
+        /// Offending job.
+        job: JobId,
+    },
+    /// A second completion was logged for one job.
+    CompletedTwice {
+        /// Offending job.
+        job: JobId,
+        /// Worker reporting the duplicate.
+        worker: WorkerId,
+    },
+    /// A completion came from a worker the job was never placed on.
+    CompletedWithoutPlacement {
+        /// Offending job.
+        job: JobId,
+        /// Completing worker.
+        worker: WorkerId,
+    },
+    /// A job was redistributed from a worker that neither crashed
+    /// while holding it nor received it during its dead (undetected)
+    /// window.
+    RedistributionWithLiveOwner {
+        /// Offending job.
+        job: JobId,
+        /// The owner it was reclaimed from.
+        worker: WorkerId,
+    },
+    /// A job was redistributed after it already completed.
+    RedistributedAfterCompletion {
+        /// Offending job.
+        job: JobId,
+    },
+    /// A worker's placement ledger went negative: more rejections +
+    /// completions than placements.
+    NegativeQueue {
+        /// Offending worker.
+        worker: WorkerId,
+        /// The depth it reached.
+        depth: i64,
+    },
+    /// End of log: a submitted job neither completed nor is the run an
+    /// acknowledged partial run.
+    JobLost {
+        /// The lost job.
+        job: JobId,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::DuplicateSubmit { job } => write!(f, "job {} submitted twice", job.0),
+            Violation::NonFiniteBid { job, worker } => {
+                write!(f, "non-finite bid on job {} from w{}", job.0, worker.0)
+            }
+            Violation::BidAfterClose { job, worker } => {
+                write!(
+                    f,
+                    "bid on job {} from w{} outside an open contest",
+                    job.0, worker.0
+                )
+            }
+            Violation::DuplicateBid { job, worker } => {
+                write!(f, "duplicate bid on job {} from w{}", job.0, worker.0)
+            }
+            Violation::AssignmentWithoutBid { job, worker } => {
+                write!(
+                    f,
+                    "job {} assigned to w{} without a winning bid",
+                    job.0, worker.0
+                )
+            }
+            Violation::AssignedWhilePlaced {
+                job,
+                worker,
+                previous,
+            } => write!(
+                f,
+                "job {} placed on w{} while still placed on w{}",
+                job.0, worker.0, previous.0
+            ),
+            Violation::RejectWithoutOffer { job, worker } => {
+                write!(
+                    f,
+                    "w{} rejected job {} it was never offered",
+                    worker.0, job.0
+                )
+            }
+            Violation::ReofferToRejector { job, worker } => {
+                write!(
+                    f,
+                    "job {} re-offered straight back to rejector w{}",
+                    job.0, worker.0
+                )
+            }
+            Violation::CompletedUnknownJob { job } => {
+                write!(f, "completion for never-submitted job {}", job.0)
+            }
+            Violation::CompletedTwice { job, worker } => {
+                write!(
+                    f,
+                    "job {} completed twice (duplicate from w{})",
+                    job.0, worker.0
+                )
+            }
+            Violation::CompletedWithoutPlacement { job, worker } => {
+                write!(
+                    f,
+                    "job {} completed by w{} without being placed there",
+                    job.0, worker.0
+                )
+            }
+            Violation::RedistributionWithLiveOwner { job, worker } => write!(
+                f,
+                "job {} redistributed from w{} which never held it while dead",
+                job.0, worker.0
+            ),
+            Violation::RedistributedAfterCompletion { job } => {
+                write!(f, "job {} redistributed after completing", job.0)
+            }
+            Violation::NegativeQueue { worker, depth } => {
+                write!(f, "w{} placement ledger went negative ({depth})", worker.0)
+            }
+            Violation::JobLost { job } => write!(f, "job {} submitted but never completed", job.0),
+        }
+    }
+}
+
+/// What the oracle should enforce beyond the always-on invariants.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleOptions {
+    /// Require every submitted job to have completed by end of log.
+    /// Turn off for runs that legitimately end partial (e.g. the whole
+    /// cluster dead with no recovery scheduled).
+    pub expect_all_complete: bool,
+    /// Enforce the Baseline's prefer-a-different-worker re-offer rule
+    /// (reject-once routing): a job bouncing straight back to its last
+    /// rejector is a violation *when another live worker was idle*
+    /// (placement depth 0). Only sound without chaos: message
+    /// reordering can make the master's idle view lag the log's.
+    pub strict_reoffer: bool,
+    /// Cluster size, when known. Lets the strict re-offer check count
+    /// workers that are idle because they never appear in the log at
+    /// all; `None` falls back to workers seen so far.
+    pub workers: Option<u32>,
+}
+
+impl Default for OracleOptions {
+    fn default() -> Self {
+        OracleOptions {
+            expect_all_complete: true,
+            strict_reoffer: false,
+            workers: None,
+        }
+    }
+}
+
+#[derive(Default)]
+struct JobState {
+    submitted: bool,
+    completed: bool,
+    redistributed: bool,
+    /// A contest was ever opened for this job (distinguishes the
+    /// bidding protocol from direct-assignment schedulers).
+    had_contest: bool,
+    contest_open: bool,
+    /// Bids recorded in the currently open contest.
+    bids: HashSet<u32>,
+    /// Set at `ContestClosed`, consumed by the next `Assigned`:
+    /// `(bidders at close, fallback)`.
+    closed: Option<(HashSet<u32>, bool)>,
+    /// Where the job currently sits, per the log.
+    placed: Option<u32>,
+    /// Event index of the last placement, per worker.
+    placed_at: HashMap<u32, usize>,
+    /// Who rejected it last (Baseline).
+    last_rejector: Option<u32>,
+}
+
+/// The invariant oracle. Feed events in log order (or just call
+/// [`check_log`]), then [`Oracle::finish`].
+pub struct Oracle {
+    opts: OracleOptions,
+    jobs: HashMap<JobId, JobState>,
+    /// Per worker: event index of the last crash.
+    last_crash: HashMap<u32, usize>,
+    /// Per worker: event indices of every recovery.
+    recoveries: HashMap<u32, Vec<usize>>,
+    /// Workers currently crashed (no recovery yet).
+    dead: HashSet<u32>,
+    /// Per worker: net placements (placements − rejections −
+    /// completions − reclaims).
+    depth: HashMap<u32, i64>,
+    n_workers_seen: HashSet<u32>,
+    idx: usize,
+    violations: Vec<Violation>,
+}
+
+impl Oracle {
+    /// Fresh oracle.
+    pub fn new(opts: OracleOptions) -> Self {
+        Oracle {
+            opts,
+            jobs: HashMap::new(),
+            last_crash: HashMap::new(),
+            recoveries: HashMap::new(),
+            dead: HashSet::new(),
+            depth: HashMap::new(),
+            n_workers_seen: HashSet::new(),
+            idx: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Violations found so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    fn place(&mut self, job: JobId, w: u32) {
+        let idx = self.idx;
+        let js = self.jobs.entry(job).or_default();
+        js.placed = Some(w);
+        js.placed_at.insert(w, idx);
+        *self.depth.entry(w).or_insert(0) += 1;
+    }
+
+    fn unplace(&mut self, job: JobId) {
+        if let Some(w) = self.jobs.entry(job).or_default().placed.take() {
+            let d = self.depth.entry(w).or_insert(0);
+            *d -= 1;
+            if *d < 0 {
+                self.violations.push(Violation::NegativeQueue {
+                    worker: WorkerId(w),
+                    depth: *d,
+                });
+            }
+        }
+    }
+
+    /// Feed one event.
+    pub fn observe(&mut self, ev: &SchedEvent) {
+        let job = ev.job;
+        let worker = ev.worker;
+        if let Some(w) = worker {
+            self.n_workers_seen.insert(w.0);
+        }
+        match &ev.kind {
+            SchedEventKind::Submitted => {
+                let job = job.expect("submitted carries a job");
+                let js = self.jobs.entry(job).or_default();
+                if js.submitted {
+                    self.violations.push(Violation::DuplicateSubmit { job });
+                }
+                js.submitted = true;
+            }
+            SchedEventKind::ContestOpened => {
+                let job = job.expect("contest_opened carries a job");
+                let js = self.jobs.entry(job).or_default();
+                js.had_contest = true;
+                // Re-opening (a parked contest, or re-entry after
+                // redistribution) resets the bid set.
+                js.contest_open = true;
+                js.bids.clear();
+                js.closed = None;
+            }
+            SchedEventKind::BidReceived { estimate_secs } => {
+                let job = job.expect("bid carries a job");
+                let w = worker.expect("bid carries a worker");
+                if !estimate_secs.is_finite() {
+                    self.violations
+                        .push(Violation::NonFiniteBid { job, worker: w });
+                }
+                let js = self.jobs.entry(job).or_default();
+                if !js.contest_open {
+                    self.violations
+                        .push(Violation::BidAfterClose { job, worker: w });
+                } else if !js.bids.insert(w.0) {
+                    self.violations
+                        .push(Violation::DuplicateBid { job, worker: w });
+                }
+            }
+            SchedEventKind::ContestClosed { fallback, .. } => {
+                let job = job.expect("contest_closed carries a job");
+                let js = self.jobs.entry(job).or_default();
+                js.contest_open = false;
+                js.closed = Some((std::mem::take(&mut js.bids), *fallback));
+            }
+            SchedEventKind::Assigned => {
+                let job = job.expect("assigned carries a job");
+                let w = worker.expect("assigned carries a worker");
+                let js = self.jobs.entry(job).or_default();
+                if let Some(prev) = js.placed {
+                    self.violations.push(Violation::AssignedWhilePlaced {
+                        job,
+                        worker: w,
+                        previous: WorkerId(prev),
+                    });
+                }
+                if js.had_contest {
+                    match js.closed.take() {
+                        Some((bidders, fallback)) => {
+                            if !fallback && !bidders.contains(&w.0) {
+                                self.violations
+                                    .push(Violation::AssignmentWithoutBid { job, worker: w });
+                            }
+                        }
+                        // An assignment with no contest close at all —
+                        // e.g. a late bid "reopening" the decision.
+                        None => self
+                            .violations
+                            .push(Violation::AssignmentWithoutBid { job, worker: w }),
+                    }
+                }
+                self.place(job, w.0);
+            }
+            SchedEventKind::Offered => {
+                let job = job.expect("offered carries a job");
+                let w = worker.expect("offered carries a worker");
+                let js = self.jobs.entry(job).or_default();
+                if let Some(prev) = js.placed {
+                    self.violations.push(Violation::AssignedWhilePlaced {
+                        job,
+                        worker: w,
+                        previous: WorkerId(prev),
+                    });
+                }
+                if self.opts.strict_reoffer && js.last_rejector == Some(w.0) {
+                    // A bounce straight back is only a routing bug if
+                    // the master had somewhere better to send it: a
+                    // live worker with nothing placed on it.
+                    let other_idle = |i: u32| {
+                        i != w.0
+                            && !self.dead.contains(&i)
+                            && self.depth.get(&i).copied().unwrap_or(0) == 0
+                    };
+                    let had_alternative = match self.opts.workers {
+                        Some(n) => (0..n).any(other_idle),
+                        None => self.n_workers_seen.iter().copied().any(other_idle),
+                    };
+                    if had_alternative {
+                        self.violations
+                            .push(Violation::ReofferToRejector { job, worker: w });
+                    }
+                }
+                self.place(job, w.0);
+            }
+            SchedEventKind::Rejected => {
+                let job = job.expect("rejected carries a job");
+                let w = worker.expect("rejected carries a worker");
+                let js = self.jobs.entry(job).or_default();
+                if js.placed != Some(w.0) {
+                    self.violations
+                        .push(Violation::RejectWithoutOffer { job, worker: w });
+                } else {
+                    self.unplace(job);
+                }
+                self.jobs.entry(job).or_default().last_rejector = Some(w.0);
+            }
+            SchedEventKind::Completed => {
+                let job = job.expect("completed carries a job");
+                let w = worker.expect("completed carries a worker");
+                let js = self.jobs.entry(job).or_default();
+                if !js.submitted {
+                    self.violations.push(Violation::CompletedUnknownJob { job });
+                }
+                if js.completed {
+                    self.violations
+                        .push(Violation::CompletedTwice { job, worker: w });
+                }
+                let ever_placed_here = js.placed_at.contains_key(&w.0);
+                let placed_somewhere = js.placed.is_some() || js.redistributed;
+                js.completed = true;
+                if !ever_placed_here || !placed_somewhere {
+                    self.violations
+                        .push(Violation::CompletedWithoutPlacement { job, worker: w });
+                }
+                self.unplace(job);
+            }
+            SchedEventKind::Redistributed => {
+                let job = job.expect("redistributed carries a job");
+                let js = self.jobs.entry(job).or_default();
+                if js.completed {
+                    self.violations
+                        .push(Violation::RedistributedAfterCompletion { job });
+                }
+                // The engine logs the reclaim without the owner (it
+                // reclaims at the monitoring layer); the threaded
+                // master names the dead owner — hold it to account.
+                // Legal reclaims are (a) the owner crashed *after*
+                // the placement (died holding the job), or (b) the
+                // placement happened inside the owner's dead window —
+                // the masking interval where the master schedules
+                // against a stale roster until detection fires.
+                if let Some(w) = worker {
+                    let placed_idx = js.placed_at.get(&w.0).copied();
+                    let crash_idx = self.last_crash.get(&w.0).copied();
+                    let legal = match (placed_idx, crash_idx) {
+                        (Some(p), Some(c)) => {
+                            let recovered_between = self
+                                .recoveries
+                                .get(&w.0)
+                                .is_some_and(|rs| rs.iter().any(|r| *r > c && *r <= p));
+                            c > p || !recovered_between
+                        }
+                        _ => false,
+                    };
+                    if !legal {
+                        self.violations
+                            .push(Violation::RedistributionWithLiveOwner { job, worker: w });
+                    }
+                }
+                self.unplace(job);
+                let js = self.jobs.entry(job).or_default();
+                js.redistributed = true;
+                js.contest_open = false;
+                js.closed = None;
+            }
+            SchedEventKind::Crash => {
+                let w = worker.expect("crash carries a worker");
+                self.last_crash.insert(w.0, self.idx);
+                self.dead.insert(w.0);
+            }
+            SchedEventKind::Recover => {
+                if let Some(w) = worker {
+                    self.recoveries.entry(w.0).or_default().push(self.idx);
+                    self.dead.remove(&w.0);
+                }
+            }
+        }
+        self.idx += 1;
+    }
+
+    /// End-of-log checks; returns all violations found.
+    pub fn finish(mut self) -> Vec<Violation> {
+        if self.opts.expect_all_complete {
+            let mut lost: Vec<JobId> = self
+                .jobs
+                .iter()
+                .filter(|(_, js)| js.submitted && !js.completed)
+                .map(|(id, _)| *id)
+                .collect();
+            lost.sort_by_key(|j| j.0);
+            for job in lost {
+                self.violations.push(Violation::JobLost { job });
+            }
+        }
+        self.violations
+    }
+}
+
+/// Run the oracle over a complete log.
+pub fn check_log(log: &SchedLog, opts: OracleOptions) -> Vec<Violation> {
+    let mut o = Oracle::new(opts);
+    for ev in log.events() {
+        o.observe(ev);
+    }
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbid_simcore::SimTime;
+
+    fn ev(kind: SchedEventKind, worker: Option<u32>, job: Option<u64>) -> SchedEvent {
+        SchedEvent {
+            at: SimTime::ZERO,
+            worker: worker.map(WorkerId),
+            job: job.map(JobId),
+            kind,
+        }
+    }
+
+    fn clean_bidding_log() -> SchedLog {
+        let mut log = SchedLog::new();
+        log.push(ev(SchedEventKind::Submitted, None, Some(0)));
+        log.push(ev(SchedEventKind::ContestOpened, None, Some(0)));
+        log.push(ev(
+            SchedEventKind::BidReceived { estimate_secs: 2.0 },
+            Some(0),
+            Some(0),
+        ));
+        log.push(ev(
+            SchedEventKind::BidReceived { estimate_secs: 1.0 },
+            Some(1),
+            Some(0),
+        ));
+        log.push(ev(
+            SchedEventKind::ContestClosed {
+                timed_out: false,
+                fallback: false,
+            },
+            None,
+            Some(0),
+        ));
+        log.push(ev(SchedEventKind::Assigned, Some(1), Some(0)));
+        log.push(ev(SchedEventKind::Completed, Some(1), Some(0)));
+        log
+    }
+
+    #[test]
+    fn clean_log_passes() {
+        assert_eq!(
+            check_log(&clean_bidding_log(), OracleOptions::default()),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn lost_job_is_flagged_only_when_expected_complete() {
+        let mut log = SchedLog::new();
+        log.push(ev(SchedEventKind::Submitted, None, Some(3)));
+        let v = check_log(&log, OracleOptions::default());
+        assert_eq!(v, vec![Violation::JobLost { job: JobId(3) }]);
+        let v = check_log(
+            &log,
+            OracleOptions {
+                expect_all_complete: false,
+                ..OracleOptions::default()
+            },
+        );
+        assert_eq!(v, vec![]);
+    }
+
+    #[test]
+    fn non_finite_and_duplicate_bids_are_flagged() {
+        let mut log = SchedLog::new();
+        log.push(ev(SchedEventKind::Submitted, None, Some(0)));
+        log.push(ev(SchedEventKind::ContestOpened, None, Some(0)));
+        log.push(ev(
+            SchedEventKind::BidReceived {
+                estimate_secs: f64::NAN,
+            },
+            Some(0),
+            Some(0),
+        ));
+        log.push(ev(
+            SchedEventKind::BidReceived { estimate_secs: 1.0 },
+            Some(1),
+            Some(0),
+        ));
+        log.push(ev(
+            SchedEventKind::BidReceived { estimate_secs: 0.5 },
+            Some(1),
+            Some(0),
+        ));
+        let v = check_log(
+            &log,
+            OracleOptions {
+                expect_all_complete: false,
+                ..OracleOptions::default()
+            },
+        );
+        assert!(v.contains(&Violation::NonFiniteBid {
+            job: JobId(0),
+            worker: WorkerId(0)
+        }));
+        assert!(v.contains(&Violation::DuplicateBid {
+            job: JobId(0),
+            worker: WorkerId(1)
+        }));
+    }
+
+    #[test]
+    fn late_assignment_without_close_is_flagged() {
+        let mut log = clean_bidding_log();
+        // A second Assigned with no second close: the late-bid steal.
+        log.push(ev(SchedEventKind::Assigned, Some(2), Some(0)));
+        let v = check_log(
+            &log,
+            OracleOptions {
+                expect_all_complete: false,
+                ..OracleOptions::default()
+            },
+        );
+        assert!(v.contains(&Violation::AssignmentWithoutBid {
+            job: JobId(0),
+            worker: WorkerId(2)
+        }));
+    }
+
+    #[test]
+    fn double_placement_and_double_completion_are_flagged() {
+        let mut log = SchedLog::new();
+        log.push(ev(SchedEventKind::Submitted, None, Some(0)));
+        log.push(ev(SchedEventKind::Offered, Some(0), Some(0)));
+        log.push(ev(SchedEventKind::Offered, Some(1), Some(0)));
+        log.push(ev(SchedEventKind::Completed, Some(1), Some(0)));
+        log.push(ev(SchedEventKind::Completed, Some(1), Some(0)));
+        let v = check_log(&log, OracleOptions::default());
+        assert!(v.contains(&Violation::AssignedWhilePlaced {
+            job: JobId(0),
+            worker: WorkerId(1),
+            previous: WorkerId(0)
+        }));
+        assert!(v.contains(&Violation::CompletedTwice {
+            job: JobId(0),
+            worker: WorkerId(1)
+        }));
+    }
+
+    #[test]
+    fn reoffer_to_rejector_fires_only_when_an_alternative_was_idle() {
+        // One job bounces straight back to its rejector while worker 1
+        // (known from the cluster size, never in the log) sits idle.
+        let mut log = SchedLog::new();
+        log.push(ev(SchedEventKind::Submitted, None, Some(0)));
+        log.push(ev(SchedEventKind::Offered, Some(0), Some(0)));
+        log.push(ev(SchedEventKind::Rejected, Some(0), Some(0)));
+        log.push(ev(SchedEventKind::Offered, Some(0), Some(0)));
+        log.push(ev(SchedEventKind::Completed, Some(0), Some(0)));
+        let relaxed = check_log(&log, OracleOptions::default());
+        assert_eq!(relaxed, vec![]);
+        let strict = |workers| OracleOptions {
+            strict_reoffer: true,
+            workers: Some(workers),
+            ..OracleOptions::default()
+        };
+        assert!(
+            check_log(&log, strict(2)).contains(&Violation::ReofferToRejector {
+                job: JobId(0),
+                worker: WorkerId(0)
+            })
+        );
+        // A single-worker cluster has nowhere else to send it.
+        assert_eq!(check_log(&log, strict(1)), vec![]);
+        // Same bounce with the only other worker busy: legal.
+        let mut busy = SchedLog::new();
+        busy.push(ev(SchedEventKind::Submitted, None, Some(1)));
+        busy.push(ev(SchedEventKind::Offered, Some(1), Some(1)));
+        busy.push(ev(SchedEventKind::Submitted, None, Some(0)));
+        busy.push(ev(SchedEventKind::Offered, Some(0), Some(0)));
+        busy.push(ev(SchedEventKind::Rejected, Some(0), Some(0)));
+        busy.push(ev(SchedEventKind::Offered, Some(0), Some(0)));
+        busy.push(ev(SchedEventKind::Completed, Some(0), Some(0)));
+        busy.push(ev(SchedEventKind::Completed, Some(1), Some(1)));
+        assert_eq!(check_log(&busy, strict(2)), vec![]);
+    }
+
+    #[test]
+    fn redistribution_requires_a_dead_owner() {
+        let mut log = SchedLog::new();
+        log.push(ev(SchedEventKind::Submitted, None, Some(0)));
+        log.push(ev(SchedEventKind::ContestOpened, None, Some(0)));
+        log.push(ev(
+            SchedEventKind::BidReceived { estimate_secs: 1.0 },
+            Some(0),
+            Some(0),
+        ));
+        log.push(ev(
+            SchedEventKind::ContestClosed {
+                timed_out: false,
+                fallback: false,
+            },
+            None,
+            Some(0),
+        ));
+        log.push(ev(SchedEventKind::Assigned, Some(0), Some(0)));
+        // Reclaim without a crash: violation.
+        let mut bad = log.clone();
+        bad.push(ev(SchedEventKind::Redistributed, Some(0), Some(0)));
+        let v = check_log(
+            &bad,
+            OracleOptions {
+                expect_all_complete: false,
+                ..OracleOptions::default()
+            },
+        );
+        assert!(v.contains(&Violation::RedistributionWithLiveOwner {
+            job: JobId(0),
+            worker: WorkerId(0)
+        }));
+        // Crash first: legitimate.
+        log.push(ev(SchedEventKind::Crash, Some(0), None));
+        log.push(ev(SchedEventKind::Redistributed, Some(0), Some(0)));
+        let v = check_log(
+            &log,
+            OracleOptions {
+                expect_all_complete: false,
+                ..OracleOptions::default()
+            },
+        );
+        assert_eq!(v, vec![]);
+    }
+
+    #[test]
+    fn redistribution_tolerates_the_masking_window_but_not_a_recovered_owner() {
+        let partial = OracleOptions {
+            expect_all_complete: false,
+            ..OracleOptions::default()
+        };
+        let assign = |log: &mut SchedLog, job: u64, w: u32| {
+            log.push(ev(SchedEventKind::Submitted, None, Some(job)));
+            log.push(ev(SchedEventKind::ContestOpened, None, Some(job)));
+            log.push(ev(
+                SchedEventKind::BidReceived { estimate_secs: 1.0 },
+                Some(w),
+                Some(job),
+            ));
+            log.push(ev(
+                SchedEventKind::ContestClosed {
+                    timed_out: false,
+                    fallback: false,
+                },
+                None,
+                Some(job),
+            ));
+            log.push(ev(SchedEventKind::Assigned, Some(w), Some(job)));
+        };
+        // Masking window: the crash precedes the assignment because
+        // the master schedules against a stale roster until detection
+        // fires — the reclaim is legitimate.
+        let mut masked = SchedLog::new();
+        masked.push(ev(SchedEventKind::Crash, Some(0), None));
+        assign(&mut masked, 0, 0);
+        masked.push(ev(SchedEventKind::Redistributed, Some(0), Some(0)));
+        assert_eq!(check_log(&masked, partial), vec![]);
+        // But a recovery between the crash and the assignment means
+        // the owner was alive when it got the job: reclaiming it is a
+        // violation.
+        let mut recovered = SchedLog::new();
+        recovered.push(ev(SchedEventKind::Crash, Some(0), None));
+        recovered.push(ev(SchedEventKind::Recover, Some(0), None));
+        assign(&mut recovered, 0, 0);
+        recovered.push(ev(SchedEventKind::Redistributed, Some(0), Some(0)));
+        assert!(
+            check_log(&recovered, partial).contains(&Violation::RedistributionWithLiveOwner {
+                job: JobId(0),
+                worker: WorkerId(0)
+            })
+        );
+    }
+
+    #[test]
+    fn reject_without_offer_goes_negative() {
+        let mut log = SchedLog::new();
+        log.push(ev(SchedEventKind::Submitted, None, Some(0)));
+        log.push(ev(SchedEventKind::Rejected, Some(0), Some(0)));
+        let v = check_log(
+            &log,
+            OracleOptions {
+                expect_all_complete: false,
+                ..OracleOptions::default()
+            },
+        );
+        assert!(v.contains(&Violation::RejectWithoutOffer {
+            job: JobId(0),
+            worker: WorkerId(0)
+        }));
+    }
+}

@@ -1,0 +1,349 @@
+//! Checker scenarios: small, fully-specified workloads runnable on
+//! either runtime.
+//!
+//! A [`Scenario`] is data, not code — a cluster shape, a job list and
+//! a fault schedule — so the explorer can *shrink* it: re-run with a
+//! subset of the jobs or without one worker's faults while keeping
+//! everything else (seeds, chaos schedule parameters) fixed. The
+//! built-in set covers the protocol surface PR 1 hardened: a hot
+//! contested repository, the Baseline's reject-once routing, crash +
+//! recovery redistribution, and a multi-repository spread.
+
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::{
+    Allocator, Arrival, BaselineAllocator, ChaosConfig, EngineConfig, FaultPlan, JobSpec, Payload,
+    ProtocolMutation, ResourceRef, RunOutput, RunSpec, TaskId, WorkerId, WorkerSpec, Workflow,
+};
+use crossbid_net::{ControlPlane, NoiseModel};
+use crossbid_simcore::{SimDuration, SimTime};
+use crossbid_storage::ObjectId;
+
+use crate::oracle::OracleOptions;
+
+/// Which allocation protocol the scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// The paper's Bidding Scheduler (contests + estimates).
+    Bidding,
+    /// The Crossflow Baseline (pull + reject-once).
+    Baseline,
+}
+
+impl Protocol {
+    /// The matching allocator.
+    pub fn allocator(self) -> Box<dyn Allocator> {
+        match self {
+            Protocol::Bidding => Box::new(BiddingAllocator::new()),
+            Protocol::Baseline => Box::new(BaselineAllocator),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Bidding => "bidding",
+            Protocol::Baseline => "baseline",
+        }
+    }
+}
+
+/// One job in a scenario's workload.
+#[derive(Debug, Clone, Copy)]
+pub struct JobDef {
+    /// Virtual arrival second.
+    pub at_secs: f64,
+    /// Which repository the job scans.
+    pub object: u64,
+    /// Repository size in bytes.
+    pub bytes: u64,
+}
+
+/// One scheduled fault in a scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultDef {
+    /// Virtual second of the event.
+    pub at_secs: f64,
+    /// Affected worker.
+    pub worker: u32,
+    /// `false` = crash, `true` = recovery.
+    pub recovers: bool,
+}
+
+/// A fully-specified checker workload.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable name for reports and `repro check` output.
+    pub name: &'static str,
+    /// Which protocol runs it.
+    pub protocol: Protocol,
+    /// Cluster size (homogeneous workers).
+    pub workers: usize,
+    /// The workload. Job *indices* are stable identities: shrinking
+    /// passes a subset of indices, and each job keeps its payload.
+    pub jobs: Vec<JobDef>,
+    /// Crash/recovery schedule.
+    pub faults: Vec<FaultDef>,
+    /// Whether every job is expected to complete by end of run (false
+    /// only for scenarios that legitimately end partial).
+    pub expect_all_complete: bool,
+}
+
+fn hot_repo_jobs(n: usize, object: u64) -> Vec<JobDef> {
+    (0..n)
+        .map(|i| JobDef {
+            at_secs: i as f64 * 0.5,
+            object,
+            bytes: 100_000_000,
+        })
+        .collect()
+}
+
+impl Scenario {
+    /// The built-in scenario set `repro check` and the tier-1 suite
+    /// sweep. Together they exercise contests (ties, backlog), the
+    /// Baseline's reject-once routing, crash redistribution with
+    /// recovery, and multi-repository locality.
+    pub fn builtins() -> Vec<Scenario> {
+        let crash_recover = vec![
+            FaultDef {
+                at_secs: 6.0,
+                worker: 0,
+                recovers: false,
+            },
+            FaultDef {
+                at_secs: 12.0,
+                worker: 0,
+                recovers: true,
+            },
+        ];
+        vec![
+            Scenario {
+                name: "hot_repo_bidding",
+                protocol: Protocol::Bidding,
+                workers: 3,
+                jobs: hot_repo_jobs(12, 1),
+                faults: Vec::new(),
+                expect_all_complete: true,
+            },
+            Scenario {
+                name: "reject_once_baseline",
+                protocol: Protocol::Baseline,
+                workers: 3,
+                jobs: hot_repo_jobs(12, 1),
+                faults: Vec::new(),
+                expect_all_complete: true,
+            },
+            Scenario {
+                name: "crash_recovery_bidding",
+                protocol: Protocol::Bidding,
+                workers: 3,
+                jobs: hot_repo_jobs(12, 1),
+                faults: crash_recover.clone(),
+                expect_all_complete: true,
+            },
+            Scenario {
+                name: "crash_recovery_baseline",
+                protocol: Protocol::Baseline,
+                workers: 3,
+                jobs: hot_repo_jobs(12, 1),
+                faults: crash_recover,
+                expect_all_complete: true,
+            },
+            Scenario {
+                name: "two_repos_bidding",
+                protocol: Protocol::Bidding,
+                workers: 4,
+                jobs: (0..12)
+                    .map(|i| JobDef {
+                        at_secs: i as f64 * 0.4,
+                        object: 1 + (i % 2) as u64,
+                        bytes: 60_000_000,
+                    })
+                    .collect(),
+                faults: Vec::new(),
+                expect_all_complete: true,
+            },
+        ]
+    }
+
+    /// Oracle options matching this scenario.
+    pub fn oracle_options(&self, strict_reoffer: bool) -> OracleOptions {
+        OracleOptions {
+            expect_all_complete: self.expect_all_complete,
+            strict_reoffer,
+            workers: Some(self.workers as u32),
+        }
+    }
+
+    /// The fault plan, optionally restricted to the listed workers
+    /// (shrinking drops a worker's crash *and* recovery together, so
+    /// the schedule stays well-formed).
+    pub fn fault_plan(&self, keep_workers: Option<&[u32]>) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for f in &self.faults {
+            if keep_workers.is_some_and(|ws| !ws.contains(&f.worker)) {
+                continue;
+            }
+            let at = SimTime::from_secs_f64(f.at_secs);
+            plan = if f.recovers {
+                plan.recover_at(at, WorkerId(f.worker))
+            } else {
+                plan.crash_at(at, WorkerId(f.worker))
+            };
+        }
+        plan.with_detection_delay(SimDuration::from_secs(2))
+    }
+
+    /// Workers that have at least one scheduled fault.
+    pub fn faulted_workers(&self) -> Vec<u32> {
+        let mut ws: Vec<u32> = self.faults.iter().map(|f| f.worker).collect();
+        ws.sort_unstable();
+        ws.dedup();
+        ws
+    }
+
+    /// The arrival stream, optionally restricted to the listed job
+    /// indices. Payloads carry the original index so a shrunk run's
+    /// jobs remain identifiable.
+    pub fn arrivals(&self, task: TaskId, keep_jobs: Option<&[usize]>) -> Vec<Arrival> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep_jobs.is_none_or(|ks| ks.contains(i)))
+            .map(|(i, j)| Arrival {
+                at: SimTime::from_secs_f64(j.at_secs),
+                spec: JobSpec::scanning(
+                    task,
+                    ResourceRef {
+                        id: ObjectId(j.object),
+                        bytes: j.bytes,
+                    },
+                    Payload::Index(i as u64),
+                ),
+            })
+            .collect()
+    }
+
+    /// The [`RunSpec`] for this scenario: ideal control plane, no
+    /// noise, no speed learning — protocol behavior only, so the sim
+    /// run is exactly reproducible and the threaded run's variability
+    /// comes from thread scheduling (plus any chaos) alone.
+    pub fn spec(&self, seed: u64, keep_fault_workers: Option<&[u32]>) -> RunSpec {
+        RunSpec::builder()
+            .workers((0..self.workers).map(|i| {
+                WorkerSpec::builder(format!("w{i}"))
+                    .net_mbps(10.0)
+                    .rw_mbps(100.0)
+                    .storage_gb(10.0)
+                    .build()
+            }))
+            .engine(EngineConfig {
+                control: ControlPlane::instant(),
+                data_latency: SimDuration::ZERO,
+                noise: NoiseModel::None,
+                ..EngineConfig::default()
+            })
+            .speed_learning(false)
+            .faults(self.fault_plan(keep_fault_workers))
+            .trace(true)
+            .names("checker", self.name)
+            .seed(seed)
+            .time_scale(1e-3)
+            .build()
+    }
+
+    /// One deterministic run on the simulation engine.
+    pub fn run_sim(&self, seed: u64) -> RunOutput {
+        let spec = self.spec(seed, None);
+        let mut session = spec.sim();
+        let mut wf = Workflow::new();
+        let task = wf.add_sink("scan");
+        let arrivals = self.arrivals(task, None);
+        session.run_iteration(&mut wf, self.protocol.allocator().as_ref(), arrivals)
+    }
+
+    /// One run on the threaded runtime under the given perturbations.
+    pub fn run_threaded(&self, run: &ThreadedRun) -> RunOutput {
+        let mut spec = self.spec(run.seed, run.keep_fault_workers.as_deref());
+        spec.chaos = run.chaos.clone();
+        spec.mutation = run.mutation;
+        let mut session = spec.threaded();
+        let mut wf = Workflow::new();
+        let task = wf.add_sink("scan");
+        let arrivals = self.arrivals(task, run.keep_jobs.as_deref());
+        session.run_iteration(&mut wf, self.protocol.allocator().as_ref(), arrivals)
+    }
+}
+
+/// Everything that parameterizes one threaded run of a scenario. The
+/// explorer mutates `keep_jobs` / `keep_fault_workers` while shrinking
+/// and leaves the rest fixed.
+#[derive(Debug, Clone)]
+pub struct ThreadedRun {
+    /// Run seed (drives worker noise streams and bid-delay jitter).
+    pub seed: u64,
+    /// Delivery-order perturbation, if any.
+    pub chaos: Option<ChaosConfig>,
+    /// Reintroduced protocol bug, if any.
+    pub mutation: ProtocolMutation,
+    /// `None` = all jobs; otherwise the job indices to keep.
+    pub keep_jobs: Option<Vec<usize>>,
+    /// `None` = all faults; otherwise keep only these workers' faults.
+    pub keep_fault_workers: Option<Vec<u32>>,
+}
+
+impl ThreadedRun {
+    /// An unperturbed run of the correct protocol.
+    pub fn plain(seed: u64) -> Self {
+        ThreadedRun {
+            seed,
+            chaos: None,
+            mutation: ProtocolMutation::None,
+            keep_jobs: None,
+            keep_fault_workers: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::check_log;
+
+    #[test]
+    fn builtins_cover_both_protocols_and_faults() {
+        let all = Scenario::builtins();
+        assert!(all.iter().any(|s| s.protocol == Protocol::Bidding));
+        assert!(all.iter().any(|s| s.protocol == Protocol::Baseline));
+        assert!(all.iter().any(|s| !s.faults.is_empty()));
+        let names: std::collections::HashSet<_> = all.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), all.len(), "scenario names are unique");
+    }
+
+    #[test]
+    fn shrink_subsets_restrict_jobs_and_faults() {
+        let sc = &Scenario::builtins()[2]; // crash_recovery_bidding
+        let mut wf = Workflow::new();
+        let task = wf.add_sink("scan");
+        assert_eq!(sc.arrivals(task, None).len(), 12);
+        assert_eq!(sc.arrivals(task, Some(&[0, 5, 11])).len(), 3);
+        assert_eq!(sc.fault_plan(None).events().len(), 2);
+        assert!(sc.fault_plan(Some(&[])).is_empty());
+        assert_eq!(sc.faulted_workers(), vec![0]);
+    }
+
+    #[test]
+    fn every_builtin_passes_the_oracle_on_the_sim_engine() {
+        for sc in Scenario::builtins() {
+            let out = sc.run_sim(7);
+            assert_eq!(
+                out.record.jobs_completed,
+                sc.jobs.len() as u64,
+                "{}: all jobs complete",
+                sc.name
+            );
+            let v = check_log(&out.sched_log, sc.oracle_options(false));
+            assert!(v.is_empty(), "{}: sim violations {v:?}", sc.name);
+        }
+    }
+}

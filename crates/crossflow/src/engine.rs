@@ -377,6 +377,7 @@ impl<'a> Engine<'a> {
                     self.send_to_worker(worker, MasterToWorker::Assign(job));
                 }
                 SchedAction::Offer { worker, job } => {
+                    self.note_sched(Some(worker), Some(job.id), SchedEventKind::Offered);
                     self.send_to_worker(worker, MasterToWorker::Offer(job));
                 }
                 SchedAction::BroadcastBidRequest { job } => {
@@ -499,6 +500,7 @@ impl<'a> Engine<'a> {
                 self.arrivals_seen += 1;
                 let id = self.alloc_job_id();
                 self.created += 1;
+                self.note_sched(None, Some(id), SchedEventKind::Submitted);
                 let job = spec.into_job(id);
                 self.run_master(|m, ctx| m.on_job(job, ctx));
             }
@@ -529,6 +531,7 @@ impl<'a> Engine<'a> {
                         self.enqueue_on_worker(worker, job);
                     } else {
                         self.worker(worker).declined.insert(job.id);
+                        self.note_sched(Some(worker), Some(job.id), SchedEventKind::Rejected);
                         self.send_to_master(
                             worker,
                             WorkerToMaster::Reject { job },
@@ -713,6 +716,7 @@ impl<'a> Engine<'a> {
     fn complete_at_master(&mut self, worker: WorkerId, job: Job) {
         let now = self.q.now();
         self.completed += 1;
+        self.note_sched(Some(worker), Some(job.id), SchedEventKind::Completed);
         self.m.jobs_completed.inc();
         self.last_completion = self.last_completion.max(now);
         // Run the task logic, spawning downstream jobs.
@@ -731,6 +735,7 @@ impl<'a> Engine<'a> {
             );
             let id = self.alloc_job_id();
             self.created += 1;
+            self.note_sched(None, Some(id), SchedEventKind::Submitted);
             let new_job = spec.into_job(id);
             self.run_master(|m, c| m.on_job(new_job, c));
         }

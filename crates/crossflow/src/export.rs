@@ -29,7 +29,11 @@ use crate::trace::{SchedEvent, SchedEventKind, TraceEvent, TraceKind};
 
 /// Version stamped into every `run_meta` line. Bump on any change to
 /// line shapes or the event vocabulary.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the `submitted`, `offered`, `rejected` and `completed`
+/// scheduler events, making the control-plane log self-contained for
+/// the conservation invariants `crossbid-checker` asserts.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The stream header: which run produced the lines that follow.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,10 +140,14 @@ fn trace_event_from_json(v: &Json) -> Result<TraceEvent, JsonError> {
 /// The stable wire name of a scheduler event kind.
 pub fn sched_kind_name(kind: &SchedEventKind) -> &'static str {
     match kind {
+        SchedEventKind::Submitted => "submitted",
         SchedEventKind::ContestOpened => "contest_opened",
         SchedEventKind::BidReceived { .. } => "bid_received",
         SchedEventKind::Assigned => "assigned",
         SchedEventKind::ContestClosed { .. } => "contest_closed",
+        SchedEventKind::Offered => "offered",
+        SchedEventKind::Rejected => "rejected",
+        SchedEventKind::Completed => "completed",
         SchedEventKind::Crash => "crash",
         SchedEventKind::Recover => "recover",
         SchedEventKind::Redistributed => "redistributed",
@@ -184,6 +192,10 @@ fn sched_event_to_json(ev: &SchedEvent) -> Json {
 
 fn sched_event_from_json(v: &Json) -> Result<SchedEvent, JsonError> {
     let kind = match v.req_str("kind")? {
+        "submitted" => SchedEventKind::Submitted,
+        "offered" => SchedEventKind::Offered,
+        "rejected" => SchedEventKind::Rejected,
+        "completed" => SchedEventKind::Completed,
         "contest_opened" => SchedEventKind::ContestOpened,
         "bid_received" => SchedEventKind::BidReceived {
             estimate_secs: v.req_f64("estimate_secs")?,
@@ -315,6 +327,7 @@ mod tests {
     #[test]
     fn sched_events_round_trip_all_kinds() {
         let kinds = [
+            SchedEventKind::Submitted,
             SchedEventKind::ContestOpened,
             SchedEventKind::BidReceived {
                 estimate_secs: 3.25,
@@ -324,6 +337,9 @@ mod tests {
                 timed_out: true,
                 fallback: false,
             },
+            SchedEventKind::Offered,
+            SchedEventKind::Rejected,
+            SchedEventKind::Completed,
             SchedEventKind::Crash,
             SchedEventKind::Recover,
             SchedEventKind::Redistributed,

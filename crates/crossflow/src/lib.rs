@@ -96,7 +96,10 @@ pub use spec::{RunSpec, RunSpecBuilder};
 pub use task::{CollectedOutputs, SinkTask, TaskCtx, TaskLogic};
 #[allow(deprecated)]
 pub use threaded::{run_threaded, run_threaded_traced};
-pub use threaded::{run_threaded_output, ThreadedConfig, ThreadedScheduler};
+pub use threaded::{
+    run_threaded_output, ChaosConfig, DeliveryEntry, DeliveryLog, DeliveryLogHandle,
+    ProtocolMutation, ThreadedConfig, ThreadedScheduler,
+};
 pub use trace::{JobPhases, SchedEvent, SchedEventKind, SchedLog, Trace, TraceEvent, TraceKind};
 pub use worker::{WorkerSpec, WorkerSpecBuilder};
 pub use workflow::Workflow;

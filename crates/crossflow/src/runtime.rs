@@ -134,6 +134,8 @@ impl ThreadedSession {
             faults: self.spec.engine.faults.clone(),
             trace: self.spec.engine.trace,
             metrics: self.spec.engine.metrics.clone(),
+            chaos: self.spec.chaos.clone(),
+            mutation: self.spec.mutation,
         };
         let meta = RunMeta {
             worker_config: self.spec.worker_config.clone(),

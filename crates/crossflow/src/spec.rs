@@ -30,6 +30,7 @@ use crate::engine::EngineConfig;
 use crate::faults::FaultPlan;
 use crate::runtime::ThreadedSession;
 use crate::session::Session;
+use crate::threaded::{ChaosConfig, ProtocolMutation};
 use crate::worker::WorkerSpec;
 
 /// Everything needed to run a scenario on either runtime.
@@ -57,6 +58,13 @@ pub struct RunSpec {
     /// paper's 1 s). The sim engine takes its window from the
     /// allocator instead.
     pub contest_window_secs: f64,
+    /// Threaded runtime, test-only: seeded delivery-order perturbation
+    /// at the master's intake. The sim engine ignores it (its event
+    /// order is already fully determined by the seed).
+    pub chaos: Option<ChaosConfig>,
+    /// Threaded runtime, test-only: reintroduce one PR 1 protocol bug
+    /// (requires the `protocol-mutation` cargo feature).
+    pub mutation: ProtocolMutation,
 }
 
 impl RunSpec {
@@ -89,6 +97,8 @@ pub struct RunSpecBuilder {
     time_scale: f64,
     min_real_window: Duration,
     contest_window_secs: f64,
+    chaos: Option<ChaosConfig>,
+    mutation: ProtocolMutation,
 }
 
 impl Default for RunSpecBuilder {
@@ -102,6 +112,8 @@ impl Default for RunSpecBuilder {
             time_scale: 1e-3,
             min_real_window: Duration::from_millis(2),
             contest_window_secs: 1.0,
+            chaos: None,
+            mutation: ProtocolMutation::None,
         }
     }
 }
@@ -191,6 +203,20 @@ impl RunSpecBuilder {
         self
     }
 
+    /// Threaded runtime, test-only: perturb message delivery order at
+    /// the master's intake (see [`ChaosConfig`]).
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Threaded runtime, test-only: reintroduce one PR 1 protocol bug
+    /// (requires the `protocol-mutation` cargo feature).
+    pub fn mutation(mut self, mutation: ProtocolMutation) -> Self {
+        self.mutation = mutation;
+        self
+    }
+
     /// Finish the spec.
     ///
     /// # Panics
@@ -210,6 +236,8 @@ impl RunSpecBuilder {
             time_scale: self.time_scale,
             min_real_window: self.min_real_window,
             contest_window_secs: self.contest_window_secs,
+            chaos: self.chaos,
+            mutation: self.mutation,
         }
     }
 }

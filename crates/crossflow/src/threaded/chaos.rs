@@ -1,0 +1,416 @@
+//! Controlled-interleaving hooks for the threaded runtime.
+//!
+//! The threaded master normally consumes its intake channel in arrival
+//! order, so one process run explores exactly one interleaving of the
+//! protocol messages. [`ChaosConfig`] turns the intake into a *virtual
+//! scheduler* in the spirit of loom/madsim: a seeded fraction of
+//! incoming messages is parked in a hold buffer and re-released in
+//! seeded-random order (bounded delay, bounded reordering), and
+//! messages can be duplicated — the two perturbations that produce the
+//! late-bid / duplicate-delivery races the bidding protocol must
+//! tolerate. Every delivery decision is recorded in a [`DeliveryLog`]
+//! so a failing exploration can print the exact interleaving.
+//!
+//! [`ProtocolMutation`] is the second half of the checker story: each
+//! variant re-introduces one protocol bug fixed in PR 1, behind the
+//! `protocol-mutation` cargo feature, so the test suite can prove the
+//! invariant oracle actually detects that class of bug. Without the
+//! feature the mutations are inert and the runtime refuses to run with
+//! one selected.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{Receiver, RecvTimeoutError};
+use crossbid_simcore::{RngStream, SeedSequence};
+use parking_lot::Mutex;
+
+use super::ToMaster;
+
+/// Shared handle to the recorded delivery schedule of one run.
+pub type DeliveryLogHandle = Arc<Mutex<DeliveryLog>>;
+
+/// Seeded perturbation of master-intake message delivery.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed of the delivery-order decisions. Independent of the run
+    /// seed so the explorer can sweep interleavings of one scenario.
+    pub seed: u64,
+    /// Probability an incoming message is parked in the hold buffer
+    /// instead of delivered immediately.
+    pub hold_prob: f64,
+    /// Probability an incoming message is *duplicated*: the extra copy
+    /// goes through the hold buffer and arrives again later.
+    pub dup_prob: f64,
+    /// Hold-buffer capacity; at capacity, messages pass through.
+    pub max_held: usize,
+    /// Force-release age: no message is held longer than this (real
+    /// time), which bounds the reordering and keeps the run live.
+    pub max_hold: Duration,
+    /// Worker-side: maximum extra real-time delay a bidder sleeps
+    /// before answering a bid request (seeded per worker). Turns the
+    /// "all bids beat the window" fast path into genuine late-bid
+    /// races. `Duration::ZERO` disables.
+    pub max_bid_delay: Duration,
+    /// Probability an incoming bid's estimate is corrupted to NaN — a
+    /// garbage message the master's intake guard must drop. Workers
+    /// never produce non-finite estimates themselves, so this is the
+    /// only way to exercise that guard end to end.
+    pub nan_bid_prob: f64,
+    /// When set, every delivery decision of the run is appended here.
+    pub delivery_log: Option<DeliveryLogHandle>,
+}
+
+impl ChaosConfig {
+    /// A chaos scheme exercising reordering, duplication and late bids
+    /// at rates that perturb most runs without stalling them.
+    pub fn aggressive(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            hold_prob: 0.35,
+            dup_prob: 0.10,
+            max_held: 8,
+            max_hold: Duration::from_millis(4),
+            max_bid_delay: Duration::from_millis(2),
+            nan_bid_prob: 0.05,
+            delivery_log: None,
+        }
+    }
+
+    /// Attach a fresh delivery log and return its handle.
+    pub fn with_delivery_log(mut self) -> (Self, DeliveryLogHandle) {
+        let h: DeliveryLogHandle = Arc::new(Mutex::new(DeliveryLog::default()));
+        self.delivery_log = Some(Arc::clone(&h));
+        (self, h)
+    }
+}
+
+/// One delivered message in the recorded schedule.
+#[derive(Debug, Clone)]
+pub struct DeliveryEntry {
+    /// Position of the message in channel-arrival order (0-based).
+    pub intake_seq: u64,
+    /// Whether this delivery is a chaos-injected duplicate copy.
+    pub duplicate: bool,
+    /// Whether the message sat in the hold buffer before delivery.
+    pub was_held: bool,
+    /// Compact message description, e.g. `bid(w1,j3)`.
+    pub tag: String,
+}
+
+/// The recorded delivery schedule of one run: the interleaving the
+/// chaos layer actually produced, in delivery order.
+#[derive(Debug, Default, Clone)]
+pub struct DeliveryLog {
+    /// Deliveries, in the order the master consumed them.
+    pub entries: Vec<DeliveryEntry>,
+}
+
+impl DeliveryLog {
+    /// Render the schedule for a failure report: one delivery per
+    /// line, flagging reordered and duplicated messages.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut high_water = 0u64;
+        for (pos, e) in self.entries.iter().enumerate() {
+            let mut flags = String::new();
+            if e.duplicate {
+                flags.push_str(" [dup]");
+            }
+            if e.was_held {
+                flags.push_str(" [held]");
+            }
+            if e.intake_seq < high_water {
+                flags.push_str(" [reordered]");
+            }
+            high_water = high_water.max(e.intake_seq);
+            out.push_str(&format!(
+                "#{pos:04} intake {:>4} {}{}\n",
+                e.intake_seq, e.tag, flags
+            ));
+        }
+        out
+    }
+
+    /// How many deliveries were reordered past a later-arrived one.
+    pub fn inversions(&self) -> usize {
+        let mut high_water = 0u64;
+        let mut n = 0;
+        for e in &self.entries {
+            if e.intake_seq < high_water {
+                n += 1;
+            }
+            high_water = high_water.max(e.intake_seq);
+        }
+        n
+    }
+}
+
+fn tag(msg: &ToMaster) -> String {
+    match msg {
+        ToMaster::Bid {
+            worker,
+            job,
+            estimate_secs,
+        } if !estimate_secs.is_finite() => format!("bid(w{},j{},nan)", worker, job.0),
+        ToMaster::Bid { worker, job, .. } => format!("bid(w{},j{})", worker, job.0),
+        ToMaster::Reject { worker, job } => format!("reject(w{},j{})", worker, job.id.0),
+        ToMaster::Idle { worker } => format!("idle(w{worker})"),
+        ToMaster::Done { worker, job, .. } => format!("done(w{},j{})", worker, job.id.0),
+    }
+}
+
+struct Held {
+    seq: u64,
+    since: Instant,
+    duplicate: bool,
+    msg: ToMaster,
+}
+
+/// The master's intake: a transparent wrapper over the `ToMaster`
+/// receiver that, under chaos, holds/reorders/duplicates messages.
+pub(crate) struct Intake {
+    rx: Receiver<ToMaster>,
+    chaos: Option<ChaosState>,
+}
+
+struct ChaosState {
+    cfg: ChaosConfig,
+    rng: RngStream,
+    held: VecDeque<Held>,
+    next_seq: u64,
+    /// The sender side hung up; only held messages remain.
+    disconnected: bool,
+}
+
+/// How long the chaotic intake waits for fresh traffic before
+/// releasing a held message instead.
+const MIX_SLICE: Duration = Duration::from_micros(300);
+
+impl Intake {
+    pub fn new(rx: Receiver<ToMaster>, chaos: Option<ChaosConfig>) -> Self {
+        let chaos = chaos.map(|cfg| ChaosState {
+            rng: SeedSequence::new(cfg.seed).stream(0xC4A05),
+            held: VecDeque::new(),
+            next_seq: 0,
+            disconnected: false,
+            cfg,
+        });
+        Intake { rx, chaos }
+    }
+
+    /// Receive the next message, honoring `deadline` (`None` blocks
+    /// until traffic or disconnect). Semantics match
+    /// `Receiver::recv_deadline` / `recv`: `Timeout` only ever fires
+    /// when a deadline was given.
+    pub fn recv(&mut self, deadline: Option<Instant>) -> Result<ToMaster, RecvTimeoutError> {
+        let Some(chaos) = &mut self.chaos else {
+            return match deadline {
+                Some(d) => self.rx.recv_deadline(d),
+                None => self.rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            };
+        };
+        loop {
+            let now = Instant::now();
+            // Liveness: anything held past its age bound goes out now,
+            // oldest first.
+            if let Some(pos) = chaos
+                .held
+                .iter()
+                .position(|h| now.saturating_duration_since(h.since) >= chaos.cfg.max_hold)
+            {
+                return Ok(release(chaos, pos));
+            }
+            if chaos.disconnected {
+                return match chaos.held.is_empty() {
+                    true => Err(RecvTimeoutError::Disconnected),
+                    false => Ok(release_random(chaos)),
+                };
+            }
+            // Wait for fresh traffic, but only briefly while messages
+            // are held (they must keep mixing), and never past the
+            // oldest forced release or the caller's deadline.
+            let forced = chaos
+                .held
+                .iter()
+                .map(|h| h.since + chaos.cfg.max_hold)
+                .min();
+            let slice = if chaos.held.is_empty() {
+                None
+            } else {
+                Some(now + MIX_SLICE)
+            };
+            let wait_until = [deadline, forced, slice].into_iter().flatten().min();
+            let got = match wait_until {
+                Some(d) => self.rx.recv_deadline(d),
+                None => self.rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            };
+            match got {
+                Ok(mut msg) => {
+                    if let ToMaster::Bid { estimate_secs, .. } = &mut msg {
+                        if chaos.rng.chance(chaos.cfg.nan_bid_prob) {
+                            *estimate_secs = f64::NAN;
+                        }
+                    }
+                    let seq = chaos.next_seq;
+                    chaos.next_seq += 1;
+                    if chaos.rng.chance(chaos.cfg.dup_prob) && chaos.held.len() < chaos.cfg.max_held
+                    {
+                        chaos.held.push_back(Held {
+                            seq,
+                            since: now,
+                            duplicate: true,
+                            msg: msg.clone(),
+                        });
+                    }
+                    if chaos.rng.chance(chaos.cfg.hold_prob)
+                        && chaos.held.len() < chaos.cfg.max_held
+                    {
+                        chaos.held.push_back(Held {
+                            seq,
+                            since: now,
+                            duplicate: false,
+                            msg,
+                        });
+                        continue;
+                    }
+                    record(chaos, seq, false, false, &msg);
+                    return Ok(msg);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                    // A mix slice (or forced release) expired without
+                    // fresh traffic: deliver something held.
+                    if !chaos.held.is_empty() {
+                        return Ok(release_random(chaos));
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    chaos.disconnected = true;
+                }
+            }
+        }
+    }
+}
+
+fn record(chaos: &mut ChaosState, seq: u64, duplicate: bool, was_held: bool, msg: &ToMaster) {
+    if let Some(log) = &chaos.cfg.delivery_log {
+        log.lock().entries.push(DeliveryEntry {
+            intake_seq: seq,
+            duplicate,
+            was_held,
+            tag: tag(msg),
+        });
+    }
+}
+
+fn release(chaos: &mut ChaosState, pos: usize) -> ToMaster {
+    let h = chaos.held.remove(pos).expect("position in range");
+    record(chaos, h.seq, h.duplicate, true, &h.msg);
+    h.msg
+}
+
+fn release_random(chaos: &mut ChaosState) -> ToMaster {
+    let pos = chaos.rng.below(chaos.held.len() as u64) as usize;
+    release(chaos, pos)
+}
+
+/// One reintroduced PR 1 protocol bug, for checker self-validation.
+///
+/// The variants exist unconditionally so configuration code compiles
+/// everywhere, but their *effects* are only compiled under the
+/// `protocol-mutation` cargo feature; without it the threaded runtime
+/// panics on any selection other than [`ProtocolMutation::None`]
+/// rather than silently running unmutated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolMutation {
+    /// The correct protocol.
+    #[default]
+    None,
+    /// Drop the intake guard on non-finite bid estimates: a NaN/∞ bid
+    /// is recorded into the contest like any other.
+    AcceptNonFiniteBids,
+    /// Drop the duplicate-bid short-circuit: a second bid from the
+    /// same worker is recorded again and can close the contest.
+    AcceptDuplicateBids,
+    /// Honor bids that arrive after their contest closed: the late
+    /// bidder steals the job with a second assignment.
+    AcceptLateBids,
+    /// Baseline: re-offer a rejected job straight back to the worker
+    /// that just rejected it even when another idle worker exists.
+    ReofferToRejector,
+}
+
+impl ProtocolMutation {
+    /// Is this the unmutated protocol?
+    pub fn is_none(self) -> bool {
+        self == ProtocolMutation::None
+    }
+
+    pub(crate) fn accepts_non_finite(self) -> bool {
+        cfg!(feature = "protocol-mutation") && self == ProtocolMutation::AcceptNonFiniteBids
+    }
+
+    pub(crate) fn accepts_duplicates(self) -> bool {
+        cfg!(feature = "protocol-mutation") && self == ProtocolMutation::AcceptDuplicateBids
+    }
+
+    pub(crate) fn accepts_late_bids(self) -> bool {
+        cfg!(feature = "protocol-mutation") && self == ProtocolMutation::AcceptLateBids
+    }
+
+    pub(crate) fn reoffers_to_rejector(self) -> bool {
+        cfg!(feature = "protocol-mutation") && self == ProtocolMutation::ReofferToRejector
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_log_counts_inversions_and_renders_flags() {
+        let log = DeliveryLog {
+            entries: vec![
+                DeliveryEntry {
+                    intake_seq: 1,
+                    duplicate: false,
+                    was_held: false,
+                    tag: "bid(w0,j0)".into(),
+                },
+                DeliveryEntry {
+                    intake_seq: 0,
+                    duplicate: false,
+                    was_held: true,
+                    tag: "idle(w1)".into(),
+                },
+                DeliveryEntry {
+                    intake_seq: 0,
+                    duplicate: true,
+                    was_held: true,
+                    tag: "idle(w1)".into(),
+                },
+            ],
+        };
+        assert_eq!(log.inversions(), 2);
+        let text = log.render();
+        assert!(text.contains("[reordered]"), "{text}");
+        assert!(text.contains("[dup]"), "{text}");
+        assert!(text.contains("[held]"), "{text}");
+    }
+
+    #[test]
+    fn mutations_are_inert_without_the_feature_flag() {
+        let m = ProtocolMutation::AcceptDuplicateBids;
+        assert_eq!(
+            m.accepts_duplicates(),
+            cfg!(feature = "protocol-mutation"),
+            "mutation effects must track the cargo feature"
+        );
+        assert!(ProtocolMutation::None.is_none());
+        assert!(!ProtocolMutation::default().accepts_late_bids());
+    }
+}

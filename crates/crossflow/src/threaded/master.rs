@@ -21,6 +21,7 @@ use crate::trace::{SchedEvent, SchedEventKind, SchedLog, Trace, TraceEvent, Trac
 use crate::worker::WorkerSpec;
 use crate::workflow::Workflow;
 
+use super::chaos::{ChaosConfig, Intake, ProtocolMutation};
 use super::worker::{spawn_worker, Protocol, WorkerShared};
 use super::{ToMaster, ToWorker};
 
@@ -72,6 +73,15 @@ pub struct ThreadedConfig {
     /// private [`Registry`]; a snapshot is returned in
     /// [`RunOutput::metrics`] either way.
     pub metrics: Option<Registry>,
+    /// Test-only seeded delivery-order perturbation of the master's
+    /// intake (hold/reorder/duplicate). `None` delivers in arrival
+    /// order, as before.
+    pub chaos: Option<ChaosConfig>,
+    /// Test-only reintroduction of one PR 1 protocol bug, for checker
+    /// self-validation. Only effective under the `protocol-mutation`
+    /// cargo feature; selecting a mutation without it panics at run
+    /// start.
+    pub mutation: ProtocolMutation,
 }
 
 impl Default for ThreadedConfig {
@@ -86,6 +96,8 @@ impl Default for ThreadedConfig {
             faults: FaultPlan::none(),
             trace: false,
             metrics: None,
+            chaos: None,
+            mutation: ProtocolMutation::None,
         }
     }
 }
@@ -225,6 +237,10 @@ pub(crate) fn run_threaded_with_shareds(
     assert!(!specs.is_empty(), "need at least one worker");
     assert_eq!(specs.len(), shareds.len(), "one shared state per spec");
     assert!(cfg.time_scale > 0.0, "time_scale must be positive");
+    assert!(
+        cfg.mutation.is_none() || cfg!(feature = "protocol-mutation"),
+        "protocol mutations require the `protocol-mutation` cargo feature"
+    );
     let n = specs.len();
     let protocol = match cfg.scheduler {
         ThreadedScheduler::Bidding { .. } => Protocol::Bidding,
@@ -249,6 +265,11 @@ pub(crate) fn run_threaded_with_shareds(
             .noise_override
             .clone()
             .unwrap_or_else(|| cfg.noise.clone());
+        let bid_delay = cfg
+            .chaos
+            .as_ref()
+            .map(|c| c.max_bid_delay)
+            .unwrap_or(Duration::ZERO);
         let threads = spawn_worker(
             i as u32,
             Arc::clone(shared),
@@ -260,11 +281,13 @@ pub(crate) fn run_threaded_with_shareds(
             cfg.speed_learning,
             seq.seed_for(100 + i as u64),
             metrics.clone(),
+            bid_delay,
         );
         worker_txs.push(tx);
         handles.push(threads);
     }
     drop(to_master_tx);
+    let mut intake = Intake::new(to_master_rx, cfg.chaos.clone());
 
     let start = Instant::now();
     let virt = |v: f64| Duration::from_secs_f64((v * cfg.time_scale).max(0.0));
@@ -384,13 +407,26 @@ pub(crate) fn run_threaded_with_shareds(
             // worker first so the rejection can actually route the
             // job somewhere better.
             let rejector = st.rejected_by.get(&job.id).copied();
-            let pos = st
-                .idle
-                .iter()
-                .position(|w| Some(*w) != rejector)
-                .unwrap_or(0);
+            let pos = if cfg.mutation.reoffers_to_rejector() {
+                // The reintroduced bug: bounce the job straight back
+                // to whoever just rejected it.
+                rejector
+                    .and_then(|r| st.idle.iter().position(|w| *w == r))
+                    .unwrap_or(0)
+            } else {
+                st.idle
+                    .iter()
+                    .position(|w| Some(*w) != rejector)
+                    .unwrap_or(0)
+            };
             let w = st.idle.remove(pos).expect("position in range");
             st.m.control_messages.inc();
+            st.log.push(SchedEvent {
+                at: vnow(),
+                worker: Some(WorkerId(w)),
+                job: Some(job.id),
+                kind: SchedEventKind::Offered,
+            });
             st.outstanding.insert(
                 job.id,
                 Outstanding {
@@ -481,6 +517,12 @@ pub(crate) fn run_threaded_with_shareds(
             arrivals_seen += 1;
             let id = st.alloc_id();
             st.created += 1;
+            st.log.push(SchedEvent {
+                at: vnow(),
+                worker: None,
+                job: Some(id),
+                kind: SchedEventKind::Submitted,
+            });
             dispatch(&mut st, &worker_txs, cfg, spec.into_job(id));
         }
 
@@ -642,16 +684,10 @@ pub(crate) fn run_threaded_with_shareds(
             .chain(fault_events.front().map(|(at, _)| *at))
             .chain(detections.front().map(|(at, _, _)| *at))
             .min();
-        let msg = match next_deadline {
-            Some(d) => match to_master_rx.recv_deadline(d) {
-                Ok(m) => Some(m),
-                Err(RecvTimeoutError::Timeout) => None,
-                Err(RecvTimeoutError::Disconnected) => break,
-            },
-            None => match to_master_rx.recv() {
-                Ok(m) => Some(m),
-                Err(_) => break,
-            },
+        let msg = match intake.recv(next_deadline) {
+            Ok(m) => Some(m),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
         };
         let Some(msg) = msg else { continue };
         // A worker the master has declared dead cannot talk: any of
@@ -678,7 +714,7 @@ pub(crate) fn run_threaded_with_shareds(
                 // Intake guard: a non-finite estimate is protocol
                 // garbage — never record it, never let it count
                 // toward the bid set.
-                if !estimate_secs.is_finite() {
+                if !estimate_secs.is_finite() && !cfg.mutation.accepts_non_finite() {
                     continue;
                 }
                 let live = st.live_count();
@@ -688,7 +724,9 @@ pub(crate) fn run_threaded_with_shareds(
                     // Duplicates are ignored entirely: only a freshly
                     // recorded bid may complete the set and trigger
                     // the short-circuit close.
-                    if !c.bids.iter().any(|(w, _)| *w == worker) {
+                    if cfg.mutation.accepts_duplicates()
+                        || !c.bids.iter().any(|(w, _)| *w == worker)
+                    {
                         c.bids.push((worker, estimate_secs));
                         recorded = true;
                         full = c.bids.len() >= live;
@@ -705,6 +743,32 @@ pub(crate) fn run_threaded_with_shareds(
                         kind: SchedEventKind::BidReceived { estimate_secs },
                     });
                 }
+                if !recorded && cfg.mutation.accepts_late_bids() {
+                    // The reintroduced bug: a bid arriving after its
+                    // contest closed reopens the decision — the late
+                    // bidder steals the still-running job.
+                    let stolen = st.outstanding.get_mut(&job).map(|o| {
+                        o.worker = worker;
+                        o.assigned_at = Instant::now();
+                        o.job.clone()
+                    });
+                    if let Some(j) = stolen {
+                        st.log.push(SchedEvent {
+                            at: vnow(),
+                            worker: Some(WorkerId(worker)),
+                            job: Some(job),
+                            kind: SchedEventKind::BidReceived { estimate_secs },
+                        });
+                        st.log.push(SchedEvent {
+                            at: vnow(),
+                            worker: Some(WorkerId(worker)),
+                            job: Some(job),
+                            kind: SchedEventKind::Assigned,
+                        });
+                        st.m.control_messages.inc();
+                        let _ = worker_txs[worker as usize].send(ToWorker::Assign(j));
+                    }
+                }
                 if full {
                     close_contest(&mut st, &worker_txs, &mut rng_master, job, false);
                     open_next_contest(&mut st, &worker_txs, window_secs);
@@ -712,7 +776,27 @@ pub(crate) fn run_threaded_with_shareds(
             }
             ToMaster::Reject { worker, job } => {
                 st.m.control_messages.inc();
+                // At-least-once tolerance: a reject acts only while
+                // the offer it answers is still outstanding *to that
+                // worker*. A duplicate delivery, or a stale reject
+                // arriving after the job was redistributed, completed
+                // or re-offered elsewhere, would otherwise re-queue
+                // the job for a second execution (or cancel someone
+                // else's offer).
+                if st
+                    .outstanding
+                    .get(&job.id)
+                    .is_none_or(|o| o.worker != worker)
+                {
+                    continue;
+                }
                 st.outstanding.remove(&job.id);
+                st.log.push(SchedEvent {
+                    at: vnow(),
+                    worker: Some(WorkerId(worker)),
+                    job: Some(job.id),
+                    kind: SchedEventKind::Rejected,
+                });
                 st.rejected_by.insert(job.id, worker);
                 if !st.idle.contains(&worker) {
                     st.idle.push_back(worker);
@@ -742,6 +826,12 @@ pub(crate) fn run_threaded_with_shareds(
                     continue;
                 }
                 st.completed += 1;
+                st.log.push(SchedEvent {
+                    at: vnow(),
+                    worker: Some(WorkerId(worker)),
+                    job: Some(job.id),
+                    kind: SchedEventKind::Completed,
+                });
                 st.m.jobs_completed.inc();
                 last_completion = Instant::now();
                 wait_stats.push(wait_secs.max(0.0));
@@ -791,6 +881,12 @@ pub(crate) fn run_threaded_with_shareds(
                 for spec in out {
                     let id = st.alloc_id();
                     st.created += 1;
+                    st.log.push(SchedEvent {
+                        at: vnow(),
+                        worker: None,
+                        job: Some(id),
+                        kind: SchedEventKind::Submitted,
+                    });
                     dispatch(&mut st, &worker_txs, cfg, spec.into_job(id));
                 }
                 baseline_pump(&mut st, &worker_txs);

@@ -20,9 +20,11 @@
 //! this runtime exists to exercise; workers learn their speeds from
 //! observed transfers (historic averages, §6.4).
 
+mod chaos;
 mod master;
 mod worker;
 
+pub use chaos::{ChaosConfig, DeliveryEntry, DeliveryLog, DeliveryLogHandle, ProtocolMutation};
 pub(crate) use master::run_threaded_with_shareds;
 #[allow(deprecated)]
 pub use master::{run_threaded, run_threaded_traced};
@@ -31,8 +33,9 @@ pub(crate) use worker::WorkerShared;
 
 use crate::job::Job;
 
-/// Messages workers send to the threaded master.
-#[derive(Debug)]
+/// Messages workers send to the threaded master. `Clone` exists for
+/// the chaos layer's duplicate-delivery injection.
+#[derive(Debug, Clone)]
 pub(crate) enum ToMaster {
     /// A bid for an open contest.
     Bid {

@@ -156,6 +156,9 @@ pub(crate) fn spawn_worker(
     speed_learning: bool,
     seed: u64,
     metrics: RuntimeMetrics,
+    // Chaos hook: maximum extra real-time delay before answering a
+    // bid request (seeded, uniform). `Duration::ZERO` disables.
+    bid_delay: Duration,
 ) -> WorkerThreads {
     let (tx_exec, rx_exec) = crossbeam_channel::unbounded::<ExecItem>();
 
@@ -168,6 +171,7 @@ pub(crate) fn spawn_worker(
         std::thread::Builder::new()
             .name(format!("bidder-{id}"))
             .spawn(move || {
+                let mut delay_rng = RngStream::from_seed(seed ^ 0xB1D_DE1A);
                 while let Ok(msg) = rx_control.recv() {
                     match msg {
                         ToWorker::Shutdown => break,
@@ -182,6 +186,12 @@ pub(crate) fn spawn_worker(
                                 }
                                 s.estimate_secs(&job, speed_learning)
                             };
+                            if bid_delay > Duration::ZERO {
+                                // Chaos: think about it for a while —
+                                // some bids now genuinely race the
+                                // contest window.
+                                std::thread::sleep(bid_delay.mul_f64(delay_rng.uniform(0.0, 1.0)));
+                            }
                             let _ = to_master.send(ToMaster::Bid {
                                 worker: id,
                                 job: job.id,

@@ -260,6 +260,10 @@ impl Trace {
 /// the simulated and the threaded scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SchedEventKind {
+    /// A job entered allocation for the first time (external arrival
+    /// or downstream spawn). Redistribution re-entries are *not*
+    /// re-submitted — they keep their original submission.
+    Submitted,
     /// A bidding contest was opened (bid requests broadcast).
     ContestOpened,
     /// A (finite) bid was received and recorded.
@@ -276,6 +280,15 @@ pub enum SchedEventKind {
         /// No usable bids: an arbitrary live worker was drafted.
         fallback: bool,
     },
+    /// Baseline: the job was offered to a worker (pull protocol).
+    Offered,
+    /// Baseline: the worker declined the offered job (reject-once).
+    Rejected,
+    /// The master accepted a completion report for the job — its
+    /// terminal event. A duplicate completion racing a redistribution
+    /// is de-duplicated *before* this is logged, so a correct run
+    /// logs exactly one `Completed` per submitted job.
+    Completed,
     /// The worker failed (fault injection).
     Crash,
     /// The worker came back with an empty store and queue.
@@ -349,6 +362,26 @@ impl SchedLog {
     /// Number of jobs pulled back from failed workers.
     pub fn redistributions(&self) -> usize {
         self.count(|k| matches!(k, SchedEventKind::Redistributed))
+    }
+
+    /// Number of jobs submitted into allocation.
+    pub fn submissions(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::Submitted))
+    }
+
+    /// Number of completions accepted by the master.
+    pub fn completions(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::Completed))
+    }
+
+    /// Number of Baseline offers issued.
+    pub fn offers(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::Offered))
+    }
+
+    /// Number of Baseline rejections received.
+    pub fn rejections(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::Rejected))
     }
 
     /// Number of contests opened.

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|all]
+//! repro [fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|all]
 //!       [--smoke] [--seed N] [--out DIR] [--trace FILE]
 //! ```
 //!
@@ -14,6 +14,14 @@
 //! Spark comparison; `tables` runs the threaded-runtime MSR
 //! experiment. `--smoke` shrinks everything for a fast check.
 //!
+//! The `check` artifact runs every built-in checker scenario through
+//! the protocol invariant oracle on both runtimes and exits nonzero
+//! on any violation:
+//!
+//! ```text
+//! repro check [--iters N] [--seed K]
+//! ```
+//!
 //! The `trace` artifact runs one scenario with full observability on
 //! either runtime and prints the phase-breakdown table:
 //!
@@ -23,6 +31,7 @@
 //!             [--trace FILE]
 //! ```
 
+use crossbid_experiments::check::{self, CheckConfig};
 use crossbid_experiments::trace_run::{self, RuntimeChoice, TraceRunConfig};
 use crossbid_experiments::{
     crash_sweep, crossover, extensions, fig2, fig3, fig4, replication, summary, tables,
@@ -185,6 +194,28 @@ fn main() {
             let res = tables::run(&exp);
             emit("tables", &tables::render(&res));
         }
+        "check" => {
+            let mut ccfg = CheckConfig::default();
+            if let Some(v) = args
+                .iter()
+                .position(|a| a == "--iters")
+                .and_then(|i| args.get(i + 1))
+            {
+                ccfg.iters = v.parse().unwrap_or_else(|e| die(&format!("--iters: {e}")));
+            }
+            if let Some(s) = seed {
+                ccfg.seed = s;
+            }
+            if smoke {
+                ccfg.iters = ccfg.iters.min(2);
+            }
+            let report = check::run(&ccfg);
+            emit("check", &report.body);
+            if !report.ok {
+                eprintln!("[repro] check FAILED");
+                std::process::exit(1);
+            }
+        }
         "trace" => {
             let flag = |name: &str| {
                 args.iter()
@@ -266,7 +297,7 @@ fn main() {
             emit("crossover", &crossover::render(&points));
         }
         other => {
-            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|all");
+            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|all");
             std::process::exit(2);
         }
     }

@@ -16,6 +16,7 @@
 //! in parallel across OS threads; everything is seeded and the
 //! simulated cells are bit-reproducible.
 
+pub mod check;
 pub mod config;
 pub mod crash_sweep;
 pub mod crossover;

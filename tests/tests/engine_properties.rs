@@ -162,33 +162,50 @@ proptest! {
     }
 }
 
+/// Arbitrary well-formed [`FaultPlan`]s for an `n_workers` cluster:
+/// each worker except the last independently gets an optional crash
+/// and an optional later recovery, and the plan's detection delay
+/// varies too. The last worker is never faulted, so some worker is
+/// always alive to finish the workload — permanent crashes of the
+/// rest are fair game (redistribution must still conserve jobs).
+fn arb_fault_plan(n_workers: u32) -> impl Strategy<Value = crossbid_crossflow::FaultPlan> {
+    use crossbid_crossflow::{FaultPlan, WorkerId};
+    use crossbid_simcore::SimDuration;
+    let per_worker = proptest::option::of((1u64..60, proptest::option::of(1u64..40)));
+    (
+        proptest::collection::vec(per_worker, (n_workers.saturating_sub(1)) as usize),
+        1u64..8,
+    )
+        .prop_map(|(faults, detect_secs)| {
+            let mut plan = FaultPlan::new();
+            for (w, f) in faults.into_iter().enumerate() {
+                if let Some((crash_at, recover_after)) = f {
+                    plan = plan.crash_at(SimTime::from_secs(crash_at), WorkerId(w as u32));
+                    if let Some(dt) = recover_after {
+                        plan =
+                            plan.recover_at(SimTime::from_secs(crash_at + dt), WorkerId(w as u32));
+                    }
+                }
+            }
+            plan.with_detection_delay(SimDuration::from_secs(detect_secs))
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Fault injection never loses jobs: for arbitrary crash/recovery
-    /// schedules (with at least one worker alive from some point on),
-    /// every job completes exactly once and all metrics stay sane.
+    /// schedules (with at least one worker alive throughout), every
+    /// job completes exactly once and all metrics stay sane — whether
+    /// the crashed workers come back or stay dead.
     #[test]
     fn faults_never_lose_jobs(
         jobs in proptest::collection::vec((0u64..8, 1u64..200, 0u64..30_000), 1..20),
-        crashes in proptest::collection::vec((1u64..60, 0u32..3), 0..4),
+        plan in arb_fault_plan(3),
         sched_idx in 0usize..2,
         seed: u64,
     ) {
-        use crossbid_crossflow::FaultPlan;
         let n_workers = 3usize;
-        // Build a plan: each (t, w) crashes worker w at t seconds and
-        // recovers it 20 s later, so the cluster always comes back.
-        let mut plan = crossbid_crossflow::FaultPlan::new();
-        for (t, w) in &crashes {
-            plan = plan
-                .crash_at(SimTime::from_secs(*t), crossbid_crossflow::WorkerId(*w))
-                .recover_at(
-                    SimTime::from_secs(*t + 20),
-                    crossbid_crossflow::WorkerId(*w),
-                );
-        }
-        let _: &FaultPlan = &plan;
         let cfg = EngineConfig {
             faults: plan,
             ..EngineConfig::default()

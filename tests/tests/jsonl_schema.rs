@@ -8,8 +8,9 @@ use std::collections::BTreeSet;
 
 use crossbid_core::BiddingAllocator;
 use crossbid_crossflow::{
-    parse_run_stream, sched_kind_name, Arrival, EngineConfig, FaultPlan, JobSpec, Payload,
-    ResourceRef, RunSpec, RunStreamLine, Runtime, TraceKind, WorkerId, WorkerSpec, Workflow,
+    parse_run_stream, sched_kind_name, Allocator, Arrival, BaselineAllocator, EngineConfig,
+    FaultPlan, JobSpec, Payload, ResourceRef, RunSpec, RunStreamLine, Runtime, TraceKind, WorkerId,
+    WorkerSpec, Workflow,
 };
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{SimDuration, SimTime};
@@ -80,15 +81,15 @@ fn trace_kind_label(kind: TraceKind) -> &'static str {
     }
 }
 
-/// Stream one faulted run and return `(raw JSONL, event vocabulary)`.
-fn stream_vocabulary(rt: &mut dyn Runtime) -> (String, BTreeSet<String>) {
+/// Stream one run under `alloc` and return `(raw JSONL, vocabulary)`.
+fn stream_vocabulary(rt: &mut dyn Runtime, alloc: &dyn Allocator) -> (String, BTreeSet<String>) {
     let mut wf = Workflow::new();
     let task = wf.add_sink("scan");
-    let out = rt.run_iteration(&mut wf, &BiddingAllocator::new(), hot_repo_arrivals(task));
+    let out = rt.run_iteration(&mut wf, alloc, hot_repo_arrivals(task));
     assert_eq!(out.record.jobs_completed, 12, "{}", rt.name());
     let meta = crossbid_crossflow::RunStreamMeta {
         runtime: rt.name().to_string(),
-        scheduler: "bidding".to_string(),
+        scheduler: alloc.kind().name().to_string(),
         worker_config: "custom".to_string(),
         job_config: "custom".to_string(),
         iteration: 0,
@@ -119,7 +120,7 @@ fn run_streams_round_trip_byte_identically() {
     let spec = faulted_spec();
     let runtimes: [Box<dyn Runtime>; 2] = [Box::new(spec.sim()), Box::new(spec.threaded())];
     for mut rt in runtimes {
-        let (text, _) = stream_vocabulary(rt.as_mut());
+        let (text, _) = stream_vocabulary(rt.as_mut(), &BiddingAllocator::new());
         let rewritten: String = parse_run_stream(&text)
             .unwrap()
             .iter()
@@ -137,16 +138,43 @@ fn both_runtimes_emit_the_golden_event_vocabulary() {
         .filter(|l| !l.is_empty())
         .map(String::from)
         .collect();
-    assert_eq!(golden.len(), 11, "golden file lists every event kind");
-    let spec = faulted_spec();
-    let runtimes: [Box<dyn Runtime>; 2] = [Box::new(spec.sim()), Box::new(spec.threaded())];
-    for mut rt in runtimes {
-        let (_, vocab) = stream_vocabulary(rt.as_mut());
+    assert_eq!(golden.len(), 15, "golden file lists every event kind");
+    // The bidding protocol never offers (it assigns contest winners)
+    // and the Baseline never opens contests, so the full vocabulary is
+    // the union of one faulted bidding run and one fault-free Baseline
+    // run (whose first offer of each job is declined: reject-once).
+    let faulted = faulted_spec();
+    let plain = RunSpec::builder()
+        .workers(specs(3))
+        .engine(EngineConfig {
+            control: ControlPlane::instant(),
+            data_latency: SimDuration::ZERO,
+            noise: NoiseModel::None,
+            ..EngineConfig::default()
+        })
+        .speed_learning(false)
+        .trace(true)
+        .seed(7)
+        .time_scale(1e-3)
+        .build();
+    let runtimes: [(Box<dyn Runtime>, Box<dyn Runtime>); 2] = [
+        (Box::new(faulted.sim()), Box::new(plain.sim())),
+        (Box::new(faulted.threaded()), Box::new(plain.threaded())),
+    ];
+    for (mut bidding_rt, mut baseline_rt) in runtimes {
+        let (_, mut vocab) = stream_vocabulary(bidding_rt.as_mut(), &BiddingAllocator::new());
+        let (_, baseline_vocab) = stream_vocabulary(baseline_rt.as_mut(), &BaselineAllocator);
+        assert!(
+            baseline_vocab.contains("sched/offered") && baseline_vocab.contains("sched/rejected"),
+            "{}: baseline run must exercise offer/reject",
+            baseline_rt.name()
+        );
+        vocab.extend(baseline_vocab);
         assert_eq!(
             vocab,
             golden,
             "{}: emitted vocabulary diverged from tests/golden/event_vocabulary.txt",
-            rt.name()
+            bidding_rt.name()
         );
     }
 }

@@ -1,0 +1,189 @@
+//! The checker's tier-1 suite: sweep message-delivery interleavings
+//! of the threaded runtime through the protocol invariant oracle, and
+//! prove the oracle actually catches bugs by reintroducing each PR 1
+//! protocol fix (via `crossbid-crossflow`'s test-only
+//! `protocol-mutation` feature) and asserting the explorer finds a
+//! violation, shrinks it, and prints a replayable repro (seed +
+//! delivery schedule).
+//!
+//! Seeds are fixed so CI runs are reproducible; the scheduled
+//! extended-exploration workflow sweeps fresh seeds.
+
+use crossbid_checker::{explore, explore_builtins, ExploreConfig, Protocol};
+use crossbid_checker::{Failure, JobDef, Scenario, Violation};
+use crossbid_crossflow::ProtocolMutation;
+
+/// Chaos sweep over every built-in scenario. `CHECKER_ITERS` lets the
+/// scheduled CI job deepen the exploration without a code change.
+fn sweep_iters(default: u32) -> u32 {
+    std::env::var("CHECKER_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn correct_protocol_survives_chaos_on_every_builtin_scenario() {
+    let cfg = ExploreConfig::quick(sweep_iters(4), 0xC0FFEE);
+    for report in explore_builtins(&cfg) {
+        assert!(report.passed(), "{}", report.render());
+    }
+}
+
+fn builtin(name: &str) -> Scenario {
+    Scenario::builtins()
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("known scenario")
+}
+
+fn mutated(mutation: ProtocolMutation, iters: u32, seed: u64) -> ExploreConfig {
+    ExploreConfig {
+        iters,
+        base_seed: seed,
+        mutation,
+        chaos: true,
+        strict_reoffer: false,
+        parity: false,
+        repro_attempts: 2,
+    }
+}
+
+/// The failure report must be a complete repro recipe.
+fn assert_replayable(report_text: &str, f: &Failure, expect_schedule: bool) {
+    assert!(report_text.contains("VIOLATION"), "{report_text}");
+    assert!(report_text.contains("minimal repro"), "{report_text}");
+    assert!(
+        report_text.contains(&format!("run seed {}", f.run_seed)),
+        "{report_text}"
+    );
+    assert!(!f.kept_jobs.is_empty());
+    if expect_schedule {
+        assert!(
+            !f.schedule.is_empty() && report_text.contains("delivery schedule"),
+            "chaos failures must print the recorded interleaving: {report_text}"
+        );
+    }
+}
+
+#[test]
+fn explorer_catches_reintroduced_nonfinite_bid_acceptance() {
+    // PR 1 fix: the master drops NaN/∞ bid estimates at intake. The
+    // chaos layer corrupts a seeded fraction of bids to NaN, so the
+    // mutated master records them — a NonFiniteBid oracle violation.
+    let sc = builtin("hot_repo_bidding");
+    let report = explore(&sc, &mutated(ProtocolMutation::AcceptNonFiniteBids, 20, 11));
+    let text = report.render();
+    let f = report.failure.as_ref().unwrap_or_else(|| {
+        panic!("mutated scheduler must be caught: {text}");
+    });
+    assert!(
+        f.violations
+            .iter()
+            .any(|v| matches!(v, Violation::NonFiniteBid { .. })),
+        "{text}"
+    );
+    assert!(
+        f.kept_jobs.len() < sc.jobs.len(),
+        "shrinking must drop at least one job: {text}"
+    );
+    assert_replayable(&text, f, true);
+}
+
+#[test]
+fn explorer_catches_reintroduced_duplicate_bid_acceptance() {
+    // PR 1 fix: a second bid from the same worker is ignored. Chaos
+    // duplicates messages, so the mutated master records the copy —
+    // a DuplicateBid oracle violation.
+    let sc = builtin("hot_repo_bidding");
+    let report = explore(&sc, &mutated(ProtocolMutation::AcceptDuplicateBids, 40, 13));
+    let text = report.render();
+    let f = report
+        .failure
+        .as_ref()
+        .unwrap_or_else(|| panic!("mutated scheduler must be caught: {text}"));
+    assert!(
+        f.violations
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateBid { .. })),
+        "{text}"
+    );
+    assert_replayable(&text, f, true);
+}
+
+#[test]
+fn explorer_catches_reintroduced_late_bid_acceptance() {
+    // PR 1 fix: bids arriving after their contest closed are ignored.
+    // The mutated master lets the late bidder steal the job — visible
+    // to the oracle as a bid outside an open contest and/or a second
+    // assignment without a contest close.
+    let sc = builtin("hot_repo_bidding");
+    let report = explore(&sc, &mutated(ProtocolMutation::AcceptLateBids, 40, 17));
+    let text = report.render();
+    let f = report
+        .failure
+        .as_ref()
+        .unwrap_or_else(|| panic!("mutated scheduler must be caught: {text}"));
+    assert!(
+        f.violations.iter().any(|v| matches!(
+            v,
+            Violation::BidAfterClose { .. }
+                | Violation::AssignmentWithoutBid { .. }
+                | Violation::AssignedWhilePlaced { .. }
+        )),
+        "{text}"
+    );
+    assert_replayable(&text, f, true);
+}
+
+/// One non-local job on a three-worker cluster: the correct Baseline
+/// walks the offer through w0 → w1 → w2 and only then returns to w0
+/// (reject-once), so a *direct* bounce back to the last rejector is
+/// unambiguous — no chaos, no racing jobs.
+fn lone_job_baseline() -> Scenario {
+    Scenario {
+        name: "lone_job_baseline",
+        protocol: Protocol::Baseline,
+        workers: 3,
+        jobs: vec![JobDef {
+            at_secs: 0.0,
+            object: 1,
+            bytes: 50_000_000,
+        }],
+        faults: Vec::new(),
+        expect_all_complete: true,
+    }
+}
+
+#[test]
+fn explorer_catches_reintroduced_reoffer_to_rejector() {
+    // PR 1 fix: a rejected job is re-offered to a *different* idle
+    // worker. Strict mode is only sound without chaos, so this probe
+    // runs deterministic delivery.
+    let strict = |mutation| ExploreConfig {
+        iters: 5,
+        base_seed: 19,
+        mutation,
+        chaos: false,
+        strict_reoffer: true,
+        parity: true,
+        repro_attempts: 2,
+    };
+    let sc = lone_job_baseline();
+    // Contrast: the correct protocol passes the same strict probe.
+    let clean = explore(&sc, &strict(ProtocolMutation::None));
+    assert!(clean.passed(), "{}", clean.render());
+    let report = explore(&sc, &strict(ProtocolMutation::ReofferToRejector));
+    let text = report.render();
+    let f = report
+        .failure
+        .as_ref()
+        .unwrap_or_else(|| panic!("mutated scheduler must be caught: {text}"));
+    assert!(
+        f.violations
+            .iter()
+            .any(|v| matches!(v, Violation::ReofferToRejector { .. })),
+        "{text}"
+    );
+    assert_replayable(&text, f, false);
+}

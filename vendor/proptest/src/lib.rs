@@ -4,10 +4,20 @@
 //! tests run without crates.io access: the `proptest!` macro (with
 //! optional `#![proptest_config(..)]`), `in`-style strategy bindings,
 //! `name: Type` arbitrary bindings, integer/float range strategies,
-//! tuples, `collection::vec`, `bool::ANY`, `Just`, and the
-//! `prop_assert*` macros. Sampling is purely random and deterministic
-//! per test name; there is no shrinking — a failing case panics with
-//! the assertion message like a plain `#[test]`.
+//! tuples, `collection::vec`, `option::of`, `bool::ANY`, `Just`,
+//! `Strategy::prop_map`, and the `prop_assert*` macros. Sampling is
+//! purely random and deterministic per test name; there is no
+//! shrinking — a failing case panics with the assertion message like a
+//! plain `#[test]`.
+//!
+//! Two environment variables mirror real proptest's CI knobs:
+//!
+//! - `PROPTEST_CASES` overrides every block's case count (CI pins it
+//!   so tier-1 runtimes stay stable; the scheduled job raises it).
+//! - `PROPTEST_RNG_SEED` perturbs the per-test-name generator, letting
+//!   scheduled runs sweep fresh cases while unset runs stay
+//!   reproducible. The seed is printed-by-construction: a failure
+//!   reproduces by re-running with the same two variables.
 
 use std::ops::{Range, RangeInclusive};
 
@@ -22,11 +32,21 @@ pub mod test_runner {
 
     impl TestRng {
         pub fn from_name(name: &str) -> Self {
-            // FNV-1a over the name gives a stable, well-mixed seed.
+            Self::from_name_and_seed(name, env_u64("PROPTEST_RNG_SEED"))
+        }
+
+        /// The deterministic core of [`TestRng::from_name`]: FNV-1a
+        /// over the name gives a stable, well-mixed state; an explicit
+        /// seed (from `PROPTEST_RNG_SEED`) perturbs it so scheduled
+        /// runs can sweep fresh cases.
+        pub fn from_name_and_seed(name: &str, seed: Option<u64>) -> Self {
             let mut h: u64 = 0xcbf2_9ce4_8422_2325;
             for b in name.bytes() {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            if let Some(s) = seed {
+                h ^= s.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             }
             TestRng { state: h }
         }
@@ -75,6 +95,16 @@ pub mod test_runner {
             ProptestConfig { cases: 64 }
         }
     }
+
+    pub(crate) fn env_u64(name: &str) -> Option<u64> {
+        std::env::var(name).ok().and_then(|v| v.parse().ok())
+    }
+
+    /// The case count a block actually runs: `PROPTEST_CASES`
+    /// overrides the configured value when set and parseable.
+    pub fn resolve_cases(configured: u32) -> u32 {
+        env_u64("PROPTEST_CASES").map_or(configured, |n| n as u32)
+    }
 }
 
 pub mod strategy {
@@ -85,6 +115,29 @@ pub mod strategy {
     pub trait Strategy {
         type Value;
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform sampled values (`Strategy::prop_map`).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
     }
 
     /// Strategy that always yields a clone of one value.
@@ -262,6 +315,32 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `proptest::option::of`: `None` half the time, otherwise
+    /// `Some` of a sampled inner value.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.0.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
 pub mod bool {
     use super::strategy::Strategy;
     use super::test_runner::TestRng;
@@ -348,7 +427,7 @@ macro_rules! __proptest_fns {
             let __cfg: $crate::test_runner::ProptestConfig = $cfg;
             let mut __rng =
                 $crate::test_runner::TestRng::from_name(stringify!($name));
-            for _ in 0..__cfg.cases {
+            for _ in 0..$crate::test_runner::resolve_cases(__cfg.cases) {
                 $crate::__proptest_args!(__rng; $body; $($args)*);
             }
         }
@@ -455,13 +534,36 @@ mod tests {
         }
     }
 
+    proptest! {
+        #[test]
+        fn option_and_map_strategies(
+            v in crate::option::of(1u32..5),
+            w in (0u64..10).prop_map(|n| n * 2),
+        ) {
+            if let Some(x) = v {
+                prop_assert!((1..5).contains(&x));
+            }
+            prop_assert!(w % 2 == 0 && w < 20);
+        }
+    }
+
     #[test]
     fn deterministic_per_name() {
-        let mut a = TestRng::from_name("alpha");
-        let mut b = TestRng::from_name("alpha");
-        let mut c = TestRng::from_name("beta");
+        let mut a = TestRng::from_name_and_seed("alpha", None);
+        let mut b = TestRng::from_name_and_seed("alpha", None);
+        let mut c = TestRng::from_name_and_seed("beta", None);
         assert_eq!(a.next_u64(), b.next_u64());
         assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn explicit_seed_perturbs_the_stream() {
+        let mut unseeded = TestRng::from_name_and_seed("alpha", None);
+        let mut seeded = TestRng::from_name_and_seed("alpha", Some(7));
+        let mut seeded_again = TestRng::from_name_and_seed("alpha", Some(7));
+        let first = seeded.next_u64();
+        assert_ne!(unseeded.next_u64(), first);
+        assert_eq!(first, seeded_again.next_u64());
     }
 
     #[test]
