@@ -17,8 +17,8 @@
 //! the shrinker is conservative and keeps anything it cannot confirm
 //! removable.
 
-use crossbid_crossflow::{ChaosConfig, ProtocolMutation, RunOutput};
-use crossbid_simcore::SeedSequence;
+use crossbid_crossflow::{ChaosConfig, NetFaultPlan, ProtocolMutation, RunOutput, WorkerId};
+use crossbid_simcore::{SeedSequence, SimTime};
 
 use crate::oracle::{check_log, Violation};
 use crate::scenario::{Scenario, ThreadedRun};
@@ -35,6 +35,10 @@ pub struct ExploreConfig {
     pub mutation: ProtocolMutation,
     /// Perturb message delivery (hold/reorder/duplicate/corrupt).
     pub chaos: bool,
+    /// Make the links lossy (drop/duplicate/delay plus a timed
+    /// partition window) with the reliability countermeasures armed;
+    /// per-iteration net seeds derive from `base_seed`.
+    pub netfault: bool,
     /// Enforce the Baseline's reject-once re-offer routing. Only sound
     /// without chaos (reordering legitimizes re-offers), so the
     /// explorer ignores it whenever `chaos` is on.
@@ -56,6 +60,7 @@ impl ExploreConfig {
             base_seed,
             mutation: ProtocolMutation::None,
             chaos: true,
+            netfault: false,
             strict_reoffer: false,
             parity: true,
             repro_attempts: 3,
@@ -70,9 +75,20 @@ impl ExploreConfig {
             base_seed,
             mutation: ProtocolMutation::None,
             chaos: false,
+            netfault: false,
             strict_reoffer: true,
             parity: true,
             repro_attempts: 3,
+        }
+    }
+
+    /// A lossy-network sweep: chaos *and* link faults together, the
+    /// harshest delivery environment the reliability layer must
+    /// survive with exactly-once effects.
+    pub fn netfault(iters: u32, base_seed: u64) -> Self {
+        ExploreConfig {
+            netfault: true,
+            ..ExploreConfig::quick(iters, base_seed)
         }
     }
 
@@ -91,6 +107,10 @@ pub struct Failure {
     /// Chaos seed of the minimal repro (same as `run_seed` derivation;
     /// `None` when chaos was off).
     pub chaos_seed: Option<u64>,
+    /// Net-fault seed of the minimal repro (`None` when the links were
+    /// reliable). Together with `run_seed` and `chaos_seed` this is
+    /// the full replay triple.
+    pub net_seed: Option<u64>,
     /// Violations observed in the minimal repro.
     pub violations: Vec<Violation>,
     /// Job indices of the minimal repro.
@@ -140,10 +160,11 @@ impl ExploreReport {
         }
         if let Some(f) = &self.failure {
             out.push_str(&format!(
-                "  VIOLATION at iteration {} (run seed {}, chaos seed {})\n",
+                "  VIOLATION at iteration {} (run seed {}, chaos seed {}, net seed {})\n",
                 f.iteration,
                 f.run_seed,
                 f.chaos_seed.map_or("-".into(), |s| s.to_string()),
+                f.net_seed.map_or("-".into(), |s| s.to_string()),
             ));
             for v in &f.violations {
                 out.push_str(&format!("    {v}\n"));
@@ -161,6 +182,18 @@ impl ExploreReport {
         }
         out
     }
+}
+
+/// The per-iteration lossy-link plan: moderate symmetric loss and
+/// duplication with small delays, plus one full partition window
+/// shorter than the placement-lease horizon, so every scenario must
+/// still complete with exactly-once effects.
+fn net_plan(seed: u64) -> NetFaultPlan {
+    NetFaultPlan::lossy(seed, 0.15, 0.05).with_partition(
+        None::<WorkerId>,
+        SimTime::from_secs_f64(2.0),
+        SimTime::from_secs_f64(4.0),
+    )
 }
 
 /// One attempt: run + oracle. Returns the output and any violations.
@@ -257,9 +290,11 @@ pub fn explore(sc: &Scenario, cfg: &ExploreConfig) -> ExploreReport {
     let seeds = SeedSequence::new(cfg.base_seed);
     for i in 0..cfg.iters {
         let run_seed = seeds.seed_for(i as u64);
+        let net_seed = cfg.netfault.then(|| seeds.seed_for(0x4E37_0000 + i as u64));
         let run = ThreadedRun {
             seed: run_seed,
             chaos: cfg.chaos.then(|| ChaosConfig::aggressive(run_seed)),
+            netfault: net_seed.map(net_plan),
             mutation: cfg.mutation,
             keep_jobs: None,
             keep_fault_workers: None,
@@ -313,6 +348,7 @@ pub fn explore(sc: &Scenario, cfg: &ExploreConfig) -> ExploreReport {
                 iteration: i,
                 run_seed,
                 chaos_seed: cfg.chaos.then_some(run_seed),
+                net_seed,
                 violations: min_violations,
                 kept_jobs,
                 kept_fault_workers,

@@ -18,6 +18,11 @@
 //!    landed inside the worker's dead-but-undetected masking window.
 //! 5. **Queues never go negative** — per worker, rejections and
 //!    completions never outnumber placements.
+//! 6. **Leases bound silence, not confirmed work** — under the
+//!    lossy-link reliability layer, a placement lease may expire only
+//!    while the placement is unacknowledged and the job incomplete;
+//!    expiring an acked or completed placement means the master
+//!    discarded state the protocol had already confirmed.
 //!
 //! The oracle is runtime-agnostic: both the discrete-event engine and
 //! the threaded runtime emit the same vocabulary (pinned by
@@ -125,6 +130,22 @@ pub enum Violation {
         /// Offending job.
         job: JobId,
     },
+    /// A placement lease expired even though the worker had already
+    /// acknowledged the placement — the master ignored (or lost track
+    /// of) an ack it logged, so the retransmission/lease timers kept
+    /// running on a confirmed placement.
+    LeaseExpiredAfterAck {
+        /// Offending job.
+        job: JobId,
+        /// The worker whose acked placement was bounced.
+        worker: WorkerId,
+    },
+    /// A placement lease expired for a job that had already completed:
+    /// the master bounced work whose effects were final.
+    LeaseExpiredAfterCompletion {
+        /// Offending job.
+        job: JobId,
+    },
     /// A worker's placement ledger went negative: more rejections +
     /// completions than placements.
     NegativeQueue {
@@ -213,6 +234,14 @@ impl std::fmt::Display for Violation {
             Violation::RedistributedAfterCompletion { job } => {
                 write!(f, "job {} redistributed after completing", job.0)
             }
+            Violation::LeaseExpiredAfterAck { job, worker } => write!(
+                f,
+                "lease on job {} expired although w{} acked the placement",
+                job.0, worker.0
+            ),
+            Violation::LeaseExpiredAfterCompletion { job } => {
+                write!(f, "lease on job {} expired after it completed", job.0)
+            }
             Violation::NegativeQueue { worker, depth } => {
                 write!(f, "w{} placement ledger went negative ({depth})", worker.0)
             }
@@ -266,6 +295,9 @@ struct JobState {
     closed: Option<(HashSet<u32>, bool)>,
     /// Where the job currently sits, per the log.
     placed: Option<u32>,
+    /// The current placement was acknowledged (`AssignAcked`); reset
+    /// on every new placement.
+    acked: bool,
     /// Event index of the last placement, per worker.
     placed_at: HashMap<u32, usize>,
     /// Who rejected it last (Baseline).
@@ -316,6 +348,7 @@ impl Oracle {
         let idx = self.idx;
         let js = self.jobs.entry(job).or_default();
         js.placed = Some(w);
+        js.acked = false;
         js.placed_at.insert(w, idx);
         *self.depth.entry(w).or_insert(0) += 1;
     }
@@ -511,6 +544,46 @@ impl Oracle {
                 js.contest_open = false;
                 js.closed = None;
             }
+            SchedEventKind::AssignAcked => {
+                let job = job.expect("assign_acked carries a job");
+                let w = worker.expect("assign_acked carries a worker");
+                let js = self.jobs.entry(job).or_default();
+                // Only the current placement can be confirmed; a stale
+                // ack (the placement already bounced or completed) is
+                // simply late network news, not a protocol step.
+                if js.placed == Some(w.0) {
+                    js.acked = true;
+                }
+            }
+            SchedEventKind::LeaseExpired => {
+                let job = job.expect("lease_expired carries a job");
+                let js = self.jobs.entry(job).or_default();
+                if js.completed {
+                    self.violations
+                        .push(Violation::LeaseExpiredAfterCompletion { job });
+                }
+                // A lease exists to bound *silence*: once the worker
+                // acked the placement, letting the timers run anyway
+                // means the master is discarding confirmed state.
+                if let Some(w) = worker {
+                    if js.acked && js.placed == Some(w.0) {
+                        self.violations
+                            .push(Violation::LeaseExpiredAfterAck { job, worker: w });
+                    }
+                }
+                // Effect mirrors `Redistributed` — the job is
+                // reclaimed and re-enters scheduling through a fresh
+                // contest — but with no dead-owner requirement: the
+                // owner may be perfectly alive behind a lossy link.
+                self.unplace(job);
+                let js = self.jobs.entry(job).or_default();
+                js.redistributed = true;
+                js.contest_open = false;
+                js.closed = None;
+            }
+            // Retransmissions are informational: the same placement
+            // (same seq) going out again changes no protocol state.
+            SchedEventKind::Resent { .. } => {}
             SchedEventKind::Crash => {
                 let w = worker.expect("crash carries a worker");
                 self.last_crash.insert(w.0, self.idx);
@@ -825,6 +898,132 @@ mod tests {
                 worker: WorkerId(0)
             })
         );
+    }
+
+    #[test]
+    fn lease_expiry_on_unacked_placement_is_legal_and_reclaims() {
+        let partial = OracleOptions {
+            expect_all_complete: false,
+            ..OracleOptions::default()
+        };
+        // Assign is resent, never acked, the lease bounces it, and the
+        // job re-enters through a fresh contest elsewhere: clean.
+        let mut log = SchedLog::new();
+        log.push(ev(SchedEventKind::Submitted, None, Some(0)));
+        log.push(ev(SchedEventKind::ContestOpened, None, Some(0)));
+        log.push(ev(
+            SchedEventKind::BidReceived { estimate_secs: 1.0 },
+            Some(0),
+            Some(0),
+        ));
+        log.push(ev(
+            SchedEventKind::ContestClosed {
+                timed_out: false,
+                fallback: false,
+            },
+            None,
+            Some(0),
+        ));
+        log.push(ev(SchedEventKind::Assigned, Some(0), Some(0)));
+        log.push(ev(SchedEventKind::Resent { attempt: 0 }, Some(0), Some(0)));
+        log.push(ev(SchedEventKind::LeaseExpired, Some(0), Some(0)));
+        log.push(ev(SchedEventKind::ContestOpened, None, Some(0)));
+        log.push(ev(
+            SchedEventKind::BidReceived { estimate_secs: 1.0 },
+            Some(1),
+            Some(0),
+        ));
+        log.push(ev(
+            SchedEventKind::ContestClosed {
+                timed_out: false,
+                fallback: false,
+            },
+            None,
+            Some(0),
+        ));
+        log.push(ev(SchedEventKind::Assigned, Some(1), Some(0)));
+        log.push(ev(SchedEventKind::AssignAcked, Some(1), Some(0)));
+        log.push(ev(SchedEventKind::Completed, Some(1), Some(0)));
+        assert_eq!(check_log(&log, OracleOptions::default()), vec![]);
+        // A late Completed from the *first* worker (it executed but
+        // its ack was lost) is the at-least-once duplicate the master
+        // must dedup — the log shows only one Completed, and the
+        // bounced placement must not flag CompletedWithoutPlacement.
+        let mut late = SchedLog::new();
+        late.push(ev(SchedEventKind::Submitted, None, Some(0)));
+        late.push(ev(SchedEventKind::Offered, Some(0), Some(0)));
+        late.push(ev(SchedEventKind::LeaseExpired, Some(0), Some(0)));
+        late.push(ev(SchedEventKind::Completed, Some(0), Some(0)));
+        assert_eq!(check_log(&late, partial), vec![]);
+    }
+
+    #[test]
+    fn lease_expiry_on_acked_placement_is_flagged() {
+        let mut log = SchedLog::new();
+        log.push(ev(SchedEventKind::Submitted, None, Some(0)));
+        log.push(ev(SchedEventKind::Offered, Some(0), Some(0)));
+        log.push(ev(SchedEventKind::AssignAcked, Some(0), Some(0)));
+        log.push(ev(SchedEventKind::LeaseExpired, Some(0), Some(0)));
+        let v = check_log(
+            &log,
+            OracleOptions {
+                expect_all_complete: false,
+                ..OracleOptions::default()
+            },
+        );
+        assert!(v.contains(&Violation::LeaseExpiredAfterAck {
+            job: JobId(0),
+            worker: WorkerId(0)
+        }));
+        // The ack belongs to the placement: after a bounce and a fresh
+        // unacked placement, expiry is legal again.
+        let mut rebounced = SchedLog::new();
+        rebounced.push(ev(SchedEventKind::Submitted, None, Some(0)));
+        rebounced.push(ev(SchedEventKind::Offered, Some(0), Some(0)));
+        rebounced.push(ev(SchedEventKind::AssignAcked, Some(0), Some(0)));
+        rebounced.push(ev(SchedEventKind::Rejected, Some(0), Some(0)));
+        rebounced.push(ev(SchedEventKind::Offered, Some(1), Some(0)));
+        rebounced.push(ev(SchedEventKind::LeaseExpired, Some(1), Some(0)));
+        let v = check_log(
+            &rebounced,
+            OracleOptions {
+                expect_all_complete: false,
+                ..OracleOptions::default()
+            },
+        );
+        assert_eq!(v, vec![]);
+    }
+
+    #[test]
+    fn lease_expiry_after_completion_is_flagged() {
+        let mut log = SchedLog::new();
+        log.push(ev(SchedEventKind::Submitted, None, Some(0)));
+        log.push(ev(SchedEventKind::Offered, Some(0), Some(0)));
+        log.push(ev(SchedEventKind::Completed, Some(0), Some(0)));
+        log.push(ev(SchedEventKind::LeaseExpired, Some(0), Some(0)));
+        let v = check_log(&log, OracleOptions::default());
+        assert!(v.contains(&Violation::LeaseExpiredAfterCompletion { job: JobId(0) }));
+    }
+
+    #[test]
+    fn stale_ack_does_not_confirm_a_newer_placement() {
+        // Ack from w0 arrives after the job bounced to w1: it must not
+        // mark w1's placement acked, so w1's lease expiry stays legal.
+        let mut log = SchedLog::new();
+        log.push(ev(SchedEventKind::Submitted, None, Some(0)));
+        log.push(ev(SchedEventKind::Offered, Some(0), Some(0)));
+        log.push(ev(SchedEventKind::LeaseExpired, Some(0), Some(0)));
+        log.push(ev(SchedEventKind::Offered, Some(1), Some(0)));
+        log.push(ev(SchedEventKind::AssignAcked, Some(0), Some(0)));
+        log.push(ev(SchedEventKind::LeaseExpired, Some(1), Some(0)));
+        let v = check_log(
+            &log,
+            OracleOptions {
+                expect_all_complete: false,
+                ..OracleOptions::default()
+            },
+        );
+        assert_eq!(v, vec![]);
     }
 
     #[test]

@@ -11,8 +11,9 @@
 
 use crossbid_core::BiddingAllocator;
 use crossbid_crossflow::{
-    Allocator, Arrival, BaselineAllocator, ChaosConfig, EngineConfig, FaultPlan, JobSpec, Payload,
-    ProtocolMutation, ResourceRef, RunOutput, RunSpec, TaskId, WorkerId, WorkerSpec, Workflow,
+    Allocator, Arrival, BaselineAllocator, ChaosConfig, EngineConfig, FaultPlan, JobSpec,
+    NetFaultPlan, Payload, ProtocolMutation, ResourceRef, RunOutput, RunSpec, TaskId, WorkerId,
+    WorkerSpec, Workflow,
 };
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{SimDuration, SimTime};
@@ -254,7 +255,16 @@ impl Scenario {
 
     /// One deterministic run on the simulation engine.
     pub fn run_sim(&self, seed: u64) -> RunOutput {
-        let spec = self.spec(seed, None);
+        self.run_sim_with_net(seed, NetFaultPlan::none())
+    }
+
+    /// One deterministic run on the simulation engine with a
+    /// lossy-link plan armed. The engine samples the plan at its
+    /// virtual send instants, so the run — drops, retries, lease
+    /// bounces and all — replays exactly from `(seed, plan.seed)`.
+    pub fn run_sim_with_net(&self, seed: u64, net: NetFaultPlan) -> RunOutput {
+        let mut spec = self.spec(seed, None);
+        spec.engine.netfaults = net;
         let mut session = spec.sim();
         let mut wf = Workflow::new();
         let task = wf.add_sink("scan");
@@ -267,6 +277,9 @@ impl Scenario {
         let mut spec = self.spec(run.seed, run.keep_fault_workers.as_deref());
         spec.chaos = run.chaos.clone();
         spec.mutation = run.mutation;
+        if let Some(plan) = &run.netfault {
+            spec.engine.netfaults = plan.clone();
+        }
         let mut session = spec.threaded();
         let mut wf = Workflow::new();
         let task = wf.add_sink("scan");
@@ -284,6 +297,9 @@ pub struct ThreadedRun {
     pub seed: u64,
     /// Delivery-order perturbation, if any.
     pub chaos: Option<ChaosConfig>,
+    /// Lossy-link plan (drop/duplicate/delay/partition with the
+    /// reliability countermeasures armed), if any.
+    pub netfault: Option<NetFaultPlan>,
     /// Reintroduced protocol bug, if any.
     pub mutation: ProtocolMutation,
     /// `None` = all jobs; otherwise the job indices to keep.
@@ -298,6 +314,7 @@ impl ThreadedRun {
         ThreadedRun {
             seed,
             chaos: None,
+            netfault: None,
             mutation: ProtocolMutation::None,
             keep_jobs: None,
             keep_fault_workers: None,

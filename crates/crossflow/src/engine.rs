@@ -20,13 +20,13 @@
 //! has completed; the [`RunRecord`] then carries the paper's §6.1
 //! metrics.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crossbid_metrics::{Registry, RegistrySnapshot, RunRecord, SchedulerKind};
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{EventQueue, RngStream, SeedSequence, SimDuration, SimTime, Welford};
 
-use crate::faults::{FaultEvent, FaultPlan};
+use crate::faults::{FaultEvent, FaultPlan, NetFaultPlan};
 use crate::job::{Arrival, Job, JobId, JobSpec, WorkerId};
 use crate::obs::RuntimeMetrics;
 use crate::scheduler::{
@@ -60,6 +60,11 @@ pub struct EngineConfig {
     /// Scheduled worker crashes/recoveries (empty in the paper's
     /// evaluated configuration; see [`crate::faults`]).
     pub faults: FaultPlan,
+    /// Lossy master↔worker links plus the at-least-once
+    /// countermeasures (acks, retries, leases, idle heartbeats). An
+    /// inactive plan leaves the engine on its exact pre-existing code
+    /// path — no extra events, no extra rng draws.
+    pub netfaults: NetFaultPlan,
     /// Record a per-job lifecycle trace (see [`crate::trace`]).
     pub trace: bool,
     /// Shared metrics sink. When `None` the engine collects into a
@@ -78,6 +83,7 @@ impl Default for EngineConfig {
             bid_compute_delay: SimDuration::from_millis(25),
             max_events: 20_000_000,
             faults: FaultPlan::none(),
+            netfaults: NetFaultPlan::none(),
             trace: false,
             metrics: None,
         }
@@ -96,6 +102,7 @@ impl EngineConfig {
             bid_compute_delay: SimDuration::ZERO,
             max_events: 20_000_000,
             faults: FaultPlan::none(),
+            netfaults: NetFaultPlan::none(),
             trace: false,
             metrics: None,
         }
@@ -195,12 +202,22 @@ pub struct RunOutput {
     pub metrics: RegistrySnapshot,
 }
 
+#[derive(Clone)]
 enum MasterToWorker {
-    Assign(Job),
-    Offer(Job),
+    /// `seq` is the placement sequence number of the assignment; a
+    /// retransmission reuses it (0 when the net-fault layer is off).
+    Assign {
+        job: Job,
+        seq: u64,
+    },
+    Offer {
+        job: Job,
+        seq: u64,
+    },
     BidRequest(Job),
 }
 
+#[derive(Clone)]
 enum Ev {
     Arrival(JobSpec),
     WorkerRecv {
@@ -228,6 +245,57 @@ enum Ev {
     Fault(FaultEvent),
     /// A stranded or bounced job re-enters allocation.
     Redispatch(Job),
+    /// A message envelope crossing a lossy link. `env` identifies the
+    /// physical send: a network duplicate shares it (and is discarded
+    /// by the receiver), a retransmission gets a fresh one (and is
+    /// deduplicated semantically, by job id / placement seq).
+    NetDeliver {
+        env: u64,
+        inner: Box<Ev>,
+    },
+    /// Worker → master: "I hold assignment `seq` of `job`".
+    AssignAck {
+        worker: WorkerId,
+        job: JobId,
+        seq: u64,
+    },
+    /// Master-side retransmission timer for an unacked Assign/Offer.
+    AssignRetry {
+        job: JobId,
+        seq: u64,
+        attempt: u32,
+    },
+    /// Master-side lease expiry check for one placement.
+    LeaseCheck {
+        job: JobId,
+        seq: u64,
+    },
+    /// Master → worker: "your `Done` for `job` landed, stop resending".
+    DoneAck {
+        worker: WorkerId,
+        job: JobId,
+    },
+    /// Worker-side retransmission timer for an unacked `Done`.
+    DoneRetry {
+        worker: WorkerId,
+        job: JobId,
+        epoch: u64,
+        attempt: u32,
+    },
+    /// Periodic idle re-announcement, so a dropped `Idle` only delays
+    /// the pull loop.
+    IdleBeat(WorkerId),
+}
+
+/// Master-side record of one in-flight placement under the net-fault
+/// layer: the job is retransmitted until `acked` and bounced back to
+/// the scheduler if the lease expires first.
+struct NetOutstanding {
+    job: Job,
+    worker: WorkerId,
+    seq: u64,
+    offer: bool,
+    acked: bool,
 }
 
 /// Per-worker execution slot (engine-private runtime state).
@@ -276,6 +344,32 @@ struct Engine<'a> {
     /// Lets the engine synthesize `ContestClosed` events and bid
     /// latencies around the master's internal contest state.
     open_contests: HashMap<JobId, SimTime>,
+
+    // Net-fault layer state. All of it is inert (and none of it costs
+    // an rng draw) when `net_active` is false.
+    net_active: bool,
+    rng_net: RngStream,
+    /// Next envelope id for a physical lossy send.
+    next_env: u64,
+    /// Envelopes already delivered — network duplicates are dropped.
+    seen_envs: HashSet<u64>,
+    /// Next placement sequence number (starts at 1; 0 = "no layer").
+    next_seq: u64,
+    /// In-flight placements awaiting ack / completion, by job id.
+    outstanding_net: HashMap<JobId, NetOutstanding>,
+    /// Jobs whose `Done` already reached the master: at-least-once
+    /// delivery and lease bounces may execute a job twice, but its
+    /// side effects (completion, downstream spawns) apply once.
+    done_ids: HashSet<JobId>,
+    /// Per-worker: job ids already accepted, so a retransmitted
+    /// Assign re-acks instead of re-enqueueing. Cleared on crash.
+    accepted: Vec<HashSet<JobId>>,
+    /// Per-worker: placement seq → accepted?, so a retransmitted
+    /// Offer replays its outcome instead of re-running the policy.
+    offer_outcomes: Vec<HashMap<u64, bool>>,
+    /// Per-worker: completions not yet acked by the master, kept for
+    /// retransmission. Cleared on crash.
+    pending_done: Vec<HashMap<JobId, Job>>,
 }
 
 impl<'a> Engine<'a> {
@@ -316,13 +410,111 @@ impl<'a> Engine<'a> {
     fn send_to_worker(&mut self, worker: WorkerId, msg: MasterToWorker) {
         self.m.control_messages.inc();
         let d = self.cfg.control.delay(&mut self.rng_control);
-        self.q.schedule_in(d, Ev::WorkerRecv { worker, msg });
+        if self.net_active {
+            self.deliver_lossy(true, worker, d, Ev::WorkerRecv { worker, msg });
+        } else {
+            self.q.schedule_in(d, Ev::WorkerRecv { worker, msg });
+        }
     }
 
     fn send_to_master(&mut self, from: WorkerId, msg: WorkerToMaster, extra: SimDuration) {
         self.m.control_messages.inc();
         let d = self.cfg.control.delay(&mut self.rng_control) + extra;
-        self.q.schedule_in(d, Ev::MasterRecv { from, msg });
+        if self.net_active {
+            self.deliver_lossy(false, from, d, Ev::MasterRecv { from, msg });
+        } else {
+            self.q.schedule_in(d, Ev::MasterRecv { from, msg });
+        }
+    }
+
+    /// Push `ev` across the lossy link with `worker` (direction picked
+    /// by `to_worker`): partition windows and drop probability may eat
+    /// it, duplication delivers it twice under one envelope id, and
+    /// extra uniform delay stretches `base`.
+    fn deliver_lossy(&mut self, to_worker: bool, worker: WorkerId, base: SimDuration, ev: Ev) {
+        let plan = &self.cfg.netfaults;
+        let link = if to_worker {
+            plan.to_worker
+        } else {
+            plan.to_master
+        };
+        if plan.partitioned(worker, self.q.now())
+            || (link.drop_prob > 0.0 && self.rng_net.chance(link.drop_prob))
+        {
+            self.m.net_dropped.inc();
+            return;
+        }
+        let extra = |rng: &mut RngStream| {
+            if link.delay_max_secs > 0.0 {
+                SimDuration::from_secs_f64(rng.uniform(link.delay_min_secs, link.delay_max_secs))
+            } else {
+                SimDuration::ZERO
+            }
+        };
+        let env = self.next_env;
+        self.next_env += 1;
+        if link.dup_prob > 0.0 && self.rng_net.chance(link.dup_prob) {
+            self.m.net_duplicated.inc();
+            let d = base + extra(&mut self.rng_net);
+            self.q.schedule_in(
+                d,
+                Ev::NetDeliver {
+                    env,
+                    inner: Box::new(ev.clone()),
+                },
+            );
+        }
+        let d = base + extra(&mut self.rng_net);
+        self.q.schedule_in(
+            d,
+            Ev::NetDeliver {
+                env,
+                inner: Box::new(ev),
+            },
+        );
+    }
+
+    /// Per-(job, placement) retry jitter seed.
+    fn retry_seed(&self, job: JobId, seq: u64) -> u64 {
+        self.cfg
+            .netfaults
+            .seed
+            .wrapping_add(job.0.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(seq)
+    }
+
+    /// Register an Assign/Offer placement with the reliability layer:
+    /// remember it for retransmission, arm the first retry and the
+    /// lease. Returns the placement seq to stamp on the message.
+    fn arm_placement(&mut self, job: &Job, worker: WorkerId, offer: bool) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.outstanding_net.insert(
+            job.id,
+            NetOutstanding {
+                job: job.clone(),
+                worker,
+                seq,
+                offer,
+                acked: false,
+            },
+        );
+        let retry = self.cfg.netfaults.retry;
+        if let Some(d) = retry.delay_secs(self.retry_seed(job.id, seq), 0) {
+            self.q.schedule_in(
+                SimDuration::from_secs_f64(d),
+                Ev::AssignRetry {
+                    job: job.id,
+                    seq,
+                    attempt: 0,
+                },
+            );
+        }
+        self.q.schedule_in(
+            SimDuration::from_secs_f64(retry.lease_secs),
+            Ev::LeaseCheck { job: job.id, seq },
+        );
+        seq
     }
 
     fn run_master<F: FnOnce(&mut dyn MasterScheduler, &mut SchedCtx)>(&mut self, f: F) {
@@ -374,11 +566,21 @@ impl<'a> Engine<'a> {
                         );
                     }
                     self.note_sched(Some(worker), Some(job.id), SchedEventKind::Assigned);
-                    self.send_to_worker(worker, MasterToWorker::Assign(job));
+                    let seq = if self.net_active {
+                        self.arm_placement(&job, worker, false)
+                    } else {
+                        0
+                    };
+                    self.send_to_worker(worker, MasterToWorker::Assign { job, seq });
                 }
                 SchedAction::Offer { worker, job } => {
                     self.note_sched(Some(worker), Some(job.id), SchedEventKind::Offered);
-                    self.send_to_worker(worker, MasterToWorker::Offer(job));
+                    let seq = if self.net_active {
+                        self.arm_placement(&job, worker, true)
+                    } else {
+                        0
+                    };
+                    self.send_to_worker(worker, MasterToWorker::Offer { job, seq });
                 }
                 SchedAction::BroadcastBidRequest { job } => {
                     self.m.contests_opened.inc();
@@ -486,6 +688,14 @@ impl<'a> Engine<'a> {
         self.q.schedule_in(total, Ev::ProcDone { worker: w, epoch });
     }
 
+    /// Worker-side ack of an Assign (or accepted Offer): crosses the
+    /// lossy worker→master link like any other control message.
+    fn ack_assign(&mut self, worker: WorkerId, job: JobId, seq: u64) {
+        self.m.control_messages.inc();
+        let d = self.cfg.control.delay(&mut self.rng_control);
+        self.deliver_lossy(false, worker, d, Ev::AssignAck { worker, job, seq });
+    }
+
     /// Return a job to the master through the monitoring layer: it
     /// re-enters allocation after the fault-detection delay. If no
     /// worker is alive, keep retrying — the job waits for a recovery.
@@ -509,25 +719,76 @@ impl<'a> Engine<'a> {
                     // The addressee is dead. Assignments and offers
                     // bounce back through the monitoring layer; a bid
                     // request simply goes unanswered (the contest
-                    // resolves by window timeout).
+                    // resolves by window timeout). Under the net-fault
+                    // layer the crash already bounced every unacked
+                    // placement at this worker, so only a placement
+                    // still on the books may bounce here — otherwise
+                    // the job would re-enter allocation twice.
                     match msg {
-                        MasterToWorker::Assign(job) | MasterToWorker::Offer(job) => {
-                            self.bounce(job)
+                        MasterToWorker::Assign { job, seq }
+                        | MasterToWorker::Offer { job, seq } => {
+                            if self.net_active {
+                                let current = self
+                                    .outstanding_net
+                                    .get(&job.id)
+                                    .is_some_and(|o| o.worker == worker && o.seq == seq);
+                                if current {
+                                    self.outstanding_net.remove(&job.id);
+                                    self.bounce(job);
+                                }
+                            } else {
+                                self.bounce(job);
+                            }
                         }
                         MasterToWorker::BidRequest(_) => {}
                     }
                 }
-                MasterToWorker::Assign(job) => {
+                MasterToWorker::Assign { job, seq } => {
+                    if self.net_active {
+                        if !self.accepted[worker.0 as usize].insert(job.id) {
+                            // Retransmission of an assignment we hold:
+                            // re-ack, do not re-enqueue.
+                            self.ack_assign(worker, job.id, seq);
+                            return;
+                        }
+                        self.ack_assign(worker, job.id, seq);
+                    }
                     self.enqueue_on_worker(worker, job);
                 }
-                MasterToWorker::Offer(job) => {
+                MasterToWorker::Offer { job, seq } => {
+                    if self.net_active {
+                        match self.offer_outcomes[worker.0 as usize].get(&seq).copied() {
+                            Some(true) => {
+                                self.ack_assign(worker, job.id, seq);
+                                return;
+                            }
+                            Some(false) => {
+                                // Replay the rejection without logging
+                                // or re-running the policy.
+                                self.send_to_master(
+                                    worker,
+                                    WorkerToMaster::Reject { job },
+                                    SimDuration::ZERO,
+                                );
+                                return;
+                            }
+                            None => {}
+                        }
+                    }
                     let view = self.view_for(worker, &job);
                     let jv = JobView {
                         id: job.id,
                         resource_bytes: job.resource_bytes(),
                     };
                     let accept = self.policies[worker.0 as usize].accept_offer(&view, &jv);
+                    if self.net_active {
+                        self.offer_outcomes[worker.0 as usize].insert(seq, accept);
+                    }
                     if accept {
+                        if self.net_active {
+                            self.accepted[worker.0 as usize].insert(job.id);
+                            self.ack_assign(worker, job.id, seq);
+                        }
                         self.enqueue_on_worker(worker, job);
                     } else {
                         self.worker(worker).declined.insert(job.id);
@@ -558,6 +819,22 @@ impl<'a> Engine<'a> {
                 }
             },
             Ev::MasterRecv { from, msg } => {
+                if self.net_active {
+                    if let WorkerToMaster::Reject { job } = &msg {
+                        // A Reject is the nack of an offer: it cancels
+                        // the placement (and its retries and lease).
+                        // One that does not match the current
+                        // placement is a stale or duplicate delivery —
+                        // forwarding it would double-advance the
+                        // Baseline's re-offer routing.
+                        match self.outstanding_net.get(&job.id) {
+                            Some(o) if o.worker == from => {
+                                self.outstanding_net.remove(&job.id);
+                            }
+                            _ => return,
+                        }
+                    }
+                }
                 if let WorkerToMaster::Bid { job, estimate_secs } = &msg {
                     if estimate_secs.is_finite() {
                         self.m.bids_received.inc();
@@ -640,7 +917,29 @@ impl<'a> Engine<'a> {
                 // one control message carrying the completed job.
                 self.m.control_messages.inc();
                 let d = self.cfg.control.delay(&mut self.rng_control);
-                self.q.schedule_in(d, Ev::Done { worker, job });
+                if self.net_active {
+                    // `Done` crosses the lossy link; keep a copy for
+                    // retransmission until the master acks it.
+                    self.pending_done[worker.0 as usize].insert(job.id, job.clone());
+                    let job_id = job.id;
+                    self.deliver_lossy(false, worker, d, Ev::Done { worker, job });
+                    let retry = self.cfg.netfaults.retry;
+                    let seed = self.retry_seed(job_id, u64::MAX);
+                    if let Some(rd) = retry.delay_secs(seed, 0) {
+                        let due = self.epochs[worker.0 as usize];
+                        self.q.schedule_in(
+                            SimDuration::from_secs_f64(rd),
+                            Ev::DoneRetry {
+                                worker,
+                                job: job_id,
+                                epoch: due,
+                                attempt: 0,
+                            },
+                        );
+                    }
+                } else {
+                    self.q.schedule_in(d, Ev::Done { worker, job });
+                }
                 // If the queue drained, the worker announces idleness
                 // (the Baseline's next pull).
                 if self.nodes[worker.0 as usize].queue.is_empty() {
@@ -649,9 +948,40 @@ impl<'a> Engine<'a> {
                 self.maybe_start(worker);
             }
             Ev::Done { worker, job } => {
+                if self.net_active {
+                    // Ack every delivery — including semantic
+                    // duplicates, whose sender is still retransmitting.
+                    let d = self.cfg.control.delay(&mut self.rng_control);
+                    self.deliver_lossy(
+                        true,
+                        worker,
+                        d,
+                        Ev::DoneAck {
+                            worker,
+                            job: job.id,
+                        },
+                    );
+                    if self.done_ids.contains(&job.id) {
+                        // A lease bounce or duplicate delivery: the
+                        // job's side effects were already applied.
+                        return;
+                    }
+                    self.done_ids.insert(job.id);
+                    if self
+                        .outstanding_net
+                        .get(&job.id)
+                        .is_some_and(|o| o.worker == worker)
+                    {
+                        self.outstanding_net.remove(&job.id);
+                    }
+                }
                 self.complete_at_master(worker, job);
             }
             Ev::Redispatch(job) => {
+                if self.net_active && self.done_ids.contains(&job.id) {
+                    // A late bounce of a job that completed elsewhere.
+                    return;
+                }
                 if self.active.iter().any(|a| *a) {
                     self.m.jobs_redistributed.inc();
                     self.note_sched(None, Some(job.id), SchedEventKind::Redistributed);
@@ -663,6 +993,132 @@ impl<'a> Engine<'a> {
             }
             Ev::Fault(FaultEvent::Crash(w)) => self.crash(w),
             Ev::Fault(FaultEvent::Recover(w)) => self.recover(w),
+            Ev::NetDeliver { env, inner } => {
+                if self.seen_envs.insert(env) {
+                    self.handle(*inner);
+                } else {
+                    self.m.net_dedup_hits.inc();
+                }
+            }
+            Ev::AssignAck { worker, job, seq } => {
+                let matches = self
+                    .outstanding_net
+                    .get(&job)
+                    .is_some_and(|o| o.worker == worker && o.seq == seq && !o.acked);
+                if matches {
+                    self.outstanding_net.get_mut(&job).unwrap().acked = true;
+                    self.m.acks_received.inc();
+                    self.note_sched(Some(worker), Some(job), SchedEventKind::AssignAcked);
+                }
+            }
+            Ev::AssignRetry { job, seq, attempt } => {
+                let due = self
+                    .outstanding_net
+                    .get(&job)
+                    .filter(|o| o.seq == seq && !o.acked)
+                    .map(|o| (o.worker, o.job.clone(), o.offer));
+                if let Some((worker, job_clone, offer)) = due {
+                    self.m.net_retries.inc();
+                    self.note_sched(Some(worker), Some(job), SchedEventKind::Resent { attempt });
+                    let msg = if offer {
+                        MasterToWorker::Offer {
+                            job: job_clone,
+                            seq,
+                        }
+                    } else {
+                        MasterToWorker::Assign {
+                            job: job_clone,
+                            seq,
+                        }
+                    };
+                    self.send_to_worker(worker, msg);
+                    let retry = self.cfg.netfaults.retry;
+                    if let Some(d) = retry.delay_secs(self.retry_seed(job, seq), attempt + 1) {
+                        self.q.schedule_in(
+                            SimDuration::from_secs_f64(d),
+                            Ev::AssignRetry {
+                                job,
+                                seq,
+                                attempt: attempt + 1,
+                            },
+                        );
+                    }
+                    // Exhaustion is not an error: the lease decides.
+                }
+            }
+            Ev::LeaseCheck { job, seq } => {
+                let expired = self
+                    .outstanding_net
+                    .get(&job)
+                    .filter(|o| o.seq == seq && !o.acked)
+                    .map(|o| (o.worker, o.job.clone()));
+                if let Some((worker, job_clone)) = expired {
+                    self.outstanding_net.remove(&job);
+                    self.m.lease_expired.inc();
+                    self.note_sched(Some(worker), Some(job), SchedEventKind::LeaseExpired);
+                    if !self.done_ids.contains(&job) {
+                        self.run_master(|m, ctx| m.on_job(job_clone, ctx));
+                    }
+                }
+            }
+            Ev::DoneAck { worker, job } => {
+                self.pending_done[worker.0 as usize].remove(&job);
+            }
+            Ev::DoneRetry {
+                worker,
+                job,
+                epoch,
+                attempt,
+            } => {
+                if epoch != self.epochs[worker.0 as usize]
+                    || !self.pending_done[worker.0 as usize].contains_key(&job)
+                {
+                    return;
+                }
+                let job_clone = self.pending_done[worker.0 as usize][&job].clone();
+                self.m.net_retries.inc();
+                self.note_sched(Some(worker), Some(job), SchedEventKind::Resent { attempt });
+                self.m.control_messages.inc();
+                let d = self.cfg.control.delay(&mut self.rng_control);
+                self.deliver_lossy(
+                    false,
+                    worker,
+                    d,
+                    Ev::Done {
+                        worker,
+                        job: job_clone,
+                    },
+                );
+                // `Done` retransmits until acked — past the configured
+                // attempts the backoff just stays at its cap.
+                let retry = self.cfg.netfaults.retry;
+                let capped = (attempt + 1).min(retry.max_attempts.saturating_sub(1));
+                if let Some(d) = retry.delay_secs(self.retry_seed(job, u64::MAX), capped) {
+                    self.q.schedule_in(
+                        SimDuration::from_secs_f64(d),
+                        Ev::DoneRetry {
+                            worker,
+                            job,
+                            epoch,
+                            attempt: attempt + 1,
+                        },
+                    );
+                }
+            }
+            Ev::IdleBeat(worker) => {
+                let w = worker.0 as usize;
+                if self.active[w]
+                    && self.nodes[w].queue.is_empty()
+                    && self.nodes[w].activity == WorkerActivity::Idle
+                {
+                    self.send_to_master(worker, WorkerToMaster::Idle, SimDuration::ZERO);
+                }
+                if self.active[w] || !self.cfg.faults.is_empty() {
+                    let beat = self.cfg.netfaults.retry.heartbeat_secs;
+                    self.q
+                        .schedule_in(SimDuration::from_secs_f64(beat), Ev::IdleBeat(worker));
+                }
+            }
         }
     }
 
@@ -690,6 +1146,34 @@ impl<'a> Engine<'a> {
             // The disk dies with the instance; accounting of what was
             // downloaded before the crash is retained.
             node.store.clear();
+        }
+        if self.net_active {
+            // The worker's protocol memory dies with it.
+            self.accepted[w.0 as usize].clear();
+            self.offer_outcomes[w.0 as usize].clear();
+            self.pending_done[w.0 as usize].clear();
+            // Placements at the dead worker: anything that made it
+            // into the queue/slot bounces with the stranded set above
+            // — including *unacked* deliveries whose ack the link ate.
+            // Only a placement that never arrived (not stranded)
+            // bounces here; the removed entry keeps the dead-addressee
+            // path and the stale lease from bouncing either kind
+            // again. Sorted so the redispatch order (and every rng
+            // draw after it) is deterministic.
+            let stranded_ids: HashSet<JobId> = stranded.iter().map(|j| j.id).collect();
+            let mut mine: Vec<JobId> = self
+                .outstanding_net
+                .iter()
+                .filter(|(_, o)| o.worker == w)
+                .map(|(id, _)| *id)
+                .collect();
+            mine.sort_unstable_by_key(|id| id.0);
+            for id in mine {
+                let o = self.outstanding_net.remove(&id).expect("collected above");
+                if !o.acked && !stranded_ids.contains(&id) {
+                    self.bounce(o.job);
+                }
+            }
         }
         for job in stranded {
             self.bounce(job);
@@ -827,7 +1311,25 @@ pub fn run_workflow(
         downtime_secs: 0.0,
         m: RuntimeMetrics::from_sink(cfg.metrics.clone()),
         open_contests: HashMap::new(),
+        net_active: cfg.netfaults.is_active(),
+        rng_net: SeedSequence::new(cfg.netfaults.seed).stream(0x4E37),
+        next_env: 0,
+        seen_envs: HashSet::new(),
+        next_seq: 1,
+        outstanding_net: HashMap::new(),
+        done_ids: HashSet::new(),
+        accepted: vec![HashSet::new(); n_workers],
+        offer_outcomes: vec![HashMap::new(); n_workers],
+        pending_done: vec![HashMap::new(); n_workers],
     };
+    if engine.net_active {
+        // Idle heartbeats: a dropped `Idle` must only delay the pull
+        // loop, never wedge it.
+        let beat = SimDuration::from_secs_f64(cfg.netfaults.retry.heartbeat_secs);
+        for i in 0..n_workers {
+            engine.q.schedule_in(beat, Ev::IdleBeat(WorkerId(i as u32)));
+        }
+    }
 
     // A shared sink accumulates across iterations; the per-run record
     // reports deltas from these baselines.

@@ -33,7 +33,11 @@ use crate::trace::{SchedEvent, SchedEventKind, TraceEvent, TraceKind};
 /// v2 added the `submitted`, `offered`, `rejected` and `completed`
 /// scheduler events, making the control-plane log self-contained for
 /// the conservation invariants `crossbid-checker` asserts.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added the at-least-once reliability events `assign_acked`,
+/// `lease_expired` and `resent` (with its `attempt` field), emitted
+/// by both runtimes when a [`crate::faults::NetFaultPlan`] is active.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The stream header: which run produced the lines that follow.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,6 +155,9 @@ pub fn sched_kind_name(kind: &SchedEventKind) -> &'static str {
         SchedEventKind::Crash => "crash",
         SchedEventKind::Recover => "recover",
         SchedEventKind::Redistributed => "redistributed",
+        SchedEventKind::AssignAcked => "assign_acked",
+        SchedEventKind::LeaseExpired => "lease_expired",
+        SchedEventKind::Resent { .. } => "resent",
     }
 }
 
@@ -185,6 +192,9 @@ fn sched_event_to_json(ev: &SchedEvent) -> Json {
             fields.push(("timed_out".to_string(), Json::Bool(timed_out)));
             fields.push(("fallback".to_string(), Json::Bool(fallback)));
         }
+        SchedEventKind::Resent { attempt } => {
+            fields.push(("attempt".to_string(), Json::UInt(attempt as u64)));
+        }
         _ => {}
     }
     Json::Obj(fields)
@@ -208,6 +218,11 @@ fn sched_event_from_json(v: &Json) -> Result<SchedEvent, JsonError> {
         "crash" => SchedEventKind::Crash,
         "recover" => SchedEventKind::Recover,
         "redistributed" => SchedEventKind::Redistributed,
+        "assign_acked" => SchedEventKind::AssignAcked,
+        "lease_expired" => SchedEventKind::LeaseExpired,
+        "resent" => SchedEventKind::Resent {
+            attempt: v.req_u64("attempt")? as u32,
+        },
         other => return Err(JsonError(format!("unknown sched kind {other:?}"))),
     };
     let opt_u64 = |key: &str| -> Result<Option<u64>, JsonError> {
@@ -343,6 +358,9 @@ mod tests {
             SchedEventKind::Crash,
             SchedEventKind::Recover,
             SchedEventKind::Redistributed,
+            SchedEventKind::AssignAcked,
+            SchedEventKind::LeaseExpired,
+            SchedEventKind::Resent { attempt: 2 },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let ev = SchedEvent {

@@ -25,6 +25,17 @@
 //! * recovered workers rejoin with a cold cache and announce
 //!   themselves idle.
 
+//!
+//! PR 5 extends the model below whole-worker granularity: a
+//! [`NetFaultPlan`] makes the master↔worker *links* lossy — dropped,
+//! delayed and duplicated messages plus timed partition windows — and
+//! a [`RetryPolicy`] parameterises the at-least-once countermeasures
+//! (acked assignments with exponential-backoff retries, per-assignment
+//! leases) that keep runs terminating correctly anyway.
+
+use std::fmt;
+
+use crossbid_simcore::rng::splitmix64;
 use crossbid_simcore::{SimDuration, SimTime};
 
 use crate::job::WorkerId;
@@ -88,6 +99,379 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+
+    /// Check the plan for internal contradictions.
+    ///
+    /// Scheduled instants are [`SimTime`]s and therefore already
+    /// non-negative and finite by construction; what *can* go wrong is
+    /// ordering: a recovery scheduled for a worker that is not crashed
+    /// at that instant (recover-before-crash inversions included), or
+    /// a second crash before the first recovery.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let mut sorted: Vec<&(SimTime, FaultEvent)> = self.events.iter().collect();
+        sorted.sort_by_key(|(at, _)| *at);
+        let mut crashed: Vec<WorkerId> = Vec::new();
+        for (_, ev) in sorted {
+            match *ev {
+                FaultEvent::Crash(w) => {
+                    if crashed.contains(&w) {
+                        return Err(FaultPlanError::CrashWhileCrashed(w));
+                    }
+                    crashed.push(w);
+                }
+                FaultEvent::Recover(w) => {
+                    if let Some(i) = crashed.iter().position(|&c| c == w) {
+                        crashed.swap_remove(i);
+                    } else {
+                        return Err(FaultPlanError::RecoverWithoutCrash(w));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`FaultPlan`] or [`NetFaultPlan`] is rejected at
+/// [`RunSpec::builder()`](crate::spec::RunSpec::builder) time instead
+/// of misbehaving silently mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// A recovery is scheduled while the worker is not crashed —
+    /// including the crash-before-recovery inversion where the
+    /// recovery instant precedes the crash instant.
+    RecoverWithoutCrash(WorkerId),
+    /// A second crash is scheduled before the worker's recovery.
+    CrashWhileCrashed(WorkerId),
+    /// A probability field is outside `[0, 1]` (or non-finite).
+    ProbabilityOutOfRange { field: &'static str, value: f64 },
+    /// A duration field is NaN or infinite.
+    NonFiniteSeconds { field: &'static str, value: f64 },
+    /// A duration field is negative.
+    NegativeSeconds { field: &'static str, value: f64 },
+    /// `delay_min_secs > delay_max_secs` on a link.
+    DelayBoundsInverted { min_secs: f64, max_secs: f64 },
+    /// A partition window with `until <= from` can never be active.
+    EmptyPartitionWindow { index: usize },
+    /// A [`RetryPolicy`] field is outside its valid range.
+    RetryOutOfRange { field: &'static str, value: f64 },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::RecoverWithoutCrash(w) => {
+                write!(f, "recovery scheduled for worker {} while it is not crashed (crash-before-recovery inversion?)", w.0)
+            }
+            FaultPlanError::CrashWhileCrashed(w) => {
+                write!(
+                    f,
+                    "crash scheduled for worker {} while it is already crashed",
+                    w.0
+                )
+            }
+            FaultPlanError::ProbabilityOutOfRange { field, value } => {
+                write!(f, "{field} = {value} is not a probability in [0, 1]")
+            }
+            FaultPlanError::NonFiniteSeconds { field, value } => {
+                write!(f, "{field} = {value} is not finite")
+            }
+            FaultPlanError::NegativeSeconds { field, value } => {
+                write!(f, "{field} = {value} is negative")
+            }
+            FaultPlanError::DelayBoundsInverted { min_secs, max_secs } => {
+                write!(f, "delay bounds inverted: min {min_secs} > max {max_secs}")
+            }
+            FaultPlanError::EmptyPartitionWindow { index } => {
+                write!(
+                    f,
+                    "partition window #{index} has until <= from and can never be active"
+                )
+            }
+            FaultPlanError::RetryOutOfRange { field, value } => {
+                write!(f, "retry policy field {field} = {value} is out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// Lossy behaviour of one message direction of a master↔worker link.
+///
+/// Every probability is sampled independently per physical send;
+/// extra delay is uniform over `[delay_min_secs, delay_max_secs]`
+/// virtual seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkFault {
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a delivered message arrives twice.
+    pub dup_prob: f64,
+    /// Lower bound of the extra per-message delay (virtual seconds).
+    pub delay_min_secs: f64,
+    /// Upper bound of the extra per-message delay (virtual seconds).
+    pub delay_max_secs: f64,
+}
+
+impl LinkFault {
+    /// A perfectly reliable direction (all zeros).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True iff this direction can drop, duplicate or delay anything.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0 || self.dup_prob > 0.0 || self.delay_max_secs > 0.0
+    }
+
+    fn validate(&self, dir: &'static str) -> Result<(), FaultPlanError> {
+        let probs = [
+            (
+                if dir == "to_worker" {
+                    "to_worker.drop_prob"
+                } else {
+                    "to_master.drop_prob"
+                },
+                self.drop_prob,
+            ),
+            (
+                if dir == "to_worker" {
+                    "to_worker.dup_prob"
+                } else {
+                    "to_master.dup_prob"
+                },
+                self.dup_prob,
+            ),
+        ];
+        for (field, value) in probs {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(FaultPlanError::ProbabilityOutOfRange { field, value });
+            }
+        }
+        for (field, value) in [
+            ("delay_min_secs", self.delay_min_secs),
+            ("delay_max_secs", self.delay_max_secs),
+        ] {
+            if !value.is_finite() {
+                return Err(FaultPlanError::NonFiniteSeconds { field, value });
+            }
+            if value < 0.0 {
+                return Err(FaultPlanError::NegativeSeconds { field, value });
+            }
+        }
+        if self.delay_min_secs > self.delay_max_secs {
+            return Err(FaultPlanError::DelayBoundsInverted {
+                min_secs: self.delay_min_secs,
+                max_secs: self.delay_max_secs,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A timed master↔worker partition window: both directions of the
+/// link drop every message sent while `from <= now < until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// The partitioned worker, or `None` to cut off every worker.
+    pub worker: Option<WorkerId>,
+    /// Window start (inclusive), virtual time.
+    pub from: SimTime,
+    /// Window end (exclusive), virtual time.
+    pub until: SimTime,
+}
+
+/// The at-least-once countermeasure parameters: seeded
+/// exponential-backoff retries for unacked sends and per-assignment
+/// leases that bounce a job back to the scheduler when neither an ack
+/// nor a `Done` arrives in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// First retransmission delay (virtual seconds).
+    pub base_secs: f64,
+    /// Ceiling on the exponential backoff (virtual seconds).
+    pub cap_secs: f64,
+    /// Jitter amplitude as a fraction of the capped delay: the delay
+    /// is scaled by `1 + jitter_frac * (u - 0.5)` with `u` uniform in
+    /// `[0, 1)`. Must stay in `[0, 0.5]` so delays remain positive.
+    pub jitter_frac: f64,
+    /// Retransmissions before giving up and letting the lease expire.
+    pub max_attempts: u32,
+    /// How long an unacked, un-`Done` assignment is honoured before
+    /// the job is bounced back to the scheduler for re-offer.
+    pub lease_secs: f64,
+    /// Idle re-announcement period for workers (virtual seconds), so
+    /// a dropped `Idle` only delays — never wedges — the pull loop.
+    pub heartbeat_secs: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_secs: 0.25,
+            cap_secs: 2.0,
+            jitter_frac: 0.2,
+            max_attempts: 4,
+            lease_secs: 3.0,
+            heartbeat_secs: 1.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The retransmission delay before attempt `attempt` (0-based), or
+    /// `None` once the budget is exhausted — the caller escalates to a
+    /// lease bounce.
+    ///
+    /// Deterministic per `(seed, attempt)`: the jitter draw hashes
+    /// both through splitmix64, so a replayed run retries at the exact
+    /// same instants.
+    pub fn delay_secs(&self, seed: u64, attempt: u32) -> Option<f64> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        let capped = (self.base_secs * 2f64.powi(attempt.min(62) as i32)).min(self.cap_secs);
+        let mut s = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64 + 1);
+        let u = (splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64;
+        Some(capped * (1.0 + self.jitter_frac * (u - 0.5)))
+    }
+
+    fn validate(&self) -> Result<(), FaultPlanError> {
+        for (field, value, min) in [
+            ("base_secs", self.base_secs, f64::MIN_POSITIVE),
+            ("cap_secs", self.cap_secs, f64::MIN_POSITIVE),
+            ("lease_secs", self.lease_secs, f64::MIN_POSITIVE),
+            ("heartbeat_secs", self.heartbeat_secs, f64::MIN_POSITIVE),
+            ("jitter_frac", self.jitter_frac, 0.0),
+        ] {
+            if !value.is_finite() || value < min {
+                return Err(FaultPlanError::RetryOutOfRange { field, value });
+            }
+        }
+        if self.jitter_frac > 0.5 {
+            return Err(FaultPlanError::RetryOutOfRange {
+                field: "jitter_frac",
+                value: self.jitter_frac,
+            });
+        }
+        if self.max_attempts == 0 {
+            return Err(FaultPlanError::RetryOutOfRange {
+                field: "max_attempts",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic plan of message-level link faults between the
+/// master and its workers, plus the [`RetryPolicy`] that tolerates
+/// them.
+///
+/// Both runtimes consume the same plan: the simulation engine samples
+/// it at its virtual send instants, the threaded runtime through a
+/// delivery shim around the crossbeam channels (against scaled
+/// virtual time). When [`is_active`](NetFaultPlan::is_active) is
+/// false the entire reliability layer stays out of the code path and
+/// runs are byte-identical to a build without it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetFaultPlan {
+    /// Master → worker direction (`Assign`/`Offer`/`BidRequest`/acks).
+    pub to_worker: LinkFault,
+    /// Worker → master direction (bids, `Idle`, `Reject`, `Done`).
+    pub to_master: LinkFault,
+    /// Timed partition windows; both directions drop inside a window.
+    pub partitions: Vec<Partition>,
+    /// The "net seed": all drop/dup/delay draws derive from it, so a
+    /// failing (run seed, chaos seed, net seed) triple replays.
+    pub seed: u64,
+    /// Countermeasure parameters.
+    pub retry: RetryPolicy,
+}
+
+impl NetFaultPlan {
+    /// A perfectly reliable network (the paper's TCP assumption).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A symmetric lossy preset: `drop` loss and `dup` duplication in
+    /// both directions plus up to 50 virtual milliseconds of extra
+    /// delay per message.
+    pub fn lossy(seed: u64, drop: f64, dup: f64) -> Self {
+        let link = LinkFault {
+            drop_prob: drop,
+            dup_prob: dup,
+            delay_min_secs: 0.0,
+            delay_max_secs: 0.05,
+        };
+        NetFaultPlan {
+            to_worker: link,
+            to_master: link,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Add a partition window (`worker = None` cuts off everyone).
+    pub fn with_partition(
+        mut self,
+        worker: Option<WorkerId>,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.partitions.push(Partition {
+            worker,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Override the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// True iff the plan can affect any message. Gates the whole
+    /// reliability layer: an inactive plan leaves both runtimes on
+    /// their exact pre-existing code paths.
+    pub fn is_active(&self) -> bool {
+        self.to_worker.is_active() || self.to_master.is_active() || !self.partitions.is_empty()
+    }
+
+    /// Is `worker`'s link inside a partition window at `now`?
+    /// Sampled at send time, in virtual time, for both directions.
+    pub fn partitioned(&self, worker: WorkerId, now: SimTime) -> bool {
+        self.partitions
+            .iter()
+            .any(|p| p.worker.is_none_or(|w| w == worker) && now >= p.from && now < p.until)
+    }
+
+    /// The instant the last partition window ends ([`SimTime::ZERO`]
+    /// when there are none) — the stall detector's healing horizon.
+    pub fn partitions_end(&self) -> SimTime {
+        self.partitions
+            .iter()
+            .map(|p| p.until)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Check every probability, delay bound, partition window and
+    /// retry parameter; returns the first problem found.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        self.to_worker.validate("to_worker")?;
+        self.to_master.validate("to_master")?;
+        for (index, p) in self.partitions.iter().enumerate() {
+            if p.until <= p.from {
+                return Err(FaultPlanError::EmptyPartitionWindow { index });
+            }
+        }
+        self.retry.validate()
+    }
 }
 
 #[cfg(test)]
@@ -112,5 +496,288 @@ mod tests {
     #[test]
     fn none_is_empty() {
         assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn ordered_crash_recover_pairs_validate() {
+        let plan = FaultPlan::new()
+            .crash_at(SimTime::from_secs(10), WorkerId(2))
+            .recover_at(SimTime::from_secs(60), WorkerId(2))
+            .crash_at(SimTime::from_secs(70), WorkerId(2));
+        assert_eq!(plan.validate(), Ok(()));
+        assert_eq!(FaultPlan::none().validate(), Ok(()));
+    }
+
+    #[test]
+    fn recovery_before_crash_is_an_inversion() {
+        // Builder order is crash-then-recover but the instants are
+        // inverted: at t=5 the worker is not crashed yet.
+        let plan = FaultPlan::new()
+            .crash_at(SimTime::from_secs(10), WorkerId(1))
+            .recover_at(SimTime::from_secs(5), WorkerId(1));
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::RecoverWithoutCrash(WorkerId(1)))
+        );
+    }
+
+    #[test]
+    fn recovery_without_any_crash_is_rejected() {
+        let plan = FaultPlan::new().recover_at(SimTime::from_secs(5), WorkerId(0));
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::RecoverWithoutCrash(WorkerId(0)))
+        );
+    }
+
+    #[test]
+    fn double_crash_is_rejected() {
+        let plan = FaultPlan::new()
+            .crash_at(SimTime::from_secs(1), WorkerId(3))
+            .crash_at(SimTime::from_secs(2), WorkerId(3));
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::CrashWhileCrashed(WorkerId(3)))
+        );
+    }
+
+    #[test]
+    fn net_plan_rejects_out_of_range_probabilities() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let plan = NetFaultPlan {
+                to_worker: LinkFault {
+                    drop_prob: bad,
+                    ..LinkFault::none()
+                },
+                ..NetFaultPlan::none()
+            };
+            assert!(
+                matches!(
+                    plan.validate(),
+                    Err(FaultPlanError::ProbabilityOutOfRange {
+                        field: "to_worker.drop_prob",
+                        ..
+                    })
+                ),
+                "drop_prob = {bad} must be rejected"
+            );
+            let plan = NetFaultPlan {
+                to_master: LinkFault {
+                    dup_prob: bad,
+                    ..LinkFault::none()
+                },
+                ..NetFaultPlan::none()
+            };
+            assert!(
+                matches!(
+                    plan.validate(),
+                    Err(FaultPlanError::ProbabilityOutOfRange {
+                        field: "to_master.dup_prob",
+                        ..
+                    })
+                ),
+                "dup_prob = {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn net_plan_rejects_bad_delays() {
+        let nan = NetFaultPlan {
+            to_worker: LinkFault {
+                delay_max_secs: f64::NAN,
+                ..LinkFault::none()
+            },
+            ..NetFaultPlan::none()
+        };
+        assert!(matches!(
+            nan.validate(),
+            Err(FaultPlanError::NonFiniteSeconds {
+                field: "delay_max_secs",
+                ..
+            })
+        ));
+        let negative = NetFaultPlan {
+            to_master: LinkFault {
+                delay_min_secs: -0.5,
+                delay_max_secs: 1.0,
+                ..LinkFault::none()
+            },
+            ..NetFaultPlan::none()
+        };
+        assert!(matches!(
+            negative.validate(),
+            Err(FaultPlanError::NegativeSeconds {
+                field: "delay_min_secs",
+                ..
+            })
+        ));
+        let inverted = NetFaultPlan {
+            to_worker: LinkFault {
+                delay_min_secs: 2.0,
+                delay_max_secs: 1.0,
+                ..LinkFault::none()
+            },
+            ..NetFaultPlan::none()
+        };
+        assert_eq!(
+            inverted.validate(),
+            Err(FaultPlanError::DelayBoundsInverted {
+                min_secs: 2.0,
+                max_secs: 1.0
+            })
+        );
+    }
+
+    #[test]
+    fn net_plan_rejects_empty_partition_windows() {
+        let plan =
+            NetFaultPlan::none().with_partition(None, SimTime::from_secs(5), SimTime::from_secs(5));
+        assert_eq!(
+            plan.validate(),
+            Err(FaultPlanError::EmptyPartitionWindow { index: 0 })
+        );
+    }
+
+    #[test]
+    fn net_plan_rejects_degenerate_retry_policies() {
+        for (field, retry) in [
+            (
+                "base_secs",
+                RetryPolicy {
+                    base_secs: 0.0,
+                    ..RetryPolicy::default()
+                },
+            ),
+            (
+                "lease_secs",
+                RetryPolicy {
+                    lease_secs: f64::NAN,
+                    ..RetryPolicy::default()
+                },
+            ),
+            (
+                "jitter_frac",
+                RetryPolicy {
+                    jitter_frac: 0.75,
+                    ..RetryPolicy::default()
+                },
+            ),
+            (
+                "max_attempts",
+                RetryPolicy {
+                    max_attempts: 0,
+                    ..RetryPolicy::default()
+                },
+            ),
+        ] {
+            let plan = NetFaultPlan {
+                retry,
+                ..NetFaultPlan::none()
+            };
+            match plan.validate() {
+                Err(FaultPlanError::RetryOutOfRange { field: got, .. }) => {
+                    assert_eq!(got, field)
+                }
+                other => panic!("{field}: expected RetryOutOfRange, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_preset_is_active_and_valid() {
+        let plan = NetFaultPlan::lossy(42, 0.3, 0.1);
+        assert!(plan.is_active());
+        assert_eq!(plan.validate(), Ok(()));
+        assert!(!NetFaultPlan::none().is_active());
+    }
+
+    #[test]
+    fn partition_windows_match_worker_and_time() {
+        let plan = NetFaultPlan::none()
+            .with_partition(
+                Some(WorkerId(1)),
+                SimTime::from_secs(2),
+                SimTime::from_secs(4),
+            )
+            .with_partition(None, SimTime::from_secs(10), SimTime::from_secs(11));
+        assert!(plan.partitioned(WorkerId(1), SimTime::from_secs(2)));
+        assert!(
+            !plan.partitioned(WorkerId(1), SimTime::from_secs(4)),
+            "until is exclusive"
+        );
+        assert!(!plan.partitioned(WorkerId(0), SimTime::from_secs(3)));
+        assert!(
+            plan.partitioned(WorkerId(0), SimTime::from_secs(10)),
+            "None matches everyone"
+        );
+        assert_eq!(plan.partitions_end(), SimTime::from_secs(11));
+    }
+}
+
+#[cfg(test)]
+mod backoff_properties {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    // `PROPTEST_CASES` overrides the configured case count (see the
+    // vendored `test_runner::resolve_cases`), like the rest of the
+    // suite's property sweeps.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Jitter is a pure function of (seed, attempt): a replayed
+        /// run retries at the exact same virtual instants.
+        #[test]
+        fn delay_is_deterministic_per_seed_and_attempt(
+            seed in 0u64..=u64::MAX,
+            attempt in 0u32..16,
+        ) {
+            let p = RetryPolicy { max_attempts: 16, ..RetryPolicy::default() };
+            prop_assert_eq!(p.delay_secs(seed, attempt), p.delay_secs(seed, attempt));
+        }
+
+        /// Every delay stays positive and below the jittered cap.
+        #[test]
+        fn delays_are_positive_and_capped(
+            seed in 0u64..=u64::MAX,
+            attempt in 0u32..16,
+            jitter in 0.0f64..0.5,
+        ) {
+            let p = RetryPolicy { max_attempts: 16, jitter_frac: jitter, ..RetryPolicy::default() };
+            let d = p.delay_secs(seed, attempt).unwrap();
+            prop_assert!(d > 0.0);
+            prop_assert!(d <= p.cap_secs * (1.0 + jitter / 2.0));
+        }
+
+        /// Without jitter the schedule is monotone non-decreasing and
+        /// clamps at the cap.
+        #[test]
+        fn jitterless_delays_are_monotone_capped(seed in 0u64..=u64::MAX) {
+            let p = RetryPolicy { max_attempts: 16, jitter_frac: 0.0, ..RetryPolicy::default() };
+            let mut prev = 0.0f64;
+            for attempt in 0..p.max_attempts {
+                let d = p.delay_secs(seed, attempt).unwrap();
+                prop_assert!(d >= prev, "attempt {}: {} < {}", attempt, d, prev);
+                prop_assert!(d <= p.cap_secs);
+                prev = d;
+            }
+        }
+
+        /// Exhaustion happens at exactly `max_attempts`, where the
+        /// caller escalates to a lease bounce.
+        #[test]
+        fn retries_exhaust_at_exactly_max_attempts(
+            seed in 0u64..=u64::MAX,
+            max in 1u32..12,
+        ) {
+            let p = RetryPolicy { max_attempts: max, ..RetryPolicy::default() };
+            for attempt in 0..max {
+                prop_assert!(p.delay_secs(seed, attempt).is_some());
+            }
+            prop_assert!(p.delay_secs(seed, max).is_none());
+            prop_assert!(p.delay_secs(seed, max + 1).is_none());
+        }
     }
 }

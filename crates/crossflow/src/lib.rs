@@ -83,7 +83,9 @@ pub use export::{
     parse_run_stream, sched_kind_name, write_run_stream, RunStreamLine, RunStreamMeta,
     SCHEMA_VERSION,
 };
-pub use faults::{FaultEvent, FaultPlan};
+pub use faults::{
+    FaultEvent, FaultPlan, FaultPlanError, LinkFault, NetFaultPlan, Partition, RetryPolicy,
+};
 pub use job::{Arrival, Job, JobId, JobSpec, Payload, ResourceRef, TaskId, WorkerId};
 pub use obs::RuntimeMetrics;
 pub use runtime::{Runtime, ThreadedSession};
@@ -92,7 +94,7 @@ pub use scheduler::{
     WorkerPolicy, WorkerToMaster, WorkerView,
 };
 pub use session::Session;
-pub use spec::{RunSpec, RunSpecBuilder};
+pub use spec::{RunSpec, RunSpecBuilder, SpecError};
 pub use task::{CollectedOutputs, SinkTask, TaskCtx, TaskLogic};
 #[allow(deprecated)]
 pub use threaded::{run_threaded, run_threaded_traced};

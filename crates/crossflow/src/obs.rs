@@ -30,6 +30,18 @@
 //! | `makespan_secs` | gauge | end-to-end time |
 //! | `data_load_mb` | gauge | non-local MB moved |
 //! | `worker/<i>/busy_frac` | gauge | per-worker utilization |
+//!
+//! Net-fault layer instruments (zero unless a
+//! [`crate::faults::NetFaultPlan`] is active):
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `net/dropped` | counter | messages eaten by loss or a partition |
+//! | `net/duplicated` | counter | messages delivered twice by the link |
+//! | `net/retries` | counter | reliability-layer retransmissions |
+//! | `net/dedup_hits` | counter | duplicate envelopes discarded |
+//! | `acks/received` | counter | assignment/offer acks applied |
+//! | `lease/expired` | counter | placements bounced by lease expiry |
 
 use crossbid_metrics::{Counter, Histogram, Registry, RegistrySnapshot};
 
@@ -59,6 +71,12 @@ pub struct RuntimeMetrics {
     pub fetch_secs: Histogram,
     pub proc_secs: Histogram,
     pub bid_latency_secs: Histogram,
+    pub net_dropped: Counter,
+    pub net_duplicated: Counter,
+    pub net_retries: Counter,
+    pub net_dedup_hits: Counter,
+    pub acks_received: Counter,
+    pub lease_expired: Counter,
 }
 
 impl RuntimeMetrics {
@@ -83,6 +101,12 @@ impl RuntimeMetrics {
             fetch_secs: registry.histogram("job/fetch_secs"),
             proc_secs: registry.histogram("job/proc_secs"),
             bid_latency_secs: registry.histogram("contest/bid_latency_secs"),
+            net_dropped: registry.counter("net/dropped"),
+            net_duplicated: registry.counter("net/duplicated"),
+            net_retries: registry.counter("net/retries"),
+            net_dedup_hits: registry.counter("net/dedup_hits"),
+            acks_received: registry.counter("acks/received"),
+            lease_expired: registry.counter("lease/expired"),
             registry,
         }
     }

@@ -136,6 +136,7 @@ impl ThreadedSession {
             metrics: self.spec.engine.metrics.clone(),
             chaos: self.spec.chaos.clone(),
             mutation: self.spec.mutation,
+            netfaults: self.spec.engine.netfaults.clone(),
         };
         let meta = RunMeta {
             worker_config: self.spec.worker_config.clone(),

@@ -27,7 +27,7 @@ use crossbid_metrics::Registry;
 use crossbid_net::NoiseModel;
 
 use crate::engine::EngineConfig;
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, FaultPlanError, NetFaultPlan};
 use crate::runtime::ThreadedSession;
 use crate::session::Session;
 use crate::threaded::{ChaosConfig, ProtocolMutation};
@@ -156,6 +156,13 @@ impl RunSpecBuilder {
         self
     }
 
+    /// Lossy master↔worker links plus the at-least-once
+    /// countermeasures (both runtimes).
+    pub fn netfaults(mut self, plan: NetFaultPlan) -> Self {
+        self.engine.netfaults = plan;
+        self
+    }
+
     /// Record per-job lifecycle traces (both runtimes).
     pub fn trace(mut self, on: bool) -> Self {
         self.engine.trace = on;
@@ -217,17 +224,24 @@ impl RunSpecBuilder {
         self
     }
 
-    /// Finish the spec.
-    ///
-    /// # Panics
-    /// When no workers were provided or `time_scale` is not positive.
-    pub fn build(self) -> RunSpec {
-        assert!(
-            !self.workers.is_empty(),
-            "RunSpec needs at least one worker"
-        );
-        assert!(self.time_scale > 0.0, "time_scale must be positive");
-        RunSpec {
+    /// Finish the spec, surfacing configuration mistakes as a typed
+    /// error instead of silent misbehavior mid-run: an empty cluster,
+    /// a non-positive `time_scale`, a [`FaultPlan`] with
+    /// crash/recovery inversions, or a [`NetFaultPlan`] with
+    /// out-of-range probabilities / negative or non-finite durations.
+    pub fn try_build(self) -> Result<RunSpec, SpecError> {
+        if self.workers.is_empty() {
+            return Err(SpecError::NoWorkers);
+        }
+        if !(self.time_scale.is_finite() && self.time_scale > 0.0) {
+            return Err(SpecError::BadTimeScale(self.time_scale));
+        }
+        self.engine.faults.validate().map_err(SpecError::Faults)?;
+        self.engine
+            .netfaults
+            .validate()
+            .map_err(SpecError::NetFaults)?;
+        Ok(RunSpec {
             workers: self.workers,
             engine: self.engine,
             worker_config: self.worker_config,
@@ -238,6 +252,48 @@ impl RunSpecBuilder {
             contest_window_secs: self.contest_window_secs,
             chaos: self.chaos,
             mutation: self.mutation,
+        })
+    }
+
+    /// Finish the spec.
+    ///
+    /// # Panics
+    /// On any [`try_build`](Self::try_build) error: no workers, a
+    /// non-positive `time_scale`, or an invalid fault/net-fault plan.
+    pub fn build(self) -> RunSpec {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Why [`RunSpecBuilder::try_build`] rejected a spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The cluster is empty.
+    NoWorkers,
+    /// `time_scale` is zero, negative or NaN.
+    BadTimeScale(f64),
+    /// The crash/recovery schedule contradicts itself.
+    Faults(FaultPlanError),
+    /// The network-fault plan has out-of-range fields.
+    NetFaults(FaultPlanError),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::NoWorkers => write!(f, "RunSpec needs at least one worker"),
+            SpecError::BadTimeScale(v) => write!(f, "time_scale must be positive, got {v}"),
+            SpecError::Faults(e) => write!(f, "invalid fault plan: {e}"),
+            SpecError::NetFaults(e) => write!(f, "invalid net-fault plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::Faults(e) | SpecError::NetFaults(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -261,6 +317,57 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn empty_cluster_is_rejected() {
         let _ = RunSpec::builder().build();
+    }
+
+    #[test]
+    fn try_build_surfaces_typed_errors() {
+        use crossbid_simcore::SimTime;
+
+        use crate::faults::{FaultPlanError, LinkFault, NetFaultPlan};
+        use crate::job::WorkerId;
+
+        assert_eq!(
+            RunSpec::builder().try_build().unwrap_err(),
+            SpecError::NoWorkers
+        );
+        assert_eq!(
+            RunSpec::builder()
+                .worker(WorkerSpec::builder("w0").build())
+                .time_scale(0.0)
+                .try_build()
+                .unwrap_err(),
+            SpecError::BadTimeScale(0.0)
+        );
+        let inverted = RunSpec::builder()
+            .worker(WorkerSpec::builder("w0").build())
+            .faults(
+                FaultPlan::new()
+                    .crash_at(SimTime::from_secs(10), WorkerId(0))
+                    .recover_at(SimTime::from_secs(5), WorkerId(0)),
+            )
+            .try_build()
+            .unwrap_err();
+        assert_eq!(
+            inverted,
+            SpecError::Faults(FaultPlanError::RecoverWithoutCrash(WorkerId(0)))
+        );
+        let lossy = RunSpec::builder()
+            .worker(WorkerSpec::builder("w0").build())
+            .netfaults(NetFaultPlan {
+                to_worker: LinkFault {
+                    drop_prob: 1.5,
+                    ..LinkFault::none()
+                },
+                ..NetFaultPlan::none()
+            })
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(lossy, SpecError::NetFaults(_)), "{lossy:?}");
+        assert!(RunSpec::builder()
+            .worker(WorkerSpec::builder("w0").build())
+            .netfaults(NetFaultPlan::lossy(7, 0.3, 0.1))
+            .try_build()
+            .is_ok());
     }
 
     #[test]

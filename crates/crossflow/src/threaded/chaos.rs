@@ -23,8 +23,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{Receiver, RecvTimeoutError};
-use crossbid_simcore::{RngStream, SeedSequence};
+use crossbid_simcore::{RngStream, SeedSequence, SimTime};
 use parking_lot::Mutex;
+
+use crate::faults::NetFaultPlan;
+use crate::job::WorkerId;
+use crate::obs::RuntimeMetrics;
 
 use super::ToMaster;
 
@@ -155,9 +159,22 @@ fn tag(msg: &ToMaster) -> String {
             estimate_secs,
         } if !estimate_secs.is_finite() => format!("bid(w{},j{},nan)", worker, job.0),
         ToMaster::Bid { worker, job, .. } => format!("bid(w{},j{})", worker, job.0),
-        ToMaster::Reject { worker, job } => format!("reject(w{},j{})", worker, job.id.0),
+        ToMaster::Reject { worker, job, .. } => format!("reject(w{},j{})", worker, job.id.0),
         ToMaster::Idle { worker } => format!("idle(w{worker})"),
         ToMaster::Done { worker, job, .. } => format!("done(w{},j{})", worker, job.id.0),
+        ToMaster::AckAssign { worker, job, seq } => format!("ack(w{},j{},s{seq})", worker, job.0),
+    }
+}
+
+/// Which worker a `ToMaster` message came from — the net-fault layer
+/// needs the sender to honor per-worker partitions.
+fn sender_of(msg: &ToMaster) -> u32 {
+    match msg {
+        ToMaster::Bid { worker, .. }
+        | ToMaster::Reject { worker, .. }
+        | ToMaster::Idle { worker }
+        | ToMaster::Done { worker, .. }
+        | ToMaster::AckAssign { worker, .. } => *worker,
     }
 }
 
@@ -169,10 +186,17 @@ struct Held {
 }
 
 /// The master's intake: a transparent wrapper over the `ToMaster`
-/// receiver that, under chaos, holds/reorders/duplicates messages.
+/// receiver that, under chaos, holds/reorders/duplicates messages,
+/// and, under an active [`NetFaultPlan`], models the worker→master
+/// half of the lossy link (drop/duplicate/delay/partition). The net
+/// layer sits *beneath* chaos — closest to the wire — so chaos
+/// reorders only traffic that survived the link.
 pub(crate) struct Intake {
     rx: Receiver<ToMaster>,
     chaos: Option<ChaosState>,
+    net: Option<NetIntake>,
+    /// The sender side hung up; only held/delayed messages remain.
+    disconnected: bool,
 }
 
 struct ChaosState {
@@ -180,8 +204,70 @@ struct ChaosState {
     rng: RngStream,
     held: VecDeque<Held>,
     next_seq: u64,
-    /// The sender side hung up; only held messages remain.
-    disconnected: bool,
+}
+
+/// Worker→master half of the lossy link, applied at the intake.
+pub(crate) struct NetIntake {
+    plan: NetFaultPlan,
+    rng: RngStream,
+    /// Run start, for mapping wall time onto the partition windows.
+    start: Instant,
+    time_scale: f64,
+    /// In-flight messages the link has delayed: `(due, msg)`.
+    delayed: Vec<(Instant, ToMaster)>,
+    metrics: RuntimeMetrics,
+}
+
+impl NetIntake {
+    pub fn new(
+        plan: NetFaultPlan,
+        start: Instant,
+        time_scale: f64,
+        metrics: RuntimeMetrics,
+    ) -> Self {
+        let rng = SeedSequence::new(plan.seed).stream(0x4E38);
+        NetIntake {
+            plan,
+            rng,
+            start,
+            time_scale,
+            delayed: Vec::new(),
+            metrics,
+        }
+    }
+
+    /// Pass `msg` through the link. `None` means it was dropped (or
+    /// fully delayed); survivors due *now* come back for delivery.
+    fn filter(&mut self, msg: ToMaster, now: Instant) -> Option<ToMaster> {
+        let vnow =
+            SimTime::from_secs_f64(self.start.elapsed().as_secs_f64() / self.time_scale.max(1e-12));
+        let from = WorkerId(sender_of(&msg));
+        let link = self.plan.to_master;
+        if self.plan.partitioned(from, vnow) || self.rng.chance(link.drop_prob) {
+            self.metrics.net_dropped.inc();
+            return None;
+        }
+        if self.rng.chance(link.dup_prob) {
+            self.metrics.net_duplicated.inc();
+            let d = self.sample_delay();
+            self.delayed.push((now + d, msg.clone()));
+        }
+        let d = self.sample_delay();
+        if d > Duration::ZERO {
+            self.delayed.push((now + d, msg));
+            return None;
+        }
+        Some(msg)
+    }
+
+    fn sample_delay(&mut self) -> Duration {
+        let link = self.plan.to_master;
+        if link.delay_max_secs <= 0.0 {
+            return Duration::ZERO;
+        }
+        let v = self.rng.uniform(link.delay_min_secs, link.delay_max_secs);
+        Duration::from_secs_f64((v * self.time_scale).max(0.0))
+    }
 }
 
 /// How long the chaotic intake waits for fresh traffic before
@@ -189,15 +275,58 @@ struct ChaosState {
 const MIX_SLICE: Duration = Duration::from_micros(300);
 
 impl Intake {
-    pub fn new(rx: Receiver<ToMaster>, chaos: Option<ChaosConfig>) -> Self {
+    pub fn new(rx: Receiver<ToMaster>, chaos: Option<ChaosConfig>, net: Option<NetIntake>) -> Self {
         let chaos = chaos.map(|cfg| ChaosState {
             rng: SeedSequence::new(cfg.seed).stream(0xC4A05),
             held: VecDeque::new(),
             next_seq: 0,
-            disconnected: false,
             cfg,
         });
-        Intake { rx, chaos }
+        Intake {
+            rx,
+            chaos,
+            net,
+            disconnected: false,
+        }
+    }
+
+    /// Chaos admission of one link-delivered message: corrupt,
+    /// duplicate or park it per the chaos scheme. `None` = parked in
+    /// the hold buffer, to surface later.
+    fn admit(
+        chaos_opt: &mut Option<ChaosState>,
+        mut msg: ToMaster,
+        now: Instant,
+    ) -> Option<ToMaster> {
+        let Some(chaos) = chaos_opt else {
+            return Some(msg);
+        };
+        if let ToMaster::Bid { estimate_secs, .. } = &mut msg {
+            if chaos.rng.chance(chaos.cfg.nan_bid_prob) {
+                *estimate_secs = f64::NAN;
+            }
+        }
+        let seq = chaos.next_seq;
+        chaos.next_seq += 1;
+        if chaos.rng.chance(chaos.cfg.dup_prob) && chaos.held.len() < chaos.cfg.max_held {
+            chaos.held.push_back(Held {
+                seq,
+                since: now,
+                duplicate: true,
+                msg: msg.clone(),
+            });
+        }
+        if chaos.rng.chance(chaos.cfg.hold_prob) && chaos.held.len() < chaos.cfg.max_held {
+            chaos.held.push_back(Held {
+                seq,
+                since: now,
+                duplicate: false,
+                msg,
+            });
+            return None;
+        }
+        record(chaos, seq, false, false, &msg);
+        Some(msg)
     }
 
     /// Receive the next message, honoring `deadline` (`None` blocks
@@ -205,78 +334,85 @@ impl Intake {
     /// `Receiver::recv_deadline` / `recv`: `Timeout` only ever fires
     /// when a deadline was given.
     pub fn recv(&mut self, deadline: Option<Instant>) -> Result<ToMaster, RecvTimeoutError> {
-        let Some(chaos) = &mut self.chaos else {
-            return match deadline {
-                Some(d) => self.rx.recv_deadline(d),
-                None => self.rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
-            };
-        };
         loop {
             let now = Instant::now();
+            // Matured link-delayed deliveries surface first (and still
+            // pass through the chaos layer above them).
+            if let Some(net) = &mut self.net {
+                if let Some(pos) = net.delayed.iter().position(|(at, _)| *at <= now) {
+                    let (_, msg) = net.delayed.swap_remove(pos);
+                    match Self::admit(&mut self.chaos, msg, now) {
+                        Some(out) => return Ok(out),
+                        None => continue,
+                    }
+                }
+            }
             // Liveness: anything held past its age bound goes out now,
             // oldest first.
-            if let Some(pos) = chaos
-                .held
-                .iter()
-                .position(|h| now.saturating_duration_since(h.since) >= chaos.cfg.max_hold)
-            {
-                return Ok(release(chaos, pos));
+            if let Some(chaos) = &mut self.chaos {
+                if let Some(pos) = chaos
+                    .held
+                    .iter()
+                    .position(|h| now.saturating_duration_since(h.since) >= chaos.cfg.max_hold)
+                {
+                    return Ok(release(chaos, pos));
+                }
             }
-            if chaos.disconnected {
-                return match chaos.held.is_empty() {
-                    true => Err(RecvTimeoutError::Disconnected),
-                    false => Ok(release_random(chaos)),
-                };
+            if self.disconnected {
+                // Teardown: flush what is still in flight (remaining
+                // link delay is moot once every sender is gone), then
+                // report the hangup.
+                if let Some(net) = &mut self.net {
+                    if !net.delayed.is_empty() {
+                        let (_, msg) = net.delayed.swap_remove(0);
+                        match Self::admit(&mut self.chaos, msg, now) {
+                            Some(out) => return Ok(out),
+                            None => continue,
+                        }
+                    }
+                }
+                if let Some(chaos) = &mut self.chaos {
+                    if !chaos.held.is_empty() {
+                        return Ok(release_random(chaos));
+                    }
+                }
+                return Err(RecvTimeoutError::Disconnected);
             }
-            // Wait for fresh traffic, but only briefly while messages
-            // are held (they must keep mixing), and never past the
-            // oldest forced release or the caller's deadline.
-            let forced = chaos
-                .held
-                .iter()
-                .map(|h| h.since + chaos.cfg.max_hold)
-                .min();
-            let slice = if chaos.held.is_empty() {
-                None
-            } else {
-                Some(now + MIX_SLICE)
-            };
-            let wait_until = [deadline, forced, slice].into_iter().flatten().min();
+            // Wait for fresh traffic, but never past the caller's
+            // deadline, a forced chaos release or a due link delivery
+            // — and only briefly while messages are held (they must
+            // keep mixing).
+            let forced = self
+                .chaos
+                .as_ref()
+                .and_then(|c| c.held.iter().map(|h| h.since + c.cfg.max_hold).min());
+            let slice = self
+                .chaos
+                .as_ref()
+                .filter(|c| !c.held.is_empty())
+                .map(|_| now + MIX_SLICE);
+            let due = self
+                .net
+                .as_ref()
+                .and_then(|n| n.delayed.iter().map(|(at, _)| *at).min());
+            let wait_until = [deadline, forced, slice, due].into_iter().flatten().min();
             let got = match wait_until {
                 Some(d) => self.rx.recv_deadline(d),
                 None => self.rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
             };
             match got {
-                Ok(mut msg) => {
-                    if let ToMaster::Bid { estimate_secs, .. } = &mut msg {
-                        if chaos.rng.chance(chaos.cfg.nan_bid_prob) {
-                            *estimate_secs = f64::NAN;
-                        }
+                Ok(msg) => {
+                    let msg = match &mut self.net {
+                        Some(net) => match net.filter(msg, now) {
+                            Some(m) => m,
+                            None => continue,
+                        },
+                        None => msg,
+                    };
+                    match Self::admit(&mut self.chaos, msg, now) {
+                        Some(out) => return Ok(out),
+                        None => continue,
                     }
-                    let seq = chaos.next_seq;
-                    chaos.next_seq += 1;
-                    if chaos.rng.chance(chaos.cfg.dup_prob) && chaos.held.len() < chaos.cfg.max_held
-                    {
-                        chaos.held.push_back(Held {
-                            seq,
-                            since: now,
-                            duplicate: true,
-                            msg: msg.clone(),
-                        });
-                    }
-                    if chaos.rng.chance(chaos.cfg.hold_prob)
-                        && chaos.held.len() < chaos.cfg.max_held
-                    {
-                        chaos.held.push_back(Held {
-                            seq,
-                            since: now,
-                            duplicate: false,
-                            msg,
-                        });
-                        continue;
-                    }
-                    record(chaos, seq, false, false, &msg);
-                    return Ok(msg);
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -284,12 +420,14 @@ impl Intake {
                     }
                     // A mix slice (or forced release) expired without
                     // fresh traffic: deliver something held.
-                    if !chaos.held.is_empty() {
-                        return Ok(release_random(chaos));
+                    if let Some(chaos) = &mut self.chaos {
+                        if !chaos.held.is_empty() {
+                            return Ok(release_random(chaos));
+                        }
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    chaos.disconnected = true;
+                    self.disconnected = true;
                 }
             }
         }
@@ -342,6 +480,18 @@ pub enum ProtocolMutation {
     /// Baseline: re-offer a rejected job straight back to the worker
     /// that just rejected it even when another idle worker exists.
     ReofferToRejector,
+    /// Reliability layer: drop the master's completed-job dedup — a
+    /// duplicated `Done` delivery counts (and runs the workflow's
+    /// downstream logic) twice.
+    DropDedup,
+    /// Reliability layer: the master records incoming placement acks
+    /// but its retry/lease machinery ignores them — leases expire and
+    /// bounce placements the worker already confirmed.
+    IgnoreAcks,
+    /// Reliability layer: disable the placement lease — a lost,
+    /// retries-exhausted Assign/Offer is never bounced back to the
+    /// scheduler and its job is silently lost.
+    NoLeases,
 }
 
 impl ProtocolMutation {
@@ -364,6 +514,18 @@ impl ProtocolMutation {
 
     pub(crate) fn reoffers_to_rejector(self) -> bool {
         cfg!(feature = "protocol-mutation") && self == ProtocolMutation::ReofferToRejector
+    }
+
+    pub(crate) fn drops_dedup(self) -> bool {
+        cfg!(feature = "protocol-mutation") && self == ProtocolMutation::DropDedup
+    }
+
+    pub(crate) fn ignores_acks(self) -> bool {
+        cfg!(feature = "protocol-mutation") && self == ProtocolMutation::IgnoreAcks
+    }
+
+    pub(crate) fn no_leases(self) -> bool {
+        cfg!(feature = "protocol-mutation") && self == ProtocolMutation::NoLeases
     }
 }
 

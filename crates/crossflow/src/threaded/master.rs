@@ -13,7 +13,7 @@ use crossbid_simcore::{RngStream, SeedSequence, SimDuration, SimTime, Welford};
 use parking_lot::Mutex;
 
 use crate::engine::{RunMeta, RunOutput};
-use crate::faults::{FaultEvent, FaultPlan};
+use crate::faults::{FaultEvent, FaultPlan, NetFaultPlan};
 use crate::job::{Arrival, Job, JobId, JobSpec, WorkerId};
 use crate::obs::RuntimeMetrics;
 use crate::task::TaskCtx;
@@ -21,7 +21,7 @@ use crate::trace::{SchedEvent, SchedEventKind, SchedLog, Trace, TraceEvent, Trac
 use crate::worker::WorkerSpec;
 use crate::workflow::Workflow;
 
-use super::chaos::{ChaosConfig, Intake, ProtocolMutation};
+use super::chaos::{ChaosConfig, Intake, NetIntake, ProtocolMutation};
 use super::worker::{spawn_worker, Protocol, WorkerShared};
 use super::{ToMaster, ToWorker};
 
@@ -82,6 +82,11 @@ pub struct ThreadedConfig {
     /// cargo feature; selecting a mutation without it panics at run
     /// start.
     pub mutation: ProtocolMutation,
+    /// Lossy-link fault plan on the master↔worker channels. When
+    /// inactive (the default) the reliability layer — acks, retries,
+    /// leases, heartbeats — is fully disabled and the runtime behaves
+    /// exactly as before.
+    pub netfaults: NetFaultPlan,
 }
 
 impl Default for ThreadedConfig {
@@ -98,6 +103,7 @@ impl Default for ThreadedConfig {
             metrics: None,
             chaos: None,
             mutation: ProtocolMutation::None,
+            netfaults: NetFaultPlan::none(),
         }
     }
 }
@@ -110,10 +116,35 @@ struct Contest {
 }
 
 /// A job handed to a worker whose completion has not come back yet.
+/// The reliability fields are inert (seq 0, acked, no timers) unless a
+/// [`NetFaultPlan`] is active.
 struct Outstanding {
     job: Job,
     worker: u32,
     assigned_at: Instant,
+    /// Placement sequence number stamped on the Assign/Offer.
+    seq: u64,
+    /// Was this placement delivered as a Baseline Offer (vs. Assign)?
+    offer: bool,
+    /// The worker confirmed receipt; retries and the lease stand down.
+    acked: bool,
+    /// Retransmissions sent so far.
+    attempt: u32,
+    /// Next retransmission instant; `None` once acked or exhausted.
+    next_retry: Option<Instant>,
+    /// Lease expiry: an unacked placement past this bounces back to
+    /// the scheduler.
+    lease_deadline: Option<Instant>,
+}
+
+/// Master→worker half of the lossy link plus the reliability-layer
+/// sequencing state. Present only while a [`NetFaultPlan`] is active.
+struct NetMaster {
+    plan: NetFaultPlan,
+    rng: RngStream,
+    /// Messages the link has delayed: `(due, worker, msg)`. Drained
+    /// by the main loop; the earliest due feeds the wait deadline.
+    delayed: Vec<(Instant, u32, ToWorker)>,
 }
 
 struct MasterState {
@@ -149,6 +180,11 @@ struct MasterState {
     created: u64,
     completed: u64,
     next_job_id: u64,
+    /// Next placement sequence number (reliability layer; starts at 1
+    /// so 0 unambiguously means "layer off").
+    next_seq: u64,
+    /// Lossy-link state; `None` leaves every send untouched.
+    net: Option<NetMaster>,
     /// Registry-backed tallies shared with the worker threads.
     m: RuntimeMetrics,
 }
@@ -163,6 +199,80 @@ impl MasterState {
     fn live_count(&self) -> usize {
         self.known_live.iter().filter(|l| **l).count()
     }
+
+    /// Per-(job, placement) retry jitter seed — same recipe as the
+    /// simulation engine's.
+    fn retry_seed(&self, job: JobId, seq: u64) -> u64 {
+        self.net
+            .as_ref()
+            .map(|n| n.plan.seed)
+            .unwrap_or(0)
+            .wrapping_add(job.0.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(seq)
+    }
+}
+
+/// Send `msg` to worker `w` across the (possibly lossy) link: the
+/// message can be eaten by a partition or a drop, duplicated, or
+/// parked in the delay queue the main loop drains.
+fn send_worker(
+    st: &mut MasterState,
+    txs: &[Sender<ToWorker>],
+    w: u32,
+    msg: ToWorker,
+    now: Instant,
+    vnow: SimTime,
+    time_scale: f64,
+) {
+    let Some(net) = &mut st.net else {
+        let _ = txs[w as usize].send(msg);
+        return;
+    };
+    let link = net.plan.to_worker;
+    if net.plan.partitioned(WorkerId(w), vnow) || net.rng.chance(link.drop_prob) {
+        st.m.net_dropped.inc();
+        return;
+    }
+    let copies = if net.rng.chance(link.dup_prob) {
+        st.m.net_duplicated.inc();
+        2
+    } else {
+        1
+    };
+    for _ in 0..copies {
+        let d = if link.delay_max_secs > 0.0 {
+            net.rng.uniform(link.delay_min_secs, link.delay_max_secs)
+        } else {
+            0.0
+        };
+        if d > 0.0 {
+            let due = now + Duration::from_secs_f64((d * time_scale).max(0.0));
+            net.delayed.push((due, w, msg.clone()));
+        } else {
+            let _ = txs[w as usize].send(msg.clone());
+        }
+    }
+}
+
+/// Allocate a placement seq and arm the retry + lease timers for a
+/// fresh Assign/Offer. Inert (seq 0, acked) when the net layer is off.
+fn arm_outstanding(
+    st: &mut MasterState,
+    id: JobId,
+    now: Instant,
+    virt: &impl Fn(f64) -> Duration,
+) -> (u64, bool, u32, Option<Instant>, Option<Instant>) {
+    let retry = match &st.net {
+        Some(n) => n.plan.retry,
+        None => return (0, true, 0, None, None),
+    };
+    let seq = st.next_seq;
+    st.next_seq += 1;
+    let next_retry = retry
+        .delay_secs(st.retry_seed(id, seq), 0)
+        .map(|d| now + virt(d));
+    let lease = Some(now + virt(retry.lease_secs));
+    (seq, false, 0, next_retry, lease)
 }
 
 /// Run `arrivals` through `workflow` on real threads. Returns the run
@@ -248,6 +358,7 @@ pub(crate) fn run_threaded_with_shareds(
     };
     let seq = SeedSequence::new(cfg.seed);
     let mut rng_master = seq.stream(1);
+    let net_active = cfg.netfaults.is_active();
     let metrics = RuntimeMetrics::from_sink(cfg.metrics.clone());
     // A shared sink accumulates across iterations; the per-run record
     // reports deltas from these baselines.
@@ -282,14 +393,25 @@ pub(crate) fn run_threaded_with_shareds(
             seq.seed_for(100 + i as u64),
             metrics.clone(),
             bid_delay,
+            net_active.then_some(cfg.netfaults.retry),
         );
         worker_txs.push(tx);
         handles.push(threads);
     }
     drop(to_master_tx);
-    let mut intake = Intake::new(to_master_rx, cfg.chaos.clone());
 
     let start = Instant::now();
+    // The worker→master half of the lossy link lives in the intake,
+    // beneath the chaos layer.
+    let net_intake = net_active.then(|| {
+        NetIntake::new(
+            cfg.netfaults.clone(),
+            start,
+            cfg.time_scale,
+            metrics.clone(),
+        )
+    });
+    let mut intake = Intake::new(to_master_rx, cfg.chaos.clone(), net_intake);
     let virt = |v: f64| Duration::from_secs_f64((v * cfg.time_scale).max(0.0));
     let vnow = move || SimTime::from_secs_f64(start.elapsed().as_secs_f64() / cfg.time_scale);
     // Arrival schedule in real time.
@@ -336,6 +458,12 @@ pub(crate) fn run_threaded_with_shareds(
         created: 0,
         completed: 0,
         next_job_id: 0,
+        next_seq: 1,
+        net: net_active.then(|| NetMaster {
+            plan: cfg.netfaults.clone(),
+            rng: SeedSequence::new(cfg.netfaults.seed).stream(0x4E37),
+            delayed: Vec::new(),
+        }),
         m: metrics.clone(),
     };
     let mut wait_stats = Welford::new();
@@ -372,7 +500,18 @@ pub(crate) fn run_threaded_with_shareds(
                 continue;
             }
             st.m.control_messages.inc();
-            let _ = txs[w as usize].send(ToWorker::BidRequest(job.clone()));
+            // Bid requests are fire-and-forget even on a lossy link: a
+            // lost one costs only optimality (the contest resolves by
+            // timeout or fallback), so there is no ack or retry.
+            send_worker(
+                st,
+                txs,
+                w,
+                ToWorker::BidRequest(job.clone()),
+                Instant::now(),
+                vnow(),
+                cfg.time_scale,
+            );
         }
         st.contests.insert(
             job.id,
@@ -427,15 +566,32 @@ pub(crate) fn run_threaded_with_shareds(
                 job: Some(job.id),
                 kind: SchedEventKind::Offered,
             });
+            let now = Instant::now();
+            let (seq, acked, attempt, next_retry, lease_deadline) =
+                arm_outstanding(st, job.id, now, &virt);
             st.outstanding.insert(
                 job.id,
                 Outstanding {
                     job: job.clone(),
                     worker: w,
-                    assigned_at: Instant::now(),
+                    assigned_at: now,
+                    seq,
+                    offer: true,
+                    acked,
+                    attempt,
+                    next_retry,
+                    lease_deadline,
                 },
             );
-            let _ = txs[w as usize].send(ToWorker::Offer(job));
+            send_worker(
+                st,
+                txs,
+                w,
+                ToWorker::Offer { job, seq },
+                now,
+                vnow(),
+                cfg.time_scale,
+            );
         }
     };
 
@@ -493,15 +649,31 @@ pub(crate) fn run_threaded_with_shareds(
             kind: SchedEventKind::Assigned,
         });
         st.m.control_messages.inc();
+        let now = Instant::now();
+        let (seq, acked, attempt, next_retry, lease_deadline) = arm_outstanding(st, id, now, &virt);
         st.outstanding.insert(
             id,
             Outstanding {
                 job: c.job.clone(),
                 worker: w,
-                assigned_at: Instant::now(),
+                assigned_at: now,
+                seq,
+                offer: false,
+                acked,
+                attempt,
+                next_retry,
+                lease_deadline,
             },
         );
-        let _ = txs[w as usize].send(ToWorker::Assign(c.job));
+        send_worker(
+            st,
+            txs,
+            w,
+            ToWorker::Assign { job: c.job, seq },
+            now,
+            vnow(),
+            cfg.time_scale,
+        );
     };
 
     let window_secs = match cfg.scheduler {
@@ -509,9 +681,38 @@ pub(crate) fn run_threaded_with_shareds(
         ThreadedScheduler::Baseline => 0.0,
     };
 
+    // Stall detection, armed only under an active net-fault plan: a
+    // mutated reliability layer (e.g. no leases) can lose a job with
+    // nothing left to time out, and the run must still terminate so
+    // the oracle can flag the loss. The threshold is generous — past
+    // every partition window plus several leases, with a large real-
+    // time floor against scheduler jitter — so a healthy run never
+    // trips it: any live placement produces a log event (retry, ack,
+    // completion, bounce) well within it.
+    let stall_limit: Option<Duration> = net_active.then(|| {
+        let plan = &cfg.netfaults;
+        let horizon = plan.partitions_end().as_secs_f64() + plan.retry.lease_secs * 10.0 + 120.0;
+        virt(horizon).max(Duration::from_secs(2))
+    });
+    let mut last_progress = start;
+    let mut seen_log_len = 0usize;
+
     loop {
         // Fire due arrivals.
         let now = Instant::now();
+
+        // Deliver matured link-delayed master→worker messages.
+        if let Some(net) = &mut st.net {
+            let mut i = 0;
+            while i < net.delayed.len() {
+                if net.delayed[i].0 <= now {
+                    let (_, w, msg) = net.delayed.swap_remove(i);
+                    let _ = worker_txs[w as usize].send(msg);
+                } else {
+                    i += 1;
+                }
+            }
+        }
         while pending_arrivals.front().is_some_and(|(at, _)| *at <= now) {
             let (_, spec) = pending_arrivals.pop_front().expect("non-empty");
             arrivals_seen += 1;
@@ -657,8 +858,79 @@ pub(crate) fn run_threaded_with_shareds(
         }
         open_next_contest(&mut st, &worker_txs, window_secs);
 
-        // Are we done?
-        if arrivals_seen == total_arrivals && st.created > 0 && st.completed == st.created {
+        // Reliability layer: retransmit unacked placements on their
+        // backoff schedule...
+        if st.net.is_some() {
+            let due_retries: Vec<JobId> = st
+                .outstanding
+                .iter()
+                .filter(|(_, o)| !o.acked && o.next_retry.is_some_and(|t| t <= now))
+                .map(|(id, _)| *id)
+                .collect();
+            for id in due_retries {
+                let retry = st.net.as_ref().expect("net active").plan.retry;
+                let seed = st.retry_seed(id, st.outstanding[&id].seq);
+                let o = st.outstanding.get_mut(&id).expect("present");
+                let attempt = o.attempt;
+                o.attempt += 1;
+                // Exhaustion is not an error: the lease decides.
+                o.next_retry = retry.delay_secs(seed, attempt + 1).map(|d| now + virt(d));
+                let (w, msg) = (
+                    o.worker,
+                    if o.offer {
+                        ToWorker::Offer {
+                            job: o.job.clone(),
+                            seq: o.seq,
+                        }
+                    } else {
+                        ToWorker::Assign {
+                            job: o.job.clone(),
+                            seq: o.seq,
+                        }
+                    },
+                );
+                st.m.net_retries.inc();
+                st.m.control_messages.inc();
+                st.log.push(SchedEvent {
+                    at: vnow(),
+                    worker: Some(WorkerId(w)),
+                    job: Some(id),
+                    kind: SchedEventKind::Resent { attempt },
+                });
+                send_worker(&mut st, &worker_txs, w, msg, now, vnow(), cfg.time_scale);
+            }
+            // ...and bounce placements whose lease expired unacked
+            // back to the scheduler. This is *not* `Redistributed`:
+            // the worker may be perfectly alive — the link is suspect.
+            if !cfg.mutation.no_leases() {
+                let expired: Vec<JobId> = st
+                    .outstanding
+                    .iter()
+                    .filter(|(_, o)| !o.acked && o.lease_deadline.is_some_and(|t| t <= now))
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in expired {
+                    let o = st.outstanding.remove(&id).expect("present");
+                    st.m.lease_expired.inc();
+                    st.log.push(SchedEvent {
+                        at: vnow(),
+                        worker: Some(WorkerId(o.worker)),
+                        job: Some(id),
+                        kind: SchedEventKind::LeaseExpired,
+                    });
+                    if !st.done_ids.contains(&id) {
+                        dispatch(&mut st, &worker_txs, cfg, o.job);
+                    }
+                }
+                baseline_pump(&mut st, &worker_txs);
+                open_next_contest(&mut st, &worker_txs, window_secs);
+            }
+        }
+
+        // Are we done? (`>=`: the DropDedup mutation can double-count
+        // a completion past `created`; the run must still terminate so
+        // the oracle can flag it.)
+        if arrivals_seen == total_arrivals && st.created > 0 && st.completed >= st.created {
             break;
         }
         if total_arrivals == 0 {
@@ -674,6 +946,21 @@ pub(crate) fn run_threaded_with_shareds(
         {
             break;
         }
+        // Stall detection (net-fault runs only): every state change
+        // appends to the scheduler log, so a frozen log past the
+        // stall horizon means no placement, retry, lease or
+        // completion can still fire — report the partial run and let
+        // the oracle name the lost jobs.
+        if let Some(limit) = stall_limit {
+            if st.log.events().len() != seen_log_len {
+                seen_log_len = st.log.events().len();
+                last_progress = now;
+            } else if arrivals_seen == total_arrivals
+                && now.saturating_duration_since(last_progress) > limit
+            {
+                break;
+            }
+        }
 
         // Wait for the next event.
         let next_deadline = pending_arrivals
@@ -683,6 +970,14 @@ pub(crate) fn run_threaded_with_shareds(
             .chain(st.contests.values().map(|c| c.deadline))
             .chain(fault_events.front().map(|(at, _)| *at))
             .chain(detections.front().map(|(at, _, _)| *at))
+            .chain(st.net.iter().flat_map(|n| n.delayed.iter().map(|d| d.0)))
+            .chain(
+                st.outstanding
+                    .values()
+                    .filter(|o| !o.acked)
+                    .flat_map(|o| o.next_retry.into_iter().chain(o.lease_deadline)),
+            )
+            .chain(stall_limit.map(|l| last_progress + l))
             .min();
         let msg = match intake.recv(next_deadline) {
             Ok(m) => Some(m),
@@ -699,7 +994,8 @@ pub(crate) fn run_threaded_with_shareds(
             ToMaster::Bid { worker, .. }
             | ToMaster::Reject { worker, .. }
             | ToMaster::Idle { worker }
-            | ToMaster::Done { worker, .. } => *worker,
+            | ToMaster::Done { worker, .. }
+            | ToMaster::AckAssign { worker, .. } => *worker,
         };
         if !st.known_live[from as usize] {
             continue;
@@ -750,9 +1046,9 @@ pub(crate) fn run_threaded_with_shareds(
                     let stolen = st.outstanding.get_mut(&job).map(|o| {
                         o.worker = worker;
                         o.assigned_at = Instant::now();
-                        o.job.clone()
+                        (o.job.clone(), o.seq)
                     });
-                    if let Some(j) = stolen {
+                    if let Some((j, seq)) = stolen {
                         st.log.push(SchedEvent {
                             at: vnow(),
                             worker: Some(WorkerId(worker)),
@@ -766,7 +1062,15 @@ pub(crate) fn run_threaded_with_shareds(
                             kind: SchedEventKind::Assigned,
                         });
                         st.m.control_messages.inc();
-                        let _ = worker_txs[worker as usize].send(ToWorker::Assign(j));
+                        send_worker(
+                            &mut st,
+                            &worker_txs,
+                            worker,
+                            ToWorker::Assign { job: j, seq },
+                            Instant::now(),
+                            vnow(),
+                            cfg.time_scale,
+                        );
                     }
                 }
                 if full {
@@ -774,19 +1078,20 @@ pub(crate) fn run_threaded_with_shareds(
                     open_next_contest(&mut st, &worker_txs, window_secs);
                 }
             }
-            ToMaster::Reject { worker, job } => {
+            ToMaster::Reject { worker, job, seq } => {
                 st.m.control_messages.inc();
                 // At-least-once tolerance: a reject acts only while
-                // the offer it answers is still outstanding *to that
-                // worker*. A duplicate delivery, or a stale reject
-                // arriving after the job was redistributed, completed
-                // or re-offered elsewhere, would otherwise re-queue
-                // the job for a second execution (or cancel someone
+                // the *exact* offer it answers (worker AND placement
+                // seq) is still outstanding. A duplicate delivery, or
+                // a stale reject arriving after the job was
+                // redistributed, completed, lease-bounced or
+                // re-offered elsewhere, would otherwise re-queue the
+                // job for a second execution (or cancel someone
                 // else's offer).
                 if st
                     .outstanding
                     .get(&job.id)
-                    .is_none_or(|o| o.worker != worker)
+                    .is_none_or(|o| o.worker != worker || o.seq != seq)
                 {
                     continue;
                 }
@@ -819,10 +1124,27 @@ pub(crate) fn run_threaded_with_shareds(
                 proc_secs,
             } => {
                 st.m.control_messages.inc();
+                if st.net.is_some() {
+                    // Ack *every* delivery — retransmitted and
+                    // duplicated copies included — so the worker stops
+                    // resending even when the first ack was lost.
+                    st.m.control_messages.inc();
+                    send_worker(
+                        &mut st,
+                        &worker_txs,
+                        worker,
+                        ToWorker::AckDone(job.id),
+                        Instant::now(),
+                        vnow(),
+                        cfg.time_scale,
+                    );
+                }
                 st.outstanding.remove(&job.id);
                 st.rejected_by.remove(&job.id);
-                if !st.done_ids.insert(job.id) {
-                    // A redistributed copy already finished elsewhere.
+                if !st.done_ids.insert(job.id) && !cfg.mutation.drops_dedup() {
+                    // A redistributed copy already finished elsewhere,
+                    // or an at-least-once duplicate of a completion
+                    // already applied: side effects happen once.
                     continue;
                 }
                 st.completed += 1;
@@ -890,6 +1212,32 @@ pub(crate) fn run_threaded_with_shareds(
                     dispatch(&mut st, &worker_txs, cfg, spec.into_job(id));
                 }
                 baseline_pump(&mut st, &worker_txs);
+            }
+            ToMaster::AckAssign { worker, job, seq } => {
+                st.m.control_messages.inc();
+                // The ack must match the *current* placement: a stale
+                // ack for a placement that was since bounced and
+                // re-made elsewhere must not stand down the new
+                // placement's timers.
+                let matches = st
+                    .outstanding
+                    .get(&job)
+                    .is_some_and(|o| o.worker == worker && o.seq == seq && !o.acked);
+                if matches {
+                    st.m.acks_received.inc();
+                    st.log.push(SchedEvent {
+                        at: vnow(),
+                        worker: Some(WorkerId(worker)),
+                        job: Some(job),
+                        kind: SchedEventKind::AssignAcked,
+                    });
+                    if !cfg.mutation.ignores_acks() {
+                        let o = st.outstanding.get_mut(&job).expect("present");
+                        o.acked = true;
+                        o.next_retry = None;
+                        o.lease_deadline = None;
+                    }
+                }
             }
         }
     }

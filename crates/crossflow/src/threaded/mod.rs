@@ -52,6 +52,10 @@ pub(crate) enum ToMaster {
         worker: u32,
         /// The job, returned for someone else.
         job: Job,
+        /// Placement sequence number of the Offer being declined (0
+        /// when the reliability layer is off), so a stale reject
+        /// cannot cancel a newer placement.
+        seq: u64,
     },
     /// The worker's executor has drained its queue.
     Idle {
@@ -74,17 +78,44 @@ pub(crate) enum ToMaster {
         /// Virtual seconds spent processing.
         proc_secs: f64,
     },
+    /// Reliability layer: the worker confirms it received (and queued
+    /// or already holds) placement `seq` of `job`. Stops the master's
+    /// retransmission timer and satisfies the lease.
+    AckAssign {
+        /// Acking worker.
+        worker: u32,
+        /// Placed job.
+        job: crate::job::JobId,
+        /// Placement sequence number being confirmed.
+        seq: u64,
+    },
 }
 
 /// Messages the threaded master sends to a worker's bidder thread.
-#[derive(Debug)]
+/// `Clone` exists for the net-fault layer's duplicate/retransmit
+/// delivery; `seq` is the placement sequence number the reliability
+/// layer acks and dedups on (0 when the layer is off).
+#[derive(Debug, Clone)]
 pub(crate) enum ToWorker {
     /// Estimate and bid on this job.
     BidRequest(Job),
     /// Baseline: consider this job (may reject once).
-    Offer(Job),
+    Offer {
+        /// The offered job.
+        job: Job,
+        /// Placement sequence number (reliability layer).
+        seq: u64,
+    },
     /// You won / were assigned: queue it for execution.
-    Assign(Job),
+    Assign {
+        /// The assigned job.
+        job: Job,
+        /// Placement sequence number (reliability layer).
+        seq: u64,
+    },
+    /// Reliability layer: the master saw this job's `Done` — stop
+    /// resending it.
+    AckDone(crate::job::JobId),
     /// Run terminated; exit threads.
     Shutdown,
 }

@@ -1,16 +1,18 @@
 //! Worker-side threads of the threaded runtime.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{Receiver, Sender};
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
 use crossbid_net::noise::NoiseSampler;
 use crossbid_net::{Bandwidth, NoiseModel};
 use crossbid_simcore::{RngStream, SimTime};
 use crossbid_storage::LocalStore;
 use parking_lot::Mutex;
 
-use crate::job::Job;
+use crate::faults::RetryPolicy;
+use crate::job::{Job, JobId};
 use crate::obs::RuntimeMetrics;
 use crate::worker::{SpeedTracker, WorkerSpec};
 
@@ -143,6 +145,33 @@ struct ExecItem {
     epoch: u64,
 }
 
+/// A completion whose `Done` has not been acked by the master yet;
+/// the bidder retransmits it on a backoff schedule until the
+/// [`ToWorker::AckDone`] arrives. At-least-once on the wire,
+/// exactly-once in effect (the master dedups by job id).
+struct PendingDone {
+    job: Job,
+    wait_secs: f64,
+    fetch_secs: f64,
+    proc_secs: f64,
+    next: Instant,
+    attempt: u32,
+}
+
+/// Worker half of the `Done` reliability loop, shared between the
+/// executor (which registers completions) and the bidder (which
+/// retransmits them).
+struct DoneRelay {
+    retry: RetryPolicy,
+    seed: u64,
+    pending: Arc<Mutex<Vec<PendingDone>>>,
+}
+
+/// Per-(worker, job) jitter seed for `Done` retransmission backoff.
+fn done_retry_seed(seed: u64, job: JobId) -> u64 {
+    seed.wrapping_add(job.0.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
 /// Spawn one worker's bidder + executor threads.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_worker(
@@ -159,8 +188,14 @@ pub(crate) fn spawn_worker(
     // Chaos hook: maximum extra real-time delay before answering a
     // bid request (seeded, uniform). `Duration::ZERO` disables.
     bid_delay: Duration,
+    // Reliability layer (net-fault runs): ack placements, dedup
+    // retransmitted deliveries, resend unacked `Done`s and heartbeat
+    // idleness. `None` leaves the worker exactly as before.
+    reliability: Option<RetryPolicy>,
 ) -> WorkerThreads {
     let (tx_exec, rx_exec) = crossbeam_channel::unbounded::<ExecItem>();
+    let virt = move |v: f64| Duration::from_secs_f64((v * time_scale).max(0.0));
+    let pending: Arc<Mutex<Vec<PendingDone>>> = Arc::new(Mutex::new(Vec::new()));
 
     // ---------------- bidder thread ----------------
     let bidder = {
@@ -168,11 +203,61 @@ pub(crate) fn spawn_worker(
         let to_master = to_master.clone();
         let tx_exec = tx_exec.clone();
         let metrics = metrics.clone();
+        let pending = Arc::clone(&pending);
         std::thread::Builder::new()
             .name(format!("bidder-{id}"))
             .spawn(move || {
                 let mut delay_rng = RngStream::from_seed(seed ^ 0xB1D_DE1A);
-                while let Ok(msg) = rx_control.recv() {
+                // Reliability state, all scoped to the current
+                // incarnation (cleared on an epoch change): placement
+                // seq → accepted?, so retransmitted deliveries replay
+                // their outcome; job-id-level accept memory, so a
+                // re-placement after a lost ack is confirmed without
+                // a second execution.
+                let mut placements: HashMap<u64, bool> = HashMap::new();
+                let mut accepted_jobs: HashSet<JobId> = HashSet::new();
+                let mut seen_epoch = u64::MAX;
+                let tick = reliability.map(|r| virt(r.base_secs).max(Duration::from_millis(1)));
+                loop {
+                    let msg = match tick {
+                        Some(t) => match rx_control.recv_timeout(t) {
+                            Ok(m) => Some(m),
+                            Err(RecvTimeoutError::Timeout) => None,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        },
+                        None => match rx_control.recv() {
+                            Ok(m) => Some(m),
+                            Err(_) => break,
+                        },
+                    };
+                    // Retransmit completions the master has not acked
+                    // yet (at-least-once `Done`; unbounded attempts —
+                    // past the configured max the backoff stays at
+                    // its cap).
+                    if let Some(r) = reliability {
+                        let now = Instant::now();
+                        let mut p = pending.lock();
+                        for d in p.iter_mut() {
+                            if d.next > now {
+                                continue;
+                            }
+                            metrics.net_retries.inc();
+                            let _ = to_master.send(ToMaster::Done {
+                                worker: id,
+                                job: d.job.clone(),
+                                wait_secs: d.wait_secs,
+                                fetch_secs: d.fetch_secs,
+                                proc_secs: d.proc_secs,
+                            });
+                            d.attempt += 1;
+                            let capped = d.attempt.min(r.max_attempts.saturating_sub(1));
+                            let delay = r
+                                .delay_secs(done_retry_seed(seed, d.job.id), capped)
+                                .unwrap_or(r.cap_secs);
+                            d.next = now + virt(delay);
+                        }
+                    }
+                    let Some(msg) = msg else { continue };
                     match msg {
                         ToWorker::Shutdown => break,
                         ToWorker::BidRequest(job) => {
@@ -198,11 +283,58 @@ pub(crate) fn spawn_worker(
                                 estimate_secs: est,
                             });
                         }
-                        ToWorker::Offer(job) => {
+                        ToWorker::Offer { job, seq } => {
                             let (accept, est, epoch) = {
                                 let mut s = shared.lock();
                                 if !s.alive {
                                     continue;
+                                }
+                                if reliability.is_some() {
+                                    if s.epoch != seen_epoch {
+                                        seen_epoch = s.epoch;
+                                        placements.clear();
+                                        accepted_jobs.clear();
+                                    }
+                                    match placements.get(&seq) {
+                                        // Retransmitted/duplicated
+                                        // delivery: replay the recorded
+                                        // outcome, don't re-run the
+                                        // policy (no double-insert, no
+                                        // double-reject).
+                                        Some(true) => {
+                                            drop(s);
+                                            let _ = to_master.send(ToMaster::AckAssign {
+                                                worker: id,
+                                                job: job.id,
+                                                seq,
+                                            });
+                                            continue;
+                                        }
+                                        Some(false) => {
+                                            drop(s);
+                                            let _ = to_master.send(ToMaster::Reject {
+                                                worker: id,
+                                                job,
+                                                seq,
+                                            });
+                                            continue;
+                                        }
+                                        None => {}
+                                    }
+                                    if accepted_jobs.contains(&job.id) {
+                                        // A lost ack bounced the job
+                                        // back to us under a new seq:
+                                        // confirm the placement, the
+                                        // queued copy runs once.
+                                        placements.insert(seq, true);
+                                        drop(s);
+                                        let _ = to_master.send(ToMaster::AckAssign {
+                                            worker: id,
+                                            job: job.id,
+                                            seq,
+                                        });
+                                        continue;
+                                    }
                                 }
                                 let accept = s.has_data(&job) || s.declined.contains(&job.id);
                                 if accept {
@@ -215,6 +347,15 @@ pub(crate) fn spawn_worker(
                                 }
                             };
                             if accept {
+                                if reliability.is_some() {
+                                    placements.insert(seq, true);
+                                    accepted_jobs.insert(job.id);
+                                    let _ = to_master.send(ToMaster::AckAssign {
+                                        worker: id,
+                                        job: job.id,
+                                        seq,
+                                    });
+                                }
                                 metrics.assignments.inc();
                                 let _ = tx_exec.send(ExecItem {
                                     job,
@@ -223,19 +364,57 @@ pub(crate) fn spawn_worker(
                                     epoch,
                                 });
                             } else {
-                                let _ = to_master.send(ToMaster::Reject { worker: id, job });
+                                if reliability.is_some() {
+                                    placements.insert(seq, false);
+                                }
+                                let _ = to_master.send(ToMaster::Reject {
+                                    worker: id,
+                                    job,
+                                    seq,
+                                });
                             }
                         }
-                        ToWorker::Assign(job) => {
+                        ToWorker::Assign { job, seq } => {
                             let (est, epoch) = {
                                 let mut s = shared.lock();
                                 if !s.alive {
                                     continue;
                                 }
+                                if reliability.is_some() {
+                                    if s.epoch != seen_epoch {
+                                        seen_epoch = s.epoch;
+                                        placements.clear();
+                                        accepted_jobs.clear();
+                                    }
+                                    if placements.contains_key(&seq)
+                                        || accepted_jobs.contains(&job.id)
+                                    {
+                                        // Duplicate delivery or a
+                                        // re-placement of a job we
+                                        // already hold: re-ack only.
+                                        placements.insert(seq, true);
+                                        drop(s);
+                                        let _ = to_master.send(ToMaster::AckAssign {
+                                            worker: id,
+                                            job: job.id,
+                                            seq,
+                                        });
+                                        continue;
+                                    }
+                                }
                                 let est = s.marginal_cost_secs(&job, speed_learning);
                                 s.committed_secs += est;
                                 (est, s.epoch)
                             };
+                            if reliability.is_some() {
+                                placements.insert(seq, true);
+                                accepted_jobs.insert(job.id);
+                                let _ = to_master.send(ToMaster::AckAssign {
+                                    worker: id,
+                                    job: job.id,
+                                    seq,
+                                });
+                            }
                             metrics.assignments.inc();
                             let _ = tx_exec.send(ExecItem {
                                 job,
@@ -243,6 +422,9 @@ pub(crate) fn spawn_worker(
                                 enqueued: Instant::now(),
                                 epoch,
                             });
+                        }
+                        ToWorker::AckDone(job_id) => {
+                            pending.lock().retain(|d| d.job.id != job_id);
                         }
                     }
                 }
@@ -258,9 +440,36 @@ pub(crate) fn spawn_worker(
             let mut rng = RngStream::from_seed(seed);
             let mut net_noise = noise.sampler();
             let mut rw_noise = noise.sampler();
+            let relay = reliability.map(|retry| DoneRelay {
+                retry,
+                seed,
+                pending,
+            });
+            // Periodic idle re-announcement under the reliability
+            // layer: a dropped `Idle` must only delay the pull loop,
+            // not stall it for good.
+            let heartbeat =
+                reliability.map(|r| virt(r.heartbeat_secs).max(Duration::from_millis(5)));
             // Announce initial idleness (the first pull).
             let _ = to_master.send(ToMaster::Idle { worker: id });
-            while let Ok(item) = rx_exec.recv() {
+            loop {
+                let item = match heartbeat {
+                    Some(hb) => match rx_exec.recv_timeout(hb) {
+                        Ok(i) => i,
+                        Err(RecvTimeoutError::Timeout) => {
+                            let alive = shared.lock().alive;
+                            if alive && rx_exec.is_empty() {
+                                let _ = to_master.send(ToMaster::Idle { worker: id });
+                            }
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    },
+                    None => match rx_exec.recv() {
+                        Ok(i) => i,
+                        Err(_) => break,
+                    },
+                };
                 // A crash bumps the epoch: anything accepted by the
                 // previous incarnation is the dead instance's queue
                 // and evaporates here.
@@ -285,6 +494,7 @@ pub(crate) fn spawn_worker(
                     &mut rw_noise,
                     &mut rng,
                     &metrics,
+                    relay.as_ref(),
                 );
                 if completed && rx_exec.is_empty() {
                     let _ = to_master.send(ToMaster::Idle { worker: id });
@@ -314,6 +524,7 @@ fn execute_one(
     rw_noise: &mut NoiseSampler,
     rng: &mut RngStream,
     metrics: &RuntimeMetrics,
+    relay: Option<&DoneRelay>,
 ) -> bool {
     let stale = |s: &WorkerShared| !s.alive || s.epoch != epoch;
     // ---- fetch phase ----
@@ -387,6 +598,22 @@ fn execute_one(
         metrics.fetch_secs.record(fetch_secs);
     }
     metrics.proc_secs.record(proc_secs);
+    if let Some(rel) = relay {
+        // Keep a copy for retransmission until the master acks the
+        // completion: the `Done` below crosses a lossy link.
+        let d = rel
+            .retry
+            .delay_secs(done_retry_seed(rel.seed, job.id), 0)
+            .unwrap_or(rel.retry.base_secs);
+        rel.pending.lock().push(PendingDone {
+            job: job.clone(),
+            wait_secs,
+            fetch_secs,
+            proc_secs,
+            next: Instant::now() + Duration::from_secs_f64((d * time_scale).max(0.0)),
+            attempt: 0,
+        });
+    }
     let _ = to_master.send(ToMaster::Done {
         worker: id,
         job,

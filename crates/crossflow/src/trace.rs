@@ -296,6 +296,21 @@ pub enum SchedEventKind {
     /// A job stranded on a failed worker was taken back by the master
     /// for re-placement.
     Redistributed,
+    /// The worker acknowledged holding the assignment (or accepted
+    /// offer) — the at-least-once layer stops retransmitting and the
+    /// lease no longer bounces the job.
+    AssignAcked,
+    /// An assignment's lease ran out with neither an ack nor a
+    /// completion: the master took the job back for re-offer. Unlike
+    /// [`Redistributed`](Self::Redistributed) the worker may be alive —
+    /// the *link* is the suspect.
+    LeaseExpired,
+    /// A reliability-layer retransmission (of an unacked
+    /// Assign/Offer, or of an unacked `Done`).
+    Resent {
+        /// 0-based retransmission attempt.
+        attempt: u32,
+    },
 }
 
 /// One scheduler event. `worker`/`job` are filled where meaningful:
@@ -392,6 +407,21 @@ impl SchedLog {
     /// Number of assignments issued.
     pub fn assignments(&self) -> usize {
         self.count(|k| matches!(k, SchedEventKind::Assigned))
+    }
+
+    /// Number of assignment/offer acks received by the master.
+    pub fn assign_acks(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::AssignAcked))
+    }
+
+    /// Number of lease expiries (jobs bounced back for re-offer).
+    pub fn lease_expiries(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::LeaseExpired))
+    }
+
+    /// Number of reliability-layer retransmissions.
+    pub fn resends(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::Resent { .. }))
     }
 
     /// Number of contests closed by window expiry.

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|all]
+//! repro [fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|all]
 //!       [--smoke] [--seed N] [--out DIR] [--trace FILE]
 //! ```
 //!
@@ -22,6 +22,15 @@
 //! repro check [--iters N] [--seed K]
 //! ```
 //!
+//! The `netfault` artifact sweeps a loss-rate × partition-length grid
+//! of lossy-link plans over the same scenarios on both runtimes and
+//! exits nonzero unless every run completes all jobs with
+//! exactly-once effects and zero violations:
+//!
+//! ```text
+//! repro netfault [--iters N] [--seed K]
+//! ```
+//!
 //! The `trace` artifact runs one scenario with full observability on
 //! either runtime and prints the phase-breakdown table:
 //!
@@ -32,6 +41,7 @@
 //! ```
 
 use crossbid_experiments::check::{self, CheckConfig};
+use crossbid_experiments::netfault::{self, NetFaultConfig};
 use crossbid_experiments::trace_run::{self, RuntimeChoice, TraceRunConfig};
 use crossbid_experiments::{
     crash_sweep, crossover, extensions, fig2, fig3, fig4, replication, summary, tables,
@@ -216,6 +226,28 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "netfault" => {
+            let mut ncfg = NetFaultConfig::default();
+            if let Some(v) = args
+                .iter()
+                .position(|a| a == "--iters")
+                .and_then(|i| args.get(i + 1))
+            {
+                ncfg.iters = v.parse().unwrap_or_else(|e| die(&format!("--iters: {e}")));
+            }
+            if let Some(s) = seed {
+                ncfg.seed = s;
+            }
+            if smoke {
+                ncfg.iters = ncfg.iters.min(1);
+            }
+            let report = netfault::run(&ncfg);
+            emit("netfault", &report.body);
+            if !report.ok {
+                eprintln!("[repro] netfault FAILED");
+                std::process::exit(1);
+            }
+        }
         "trace" => {
             let flag = |name: &str| {
                 args.iter()
@@ -297,7 +329,7 @@ fn main() {
             emit("crossover", &crossover::render(&points));
         }
         other => {
-            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|all");
+            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|all");
             std::process::exit(2);
         }
     }

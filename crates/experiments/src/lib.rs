@@ -24,6 +24,7 @@ pub mod extensions;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod netfault;
 pub mod replication;
 pub mod runner;
 pub mod summary;

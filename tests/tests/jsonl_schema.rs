@@ -9,8 +9,8 @@ use std::collections::BTreeSet;
 use crossbid_core::BiddingAllocator;
 use crossbid_crossflow::{
     parse_run_stream, sched_kind_name, Allocator, Arrival, BaselineAllocator, EngineConfig,
-    FaultPlan, JobSpec, Payload, ResourceRef, RunSpec, RunStreamLine, Runtime, TraceKind, WorkerId,
-    WorkerSpec, Workflow,
+    FaultPlan, JobSpec, NetFaultPlan, Payload, ResourceRef, RunSpec, RunStreamLine, Runtime,
+    TraceKind, WorkerId, WorkerSpec, Workflow,
 };
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{SimDuration, SimTime};
@@ -50,6 +50,33 @@ fn faulted_spec() -> RunSpec {
                 .crash_at(SimTime::from_secs(6), WorkerId(0))
                 .recover_at(SimTime::from_secs(12), WorkerId(0)),
         )
+        .trace(true)
+        .seed(7)
+        .time_scale(1e-3)
+        .build()
+}
+
+/// A partition-only net-fault plan: all probabilities and delays stay
+/// zero (no rng draws, so the sim run is exactly as deterministic as
+/// a fault-free one), but the [1 s, 10 s) full partition swallows the
+/// mid-run assignments — forcing retransmissions (`sched/resent`),
+/// lease bounces (`sched/lease_expired`) and, once healed, placement
+/// acknowledgements (`sched/assign_acked`) on both runtimes.
+fn netfault_spec() -> RunSpec {
+    RunSpec::builder()
+        .workers(specs(3))
+        .engine(EngineConfig {
+            control: ControlPlane::instant(),
+            data_latency: SimDuration::ZERO,
+            noise: NoiseModel::None,
+            ..EngineConfig::default()
+        })
+        .speed_learning(false)
+        .netfaults(NetFaultPlan::none().with_partition(
+            None,
+            SimTime::from_secs(1),
+            SimTime::from_secs(10),
+        ))
         .trace(true)
         .seed(7)
         .time_scale(1e-3)
@@ -118,7 +145,13 @@ fn run_streams_round_trip_byte_identically() {
     // parse(write(run)) re-rendered must be byte-identical to the
     // original stream: no field is lost, reordered, or reformatted.
     let spec = faulted_spec();
-    let runtimes: [Box<dyn Runtime>; 2] = [Box::new(spec.sim()), Box::new(spec.threaded())];
+    let lossy = netfault_spec();
+    let runtimes: [Box<dyn Runtime>; 4] = [
+        Box::new(spec.sim()),
+        Box::new(spec.threaded()),
+        Box::new(lossy.sim()),
+        Box::new(lossy.threaded()),
+    ];
     for mut rt in runtimes {
         let (text, _) = stream_vocabulary(rt.as_mut(), &BiddingAllocator::new());
         let rewritten: String = parse_run_stream(&text)
@@ -138,12 +171,15 @@ fn both_runtimes_emit_the_golden_event_vocabulary() {
         .filter(|l| !l.is_empty())
         .map(String::from)
         .collect();
-    assert_eq!(golden.len(), 15, "golden file lists every event kind");
+    assert_eq!(golden.len(), 18, "golden file lists every event kind");
     // The bidding protocol never offers (it assigns contest winners)
     // and the Baseline never opens contests, so the full vocabulary is
-    // the union of one faulted bidding run and one fault-free Baseline
-    // run (whose first offer of each job is declined: reject-once).
+    // the union of one faulted bidding run, one fault-free Baseline
+    // run (whose first offer of each job is declined: reject-once),
+    // and one partitioned bidding run exercising the reliability
+    // layer's resend/lease/ack events.
     let faulted = faulted_spec();
+    let lossy = netfault_spec();
     let plain = RunSpec::builder()
         .workers(specs(3))
         .engine(EngineConfig {
@@ -157,19 +193,37 @@ fn both_runtimes_emit_the_golden_event_vocabulary() {
         .seed(7)
         .time_scale(1e-3)
         .build();
-    let runtimes: [(Box<dyn Runtime>, Box<dyn Runtime>); 2] = [
-        (Box::new(faulted.sim()), Box::new(plain.sim())),
-        (Box::new(faulted.threaded()), Box::new(plain.threaded())),
+    type RuntimeTriple = (Box<dyn Runtime>, Box<dyn Runtime>, Box<dyn Runtime>);
+    let runtimes: [RuntimeTriple; 2] = [
+        (
+            Box::new(faulted.sim()),
+            Box::new(plain.sim()),
+            Box::new(lossy.sim()),
+        ),
+        (
+            Box::new(faulted.threaded()),
+            Box::new(plain.threaded()),
+            Box::new(lossy.threaded()),
+        ),
     ];
-    for (mut bidding_rt, mut baseline_rt) in runtimes {
+    for (mut bidding_rt, mut baseline_rt, mut lossy_rt) in runtimes {
         let (_, mut vocab) = stream_vocabulary(bidding_rt.as_mut(), &BiddingAllocator::new());
         let (_, baseline_vocab) = stream_vocabulary(baseline_rt.as_mut(), &BaselineAllocator);
+        let (_, lossy_vocab) = stream_vocabulary(lossy_rt.as_mut(), &BiddingAllocator::new());
         assert!(
             baseline_vocab.contains("sched/offered") && baseline_vocab.contains("sched/rejected"),
             "{}: baseline run must exercise offer/reject",
             baseline_rt.name()
         );
+        assert!(
+            lossy_vocab.contains("sched/resent")
+                && lossy_vocab.contains("sched/lease_expired")
+                && lossy_vocab.contains("sched/assign_acked"),
+            "{}: partitioned run must exercise the reliability events",
+            lossy_rt.name()
+        );
         vocab.extend(baseline_vocab);
+        vocab.extend(lossy_vocab);
         assert_eq!(
             vocab,
             golden,

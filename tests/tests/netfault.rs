@@ -1,0 +1,128 @@
+//! Focused lossy-link regressions that the broad `repro netfault`
+//! sweep only covers incidentally:
+//!
+//! - duplicate-intake guards: at-least-once delivery replays `Idle`
+//!   heartbeats and `Reject` answers, and the master must treat the
+//!   replay as old news (no double idle-pool insert, no double
+//!   re-offer advance);
+//! - determinism: a sim run under a lossy plan must replay
+//!   byte-identically from its `(run seed, net seed)` pair, because
+//!   that pair is the replay recipe every failure report prints.
+
+use crossbid_checker::{check_log, Scenario, ThreadedRun};
+use crossbid_crossflow::{LinkFault, NetFaultPlan};
+
+/// A plan that barely drops but duplicates aggressively in both
+/// directions: the worst case for intake-side dedup (replayed `Idle`,
+/// `Reject`, bids and `Done`) while keeping delivery near-certain so
+/// every scenario still has to complete.
+fn dup_heavy_plan(seed: u64) -> NetFaultPlan {
+    let link = LinkFault {
+        drop_prob: 0.05,
+        dup_prob: 0.9,
+        delay_min_secs: 0.0,
+        delay_max_secs: 0.02,
+    };
+    NetFaultPlan {
+        to_worker: link,
+        to_master: link,
+        seed,
+        ..NetFaultPlan::none()
+    }
+}
+
+fn counter(out: &crossbid_crossflow::RunOutput, name: &str) -> u64 {
+    out.metrics
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// Duplicated worker→master traffic (Idle beats, Reject answers,
+/// Done reports) must leave every builtin scenario with exactly-once
+/// effects on the sim engine. A double idle-pool insert or a double
+/// re-offer advance surfaces as an oracle violation or a wrong
+/// completion count.
+#[test]
+fn dup_heavy_links_keep_sim_exactly_once() {
+    for sc in Scenario::builtins() {
+        for seed in [11u64, 12, 13] {
+            let out = sc.run_sim_with_net(seed, dup_heavy_plan(seed ^ 0xD0D0));
+            assert_eq!(
+                out.record.jobs_completed,
+                sc.jobs.len() as u64,
+                "{} seed {seed}: {}/{} jobs completed under dup-heavy links",
+                sc.name,
+                out.record.jobs_completed,
+                sc.jobs.len()
+            );
+            let violations = check_log(&out.sched_log, sc.oracle_options(false));
+            assert!(
+                violations.is_empty(),
+                "{} seed {seed}: {violations:?}",
+                sc.name
+            );
+            assert!(
+                counter(&out, "net/duplicated") > 0,
+                "{} seed {seed}: the dup axis never fired, test proves nothing",
+                sc.name
+            );
+        }
+    }
+}
+
+/// Same property on the threaded runtime, where replays arrive over
+/// real channels and the intake guards (not the sim's event order) do
+/// the work.
+#[test]
+fn dup_heavy_links_keep_threaded_exactly_once() {
+    for sc in Scenario::builtins() {
+        let run_seed = 0x1D1E;
+        let out = sc.run_threaded(&ThreadedRun {
+            netfault: Some(dup_heavy_plan(run_seed ^ 0x4E37)),
+            ..ThreadedRun::plain(run_seed)
+        });
+        assert_eq!(
+            out.record.jobs_completed,
+            sc.jobs.len() as u64,
+            "{}: {}/{} jobs completed under dup-heavy links",
+            sc.name,
+            out.record.jobs_completed,
+            sc.jobs.len()
+        );
+        let violations = check_log(&out.sched_log, sc.oracle_options(false));
+        assert!(violations.is_empty(), "{}: {violations:?}", sc.name);
+    }
+}
+
+/// A lossy sim run is part of the replay contract: same run seed +
+/// same net plan must reproduce the identical control-plane log and
+/// reliability counters, or the seeds printed in failure reports are
+/// worthless.
+#[test]
+fn lossy_sim_runs_replay_byte_identically() {
+    for sc in Scenario::builtins() {
+        let plan = || {
+            NetFaultPlan::lossy(0xACE, 0.3, 0.15).with_partition(
+                None,
+                crossbid_simcore::SimTime::from_secs(2),
+                crossbid_simcore::SimTime::from_secs(4),
+            )
+        };
+        let a = sc.run_sim_with_net(42, plan());
+        let b = sc.run_sim_with_net(42, plan());
+        assert_eq!(
+            format!("{:?}", a.sched_log.events()),
+            format!("{:?}", b.sched_log.events()),
+            "{}: two identical lossy runs diverged",
+            sc.name
+        );
+        assert_eq!(
+            a.metrics.counters, b.metrics.counters,
+            "{}: reliability counters diverged between identical runs",
+            sc.name
+        );
+    }
+}
