@@ -18,21 +18,27 @@
 //!   has declined this very job before (the reject-once rule);
 //! * a rejected job is immediately re-offered to the next idle worker.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use crossbid_metrics::SchedulerKind;
 
-use crate::job::{Job, WorkerId};
+use crate::idle::IdlePool;
+use crate::job::{Job, JobId, WorkerId};
 use crate::scheduler::{
     Allocator, JobView, MasterScheduler, SchedCtx, WorkerPolicy, WorkerToMaster, WorkerView,
 };
 
-/// Master side of the Baseline: a ready queue plus a FIFO of idle
-/// workers.
+/// Master side of the Baseline: a ready queue plus the shared
+/// [`IdlePool`] of idle workers (the same pool the threaded master
+/// uses, so the two runtimes share one re-offer tie-break rule).
 #[derive(Debug, Default)]
 pub struct BaselineMaster {
     ready: VecDeque<Job>,
-    idle: VecDeque<WorkerId>,
+    idle: IdlePool,
+    /// Who last rejected each in-flight job: a re-offer prefers any
+    /// *other* idle worker, so the rejection can route the job
+    /// somewhere better. Entries clear when the job completes.
+    rejected_by: HashMap<JobId, WorkerId>,
 }
 
 impl BaselineMaster {
@@ -44,14 +50,12 @@ impl BaselineMaster {
     fn dispatch(&mut self, ctx: &mut SchedCtx) {
         while !self.ready.is_empty() && !self.idle.is_empty() {
             let job = self.ready.pop_front().expect("checked non-empty");
-            let worker = self.idle.pop_front().expect("checked non-empty");
-            ctx.offer(worker, job);
-        }
-    }
-
-    fn note_idle(&mut self, w: WorkerId) {
-        if !self.idle.contains(&w) {
-            self.idle.push_back(w);
+            let avoid = self.rejected_by.get(&job.id).map(|w| w.0);
+            let worker = self
+                .idle
+                .pop_preferring_not(avoid)
+                .expect("checked non-empty");
+            ctx.offer(WorkerId(worker), job);
         }
     }
 }
@@ -69,13 +73,15 @@ impl MasterScheduler for BaselineMaster {
     fn on_worker_message(&mut self, from: WorkerId, msg: WorkerToMaster, ctx: &mut SchedCtx) {
         match msg {
             WorkerToMaster::Idle => {
-                self.note_idle(from);
+                self.idle.push(from.0);
                 self.dispatch(ctx);
             }
             WorkerToMaster::Reject { job } => {
-                // The worker stays idle but goes to the back so another
-                // node gets to consider the job first.
-                self.note_idle(from);
+                // The worker stays idle; remembering it as the
+                // rejector makes dispatch consider every other idle
+                // node first.
+                self.idle.push(from.0);
+                self.rejected_by.insert(job.id, from);
                 self.ready.push_front(job);
                 self.dispatch(ctx);
             }
@@ -86,10 +92,14 @@ impl MasterScheduler for BaselineMaster {
         }
     }
 
+    fn on_job_done(&mut self, _worker: WorkerId, job: &Job, _ctx: &mut SchedCtx) {
+        self.rejected_by.remove(&job.id);
+    }
+
     fn on_worker_failed(&mut self, worker: WorkerId, _ctx: &mut SchedCtx) {
         // Never offer to a dead worker again (until it re-registers by
         // announcing idleness after recovery).
-        self.idle.retain(|w| *w != worker);
+        self.idle.remove(worker.0);
     }
 }
 

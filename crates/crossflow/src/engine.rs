@@ -200,6 +200,10 @@ pub struct RunOutput {
     /// Frozen end-of-run metrics (see [`crate::obs`] for the
     /// instrument vocabulary, shared with the threaded runtime).
     pub metrics: RegistrySnapshot,
+    /// Reportable anomalies: conditions that did not abort the run but
+    /// mean its results are suspect (e.g. the sim event queue clamping
+    /// past-time events). Empty for a healthy run.
+    pub anomalies: Vec<String>,
 }
 
 #[derive(Clone)]
@@ -321,6 +325,12 @@ struct Engine<'a> {
     policies: Vec<Box<dyn WorkerPolicy>>,
     master: Box<dyn MasterScheduler>,
     handles: Vec<WorkerHandle>,
+    /// Cached live roster ("activeWorkers") handed to every master
+    /// callback. Rebuilding this on each callback used to clone every
+    /// handle per bid — the dominant allocation cost at scale — so it
+    /// is now invalidated only on crash/recover.
+    roster: Vec<WorkerHandle>,
+    roster_dirty: bool,
     workflow: &'a mut Workflow,
 
     rng_control: RngStream,
@@ -518,21 +528,26 @@ impl<'a> Engine<'a> {
     }
 
     fn run_master<F: FnOnce(&mut dyn MasterScheduler, &mut SchedCtx)>(&mut self, f: F) {
-        // The master only sees the live roster ("activeWorkers").
-        let active_handles: Vec<WorkerHandle> = self
-            .handles
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| self.active[*i])
-            .map(|(_, h)| h.clone())
-            .collect();
+        // The master only sees the live roster ("activeWorkers");
+        // refresh the cached copy only after a crash or recovery.
+        if self.roster_dirty {
+            self.roster.clear();
+            self.roster.extend(
+                self.handles
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| self.active[*i])
+                    .map(|(_, h)| h.clone()),
+            );
+            self.roster_dirty = false;
+        }
         // Contest decisions (timeout / fallback) happen inside the
         // master; diff its stats around the call so the closures can
         // be attributed to the assignments it emits.
         let stats_before = self.master.stats();
         let mut ctx = SchedCtx::new(
             self.q.now(),
-            &active_handles,
+            &self.roster,
             &mut self.rng_master,
             &mut self.next_token,
         );
@@ -1128,6 +1143,7 @@ impl<'a> Engine<'a> {
         }
         let now = self.q.now();
         self.active[w.0 as usize] = false;
+        self.roster_dirty = true;
         self.epochs[w.0 as usize] += 1;
         self.m.worker_crashes.inc();
         self.down_since[w.0 as usize] = Some(now);
@@ -1139,7 +1155,7 @@ impl<'a> Engine<'a> {
         {
             let node = self.worker(w);
             stranded.extend(node.queue.drain(..));
-            node.unfinished_est.clear();
+            node.clear_backlog();
             node.enqueued_at.clear();
             node.activity = WorkerActivity::Idle;
             node.busy.set(now, 0.0);
@@ -1186,6 +1202,7 @@ impl<'a> Engine<'a> {
             return;
         }
         self.active[w.0 as usize] = true;
+        self.roster_dirty = true;
         self.epochs[w.0 as usize] += 1;
         self.m.worker_recoveries.inc();
         if let Some(since) = self.down_since[w.0 as usize].take() {
@@ -1254,7 +1271,9 @@ pub fn run_workflow(
         })
         .collect();
 
-    let mut q = EventQueue::new();
+    // Pre-size for the arrival stream plus the startup pulls; the
+    // steady-state event population stays within the same order.
+    let mut q = EventQueue::with_capacity(arrivals.len() + n_workers + 16);
     let arrivals_total = arrivals.len() as u64;
     for a in arrivals {
         q.schedule_at(a.at, Ev::Arrival(a.spec));
@@ -1296,6 +1315,8 @@ pub fn run_workflow(
         policies: (0..n_workers).map(|_| allocator.worker_policy()).collect(),
         master: allocator.master(),
         handles,
+        roster: Vec::with_capacity(n_workers),
+        roster_dirty: true,
         workflow,
         rng_control: seq.stream(0),
         rng_master: seq.stream(1),
@@ -1360,6 +1381,18 @@ pub fn run_workflow(
 
     let makespan = engine.last_completion;
     let events = engine.q.events_delivered();
+    // A nonzero clamp count means some event was scheduled into the
+    // past and virtual time was silently rewritten; the run finished,
+    // but its timing cannot be trusted. Count it and report it as an
+    // anomaly instead of letting release builds hide it.
+    let clamped = engine.q.clamped();
+    engine.m.sim_clamped_events.add(clamped);
+    let mut anomalies = Vec::new();
+    if clamped > 0 {
+        anomalies.push(format!(
+            "event queue clamped {clamped} past-time event(s) to `now`; virtual timing is suspect"
+        ));
+    }
     let completed = engine.completed;
     let sched_stats = engine.master.stats();
     let assignments = std::mem::take(&mut engine.assignments);
@@ -1425,5 +1458,6 @@ pub fn run_workflow(
         trace,
         sched_log,
         metrics: m.snapshot(),
+        anomalies,
     }
 }

@@ -64,6 +64,7 @@ pub mod baseline;
 pub mod engine;
 pub mod export;
 pub mod faults;
+pub mod idle;
 pub mod job;
 pub mod obs;
 pub mod prelude;

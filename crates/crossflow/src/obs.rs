@@ -27,6 +27,7 @@
 //! | `job/fetch_secs` | histogram | transfer phase (misses only) |
 //! | `job/proc_secs` | histogram | processing phase |
 //! | `contest/bid_latency_secs` | histogram | bid-request → bid |
+//! | `sim/clamped_events` | counter | past-time events clamped by the queue (sim only; nonzero is an anomaly) |
 //! | `makespan_secs` | gauge | end-to-end time |
 //! | `data_load_mb` | gauge | non-local MB moved |
 //! | `worker/<i>/busy_frac` | gauge | per-worker utilization |
@@ -77,6 +78,7 @@ pub struct RuntimeMetrics {
     pub net_dedup_hits: Counter,
     pub acks_received: Counter,
     pub lease_expired: Counter,
+    pub sim_clamped_events: Counter,
 }
 
 impl RuntimeMetrics {
@@ -107,6 +109,7 @@ impl RuntimeMetrics {
             net_dedup_hits: registry.counter("net/dedup_hits"),
             acks_received: registry.counter("acks/received"),
             lease_expired: registry.counter("lease/expired"),
+            sim_clamped_events: registry.counter("sim/clamped_events"),
             registry,
         }
     }

@@ -337,10 +337,14 @@ impl Intake {
         loop {
             let now = Instant::now();
             // Matured link-delayed deliveries surface first (and still
-            // pass through the chaos layer above them).
+            // pass through the chaos layer above them). Removal must be
+            // order-stable (`remove`, not `swap_remove`): equally-due
+            // messages have to surface in the order the link delayed
+            // them, or a (run, chaos, net) seed triple stops replaying
+            // the same delivery schedule.
             if let Some(net) = &mut self.net {
                 if let Some(pos) = net.delayed.iter().position(|(at, _)| *at <= now) {
-                    let (_, msg) = net.delayed.swap_remove(pos);
+                    let (_, msg) = net.delayed.remove(pos);
                     match Self::admit(&mut self.chaos, msg, now) {
                         Some(out) => return Ok(out),
                         None => continue,
@@ -364,7 +368,7 @@ impl Intake {
                 // report the hangup.
                 if let Some(net) = &mut self.net {
                     if !net.delayed.is_empty() {
-                        let (_, msg) = net.delayed.swap_remove(0);
+                        let (_, msg) = net.delayed.remove(0);
                         match Self::admit(&mut self.chaos, msg, now) {
                             Some(out) => return Ok(out),
                             None => continue,
@@ -429,6 +433,55 @@ impl Intake {
                 Err(RecvTimeoutError::Disconnected) => {
                     self.disconnected = true;
                 }
+            }
+        }
+    }
+
+    /// Everything deliverable *right now*, without blocking: matured
+    /// link-delayed traffic, age-expired held messages, and whatever
+    /// already sits in the channel. Returns `None` once nothing more
+    /// is immediately available (messages may still be parked in the
+    /// hold buffer or in link flight — a later [`Intake::recv`] will
+    /// surface them). The master uses this to drain one wakeup's
+    /// worth of intake in a single batch.
+    pub fn try_recv(&mut self) -> Option<ToMaster> {
+        loop {
+            let now = Instant::now();
+            if let Some(net) = &mut self.net {
+                if let Some(pos) = net.delayed.iter().position(|(at, _)| *at <= now) {
+                    let (_, msg) = net.delayed.remove(pos);
+                    match Self::admit(&mut self.chaos, msg, now) {
+                        Some(out) => return Some(out),
+                        None => continue,
+                    }
+                }
+            }
+            if let Some(chaos) = &mut self.chaos {
+                if let Some(pos) = chaos
+                    .held
+                    .iter()
+                    .position(|h| now.saturating_duration_since(h.since) >= chaos.cfg.max_hold)
+                {
+                    return Some(release(chaos, pos));
+                }
+            }
+            match self.rx.try_recv() {
+                Ok(msg) => {
+                    let msg = match &mut self.net {
+                        Some(net) => match net.filter(msg, now) {
+                            Some(m) => m,
+                            None => continue,
+                        },
+                        None => msg,
+                    };
+                    match Self::admit(&mut self.chaos, msg, now) {
+                        Some(out) => return Some(out),
+                        None => continue,
+                    }
+                }
+                // `Disconnected` is left for `recv` to observe: it owns
+                // the teardown flush of held/delayed messages.
+                Err(_) => return None,
             }
         }
     }
@@ -532,6 +585,62 @@ impl ProtocolMutation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::LinkFault;
+    use crate::obs::RuntimeMetrics;
+
+    /// Regression: the delayed-message buffer used `swap_remove`, so
+    /// equally-due messages could surface out of the order the link
+    /// delayed them — and a recorded (run seed, net seed) pair stopped
+    /// replaying the same delivery schedule. A constant-delay link
+    /// keeps due times in arrival order, so delivery must be FIFO.
+    #[test]
+    fn constant_delay_link_preserves_fifo_order() {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let link = LinkFault {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay_min_secs: 0.002,
+            delay_max_secs: 0.002,
+        };
+        let plan = NetFaultPlan {
+            to_master: link,
+            ..NetFaultPlan::none()
+        };
+        let net = NetIntake::new(plan, Instant::now(), 1.0, RuntimeMetrics::from_sink(None));
+        let mut intake = Intake::new(rx, None, Some(net));
+        for w in 0..12 {
+            tx.send(ToMaster::Idle { worker: w }).unwrap();
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(msg) = intake.recv(None) {
+            got.push(sender_of(&msg));
+        }
+        assert_eq!(got, (0..12).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn try_recv_drains_whats_deliverable_without_blocking() {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let mut intake = Intake::new(rx, None, None);
+        assert!(intake.try_recv().is_none(), "empty channel: nothing now");
+        for w in 0..5 {
+            tx.send(ToMaster::Idle { worker: w }).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(msg) = intake.try_recv() {
+            got.push(sender_of(&msg));
+        }
+        assert_eq!(got, (0..5).collect::<Vec<u32>>());
+        // Hangup is `recv`'s business (it owns the teardown flush);
+        // `try_recv` just reports that nothing is deliverable now.
+        drop(tx);
+        assert!(intake.try_recv().is_none());
+        assert!(matches!(
+            intake.recv(None),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+    }
 
     #[test]
     fn delivery_log_counts_inversions_and_renders_flags() {

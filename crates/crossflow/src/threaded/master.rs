@@ -14,6 +14,7 @@ use parking_lot::Mutex;
 
 use crate::engine::{RunMeta, RunOutput};
 use crate::faults::{FaultEvent, FaultPlan, NetFaultPlan};
+use crate::idle::IdlePool;
 use crate::job::{Arrival, Job, JobId, JobSpec, WorkerId};
 use crate::obs::RuntimeMetrics;
 use crate::task::TaskCtx;
@@ -160,7 +161,7 @@ struct MasterState {
     fallback: u64,
     // Baseline.
     ready: VecDeque<Job>,
-    idle: VecDeque<u32>,
+    idle: IdlePool,
     /// Who rejected a job last (Baseline): the next offer prefers a
     /// different idle worker when one exists.
     rejected_by: HashMap<JobId, u32>,
@@ -449,7 +450,7 @@ pub(crate) fn run_threaded_with_shareds(
         timed_out: 0,
         fallback: 0,
         ready: VecDeque::new(),
-        idle: VecDeque::new(),
+        idle: IdlePool::new(),
         rejected_by: HashMap::new(),
         known_live: vec![true; n],
         outstanding: HashMap::new(),
@@ -546,19 +547,14 @@ pub(crate) fn run_threaded_with_shareds(
             // worker first so the rejection can actually route the
             // job somewhere better.
             let rejector = st.rejected_by.get(&job.id).copied();
-            let pos = if cfg.mutation.reoffers_to_rejector() {
+            let w = if cfg.mutation.reoffers_to_rejector() {
                 // The reintroduced bug: bounce the job straight back
                 // to whoever just rejected it.
-                rejector
-                    .and_then(|r| st.idle.iter().position(|w| *w == r))
-                    .unwrap_or(0)
+                st.idle.pop_exact_or_front(rejector)
             } else {
-                st.idle
-                    .iter()
-                    .position(|w| Some(*w) != rejector)
-                    .unwrap_or(0)
-            };
-            let w = st.idle.remove(pos).expect("position in range");
+                st.idle.pop_preferring_not(rejector)
+            }
+            .expect("checked non-empty");
             st.m.control_messages.inc();
             st.log.push(SchedEvent {
                 at: vnow(),
@@ -696,17 +692,25 @@ pub(crate) fn run_threaded_with_shareds(
     });
     let mut last_progress = start;
     let mut seen_log_len = 0usize;
+    // Reused across wakeups: one blocking receive drains the whole
+    // channel into this batch, so the deadline scan runs once per
+    // wakeup instead of once per message.
+    let mut batch: VecDeque<ToMaster> = VecDeque::new();
 
     loop {
         // Fire due arrivals.
         let now = Instant::now();
 
         // Deliver matured link-delayed master→worker messages.
+        // Removal must be order-stable (`remove`, not `swap_remove`):
+        // equally-due messages have to go out in the order the link
+        // delayed them, or a (run, chaos, net) seed triple stops
+        // replaying the same delivery schedule.
         if let Some(net) = &mut st.net {
             let mut i = 0;
             while i < net.delayed.len() {
                 if net.delayed[i].0 <= now {
-                    let (_, w, msg) = net.delayed.swap_remove(i);
+                    let (_, w, msg) = net.delayed.remove(i);
                     let _ = worker_txs[w as usize].send(msg);
                 } else {
                     i += 1;
@@ -783,9 +787,7 @@ pub(crate) fn run_threaded_with_shareds(
                     // The rejoined worker's queue is empty but its
                     // executor has no reason to say so; the master
                     // re-seats it.
-                    if !st.idle.contains(&wid.0) {
-                        st.idle.push_back(wid.0);
-                    }
+                    st.idle.push(wid.0);
                     baseline_pump(&mut st, &worker_txs);
                     open_next_contest(&mut st, &worker_txs, window_secs);
                 }
@@ -805,7 +807,7 @@ pub(crate) fn run_threaded_with_shareds(
                 // affected contests re-check completeness against the
                 // shrunken roster.
                 st.known_live[w] = false;
-                st.idle.retain(|x| *x != dw);
+                st.idle.remove(dw);
                 let live = st.live_count();
                 let mut complete: Vec<JobId> = Vec::new();
                 for (id, c) in st.contests.iter_mut() {
@@ -962,29 +964,51 @@ pub(crate) fn run_threaded_with_shareds(
             }
         }
 
-        // Wait for the next event.
-        let next_deadline = pending_arrivals
-            .front()
-            .map(|(at, _)| *at)
-            .into_iter()
-            .chain(st.contests.values().map(|c| c.deadline))
-            .chain(fault_events.front().map(|(at, _)| *at))
-            .chain(detections.front().map(|(at, _, _)| *at))
-            .chain(st.net.iter().flat_map(|n| n.delayed.iter().map(|d| d.0)))
-            .chain(
-                st.outstanding
-                    .values()
-                    .filter(|o| !o.acked)
-                    .flat_map(|o| o.next_retry.into_iter().chain(o.lease_deadline)),
-            )
-            .chain(stall_limit.map(|l| last_progress + l))
-            .min();
-        let msg = match intake.recv(next_deadline) {
-            Ok(m) => Some(m),
-            Err(RecvTimeoutError::Timeout) => None,
-            Err(RecvTimeoutError::Disconnected) => break,
+        // Wait for the next event. The deadline scan and the blocking
+        // receive run only once the previous wakeup's batch is fully
+        // processed; batched messages ride through the (cheap)
+        // bookkeeping at the top of the loop without re-arming timers.
+        if batch.is_empty() {
+            let next_deadline = pending_arrivals
+                .front()
+                .map(|(at, _)| *at)
+                .into_iter()
+                .chain(st.contests.values().map(|c| c.deadline))
+                .chain(fault_events.front().map(|(at, _)| *at))
+                .chain(detections.front().map(|(at, _, _)| *at))
+                .chain(st.net.iter().flat_map(|n| n.delayed.iter().map(|d| d.0)))
+                .chain(
+                    // With no net-fault plan every placement is born
+                    // acked; skip the scan entirely rather than filter
+                    // a map that can hold thousands of entries.
+                    net_active
+                        .then(|| {
+                            st.outstanding
+                                .values()
+                                .filter(|o| !o.acked)
+                                .flat_map(|o| o.next_retry.into_iter().chain(o.lease_deadline))
+                                .min()
+                        })
+                        .flatten(),
+                )
+                .chain(stall_limit.map(|l| last_progress + l))
+                .min();
+            match intake.recv(next_deadline) {
+                Ok(m) => {
+                    batch.push_back(m);
+                    // Batched intake: everything already deliverable
+                    // rides the same wakeup.
+                    while let Some(more) = intake.try_recv() {
+                        batch.push_back(more);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let Some(msg) = batch.pop_front() else {
+            continue;
         };
-        let Some(msg) = msg else { continue };
         // A worker the master has declared dead cannot talk: any of
         // its messages still sitting in the channel predate the
         // detection and are dropped. (Messages from a *crashed but
@@ -1103,17 +1127,13 @@ pub(crate) fn run_threaded_with_shareds(
                     kind: SchedEventKind::Rejected,
                 });
                 st.rejected_by.insert(job.id, worker);
-                if !st.idle.contains(&worker) {
-                    st.idle.push_back(worker);
-                }
+                st.idle.push(worker);
                 st.ready.push_front(job);
                 baseline_pump(&mut st, &worker_txs);
             }
             ToMaster::Idle { worker } => {
                 st.m.control_messages.inc();
-                if !st.idle.contains(&worker) {
-                    st.idle.push_back(worker);
-                }
+                st.idle.push(worker);
                 baseline_pump(&mut st, &worker_txs);
             }
             ToMaster::Done {
@@ -1324,5 +1344,6 @@ pub(crate) fn run_threaded_with_shareds(
         trace: trace.take().unwrap_or_default(),
         sched_log: st.log,
         metrics: metrics.snapshot(),
+        anomalies: Vec::new(),
     }
 }

@@ -195,6 +195,12 @@ pub struct WorkerNode {
     /// Estimated cost (seconds) of each unfinished job, keyed by id —
     /// `totalCostOfUnfinishedJobs()` from Listing 2.
     pub unfinished_est: HashMap<JobId, f64>,
+    /// Running total of `unfinished_est` values, so a bid reads the
+    /// backlog in O(1) instead of summing the whole queue (which made
+    /// bidding quadratic once an overloaded cluster's queues grew).
+    /// Resets to exactly 0.0 whenever the map empties, so removal
+    /// round-off can never accumulate across the run.
+    backlog_est: f64,
     /// When each queued job was enqueued (for wait-time stats).
     pub enqueued_at: HashMap<JobId, SimTime>,
     /// Busy (fetching or processing) indicator over time.
@@ -221,6 +227,7 @@ impl WorkerNode {
             activity: WorkerActivity::Idle,
             declined: HashSet::new(),
             unfinished_est: HashMap::new(),
+            backlog_est: 0.0,
             enqueued_at: HashMap::new(),
             busy: TimeWeighted::new(),
             wait: Welford::new(),
@@ -235,6 +242,7 @@ impl WorkerNode {
         self.activity = WorkerActivity::Idle;
         self.declined.clear();
         self.unfinished_est.clear();
+        self.backlog_est = 0.0;
         self.enqueued_at.clear();
         self.busy = TimeWeighted::new();
         self.wait = Welford::new();
@@ -292,20 +300,34 @@ impl WorkerNode {
     /// `totalCostOfUnfinishedJobs()` — the backlog component of a bid
     /// (Listing 2 line 2).
     pub fn backlog_secs(&self) -> f64 {
-        self.unfinished_est.values().sum()
+        self.backlog_est
     }
 
     /// Account a newly enqueued job at `now` with estimate `est`.
     pub fn enqueue(&mut self, job: Job, now: SimTime, est: f64) {
-        self.unfinished_est.insert(job.id, est);
+        if let Some(old) = self.unfinished_est.insert(job.id, est) {
+            self.backlog_est -= old;
+        }
+        self.backlog_est += est;
         self.enqueued_at.insert(job.id, now);
         self.queue.push_back(job);
     }
 
     /// Account a finished job.
     pub fn finish(&mut self, id: JobId) {
-        self.unfinished_est.remove(&id);
+        if let Some(est) = self.unfinished_est.remove(&id) {
+            self.backlog_est -= est;
+        }
+        if self.unfinished_est.is_empty() {
+            self.backlog_est = 0.0;
+        }
         self.enqueued_at.remove(&id);
+    }
+
+    /// Drop all backlog accounting (a crash wipes the queue).
+    pub fn clear_backlog(&mut self) {
+        self.unfinished_est.clear();
+        self.backlog_est = 0.0;
     }
 
     /// True iff the worker holds `job`'s resource locally (or the job

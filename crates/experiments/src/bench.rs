@@ -1,0 +1,459 @@
+//! `repro bench` — first-party throughput harness.
+//!
+//! Drives the bidding protocol on BOTH runtimes (deterministic sim and
+//! real threads) across worker counts, measures through the existing
+//! `crossbid-metrics` registry, and emits a versioned JSON document
+//! (schema [`SCHEMA`]) whose rows record:
+//!
+//! | field | meaning |
+//! |---|---|
+//! | `runtime` | `sim` or `threaded` |
+//! | `workers` | cluster size |
+//! | `jobs` | jobs driven through the run |
+//! | `wall_secs` | wall-clock time of the run |
+//! | `jobs_per_sec` | `jobs / wall_secs` — the headline throughput |
+//! | `contest_p50_secs`, `contest_p99_secs` | bid-latency quantiles from `contest/bid_latency_secs` |
+//! | `events` | events delivered (sim) / messages processed (threaded) |
+//! | `peak_rss_mb` | `VmHWM` from `/proc/self/status` — a process-wide high-water proxy, monotone across rows |
+//! | `allocs_per_job` | heap allocations per job (`null` unless built with `--features bench-alloc`) |
+//!
+//! The checked-in `BENCH_6.json` holds two sweeps — `baseline` (the
+//! pre-optimization tree) and `current` — so the perf trajectory is
+//! recorded in-repo, plus the derived `speedup_sim_64` ratio the
+//! acceptance bar reads.
+
+use std::time::Instant;
+
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::{EngineConfig, RunSpec, Runtime, Workflow};
+use crossbid_metrics::{Json, JsonError};
+use crossbid_workload::{ArrivalProcess, JobConfig, WorkerConfig};
+
+use crate::trace_run::RuntimeChoice;
+
+/// Version tag of the bench document. Bump on any row-shape change.
+pub const SCHEMA: &str = "crossbid-bench/v1";
+
+/// One sweep's shape.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Which runtimes to drive.
+    pub runtimes: Vec<RuntimeChoice>,
+    /// Cluster sizes to sweep.
+    pub workers: Vec<usize>,
+    /// Jobs per sim row.
+    pub sim_jobs: usize,
+    /// Jobs per threaded row (real threads pay real per-message cost,
+    /// so rows stay smaller; each row self-describes its job count).
+    pub threaded_jobs: usize,
+    /// Root seed (workload and run seeds derive from it).
+    pub seed: u64,
+    /// Human label for the sweep (recorded in the document).
+    pub label: String,
+}
+
+impl BenchConfig {
+    /// The full sweep behind the checked-in `BENCH_6.json`.
+    pub fn full() -> Self {
+        BenchConfig {
+            runtimes: vec![RuntimeChoice::Sim, RuntimeChoice::Threaded],
+            workers: vec![7, 64, 256],
+            sim_jobs: 100_000,
+            threaded_jobs: 10_000,
+            seed: 0xBE7C4,
+            label: "full".to_string(),
+        }
+    }
+
+    /// The reduced sweep CI runs (`repro bench --smoke`).
+    pub fn smoke() -> Self {
+        BenchConfig {
+            sim_jobs: 10_000,
+            threaded_jobs: 1_000,
+            label: "smoke".to_string(),
+            ..Self::full()
+        }
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    pub runtime: String,
+    pub workers: usize,
+    pub jobs: usize,
+    pub wall_secs: f64,
+    pub jobs_per_sec: f64,
+    pub contest_p50_secs: f64,
+    pub contest_p99_secs: f64,
+    pub events: u64,
+    pub peak_rss_mb: f64,
+    pub allocs_per_job: Option<f64>,
+}
+
+/// A labelled sweep (the `baseline` / `current` sections of the doc).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSweep {
+    pub label: String,
+    pub rows: Vec<BenchRow>,
+}
+
+/// The whole document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    pub baseline: Option<BenchSweep>,
+    pub current: BenchSweep,
+    /// `current` / `baseline` sim jobs-per-sec at 64 workers, when
+    /// both sides have that row (the acceptance-bar ratio).
+    pub speedup_sim_64: Option<f64>,
+}
+
+/// `VmHWM` from `/proc/self/status`, in MB (0 when unreadable — e.g.
+/// non-Linux). Process-wide high-water mark, so it is monotone across
+/// rows of a sweep; read it as "the sweep so far fit in this much".
+pub fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+#[cfg(feature = "bench-alloc")]
+fn alloc_count() -> Option<u64> {
+    Some(crate::allocmeter::allocs())
+}
+
+#[cfg(not(feature = "bench-alloc"))]
+fn alloc_count() -> Option<u64> {
+    None
+}
+
+/// Run one `(runtime, workers, jobs)` cell and measure it.
+pub fn run_row(runtime: RuntimeChoice, workers: usize, jobs: usize, seed: u64) -> BenchRow {
+    // Ideal engine: no latency/noise, so the sim row measures pure
+    // scheduler + event-loop overhead. The event cap scales with the
+    // run (every job triggers a broadcast to all workers plus a bid
+    // from each, with generous slack).
+    let mut engine = EngineConfig::ideal();
+    engine.max_events = (jobs as u64) * (workers as u64 * 6 + 32) + 1_000_000;
+    let spec = RunSpec::builder()
+        .workers(WorkerConfig::AllEqual.specs(workers))
+        .names(
+            WorkerConfig::AllEqual.name(),
+            JobConfig::AllDiffEqual.name(),
+        )
+        .seed(seed)
+        .engine(engine)
+        .time_scale(1e-4)
+        .build();
+    let mut rt: Box<dyn Runtime> = match runtime {
+        RuntimeChoice::Sim => Box::new(spec.sim()),
+        RuntimeChoice::Threaded => Box::new(spec.threaded()),
+    };
+    let allocator = BiddingAllocator::new();
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("bench");
+    let stream = JobConfig::AllDiffEqual.generate(
+        seed,
+        jobs,
+        task,
+        &ArrivalProcess::Poisson {
+            mean_interval_secs: 0.05,
+        },
+    );
+
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    let out = rt.run_iteration(&mut wf, &allocator, stream.arrivals);
+    let wall = t0.elapsed().as_secs_f64();
+    let allocs_per_job = match (a0, alloc_count()) {
+        (Some(a0), Some(a1)) if jobs > 0 => Some((a1 - a0) as f64 / jobs as f64),
+        _ => None,
+    };
+
+    let bid_latency = out.metrics.histogram("contest/bid_latency_secs");
+    BenchRow {
+        runtime: rt.name().to_string(),
+        workers,
+        jobs,
+        wall_secs: wall,
+        jobs_per_sec: if wall > 0.0 { jobs as f64 / wall } else { 0.0 },
+        contest_p50_secs: bid_latency.map_or(0.0, |h| h.quantile(0.50)),
+        contest_p99_secs: bid_latency.map_or(0.0, |h| h.quantile(0.99)),
+        events: out.events,
+        peak_rss_mb: peak_rss_mb(),
+        allocs_per_job,
+    }
+}
+
+/// Run the whole sweep, logging progress to stderr.
+pub fn run_sweep(cfg: &BenchConfig) -> BenchSweep {
+    let mut rows = Vec::new();
+    for &rt in &cfg.runtimes {
+        let jobs = match rt {
+            RuntimeChoice::Sim => cfg.sim_jobs,
+            RuntimeChoice::Threaded => cfg.threaded_jobs,
+        };
+        for &w in &cfg.workers {
+            let row = run_row(rt, w, jobs, cfg.seed);
+            eprintln!(
+                "[bench] {}x{w}: {} jobs in {:.2}s = {:.0} jobs/s{}",
+                row.runtime,
+                row.jobs,
+                row.wall_secs,
+                row.jobs_per_sec,
+                row.allocs_per_job
+                    .map(|a| format!(", {a:.1} allocs/job"))
+                    .unwrap_or_default(),
+            );
+            rows.push(row);
+        }
+    }
+    BenchSweep {
+        label: cfg.label.clone(),
+        rows,
+    }
+}
+
+fn f64_json(x: f64) -> Json {
+    Json::Num(x)
+}
+
+impl BenchRow {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("runtime", Json::str(&self.runtime)),
+            ("workers", Json::UInt(self.workers as u64)),
+            ("jobs", Json::UInt(self.jobs as u64)),
+            ("wall_secs", f64_json(self.wall_secs)),
+            ("jobs_per_sec", f64_json(self.jobs_per_sec)),
+            ("contest_p50_secs", f64_json(self.contest_p50_secs)),
+            ("contest_p99_secs", f64_json(self.contest_p99_secs)),
+            ("events", Json::UInt(self.events)),
+            ("peak_rss_mb", f64_json(self.peak_rss_mb)),
+            (
+                "allocs_per_job",
+                match self.allocs_per_job {
+                    Some(a) => f64_json(a),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let runtime = v.req_str("runtime")?.to_string();
+        if runtime != "sim" && runtime != "threaded" {
+            return Err(JsonError(format!("unknown runtime `{runtime}`")));
+        }
+        let allocs_per_job = match v.req("allocs_per_job")? {
+            Json::Null => None,
+            other => Some(
+                other
+                    .as_f64()
+                    .ok_or_else(|| JsonError("allocs_per_job is not a number".into()))?,
+            ),
+        };
+        Ok(BenchRow {
+            runtime,
+            workers: v.req_u64("workers")? as usize,
+            jobs: v.req_u64("jobs")? as usize,
+            wall_secs: v.req_f64("wall_secs")?,
+            jobs_per_sec: v.req_f64("jobs_per_sec")?,
+            contest_p50_secs: v.req_f64("contest_p50_secs")?,
+            contest_p99_secs: v.req_f64("contest_p99_secs")?,
+            events: v.req_u64("events")?,
+            peak_rss_mb: v.req_f64("peak_rss_mb")?,
+            allocs_per_job,
+        })
+    }
+}
+
+impl BenchSweep {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::str(&self.label)),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(BenchRow::to_json).collect()),
+            ),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let rows = v
+            .req("rows")?
+            .as_arr()
+            .ok_or_else(|| JsonError("`rows` is not an array".into()))?
+            .iter()
+            .map(BenchRow::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchSweep {
+            label: v.req_str("label")?.to_string(),
+            rows,
+        })
+    }
+
+    /// The sim row at `workers`, if the sweep has one.
+    pub fn sim_row(&self, workers: usize) -> Option<&BenchRow> {
+        self.rows
+            .iter()
+            .find(|r| r.runtime == "sim" && r.workers == workers)
+    }
+}
+
+impl BenchDoc {
+    /// Assemble a document, deriving `speedup_sim_64` when both sides
+    /// have a sim row at 64 workers.
+    pub fn assemble(baseline: Option<BenchSweep>, current: BenchSweep) -> Self {
+        let speedup = match (&baseline, current.sim_row(64)) {
+            (Some(b), Some(cur)) => b
+                .sim_row(64)
+                .map(|base| cur.jobs_per_sec / base.jobs_per_sec),
+            _ => None,
+        };
+        BenchDoc {
+            baseline,
+            current,
+            speedup_sim_64: speedup,
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("schema".to_string(), Json::str(SCHEMA))];
+        if let Some(b) = &self.baseline {
+            fields.push(("baseline".to_string(), b.to_json()));
+        }
+        fields.push(("current".to_string(), self.current.to_json()));
+        fields.push((
+            "speedup_sim_64".to_string(),
+            match self.speedup_sim_64 {
+                Some(s) => Json::Num(s),
+                None => Json::Null,
+            },
+        ));
+        Json::Obj(fields)
+    }
+
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parse and schema-validate a document. This is what
+    /// `repro bench --check FILE` and the tier-1 regression test run,
+    /// so CI fails on any drift between the writer and this reader.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(text)?;
+        let schema = v.req_str("schema")?;
+        if schema != SCHEMA {
+            return Err(JsonError(format!(
+                "schema mismatch: got `{schema}`, expected `{SCHEMA}`"
+            )));
+        }
+        let baseline = match v.get("baseline") {
+            Some(b) => Some(BenchSweep::from_json(b)?),
+            None => None,
+        };
+        let current = BenchSweep::from_json(v.req("current")?)?;
+        if current.rows.is_empty() {
+            return Err(JsonError("`current` has no rows".into()));
+        }
+        let speedup_sim_64 = match v.req("speedup_sim_64")? {
+            Json::Null => None,
+            other => Some(
+                other
+                    .as_f64()
+                    .ok_or_else(|| JsonError("speedup_sim_64 is not a number".into()))?,
+            ),
+        };
+        Ok(BenchDoc {
+            baseline,
+            current,
+            speedup_sim_64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(runtime: &str, workers: usize) -> BenchRow {
+        BenchRow {
+            runtime: runtime.to_string(),
+            workers,
+            jobs: 1000,
+            wall_secs: 0.5,
+            jobs_per_sec: 2000.0,
+            contest_p50_secs: 0.001,
+            contest_p99_secs: 0.01,
+            events: 12345,
+            peak_rss_mb: 42.0,
+            allocs_per_job: Some(17.5),
+        }
+    }
+
+    #[test]
+    fn document_round_trips() {
+        let doc = BenchDoc::assemble(
+            Some(BenchSweep {
+                label: "pre".into(),
+                rows: vec![BenchRow {
+                    jobs_per_sec: 100.0,
+                    ..row("sim", 64)
+                }],
+            }),
+            BenchSweep {
+                label: "post".into(),
+                rows: vec![row("sim", 64), row("threaded", 7)],
+            },
+        );
+        assert_eq!(doc.speedup_sim_64, Some(20.0));
+        let text = doc.render();
+        let parsed = BenchDoc::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn parse_rejects_schema_drift() {
+        let doc = BenchDoc::assemble(
+            None,
+            BenchSweep {
+                label: "x".into(),
+                rows: vec![row("sim", 7)],
+            },
+        );
+        let bad = doc.render().replace(SCHEMA, "crossbid-bench/v0");
+        assert!(BenchDoc::parse(&bad).is_err());
+        let empty = r#"{"schema":"crossbid-bench/v1","current":{"label":"x","rows":[]},"speedup_sim_64":null}"#;
+        assert!(BenchDoc::parse(empty).is_err(), "empty current rejected");
+        let bad_runtime = doc.render().replace("\"sim\"", "\"gpu\"");
+        assert!(BenchDoc::parse(&bad_runtime).is_err());
+    }
+
+    #[test]
+    fn a_tiny_sim_row_measures_real_throughput() {
+        let r = run_row(RuntimeChoice::Sim, 7, 60, 11);
+        assert_eq!(r.runtime, "sim");
+        assert_eq!(r.jobs, 60);
+        assert!(r.jobs_per_sec > 0.0);
+        assert!(r.events > 0);
+        assert!(
+            r.contest_p99_secs >= r.contest_p50_secs,
+            "quantiles ordered: p50={} p99={}",
+            r.contest_p50_secs,
+            r.contest_p99_secs
+        );
+    }
+}

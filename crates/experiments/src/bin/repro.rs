@@ -39,7 +39,20 @@
 //!             [--jobs J] [--n N] [--iterations I] [--seed K]
 //!             [--trace FILE]
 //! ```
+//!
+//! The `bench` artifact is the throughput harness: it sweeps worker
+//! counts on both runtimes, measures jobs/sec and contest-latency
+//! quantiles, and emits a versioned JSON document (see
+//! [`crossbid_experiments::bench`]):
+//!
+//! ```text
+//! repro bench [--smoke] [--jobs N] [--threaded-jobs N]
+//!             [--workers 7,64,256] [--runtime sim|threaded|both]
+//!             [--label STR] [--baseline FILE] [--json FILE]
+//! repro bench --check FILE     # schema-validate an existing document
+//! ```
 
+use crossbid_experiments::bench::{self, BenchConfig};
 use crossbid_experiments::check::{self, CheckConfig};
 use crossbid_experiments::netfault::{self, NetFaultConfig};
 use crossbid_experiments::trace_run::{self, RuntimeChoice, TraceRunConfig};
@@ -328,8 +341,80 @@ fn main() {
             let points = crossover::run(&cfg);
             emit("crossover", &crossover::render(&points));
         }
+        "bench" => {
+            let flag = |name: &str| {
+                args.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| args.get(i + 1))
+            };
+            if let Some(path) = flag("--check") {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| die(&format!("--check {path}: {e}")));
+                match bench::BenchDoc::parse(&text) {
+                    Ok(doc) => {
+                        eprintln!(
+                            "[repro] bench --check {path}: ok ({} current rows, speedup_sim_64={:?})",
+                            doc.current.rows.len(),
+                            doc.speedup_sim_64
+                        );
+                        return;
+                    }
+                    Err(e) => die(&format!("--check {path}: schema drift: {e}")),
+                }
+            }
+            let mut bcfg = if smoke {
+                BenchConfig::smoke()
+            } else {
+                BenchConfig::full()
+            };
+            if let Some(s) = seed {
+                bcfg.seed = s;
+            }
+            if let Some(v) = flag("--jobs") {
+                bcfg.sim_jobs = v.parse().unwrap_or_else(|e| die(&format!("--jobs: {e}")));
+            }
+            if let Some(v) = flag("--threaded-jobs") {
+                bcfg.threaded_jobs = v
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--threaded-jobs: {e}")));
+            }
+            if let Some(v) = flag("--workers") {
+                bcfg.workers = v
+                    .split(',')
+                    .map(|w| w.trim().parse())
+                    .collect::<Result<Vec<usize>, _>>()
+                    .unwrap_or_else(|e| die(&format!("--workers: {e}")));
+            }
+            if let Some(v) = flag("--runtime") {
+                bcfg.runtimes = match v.as_str() {
+                    "sim" => vec![RuntimeChoice::Sim],
+                    "threaded" => vec![RuntimeChoice::Threaded],
+                    "both" => vec![RuntimeChoice::Sim, RuntimeChoice::Threaded],
+                    other => die(&format!("unknown runtime '{other}' (sim|threaded|both)")),
+                };
+            }
+            if let Some(v) = flag("--label") {
+                bcfg.label = v.clone();
+            }
+            let baseline = flag("--baseline").map(|path| {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| die(&format!("--baseline {path}: {e}")));
+                let doc = bench::BenchDoc::parse(&text)
+                    .unwrap_or_else(|e| die(&format!("--baseline {path}: {e}")));
+                doc.current
+            });
+            let current = bench::run_sweep(&bcfg);
+            let doc = bench::BenchDoc::assemble(baseline, current);
+            let body = doc.render();
+            if let Some(path) = flag("--json") {
+                std::fs::write(path, &body).expect("write --json file");
+                eprintln!("[repro] wrote {path}");
+            } else {
+                println!("{body}");
+            }
+        }
         other => {
-            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|all");
+            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|bench|all");
             std::process::exit(2);
         }
     }

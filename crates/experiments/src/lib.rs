@@ -16,6 +16,9 @@
 //! in parallel across OS threads; everything is seeded and the
 //! simulated cells are bit-reproducible.
 
+#[cfg(feature = "bench-alloc")]
+pub mod allocmeter;
+pub mod bench;
 pub mod check;
 pub mod config;
 pub mod crash_sweep;

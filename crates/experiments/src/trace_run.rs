@@ -125,20 +125,6 @@ pub fn run(cfg: &TraceRunConfig) -> Result<Vec<(RunStreamMeta, RunOutput)>, Stri
     Ok(runs)
 }
 
-/// Approximate quantile from a histogram snapshot: the lower bound of
-/// the bucket where the cumulative count crosses `q`.
-fn quantile(h: &HistogramSnapshot, q: f64) -> f64 {
-    let target = (q.clamp(0.0, 1.0) * h.count as f64).ceil().max(1.0) as u64;
-    let mut seen = 0u64;
-    for &(lo, n) in &h.buckets {
-        seen += n;
-        if seen >= target {
-            return lo;
-        }
-    }
-    0.0
-}
-
 /// Render the per-iteration phase breakdown from the metrics
 /// registry: how each job's latency splits into queue wait, resource
 /// transfer, and processing.
@@ -180,7 +166,7 @@ pub fn render_phase_table(runs: &[(RunStreamMeta, RunOutput)]) -> String {
             out.record.jobs_completed.to_string(),
             f2(out.record.makespan_secs),
             f2(wait.mean()),
-            f2(quantile(wait, 0.95)),
+            f2(wait.quantile(0.95)),
             f2(fetch.mean()),
             fetch.count.to_string(),
             f2(proc.mean()),

@@ -1,0 +1,45 @@
+//! Allocation-rate regression guard, compiled only with the
+//! `bench-alloc` feature (which installs the counting global
+//! allocator the measurement relies on):
+//!
+//! ```text
+//! cargo test -p crossbid-experiments --features bench-alloc --test alloc_budget --release
+//! ```
+//!
+//! The hot-path work behind `repro bench` took the sim engine from
+//! thousands of allocations per job (a fresh roster `Vec<WorkerHandle>`
+//! with cloned name `String`s on every scheduler callback, plus heap
+//! churn in the event queue) down to single digits, flat across
+//! cluster sizes. This pins the budget so a stray per-event or
+//! per-bid allocation on the hot path fails loudly instead of
+//! silently costing 10× throughput again.
+
+#![cfg(feature = "bench-alloc")]
+
+use crossbid_experiments::bench::run_row;
+use crossbid_experiments::trace_run::RuntimeChoice;
+
+/// Measured ≈7.5 allocs/job at 64 workers (≈4.5 at 7) when this guard
+/// was written; the budget leaves headroom for noise and small
+/// protocol changes while still catching any per-bid or per-event
+/// allocation creeping back (one such leak costs ≥ `workers` allocs
+/// per job, i.e. 64+ here).
+const BUDGET_ALLOCS_PER_JOB: f64 = 48.0;
+
+#[test]
+fn sim_hot_path_allocations_stay_within_budget() {
+    let row = run_row(RuntimeChoice::Sim, 64, 10_000, 0xA110C);
+    assert_eq!(row.jobs, 10_000, "row must describe the run it measured");
+    let apj = row
+        .allocs_per_job
+        .expect("bench-alloc builds always measure allocations");
+    assert!(
+        apj > 0.0,
+        "an all-zero measurement means the counting allocator is not installed"
+    );
+    assert!(
+        apj <= BUDGET_ALLOCS_PER_JOB,
+        "sim hot path regressed to {apj:.1} allocs/job (budget {BUDGET_ALLOCS_PER_JOB}); \
+         something on the per-event or per-bid path is allocating again"
+    );
+}

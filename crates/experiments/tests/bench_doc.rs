@@ -1,0 +1,52 @@
+//! Guards the checked-in performance trajectory (`BENCH_6.json` at
+//! the repo root): it must always parse against the current
+//! `crossbid-bench/v1` schema, carry the pre-optimization baseline it
+//! claims to improve on, and keep the recorded sim speedup at 64
+//! workers at or above the 10× this PR was accepted on. Any writer or
+//! parser change that silently drifts the document shape fails here
+//! (and in the CI `bench-smoke` job) instead of in the next perf
+//! investigation.
+
+use crossbid_experiments::bench::BenchDoc;
+
+#[test]
+fn checked_in_trajectory_parses_and_records_the_speedup() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_6.json at the repo root");
+    let doc = BenchDoc::parse(&text).expect("checked-in document drifted from the schema");
+
+    let base = doc.baseline.as_ref().expect("trajectory has a baseline");
+    assert!(!base.rows.is_empty(), "baseline sweep has rows");
+
+    // Both runtimes, every cluster size of the sweep.
+    for w in [7, 64, 256] {
+        assert!(
+            doc.current.sim_row(w).is_some(),
+            "current sweep is missing the sim row at {w} workers"
+        );
+        assert!(
+            doc.current
+                .rows
+                .iter()
+                .any(|r| r.runtime == "threaded" && r.workers == w),
+            "current sweep is missing the threaded row at {w} workers"
+        );
+    }
+
+    // The tentpole scale: a checked-in million-job sim row.
+    assert!(
+        doc.current
+            .rows
+            .iter()
+            .any(|r| r.runtime == "sim" && r.jobs == 1_000_000),
+        "trajectory must include the million-job sim row"
+    );
+
+    let speedup = doc
+        .speedup_sim_64
+        .expect("sim@64 speedup over the recorded baseline");
+    assert!(
+        speedup >= 10.0,
+        "recorded sim@64 speedup fell below the acceptance floor: {speedup:.1}x"
+    );
+}

@@ -290,6 +290,24 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the lower bound of the
+    /// bucket where the cumulative count crosses the `q`-th sample.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(lo, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return lo;
+            }
+        }
+        self.buckets.last().map_or(0.0, |&(lo, _)| lo)
+    }
 }
 
 #[derive(Default)]

@@ -12,26 +12,30 @@ use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
 
-struct Scheduled<E> {
+/// Heap entry: ordering key plus a slab slot. Keeping the (possibly
+/// large) payload out of the heap makes every sift swap a 24-byte
+/// move instead of a whole-event memcpy — the heap is the hottest
+/// data structure in a million-job run.
+struct Scheduled {
     time: SimTime,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Scheduled<E> {
+impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<E> Eq for Scheduled<E> {}
+impl Eq for Scheduled {}
 
-impl<E> PartialOrd for Scheduled<E> {
+impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Scheduled<E> {
+impl Ord for Scheduled {
     // Reversed so that BinaryHeap (a max-heap) pops the earliest event
     // first; ties broken by insertion order.
     fn cmp(&self, other: &Self) -> Ordering {
@@ -44,11 +48,18 @@ impl<E> Ord for Scheduled<E> {
 
 /// A deterministic discrete-event queue parameterised over the event
 /// payload type `E`.
+///
+/// Payloads live in a free-list slab (`slots`); the binary heap holds
+/// only `(time, seq, slot)` keys. Popped slots are recycled, so the
+/// steady-state run performs no per-event allocation.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    heap: BinaryHeap<Scheduled>,
+    slots: Vec<Option<E>>,
+    free: Vec<u32>,
     seq: u64,
     now: SimTime,
     popped: u64,
+    clamped: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -60,11 +71,21 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at virtual time zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue with `capacity` pre-allocated event slots, for
+    /// callers that know the rough event volume up front (e.g. the
+    /// engine pre-loading a whole arrival stream).
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
             seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            clamped: 0,
         }
     }
 
@@ -94,21 +115,48 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// How many events were scheduled into the past and silently
+    /// clamped to `now`. Always zero in a correct run; a nonzero count
+    /// means virtual time was rewritten somewhere and the run's timing
+    /// is suspect.
+    #[inline]
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
     /// Schedule `event` at absolute time `at`.
     ///
     /// Scheduling in the past is a logic error in callers; the event is
     /// clamped to `now` so that virtual time never runs backwards, and
-    /// debug builds assert.
+    /// debug builds assert. Release builds count the clamp instead (see
+    /// [`EventQueue::clamped`]) so the rewrite of virtual time is never
+    /// silent: the engine surfaces a nonzero count as a run anomaly.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         debug_assert!(
             at >= self.now,
             "scheduling into the past: {at:?} < {:?}",
             self.now
         );
-        let time = at.max(self.now);
+        let time = if at < self.now {
+            self.clamped += 1;
+            self.now
+        } else {
+            at
+        };
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(event);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("more than u32::MAX pending events");
+                self.slots.push(Some(event));
+                s
+            }
+        };
+        self.heap.push(Scheduled { time, seq, slot });
     }
 
     /// Schedule `event` after a relative delay from the current time.
@@ -135,12 +183,18 @@ impl<E> EventQueue<E> {
         debug_assert!(s.time >= self.now);
         self.now = s.time;
         self.popped += 1;
-        Some((s.time, s.event))
+        let event = self.slots[s.slot as usize]
+            .take()
+            .expect("scheduled slot holds an event");
+        self.free.push(s.slot);
+        Some((s.time, event))
     }
 
     /// Drop all pending events (the clock is left where it is).
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.slots.clear();
+        self.free.clear();
     }
 }
 
@@ -150,6 +204,7 @@ impl<E> std::fmt::Debug for EventQueue<E> {
             .field("now", &self.now)
             .field("pending", &self.heap.len())
             .field("delivered", &self.popped)
+            .field("clamped", &self.clamped)
             .finish()
     }
 }
@@ -216,6 +271,31 @@ mod tests {
         while q.pop().is_some() {}
         assert_eq!(q.events_delivered(), 7);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn in_order_scheduling_never_counts_a_clamp() {
+        let mut q = EventQueue::with_capacity(8);
+        q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_in(SimDuration::from_secs(2), "b");
+        while q.pop().is_some() {}
+        assert_eq!(q.clamped(), 0);
+    }
+
+    /// The debug assert catches past-time scheduling in development;
+    /// this pins the release-mode behaviour (clamp + count) that the
+    /// engine turns into a reported anomaly.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn past_time_scheduling_is_clamped_and_counted() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), "jump");
+        q.pop();
+        q.schedule_at(SimTime::from_secs(3), "stale");
+        assert_eq!(q.clamped(), 1);
+        let (t, _) = q.pop().expect("clamped event still delivered");
+        assert_eq!(t, SimTime::from_secs(10), "clamped to now, not dropped");
+        assert_eq!(q.clamped(), 1);
     }
 
     #[test]

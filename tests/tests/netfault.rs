@@ -97,6 +97,66 @@ fn dup_heavy_links_keep_threaded_exactly_once() {
     }
 }
 
+/// Constant-delay links (no drops, no duplicates): every message
+/// survives but sits in a delayed buffer first, so the run leans
+/// entirely on the drain loops that release matured traffic.
+/// Regression for an order-stability bug: those loops used
+/// `swap_remove`, which let equally-due messages overtake each other
+/// in the buffer — out-of-order offers and acks that made recorded
+/// (run seed, net seed) pairs unreplayable. Every builtin scenario
+/// must stay exactly-once and oracle-clean on both runtimes.
+#[test]
+fn constant_delay_links_stay_exactly_once() {
+    let link = LinkFault {
+        drop_prob: 0.0,
+        dup_prob: 0.0,
+        delay_min_secs: 0.01,
+        delay_max_secs: 0.01,
+    };
+    let plan = || NetFaultPlan {
+        to_worker: link,
+        to_master: link,
+        seed: 0xDE1A,
+        ..NetFaultPlan::none()
+    };
+    for sc in Scenario::builtins() {
+        let sim = sc.run_sim_with_net(9, plan());
+        assert_eq!(
+            sim.record.jobs_completed,
+            sc.jobs.len() as u64,
+            "{}: sim under constant-delay links",
+            sc.name
+        );
+        let violations = check_log(&sim.sched_log, sc.oracle_options(false));
+        assert!(violations.is_empty(), "{}: sim {violations:?}", sc.name);
+        // And the replay contract holds: the identical run again.
+        let again = sc.run_sim_with_net(9, plan());
+        assert_eq!(
+            format!("{:?}", sim.sched_log.events()),
+            format!("{:?}", again.sched_log.events()),
+            "{}: constant-delay sim run did not replay",
+            sc.name
+        );
+
+        let thr = sc.run_threaded(&ThreadedRun {
+            netfault: Some(plan()),
+            ..ThreadedRun::plain(9)
+        });
+        assert_eq!(
+            thr.record.jobs_completed,
+            sc.jobs.len() as u64,
+            "{}: threaded under constant-delay links",
+            sc.name
+        );
+        let violations = check_log(&thr.sched_log, sc.oracle_options(false));
+        assert!(
+            violations.is_empty(),
+            "{}: threaded {violations:?}",
+            sc.name
+        );
+    }
+}
+
 /// A lossy sim run is part of the replay contract: same run seed +
 /// same net plan must reproduce the identical control-plane log and
 /// reliability counters, or the seeds printed in failure reports are

@@ -184,32 +184,40 @@ fn baseline_reoffer_prefers_a_different_idle_worker() {
     // worker already held. With the fix, the re-offer goes to the
     // other idle worker first, and repeat jobs on a hot repo always
     // land on the warm worker: exactly one fetch, ever.
+    //
+    // Both runtimes now draw from one shared `IdlePool`, so the
+    // re-offer tie-break (prefer another worker; skipped rejector
+    // keeps its seniority) must hold identically on each — the two
+    // masters used to duplicate this logic with subtly different pick
+    // rules, and drifted apart under duplicated Idle messages.
     let spec = parity_spec(2);
-    let mut rt = spec.threaded();
-    let mut wf = Workflow::new();
-    let task = wf.add_sink("scan");
-    // Same repo throughout, spaced wider than fetch + scan so both
-    // workers are idle when each job arrives.
-    let jobs: Vec<Arrival> = (0..6)
-        .map(|i| Arrival {
-            at: SimTime::from_secs(i * 40),
-            spec: JobSpec::scanning(
-                task,
-                ResourceRef {
-                    id: ObjectId(1),
-                    bytes: 100_000_000,
-                },
-                Payload::Index(i),
-            ),
-        })
-        .collect();
-    let r = rt.run_iteration(&mut wf, &BaselineAllocator, jobs).record;
-    assert_eq!(r.jobs_completed, 6);
-    assert_eq!(
-        r.cache_misses, 1,
-        "after the first fetch every re-offer must find the warm worker"
-    );
-    assert_eq!(r.cache_hits, 5);
+    for mut rt in both_runtimes(&spec) {
+        let mut wf = Workflow::new();
+        let task = wf.add_sink("scan");
+        // Same repo throughout, spaced wider than fetch + scan so both
+        // workers are idle when each job arrives.
+        let jobs: Vec<Arrival> = (0..6)
+            .map(|i| Arrival {
+                at: SimTime::from_secs(i * 40),
+                spec: JobSpec::scanning(
+                    task,
+                    ResourceRef {
+                        id: ObjectId(1),
+                        bytes: 100_000_000,
+                    },
+                    Payload::Index(i),
+                ),
+            })
+            .collect();
+        let r = rt.run_iteration(&mut wf, &BaselineAllocator, jobs).record;
+        let label = rt.name();
+        assert_eq!(r.jobs_completed, 6, "{label}");
+        assert_eq!(
+            r.cache_misses, 1,
+            "{label}: after the first fetch every re-offer must find the warm worker"
+        );
+        assert_eq!(r.cache_hits, 5, "{label}");
+    }
 }
 
 #[test]
