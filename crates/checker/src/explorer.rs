@@ -17,7 +17,9 @@
 //! the shrinker is conservative and keeps anything it cannot confirm
 //! removable.
 
-use crossbid_crossflow::{ChaosConfig, NetFaultPlan, ProtocolMutation, RunOutput, WorkerId};
+use crossbid_crossflow::{
+    ChaosConfig, MasterFaultPlan, NetFaultPlan, ProtocolMutation, RunOutput, WorkerId,
+};
 use crossbid_simcore::{SeedSequence, SimTime};
 
 use crate::oracle::{check_log, Violation};
@@ -39,6 +41,11 @@ pub struct ExploreConfig {
     /// partition window) with the reliability countermeasures armed;
     /// per-iteration net seeds derive from `base_seed`.
     pub netfault: bool,
+    /// Crash the master at a seeded log append index each iteration
+    /// (bounded by a reference sim run's log length, so the crash
+    /// lands mid-protocol); the elected standby must finish the
+    /// scenario with exactly-once effects.
+    pub master_crash: bool,
     /// Enforce the Baseline's reject-once re-offer routing. Only sound
     /// without chaos (reordering legitimizes re-offers), so the
     /// explorer ignores it whenever `chaos` is on.
@@ -61,6 +68,7 @@ impl ExploreConfig {
             mutation: ProtocolMutation::None,
             chaos: true,
             netfault: false,
+            master_crash: false,
             strict_reoffer: false,
             parity: true,
             repro_attempts: 3,
@@ -76,6 +84,7 @@ impl ExploreConfig {
             mutation: ProtocolMutation::None,
             chaos: false,
             netfault: false,
+            master_crash: false,
             strict_reoffer: true,
             parity: true,
             repro_attempts: 3,
@@ -87,6 +96,19 @@ impl ExploreConfig {
     /// survive with exactly-once effects.
     pub fn netfault(iters: u32, base_seed: u64) -> Self {
         ExploreConfig {
+            netfault: true,
+            ..ExploreConfig::quick(iters, base_seed)
+        }
+    }
+
+    /// The master-crash sweep: each iteration kills the leader at a
+    /// seeded decision-log index, crossed with lossy links, so the
+    /// elected standby inherits in-flight contests, unacked
+    /// assignments and pending retries — and must still finish every
+    /// job exactly once.
+    pub fn failover(iters: u32, base_seed: u64) -> Self {
+        ExploreConfig {
+            master_crash: true,
             netfault: true,
             ..ExploreConfig::quick(iters, base_seed)
         }
@@ -108,9 +130,12 @@ pub struct Failure {
     /// `None` when chaos was off).
     pub chaos_seed: Option<u64>,
     /// Net-fault seed of the minimal repro (`None` when the links were
-    /// reliable). Together with `run_seed` and `chaos_seed` this is
-    /// the full replay triple.
+    /// reliable). Together with `run_seed`, `chaos_seed` and
+    /// `crash_index` this is the full replay tuple.
     pub net_seed: Option<u64>,
+    /// Log append index at which the master was crashed (`None` when
+    /// the master-crash axis was off).
+    pub crash_index: Option<u64>,
     /// Violations observed in the minimal repro.
     pub violations: Vec<Violation>,
     /// Job indices of the minimal repro.
@@ -131,6 +156,11 @@ pub struct ExploreReport {
     pub protocol: String,
     /// Interleavings actually run (stops early on failure).
     pub iterations_run: u32,
+    /// Master failovers observed across the sweep (only nonzero when
+    /// the master-crash axis is armed; a sweep in which the seeded
+    /// crash indices all landed past the end of the run proves
+    /// nothing, so `repro failover` surfaces this count).
+    pub failovers_observed: u64,
     /// Conservation mismatches against the simulation run.
     pub parity_mismatches: Vec<String>,
     /// The minimized failure, if any iteration violated an invariant.
@@ -151,7 +181,14 @@ impl ExploreReport {
             self.scenario, self.protocol, self.iterations_run
         );
         if self.passed() {
-            out.push_str(" — ok\n");
+            if self.failovers_observed > 0 {
+                out.push_str(&format!(
+                    " — ok ({} failover(s) survived)\n",
+                    self.failovers_observed
+                ));
+            } else {
+                out.push_str(" — ok\n");
+            }
             return out;
         }
         out.push('\n');
@@ -160,11 +197,12 @@ impl ExploreReport {
         }
         if let Some(f) = &self.failure {
             out.push_str(&format!(
-                "  VIOLATION at iteration {} (run seed {}, chaos seed {}, net seed {})\n",
+                "  VIOLATION at iteration {} (run seed {}, chaos seed {}, net seed {}, crash index {})\n",
                 f.iteration,
                 f.run_seed,
                 f.chaos_seed.map_or("-".into(), |s| s.to_string()),
                 f.net_seed.map_or("-".into(), |s| s.to_string()),
+                f.crash_index.map_or("-".into(), |s| s.to_string()),
             ));
             for v in &f.violations {
                 out.push_str(&format!("    {v}\n"));
@@ -282,25 +320,35 @@ pub fn explore(sc: &Scenario, cfg: &ExploreConfig) -> ExploreReport {
         scenario: sc.name.to_string(),
         protocol: sc.protocol.name().to_string(),
         iterations_run: 0,
+        failovers_observed: 0,
         parity_mismatches: Vec::new(),
         failure: None,
     };
-    // One deterministic reference run for conservation parity.
-    let sim = cfg.parity.then(|| sc.run_sim(cfg.base_seed));
+    // One deterministic reference run for conservation parity; the
+    // master-crash axis also uses its log length to bound the seeded
+    // crash indices (the threaded log has the same order of magnitude,
+    // so an index drawn from the first half reliably fires mid-run).
+    let sim = (cfg.parity || cfg.master_crash).then(|| sc.run_sim(cfg.base_seed));
+    let crash_bound = cfg
+        .master_crash
+        .then(|| (sim.as_ref().map_or(0, |s| s.sched_log.len() as u64) / 2).max(2));
     let seeds = SeedSequence::new(cfg.base_seed);
     for i in 0..cfg.iters {
         let run_seed = seeds.seed_for(i as u64);
         let net_seed = cfg.netfault.then(|| seeds.seed_for(0x4E37_0000 + i as u64));
+        let crash_index = crash_bound.map(|b| 1 + seeds.seed_for(0xFA11_0000 + i as u64) % b);
         let run = ThreadedRun {
             seed: run_seed,
             chaos: cfg.chaos.then(|| ChaosConfig::aggressive(run_seed)),
             netfault: net_seed.map(net_plan),
+            master: crash_index.map(|ix| MasterFaultPlan::new().crash_at(ix)),
             mutation: cfg.mutation,
             keep_jobs: None,
             keep_fault_workers: None,
         };
         let (out, violations, schedule) = attempt(sc, cfg, &run);
         report.iterations_run = i + 1;
+        report.failovers_observed += out.sched_log.failovers() as u64;
         if let Some(sim) = &sim {
             for (what, simv, thrv) in [
                 (
@@ -349,6 +397,7 @@ pub fn explore(sc: &Scenario, cfg: &ExploreConfig) -> ExploreReport {
                 run_seed,
                 chaos_seed: cfg.chaos.then_some(run_seed),
                 net_seed,
+                crash_index,
                 violations: min_violations,
                 kept_jobs,
                 kept_fault_workers,

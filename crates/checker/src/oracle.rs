@@ -595,6 +595,14 @@ impl Oracle {
                     self.dead.remove(&w.0);
                 }
             }
+            // Master failover markers. Every conservation and
+            // exactly-once invariant above is *designed* to hold
+            // across an election: the standby replays the same
+            // committed prefix the oracle just consumed, so placements,
+            // rejections and completions continue seamlessly in the
+            // new term. The markers themselves change no job state.
+            SchedEventKind::LeaderElected { .. } => {}
+            SchedEventKind::FailoverReplayed { .. } => {}
         }
         self.idx += 1;
     }

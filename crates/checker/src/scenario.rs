@@ -12,8 +12,8 @@
 use crossbid_core::BiddingAllocator;
 use crossbid_crossflow::{
     Allocator, Arrival, BaselineAllocator, ChaosConfig, EngineConfig, FaultPlan, JobSpec,
-    NetFaultPlan, Payload, ProtocolMutation, ResourceRef, RunOutput, RunSpec, TaskId, WorkerId,
-    WorkerSpec, Workflow,
+    MasterFaultPlan, NetFaultPlan, Payload, ProtocolMutation, ResourceRef, RunOutput, RunSpec,
+    TaskId, WorkerId, WorkerSpec, Workflow,
 };
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{SimDuration, SimTime};
@@ -263,8 +263,22 @@ impl Scenario {
     /// virtual send instants, so the run — drops, retries, lease
     /// bounces and all — replays exactly from `(seed, plan.seed)`.
     pub fn run_sim_with_net(&self, seed: u64, net: NetFaultPlan) -> RunOutput {
+        self.run_sim_faulted(seed, net, MasterFaultPlan::none())
+    }
+
+    /// One deterministic run on the simulation engine with lossy links
+    /// and/or a master-crash schedule armed. Master crashes are keyed
+    /// to log append indices, so this replays exactly from
+    /// `(seed, net.seed, master.crash_at)`.
+    pub fn run_sim_faulted(
+        &self,
+        seed: u64,
+        net: NetFaultPlan,
+        master: MasterFaultPlan,
+    ) -> RunOutput {
         let mut spec = self.spec(seed, None);
         spec.engine.netfaults = net;
+        spec.engine.master_faults = master;
         let mut session = spec.sim();
         let mut wf = Workflow::new();
         let task = wf.add_sink("scan");
@@ -279,6 +293,9 @@ impl Scenario {
         spec.mutation = run.mutation;
         if let Some(plan) = &run.netfault {
             spec.engine.netfaults = plan.clone();
+        }
+        if let Some(plan) = &run.master {
+            spec.engine.master_faults = plan.clone();
         }
         let mut session = spec.threaded();
         let mut wf = Workflow::new();
@@ -300,6 +317,9 @@ pub struct ThreadedRun {
     /// Lossy-link plan (drop/duplicate/delay/partition with the
     /// reliability countermeasures armed), if any.
     pub netfault: Option<NetFaultPlan>,
+    /// Master-crash schedule (leader dies at these log append indices;
+    /// a standby takes over by log replay), if any.
+    pub master: Option<MasterFaultPlan>,
     /// Reintroduced protocol bug, if any.
     pub mutation: ProtocolMutation,
     /// `None` = all jobs; otherwise the job indices to keep.
@@ -315,6 +335,7 @@ impl ThreadedRun {
             seed,
             chaos: None,
             netfault: None,
+            master: None,
             mutation: ProtocolMutation::None,
             keep_jobs: None,
             keep_fault_workers: None,

@@ -101,6 +101,12 @@ impl MasterScheduler for BaselineMaster {
         // announcing idleness after recovery).
         self.idle.remove(worker.0);
     }
+
+    fn restore_rejection(&mut self, job: JobId, worker: WorkerId) {
+        // Replayed after failover so a re-offered job still avoids the
+        // worker the committed log says declined it.
+        self.rejected_by.insert(job, worker);
+    }
 }
 
 /// Worker side of the Baseline: the locality acceptance criterion plus

@@ -26,9 +26,10 @@ use crossbid_metrics::{Registry, RegistrySnapshot, RunRecord, SchedulerKind};
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{EventQueue, RngStream, SeedSequence, SimDuration, SimTime, Welford};
 
-use crate::faults::{FaultEvent, FaultPlan, NetFaultPlan};
+use crate::faults::{FaultEvent, FaultPlan, MasterFaultPlan, NetFaultPlan};
 use crate::job::{Arrival, Job, JobId, JobSpec, WorkerId};
 use crate::obs::RuntimeMetrics;
+use crate::replog::{AppendOutcome, ReplicatedLog};
 use crate::scheduler::{
     Allocator, JobView, MasterScheduler, SchedAction, SchedCtx, WorkerHandle, WorkerPolicy,
     WorkerToMaster, WorkerView,
@@ -65,6 +66,11 @@ pub struct EngineConfig {
     /// inactive plan leaves the engine on its exact pre-existing code
     /// path — no extra events, no extra rng draws.
     pub netfaults: NetFaultPlan,
+    /// Scheduled *master* crashes at replicated-log append indices; an
+    /// elected standby recovers by log replay (see [`crate::replog`]).
+    /// An empty plan keeps appends as plain pushes and never runs the
+    /// failover path.
+    pub master_faults: MasterFaultPlan,
     /// Record a per-job lifecycle trace (see [`crate::trace`]).
     pub trace: bool,
     /// Shared metrics sink. When `None` the engine collects into a
@@ -84,6 +90,7 @@ impl Default for EngineConfig {
             max_events: 20_000_000,
             faults: FaultPlan::none(),
             netfaults: NetFaultPlan::none(),
+            master_faults: MasterFaultPlan::none(),
             trace: false,
             metrics: None,
         }
@@ -103,6 +110,7 @@ impl EngineConfig {
             max_events: 20_000_000,
             faults: FaultPlan::none(),
             netfaults: NetFaultPlan::none(),
+            master_faults: MasterFaultPlan::none(),
             trace: false,
             metrics: None,
         }
@@ -312,6 +320,14 @@ struct Slot {
     fetch_done: Option<SimTime>,
 }
 
+/// Engine-side view of one undecided bidding contest.
+struct OpenContest {
+    /// Broadcast instant (bid latencies are measured from here).
+    opened: SimTime,
+    /// Workers whose bids were recorded — duplicates are not re-logged.
+    bidders: Vec<WorkerId>,
+}
+
 struct Engine<'a> {
     cfg: &'a EngineConfig,
     q: EventQueue<Ev>,
@@ -321,9 +337,26 @@ struct Engine<'a> {
     epochs: Vec<u64>,
     assignments: Vec<(JobId, WorkerId)>,
     trace: Option<Trace>,
-    sched_log: Option<SchedLog>,
+    /// The scheduler log behind the replication discipline. `Some`
+    /// when tracing *or* when master faults are armed (failover replays
+    /// it); `None` keeps the bench hot path free of any logging.
+    sched_log: Option<ReplicatedLog>,
     policies: Vec<Box<dyn WorkerPolicy>>,
     master: Box<dyn MasterScheduler>,
+    /// The allocator that built `master` — failover drafts the standby
+    /// replica's fresh scheduler from it.
+    allocator: &'a dyn Allocator,
+    /// The leader crashed mid-run: master callbacks are suppressed
+    /// until the standby finishes its replay takeover.
+    failover_pending: bool,
+    /// Payloads of submitted-but-uncompleted jobs, kept only while
+    /// master faults are armed so an elected standby can re-enter
+    /// unplaced jobs (the log records ids, not payloads).
+    jobs_inflight: HashMap<JobId, Job>,
+    /// Contest stats accumulated by crashed leaders (a fresh standby's
+    /// `stats()` restarts from zero).
+    stats_carry_timed_out: u64,
+    stats_carry_fallback: u64,
     handles: Vec<WorkerHandle>,
     /// Cached live roster ("activeWorkers") handed to every master
     /// callback. Rebuilding this on each callback used to clone every
@@ -350,10 +383,15 @@ struct Engine<'a> {
     /// redistributions, phase histograms…), replacing the old
     /// hand-rolled counters.
     m: RuntimeMetrics,
-    /// Contests opened but not yet decided: job → broadcast instant.
-    /// Lets the engine synthesize `ContestClosed` events and bid
-    /// latencies around the master's internal contest state.
-    open_contests: HashMap<JobId, SimTime>,
+    /// Contests opened but not yet decided: job → broadcast instant
+    /// plus the workers whose bids were recorded. Lets the engine
+    /// synthesize `ContestClosed` events and bid latencies around the
+    /// master's internal contest state, and gate `BidReceived` logging
+    /// the same way the threaded master does: late bids (after close)
+    /// and duplicates — e.g. a stale in-flight bid from a pre-failover
+    /// contest arriving next to the re-solicited one — are never
+    /// committed.
+    open_contests: HashMap<JobId, OpenContest>,
 
     // Net-fault layer state. All of it is inert (and none of it costs
     // an rng draw) when `net_active` is false.
@@ -399,15 +437,39 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn note_sched(&mut self, worker: Option<WorkerId>, job: Option<JobId>, kind: SchedEventKind) {
+    /// Commit one scheduler event through the replicated log.
+    ///
+    /// Returns `true` when the caller may act on the event. Under the
+    /// commit-before-act discipline a `false` return means the leader
+    /// crashed *before* the entry reached a quorum: the decision was
+    /// truncated, so its side effects must not happen. A crash *after*
+    /// commit still returns `true` (the entry is durable and will
+    /// survive replay) but arms `failover_pending` so no further
+    /// decisions are taken by the dead leader.
+    fn note_sched(
+        &mut self,
+        worker: Option<WorkerId>,
+        job: Option<JobId>,
+        kind: SchedEventKind,
+    ) -> bool {
         let at = self.q.now();
-        if let Some(log) = &mut self.sched_log {
-            log.push(SchedEvent {
-                at,
-                worker,
-                job,
-                kind,
-            });
+        let Some(log) = &mut self.sched_log else {
+            return true;
+        };
+        match log.append(SchedEvent {
+            at,
+            worker,
+            job,
+            kind,
+        }) {
+            AppendOutcome::Committed => true,
+            AppendOutcome::LeaderCrashed { truncated } => {
+                self.failover_pending = true;
+                if truncated {
+                    self.m.replog_truncated.inc();
+                }
+                !truncated
+            }
         }
     }
 
@@ -528,6 +590,12 @@ impl<'a> Engine<'a> {
     }
 
     fn run_master<F: FnOnce(&mut dyn MasterScheduler, &mut SchedCtx)>(&mut self, f: F) {
+        // A crashed leader takes no further decisions; its queued
+        // callbacks are dropped and the elected standby rebuilds from
+        // the committed log instead.
+        if self.failover_pending {
+            return;
+        }
         // The master only sees the live roster ("activeWorkers");
         // refresh the cached copy only after a crash or recovery.
         if self.roster_dirty {
@@ -558,29 +626,43 @@ impl<'a> Engine<'a> {
         let mut fallback_delta = stats_after.contests_fallback - stats_before.contests_fallback;
         self.m.contests_timed_out.add(timed_out_delta);
         self.m.contests_fallback.add(fallback_delta);
+        // Commit-before-act: every decision is appended to the
+        // replicated log and quorum-acked *before* its side effects
+        // (metric bumps, contest bookkeeping, sends) run. A decision
+        // whose append truncated with the crashing leader performs no
+        // side effects — the loop breaks and the remaining actions are
+        // dropped; the standby's replay re-derives the work instead.
         for action in actions {
+            if self.failover_pending {
+                break;
+            }
             match action {
                 SchedAction::Assign { worker, job } => {
-                    if self.open_contests.remove(&job.id).is_some() {
+                    if self.open_contests.contains_key(&job.id) {
                         // This assignment decides a bidding contest.
                         // The stats deltas belong to the first contest
                         // closed in this batch (at most one closes per
                         // master call in practice).
                         let timed_out = timed_out_delta > 0;
                         let fallback = fallback_delta > 0;
-                        timed_out_delta = 0;
-                        fallback_delta = 0;
-                        self.m.contests_closed.inc();
-                        self.note_sched(
+                        if !self.note_sched(
                             Some(worker),
                             Some(job.id),
                             SchedEventKind::ContestClosed {
                                 timed_out,
                                 fallback,
                             },
-                        );
+                        ) {
+                            break;
+                        }
+                        timed_out_delta = 0;
+                        fallback_delta = 0;
+                        self.open_contests.remove(&job.id);
+                        self.m.contests_closed.inc();
                     }
-                    self.note_sched(Some(worker), Some(job.id), SchedEventKind::Assigned);
+                    if !self.note_sched(Some(worker), Some(job.id), SchedEventKind::Assigned) {
+                        break;
+                    }
                     let seq = if self.net_active {
                         self.arm_placement(&job, worker, false)
                     } else {
@@ -589,7 +671,9 @@ impl<'a> Engine<'a> {
                     self.send_to_worker(worker, MasterToWorker::Assign { job, seq });
                 }
                 SchedAction::Offer { worker, job } => {
-                    self.note_sched(Some(worker), Some(job.id), SchedEventKind::Offered);
+                    if !self.note_sched(Some(worker), Some(job.id), SchedEventKind::Offered) {
+                        break;
+                    }
                     let seq = if self.net_active {
                         self.arm_placement(&job, worker, true)
                     } else {
@@ -598,9 +682,17 @@ impl<'a> Engine<'a> {
                     self.send_to_worker(worker, MasterToWorker::Offer { job, seq });
                 }
                 SchedAction::BroadcastBidRequest { job } => {
+                    if !self.note_sched(None, Some(job.id), SchedEventKind::ContestOpened) {
+                        break;
+                    }
                     self.m.contests_opened.inc();
-                    self.open_contests.insert(job.id, self.q.now());
-                    self.note_sched(None, Some(job.id), SchedEventKind::ContestOpened);
+                    self.open_contests.insert(
+                        job.id,
+                        OpenContest {
+                            opened: self.q.now(),
+                            bidders: Vec::new(),
+                        },
+                    );
                     for i in 0..self.handles.len() {
                         if self.active[i] {
                             self.send_to_worker(
@@ -727,6 +819,9 @@ impl<'a> Engine<'a> {
                 self.created += 1;
                 self.note_sched(None, Some(id), SchedEventKind::Submitted);
                 let job = spec.into_job(id);
+                if !self.cfg.master_faults.is_empty() {
+                    self.jobs_inflight.insert(id, job.clone());
+                }
                 self.run_master(|m, ctx| m.on_job(job, ctx));
             }
             Ev::WorkerRecv { worker, msg } => match msg {
@@ -806,8 +901,13 @@ impl<'a> Engine<'a> {
                         }
                         self.enqueue_on_worker(worker, job);
                     } else {
+                        // The Rejected log entry is written when the
+                        // reject *reaches the master* (below), not
+                        // here: the log is the master's replicated
+                        // state, and an in-flight reject must not look
+                        // applied to a standby replaying after
+                        // failover.
                         self.worker(worker).declined.insert(job.id);
-                        self.note_sched(Some(worker), Some(job.id), SchedEventKind::Rejected);
                         self.send_to_master(
                             worker,
                             WorkerToMaster::Reject { job },
@@ -850,21 +950,37 @@ impl<'a> Engine<'a> {
                         }
                     }
                 }
+                if let WorkerToMaster::Reject { job } = &msg {
+                    // Logged at the receipt site (not when the worker
+                    // declined) so the replicated log reflects exactly
+                    // what the master has seen; the stale-reject guard
+                    // above already filtered duplicates.
+                    self.note_sched(Some(from), Some(job.id), SchedEventKind::Rejected);
+                }
                 if let WorkerToMaster::Bid { job, estimate_secs } = &msg {
+                    // Mirror the threaded master's intake: only a bid
+                    // freshly recorded into an open contest is logged.
+                    // A late bid (the contest already closed) or a
+                    // duplicate — e.g. a stale in-flight bid solicited
+                    // by a pre-failover leader arriving next to the
+                    // re-solicited one — is received but never
+                    // committed, matching what the master counts.
                     if estimate_secs.is_finite() {
-                        self.m.bids_received.inc();
-                        if let Some(&opened) = self.open_contests.get(job) {
-                            self.m
-                                .bid_latency_secs
-                                .record(self.q.now().saturating_since(opened).as_secs_f64());
+                        if let Some(c) = self.open_contests.get_mut(job) {
+                            if !c.bidders.contains(&from) {
+                                c.bidders.push(from);
+                                self.m.bids_received.inc();
+                                let waited = self.q.now().saturating_since(c.opened);
+                                self.m.bid_latency_secs.record(waited.as_secs_f64());
+                                self.note_sched(
+                                    Some(from),
+                                    Some(*job),
+                                    SchedEventKind::BidReceived {
+                                        estimate_secs: *estimate_secs,
+                                    },
+                                );
+                            }
                         }
-                        self.note_sched(
-                            Some(from),
-                            Some(*job),
-                            SchedEventKind::BidReceived {
-                                estimate_secs: *estimate_secs,
-                            },
-                        );
                     }
                 }
                 self.run_master(|m, ctx| m.on_worker_message(from, msg, ctx));
@@ -1218,6 +1334,7 @@ impl<'a> Engine<'a> {
         let now = self.q.now();
         self.completed += 1;
         self.note_sched(Some(worker), Some(job.id), SchedEventKind::Completed);
+        self.jobs_inflight.remove(&job.id);
         self.m.jobs_completed.inc();
         self.last_completion = self.last_completion.max(now);
         // Run the task logic, spawning downstream jobs.
@@ -1238,9 +1355,72 @@ impl<'a> Engine<'a> {
             self.created += 1;
             self.note_sched(None, Some(id), SchedEventKind::Submitted);
             let new_job = spec.into_job(id);
+            if !self.cfg.master_faults.is_empty() {
+                self.jobs_inflight.insert(id, new_job.clone());
+            }
             self.run_master(|m, c| m.on_job(new_job, c));
         }
         self.run_master(|m, c| m.on_job_done(worker, &job, c));
+    }
+
+    /// Elect a standby replica after a leader crash: replay the
+    /// committed log into a [`crate::replog::SchedState`], draft a
+    /// fresh scheduler from the allocator, and re-enter everything the
+    /// state says is unfinished — open contests are re-offered from
+    /// scratch, unplaced jobs re-enter allocation, and idle workers
+    /// re-announce themselves so pull-based schedulers resume.
+    fn do_failover(&mut self) {
+        self.failover_pending = false;
+        let now = self.q.now();
+        let Some(log) = &mut self.sched_log else {
+            unreachable!("failover without a replicated log");
+        };
+        let (_term, state, entries) = log.failover(now);
+        self.m.master_failovers.inc();
+        self.m.replay_entries.add(entries);
+        // The dead leader's contest tallies would vanish with its
+        // scheduler instance; carry them into the run totals.
+        let stats = self.master.stats();
+        self.stats_carry_timed_out += stats.contests_timed_out;
+        self.stats_carry_fallback += stats.contests_fallback;
+        self.master = self.allocator.master();
+        // Contests open at crash time were decided by nobody: the
+        // engine forgets them and the standby re-opens contests for
+        // the jobs when they re-enter allocation below.
+        self.open_contests.clear();
+        // Replayed rejection routing (Baseline's "avoid the rejector
+        // on re-offer") survives the failover.
+        for (job, w) in state.rejections() {
+            self.master.restore_rejection(job, w);
+        }
+        // Live, drained workers re-announce themselves so the pull
+        // loop restarts under the new leader.
+        for i in 0..self.nodes.len() {
+            if self.active[i]
+                && self.nodes[i].queue.is_empty()
+                && self.nodes[i].activity == WorkerActivity::Idle
+            {
+                self.q.schedule_at(
+                    now,
+                    Ev::MasterRecv {
+                        from: WorkerId(i as u32),
+                        msg: WorkerToMaster::Idle,
+                    },
+                );
+            }
+        }
+        // Jobs the committed log proves submitted-but-unplaced re-enter
+        // allocation exactly once. Placed jobs are left alone: their
+        // worker (or the engine's lease/retry machinery) still owns
+        // them, and completions route to the new leader unchanged.
+        for id in state.unplaced_jobs() {
+            let job = self
+                .jobs_inflight
+                .get(&id)
+                .cloned()
+                .expect("unplaced job without a retained payload");
+            self.run_master(|m, ctx| m.on_job(job, ctx));
+        }
     }
 }
 
@@ -1307,13 +1487,18 @@ pub fn run_workflow(
         epochs: vec![0; n_workers],
         assignments: Vec::new(),
         trace: if cfg.trace { Some(Trace::new()) } else { None },
-        sched_log: if cfg.trace {
-            Some(SchedLog::new())
+        sched_log: if cfg.trace || !cfg.master_faults.is_empty() {
+            Some(ReplicatedLog::new(&cfg.master_faults))
         } else {
             None
         },
         policies: (0..n_workers).map(|_| allocator.worker_policy()).collect(),
         master: allocator.master(),
+        allocator,
+        failover_pending: false,
+        jobs_inflight: HashMap::new(),
+        stats_carry_timed_out: 0,
+        stats_carry_fallback: 0,
         handles,
         roster: Vec::with_capacity(n_workers),
         roster_dirty: true,
@@ -1360,6 +1545,13 @@ pub fn run_workflow(
 
     while let Some((_t, ev)) = engine.q.pop() {
         engine.handle(ev);
+        // A leader crash observed while handling `ev` elects a standby
+        // before the next event is delivered (the election happens
+        // "between" engine events; its virtual cost is the control
+        // latency of the re-announcements it schedules).
+        if engine.failover_pending {
+            engine.do_failover();
+        }
         if engine.arrivals_seen == engine.arrivals_total
             && engine.created > 0
             && engine.completed == engine.created
@@ -1394,10 +1586,16 @@ pub fn run_workflow(
         ));
     }
     let completed = engine.completed;
-    let sched_stats = engine.master.stats();
+    let mut sched_stats = engine.master.stats();
+    sched_stats.contests_timed_out += engine.stats_carry_timed_out;
+    sched_stats.contests_fallback += engine.stats_carry_fallback;
     let assignments = std::mem::take(&mut engine.assignments);
     let trace = engine.trace.take().unwrap_or_default();
-    let sched_log = engine.sched_log.take().unwrap_or_default();
+    let sched_log = engine
+        .sched_log
+        .take()
+        .map(ReplicatedLog::into_log)
+        .unwrap_or_default();
     let m = engine.m.clone();
     // Workers still down when the run ends are charged until the
     // makespan (or until their crash instant, whichever is later).

@@ -37,7 +37,12 @@ use crate::trace::{SchedEvent, SchedEventKind, TraceEvent, TraceKind};
 /// v3 added the at-least-once reliability events `assign_acked`,
 /// `lease_expired` and `resent` (with its `attempt` field), emitted
 /// by both runtimes when a [`crate::faults::NetFaultPlan`] is active.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4 added the master-failover events `leader_elected` (with its
+/// `term` field) and `failover_replayed` (with its `entries` field),
+/// emitted when a [`crate::faults::MasterFaultPlan`] crashes the
+/// leader and an elected standby rebuilds by log replay.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The stream header: which run produced the lines that follow.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -158,6 +163,8 @@ pub fn sched_kind_name(kind: &SchedEventKind) -> &'static str {
         SchedEventKind::AssignAcked => "assign_acked",
         SchedEventKind::LeaseExpired => "lease_expired",
         SchedEventKind::Resent { .. } => "resent",
+        SchedEventKind::LeaderElected { .. } => "leader_elected",
+        SchedEventKind::FailoverReplayed { .. } => "failover_replayed",
     }
 }
 
@@ -195,6 +202,12 @@ fn sched_event_to_json(ev: &SchedEvent) -> Json {
         SchedEventKind::Resent { attempt } => {
             fields.push(("attempt".to_string(), Json::UInt(attempt as u64)));
         }
+        SchedEventKind::LeaderElected { term } => {
+            fields.push(("term".to_string(), Json::UInt(term as u64)));
+        }
+        SchedEventKind::FailoverReplayed { entries } => {
+            fields.push(("entries".to_string(), Json::UInt(entries)));
+        }
         _ => {}
     }
     Json::Obj(fields)
@@ -222,6 +235,12 @@ fn sched_event_from_json(v: &Json) -> Result<SchedEvent, JsonError> {
         "lease_expired" => SchedEventKind::LeaseExpired,
         "resent" => SchedEventKind::Resent {
             attempt: v.req_u64("attempt")? as u32,
+        },
+        "leader_elected" => SchedEventKind::LeaderElected {
+            term: v.req_u64("term")? as u32,
+        },
+        "failover_replayed" => SchedEventKind::FailoverReplayed {
+            entries: v.req_u64("entries")?,
         },
         other => return Err(JsonError(format!("unknown sched kind {other:?}"))),
     };
@@ -361,6 +380,8 @@ mod tests {
             SchedEventKind::AssignAcked,
             SchedEventKind::LeaseExpired,
             SchedEventKind::Resent { attempt: 2 },
+            SchedEventKind::LeaderElected { term: 3 },
+            SchedEventKind::FailoverReplayed { entries: 42 },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let ev = SchedEvent {

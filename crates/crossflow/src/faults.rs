@@ -32,6 +32,13 @@
 //! a [`RetryPolicy`] parameterises the at-least-once countermeasures
 //! (acked assignments with exponential-backoff retries, per-assignment
 //! leases) that keep runs terminating correctly anyway.
+//!
+//! PR 7 closes the last single point of failure: a [`MasterFaultPlan`]
+//! crashes the *master* at chosen committed-append indices of the
+//! replicated scheduler log (see [`crate::replog`]) and an elected
+//! standby takes over by replay. All three axes are carried by one
+//! [`Faults`] aggregate with a single `validate()`, wired through
+//! [`RunSpec::builder().faults(..)`](crate::spec::RunSpecBuilder::faults).
 
 use std::fmt;
 
@@ -155,6 +162,15 @@ pub enum FaultPlanError {
     EmptyPartitionWindow { index: usize },
     /// A [`RetryPolicy`] field is outside its valid range.
     RetryOutOfRange { field: &'static str, value: f64 },
+    /// `MasterFaultPlan::crash_at` indices must be ≥ 1 and strictly
+    /// increasing (they are 1-based committed-append indices).
+    MasterCrashOrder { index: u64 },
+    /// More master crashes are scheduled than the replica group can
+    /// absorb while keeping an append quorum alive.
+    MasterCrashBudget { crashes: usize, budget: u32 },
+    /// Master crashes are armed but the replica group is too small to
+    /// elect a successor (a quorum needs at least 3 replicas).
+    InsufficientReplicas { replicas: u32 },
 }
 
 impl fmt::Display for FaultPlanError {
@@ -190,6 +206,24 @@ impl fmt::Display for FaultPlanError {
             }
             FaultPlanError::RetryOutOfRange { field, value } => {
                 write!(f, "retry policy field {field} = {value} is out of range")
+            }
+            FaultPlanError::MasterCrashOrder { index } => {
+                write!(
+                    f,
+                    "master crash index {index} is not ≥ 1 and strictly increasing"
+                )
+            }
+            FaultPlanError::MasterCrashBudget { crashes, budget } => {
+                write!(
+                    f,
+                    "{crashes} master crashes exceed the replica group's budget of {budget} (a quorum must survive)"
+                )
+            }
+            FaultPlanError::InsufficientReplicas { replicas } => {
+                write!(
+                    f,
+                    "{replicas} master replicas cannot elect a successor; need at least 3"
+                )
             }
         }
     }
@@ -474,6 +508,217 @@ impl NetFaultPlan {
     }
 }
 
+/// A deterministic plan of *master* crashes, expressed in replicated-
+/// log coordinates: the leader dies while performing its N-th append
+/// to the [`crate::replog::ReplicatedLog`] (1-based, counting every
+/// append attempt). Keying crashes to log indices instead of wall
+/// instants makes a failover replayable bit-for-bit on both runtimes —
+/// the log is the only clock the two share exactly.
+///
+/// The replica group is modeled, not simulated: `replicas` standby
+/// followers ack every append (commit-before-act), so when the leader
+/// dies the survivors hold every *committed* entry and one of them is
+/// elected after `election_timeout_secs`. Validation enforces the
+/// quorum arithmetic: with `r` replicas and quorum `r/2 + 1`, at most
+/// `r - quorum` crashes can be scheduled (3 replicas → 1 crash,
+/// 5 → 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MasterFaultPlan {
+    /// Size of the master replica group (leader + standbys).
+    pub replicas: u32,
+    /// 1-based committed-append indices at which the current leader
+    /// crashes; must be strictly increasing.
+    pub crash_at: Vec<u64>,
+    /// Modeled election gap before the standby takes over (virtual
+    /// seconds; must be finite and positive).
+    pub election_timeout_secs: f64,
+}
+
+impl Default for MasterFaultPlan {
+    fn default() -> Self {
+        MasterFaultPlan {
+            replicas: 3,
+            crash_at: Vec::new(),
+            election_timeout_secs: 0.5,
+        }
+    }
+}
+
+impl MasterFaultPlan {
+    /// No master crashes (every prior PR's configuration).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Start building a plan (3 replicas, 0.5 s election timeout).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule a leader crash at the given 1-based append index.
+    pub fn crash_at(mut self, append_index: u64) -> Self {
+        self.crash_at.push(append_index);
+        self
+    }
+
+    /// Override the replica group size.
+    pub fn with_replicas(mut self, replicas: u32) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Override the election timeout.
+    pub fn with_election_timeout(mut self, secs: f64) -> Self {
+        self.election_timeout_secs = secs;
+        self
+    }
+
+    /// True iff no master crash is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.crash_at.is_empty()
+    }
+
+    /// Followers needed (leader included) to commit an append.
+    pub fn quorum(&self) -> u32 {
+        self.replicas / 2 + 1
+    }
+
+    /// How many leader crashes the group can absorb while an append
+    /// quorum survives.
+    pub fn crash_budget(&self) -> u32 {
+        self.replicas.saturating_sub(self.quorum())
+    }
+
+    /// Check quorum arithmetic, crash ordering and the election gap.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let secs = self.election_timeout_secs;
+        if !secs.is_finite() {
+            return Err(FaultPlanError::NonFiniteSeconds {
+                field: "election_timeout_secs",
+                value: secs,
+            });
+        }
+        if secs <= 0.0 {
+            return Err(FaultPlanError::NegativeSeconds {
+                field: "election_timeout_secs",
+                value: secs,
+            });
+        }
+        let mut prev = 0u64;
+        for &index in &self.crash_at {
+            if index <= prev {
+                return Err(FaultPlanError::MasterCrashOrder { index });
+            }
+            prev = index;
+        }
+        if self.is_empty() {
+            return Ok(());
+        }
+        if self.replicas < 3 {
+            return Err(FaultPlanError::InsufficientReplicas {
+                replicas: self.replicas,
+            });
+        }
+        let budget = self.crash_budget();
+        if self.crash_at.len() > budget as usize {
+            return Err(FaultPlanError::MasterCrashBudget {
+                crashes: self.crash_at.len(),
+                budget,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Every fault axis of one run — worker crashes, lossy links and
+/// master crashes — behind a single builder and a single `validate()`.
+///
+/// [`RunSpec::builder().faults(..)`](crate::spec::RunSpecBuilder::faults)
+/// takes `impl Into<Faults>`, so a lone [`FaultPlan`], [`NetFaultPlan`]
+/// or [`MasterFaultPlan`] still reads naturally while combined plans
+/// compose:
+///
+/// ```
+/// use crossbid_crossflow::faults::{Faults, FaultPlan, MasterFaultPlan, NetFaultPlan};
+///
+/// let faults = Faults::new()
+///     .net(NetFaultPlan::lossy(7, 0.1, 0.05))
+///     .master(MasterFaultPlan::new().crash_at(40));
+/// assert!(!faults.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Faults {
+    /// Worker crash/recovery schedule.
+    pub workers: FaultPlan,
+    /// Link-level loss, duplication, delay and partitions.
+    pub net: NetFaultPlan,
+    /// Master crash schedule in replicated-log coordinates.
+    pub master: MasterFaultPlan,
+}
+
+impl Faults {
+    /// No faults on any axis.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Start building.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker crash/recovery plan.
+    pub fn workers(mut self, plan: FaultPlan) -> Self {
+        self.workers = plan;
+        self
+    }
+
+    /// Set the link-fault plan.
+    pub fn net(mut self, plan: NetFaultPlan) -> Self {
+        self.net = plan;
+        self
+    }
+
+    /// Set the master crash plan.
+    pub fn master(mut self, plan: MasterFaultPlan) -> Self {
+        self.master = plan;
+        self
+    }
+
+    /// True iff no axis can inject anything.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty() && !self.net.is_active() && self.master.is_empty()
+    }
+
+    /// Validate all three axes, mapping each failure to its
+    /// [`SpecError`](crate::spec::SpecError) variant.
+    pub fn validate(&self) -> Result<(), crate::spec::SpecError> {
+        use crate::spec::SpecError;
+        self.workers.validate().map_err(SpecError::Faults)?;
+        self.net.validate().map_err(SpecError::NetFaults)?;
+        self.master.validate().map_err(SpecError::MasterFaults)?;
+        Ok(())
+    }
+}
+
+impl From<FaultPlan> for Faults {
+    fn from(plan: FaultPlan) -> Self {
+        Faults::new().workers(plan)
+    }
+}
+
+impl From<NetFaultPlan> for Faults {
+    fn from(plan: NetFaultPlan) -> Self {
+        Faults::new().net(plan)
+    }
+}
+
+impl From<MasterFaultPlan> for Faults {
+    fn from(plan: MasterFaultPlan) -> Self {
+        Faults::new().master(plan)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -690,6 +935,123 @@ mod tests {
         assert!(plan.is_active());
         assert_eq!(plan.validate(), Ok(()));
         assert!(!NetFaultPlan::none().is_active());
+    }
+
+    #[test]
+    fn master_plan_defaults_are_quorate_and_empty() {
+        let plan = MasterFaultPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.replicas, 3);
+        assert_eq!(plan.quorum(), 2);
+        assert_eq!(plan.crash_budget(), 1);
+        assert_eq!(plan.validate(), Ok(()));
+    }
+
+    #[test]
+    fn master_plan_rejects_non_increasing_crash_indices() {
+        for bad in [
+            MasterFaultPlan::new().crash_at(0),
+            MasterFaultPlan::new()
+                .crash_at(5)
+                .crash_at(5)
+                .with_replicas(5),
+            MasterFaultPlan::new()
+                .crash_at(9)
+                .crash_at(3)
+                .with_replicas(5),
+        ] {
+            assert!(
+                matches!(bad.validate(), Err(FaultPlanError::MasterCrashOrder { .. })),
+                "{:?} must be rejected",
+                bad.crash_at
+            );
+        }
+    }
+
+    #[test]
+    fn master_plan_enforces_quorum_arithmetic() {
+        // 3 replicas (quorum 2) absorb exactly one leader crash.
+        assert_eq!(MasterFaultPlan::new().crash_at(10).validate(), Ok(()));
+        assert_eq!(
+            MasterFaultPlan::new().crash_at(10).crash_at(20).validate(),
+            Err(FaultPlanError::MasterCrashBudget {
+                crashes: 2,
+                budget: 1
+            })
+        );
+        // 5 replicas (quorum 3) absorb two.
+        assert_eq!(
+            MasterFaultPlan::new()
+                .with_replicas(5)
+                .crash_at(10)
+                .crash_at(20)
+                .validate(),
+            Ok(())
+        );
+        assert_eq!(
+            MasterFaultPlan::new()
+                .with_replicas(2)
+                .crash_at(1)
+                .validate(),
+            Err(FaultPlanError::InsufficientReplicas { replicas: 2 })
+        );
+    }
+
+    #[test]
+    fn master_plan_rejects_degenerate_election_timeouts() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let plan = MasterFaultPlan::new().with_election_timeout(bad);
+            assert!(
+                matches!(
+                    plan.validate(),
+                    Err(FaultPlanError::NonFiniteSeconds { .. }
+                        | FaultPlanError::NegativeSeconds { .. })
+                ),
+                "election_timeout_secs = {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn faults_aggregate_composes_and_converts() {
+        assert!(Faults::none().is_empty());
+        assert!(!Faults::from(NetFaultPlan::lossy(1, 0.1, 0.0)).is_empty());
+        assert!(!Faults::from(MasterFaultPlan::new().crash_at(3)).is_empty());
+        let from_workers: Faults = FaultPlan::new()
+            .crash_at(SimTime::from_secs(1), WorkerId(0))
+            .into();
+        assert!(!from_workers.is_empty());
+        assert!(from_workers.net.partitions.is_empty());
+        let combined = Faults::new()
+            .workers(FaultPlan::new().crash_at(SimTime::from_secs(1), WorkerId(0)))
+            .net(NetFaultPlan::lossy(1, 0.1, 0.0))
+            .master(MasterFaultPlan::new().crash_at(3));
+        assert!(combined.validate().is_ok());
+    }
+
+    #[test]
+    fn faults_aggregate_maps_each_axis_to_its_spec_error() {
+        use crate::spec::SpecError;
+        let bad_workers =
+            Faults::new().workers(FaultPlan::new().recover_at(SimTime::from_secs(1), WorkerId(0)));
+        assert!(matches!(
+            bad_workers.validate(),
+            Err(SpecError::Faults(FaultPlanError::RecoverWithoutCrash(_)))
+        ));
+        let bad_net = Faults::new().net(NetFaultPlan::lossy(0, 2.0, 0.0));
+        assert!(matches!(
+            bad_net.validate(),
+            Err(SpecError::NetFaults(
+                FaultPlanError::ProbabilityOutOfRange { .. }
+            ))
+        ));
+        let bad_master = Faults::new().master(MasterFaultPlan::new().crash_at(0));
+        assert!(matches!(
+            bad_master.validate(),
+            Err(SpecError::MasterFaults(
+                FaultPlanError::MasterCrashOrder { .. }
+            ))
+        ));
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub mod idle;
 pub mod job;
 pub mod obs;
 pub mod prelude;
+pub mod replog;
 pub mod runtime;
 pub mod scheduler;
 pub mod session;
@@ -85,10 +86,12 @@ pub use export::{
     SCHEMA_VERSION,
 };
 pub use faults::{
-    FaultEvent, FaultPlan, FaultPlanError, LinkFault, NetFaultPlan, Partition, RetryPolicy,
+    FaultEvent, FaultPlan, FaultPlanError, Faults, LinkFault, MasterFaultPlan, NetFaultPlan,
+    Partition, RetryPolicy,
 };
 pub use job::{Arrival, Job, JobId, JobSpec, Payload, ResourceRef, TaskId, WorkerId};
 pub use obs::RuntimeMetrics;
+pub use replog::{AppendOutcome, ReplicatedLog, SchedState};
 pub use runtime::{Runtime, ThreadedSession};
 pub use scheduler::{
     Allocator, JobView, MasterScheduler, ObedientPolicy, SchedAction, SchedCtx, SchedStats,
@@ -97,8 +100,6 @@ pub use scheduler::{
 pub use session::Session;
 pub use spec::{RunSpec, RunSpecBuilder, SpecError};
 pub use task::{CollectedOutputs, SinkTask, TaskCtx, TaskLogic};
-#[allow(deprecated)]
-pub use threaded::{run_threaded, run_threaded_traced};
 pub use threaded::{
     run_threaded_output, ChaosConfig, DeliveryEntry, DeliveryLog, DeliveryLogHandle,
     ProtocolMutation, ThreadedConfig, ThreadedScheduler,

@@ -43,6 +43,15 @@
 //! | `net/dedup_hits` | counter | duplicate envelopes discarded |
 //! | `acks/received` | counter | assignment/offer acks applied |
 //! | `lease/expired` | counter | placements bounced by lease expiry |
+//!
+//! Master-failover instruments (zero unless a
+//! [`crate::faults::MasterFaultPlan`] is armed):
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `master/failovers` | counter | leader crashes survived by election |
+//! | `replog/truncated` | counter | decision appends lost with the leader |
+//! | `replay/entries` | counter | committed entries replayed by successors |
 
 use crossbid_metrics::{Counter, Histogram, Registry, RegistrySnapshot};
 
@@ -79,6 +88,9 @@ pub struct RuntimeMetrics {
     pub acks_received: Counter,
     pub lease_expired: Counter,
     pub sim_clamped_events: Counter,
+    pub master_failovers: Counter,
+    pub replog_truncated: Counter,
+    pub replay_entries: Counter,
 }
 
 impl RuntimeMetrics {
@@ -110,6 +122,9 @@ impl RuntimeMetrics {
             acks_received: registry.counter("acks/received"),
             lease_expired: registry.counter("lease/expired"),
             sim_clamped_events: registry.counter("sim/clamped_events"),
+            master_failovers: registry.counter("master/failovers"),
+            replog_truncated: registry.counter("replog/truncated"),
+            replay_entries: registry.counter("replay/entries"),
             registry,
         }
     }

@@ -13,7 +13,7 @@ pub use crate::engine::{Cluster, EngineConfig, RunMeta, RunOutput};
 pub use crate::export::{
     parse_run_stream, write_run_stream, RunStreamLine, RunStreamMeta, SCHEMA_VERSION,
 };
-pub use crate::faults::{FaultEvent, FaultPlan};
+pub use crate::faults::{FaultEvent, FaultPlan, Faults, MasterFaultPlan, NetFaultPlan};
 pub use crate::job::{Arrival, Job, JobId, JobSpec, Payload, ResourceRef, TaskId, WorkerId};
 pub use crate::obs::RuntimeMetrics;
 pub use crate::runtime::{Runtime, ThreadedSession};

@@ -1,0 +1,541 @@
+//! The replicated scheduler log and its pure state machine — the
+//! machinery that kills the master single point of failure.
+//!
+//! The design follows the Raft-on-the-coordinator shape: the master is
+//! a *state machine* whose only durable truth is the [`SchedLog`].
+//! Every scheduling **decision** (opening a contest, assigning,
+//! offering, closing) must be appended — and acknowledged by a quorum
+//! of standby replicas — *before* the master acts on it
+//! (commit-before-act). Ingest facts (submissions, bids, completions,
+//! crash notices) are appended as they are observed. When the leader
+//! dies, an elected standby holds every committed entry by
+//! construction; it rebuilds scheduler state with [`SchedState::replay`]
+//! and resumes, re-offering whatever the log shows as submitted but
+//! unplaced.
+//!
+//! Two consequences fall out of commit-before-act:
+//!
+//! * a decision the leader died *during* is simply never performed —
+//!   the entry is truncated, no message was sent, and the job it
+//!   concerned is still unplaced in the replayed state;
+//! * a decision the log *does* hold was quorum-acked, so the successor
+//!   honours it — in-flight assignments keep their leases, acks and
+//!   retransmission timers instead of being double-issued.
+//!
+//! The replica group itself is modeled, not simulated: follower acks
+//! are assumed instantaneous and the election gap is a configured
+//! constant ([`MasterFaultPlan::election_timeout_secs`]). The
+//! determinism axis that matters — *where in the decision stream the
+//! leader dies* — is exact: crashes are keyed to 1-based append
+//! indices, which both runtimes share bit-for-bit.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crossbid_simcore::SimTime;
+
+use crate::faults::MasterFaultPlan;
+use crate::job::{JobId, WorkerId};
+use crate::trace::{SchedEvent, SchedEventKind, SchedLog};
+
+/// Is this event a scheduler *decision* (commit-before-act: truncated
+/// if the leader dies during the append) as opposed to an observed
+/// *fact* (committed on arrival, survives the crash)?
+pub fn is_decision(kind: &SchedEventKind) -> bool {
+    matches!(
+        kind,
+        SchedEventKind::ContestOpened
+            | SchedEventKind::Assigned
+            | SchedEventKind::ContestClosed { .. }
+            | SchedEventKind::Offered
+    )
+}
+
+/// What happened to one append attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendOutcome {
+    /// Quorum-acked; the caller may act on the entry.
+    Committed,
+    /// The leader died during this append. `truncated` tells the
+    /// caller whether the entry was lost with it (a decision — do NOT
+    /// act) or had already committed (an ingest fact — the fact
+    /// stands, but the master is dead and a standby must take over).
+    LeaderCrashed {
+        /// True iff the entry is absent from the committed log.
+        truncated: bool,
+    },
+}
+
+/// Per-job state as reconstructed from the committed log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobState {
+    /// A `Submitted` entry was committed.
+    pub submitted: bool,
+    /// A `Completed` entry was committed.
+    pub completed: bool,
+    /// The worker currently holding the job's placement (assignment or
+    /// offer), if any.
+    pub placed_on: Option<WorkerId>,
+    /// The current placement was acked by the worker.
+    pub acked: bool,
+    /// A bidding contest for this job is open.
+    pub contest_open: bool,
+    /// Bids received for the currently/last open contest.
+    pub bids: Vec<(WorkerId, f64)>,
+    /// Last worker that rejected this job (drives the re-offer
+    /// tie-break; cleared from relevance on completion).
+    pub last_rejector: Option<WorkerId>,
+    /// Times the job bounced off a dead worker.
+    pub redistributions: u64,
+}
+
+/// The pure scheduler state machine: `replay(log)` folds every
+/// committed [`SchedEvent`] through [`apply`](Self::apply). The
+/// failover path and the property tests share this single definition,
+/// so "what the successor believes" is exactly "what the log says".
+///
+/// Maps are `BTree*` so iteration (and therefore re-offer order after
+/// failover) is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedState {
+    jobs: BTreeMap<JobId, JobState>,
+    dead: BTreeSet<WorkerId>,
+    /// Leadership term last seen in the log (0 before any election
+    /// entry; the first leader is term 1).
+    pub term: u32,
+    /// Committed `Submitted` entries.
+    pub submissions: u64,
+    /// Committed `Completed` entries.
+    pub completions: u64,
+}
+
+impl SchedState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold the committed log into a state.
+    pub fn replay<'a>(events: impl IntoIterator<Item = &'a SchedEvent>) -> Self {
+        let mut st = Self::new();
+        for ev in events {
+            st.apply(ev);
+        }
+        st
+    }
+
+    fn job_mut(&mut self, id: JobId) -> &mut JobState {
+        self.jobs.entry(id).or_default()
+    }
+
+    /// Apply one committed entry.
+    pub fn apply(&mut self, ev: &SchedEvent) {
+        let worker = ev.worker;
+        match ev.kind {
+            SchedEventKind::Submitted => {
+                if let Some(id) = ev.job {
+                    self.job_mut(id).submitted = true;
+                    self.submissions += 1;
+                }
+            }
+            SchedEventKind::ContestOpened => {
+                if let Some(id) = ev.job {
+                    let j = self.job_mut(id);
+                    j.contest_open = true;
+                    j.bids.clear();
+                }
+            }
+            SchedEventKind::BidReceived { estimate_secs } => {
+                if let (Some(id), Some(w)) = (ev.job, worker) {
+                    self.job_mut(id).bids.push((w, estimate_secs));
+                }
+            }
+            SchedEventKind::ContestClosed { .. } => {
+                if let Some(id) = ev.job {
+                    self.job_mut(id).contest_open = false;
+                }
+            }
+            SchedEventKind::Assigned | SchedEventKind::Offered => {
+                if let Some(id) = ev.job {
+                    let j = self.job_mut(id);
+                    j.placed_on = worker;
+                    j.acked = false;
+                }
+            }
+            SchedEventKind::Rejected => {
+                if let Some(id) = ev.job {
+                    let j = self.job_mut(id);
+                    j.placed_on = None;
+                    j.acked = false;
+                    j.last_rejector = worker;
+                }
+            }
+            SchedEventKind::Completed => {
+                if let Some(id) = ev.job {
+                    let j = self.job_mut(id);
+                    j.completed = true;
+                    self.completions += 1;
+                }
+            }
+            SchedEventKind::Crash => {
+                if let Some(w) = worker {
+                    self.dead.insert(w);
+                }
+            }
+            SchedEventKind::Recover => {
+                if let Some(w) = worker {
+                    self.dead.remove(&w);
+                }
+            }
+            SchedEventKind::Redistributed => {
+                if let Some(id) = ev.job {
+                    let j = self.job_mut(id);
+                    j.placed_on = None;
+                    j.acked = false;
+                    j.redistributions += 1;
+                }
+            }
+            SchedEventKind::AssignAcked => {
+                if let Some(id) = ev.job {
+                    self.job_mut(id).acked = true;
+                }
+            }
+            SchedEventKind::LeaseExpired => {
+                if let Some(id) = ev.job {
+                    let j = self.job_mut(id);
+                    j.placed_on = None;
+                    j.acked = false;
+                }
+            }
+            SchedEventKind::Resent { .. } => {}
+            SchedEventKind::LeaderElected { term } => self.term = term,
+            SchedEventKind::FailoverReplayed { .. } => {}
+        }
+    }
+
+    /// One job's reconstructed state.
+    pub fn job(&self, id: JobId) -> Option<&JobState> {
+        self.jobs.get(&id)
+    }
+
+    /// The worker currently holding `id`'s placement, if any.
+    pub fn placed_on(&self, id: JobId) -> Option<WorkerId> {
+        self.jobs.get(&id).and_then(|j| j.placed_on)
+    }
+
+    /// Last worker that rejected `id`, if any.
+    pub fn last_rejector(&self, id: JobId) -> Option<WorkerId> {
+        self.jobs.get(&id).and_then(|j| j.last_rejector)
+    }
+
+    /// Is `w` crashed (and not recovered) per the log?
+    pub fn is_dead(&self, w: WorkerId) -> bool {
+        self.dead.contains(&w)
+    }
+
+    /// Every submitted, uncompleted job with no current placement —
+    /// exactly what a successor must re-enter into allocation. Sorted
+    /// by job id (BTreeMap order) for deterministic re-offers.
+    pub fn unplaced_jobs(&self) -> Vec<JobId> {
+        self.jobs
+            .iter()
+            .filter(|(_, j)| j.submitted && !j.completed && j.placed_on.is_none())
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Every live placement `(job, worker)` — what a successor must
+    /// keep honouring (leases, retries) rather than re-issue.
+    pub fn placements(&self) -> Vec<(JobId, WorkerId)> {
+        self.jobs
+            .iter()
+            .filter(|(_, j)| !j.completed)
+            .filter_map(|(&id, j)| j.placed_on.map(|w| (id, w)))
+            .collect()
+    }
+
+    /// Last-rejector pairs for uncompleted jobs, for rebuilding the
+    /// re-offer tie-break after failover.
+    pub fn rejections(&self) -> Vec<(JobId, WorkerId)> {
+        self.jobs
+            .iter()
+            .filter(|(_, j)| !j.completed)
+            .filter_map(|(&id, j)| j.last_rejector.map(|w| (id, w)))
+            .collect()
+    }
+}
+
+/// A [`SchedLog`] behind a quorum-replication discipline plus the
+/// [`MasterFaultPlan`] crash schedule. With no crashes armed, `append`
+/// is a plain push — the hot path stays identical to a plain traced
+/// run.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicatedLog {
+    log: SchedLog,
+    crash_at: Vec<u64>,
+    next_crash: usize,
+    /// Total append *attempts* so far (1-based at comparison time).
+    appends: u64,
+    term: u32,
+}
+
+impl ReplicatedLog {
+    /// A replicated log under `plan`'s crash schedule. The first
+    /// leader owns term 1.
+    pub fn new(plan: &MasterFaultPlan) -> Self {
+        ReplicatedLog {
+            log: SchedLog::new(),
+            crash_at: plan.crash_at.clone(),
+            next_crash: 0,
+            appends: 0,
+            term: 1,
+        }
+    }
+
+    /// A replication-free log (tracing only; `append` never crashes).
+    pub fn plain() -> Self {
+        Self::new(&MasterFaultPlan::none())
+    }
+
+    /// Append one entry, replicating it to the standby quorum.
+    ///
+    /// If the crash schedule says the leader dies during this attempt:
+    /// a *decision* entry is truncated (never committed — the caller
+    /// must not act on it), while an *ingest* fact had already reached
+    /// the quorum and commits. Either way the caller must stop acting
+    /// as leader and run failover.
+    pub fn append(&mut self, ev: SchedEvent) -> AppendOutcome {
+        self.appends += 1;
+        if self
+            .crash_at
+            .get(self.next_crash)
+            .is_some_and(|&at| self.appends == at)
+        {
+            self.next_crash += 1;
+            let truncated = is_decision(&ev.kind);
+            if !truncated {
+                self.log.push(ev);
+            }
+            return AppendOutcome::LeaderCrashed { truncated };
+        }
+        self.log.push(ev);
+        AppendOutcome::Committed
+    }
+
+    /// Elect a standby and rebuild state by replay: returns the new
+    /// term, the replayed [`SchedState`] and the number of committed
+    /// entries replayed. Appends the `LeaderElected` /
+    /// `FailoverReplayed` markers (election entries do not count
+    /// toward the crash schedule's append indices).
+    pub fn failover(&mut self, at: SimTime) -> (u32, SchedState, u64) {
+        let entries = self.log.len() as u64;
+        let state = SchedState::replay(self.log.events());
+        self.term += 1;
+        self.log.push(SchedEvent {
+            at,
+            worker: None,
+            job: None,
+            kind: SchedEventKind::LeaderElected { term: self.term },
+        });
+        self.log.push(SchedEvent {
+            at,
+            worker: None,
+            job: None,
+            kind: SchedEventKind::FailoverReplayed { entries },
+        });
+        (self.term, state, entries)
+    }
+
+    /// Current leadership term (the first leader is term 1).
+    pub fn term(&self) -> u32 {
+        self.term
+    }
+
+    /// Total append attempts so far.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// The committed log.
+    pub fn log(&self) -> &SchedLog {
+        &self.log
+    }
+
+    /// Take the committed log out (end of run).
+    pub fn into_log(self) -> SchedLog {
+        self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sev(at: u64, worker: Option<u32>, job: Option<u64>, kind: SchedEventKind) -> SchedEvent {
+        SchedEvent {
+            at: SimTime::from_secs(at),
+            worker: worker.map(WorkerId),
+            job: job.map(JobId),
+            kind,
+        }
+    }
+
+    #[test]
+    fn plain_log_commits_everything() {
+        let mut rlog = ReplicatedLog::plain();
+        for i in 0..5u64 {
+            let out = rlog.append(sev(i, None, Some(i), SchedEventKind::Submitted));
+            assert_eq!(out, AppendOutcome::Committed);
+        }
+        assert_eq!(rlog.log().len(), 5);
+        assert_eq!(rlog.term(), 1);
+        assert_eq!(rlog.into_log().submissions(), 5);
+    }
+
+    #[test]
+    fn decision_appends_truncate_at_the_crash_index() {
+        let plan = MasterFaultPlan::new().crash_at(2);
+        let mut rlog = ReplicatedLog::new(&plan);
+        assert_eq!(
+            rlog.append(sev(0, None, Some(1), SchedEventKind::Submitted)),
+            AppendOutcome::Committed
+        );
+        // Append #2 is a decision: the leader dies mid-append and the
+        // entry must not survive.
+        assert_eq!(
+            rlog.append(sev(0, Some(0), Some(1), SchedEventKind::Offered)),
+            AppendOutcome::LeaderCrashed { truncated: true }
+        );
+        assert_eq!(rlog.log().len(), 1);
+        assert_eq!(rlog.log().offers(), 0);
+    }
+
+    #[test]
+    fn ingest_appends_commit_before_the_crash() {
+        let plan = MasterFaultPlan::new().crash_at(1);
+        let mut rlog = ReplicatedLog::new(&plan);
+        assert_eq!(
+            rlog.append(sev(0, None, Some(1), SchedEventKind::Submitted)),
+            AppendOutcome::LeaderCrashed { truncated: false }
+        );
+        assert_eq!(rlog.log().submissions(), 1, "the fact stands");
+    }
+
+    #[test]
+    fn failover_bumps_term_and_logs_markers() {
+        let plan = MasterFaultPlan::new().crash_at(2);
+        let mut rlog = ReplicatedLog::new(&plan);
+        rlog.append(sev(0, None, Some(1), SchedEventKind::Submitted));
+        rlog.append(sev(0, Some(0), Some(1), SchedEventKind::Offered));
+        let (term, state, entries) = rlog.failover(SimTime::from_secs(1));
+        assert_eq!(term, 2);
+        assert_eq!(entries, 1, "only the committed Submitted replays");
+        assert_eq!(state.unplaced_jobs(), vec![JobId(1)]);
+        assert_eq!(rlog.log().failovers(), 1);
+        assert_eq!(rlog.log().replayed_entries(), 1);
+        // Election markers don't consume crash-schedule indices.
+        assert_eq!(rlog.appends(), 2);
+    }
+
+    #[test]
+    fn replay_reconstructs_placements_and_rejections() {
+        let evs = [
+            sev(0, None, Some(1), SchedEventKind::Submitted),
+            sev(0, None, Some(2), SchedEventKind::Submitted),
+            sev(0, None, Some(3), SchedEventKind::Submitted),
+            sev(1, Some(0), Some(1), SchedEventKind::Offered),
+            sev(1, Some(0), Some(1), SchedEventKind::Rejected),
+            sev(1, Some(1), Some(1), SchedEventKind::Offered),
+            sev(2, Some(2), Some(2), SchedEventKind::Offered),
+            sev(2, Some(2), Some(2), SchedEventKind::AssignAcked),
+            sev(3, Some(2), Some(2), SchedEventKind::Completed),
+        ];
+        let st = SchedState::replay(evs.iter());
+        assert_eq!(st.submissions, 3);
+        assert_eq!(st.completions, 1);
+        assert_eq!(st.unplaced_jobs(), vec![JobId(3)]);
+        assert_eq!(st.placements(), vec![(JobId(1), WorkerId(1))]);
+        assert_eq!(st.rejections(), vec![(JobId(1), WorkerId(0))]);
+        assert_eq!(st.last_rejector(JobId(1)), Some(WorkerId(0)));
+        assert_eq!(st.placed_on(JobId(1)), Some(WorkerId(1)));
+        assert!(st.job(JobId(2)).unwrap().acked);
+    }
+
+    #[test]
+    fn replay_tracks_contests_and_dead_workers() {
+        let evs = [
+            sev(0, None, Some(1), SchedEventKind::Submitted),
+            sev(0, None, Some(1), SchedEventKind::ContestOpened),
+            sev(
+                0,
+                Some(0),
+                Some(1),
+                SchedEventKind::BidReceived { estimate_secs: 2.0 },
+            ),
+            sev(1, Some(0), None, SchedEventKind::Crash),
+            sev(1, Some(1), None, SchedEventKind::Crash),
+            sev(2, Some(1), None, SchedEventKind::Recover),
+        ];
+        let st = SchedState::replay(evs.iter());
+        let j = st.job(JobId(1)).unwrap();
+        assert!(j.contest_open);
+        assert_eq!(j.bids, vec![(WorkerId(0), 2.0)]);
+        assert!(st.is_dead(WorkerId(0)));
+        assert!(!st.is_dead(WorkerId(1)));
+        // A redistribution strips the placement.
+        let mut st = st;
+        st.apply(&sev(3, Some(0), Some(1), SchedEventKind::Assigned));
+        st.apply(&sev(4, Some(0), Some(1), SchedEventKind::Redistributed));
+        assert_eq!(st.placed_on(JobId(1)), None);
+        assert_eq!(st.job(JobId(1)).unwrap().redistributions, 1);
+        assert_eq!(st.unplaced_jobs(), vec![JobId(1)]);
+    }
+
+    #[test]
+    fn split_replay_equals_whole_replay() {
+        // replay(prefix) then apply(suffix) must equal replay(whole)
+        // at every split point — the property failover correctness
+        // rides on, in miniature (the integration proptest sweeps real
+        // run logs).
+        let evs = [
+            sev(0, None, Some(1), SchedEventKind::Submitted),
+            sev(0, None, Some(1), SchedEventKind::ContestOpened),
+            sev(
+                0,
+                Some(1),
+                Some(1),
+                SchedEventKind::BidReceived { estimate_secs: 1.5 },
+            ),
+            sev(
+                1,
+                Some(1),
+                Some(1),
+                SchedEventKind::ContestClosed {
+                    timed_out: false,
+                    fallback: false,
+                },
+            ),
+            sev(1, Some(1), Some(1), SchedEventKind::Assigned),
+            sev(2, Some(1), Some(1), SchedEventKind::AssignAcked),
+            sev(3, Some(1), None, SchedEventKind::Crash),
+            sev(5, Some(1), Some(1), SchedEventKind::Redistributed),
+            sev(5, None, None, SchedEventKind::LeaderElected { term: 2 }),
+            sev(
+                5,
+                None,
+                None,
+                SchedEventKind::FailoverReplayed { entries: 8 },
+            ),
+            sev(6, Some(0), Some(1), SchedEventKind::Offered),
+            sev(7, Some(0), Some(1), SchedEventKind::Completed),
+        ];
+        let whole = SchedState::replay(evs.iter());
+        for split in 0..=evs.len() {
+            let mut st = SchedState::replay(evs[..split].iter());
+            for ev in &evs[split..] {
+                st.apply(ev);
+            }
+            assert_eq!(st, whole, "split at {split} diverged");
+        }
+        assert_eq!(whole.term, 2);
+    }
+}

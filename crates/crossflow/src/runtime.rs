@@ -137,6 +137,7 @@ impl ThreadedSession {
             chaos: self.spec.chaos.clone(),
             mutation: self.spec.mutation,
             netfaults: self.spec.engine.netfaults.clone(),
+            master_faults: self.spec.engine.master_faults.clone(),
         };
         let meta = RunMeta {
             worker_config: self.spec.worker_config.clone(),

@@ -188,6 +188,12 @@ pub trait MasterScheduler: Send {
     /// `worker` rejoined with a cold cache.
     fn on_worker_recovered(&mut self, _worker: WorkerId, _ctx: &mut SchedCtx) {}
 
+    /// Failover replay: the committed log proves `worker` rejected
+    /// `job` under a previous leader. Schedulers that route around
+    /// rejectors (e.g. the Baseline's re-offer avoidance) restore that
+    /// memory here; stateless schedulers ignore it.
+    fn restore_rejection(&mut self, _job: JobId, _worker: WorkerId) {}
+
     /// Overhead counters for the run record.
     fn stats(&self) -> SchedStats {
         SchedStats::default()

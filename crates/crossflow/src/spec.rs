@@ -27,7 +27,7 @@ use crossbid_metrics::Registry;
 use crossbid_net::NoiseModel;
 
 use crate::engine::EngineConfig;
-use crate::faults::{FaultPlan, FaultPlanError, NetFaultPlan};
+use crate::faults::{FaultPlanError, Faults, NetFaultPlan};
 use crate::runtime::ThreadedSession;
 use crate::session::Session;
 use crate::threaded::{ChaosConfig, ProtocolMutation};
@@ -150,14 +150,30 @@ impl RunSpecBuilder {
         self
     }
 
-    /// Scheduled crashes/recoveries (both runtimes).
-    pub fn faults(mut self, plan: FaultPlan) -> Self {
-        self.engine.faults = plan;
+    /// Set every fault axis at once (both runtimes). Takes the unified
+    /// [`Faults`] aggregate — or, via `Into`, a lone
+    /// [`FaultPlan`](crate::faults::FaultPlan),
+    /// [`NetFaultPlan`] or
+    /// [`MasterFaultPlan`](crate::faults::MasterFaultPlan).
+    ///
+    /// **Replace semantics:** all three engine fault fields are
+    /// overwritten, so `.faults(worker_plan)` alone resets any
+    /// previously set net or master plan. Compose axes through the
+    /// aggregate: `.faults(Faults::new().workers(..).net(..))`.
+    pub fn faults(mut self, faults: impl Into<Faults>) -> Self {
+        let f = faults.into();
+        self.engine.faults = f.workers;
+        self.engine.netfaults = f.net;
+        self.engine.master_faults = f.master;
         self
     }
 
     /// Lossy master↔worker links plus the at-least-once
     /// countermeasures (both runtimes).
+    #[deprecated(
+        since = "0.7.0",
+        note = "fold the plan into `faults(Faults::new().net(..))` — per-axis setters are replaced by the unified aggregate"
+    )]
     pub fn netfaults(mut self, plan: NetFaultPlan) -> Self {
         self.engine.netfaults = plan;
         self
@@ -226,9 +242,10 @@ impl RunSpecBuilder {
 
     /// Finish the spec, surfacing configuration mistakes as a typed
     /// error instead of silent misbehavior mid-run: an empty cluster,
-    /// a non-positive `time_scale`, a [`FaultPlan`] with
-    /// crash/recovery inversions, or a [`NetFaultPlan`] with
-    /// out-of-range probabilities / negative or non-finite durations.
+    /// a non-positive `time_scale`, or any invalid axis of the
+    /// [`Faults`] aggregate (crash/recovery inversions, out-of-range
+    /// link probabilities, a master crash schedule exceeding the
+    /// replica quorum budget, ...).
     pub fn try_build(self) -> Result<RunSpec, SpecError> {
         if self.workers.is_empty() {
             return Err(SpecError::NoWorkers);
@@ -236,11 +253,11 @@ impl RunSpecBuilder {
         if !(self.time_scale.is_finite() && self.time_scale > 0.0) {
             return Err(SpecError::BadTimeScale(self.time_scale));
         }
-        self.engine.faults.validate().map_err(SpecError::Faults)?;
-        self.engine
-            .netfaults
-            .validate()
-            .map_err(SpecError::NetFaults)?;
+        Faults::new()
+            .workers(self.engine.faults.clone())
+            .net(self.engine.netfaults.clone())
+            .master(self.engine.master_faults.clone())
+            .validate()?;
         Ok(RunSpec {
             workers: self.workers,
             engine: self.engine,
@@ -276,6 +293,8 @@ pub enum SpecError {
     Faults(FaultPlanError),
     /// The network-fault plan has out-of-range fields.
     NetFaults(FaultPlanError),
+    /// The master crash plan breaks quorum arithmetic or ordering.
+    MasterFaults(FaultPlanError),
 }
 
 impl std::fmt::Display for SpecError {
@@ -285,6 +304,7 @@ impl std::fmt::Display for SpecError {
             SpecError::BadTimeScale(v) => write!(f, "time_scale must be positive, got {v}"),
             SpecError::Faults(e) => write!(f, "invalid fault plan: {e}"),
             SpecError::NetFaults(e) => write!(f, "invalid net-fault plan: {e}"),
+            SpecError::MasterFaults(e) => write!(f, "invalid master fault plan: {e}"),
         }
     }
 }
@@ -292,7 +312,7 @@ impl std::fmt::Display for SpecError {
 impl std::error::Error for SpecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SpecError::Faults(e) | SpecError::NetFaults(e) => Some(e),
+            SpecError::Faults(e) | SpecError::NetFaults(e) | SpecError::MasterFaults(e) => Some(e),
             _ => None,
         }
     }
@@ -323,7 +343,7 @@ mod tests {
     fn try_build_surfaces_typed_errors() {
         use crossbid_simcore::SimTime;
 
-        use crate::faults::{FaultPlanError, LinkFault, NetFaultPlan};
+        use crate::faults::{FaultPlan, FaultPlanError, LinkFault, NetFaultPlan};
         use crate::job::WorkerId;
 
         assert_eq!(
@@ -353,7 +373,7 @@ mod tests {
         );
         let lossy = RunSpec::builder()
             .worker(WorkerSpec::builder("w0").build())
-            .netfaults(NetFaultPlan {
+            .faults(NetFaultPlan {
                 to_worker: LinkFault {
                     drop_prob: 1.5,
                     ..LinkFault::none()
@@ -363,11 +383,66 @@ mod tests {
             .try_build()
             .unwrap_err();
         assert!(matches!(lossy, SpecError::NetFaults(_)), "{lossy:?}");
+        let master = RunSpec::builder()
+            .worker(WorkerSpec::builder("w0").build())
+            .faults(
+                crate::faults::MasterFaultPlan::new()
+                    .crash_at(3)
+                    .crash_at(3),
+            )
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(master, SpecError::MasterFaults(_)), "{master:?}");
         assert!(RunSpec::builder()
             .worker(WorkerSpec::builder("w0").build())
-            .netfaults(NetFaultPlan::lossy(7, 0.3, 0.1))
+            .faults(NetFaultPlan::lossy(7, 0.3, 0.1))
             .try_build()
             .is_ok());
+    }
+
+    #[test]
+    fn faults_aggregate_replaces_every_axis() {
+        use crossbid_simcore::SimTime;
+
+        use crate::faults::{FaultPlan, MasterFaultPlan};
+        use crate::job::WorkerId;
+
+        let combined = RunSpec::builder()
+            .worker(WorkerSpec::builder("w0").build())
+            .faults(
+                Faults::new()
+                    .workers(FaultPlan::new().crash_at(SimTime::from_secs(5), WorkerId(0)))
+                    .net(NetFaultPlan::lossy(7, 0.1, 0.0))
+                    .master(MasterFaultPlan::new().crash_at(12)),
+            )
+            .build();
+        assert!(!combined.engine.faults.is_empty());
+        assert!(combined.engine.netfaults.is_active());
+        assert_eq!(combined.engine.master_faults.crash_at, vec![12]);
+
+        // Replace semantics: a later lone-axis call resets the others.
+        let reset = RunSpec::builder()
+            .worker(WorkerSpec::builder("w0").build())
+            .faults(
+                Faults::new()
+                    .net(NetFaultPlan::lossy(7, 0.1, 0.0))
+                    .master(MasterFaultPlan::new().crash_at(12)),
+            )
+            .faults(FaultPlan::new().crash_at(SimTime::from_secs(5), WorkerId(0)))
+            .build();
+        assert!(!reset.engine.faults.is_empty());
+        assert!(!reset.engine.netfaults.is_active());
+        assert!(reset.engine.master_faults.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_netfaults_shim_still_writes_its_field() {
+        let spec = RunSpec::builder()
+            .worker(WorkerSpec::builder("w0").build())
+            .netfaults(NetFaultPlan::lossy(7, 0.3, 0.1))
+            .build();
+        assert!(spec.engine.netfaults.is_active());
     }
 
     #[test]

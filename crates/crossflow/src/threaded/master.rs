@@ -13,12 +13,13 @@ use crossbid_simcore::{RngStream, SeedSequence, SimDuration, SimTime, Welford};
 use parking_lot::Mutex;
 
 use crate::engine::{RunMeta, RunOutput};
-use crate::faults::{FaultEvent, FaultPlan, NetFaultPlan};
+use crate::faults::{FaultEvent, FaultPlan, MasterFaultPlan, NetFaultPlan};
 use crate::idle::IdlePool;
 use crate::job::{Arrival, Job, JobId, JobSpec, WorkerId};
 use crate::obs::RuntimeMetrics;
+use crate::replog::{AppendOutcome, ReplicatedLog};
 use crate::task::TaskCtx;
-use crate::trace::{SchedEvent, SchedEventKind, SchedLog, Trace, TraceEvent, TraceKind};
+use crate::trace::{SchedEvent, SchedEventKind, Trace, TraceEvent, TraceKind};
 use crate::worker::WorkerSpec;
 use crate::workflow::Workflow;
 
@@ -88,6 +89,10 @@ pub struct ThreadedConfig {
     /// leases, heartbeats — is fully disabled and the runtime behaves
     /// exactly as before.
     pub netfaults: NetFaultPlan,
+    /// Scheduled *master* crashes at replicated-log append indices; an
+    /// elected standby rebuilds the scheduler state in place by log
+    /// replay (workers and channels keep running). Empty by default.
+    pub master_faults: MasterFaultPlan,
 }
 
 impl Default for ThreadedConfig {
@@ -105,6 +110,7 @@ impl Default for ThreadedConfig {
             chaos: None,
             mutation: ProtocolMutation::None,
             netfaults: NetFaultPlan::none(),
+            master_faults: MasterFaultPlan::none(),
         }
     }
 }
@@ -176,7 +182,17 @@ struct MasterState {
     /// Completed job ids: de-duplicates a redistribution racing a
     /// completion that was already in flight.
     done_ids: HashSet<JobId>,
-    log: SchedLog,
+    /// The scheduler log behind the replication discipline: every
+    /// entry is quorum-committed before the master acts on it, and an
+    /// elected standby rebuilds from it after a leader crash.
+    log: ReplicatedLog,
+    /// The leader crashed: decision closures stand down until the
+    /// main loop runs the election + replay takeover.
+    failover_pending: bool,
+    /// Payloads of submitted-but-uncompleted jobs, kept only while
+    /// master faults are armed so an elected standby can re-enter
+    /// unplaced jobs (the log records ids, not payloads).
+    job_payloads: HashMap<JobId, Job>,
     // Common.
     created: u64,
     completed: u64,
@@ -199,6 +215,24 @@ impl MasterState {
 
     fn live_count(&self) -> usize {
         self.known_live.iter().filter(|l| **l).count()
+    }
+
+    /// Commit one scheduler event through the replicated log; returns
+    /// `true` when the caller may act on it. A `false` return means
+    /// the entry was truncated with the crashing leader — the decision
+    /// must perform no side effects. Either crash outcome arms
+    /// `failover_pending`.
+    fn commit(&mut self, ev: SchedEvent) -> bool {
+        match self.log.append(ev) {
+            AppendOutcome::Committed => true,
+            AppendOutcome::LeaderCrashed { truncated } => {
+                self.failover_pending = true;
+                if truncated {
+                    self.m.replog_truncated.inc();
+                }
+                !truncated
+            }
+        }
     }
 
     /// Per-(job, placement) retry jitter seed — same recipe as the
@@ -274,40 +308,6 @@ fn arm_outstanding(
         .map(|d| now + virt(d));
     let lease = Some(now + virt(retry.lease_secs));
     (seq, false, 0, next_retry, lease)
-}
-
-/// Run `arrivals` through `workflow` on real threads. Returns the run
-/// record with the same §6.1 metrics as the simulation engine.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_threaded_output` (or `RunSpec::…::threaded()` and the \
-            `Runtime` trait) and read `.record`"
-)]
-pub fn run_threaded(
-    specs: &[WorkerSpec],
-    cfg: &ThreadedConfig,
-    workflow: &mut Workflow,
-    arrivals: Vec<Arrival>,
-    meta: &RunMeta,
-) -> RunRecord {
-    run_threaded_output(specs, cfg, workflow, arrivals, meta).record
-}
-
-/// [`run_threaded`], additionally returning the scheduler event log.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `run_threaded_output` (or `RunSpec::…::threaded()` and the \
-            `Runtime` trait) and read `.record` / `.sched_log`"
-)]
-pub fn run_threaded_traced(
-    specs: &[WorkerSpec],
-    cfg: &ThreadedConfig,
-    workflow: &mut Workflow,
-    arrivals: Vec<Arrival>,
-    meta: &RunMeta,
-) -> (RunRecord, SchedLog) {
-    let out = run_threaded_output(specs, cfg, workflow, arrivals, meta);
-    (out.record, out.sched_log)
 }
 
 /// Run `arrivals` through `workflow` on real threads — the one entry
@@ -455,7 +455,9 @@ pub(crate) fn run_threaded_with_shareds(
         known_live: vec![true; n],
         outstanding: HashMap::new(),
         done_ids: HashSet::new(),
-        log: SchedLog::new(),
+        log: ReplicatedLog::new(&cfg.master_faults),
+        failover_pending: false,
+        job_payloads: HashMap::new(),
         created: 0,
         completed: 0,
         next_job_id: 0,
@@ -481,21 +483,27 @@ pub(crate) fn run_threaded_with_shareds(
     // believed-live workers there is no one to ask: the job stays
     // queued until a recovery re-populates the roster.
     let open_next_contest = |st: &mut MasterState, txs: &[Sender<ToWorker>], window_secs: f64| {
-        if !st.contests.is_empty() || st.live_count() == 0 {
+        if st.failover_pending || !st.contests.is_empty() || st.live_count() == 0 {
             return;
         }
         let Some(job) = st.contest_queue.pop_front() else {
             return;
         };
-        let opened = Instant::now();
-        let deadline = opened + virt(window_secs).max(cfg.min_real_window);
-        st.m.contests_opened.inc();
-        st.log.push(SchedEvent {
+        // Commit-before-act: the contest opens only once the log entry
+        // reached a quorum. A truncated append performs no side effect
+        // — the job goes back to the queue for the elected standby.
+        if !st.commit(SchedEvent {
             at: vnow(),
             worker: None,
             job: Some(job.id),
             kind: SchedEventKind::ContestOpened,
-        });
+        }) {
+            st.contest_queue.push_front(job);
+            return;
+        }
+        let opened = Instant::now();
+        let deadline = opened + virt(window_secs).max(cfg.min_real_window);
+        st.m.contests_opened.inc();
         for w in 0..txs.len() as u32 {
             if !st.known_live[w as usize] {
                 continue;
@@ -540,7 +548,7 @@ pub(crate) fn run_threaded_with_shareds(
     };
 
     let baseline_pump = |st: &mut MasterState, txs: &[Sender<ToWorker>]| {
-        while !st.ready.is_empty() && !st.idle.is_empty() {
+        while !st.failover_pending && !st.ready.is_empty() && !st.idle.is_empty() {
             let job = st.ready.pop_front().expect("non-empty");
             // A worker that just rejected this job would accept it on
             // the rebound (reject-once); prefer any *other* idle
@@ -555,13 +563,20 @@ pub(crate) fn run_threaded_with_shareds(
                 st.idle.pop_preferring_not(rejector)
             }
             .expect("checked non-empty");
-            st.m.control_messages.inc();
-            st.log.push(SchedEvent {
+            // Commit-before-act: an offer whose log entry died with
+            // the leader never goes out; worker and job return to
+            // their pools for the standby to re-place.
+            if !st.commit(SchedEvent {
                 at: vnow(),
                 worker: Some(WorkerId(w)),
                 job: Some(job.id),
                 kind: SchedEventKind::Offered,
-            });
+            }) {
+                st.idle.push(w);
+                st.ready.push_front(job);
+                break;
+            }
+            st.m.control_messages.inc();
             let now = Instant::now();
             let (seq, acked, attempt, next_retry, lease_deadline) =
                 arm_outstanding(st, job.id, now, &virt);
@@ -596,13 +611,12 @@ pub(crate) fn run_threaded_with_shareds(
                          rng: &mut RngStream,
                          id: JobId,
                          timed_out: bool| {
+        if st.failover_pending {
+            return;
+        }
         let Some(c) = st.contests.remove(&id) else {
             return;
         };
-        if timed_out {
-            st.timed_out += 1;
-            st.m.contests_timed_out.inc();
-        }
         // Total order over estimates (NaN cannot occur here — intake
         // drops non-finite bids — but total_cmp keeps the comparison
         // honest regardless); ties break on worker id.
@@ -623,13 +637,14 @@ pub(crate) fn run_threaded_with_shareds(
                     st.contest_queue.push_front(c.job);
                     return;
                 }
-                st.fallback += 1;
-                st.m.contests_fallback.inc();
                 (live[rng.below(live.len() as u64) as usize], true)
             }
         };
-        st.m.contests_closed.inc();
-        st.log.push(SchedEvent {
+        // Commit-before-act: the decision stands only once both
+        // entries reached a quorum. A truncated close leaves the job
+        // contest-open in the state, a truncated assignment leaves it
+        // unplaced — either way the elected standby re-enters it.
+        if !st.commit(SchedEvent {
             at: vnow(),
             worker: None,
             job: Some(id),
@@ -637,13 +652,28 @@ pub(crate) fn run_threaded_with_shareds(
                 timed_out,
                 fallback,
             },
-        });
-        st.log.push(SchedEvent {
+        }) {
+            st.contest_queue.push_front(c.job);
+            return;
+        }
+        if timed_out {
+            st.timed_out += 1;
+            st.m.contests_timed_out.inc();
+        }
+        if fallback {
+            st.fallback += 1;
+            st.m.contests_fallback.inc();
+        }
+        st.m.contests_closed.inc();
+        if !st.commit(SchedEvent {
             at: vnow(),
             worker: Some(WorkerId(w)),
             job: Some(id),
             kind: SchedEventKind::Assigned,
-        });
+        }) {
+            st.contest_queue.push_front(c.job);
+            return;
+        }
         st.m.control_messages.inc();
         let now = Instant::now();
         let (seq, acked, attempt, next_retry, lease_deadline) = arm_outstanding(st, id, now, &virt);
@@ -675,6 +705,53 @@ pub(crate) fn run_threaded_with_shareds(
     let window_secs = match cfg.scheduler {
         ThreadedScheduler::Bidding { window_secs } => window_secs,
         ThreadedScheduler::Baseline => 0.0,
+    };
+
+    // Leader crash takeover: an elected standby replays the committed
+    // log into a pure state, pauses for the (scaled) election timeout,
+    // and rebuilds every scheduler-owned structure from the replay.
+    // The transport substrate — worker threads, channels, the idle
+    // pool, liveness beliefs, net-layer sequencing and exactly-once
+    // memory — survives in place: it models the replica group's shared
+    // view of the cluster, not the leader's private decisions.
+    let do_failover = |st: &mut MasterState, txs: &[Sender<ToWorker>]| {
+        st.failover_pending = false;
+        let (_term, state, entries) = st.log.failover(vnow());
+        st.m.master_failovers.inc();
+        st.m.replay_entries.add(entries);
+        let pause = virt(cfg.master_faults.election_timeout_secs);
+        if !pause.is_zero() {
+            std::thread::sleep(pause);
+        }
+        // Decisions the dead leader had staged but never committed are
+        // forgotten; the committed log is the only source of truth.
+        st.contests.clear();
+        st.contest_queue.clear();
+        st.ready.clear();
+        // Rejection routing survives through the committed log, not
+        // the dead leader's memory.
+        st.rejected_by.clear();
+        for (job, w) in state.rejections() {
+            st.rejected_by.insert(job, w.0);
+        }
+        // A placement the log cannot prove does not exist: its timers
+        // die with the leader and the job re-enters below. Proven
+        // placements keep their reliability timers running.
+        st.outstanding
+            .retain(|id, o| state.placed_on(*id) == Some(WorkerId(o.worker)));
+        // Jobs the log proves submitted-but-unplaced (queued, mid-
+        // contest, or whose assignment truncated) re-enter allocation
+        // exactly once each.
+        for id in state.unplaced_jobs() {
+            let job = st
+                .job_payloads
+                .get(&id)
+                .cloned()
+                .expect("unplaced job without a retained payload");
+            dispatch(st, txs, cfg, job);
+        }
+        baseline_pump(st, txs);
+        open_next_contest(st, txs, window_secs);
     };
 
     // Stall detection, armed only under an active net-fault plan: a
@@ -722,13 +799,17 @@ pub(crate) fn run_threaded_with_shareds(
             arrivals_seen += 1;
             let id = st.alloc_id();
             st.created += 1;
-            st.log.push(SchedEvent {
+            st.commit(SchedEvent {
                 at: vnow(),
                 worker: None,
                 job: Some(id),
                 kind: SchedEventKind::Submitted,
             });
-            dispatch(&mut st, &worker_txs, cfg, spec.into_job(id));
+            let job = spec.into_job(id);
+            if !cfg.master_faults.is_empty() {
+                st.job_payloads.insert(id, job.clone());
+            }
+            dispatch(&mut st, &worker_txs, cfg, job);
         }
 
         // Fire due faults: flip the worker's shared state on the spot,
@@ -754,7 +835,7 @@ pub(crate) fn run_threaded_with_shareds(
                     }
                     st.m.worker_crashes.inc();
                     down_since[w] = Some(now);
-                    st.log.push(SchedEvent {
+                    st.commit(SchedEvent {
                         at: vnow(),
                         worker: Some(wid),
                         job: None,
@@ -778,7 +859,7 @@ pub(crate) fn run_threaded_with_shareds(
                     }
                     last_recover[w] = Some(now);
                     st.known_live[w] = true;
-                    st.log.push(SchedEvent {
+                    st.commit(SchedEvent {
                         at: vnow(),
                         worker: Some(wid),
                         job: None,
@@ -835,7 +916,7 @@ pub(crate) fn run_threaded_with_shareds(
             for id in stranded {
                 let o = st.outstanding.remove(&id).expect("present");
                 st.m.jobs_redistributed.inc();
-                st.log.push(SchedEvent {
+                st.commit(SchedEvent {
                     at: vnow(),
                     worker: Some(WorkerId(dw)),
                     job: Some(id),
@@ -893,7 +974,7 @@ pub(crate) fn run_threaded_with_shareds(
                 );
                 st.m.net_retries.inc();
                 st.m.control_messages.inc();
-                st.log.push(SchedEvent {
+                st.commit(SchedEvent {
                     at: vnow(),
                     worker: Some(WorkerId(w)),
                     job: Some(id),
@@ -914,7 +995,7 @@ pub(crate) fn run_threaded_with_shareds(
                 for id in expired {
                     let o = st.outstanding.remove(&id).expect("present");
                     st.m.lease_expired.inc();
-                    st.log.push(SchedEvent {
+                    st.commit(SchedEvent {
                         at: vnow(),
                         worker: Some(WorkerId(o.worker)),
                         job: Some(id),
@@ -927,6 +1008,14 @@ pub(crate) fn run_threaded_with_shareds(
                 baseline_pump(&mut st, &worker_txs);
                 open_next_contest(&mut st, &worker_txs, window_secs);
             }
+        }
+
+        // A leader crash observed anywhere above (or while processing
+        // the previous message) elects a standby before the loop can
+        // block, break, or take further decisions. Each iteration
+        // handles at most one message, so one check per pass suffices.
+        if st.failover_pending {
+            do_failover(&mut st, &worker_txs);
         }
 
         // Are we done? (`>=`: the DropDedup mutation can double-count
@@ -954,8 +1043,8 @@ pub(crate) fn run_threaded_with_shareds(
         // completion can still fire — report the partial run and let
         // the oracle name the lost jobs.
         if let Some(limit) = stall_limit {
-            if st.log.events().len() != seen_log_len {
-                seen_log_len = st.log.events().len();
+            if st.log.log().events().len() != seen_log_len {
+                seen_log_len = st.log.log().events().len();
                 last_progress = now;
             } else if arrivals_seen == total_arrivals
                 && now.saturating_duration_since(last_progress) > limit
@@ -1056,7 +1145,7 @@ pub(crate) fn run_threaded_with_shareds(
                     }
                 }
                 if recorded {
-                    st.log.push(SchedEvent {
+                    st.commit(SchedEvent {
                         at: vnow(),
                         worker: Some(WorkerId(worker)),
                         job: Some(job),
@@ -1073,13 +1162,13 @@ pub(crate) fn run_threaded_with_shareds(
                         (o.job.clone(), o.seq)
                     });
                     if let Some((j, seq)) = stolen {
-                        st.log.push(SchedEvent {
+                        st.commit(SchedEvent {
                             at: vnow(),
                             worker: Some(WorkerId(worker)),
                             job: Some(job),
                             kind: SchedEventKind::BidReceived { estimate_secs },
                         });
-                        st.log.push(SchedEvent {
+                        st.commit(SchedEvent {
                             at: vnow(),
                             worker: Some(WorkerId(worker)),
                             job: Some(job),
@@ -1120,7 +1209,7 @@ pub(crate) fn run_threaded_with_shareds(
                     continue;
                 }
                 st.outstanding.remove(&job.id);
-                st.log.push(SchedEvent {
+                st.commit(SchedEvent {
                     at: vnow(),
                     worker: Some(WorkerId(worker)),
                     job: Some(job.id),
@@ -1168,12 +1257,13 @@ pub(crate) fn run_threaded_with_shareds(
                     continue;
                 }
                 st.completed += 1;
-                st.log.push(SchedEvent {
+                st.commit(SchedEvent {
                     at: vnow(),
                     worker: Some(WorkerId(worker)),
                     job: Some(job.id),
                     kind: SchedEventKind::Completed,
                 });
+                st.job_payloads.remove(&job.id);
                 st.m.jobs_completed.inc();
                 last_completion = Instant::now();
                 wait_stats.push(wait_secs.max(0.0));
@@ -1223,13 +1313,17 @@ pub(crate) fn run_threaded_with_shareds(
                 for spec in out {
                     let id = st.alloc_id();
                     st.created += 1;
-                    st.log.push(SchedEvent {
+                    st.commit(SchedEvent {
                         at: vnow(),
                         worker: None,
                         job: Some(id),
                         kind: SchedEventKind::Submitted,
                     });
-                    dispatch(&mut st, &worker_txs, cfg, spec.into_job(id));
+                    let spawned = spec.into_job(id);
+                    if !cfg.master_faults.is_empty() {
+                        st.job_payloads.insert(id, spawned.clone());
+                    }
+                    dispatch(&mut st, &worker_txs, cfg, spawned);
                 }
                 baseline_pump(&mut st, &worker_txs);
             }
@@ -1245,7 +1339,7 @@ pub(crate) fn run_threaded_with_shareds(
                     .is_some_and(|o| o.worker == worker && o.seq == seq && !o.acked);
                 if matches {
                     st.m.acks_received.inc();
-                    st.log.push(SchedEvent {
+                    st.commit(SchedEvent {
                         at: vnow(),
                         worker: Some(WorkerId(worker)),
                         job: Some(job),
@@ -1342,7 +1436,7 @@ pub(crate) fn run_threaded_with_shareds(
         events: 0,
         assignments,
         trace: trace.take().unwrap_or_default(),
-        sched_log: st.log,
+        sched_log: st.log.into_log(),
         metrics: metrics.snapshot(),
         anomalies: Vec::new(),
     }

@@ -26,8 +26,6 @@ mod worker;
 
 pub use chaos::{ChaosConfig, DeliveryEntry, DeliveryLog, DeliveryLogHandle, ProtocolMutation};
 pub(crate) use master::run_threaded_with_shareds;
-#[allow(deprecated)]
-pub use master::{run_threaded, run_threaded_traced};
 pub use master::{run_threaded_output, ThreadedConfig, ThreadedScheduler};
 pub(crate) use worker::WorkerShared;
 

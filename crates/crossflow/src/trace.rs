@@ -311,6 +311,43 @@ pub enum SchedEventKind {
         /// 0-based retransmission attempt.
         attempt: u32,
     },
+    /// A standby master won the election after the leader crashed and
+    /// now owns the replicated log (see [`crate::replog`]).
+    LeaderElected {
+        /// The new leadership term (the first leader is term 1).
+        term: u32,
+    },
+    /// The elected master finished rebuilding scheduler state by
+    /// replaying the committed log.
+    FailoverReplayed {
+        /// Committed entries replayed into the state machine.
+        entries: u64,
+    },
+}
+
+impl SchedEventKind {
+    /// Stable rank for the same-instant ordering tiebreak
+    /// ([`SchedLog::push`]): declaration order of the variants.
+    fn rank(&self) -> u8 {
+        match self {
+            SchedEventKind::Submitted => 0,
+            SchedEventKind::ContestOpened => 1,
+            SchedEventKind::BidReceived { .. } => 2,
+            SchedEventKind::Assigned => 3,
+            SchedEventKind::ContestClosed { .. } => 4,
+            SchedEventKind::Offered => 5,
+            SchedEventKind::Rejected => 6,
+            SchedEventKind::Completed => 7,
+            SchedEventKind::Crash => 8,
+            SchedEventKind::Recover => 9,
+            SchedEventKind::Redistributed => 10,
+            SchedEventKind::AssignAcked => 11,
+            SchedEventKind::LeaseExpired => 12,
+            SchedEventKind::Resent { .. } => 13,
+            SchedEventKind::LeaderElected { .. } => 14,
+            SchedEventKind::FailoverReplayed { .. } => 15,
+        }
+    }
 }
 
 /// One scheduler event. `worker`/`job` are filled where meaningful:
@@ -341,8 +378,38 @@ impl SchedLog {
     }
 
     /// Append one event (runtime-internal).
+    ///
+    /// Same-instant events are kept in a deterministic order across
+    /// the sim and threaded runtimes: within one timestamp, events that
+    /// *commute* (they concern different jobs, or the same job at the
+    /// same kind) are stored sorted by `(kind, job, worker)`. Events
+    /// about one job with different kinds are causally ordered by the
+    /// protocol (e.g. `Offered` → `Rejected` → `Offered` at one
+    /// instant under an instant control plane) and keep their emission
+    /// order, as do job-less events (crashes, elections), which act as
+    /// barriers. This keeps failover replay and oracle parity
+    /// independent of channel arrival order without ever reordering a
+    /// causal chain.
     pub fn push(&mut self, ev: SchedEvent) {
-        self.events.push(ev);
+        fn key(e: &SchedEvent) -> (u8, Option<u64>, Option<u32>) {
+            (e.kind.rank(), e.job.map(|j| j.0), e.worker.map(|w| w.0))
+        }
+        let mut i = self.events.len();
+        if ev.job.is_some() {
+            while i > 0 {
+                let p = &self.events[i - 1];
+                if p.at != ev.at || p.job.is_none() {
+                    break;
+                }
+                let commutes = p.job != ev.job || p.kind.rank() == ev.kind.rank();
+                if commutes && key(p) > key(&ev) {
+                    i -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.events.insert(i, ev);
     }
 
     /// All events in emission order.
@@ -440,6 +507,22 @@ impl SchedLog {
     /// Number of contests decided by drafting an arbitrary worker.
     pub fn fallbacks(&self) -> usize {
         self.count(|k| matches!(k, SchedEventKind::ContestClosed { fallback: true, .. }))
+    }
+
+    /// Number of leader elections after the initial one (failovers).
+    pub fn failovers(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::LeaderElected { .. }))
+    }
+
+    /// Total committed entries replayed across all failovers.
+    pub fn replayed_entries(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                SchedEventKind::FailoverReplayed { entries } => entries,
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Jobs assigned to `worker`, in order.
@@ -669,6 +752,105 @@ mod tests {
         assert_eq!(log.assignments_to(WorkerId(0)), vec![JobId(1)]);
         assert_eq!(log.len(), 7);
         assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn same_instant_events_for_different_jobs_order_deterministically() {
+        // The two runtimes may emit same-instant events for unrelated
+        // jobs in either channel order; the stored order must agree.
+        let a = sev(3, Some(1), Some(2), SchedEventKind::Offered);
+        let b = sev(3, Some(0), Some(1), SchedEventKind::Submitted);
+        let mut fwd = SchedLog::new();
+        fwd.push(a);
+        fwd.push(b);
+        let mut rev = SchedLog::new();
+        rev.push(b);
+        rev.push(a);
+        assert_eq!(fwd.events(), rev.events());
+        assert!(matches!(fwd.events()[0].kind, SchedEventKind::Submitted));
+    }
+
+    #[test]
+    fn same_instant_causal_chain_keeps_emission_order() {
+        // Offered -> Rejected -> Offered for one job at one instant
+        // (instant control plane) is a causal chain: sorting it by
+        // kind would fabricate a double placement.
+        let mut log = SchedLog::new();
+        log.push(sev(2, Some(0), Some(7), SchedEventKind::Offered));
+        log.push(sev(2, Some(0), Some(7), SchedEventKind::Rejected));
+        log.push(sev(2, Some(1), Some(7), SchedEventKind::Offered));
+        let kinds: Vec<u8> = log.events().iter().map(|e| e.kind.rank()).collect();
+        assert_eq!(
+            kinds,
+            vec![5, 6, 5],
+            "causal same-job chain reordered: {:?}",
+            log.events()
+        );
+    }
+
+    #[test]
+    fn jobless_events_are_ordering_barriers() {
+        let mut log = SchedLog::new();
+        log.push(sev(1, Some(0), None, SchedEventKind::Crash));
+        // Submitted sorts before Crash by kind, but must not cross it.
+        log.push(sev(1, None, Some(1), SchedEventKind::Submitted));
+        assert!(matches!(log.events()[0].kind, SchedEventKind::Crash));
+    }
+
+    #[test]
+    fn same_job_same_kind_ties_break_on_worker() {
+        let a = sev(
+            4,
+            Some(2),
+            Some(9),
+            SchedEventKind::BidReceived { estimate_secs: 1.0 },
+        );
+        let b = sev(
+            4,
+            Some(1),
+            Some(9),
+            SchedEventKind::BidReceived { estimate_secs: 2.0 },
+        );
+        let mut fwd = SchedLog::new();
+        fwd.push(a);
+        fwd.push(b);
+        let mut rev = SchedLog::new();
+        rev.push(b);
+        rev.push(a);
+        assert_eq!(fwd.events(), rev.events());
+        assert_eq!(fwd.events()[0].worker, Some(WorkerId(1)));
+    }
+
+    #[test]
+    fn failover_counters() {
+        let mut log = SchedLog::new();
+        log.push(sev(0, None, Some(1), SchedEventKind::Submitted));
+        log.push(sev(
+            1,
+            None,
+            None,
+            SchedEventKind::LeaderElected { term: 2 },
+        ));
+        log.push(sev(
+            1,
+            None,
+            None,
+            SchedEventKind::FailoverReplayed { entries: 1 },
+        ));
+        log.push(sev(
+            2,
+            None,
+            None,
+            SchedEventKind::LeaderElected { term: 3 },
+        ));
+        log.push(sev(
+            2,
+            None,
+            None,
+            SchedEventKind::FailoverReplayed { entries: 3 },
+        ));
+        assert_eq!(log.failovers(), 2);
+        assert_eq!(log.replayed_entries(), 4);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|all]
+//! repro [fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|failover|all]
 //!       [--smoke] [--seed N] [--out DIR] [--trace FILE]
 //! ```
 //!
@@ -31,6 +31,16 @@
 //! repro netfault [--iters N] [--seed K]
 //! ```
 //!
+//! The `failover` artifact sweeps seeded master-crash indices over the
+//! same scenarios on both runtimes — the leader dies mid-protocol and
+//! an elected standby must finish every job exactly once by log
+//! replay — and exits nonzero on any violation, lost job, or sweep in
+//! which no crash actually fired:
+//!
+//! ```text
+//! repro failover [--iters N] [--seed K]
+//! ```
+//!
 //! The `trace` artifact runs one scenario with full observability on
 //! either runtime and prints the phase-breakdown table:
 //!
@@ -54,6 +64,7 @@
 
 use crossbid_experiments::bench::{self, BenchConfig};
 use crossbid_experiments::check::{self, CheckConfig};
+use crossbid_experiments::failover::{self, FailoverConfig};
 use crossbid_experiments::netfault::{self, NetFaultConfig};
 use crossbid_experiments::trace_run::{self, RuntimeChoice, TraceRunConfig};
 use crossbid_experiments::{
@@ -261,6 +272,28 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "failover" => {
+            let mut fcfg = FailoverConfig::default();
+            if let Some(v) = args
+                .iter()
+                .position(|a| a == "--iters")
+                .and_then(|i| args.get(i + 1))
+            {
+                fcfg.iters = v.parse().unwrap_or_else(|e| die(&format!("--iters: {e}")));
+            }
+            if let Some(s) = seed {
+                fcfg.seed = s;
+            }
+            if smoke {
+                fcfg.iters = fcfg.iters.min(2);
+            }
+            let report = failover::run(&fcfg);
+            emit("failover", &report.body);
+            if !report.ok {
+                eprintln!("[repro] failover FAILED");
+                std::process::exit(1);
+            }
+        }
         "trace" => {
             let flag = |name: &str| {
                 args.iter()
@@ -414,7 +447,7 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|bench|all");
+            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|failover|bench|all");
             std::process::exit(2);
         }
     }

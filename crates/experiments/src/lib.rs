@@ -24,6 +24,7 @@ pub mod config;
 pub mod crash_sweep;
 pub mod crossover;
 pub mod extensions;
+pub mod failover;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -9,8 +9,8 @@ use std::collections::BTreeSet;
 use crossbid_core::BiddingAllocator;
 use crossbid_crossflow::{
     parse_run_stream, sched_kind_name, Allocator, Arrival, BaselineAllocator, EngineConfig,
-    FaultPlan, JobSpec, NetFaultPlan, Payload, ResourceRef, RunSpec, RunStreamLine, Runtime,
-    TraceKind, WorkerId, WorkerSpec, Workflow,
+    FaultPlan, Faults, JobSpec, MasterFaultPlan, NetFaultPlan, Payload, ResourceRef, RunSpec,
+    RunStreamLine, Runtime, TraceKind, WorkerId, WorkerSpec, Workflow,
 };
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{SimDuration, SimTime};
@@ -34,7 +34,9 @@ fn specs(n: usize) -> Vec<WorkerSpec> {
 /// far faster than the ~10 s fetch — so by the crash at t=6 worker 0
 /// (winner of the all-equal first-contest tie on lowest id) holds
 /// unfinished work to strand. The recovery at t=12 exercises the
-/// remaining fault event kinds.
+/// remaining fault event kinds, and the master crash at log append 20
+/// forces an election so both runtimes emit `sched/leader_elected`
+/// and `sched/failover_replayed`.
 fn faulted_spec() -> RunSpec {
     RunSpec::builder()
         .workers(specs(3))
@@ -46,9 +48,13 @@ fn faulted_spec() -> RunSpec {
         })
         .speed_learning(false)
         .faults(
-            FaultPlan::new()
-                .crash_at(SimTime::from_secs(6), WorkerId(0))
-                .recover_at(SimTime::from_secs(12), WorkerId(0)),
+            Faults::new()
+                .workers(
+                    FaultPlan::new()
+                        .crash_at(SimTime::from_secs(6), WorkerId(0))
+                        .recover_at(SimTime::from_secs(12), WorkerId(0)),
+                )
+                .master(MasterFaultPlan::new().crash_at(20)),
         )
         .trace(true)
         .seed(7)
@@ -72,7 +78,7 @@ fn netfault_spec() -> RunSpec {
             ..EngineConfig::default()
         })
         .speed_learning(false)
-        .netfaults(NetFaultPlan::none().with_partition(
+        .faults(NetFaultPlan::none().with_partition(
             None,
             SimTime::from_secs(1),
             SimTime::from_secs(10),
@@ -171,10 +177,11 @@ fn both_runtimes_emit_the_golden_event_vocabulary() {
         .filter(|l| !l.is_empty())
         .map(String::from)
         .collect();
-    assert_eq!(golden.len(), 18, "golden file lists every event kind");
+    assert_eq!(golden.len(), 20, "golden file lists every event kind");
     // The bidding protocol never offers (it assigns contest winners)
     // and the Baseline never opens contests, so the full vocabulary is
-    // the union of one faulted bidding run, one fault-free Baseline
+    // the union of one faulted bidding run (worker crash/recovery plus
+    // a master crash for the election events), one fault-free Baseline
     // run (whose first offer of each job is declined: reject-once),
     // and one partitioned bidding run exercising the reliability
     // layer's resend/lease/ack events.

@@ -57,6 +57,7 @@ fn mutated(mutation: ProtocolMutation, iters: u32, seed: u64) -> ExploreConfig {
         mutation,
         chaos: true,
         netfault: false,
+        master_crash: false,
         strict_reoffer: false,
         parity: false,
         repro_attempts: 2,
@@ -315,6 +316,7 @@ fn explorer_catches_reintroduced_reoffer_to_rejector() {
         mutation,
         chaos: false,
         netfault: false,
+        master_crash: false,
         strict_reoffer: true,
         parity: true,
         repro_attempts: 2,
