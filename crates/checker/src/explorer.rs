@@ -18,12 +18,13 @@
 //! removable.
 
 use crossbid_crossflow::{
-    ChaosConfig, MasterFaultPlan, NetFaultPlan, ProtocolMutation, RunOutput, WorkerId,
+    ChaosConfig, FedRuntimeKind, FederationMutation, MasterFaultPlan, NetFaultPlan,
+    ProtocolMutation, RunOutput, WorkerId,
 };
 use crossbid_simcore::{SeedSequence, SimTime};
 
 use crate::oracle::{check_log, Violation};
-use crate::scenario::{Scenario, ThreadedRun};
+use crate::scenario::{FedScenario, FedSeeds, Scenario, ThreadedRun};
 
 /// Exploration parameters.
 #[derive(Debug, Clone)]
@@ -414,5 +415,191 @@ pub fn explore_builtins(cfg: &ExploreConfig) -> Vec<ExploreReport> {
     Scenario::builtins()
         .iter()
         .map(|sc| explore(sc, cfg))
+        .collect()
+}
+
+/// Parameters of the federation exploration axis.
+#[derive(Debug, Clone)]
+pub struct FedExploreConfig {
+    /// Seed tuples to sweep per scenario.
+    pub iters: u32,
+    /// Root seed; the per-iteration `(run, chaos, net, membership)`
+    /// tuples derive from it on independent streams.
+    pub base_seed: u64,
+    /// Execute the shards on real threads (with intake chaos armed)
+    /// instead of the deterministic sim.
+    pub runtime: FedRuntimeKind,
+    /// Reintroduced hand-off bug, if any (checker self-validation).
+    pub mutation: FederationMutation,
+}
+
+impl FedExploreConfig {
+    /// A quick deterministic sweep on the sim runtime.
+    pub fn quick(iters: u32, base_seed: u64) -> Self {
+        FedExploreConfig {
+            iters,
+            base_seed,
+            runtime: FedRuntimeKind::Sim,
+            mutation: FederationMutation::None,
+        }
+    }
+
+    /// The threaded sweep: every shard master on real threads with
+    /// seeded intake chaos.
+    pub fn threaded(iters: u32, base_seed: u64) -> Self {
+        FedExploreConfig {
+            runtime: FedRuntimeKind::Threaded,
+            ..FedExploreConfig::quick(iters, base_seed)
+        }
+    }
+}
+
+/// A failing federation run, identified by its full replay tuple. The
+/// federation router is deterministic in these seeds, so unlike the
+/// single-shard explorer there is nothing to shrink — the tuple *is*
+/// the repro.
+#[derive(Debug, Clone)]
+pub struct FedFailure {
+    /// Iteration index at which the violation appeared.
+    pub iteration: u32,
+    /// The `(run, chaos, net, membership)` replay tuple.
+    pub seeds: FedSeeds,
+    /// Violations in the merged federation-wide log.
+    pub merged_violations: Vec<Violation>,
+    /// Per-shard violations, as `(shard, violation)` pairs.
+    pub shard_violations: Vec<(usize, Violation)>,
+}
+
+/// Result of sweeping one federation scenario.
+#[derive(Debug, Clone)]
+pub struct FedExploreReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Protocol name.
+    pub protocol: String,
+    /// Seed tuples actually run (stops early on failure).
+    pub iterations_run: u32,
+    /// Cross-shard hand-offs observed across the sweep. A spill
+    /// scenario whose sweep never spilled proves nothing, so `repro
+    /// federate` surfaces this count.
+    pub spills_observed: u64,
+    /// Elastic-membership events observed in the merged logs (joins +
+    /// drains + removals).
+    pub churn_observed: u64,
+    /// Conservation mismatches (expected vs observed completions).
+    pub parity_mismatches: Vec<String>,
+    /// The first failing seed tuple, if any.
+    pub failure: Option<FedFailure>,
+}
+
+impl FedExploreReport {
+    /// No violations and no conservation mismatches.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none() && self.parity_mismatches.is_empty()
+    }
+
+    /// Human-readable report; on failure this is the replay tuple.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} [{}]: {} seed tuple(s), {} spill(s), {} churn event(s)",
+            self.scenario,
+            self.protocol,
+            self.iterations_run,
+            self.spills_observed,
+            self.churn_observed
+        );
+        if self.passed() {
+            out.push_str(" — ok\n");
+            return out;
+        }
+        out.push('\n');
+        for m in &self.parity_mismatches {
+            out.push_str(&format!("  parity: {m}\n"));
+        }
+        if let Some(f) = &self.failure {
+            out.push_str(&format!(
+                "  VIOLATION at iteration {} (run seed {}, chaos seed {}, net seed {}, membership seed {})\n",
+                f.iteration,
+                f.seeds.run,
+                f.seeds.chaos.map_or("-".into(), |s| s.to_string()),
+                f.seeds.net,
+                f.seeds.membership,
+            ));
+            for v in &f.merged_violations {
+                out.push_str(&format!("    merged: {v}\n"));
+            }
+            for (s, v) in &f.shard_violations {
+                out.push_str(&format!("    shard {s}: {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Sweep `cfg.iters` seed tuples of one federation scenario: run the
+/// federation, check the merged log with the federated oracle and each
+/// shard's augmented log with the single-shard oracle, and cross-check
+/// completion conservation. Stops at the first failing tuple.
+pub fn explore_federation(sc: &FedScenario, cfg: &FedExploreConfig) -> FedExploreReport {
+    let mut report = FedExploreReport {
+        scenario: sc.name.to_string(),
+        protocol: sc.protocol.name().to_string(),
+        iterations_run: 0,
+        spills_observed: 0,
+        churn_observed: 0,
+        parity_mismatches: Vec::new(),
+        failure: None,
+    };
+    let seeds = SeedSequence::new(cfg.base_seed);
+    for i in 0..cfg.iters {
+        let tuple = FedSeeds {
+            run: seeds.seed_for(i as u64),
+            chaos: (cfg.runtime == FedRuntimeKind::Threaded)
+                .then(|| seeds.seed_for(0xC4A0_0000 + i as u64)),
+            net: seeds.seed_for(0x4E37_0000 + i as u64),
+            membership: seeds.seed_for(0x4D42_0000 + i as u64),
+        };
+        let out = sc.run(cfg.runtime, tuple, cfg.mutation);
+        report.iterations_run = i + 1;
+        report.spills_observed += out.spills.len() as u64;
+        report.churn_observed += (out.merged.worker_joins()
+            + out.merged.worker_drains()
+            + out.merged.worker_removals()) as u64;
+        if cfg.mutation == FederationMutation::None && out.jobs_completed != sc.total_jobs() {
+            report.parity_mismatches.push(format!(
+                "iteration {i}: expected {} completions, observed {}",
+                sc.total_jobs(),
+                out.jobs_completed
+            ));
+        }
+        let merged_violations = check_log(&out.merged, sc.merged_oracle_options());
+        let shard_violations: Vec<(usize, Violation)> = out
+            .shards
+            .iter()
+            .enumerate()
+            .flat_map(|(s, o)| {
+                check_log(&o.sched_log, sc.shard_oracle_options())
+                    .into_iter()
+                    .map(move |v| (s, v))
+            })
+            .collect();
+        if !merged_violations.is_empty() || !shard_violations.is_empty() {
+            report.failure = Some(FedFailure {
+                iteration: i,
+                seeds: tuple,
+                merged_violations,
+                shard_violations,
+            });
+            break;
+        }
+    }
+    report
+}
+
+/// Explore every built-in federation scenario.
+pub fn explore_federation_builtins(cfg: &FedExploreConfig) -> Vec<FedExploreReport> {
+    FedScenario::builtins()
+        .iter()
+        .map(|sc| explore_federation(sc, cfg))
         .collect()
 }

@@ -34,6 +34,9 @@ pub mod explorer;
 pub mod oracle;
 pub mod scenario;
 
-pub use explorer::{explore, explore_builtins, ExploreConfig, ExploreReport, Failure};
+pub use explorer::{
+    explore, explore_builtins, explore_federation, explore_federation_builtins, ExploreConfig,
+    ExploreReport, Failure, FedExploreConfig, FedExploreReport, FedFailure,
+};
 pub use oracle::{check_log, Oracle, OracleOptions, Violation};
-pub use scenario::{FaultDef, JobDef, Protocol, Scenario, ThreadedRun};
+pub use scenario::{FaultDef, FedScenario, FedSeeds, JobDef, Protocol, Scenario, ThreadedRun};

@@ -31,7 +31,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use crossbid_crossflow::{JobId, SchedEvent, SchedEventKind, SchedLog, WorkerId};
+use crossbid_crossflow::{JobId, SchedEvent, SchedEventKind, SchedLog, ShardId, WorkerId};
 
 /// One invariant violation, with enough context to debug it.
 #[derive(Debug, Clone, PartialEq)]
@@ -160,6 +160,59 @@ pub enum Violation {
         /// The lost job.
         job: JobId,
     },
+    /// Federated log: a job was handed off (`SpillOut`) but no shard
+    /// ever recorded the matching `SpillIn` — the hand-off lost the
+    /// job.
+    SpillOutWithoutSpillIn {
+        /// The handed-off job.
+        job: JobId,
+        /// Where the home shard claims it sent the job.
+        to_shard: ShardId,
+    },
+    /// Federated log: a shard recorded receiving a spilled job
+    /// (`SpillIn`) that no home shard ever handed off.
+    SpillInWithoutSpillOut {
+        /// The phantom job.
+        job: JobId,
+        /// The shard it claims to come from.
+        from_shard: ShardId,
+    },
+    /// A job was handed off twice: the forwarder spilled a job it had
+    /// already spilled (or kept re-spilling it).
+    DoubleSpill {
+        /// Offending job.
+        job: JobId,
+    },
+    /// A spilled job completed outside its spill target — e.g. the
+    /// forwarder kept (and ran) a job it had handed off.
+    CompletedAfterSpillOut {
+        /// Offending job.
+        job: JobId,
+        /// The worker that completed it outside the target shard.
+        worker: WorkerId,
+    },
+    /// Two shards recorded `SpillIn` for one job: the hand-off was
+    /// delivered more than once.
+    DuplicateSpillIn {
+        /// Offending job.
+        job: JobId,
+    },
+    /// A job was placed on a worker after that worker began draining —
+    /// a draining worker is out of the roster and takes no new work.
+    AssignedWhileDraining {
+        /// Offending job.
+        job: JobId,
+        /// The draining assignee.
+        worker: WorkerId,
+    },
+    /// A job was placed on a worker after `WorkerRemoved` — the worker
+    /// had permanently left the cluster.
+    AssignedAfterRemoval {
+        /// Offending job.
+        job: JobId,
+        /// The departed assignee.
+        worker: WorkerId,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -246,6 +299,31 @@ impl std::fmt::Display for Violation {
                 write!(f, "w{} placement ledger went negative ({depth})", worker.0)
             }
             Violation::JobLost { job } => write!(f, "job {} submitted but never completed", job.0),
+            Violation::SpillOutWithoutSpillIn { job, to_shard } => write!(
+                f,
+                "job {} spilled to shard {} but never received there",
+                job.0, to_shard.0
+            ),
+            Violation::SpillInWithoutSpillOut { job, from_shard } => write!(
+                f,
+                "job {} received as a spill from shard {} that never handed it off",
+                job.0, from_shard.0
+            ),
+            Violation::DoubleSpill { job } => write!(f, "job {} spilled twice", job.0),
+            Violation::CompletedAfterSpillOut { job, worker } => write!(
+                f,
+                "job {} completed by w{} outside its spill target",
+                job.0, worker.0
+            ),
+            Violation::DuplicateSpillIn { job } => {
+                write!(f, "job {} received as a spill twice", job.0)
+            }
+            Violation::AssignedWhileDraining { job, worker } => {
+                write!(f, "job {} placed on draining worker w{}", job.0, worker.0)
+            }
+            Violation::AssignedAfterRemoval { job, worker } => {
+                write!(f, "job {} placed on removed worker w{}", job.0, worker.0)
+            }
         }
     }
 }
@@ -267,6 +345,13 @@ pub struct OracleOptions {
     /// workers that are idle because they never appear in the log at
     /// all; `None` falls back to workers seen so far.
     pub workers: Option<u32>,
+    /// The log is a merged multi-shard federation log: every `SpillIn`
+    /// must pair with an earlier `SpillOut`, every `SpillOut` must
+    /// eventually pair with a `SpillIn`, and a spilled job completes
+    /// only in its spill-target shard (worker ids are shard-qualified
+    /// in a merged log). Leave off for single-shard logs, where a
+    /// `SpillIn` legitimately stands alone as the job's submission.
+    pub federated: bool,
 }
 
 impl Default for OracleOptions {
@@ -275,6 +360,7 @@ impl Default for OracleOptions {
             expect_all_complete: true,
             strict_reoffer: false,
             workers: None,
+            federated: false,
         }
     }
 }
@@ -302,6 +388,10 @@ struct JobState {
     placed_at: HashMap<u32, usize>,
     /// Who rejected it last (Baseline).
     last_rejector: Option<u32>,
+    /// The shard this job was handed off to (`SpillOut`).
+    spilled_out: Option<ShardId>,
+    /// A shard recorded receiving this job (`SpillIn`).
+    spilled_in: bool,
 }
 
 /// The invariant oracle. Feed events in log order (or just call
@@ -315,6 +405,10 @@ pub struct Oracle {
     recoveries: HashMap<u32, Vec<usize>>,
     /// Workers currently crashed (no recovery yet).
     dead: HashSet<u32>,
+    /// Workers draining (out of the roster, finishing their queues).
+    draining: HashSet<u32>,
+    /// Workers permanently departed (`WorkerRemoved`).
+    removed: HashSet<u32>,
     /// Per worker: net placements (placements − rejections −
     /// completions − reclaims).
     depth: HashMap<u32, i64>,
@@ -332,6 +426,8 @@ impl Oracle {
             last_crash: HashMap::new(),
             recoveries: HashMap::new(),
             dead: HashSet::new(),
+            draining: HashSet::new(),
+            removed: HashSet::new(),
             depth: HashMap::new(),
             n_workers_seen: HashSet::new(),
             idx: 0,
@@ -440,6 +536,7 @@ impl Oracle {
                             .push(Violation::AssignmentWithoutBid { job, worker: w }),
                     }
                 }
+                self.check_membership_placement(job, w);
                 self.place(job, w.0);
             }
             SchedEventKind::Offered => {
@@ -460,6 +557,7 @@ impl Oracle {
                     let other_idle = |i: u32| {
                         i != w.0
                             && !self.dead.contains(&i)
+                            && !self.draining.contains(&i)
                             && self.depth.get(&i).copied().unwrap_or(0) == 0
                     };
                     let had_alternative = match self.opts.workers {
@@ -471,6 +569,7 @@ impl Oracle {
                             .push(Violation::ReofferToRejector { job, worker: w });
                     }
                 }
+                self.check_membership_placement(job, w);
                 self.place(job, w.0);
             }
             SchedEventKind::Rejected => {
@@ -502,6 +601,17 @@ impl Oracle {
                 if !ever_placed_here || !placed_somewhere {
                     self.violations
                         .push(Violation::CompletedWithoutPlacement { job, worker: w });
+                }
+                // A handed-off job belongs to its spill target: in a
+                // merged log (shard-qualified worker ids) a completion
+                // anywhere else means the forwarder kept the job.
+                if self.opts.federated {
+                    if let Some(to) = js.spilled_out {
+                        if w.shard() != to {
+                            self.violations
+                                .push(Violation::CompletedAfterSpillOut { job, worker: w });
+                        }
+                    }
                 }
                 self.unplace(job);
             }
@@ -595,6 +705,58 @@ impl Oracle {
                     self.dead.remove(&w.0);
                 }
             }
+            SchedEventKind::SpillOut { to_shard } => {
+                let job = job.expect("spill_out carries a job");
+                let js = self.jobs.entry(job).or_default();
+                if js.spilled_out.is_some() {
+                    self.violations.push(Violation::DoubleSpill { job });
+                }
+                js.spilled_out = Some(*to_shard);
+            }
+            SchedEventKind::SpillIn { from_shard } => {
+                let job = job.expect("spill_in carries a job");
+                let js = self.jobs.entry(job).or_default();
+                if js.spilled_in {
+                    self.violations.push(Violation::DuplicateSpillIn { job });
+                }
+                js.spilled_in = true;
+                if self.opts.federated {
+                    // Merged log: the home shard must have handed the
+                    // job off before any shard can receive it.
+                    if js.spilled_out.is_none() {
+                        self.violations.push(Violation::SpillInWithoutSpillOut {
+                            job,
+                            from_shard: *from_shard,
+                        });
+                    }
+                } else if js.submitted {
+                    // Single-shard view: the spill-in *is* the job's
+                    // submission in this shard.
+                    self.violations.push(Violation::DuplicateSubmit { job });
+                }
+                js.submitted = true;
+            }
+            SchedEventKind::WorkerJoined => {
+                if let Some(w) = worker {
+                    self.dead.remove(&w.0);
+                    self.draining.remove(&w.0);
+                    self.removed.remove(&w.0);
+                }
+            }
+            SchedEventKind::WorkerDraining => {
+                let w = worker.expect("worker_draining carries a worker");
+                self.draining.insert(w.0);
+            }
+            SchedEventKind::WorkerRemoved => {
+                let w = worker.expect("worker_removed carries a worker");
+                self.draining.remove(&w.0);
+                self.removed.insert(w.0);
+                // An administrative removal reclaims outstanding work
+                // like a crash does: redistributions from the departed
+                // owner are legal from here on.
+                self.last_crash.insert(w.0, self.idx);
+                self.dead.insert(w.0);
+            }
             // Master failover markers. Every conservation and
             // exactly-once invariant above is *designed* to hold
             // across an election: the standby replays the same
@@ -610,10 +772,17 @@ impl Oracle {
     /// End-of-log checks; returns all violations found.
     pub fn finish(mut self) -> Vec<Violation> {
         if self.opts.expect_all_complete {
+            // In a *single-shard* log a spilled-out job legitimately
+            // never completes here — it belongs to the target shard.
+            // In a merged federated log it must complete somewhere.
             let mut lost: Vec<JobId> = self
                 .jobs
                 .iter()
-                .filter(|(_, js)| js.submitted && !js.completed)
+                .filter(|(_, js)| {
+                    js.submitted
+                        && !js.completed
+                        && (self.opts.federated || js.spilled_out.is_none())
+                })
                 .map(|(id, _)| *id)
                 .collect();
             lost.sort_by_key(|j| j.0);
@@ -621,7 +790,34 @@ impl Oracle {
                 self.violations.push(Violation::JobLost { job });
             }
         }
+        if self.opts.federated {
+            let mut unreceived: Vec<(JobId, ShardId)> = self
+                .jobs
+                .iter()
+                .filter_map(|(id, js)| match js.spilled_out {
+                    Some(to) if !js.spilled_in => Some((*id, to)),
+                    _ => None,
+                })
+                .collect();
+            unreceived.sort_by_key(|(j, _)| j.0);
+            for (job, to_shard) in unreceived {
+                self.violations
+                    .push(Violation::SpillOutWithoutSpillIn { job, to_shard });
+            }
+        }
         self.violations
+    }
+
+    /// Placements onto draining or departed workers are membership
+    /// violations regardless of scheduler.
+    fn check_membership_placement(&mut self, job: JobId, w: WorkerId) {
+        if self.removed.contains(&w.0) {
+            self.violations
+                .push(Violation::AssignedAfterRemoval { job, worker: w });
+        } else if self.draining.contains(&w.0) {
+            self.violations
+                .push(Violation::AssignedWhileDraining { job, worker: w });
+        }
     }
 }
 

@@ -11,9 +11,10 @@
 
 use crossbid_core::BiddingAllocator;
 use crossbid_crossflow::{
-    Allocator, Arrival, BaselineAllocator, ChaosConfig, EngineConfig, FaultPlan, JobSpec,
-    MasterFaultPlan, NetFaultPlan, Payload, ProtocolMutation, ResourceRef, RunOutput, RunSpec,
-    TaskId, WorkerId, WorkerSpec, Workflow,
+    run_federation, Allocator, Arrival, BaselineAllocator, ChaosConfig, EngineConfig, FaultPlan,
+    Faults, FedArrival, FedRuntimeKind, FederationMutation, FederationOutput, FederationSpec,
+    JobSpec, MasterFaultPlan, MembershipPlan, NetFaultPlan, Payload, ProtocolMutation, ResourceRef,
+    RunOutput, RunSpec, ShardId, ShardSpec, TaskId, WorkerId, WorkerSpec, Workflow,
 };
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{SimDuration, SimTime};
@@ -173,6 +174,7 @@ impl Scenario {
             expect_all_complete: self.expect_all_complete,
             strict_reoffer,
             workers: Some(self.workers as u32),
+            ..OracleOptions::default()
         }
     }
 
@@ -305,6 +307,269 @@ impl Scenario {
     }
 }
 
+/// The four independent seeds that replay one federation run exactly:
+/// the run seed (per-shard runtime seeds derive from it), the chaos
+/// seed (threaded intake perturbation; `None` = deterministic
+/// delivery), the net seed (the gossip-loss draw stream), and the
+/// membership seed (the churn schedule of every shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FedSeeds {
+    /// Per-shard runtime seeds derive from this.
+    pub run: u64,
+    /// Threaded intake chaos, if armed.
+    pub chaos: Option<u64>,
+    /// Gossip-loss draw stream.
+    pub net: u64,
+    /// Seeded membership-churn schedule.
+    pub membership: u64,
+}
+
+impl FedSeeds {
+    /// Deterministic delivery, one root for every axis.
+    pub fn plain(root: u64) -> Self {
+        FedSeeds {
+            run: root,
+            chaos: None,
+            net: root,
+            membership: root,
+        }
+    }
+}
+
+/// A fully-specified federation workload: N masters over disjoint
+/// shards, a burst aimed at shard 0 (the overload the spill protocol
+/// exists for), plus one warm-up job per peer shard. Like [`Scenario`]
+/// this is data — the explorer's federation axis sweeps it across
+/// `(run, chaos, net, membership)` seed tuples.
+#[derive(Debug, Clone)]
+pub struct FedScenario {
+    /// Stable name for reports and `repro federate` output.
+    pub name: &'static str,
+    /// Which protocol every shard master runs.
+    pub protocol: Protocol,
+    /// Number of shards (masters).
+    pub shards: usize,
+    /// Workers per shard, *excluding* the churn spare: when `churn` is
+    /// on, each shard gets one extra deferred worker that joins
+    /// mid-run.
+    pub workers_per_shard: usize,
+    /// Spill threshold in virtual seconds (`f64::INFINITY` = the
+    /// single-master baseline).
+    pub spill_threshold_secs: f64,
+    /// Seeded pairwise gossip-exchange loss probability.
+    pub gossip_loss: f64,
+    /// Jobs in the shard-0 burst.
+    pub jobs: usize,
+    /// Seeded elastic-membership churn (join + drain, and with enough
+    /// workers a removal) on every shard.
+    pub churn: bool,
+}
+
+impl FedScenario {
+    /// The built-in federation axis: shard count × spill threshold ×
+    /// membership churn, both protocols represented.
+    pub fn builtins() -> Vec<FedScenario> {
+        vec![
+            FedScenario {
+                name: "fed_2shard_spill",
+                protocol: Protocol::Bidding,
+                shards: 2,
+                workers_per_shard: 2,
+                spill_threshold_secs: 10.0,
+                gossip_loss: 0.0,
+                jobs: 16,
+                churn: false,
+            },
+            FedScenario {
+                name: "fed_2shard_nospill",
+                protocol: Protocol::Baseline,
+                shards: 2,
+                workers_per_shard: 2,
+                spill_threshold_secs: f64::INFINITY,
+                gossip_loss: 0.0,
+                jobs: 16,
+                churn: false,
+            },
+            FedScenario {
+                name: "fed_4shard_spill",
+                protocol: Protocol::Bidding,
+                shards: 4,
+                workers_per_shard: 2,
+                spill_threshold_secs: 8.0,
+                gossip_loss: 0.0,
+                jobs: 20,
+                churn: false,
+            },
+            FedScenario {
+                name: "fed_4shard_churn",
+                protocol: Protocol::Bidding,
+                shards: 4,
+                workers_per_shard: 3,
+                spill_threshold_secs: 8.0,
+                gossip_loss: 0.0,
+                jobs: 20,
+                churn: true,
+            },
+            FedScenario {
+                name: "fed_2shard_lossy_gossip_churn",
+                protocol: Protocol::Baseline,
+                shards: 2,
+                workers_per_shard: 3,
+                spill_threshold_secs: 10.0,
+                gossip_loss: 0.3,
+                jobs: 16,
+                churn: true,
+            },
+        ]
+    }
+
+    /// Workers actually present in one shard's list (the churn spare
+    /// is deferred but listed).
+    pub fn shard_width(&self) -> usize {
+        self.workers_per_shard + usize::from(self.churn)
+    }
+
+    /// The seeded churn schedule of one shard: the spare (last) worker
+    /// joins early, worker 0 drains mid-run, and with at least three
+    /// base workers, worker 1 is administratively removed late. Event
+    /// times derive from `membership_seed` and the shard index, so one
+    /// seed replays the whole federation's churn.
+    pub fn membership_plan(&self, shard: usize, membership_seed: u64) -> MembershipPlan {
+        if !self.churn {
+            return MembershipPlan::none();
+        }
+        let mut rng = crossbid_simcore::SeedSequence::new(membership_seed).stream(shard as u64);
+        let spare = WorkerId((self.shard_width() - 1) as u32);
+        let mut plan = MembershipPlan::new()
+            .join_at(SimTime::from_secs_f64(rng.uniform(2.0, 6.0)), spare)
+            .drain_at(SimTime::from_secs_f64(rng.uniform(6.0, 10.0)), WorkerId(0));
+        if self.workers_per_shard >= 3 {
+            plan = plan.remove_at(SimTime::from_secs_f64(rng.uniform(10.0, 14.0)), WorkerId(1));
+        }
+        plan
+    }
+
+    /// The federation spec for one seed tuple. Ideal control plane, no
+    /// noise, no speed learning — like [`Scenario::spec`], protocol
+    /// behavior only.
+    pub fn spec(&self, runtime: FedRuntimeKind, seeds: FedSeeds) -> FederationSpec {
+        let shards = (0..self.shards)
+            .map(|s| {
+                ShardSpec::new(
+                    (0..self.shard_width())
+                        .map(|i| {
+                            WorkerSpec::builder(format!("s{s}w{i}"))
+                                .net_mbps(10.0)
+                                .rw_mbps(100.0)
+                                .storage_gb(10.0)
+                                .build()
+                        })
+                        .collect(),
+                )
+                .faults(Faults::new().membership(self.membership_plan(s, seeds.membership)))
+            })
+            .collect();
+        let mut spec = FederationSpec::new(shards);
+        spec.spill_threshold_secs = self.spill_threshold_secs;
+        spec.gossip_period_secs = 2.0;
+        spec.gossip_loss = self.gossip_loss;
+        spec.spill_latency_secs = 0.5;
+        spec.seed = seeds.run;
+        spec.net_seed = seeds.net;
+        spec.runtime = runtime;
+        spec.chaos = seeds.chaos.map(ChaosConfig::aggressive);
+        spec.engine = EngineConfig {
+            control: ControlPlane::instant(),
+            data_latency: SimDuration::ZERO,
+            noise: NoiseModel::None,
+            ..EngineConfig::default()
+        };
+        spec
+    }
+
+    /// The arrival stream: the shard-0 burst over three hot
+    /// repositories, plus one warm-up job per peer shard so every
+    /// master has local activity to interleave with spill-ins.
+    pub fn fed_arrivals(&self) -> Vec<FedArrival> {
+        let mut arrivals: Vec<FedArrival> = (0..self.jobs)
+            .map(|i| FedArrival {
+                at: SimTime::from_secs_f64(i as f64 * 0.5),
+                home: ShardId(0),
+                spec: JobSpec::scanning(
+                    TaskId(0),
+                    ResourceRef {
+                        id: ObjectId(1 + (i % 3) as u64),
+                        bytes: 100_000_000,
+                    },
+                    Payload::Index(i as u64),
+                ),
+            })
+            .collect();
+        for s in 1..self.shards {
+            arrivals.push(FedArrival {
+                at: SimTime::from_secs(1),
+                home: ShardId(s as u16),
+                spec: JobSpec::scanning(
+                    TaskId(0),
+                    ResourceRef {
+                        id: ObjectId(100 + s as u64),
+                        bytes: 50_000_000,
+                    },
+                    Payload::Index(1000 + s as u64),
+                ),
+            });
+        }
+        arrivals
+    }
+
+    /// Total jobs across the federation.
+    pub fn total_jobs(&self) -> u64 {
+        (self.jobs + self.shards - 1) as u64
+    }
+
+    /// One federation run under the given seed tuple and mutation.
+    pub fn run(
+        &self,
+        runtime: FedRuntimeKind,
+        seeds: FedSeeds,
+        mutation: FederationMutation,
+    ) -> FederationOutput {
+        let mut spec = self.spec(runtime, seeds);
+        spec.mutation = mutation;
+        run_federation(
+            &spec,
+            self.fed_arrivals(),
+            self.protocol.allocator().as_ref(),
+            |_| {
+                let mut wf = Workflow::new();
+                wf.add_sink("scan");
+                wf
+            },
+        )
+    }
+
+    /// Oracle options for the merged federation-wide log (worker ids
+    /// are shard-qualified, so the per-shard bound does not apply).
+    pub fn merged_oracle_options(&self) -> OracleOptions {
+        OracleOptions {
+            expect_all_complete: true,
+            strict_reoffer: false,
+            workers: None,
+            federated: true,
+        }
+    }
+
+    /// Oracle options for one shard's own (augmented) log.
+    pub fn shard_oracle_options(&self) -> OracleOptions {
+        OracleOptions {
+            expect_all_complete: true,
+            strict_reoffer: false,
+            workers: Some(self.shard_width() as u32),
+            federated: false,
+        }
+    }
+}
+
 /// Everything that parameterizes one threaded run of a scenario. The
 /// explorer mutates `keep_jobs` / `keep_fault_workers` while shrinking
 /// and leaves the rest fixed.
@@ -368,6 +633,47 @@ mod tests {
         assert_eq!(sc.fault_plan(None).events().len(), 2);
         assert!(sc.fault_plan(Some(&[])).is_empty());
         assert_eq!(sc.faulted_workers(), vec![0]);
+    }
+
+    #[test]
+    fn fed_builtins_cover_the_axis() {
+        let all = FedScenario::builtins();
+        assert!(all.iter().any(|s| s.shards == 2));
+        assert!(all.iter().any(|s| s.shards >= 4));
+        assert!(all.iter().any(|s| s.spill_threshold_secs.is_infinite()));
+        assert!(all.iter().any(|s| s.churn));
+        assert!(all.iter().any(|s| s.gossip_loss > 0.0));
+        assert!(all.iter().any(|s| s.protocol == Protocol::Bidding));
+        assert!(all.iter().any(|s| s.protocol == Protocol::Baseline));
+        let names: std::collections::HashSet<_> = all.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), all.len(), "fed scenario names are unique");
+    }
+
+    #[test]
+    fn every_fed_builtin_passes_both_oracles_on_the_sim_engine() {
+        for sc in FedScenario::builtins() {
+            let out = sc.run(
+                FedRuntimeKind::Sim,
+                FedSeeds::plain(7),
+                FederationMutation::None,
+            );
+            assert_eq!(
+                out.jobs_completed,
+                sc.total_jobs(),
+                "{}: every job completes exactly once",
+                sc.name
+            );
+            let merged = check_log(&out.merged, sc.merged_oracle_options());
+            assert!(
+                merged.is_empty(),
+                "{}: merged violations {merged:?}",
+                sc.name
+            );
+            for (s, shard) in out.shards.iter().enumerate() {
+                let v = check_log(&shard.sched_log, sc.shard_oracle_options());
+                assert!(v.is_empty(), "{}: shard {s} violations {v:?}", sc.name);
+            }
+        }
     }
 
     #[test]

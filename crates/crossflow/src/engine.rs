@@ -26,8 +26,11 @@ use crossbid_metrics::{Registry, RegistrySnapshot, RunRecord, SchedulerKind};
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{EventQueue, RngStream, SeedSequence, SimDuration, SimTime, Welford};
 
-use crate::faults::{FaultEvent, FaultPlan, MasterFaultPlan, NetFaultPlan};
-use crate::job::{Arrival, Job, JobId, JobSpec, WorkerId};
+use crate::faults::{
+    FaultEvent, FaultPlan, MasterFaultPlan, MembershipAction, MembershipEvent, MembershipPlan,
+    NetFaultPlan,
+};
+use crate::job::{Arrival, Job, JobId, JobSpec, ShardId, WorkerId};
 use crate::obs::RuntimeMetrics;
 use crate::replog::{AppendOutcome, ReplicatedLog};
 use crate::scheduler::{
@@ -71,6 +74,15 @@ pub struct EngineConfig {
     /// An empty plan keeps appends as plain pushes and never runs the
     /// failover path.
     pub master_faults: MasterFaultPlan,
+    /// Elastic membership: scheduled worker joins, drains and
+    /// removals. A worker with a `Join` event stays dormant (out of
+    /// the roster and every contest) until its join fires. An empty
+    /// plan keeps the engine on its exact pre-existing code path.
+    pub membership: MembershipPlan,
+    /// This master's federation shard. Job ids are allocated in the
+    /// shard's id space ([`JobId::in_shard`]); shard 0 — the default —
+    /// reproduces the historical sequential ids bit-for-bit.
+    pub shard: ShardId,
     /// Record a per-job lifecycle trace (see [`crate::trace`]).
     pub trace: bool,
     /// Shared metrics sink. When `None` the engine collects into a
@@ -91,6 +103,8 @@ impl Default for EngineConfig {
             faults: FaultPlan::none(),
             netfaults: NetFaultPlan::none(),
             master_faults: MasterFaultPlan::none(),
+            membership: MembershipPlan::none(),
+            shard: ShardId(0),
             trace: false,
             metrics: None,
         }
@@ -111,6 +125,8 @@ impl EngineConfig {
             faults: FaultPlan::none(),
             netfaults: NetFaultPlan::none(),
             master_faults: MasterFaultPlan::none(),
+            membership: MembershipPlan::none(),
+            shard: ShardId(0),
             trace: false,
             metrics: None,
         }
@@ -255,6 +271,8 @@ enum Ev {
     },
     /// A scheduled crash or recovery fires.
     Fault(FaultEvent),
+    /// A scheduled membership change (join/drain/remove) fires.
+    Membership(MembershipEvent),
     /// A stranded or bounced job re-enters allocation.
     Redispatch(Job),
     /// A message envelope crossing a lossy link. `env` identifies the
@@ -334,6 +352,13 @@ struct Engine<'a> {
     nodes: &'a mut Vec<WorkerNode>,
     slots: Vec<Slot>,
     active: Vec<bool>,
+    /// Draining workers: alive and finishing their queues, but out of
+    /// the roster — no new placements, no bid solicitations.
+    draining: Vec<bool>,
+    /// Workers that left the roster for good (drain completed or
+    /// administrative removal). `active` is false for them too; this
+    /// flag keeps a recovery event from reviving them.
+    departed: Vec<bool>,
     epochs: Vec<u64>,
     assignments: Vec<(JobId, WorkerId)>,
     trace: Option<Trace>,
@@ -474,9 +499,24 @@ impl<'a> Engine<'a> {
     }
 
     fn alloc_job_id(&mut self) -> JobId {
-        let id = JobId(self.next_job_id);
+        let id = JobId::in_shard(self.cfg.shard, self.next_job_id);
         self.next_job_id += 1;
         id
+    }
+
+    /// The id a job enters allocation under: the pre-assigned
+    /// federation identity when the routing tier stamped one, a
+    /// locally allocated shard-qualified id otherwise. Honoring a
+    /// pre-assigned id reserves the local-spawn band so downstream
+    /// spawns can never collide with router-assigned sequence numbers.
+    fn intake_id(&mut self, spec: &JobSpec) -> JobId {
+        match spec.origin {
+            Some(o) => {
+                self.next_job_id = self.next_job_id.max(JobId::SPAWN_BAND);
+                o.id
+            }
+            None => self.alloc_job_id(),
+        }
     }
 
     fn send_to_worker(&mut self, worker: WorkerId, msg: MasterToWorker) {
@@ -604,7 +644,7 @@ impl<'a> Engine<'a> {
                 self.handles
                     .iter()
                     .enumerate()
-                    .filter(|(i, _)| self.active[*i])
+                    .filter(|(i, _)| self.active[*i] && !self.draining[*i])
                     .map(|(_, h)| h.clone()),
             );
             self.roster_dirty = false;
@@ -694,7 +734,7 @@ impl<'a> Engine<'a> {
                         },
                     );
                     for i in 0..self.handles.len() {
-                        if self.active[i] {
+                        if self.active[i] && !self.draining[i] {
                             self.send_to_worker(
                                 WorkerId(i as u32),
                                 MasterToWorker::BidRequest(job.clone()),
@@ -815,9 +855,16 @@ impl<'a> Engine<'a> {
         match ev {
             Ev::Arrival(spec) => {
                 self.arrivals_seen += 1;
-                let id = self.alloc_job_id();
+                let id = self.intake_id(&spec);
                 self.created += 1;
-                self.note_sched(None, Some(id), SchedEventKind::Submitted);
+                // A job handed off from a peer shard enters the log as
+                // a `SpillIn` under its home-qualified id; everything
+                // else is a fresh local submission.
+                let intake = match spec.origin.and_then(|o| o.spilled_from) {
+                    Some(from_shard) => SchedEventKind::SpillIn { from_shard },
+                    None => SchedEventKind::Submitted,
+                };
+                self.note_sched(None, Some(id), intake);
                 let job = spec.into_job(id);
                 if !self.cfg.master_faults.is_empty() {
                     self.jobs_inflight.insert(id, job.clone());
@@ -934,6 +981,18 @@ impl<'a> Engine<'a> {
                 }
             },
             Ev::MasterRecv { from, msg } => {
+                // A draining or departed worker is out of allocation:
+                // its idle announcements and bids are dropped at intake
+                // (it must not re-enter the pull loop or win a
+                // contest). Rejects and completions still flow — the
+                // rejected job must re-enter allocation, and a finished
+                // job's result is never discarded.
+                if self.draining[from.0 as usize] || self.departed[from.0 as usize] {
+                    match msg {
+                        WorkerToMaster::Idle | WorkerToMaster::Bid { .. } => return,
+                        _ => {}
+                    }
+                }
                 if self.net_active {
                     if let WorkerToMaster::Reject { job } = &msg {
                         // A Reject is the nack of an offer: it cancels
@@ -1077,6 +1136,7 @@ impl<'a> Engine<'a> {
                     self.send_to_master(worker, WorkerToMaster::Idle, SimDuration::ZERO);
                 }
                 self.maybe_start(worker);
+                self.maybe_finish_drain(worker);
             }
             Ev::Done { worker, job } => {
                 if self.net_active {
@@ -1113,7 +1173,8 @@ impl<'a> Engine<'a> {
                     // A late bounce of a job that completed elsewhere.
                     return;
                 }
-                if self.active.iter().any(|a| *a) {
+                let placeable = (0..self.active.len()).any(|i| self.active[i] && !self.draining[i]);
+                if placeable {
                     self.m.jobs_redistributed.inc();
                     self.note_sched(None, Some(job.id), SchedEventKind::Redistributed);
                     self.run_master(|m, ctx| m.on_job(job, ctx));
@@ -1124,6 +1185,11 @@ impl<'a> Engine<'a> {
             }
             Ev::Fault(FaultEvent::Crash(w)) => self.crash(w),
             Ev::Fault(FaultEvent::Recover(w)) => self.recover(w),
+            Ev::Membership(e) => match e.action {
+                MembershipAction::Join => self.join_worker(e.worker),
+                MembershipAction::Drain => self.drain_worker(e.worker),
+                MembershipAction::Remove => self.remove_worker(e.worker),
+            },
             Ev::NetDeliver { env, inner } => {
                 if self.seen_envs.insert(env) {
                     self.handle(*inner);
@@ -1194,6 +1260,10 @@ impl<'a> Engine<'a> {
             }
             Ev::DoneAck { worker, job } => {
                 self.pending_done[worker.0 as usize].remove(&job);
+                // A draining worker must not depart while a completion
+                // report is still unacknowledged; this ack may have
+                // been the last thing holding the drain open.
+                self.maybe_finish_drain(worker);
             }
             Ev::DoneRetry {
                 worker,
@@ -1239,12 +1309,14 @@ impl<'a> Engine<'a> {
             Ev::IdleBeat(worker) => {
                 let w = worker.0 as usize;
                 if self.active[w]
+                    && !self.draining[w]
                     && self.nodes[w].queue.is_empty()
                     && self.nodes[w].activity == WorkerActivity::Idle
                 {
                     self.send_to_master(worker, WorkerToMaster::Idle, SimDuration::ZERO);
                 }
-                if self.active[w] || !self.cfg.faults.is_empty() {
+                // A departed worker never comes back — let its beat die.
+                if !self.departed[w] && (self.active[w] || !self.cfg.faults.is_empty()) {
                     let beat = self.cfg.netfaults.retry.heartbeat_secs;
                     self.q
                         .schedule_in(SimDuration::from_secs_f64(beat), Ev::IdleBeat(worker));
@@ -1314,7 +1386,9 @@ impl<'a> Engine<'a> {
     }
 
     fn recover(&mut self, w: WorkerId) {
-        if self.active[w.0 as usize] {
+        // A departed worker left the cluster for good; a scheduled
+        // recovery must not revive it.
+        if self.active[w.0 as usize] || self.departed[w.0 as usize] {
             return;
         }
         self.active[w.0 as usize] = true;
@@ -1328,6 +1402,135 @@ impl<'a> Engine<'a> {
         self.run_master(|m, ctx| m.on_worker_recovered(w, ctx));
         // The fresh worker announces itself idle (the initial pull).
         self.send_to_master(w, WorkerToMaster::Idle, SimDuration::ZERO);
+        // A worker that crashed mid-drain recovers with an empty queue
+        // (the crash bounced everything); its drain completes here.
+        self.maybe_finish_drain(w);
+    }
+
+    /// A deferred worker joins the cluster: it enters the roster,
+    /// announces itself idle, and (under the net-fault layer) starts
+    /// its idle heartbeat. Scheduler-visible via the same hook as a
+    /// recovery — to the allocation policy a join *is* the first
+    /// appearance of a fresh worker.
+    fn join_worker(&mut self, w: WorkerId) {
+        let i = w.0 as usize;
+        if self.active[i] || self.departed[i] {
+            return;
+        }
+        self.active[i] = true;
+        self.draining[i] = false;
+        self.roster_dirty = true;
+        self.epochs[i] += 1;
+        self.note_sched(Some(w), None, SchedEventKind::WorkerJoined);
+        self.run_master(|m, ctx| m.on_worker_recovered(w, ctx));
+        self.send_to_master(w, WorkerToMaster::Idle, SimDuration::ZERO);
+        if self.net_active {
+            let beat = SimDuration::from_secs_f64(self.cfg.netfaults.retry.heartbeat_secs);
+            self.q.schedule_in(beat, Ev::IdleBeat(w));
+        }
+    }
+
+    /// Begin draining a worker: it leaves the roster immediately (no
+    /// new placements, no bid solicitations) but keeps working through
+    /// its queue; `WorkerRemoved` is logged when the last job — and,
+    /// under the net-fault layer, the last unacked completion report —
+    /// clears.
+    fn drain_worker(&mut self, w: WorkerId) {
+        let i = w.0 as usize;
+        if self.draining[i] || self.departed[i] {
+            return;
+        }
+        self.draining[i] = true;
+        self.roster_dirty = true;
+        self.note_sched(Some(w), None, SchedEventKind::WorkerDraining);
+        self.maybe_finish_drain(w);
+    }
+
+    /// Complete a drain if nothing holds it open: empty slot, empty
+    /// queue, and no completion report awaiting its ack. Called from
+    /// every site that could clear the last obligation.
+    fn maybe_finish_drain(&mut self, w: WorkerId) {
+        let i = w.0 as usize;
+        if !self.draining[i] || self.departed[i] || !self.active[i] {
+            return;
+        }
+        if self.slots[i].current.is_some() || !self.nodes[i].queue.is_empty() {
+            return;
+        }
+        if self.net_active && !self.pending_done[i].is_empty() {
+            return;
+        }
+        self.draining[i] = false;
+        self.departed[i] = true;
+        self.active[i] = false;
+        self.roster_dirty = true;
+        self.epochs[i] += 1;
+        self.note_sched(Some(w), None, SchedEventKind::WorkerRemoved);
+        self.run_master(|m, ctx| m.on_worker_failed(w, ctx));
+    }
+
+    /// Administrative removal: the worker leaves *now*. Unlike a crash
+    /// there is no failure-detection delay — the control plane knows,
+    /// so stranded work re-enters allocation immediately — and unlike a
+    /// drain the queue does not finish; it is reclaimed. A removed
+    /// worker never returns (a scheduled `Recover` is ignored).
+    fn remove_worker(&mut self, w: WorkerId) {
+        let i = w.0 as usize;
+        if self.departed[i] {
+            return;
+        }
+        let now = self.q.now();
+        let was_active = self.active[i];
+        self.active[i] = false;
+        self.departed[i] = true;
+        self.draining[i] = false;
+        self.roster_dirty = true;
+        self.epochs[i] += 1;
+        // Removal ends any crash-recovery wait; the downtime clock
+        // stops here rather than running to the makespan.
+        if let Some(since) = self.down_since[i].take() {
+            self.downtime_secs += now.saturating_since(since).as_secs_f64();
+        }
+        self.note_sched(Some(w), None, SchedEventKind::WorkerRemoved);
+        let mut stranded: Vec<Job> = Vec::new();
+        if was_active {
+            if let Some(job) = self.slots[i].current.take() {
+                stranded.push(job);
+            }
+            let node = self.worker(w);
+            stranded.extend(node.queue.drain(..));
+            node.clear_backlog();
+            node.enqueued_at.clear();
+            node.activity = WorkerActivity::Idle;
+            node.busy.set(now, 0.0);
+            node.store.clear();
+        }
+        if self.net_active {
+            self.accepted[i].clear();
+            self.offer_outcomes[i].clear();
+            self.pending_done[i].clear();
+            // Same bookkeeping as a crash: placements that never
+            // arrived re-enter allocation; placements already in the
+            // stranded set must not re-enter twice.
+            let stranded_ids: HashSet<JobId> = stranded.iter().map(|j| j.id).collect();
+            let mut mine: Vec<JobId> = self
+                .outstanding_net
+                .iter()
+                .filter(|(_, o)| o.worker == w)
+                .map(|(id, _)| *id)
+                .collect();
+            mine.sort_unstable_by_key(|id| id.0);
+            for id in mine {
+                let o = self.outstanding_net.remove(&id).expect("collected above");
+                if !o.acked && !stranded_ids.contains(&id) {
+                    stranded.push(o.job);
+                }
+            }
+        }
+        for job in stranded {
+            self.q.schedule_at(now, Ev::Redispatch(job));
+        }
+        self.run_master(|m, ctx| m.on_worker_failed(w, ctx));
     }
 
     fn complete_at_master(&mut self, worker: WorkerId, job: Job) {
@@ -1397,6 +1600,7 @@ impl<'a> Engine<'a> {
         // loop restarts under the new leader.
         for i in 0..self.nodes.len() {
             if self.active[i]
+                && !self.draining[i]
                 && self.nodes[i].queue.is_empty()
                 && self.nodes[i].activity == WorkerActivity::Idle
             {
@@ -1461,8 +1665,16 @@ pub fn run_workflow(
     for (at, ev) in cfg.faults.events() {
         q.schedule_at(*at, Ev::Fault(*ev));
     }
+    for e in cfg.membership.events() {
+        q.schedule_at(e.at, Ev::Membership(*e));
+    }
     // Workers announce themselves idle at startup (the initial pull).
+    // A worker whose membership timeline starts with a join is dormant
+    // until the join fires — no announcement, no heartbeat.
     for i in 0..n_workers {
+        if cfg.membership.is_deferred(WorkerId(i as u32)) {
+            continue;
+        }
         q.schedule_at(
             SimTime::ZERO,
             Ev::MasterRecv {
@@ -1483,7 +1695,11 @@ pub fn run_workflow(
                 fetch_done: None,
             })
             .collect(),
-        active: vec![true; n_workers],
+        active: (0..n_workers)
+            .map(|i| !cfg.membership.is_deferred(WorkerId(i as u32)))
+            .collect(),
+        draining: vec![false; n_workers],
+        departed: vec![false; n_workers],
         epochs: vec![0; n_workers],
         assignments: Vec::new(),
         trace: if cfg.trace { Some(Trace::new()) } else { None },
@@ -1533,6 +1749,9 @@ pub fn run_workflow(
         // loop, never wedge it.
         let beat = SimDuration::from_secs_f64(cfg.netfaults.retry.heartbeat_secs);
         for i in 0..n_workers {
+            if cfg.membership.is_deferred(WorkerId(i as u32)) {
+                continue;
+            }
             engine.q.schedule_in(beat, Ev::IdleBeat(WorkerId(i as u32)));
         }
     }

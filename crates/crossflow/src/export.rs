@@ -24,7 +24,7 @@ use crossbid_metrics::{Json, JsonError, JsonlWriter, RegistrySnapshot, RunRecord
 use crossbid_simcore::SimTime;
 
 use crate::engine::RunOutput;
-use crate::job::{JobId, WorkerId};
+use crate::job::{JobId, ShardId, WorkerId};
 use crate::trace::{SchedEvent, SchedEventKind, TraceEvent, TraceKind};
 
 /// Version stamped into every `run_meta` line. Bump on any change to
@@ -42,7 +42,14 @@ use crate::trace::{SchedEvent, SchedEventKind, TraceEvent, TraceKind};
 /// `term` field) and `failover_replayed` (with its `entries` field),
 /// emitted when a [`crate::faults::MasterFaultPlan`] crashes the
 /// leader and an elected standby rebuilds by log replay.
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5 added the federation hand-off events `spill_out` (with its
+/// `to_shard` field) and `spill_in` (with its `from_shard` field) and
+/// the elastic-membership events `worker_joined`, `worker_draining`
+/// and `worker_removed`, emitted when a
+/// [`crate::faults::MembershipPlan`] or a federation routing tier is
+/// active.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// The stream header: which run produced the lines that follow.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -165,6 +172,11 @@ pub fn sched_kind_name(kind: &SchedEventKind) -> &'static str {
         SchedEventKind::Resent { .. } => "resent",
         SchedEventKind::LeaderElected { .. } => "leader_elected",
         SchedEventKind::FailoverReplayed { .. } => "failover_replayed",
+        SchedEventKind::SpillOut { .. } => "spill_out",
+        SchedEventKind::SpillIn { .. } => "spill_in",
+        SchedEventKind::WorkerJoined => "worker_joined",
+        SchedEventKind::WorkerDraining => "worker_draining",
+        SchedEventKind::WorkerRemoved => "worker_removed",
     }
 }
 
@@ -208,6 +220,12 @@ fn sched_event_to_json(ev: &SchedEvent) -> Json {
         SchedEventKind::FailoverReplayed { entries } => {
             fields.push(("entries".to_string(), Json::UInt(entries)));
         }
+        SchedEventKind::SpillOut { to_shard } => {
+            fields.push(("to_shard".to_string(), Json::UInt(to_shard.0 as u64)));
+        }
+        SchedEventKind::SpillIn { from_shard } => {
+            fields.push(("from_shard".to_string(), Json::UInt(from_shard.0 as u64)));
+        }
         _ => {}
     }
     Json::Obj(fields)
@@ -242,6 +260,15 @@ fn sched_event_from_json(v: &Json) -> Result<SchedEvent, JsonError> {
         "failover_replayed" => SchedEventKind::FailoverReplayed {
             entries: v.req_u64("entries")?,
         },
+        "spill_out" => SchedEventKind::SpillOut {
+            to_shard: ShardId(v.req_u64("to_shard")? as u16),
+        },
+        "spill_in" => SchedEventKind::SpillIn {
+            from_shard: ShardId(v.req_u64("from_shard")? as u16),
+        },
+        "worker_joined" => SchedEventKind::WorkerJoined,
+        "worker_draining" => SchedEventKind::WorkerDraining,
+        "worker_removed" => SchedEventKind::WorkerRemoved,
         other => return Err(JsonError(format!("unknown sched kind {other:?}"))),
     };
     let opt_u64 = |key: &str| -> Result<Option<u64>, JsonError> {
@@ -382,6 +409,15 @@ mod tests {
             SchedEventKind::Resent { attempt: 2 },
             SchedEventKind::LeaderElected { term: 3 },
             SchedEventKind::FailoverReplayed { entries: 42 },
+            SchedEventKind::SpillOut {
+                to_shard: ShardId(2),
+            },
+            SchedEventKind::SpillIn {
+                from_shard: ShardId(1),
+            },
+            SchedEventKind::WorkerJoined,
+            SchedEventKind::WorkerDraining,
+            SchedEventKind::WorkerRemoved,
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let ev = SchedEvent {

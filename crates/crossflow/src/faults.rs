@@ -171,6 +171,14 @@ pub enum FaultPlanError {
     /// Master crashes are armed but the replica group is too small to
     /// elect a successor (a quorum needs at least 3 replicas).
     InsufficientReplicas { replicas: u32 },
+    /// A [`MembershipPlan`] event sequence is internally inconsistent
+    /// for one worker (join-after-presence, drain-after-removal, …).
+    MembershipOrder {
+        /// The worker with the contradictory timeline.
+        worker: WorkerId,
+        /// What went wrong, in imperative-ordering terms.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for FaultPlanError {
@@ -224,6 +232,9 @@ impl fmt::Display for FaultPlanError {
                     f,
                     "{replicas} master replicas cannot elect a successor; need at least 3"
                 )
+            }
+            FaultPlanError::MembershipOrder { worker, detail } => {
+                write!(f, "membership plan for worker {}: {detail}", worker.0)
             }
         }
     }
@@ -630,6 +641,166 @@ impl MasterFaultPlan {
     }
 }
 
+/// One elastic-membership action (autoscaling vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipAction {
+    /// The worker joins the roster at the scheduled instant. A worker
+    /// with a `Join` event is *deferred*: it exists in the run's
+    /// worker list but is dormant — out of the roster, the idle pool
+    /// and every contest — until its join fires.
+    Join,
+    /// The worker stops accepting new placements but finishes its
+    /// queue; once empty it is removed from the roster.
+    Drain,
+    /// The worker is removed immediately (administrative scale-down):
+    /// its queue and in-flight job are reclaimed by the master and
+    /// redistributed without a detection delay — unlike a
+    /// [`FaultEvent::Crash`], the control plane *knows*.
+    Remove,
+}
+
+/// One scheduled membership event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipEvent {
+    /// Virtual instant the action fires.
+    pub at: SimTime,
+    /// The worker concerned (index into the run's worker list).
+    pub worker: WorkerId,
+    /// What happens.
+    pub action: MembershipAction,
+}
+
+/// A deterministic schedule of elastic-membership changes — the
+/// `AddWorker`/`DrainWorker`/`RemoveWorker` command vocabulary, so
+/// scenarios can model autoscaling under diurnal load. Consumed by
+/// both runtimes; an empty plan leaves them on their exact
+/// pre-existing code paths.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MembershipPlan {
+    events: Vec<MembershipEvent>,
+}
+
+impl MembershipPlan {
+    /// Static membership (every prior PR's configuration).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Start building a plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `worker` to join the roster at `at`. The worker must
+    /// be part of the run's worker list; it stays dormant until then.
+    pub fn join_at(mut self, at: SimTime, worker: WorkerId) -> Self {
+        self.events.push(MembershipEvent {
+            at,
+            worker,
+            action: MembershipAction::Join,
+        });
+        self
+    }
+
+    /// Schedule `worker` to start draining at `at`.
+    pub fn drain_at(mut self, at: SimTime, worker: WorkerId) -> Self {
+        self.events.push(MembershipEvent {
+            at,
+            worker,
+            action: MembershipAction::Drain,
+        });
+        self
+    }
+
+    /// Schedule `worker`'s immediate removal at `at`.
+    pub fn remove_at(mut self, at: SimTime, worker: WorkerId) -> Self {
+        self.events.push(MembershipEvent {
+            at,
+            worker,
+            action: MembershipAction::Remove,
+        });
+        self
+    }
+
+    /// All scheduled events, in builder order.
+    pub fn events(&self) -> &[MembershipEvent] {
+        &self.events
+    }
+
+    /// True iff membership is static.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Is `worker` deferred (dormant until a scheduled `Join`)?
+    pub fn is_deferred(&self, worker: WorkerId) -> bool {
+        self.events
+            .iter()
+            .any(|e| e.worker == worker && e.action == MembershipAction::Join)
+    }
+
+    /// Check each worker's timeline for contradictions: a `Join` must
+    /// come before any other event for a deferred worker and must be
+    /// its first event; at most one `Drain`; nothing after a `Remove`.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        use std::collections::BTreeMap;
+        let mut per_worker: BTreeMap<WorkerId, Vec<&MembershipEvent>> = BTreeMap::new();
+        for e in &self.events {
+            per_worker.entry(e.worker).or_default().push(e);
+        }
+        for (worker, mut evs) in per_worker {
+            evs.sort_by_key(|e| e.at);
+            let mut present = !self.is_deferred(worker);
+            let mut draining = false;
+            let mut removed = false;
+            for e in evs {
+                if removed {
+                    return Err(FaultPlanError::MembershipOrder {
+                        worker,
+                        detail: "event scheduled after the worker's removal",
+                    });
+                }
+                match e.action {
+                    MembershipAction::Join => {
+                        if present {
+                            return Err(FaultPlanError::MembershipOrder {
+                                worker,
+                                detail: "join scheduled while the worker is already present",
+                            });
+                        }
+                        present = true;
+                    }
+                    MembershipAction::Drain => {
+                        if !present {
+                            return Err(FaultPlanError::MembershipOrder {
+                                worker,
+                                detail: "drain scheduled before the worker joined",
+                            });
+                        }
+                        if draining {
+                            return Err(FaultPlanError::MembershipOrder {
+                                worker,
+                                detail: "drain scheduled while the worker is already draining",
+                            });
+                        }
+                        draining = true;
+                    }
+                    MembershipAction::Remove => {
+                        if !present {
+                            return Err(FaultPlanError::MembershipOrder {
+                                worker,
+                                detail: "removal scheduled before the worker joined",
+                            });
+                        }
+                        removed = true;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Every fault axis of one run — worker crashes, lossy links and
 /// master crashes — behind a single builder and a single `validate()`.
 ///
@@ -654,6 +825,8 @@ pub struct Faults {
     pub net: NetFaultPlan,
     /// Master crash schedule in replicated-log coordinates.
     pub master: MasterFaultPlan,
+    /// Elastic-membership schedule (join/drain/remove).
+    pub membership: MembershipPlan,
 }
 
 impl Faults {
@@ -685,18 +858,28 @@ impl Faults {
         self
     }
 
-    /// True iff no axis can inject anything.
-    pub fn is_empty(&self) -> bool {
-        self.workers.is_empty() && !self.net.is_active() && self.master.is_empty()
+    /// Set the elastic-membership plan.
+    pub fn membership(mut self, plan: MembershipPlan) -> Self {
+        self.membership = plan;
+        self
     }
 
-    /// Validate all three axes, mapping each failure to its
+    /// True iff no axis can inject anything.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+            && !self.net.is_active()
+            && self.master.is_empty()
+            && self.membership.is_empty()
+    }
+
+    /// Validate all four axes, mapping each failure to its
     /// [`SpecError`](crate::spec::SpecError) variant.
     pub fn validate(&self) -> Result<(), crate::spec::SpecError> {
         use crate::spec::SpecError;
         self.workers.validate().map_err(SpecError::Faults)?;
         self.net.validate().map_err(SpecError::NetFaults)?;
         self.master.validate().map_err(SpecError::MasterFaults)?;
+        self.membership.validate().map_err(SpecError::Membership)?;
         Ok(())
     }
 }
@@ -716,6 +899,12 @@ impl From<NetFaultPlan> for Faults {
 impl From<MasterFaultPlan> for Faults {
     fn from(plan: MasterFaultPlan) -> Self {
         Faults::new().master(plan)
+    }
+}
+
+impl From<MembershipPlan> for Faults {
+    fn from(plan: MembershipPlan) -> Self {
+        Faults::new().membership(plan)
     }
 }
 
@@ -1050,6 +1239,72 @@ mod tests {
             bad_master.validate(),
             Err(SpecError::MasterFaults(
                 FaultPlanError::MasterCrashOrder { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn membership_plan_validates_ordered_timelines() {
+        let plan = MembershipPlan::new()
+            .join_at(SimTime::from_secs(5), WorkerId(3))
+            .drain_at(SimTime::from_secs(20), WorkerId(3))
+            .drain_at(SimTime::from_secs(10), WorkerId(0))
+            .remove_at(SimTime::from_secs(15), WorkerId(1));
+        assert_eq!(plan.validate(), Ok(()));
+        assert!(plan.is_deferred(WorkerId(3)));
+        assert!(!plan.is_deferred(WorkerId(0)));
+        assert!(!plan.is_empty());
+        assert!(MembershipPlan::none().is_empty());
+        assert_eq!(MembershipPlan::none().validate(), Ok(()));
+    }
+
+    #[test]
+    fn membership_plan_rejects_contradictory_timelines() {
+        // Drain before the worker's join instant.
+        let early_drain = MembershipPlan::new()
+            .join_at(SimTime::from_secs(10), WorkerId(2))
+            .drain_at(SimTime::from_secs(5), WorkerId(2));
+        assert!(matches!(
+            early_drain.validate(),
+            Err(FaultPlanError::MembershipOrder {
+                worker: WorkerId(2),
+                ..
+            })
+        ));
+        // Join for a worker that is already present (no prior removal).
+        let double_join = MembershipPlan::new()
+            .join_at(SimTime::from_secs(1), WorkerId(0))
+            .join_at(SimTime::from_secs(2), WorkerId(0));
+        assert!(double_join.validate().is_err());
+        // Anything after a removal.
+        let after_removal = MembershipPlan::new()
+            .remove_at(SimTime::from_secs(1), WorkerId(4))
+            .drain_at(SimTime::from_secs(2), WorkerId(4));
+        assert!(after_removal.validate().is_err());
+        // Double drain.
+        let double_drain = MembershipPlan::new()
+            .drain_at(SimTime::from_secs(1), WorkerId(5))
+            .drain_at(SimTime::from_secs(2), WorkerId(5));
+        assert!(double_drain.validate().is_err());
+    }
+
+    #[test]
+    fn membership_rides_the_faults_aggregate() {
+        use crate::spec::SpecError;
+        let churn: Faults = MembershipPlan::new()
+            .drain_at(SimTime::from_secs(3), WorkerId(0))
+            .into();
+        assert!(!churn.is_empty());
+        assert!(churn.validate().is_ok());
+        let bad = Faults::new().membership(
+            MembershipPlan::new()
+                .join_at(SimTime::from_secs(2), WorkerId(1))
+                .remove_at(SimTime::from_secs(1), WorkerId(1)),
+        );
+        assert!(matches!(
+            bad.validate(),
+            Err(SpecError::Membership(
+                FaultPlanError::MembershipOrder { .. }
             ))
         ));
     }

@@ -11,17 +11,92 @@ use crossbid_simcore::SimTime;
 use crossbid_storage::ObjectId;
 use serde::{Deserialize, Serialize};
 
+/// Identifier of a federation shard (one master + its worker pool).
+/// Single-master runs are shard 0 throughout.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ShardId(pub u16);
+
 /// Unique job identifier, allocated by the master.
+///
+/// In a federation the id is shard-qualified: the top 16 bits name the
+/// *home* shard (where the job was submitted) and the low 48 bits are
+/// the home master's sequence number. A job spilled to a peer keeps
+/// its home-qualified id, so it can never collide with an id the
+/// receiving master allocates itself — the receiver's own ids carry
+/// the receiver's shard in the top bits. Plain single-master runs
+/// allocate sequentially from 0, which is exactly `in_shard(ShardId(0), seq)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct JobId(pub u64);
+
+impl JobId {
+    /// Bits reserved for the home-shard qualifier.
+    pub const SHARD_BITS: u32 = 16;
+    /// Bits left for the per-shard sequence number.
+    pub const SEQ_BITS: u32 = 64 - Self::SHARD_BITS;
+    /// Mask selecting the sequence-number bits.
+    pub const SEQ_MASK: u64 = (1 << Self::SEQ_BITS) - 1;
+    /// First sequence number of the *local-spawn band*. When a
+    /// federation router pre-assigns arrival ids (sequence numbers
+    /// counted from 0), a runtime that also spawns downstream jobs
+    /// allocates them from this band upward so router-assigned and
+    /// runtime-allocated sequence numbers can never collide.
+    pub const SPAWN_BAND: u64 = 1 << 40;
+
+    /// Compose a shard-qualified id from a home shard and the home
+    /// master's sequence number.
+    pub fn in_shard(shard: ShardId, seq: u64) -> JobId {
+        debug_assert!(seq <= Self::SEQ_MASK, "job sequence overflows 48 bits");
+        JobId(((shard.0 as u64) << Self::SEQ_BITS) | (seq & Self::SEQ_MASK))
+    }
+
+    /// The home shard encoded in this id (shard 0 for plain runs).
+    pub fn shard(self) -> ShardId {
+        ShardId((self.0 >> Self::SEQ_BITS) as u16)
+    }
+
+    /// The home master's sequence number.
+    pub fn local_seq(self) -> u64 {
+        self.0 & Self::SEQ_MASK
+    }
+}
 
 /// Identifier of a task (processing stage) within a workflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TaskId(pub u32);
 
 /// Identifier of a worker node (zero-based).
+///
+/// Within one runtime a worker id is a dense index into that master's
+/// pool. When federation merges shard logs into one federation-wide
+/// log, each worker id is shard-qualified (top 16 bits = shard, low 16
+/// bits = local index) so workers of different shards stay distinct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    /// Bits reserved for the shard qualifier in a merged log.
+    pub const SHARD_BITS: u32 = 16;
+    /// Mask selecting the local-index bits.
+    pub const LOCAL_MASK: u32 = (1 << (32 - Self::SHARD_BITS)) - 1;
+
+    /// Shard-qualify a local worker index for a merged federation log.
+    pub fn in_shard(shard: ShardId, local: u32) -> WorkerId {
+        debug_assert!(local <= Self::LOCAL_MASK, "worker index overflows 16 bits");
+        WorkerId(((shard.0 as u32) << (32 - Self::SHARD_BITS)) | (local & Self::LOCAL_MASK))
+    }
+
+    /// The shard encoded in a qualified id (shard 0 for plain runs).
+    pub fn shard(self) -> ShardId {
+        ShardId((self.0 >> (32 - Self::SHARD_BITS)) as u16)
+    }
+
+    /// The shard-local worker index.
+    pub fn local_index(self) -> u32 {
+        self.0 & Self::LOCAL_MASK
+    }
+}
 
 /// The data resource a job needs locally (a repository clone in the
 /// MSR scenario).
@@ -78,6 +153,19 @@ impl Job {
     }
 }
 
+/// Federation identity of a job: the federation-wide id pre-assigned
+/// by the routing tier, and — for a job spilled across shards — the
+/// home shard it was handed off from. Carried on a [`JobSpec`] so the
+/// executing runtime logs the job under its federation-wide id (and as
+/// a `SpillIn` rather than a fresh submission when it crossed shards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FedIdentity {
+    /// Federation-wide, shard-qualified job id.
+    pub id: JobId,
+    /// `Some(home)` when the job was spilled in from another shard.
+    pub spilled_from: Option<ShardId>,
+}
+
 /// A job *description* produced by the application (task logic or
 /// workload generator) before the master assigns it an id.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -92,6 +180,10 @@ pub struct JobSpec {
     pub cpu_secs: f64,
     /// Application payload.
     pub payload: Payload,
+    /// Federation identity, if the routing tier pre-assigned one.
+    /// `None` (the default) lets the master allocate ids as before.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub origin: Option<FedIdentity>,
 }
 
 impl JobSpec {
@@ -104,6 +196,7 @@ impl JobSpec {
             work_bytes: resource.bytes,
             cpu_secs: 0.0,
             payload,
+            origin: None,
         }
     }
 
@@ -115,7 +208,14 @@ impl JobSpec {
             work_bytes: 0,
             cpu_secs,
             payload,
+            origin: None,
         }
+    }
+
+    /// Stamp a federation identity onto the spec (routing tier).
+    pub fn with_origin(mut self, origin: FedIdentity) -> Self {
+        self.origin = Some(origin);
+        self
     }
 
     /// Materialize into a [`Job`] with the given id.
@@ -181,5 +281,39 @@ mod tests {
         assert!(JobId(1) < JobId(2));
         assert!(WorkerId(0) < WorkerId(4));
         assert!(TaskId(0) < TaskId(1));
+    }
+
+    #[test]
+    fn shard_qualified_job_ids_round_trip() {
+        let id = JobId::in_shard(ShardId(3), 42);
+        assert_eq!(id.shard(), ShardId(3));
+        assert_eq!(id.local_seq(), 42);
+        // Shard 0 is the plain sequential id space.
+        assert_eq!(JobId::in_shard(ShardId(0), 7), JobId(7));
+        assert_eq!(JobId(7).shard(), ShardId(0));
+    }
+
+    #[test]
+    fn shard_qualified_ids_never_collide_across_shards() {
+        let a = JobId::in_shard(ShardId(1), 5);
+        let b = JobId::in_shard(ShardId(2), 5);
+        assert_ne!(a, b);
+        let wa = WorkerId::in_shard(ShardId(1), 0);
+        let wb = WorkerId::in_shard(ShardId(2), 0);
+        assert_ne!(wa, wb);
+        assert_eq!(wa.local_index(), wb.local_index());
+        assert_eq!(wa.shard(), ShardId(1));
+    }
+
+    #[test]
+    fn origin_defaults_to_none_and_stamps() {
+        let s = JobSpec::compute(TaskId(0), 1.0, Payload::None);
+        assert!(s.origin.is_none());
+        let fed = FedIdentity {
+            id: JobId::in_shard(ShardId(2), 9),
+            spilled_from: Some(ShardId(0)),
+        };
+        let s = s.with_origin(fed);
+        assert_eq!(s.origin, Some(fed));
     }
 }

@@ -64,6 +64,7 @@ pub mod baseline;
 pub mod engine;
 pub mod export;
 pub mod faults;
+pub mod federation;
 pub mod idle;
 pub mod job;
 pub mod obs;
@@ -86,10 +87,16 @@ pub use export::{
     SCHEMA_VERSION,
 };
 pub use faults::{
-    FaultEvent, FaultPlan, FaultPlanError, Faults, LinkFault, MasterFaultPlan, NetFaultPlan,
-    Partition, RetryPolicy,
+    FaultEvent, FaultPlan, FaultPlanError, Faults, LinkFault, MasterFaultPlan, MembershipAction,
+    MembershipEvent, MembershipPlan, NetFaultPlan, Partition, RetryPolicy,
 };
-pub use job::{Arrival, Job, JobId, JobSpec, Payload, ResourceRef, TaskId, WorkerId};
+pub use federation::{
+    run_federation, FedArrival, FedRuntimeKind, FederationMutation, FederationOutput,
+    FederationSpec, ShardSpec, SpillRecord,
+};
+pub use job::{
+    Arrival, FedIdentity, Job, JobId, JobSpec, Payload, ResourceRef, ShardId, TaskId, WorkerId,
+};
 pub use obs::RuntimeMetrics;
 pub use replog::{AppendOutcome, ReplicatedLog, SchedState};
 pub use runtime::{Runtime, ThreadedSession};

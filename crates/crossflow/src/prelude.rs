@@ -13,14 +13,23 @@ pub use crate::engine::{Cluster, EngineConfig, RunMeta, RunOutput};
 pub use crate::export::{
     parse_run_stream, write_run_stream, RunStreamLine, RunStreamMeta, SCHEMA_VERSION,
 };
-pub use crate::faults::{FaultEvent, FaultPlan, Faults, MasterFaultPlan, NetFaultPlan};
-pub use crate::job::{Arrival, Job, JobId, JobSpec, Payload, ResourceRef, TaskId, WorkerId};
+pub use crate::faults::{
+    FaultEvent, FaultPlan, Faults, MasterFaultPlan, MembershipAction, MembershipEvent,
+    MembershipPlan, NetFaultPlan,
+};
+pub use crate::federation::{
+    run_federation, FedArrival, FedRuntimeKind, FederationMutation, FederationOutput,
+    FederationSpec, ShardSpec, SpillRecord,
+};
+pub use crate::job::{
+    Arrival, FedIdentity, Job, JobId, JobSpec, Payload, ResourceRef, ShardId, TaskId, WorkerId,
+};
 pub use crate::obs::RuntimeMetrics;
 pub use crate::runtime::{Runtime, ThreadedSession};
 pub use crate::scheduler::Allocator;
 pub use crate::session::Session;
 pub use crate::spec::{RunSpec, RunSpecBuilder};
-pub use crate::threaded::{ThreadedConfig, ThreadedScheduler};
+pub use crate::threaded::{ChaosConfig, ThreadedConfig, ThreadedScheduler};
 pub use crate::trace::{
     JobPhases, SchedEvent, SchedEventKind, SchedLog, Trace, TraceEvent, TraceKind,
 };

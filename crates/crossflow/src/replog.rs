@@ -34,12 +34,15 @@ use std::collections::{BTreeMap, BTreeSet};
 use crossbid_simcore::SimTime;
 
 use crate::faults::MasterFaultPlan;
-use crate::job::{JobId, WorkerId};
+use crate::job::{JobId, ShardId, WorkerId};
 use crate::trace::{SchedEvent, SchedEventKind, SchedLog};
 
 /// Is this event a scheduler *decision* (commit-before-act: truncated
 /// if the leader dies during the append) as opposed to an observed
-/// *fact* (committed on arrival, survives the crash)?
+/// *fact* (committed on arrival, survives the crash)? `SpillOut` is a
+/// decision: the hand-off must not leave the shard unless the entry is
+/// quorum-committed, or a leader crash could double-run the job (the
+/// successor would re-offer it locally while the peer also runs it).
 pub fn is_decision(kind: &SchedEventKind) -> bool {
     matches!(
         kind,
@@ -47,6 +50,7 @@ pub fn is_decision(kind: &SchedEventKind) -> bool {
             | SchedEventKind::Assigned
             | SchedEventKind::ContestClosed { .. }
             | SchedEventKind::Offered
+            | SchedEventKind::SpillOut { .. }
     )
 }
 
@@ -86,6 +90,11 @@ pub struct JobState {
     pub last_rejector: Option<WorkerId>,
     /// Times the job bounced off a dead worker.
     pub redistributions: u64,
+    /// `Some(peer)` when this shard spilled the job to `peer` — the
+    /// job's terminal state *here*; the peer's log owns it now.
+    pub spilled_to: Option<ShardId>,
+    /// `Some(home)` when the job entered this shard by spill-in.
+    pub spilled_from: Option<ShardId>,
 }
 
 /// The pure scheduler state machine: `replay(log)` folds every
@@ -99,6 +108,11 @@ pub struct JobState {
 pub struct SchedState {
     jobs: BTreeMap<JobId, JobState>,
     dead: BTreeSet<WorkerId>,
+    /// Workers told to drain: finishing their queues, ineligible for
+    /// new placements.
+    draining: BTreeSet<WorkerId>,
+    /// Workers removed from the roster for good.
+    removed: BTreeSet<WorkerId>,
     /// Leadership term last seen in the log (0 before any election
     /// entry; the first leader is term 1).
     pub term: u32,
@@ -106,6 +120,10 @@ pub struct SchedState {
     pub submissions: u64,
     /// Committed `Completed` entries.
     pub completions: u64,
+    /// Committed `SpillOut` entries (jobs handed to peer shards).
+    pub spill_outs: u64,
+    /// Committed `SpillIn` entries (jobs accepted from peer shards).
+    pub spill_ins: u64,
 }
 
 impl SchedState {
@@ -209,6 +227,44 @@ impl SchedState {
             SchedEventKind::Resent { .. } => {}
             SchedEventKind::LeaderElected { term } => self.term = term,
             SchedEventKind::FailoverReplayed { .. } => {}
+            SchedEventKind::SpillOut { to_shard } => {
+                if let Some(id) = ev.job {
+                    let j = self.job_mut(id);
+                    j.spilled_to = Some(to_shard);
+                    j.placed_on = None;
+                    j.acked = false;
+                    j.contest_open = false;
+                    self.spill_outs += 1;
+                }
+            }
+            SchedEventKind::SpillIn { from_shard } => {
+                if let Some(id) = ev.job {
+                    let j = self.job_mut(id);
+                    // A spill-in is the receiving shard's submission:
+                    // the job is now locally allocatable.
+                    j.submitted = true;
+                    j.spilled_from = Some(from_shard);
+                    self.spill_ins += 1;
+                }
+            }
+            SchedEventKind::WorkerJoined => {
+                if let Some(w) = worker {
+                    self.dead.remove(&w);
+                    self.draining.remove(&w);
+                    self.removed.remove(&w);
+                }
+            }
+            SchedEventKind::WorkerDraining => {
+                if let Some(w) = worker {
+                    self.draining.insert(w);
+                }
+            }
+            SchedEventKind::WorkerRemoved => {
+                if let Some(w) = worker {
+                    self.draining.remove(&w);
+                    self.removed.insert(w);
+                }
+            }
         }
     }
 
@@ -232,13 +288,27 @@ impl SchedState {
         self.dead.contains(&w)
     }
 
+    /// Is `w` draining (finishing its queue, no new placements)?
+    pub fn is_draining(&self, w: WorkerId) -> bool {
+        self.draining.contains(&w)
+    }
+
+    /// Has `w` been removed from the roster?
+    pub fn is_removed(&self, w: WorkerId) -> bool {
+        self.removed.contains(&w)
+    }
+
     /// Every submitted, uncompleted job with no current placement —
-    /// exactly what a successor must re-enter into allocation. Sorted
-    /// by job id (BTreeMap order) for deterministic re-offers.
+    /// exactly what a successor must re-enter into allocation. A job
+    /// spilled out to a peer shard is *not* unplaced: the peer's log
+    /// owns it. Sorted by job id (BTreeMap order) for deterministic
+    /// re-offers.
     pub fn unplaced_jobs(&self) -> Vec<JobId> {
         self.jobs
             .iter()
-            .filter(|(_, j)| j.submitted && !j.completed && j.placed_on.is_none())
+            .filter(|(_, j)| {
+                j.submitted && !j.completed && j.placed_on.is_none() && j.spilled_to.is_none()
+            })
             .map(|(&id, _)| id)
             .collect()
     }
@@ -488,6 +558,65 @@ mod tests {
         assert_eq!(st.placed_on(JobId(1)), None);
         assert_eq!(st.job(JobId(1)).unwrap().redistributions, 1);
         assert_eq!(st.unplaced_jobs(), vec![JobId(1)]);
+    }
+
+    #[test]
+    fn replay_tracks_spills_and_membership() {
+        let evs = [
+            sev(0, None, Some(1), SchedEventKind::Submitted),
+            sev(0, None, Some(2), SchedEventKind::Submitted),
+            sev(
+                1,
+                None,
+                Some(1),
+                SchedEventKind::SpillOut {
+                    to_shard: ShardId(3),
+                },
+            ),
+            sev(
+                2,
+                None,
+                Some(9),
+                SchedEventKind::SpillIn {
+                    from_shard: ShardId(2),
+                },
+            ),
+            sev(3, Some(5), None, SchedEventKind::WorkerJoined),
+            sev(4, Some(0), None, SchedEventKind::WorkerDraining),
+            sev(5, Some(0), None, SchedEventKind::WorkerRemoved),
+        ];
+        let st = SchedState::replay(evs.iter());
+        assert_eq!(st.spill_outs, 1);
+        assert_eq!(st.spill_ins, 1);
+        // Job 1 left the shard: not unplaced. Job 9 arrived by spill:
+        // locally allocatable without a local Submitted. Job 2 is the
+        // ordinary unplaced case.
+        assert_eq!(st.unplaced_jobs(), vec![JobId(2), JobId(9)]);
+        assert_eq!(st.job(JobId(1)).unwrap().spilled_to, Some(ShardId(3)));
+        assert_eq!(st.job(JobId(9)).unwrap().spilled_from, Some(ShardId(2)));
+        assert!(st.is_draining(WorkerId(0)) || st.is_removed(WorkerId(0)));
+        assert!(st.is_removed(WorkerId(0)));
+        assert!(!st.is_draining(WorkerId(0)), "removal clears draining");
+        assert!(!st.is_removed(WorkerId(5)));
+    }
+
+    #[test]
+    fn spill_out_appends_are_decisions() {
+        let plan = MasterFaultPlan::new().crash_at(1);
+        let mut rlog = ReplicatedLog::new(&plan);
+        assert_eq!(
+            rlog.append(sev(
+                0,
+                None,
+                Some(1),
+                SchedEventKind::SpillOut {
+                    to_shard: ShardId(1),
+                },
+            )),
+            AppendOutcome::LeaderCrashed { truncated: true },
+            "an uncommitted hand-off must not leave the shard"
+        );
+        assert_eq!(rlog.log().len(), 0);
     }
 
     #[test]

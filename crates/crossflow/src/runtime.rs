@@ -138,6 +138,8 @@ impl ThreadedSession {
             mutation: self.spec.mutation,
             netfaults: self.spec.engine.netfaults.clone(),
             master_faults: self.spec.engine.master_faults.clone(),
+            membership: self.spec.engine.membership.clone(),
+            shard: self.spec.engine.shard,
         };
         let meta = RunMeta {
             worker_config: self.spec.worker_config.clone(),

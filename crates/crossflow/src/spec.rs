@@ -156,15 +156,17 @@ impl RunSpecBuilder {
     /// [`NetFaultPlan`] or
     /// [`MasterFaultPlan`](crate::faults::MasterFaultPlan).
     ///
-    /// **Replace semantics:** all three engine fault fields are
+    /// **Replace semantics:** all four engine fault fields are
     /// overwritten, so `.faults(worker_plan)` alone resets any
-    /// previously set net or master plan. Compose axes through the
-    /// aggregate: `.faults(Faults::new().workers(..).net(..))`.
+    /// previously set net, master or membership plan. Compose axes
+    /// through the aggregate:
+    /// `.faults(Faults::new().workers(..).net(..))`.
     pub fn faults(mut self, faults: impl Into<Faults>) -> Self {
         let f = faults.into();
         self.engine.faults = f.workers;
         self.engine.netfaults = f.net;
         self.engine.master_faults = f.master;
+        self.engine.membership = f.membership;
         self
     }
 
@@ -257,7 +259,22 @@ impl RunSpecBuilder {
             .workers(self.engine.faults.clone())
             .net(self.engine.netfaults.clone())
             .master(self.engine.master_faults.clone())
+            .membership(self.engine.membership.clone())
             .validate()?;
+        // A deferred or drained/removed worker must exist in the
+        // cluster; out-of-range indices would silently no-op mid-run.
+        if let Some(e) = self
+            .engine
+            .membership
+            .events()
+            .iter()
+            .find(|e| e.worker.0 as usize >= self.workers.len())
+        {
+            return Err(SpecError::Membership(FaultPlanError::MembershipOrder {
+                worker: e.worker,
+                detail: "membership event targets a worker outside the cluster",
+            }));
+        }
         Ok(RunSpec {
             workers: self.workers,
             engine: self.engine,
@@ -295,6 +312,9 @@ pub enum SpecError {
     NetFaults(FaultPlanError),
     /// The master crash plan breaks quorum arithmetic or ordering.
     MasterFaults(FaultPlanError),
+    /// The elastic-membership plan contradicts itself or targets a
+    /// worker outside the cluster.
+    Membership(FaultPlanError),
 }
 
 impl std::fmt::Display for SpecError {
@@ -305,6 +325,7 @@ impl std::fmt::Display for SpecError {
             SpecError::Faults(e) => write!(f, "invalid fault plan: {e}"),
             SpecError::NetFaults(e) => write!(f, "invalid net-fault plan: {e}"),
             SpecError::MasterFaults(e) => write!(f, "invalid master fault plan: {e}"),
+            SpecError::Membership(e) => write!(f, "invalid membership plan: {e}"),
         }
     }
 }
@@ -312,7 +333,10 @@ impl std::fmt::Display for SpecError {
 impl std::error::Error for SpecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SpecError::Faults(e) | SpecError::NetFaults(e) | SpecError::MasterFaults(e) => Some(e),
+            SpecError::Faults(e)
+            | SpecError::NetFaults(e)
+            | SpecError::MasterFaults(e)
+            | SpecError::Membership(e) => Some(e),
             _ => None,
         }
     }
@@ -398,6 +422,45 @@ mod tests {
             .faults(NetFaultPlan::lossy(7, 0.3, 0.1))
             .try_build()
             .is_ok());
+    }
+
+    #[test]
+    fn membership_axis_is_validated_and_bounded() {
+        use crossbid_simcore::SimTime;
+
+        use crate::faults::MembershipPlan;
+        use crate::job::WorkerId;
+
+        let ok = RunSpec::builder()
+            .workers((0..3).map(|i| WorkerSpec::builder(format!("w{i}")).build()))
+            .faults(
+                MembershipPlan::new()
+                    .join_at(SimTime::from_secs(5), WorkerId(2))
+                    .drain_at(SimTime::from_secs(9), WorkerId(0)),
+            )
+            .try_build();
+        assert!(ok.is_ok());
+        assert!(!ok.unwrap().engine.membership.is_empty());
+
+        // Contradictory timeline → Membership error.
+        let bad = RunSpec::builder()
+            .worker(WorkerSpec::builder("w0").build())
+            .faults(
+                MembershipPlan::new()
+                    .drain_at(SimTime::from_secs(1), WorkerId(0))
+                    .drain_at(SimTime::from_secs(2), WorkerId(0)),
+            )
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(bad, SpecError::Membership(_)), "{bad:?}");
+
+        // Out-of-cluster worker index → Membership error.
+        let oob = RunSpec::builder()
+            .worker(WorkerSpec::builder("w0").build())
+            .faults(MembershipPlan::new().drain_at(SimTime::from_secs(1), WorkerId(7)))
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(oob, SpecError::Membership(_)), "{oob:?}");
     }
 
     #[test]

@@ -13,9 +13,12 @@ use crossbid_simcore::{RngStream, SeedSequence, SimDuration, SimTime, Welford};
 use parking_lot::Mutex;
 
 use crate::engine::{RunMeta, RunOutput};
-use crate::faults::{FaultEvent, FaultPlan, MasterFaultPlan, NetFaultPlan};
+use crate::faults::{
+    FaultEvent, FaultPlan, MasterFaultPlan, MembershipAction, MembershipEvent, MembershipPlan,
+    NetFaultPlan,
+};
 use crate::idle::IdlePool;
-use crate::job::{Arrival, Job, JobId, JobSpec, WorkerId};
+use crate::job::{Arrival, Job, JobId, JobSpec, ShardId, WorkerId};
 use crate::obs::RuntimeMetrics;
 use crate::replog::{AppendOutcome, ReplicatedLog};
 use crate::task::TaskCtx;
@@ -93,6 +96,14 @@ pub struct ThreadedConfig {
     /// elected standby rebuilds the scheduler state in place by log
     /// replay (workers and channels keep running). Empty by default.
     pub master_faults: MasterFaultPlan,
+    /// Elastic-membership schedule: deferred joins, graceful drains
+    /// and administrative removals, mirroring the engine's semantics.
+    /// Empty by default.
+    pub membership: MembershipPlan,
+    /// Home shard of this master: freshly allocated job ids carry it
+    /// in their top bits. `ShardId(0)` reproduces the historical
+    /// single-master ids bit-for-bit.
+    pub shard: ShardId,
 }
 
 impl Default for ThreadedConfig {
@@ -111,6 +122,8 @@ impl Default for ThreadedConfig {
             mutation: ProtocolMutation::None,
             netfaults: NetFaultPlan::none(),
             master_faults: MasterFaultPlan::none(),
+            membership: MembershipPlan::none(),
+            shard: ShardId(0),
         }
     }
 }
@@ -175,8 +188,15 @@ struct MasterState {
     // flips to `false` once the detection delay has elapsed after a
     // crash, so for a while the master keeps scheduling against a
     // stale roster — exactly the masking window the contest timeout
-    // covers.
+    // covers. Deferred-join workers start out `false` and flip on
+    // their membership event.
     known_live: Vec<bool>,
+    /// Gracefully draining: still live (queued work finishes) but out
+    /// of the allocation roster; new bids and idle pulls are ignored.
+    draining: Vec<bool>,
+    /// Permanently departed (drain completed, or removed outright):
+    /// never returns, unlike a crashed worker awaiting recovery.
+    departed: Vec<bool>,
     /// Assigned-but-unfinished jobs, for redistribution on failure.
     outstanding: HashMap<JobId, Outstanding>,
     /// Completed job ids: de-duplicates a redistribution racing a
@@ -196,6 +216,8 @@ struct MasterState {
     // Common.
     created: u64,
     completed: u64,
+    /// Home shard stamped into freshly allocated job ids.
+    shard: ShardId,
     next_job_id: u64,
     /// Next placement sequence number (reliability layer; starts at 1
     /// so 0 unambiguously means "layer off").
@@ -208,13 +230,38 @@ struct MasterState {
 
 impl MasterState {
     fn alloc_id(&mut self) -> JobId {
-        let id = JobId(self.next_job_id);
+        let id = JobId::in_shard(self.shard, self.next_job_id);
         self.next_job_id += 1;
         id
     }
 
+    /// Id for an arriving spec: a router-preassigned federation id is
+    /// honoured verbatim (local allocation moves to the spawn band so
+    /// downstream jobs can never collide with it); otherwise a fresh
+    /// shard-qualified id.
+    fn intake_id(&mut self, spec: &JobSpec) -> JobId {
+        match spec.origin {
+            Some(o) => {
+                self.next_job_id = self.next_job_id.max(JobId::SPAWN_BAND);
+                o.id
+            }
+            None => self.alloc_id(),
+        }
+    }
+
     fn live_count(&self) -> usize {
         self.known_live.iter().filter(|l| **l).count()
+    }
+
+    /// May this worker be *allocated to*? Live and not draining.
+    fn eligible(&self, w: u32) -> bool {
+        self.known_live[w as usize] && !self.draining[w as usize]
+    }
+
+    fn eligible_count(&self) -> usize {
+        (0..self.known_live.len() as u32)
+            .filter(|w| self.eligible(*w))
+            .count()
     }
 
     /// Commit one scheduler event through the replicated log; returns
@@ -438,6 +485,18 @@ pub(crate) fn run_threaded_with_shareds(
         evs.into()
     };
     let detection_real = virt(cfg.faults.detection_delay.as_secs_f64());
+    // Elastic-membership schedule in real time, same treatment as the
+    // fault schedule.
+    let mut membership_events: VecDeque<(Instant, MembershipEvent)> = {
+        let mut evs: Vec<(Instant, MembershipEvent)> = cfg
+            .membership
+            .events()
+            .iter()
+            .map(|e| (start + virt(e.at.as_secs_f64()), *e))
+            .collect();
+        evs.sort_by_key(|(at, _)| *at);
+        evs.into()
+    };
     // (fire_at, worker, flip instant of the crash being detected)
     let mut detections: VecDeque<(Instant, u32, Instant)> = VecDeque::new();
     let mut down_since: Vec<Option<Instant>> = vec![None; n];
@@ -452,7 +511,14 @@ pub(crate) fn run_threaded_with_shareds(
         ready: VecDeque::new(),
         idle: IdlePool::new(),
         rejected_by: HashMap::new(),
-        known_live: vec![true; n],
+        // A deferred worker is dormant until its join fires: its
+        // initial Idle announcement is dropped by the liveness filter
+        // and no bid request reaches it.
+        known_live: (0..n)
+            .map(|i| !cfg.membership.is_deferred(WorkerId(i as u32)))
+            .collect(),
+        draining: vec![false; n],
+        departed: vec![false; n],
         outstanding: HashMap::new(),
         done_ids: HashSet::new(),
         log: ReplicatedLog::new(&cfg.master_faults),
@@ -460,6 +526,7 @@ pub(crate) fn run_threaded_with_shareds(
         job_payloads: HashMap::new(),
         created: 0,
         completed: 0,
+        shard: cfg.shard,
         next_job_id: 0,
         next_seq: 1,
         net: net_active.then(|| NetMaster {
@@ -483,7 +550,7 @@ pub(crate) fn run_threaded_with_shareds(
     // believed-live workers there is no one to ask: the job stays
     // queued until a recovery re-populates the roster.
     let open_next_contest = |st: &mut MasterState, txs: &[Sender<ToWorker>], window_secs: f64| {
-        if st.failover_pending || !st.contests.is_empty() || st.live_count() == 0 {
+        if st.failover_pending || !st.contests.is_empty() || st.eligible_count() == 0 {
             return;
         }
         let Some(job) = st.contest_queue.pop_front() else {
@@ -505,7 +572,7 @@ pub(crate) fn run_threaded_with_shareds(
         let deadline = opened + virt(window_secs).max(cfg.min_real_window);
         st.m.contests_opened.inc();
         for w in 0..txs.len() as u32 {
-            if !st.known_live[w as usize] {
+            if !st.eligible(w) {
                 continue;
             }
             st.m.control_messages.inc();
@@ -623,15 +690,13 @@ pub(crate) fn run_threaded_with_shareds(
         let winner = c
             .bids
             .iter()
-            .filter(|(w, _)| st.known_live[*w as usize])
+            .filter(|(w, _)| st.eligible(*w))
             .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
             .map(|(w, _)| *w);
         let (w, fallback) = match winner {
             Some(w) => (w, false),
             None => {
-                let live: Vec<u32> = (0..txs.len() as u32)
-                    .filter(|w| st.known_live[*w as usize])
-                    .collect();
+                let live: Vec<u32> = (0..txs.len() as u32).filter(|w| st.eligible(*w)).collect();
                 if live.is_empty() {
                     // Nobody to draft: park the job until a recovery.
                     st.contest_queue.push_front(c.job);
@@ -707,6 +772,30 @@ pub(crate) fn run_threaded_with_shareds(
         ThreadedScheduler::Baseline => 0.0,
     };
 
+    // Graceful-drain completion: once a draining worker has nothing
+    // outstanding it departs for good (`WorkerRemoved`). A drainer
+    // that is currently crashed departs at its recovery instead — its
+    // stranded jobs must be reclaimed first.
+    let finish_drain = |st: &mut MasterState, down_since: &[Option<Instant>], w: u32| {
+        let i = w as usize;
+        if !st.draining[i] || st.departed[i] || down_since[i].is_some() {
+            return;
+        }
+        if st.outstanding.values().any(|o| o.worker == w) {
+            return;
+        }
+        st.commit(SchedEvent {
+            at: vnow(),
+            worker: Some(WorkerId(w)),
+            job: None,
+            kind: SchedEventKind::WorkerRemoved,
+        });
+        st.draining[i] = false;
+        st.departed[i] = true;
+        st.known_live[i] = false;
+        st.idle.remove(w);
+    };
+
     // Leader crash takeover: an elected standby replays the committed
     // log into a pure state, pauses for the (scaled) election timeout,
     // and rebuilds every scheduler-owned structure from the replay.
@@ -714,7 +803,7 @@ pub(crate) fn run_threaded_with_shareds(
     // pool, liveness beliefs, net-layer sequencing and exactly-once
     // memory — survives in place: it models the replica group's shared
     // view of the cluster, not the leader's private decisions.
-    let do_failover = |st: &mut MasterState, txs: &[Sender<ToWorker>]| {
+    let do_failover = |st: &mut MasterState, txs: &[Sender<ToWorker>], down: &[Option<Instant>]| {
         st.failover_pending = false;
         let (_term, state, entries) = st.log.failover(vnow());
         st.m.master_failovers.inc();
@@ -749,6 +838,11 @@ pub(crate) fn run_threaded_with_shareds(
                 .cloned()
                 .expect("unplaced job without a retained payload");
             dispatch(st, txs, cfg, job);
+        }
+        // The retain above may have emptied a draining worker's
+        // outstanding set; the takeover must notice the drain is done.
+        for w in 0..txs.len() as u32 {
+            finish_drain(st, down, w);
         }
         baseline_pump(st, txs);
         open_next_contest(st, txs, window_secs);
@@ -797,13 +891,20 @@ pub(crate) fn run_threaded_with_shareds(
         while pending_arrivals.front().is_some_and(|(at, _)| *at <= now) {
             let (_, spec) = pending_arrivals.pop_front().expect("non-empty");
             arrivals_seen += 1;
-            let id = st.alloc_id();
+            let id = st.intake_id(&spec);
             st.created += 1;
+            // A job spilled here from another shard enters as SpillIn
+            // under its federation-wide id; everything else is a plain
+            // submission.
+            let intake = match spec.origin.and_then(|o| o.spilled_from) {
+                Some(from_shard) => SchedEventKind::SpillIn { from_shard },
+                None => SchedEventKind::Submitted,
+            };
             st.commit(SchedEvent {
                 at: vnow(),
                 worker: None,
                 job: Some(id),
-                kind: SchedEventKind::Submitted,
+                kind: intake,
             });
             let job = spec.into_job(id);
             if !cfg.master_faults.is_empty() {
@@ -819,7 +920,7 @@ pub(crate) fn run_threaded_with_shareds(
             match ev {
                 FaultEvent::Crash(wid) => {
                     let w = wid.0 as usize;
-                    if w >= n || down_since[w].is_some() {
+                    if w >= n || down_since[w].is_some() || st.departed[w] {
                         continue;
                     }
                     {
@@ -865,10 +966,138 @@ pub(crate) fn run_threaded_with_shareds(
                         job: None,
                         kind: SchedEventKind::Recover,
                     });
-                    // The rejoined worker's queue is empty but its
-                    // executor has no reason to say so; the master
-                    // re-seats it.
-                    st.idle.push(wid.0);
+                    if st.draining[w] {
+                        // A drainer that crashed mid-drain: its queue
+                        // died with the instance, so once its stranded
+                        // jobs are reclaimed the drain completes here.
+                        finish_drain(&mut st, &down_since, wid.0);
+                    } else {
+                        // The rejoined worker's queue is empty but its
+                        // executor has no reason to say so; the master
+                        // re-seats it.
+                        st.idle.push(wid.0);
+                        baseline_pump(&mut st, &worker_txs);
+                        open_next_contest(&mut st, &worker_txs, window_secs);
+                    }
+                }
+            }
+        }
+
+        // Fire due membership events: joins open the roster, drains
+        // close it gracefully, removals reclaim on the spot.
+        while membership_events.front().is_some_and(|(at, _)| *at <= now) {
+            let (_, ev) = membership_events.pop_front().expect("non-empty");
+            let w = ev.worker.0 as usize;
+            if w >= n {
+                continue;
+            }
+            match ev.action {
+                MembershipAction::Join => {
+                    if st.known_live[w] || st.departed[w] || down_since[w].is_some() {
+                        continue;
+                    }
+                    st.commit(SchedEvent {
+                        at: vnow(),
+                        worker: Some(ev.worker),
+                        job: None,
+                        kind: SchedEventKind::WorkerJoined,
+                    });
+                    st.known_live[w] = true;
+                    st.draining[w] = false;
+                    // The dormant worker's initial Idle announcement
+                    // was dropped by the liveness filter; re-seat it
+                    // the way a recovery does.
+                    st.idle.push(ev.worker.0);
+                    baseline_pump(&mut st, &worker_txs);
+                    open_next_contest(&mut st, &worker_txs, window_secs);
+                }
+                MembershipAction::Drain => {
+                    if st.draining[w] || st.departed[w] {
+                        continue;
+                    }
+                    st.commit(SchedEvent {
+                        at: vnow(),
+                        worker: Some(ev.worker),
+                        job: None,
+                        kind: SchedEventKind::WorkerDraining,
+                    });
+                    st.draining[w] = true;
+                    st.idle.remove(ev.worker.0);
+                    // Purge its bids from open contests — the shrunken
+                    // roster may complete a bid set.
+                    let elig = st.eligible_count();
+                    let mut complete: Vec<JobId> = Vec::new();
+                    for (id, c) in st.contests.iter_mut() {
+                        c.bids.retain(|(bw, _)| *bw != ev.worker.0);
+                        if elig > 0 && c.bids.len() >= elig {
+                            complete.push(*id);
+                        }
+                    }
+                    for id in complete {
+                        close_contest(&mut st, &worker_txs, &mut rng_master, id, false);
+                    }
+                    finish_drain(&mut st, &down_since, ev.worker.0);
+                    baseline_pump(&mut st, &worker_txs);
+                    open_next_contest(&mut st, &worker_txs, window_secs);
+                }
+                MembershipAction::Remove => {
+                    if st.departed[w] {
+                        continue;
+                    }
+                    // Administrative removal: the instance is reclaimed
+                    // on the spot — queue and store die with it, its
+                    // unfinished jobs re-enter allocation immediately
+                    // (no detection delay), and it never returns.
+                    st.commit(SchedEvent {
+                        at: vnow(),
+                        worker: Some(ev.worker),
+                        job: None,
+                        kind: SchedEventKind::WorkerRemoved,
+                    });
+                    st.draining[w] = false;
+                    st.departed[w] = true;
+                    st.known_live[w] = false;
+                    st.idle.remove(ev.worker.0);
+                    {
+                        let mut s = shareds[w].lock();
+                        s.alive = false;
+                        s.epoch += 1;
+                        s.store.clear();
+                        s.committed_secs = 0.0;
+                        s.declined.clear();
+                    }
+                    if let Some(since) = down_since[w].take() {
+                        downtime_real += now.saturating_duration_since(since).as_secs_f64();
+                    }
+                    let elig = st.eligible_count();
+                    let mut complete: Vec<JobId> = Vec::new();
+                    for (id, c) in st.contests.iter_mut() {
+                        c.bids.retain(|(bw, _)| *bw != ev.worker.0);
+                        if elig > 0 && c.bids.len() >= elig {
+                            complete.push(*id);
+                        }
+                    }
+                    for id in complete {
+                        close_contest(&mut st, &worker_txs, &mut rng_master, id, false);
+                    }
+                    let mut stranded: Vec<JobId> = st
+                        .outstanding
+                        .iter()
+                        .filter(|(_, o)| o.worker == ev.worker.0)
+                        .map(|(id, _)| *id)
+                        .collect();
+                    stranded.sort_unstable();
+                    for id in stranded {
+                        let o = st.outstanding.remove(&id).expect("present");
+                        st.m.jobs_redistributed.inc();
+                        st.commit(SchedEvent {
+                            at: vnow(),
+                            worker: Some(ev.worker),
+                            job: Some(id),
+                            kind: SchedEventKind::Redistributed,
+                        });
+                        dispatch(&mut st, &worker_txs, cfg, o.job);
+                    }
                     baseline_pump(&mut st, &worker_txs);
                     open_next_contest(&mut st, &worker_txs, window_secs);
                 }
@@ -889,7 +1118,7 @@ pub(crate) fn run_threaded_with_shareds(
                 // shrunken roster.
                 st.known_live[w] = false;
                 st.idle.remove(dw);
-                let live = st.live_count();
+                let live = st.eligible_count();
                 let mut complete: Vec<JobId> = Vec::new();
                 for (id, c) in st.contests.iter_mut() {
                     c.bids.retain(|(bw, _)| *bw != dw);
@@ -924,6 +1153,9 @@ pub(crate) fn run_threaded_with_shareds(
                 });
                 dispatch(&mut st, &worker_txs, cfg, o.job);
             }
+            // Reclaiming may have emptied a recovered drainer's
+            // outstanding set.
+            finish_drain(&mut st, &down_since, dw);
             baseline_pump(&mut st, &worker_txs);
             open_next_contest(&mut st, &worker_txs, window_secs);
         }
@@ -1004,6 +1236,7 @@ pub(crate) fn run_threaded_with_shareds(
                     if !st.done_ids.contains(&id) {
                         dispatch(&mut st, &worker_txs, cfg, o.job);
                     }
+                    finish_drain(&mut st, &down_since, o.worker);
                 }
                 baseline_pump(&mut st, &worker_txs);
                 open_next_contest(&mut st, &worker_txs, window_secs);
@@ -1015,7 +1248,7 @@ pub(crate) fn run_threaded_with_shareds(
         // block, break, or take further decisions. Each iteration
         // handles at most one message, so one check per pass suffices.
         if st.failover_pending {
-            do_failover(&mut st, &worker_txs);
+            do_failover(&mut st, &worker_txs, &down_since);
         }
 
         // Are we done? (`>=`: the DropDedup mutation can double-count
@@ -1034,6 +1267,9 @@ pub(crate) fn run_threaded_with_shareds(
             && !fault_events
                 .iter()
                 .any(|(_, e)| matches!(e, FaultEvent::Recover(_)))
+            && !membership_events
+                .iter()
+                .any(|(_, e)| matches!(e.action, MembershipAction::Join))
         {
             break;
         }
@@ -1064,6 +1300,7 @@ pub(crate) fn run_threaded_with_shareds(
                 .into_iter()
                 .chain(st.contests.values().map(|c| c.deadline))
                 .chain(fault_events.front().map(|(at, _)| *at))
+                .chain(membership_events.front().map(|(at, _)| *at))
                 .chain(detections.front().map(|(at, _, _)| *at))
                 .chain(st.net.iter().flat_map(|n| n.delayed.iter().map(|d| d.0)))
                 .chain(
@@ -1113,6 +1350,12 @@ pub(crate) fn run_threaded_with_shareds(
         if !st.known_live[from as usize] {
             continue;
         }
+        // A draining worker no longer pulls or bids; its in-flight
+        // completions, rejections and placement acks still count.
+        if st.draining[from as usize] && matches!(msg, ToMaster::Idle { .. } | ToMaster::Bid { .. })
+        {
+            continue;
+        }
         match msg {
             ToMaster::Bid {
                 worker,
@@ -1126,7 +1369,7 @@ pub(crate) fn run_threaded_with_shareds(
                 if !estimate_secs.is_finite() && !cfg.mutation.accepts_non_finite() {
                     continue;
                 }
-                let live = st.live_count();
+                let live = st.eligible_count();
                 let mut recorded = false;
                 let mut full = false;
                 if let Some(c) = st.contests.get_mut(&job) {
@@ -1216,7 +1459,13 @@ pub(crate) fn run_threaded_with_shareds(
                     kind: SchedEventKind::Rejected,
                 });
                 st.rejected_by.insert(job.id, worker);
-                st.idle.push(worker);
+                // A drainer bouncing its last offer must not re-enter
+                // the pull pool — it completes its drain instead.
+                if st.draining[worker as usize] {
+                    finish_drain(&mut st, &down_since, worker);
+                } else {
+                    st.idle.push(worker);
+                }
                 st.ready.push_front(job);
                 baseline_pump(&mut st, &worker_txs);
             }
@@ -1250,6 +1499,7 @@ pub(crate) fn run_threaded_with_shareds(
                 }
                 st.outstanding.remove(&job.id);
                 st.rejected_by.remove(&job.id);
+                finish_drain(&mut st, &down_since, worker);
                 if !st.done_ids.insert(job.id) && !cfg.mutation.drops_dedup() {
                     // A redistributed copy already finished elsewhere,
                     // or an at-least-once duplicate of a completion

@@ -10,7 +10,7 @@
 use crossbid_simcore::{SimTime, Welford};
 use serde::{Deserialize, Serialize};
 
-use crate::job::{JobId, WorkerId};
+use crate::job::{JobId, ShardId, WorkerId};
 
 /// A job lifecycle phase transition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -323,6 +323,31 @@ pub enum SchedEventKind {
         /// Committed entries replayed into the state machine.
         entries: u64,
     },
+    /// Federation: the home master handed the job off to a less-loaded
+    /// peer shard. A *decision* event (committed before the hand-off
+    /// is sent); the job's terminal event in the home shard's log —
+    /// exactly one `SpillIn` in the target shard must follow in the
+    /// federation-wide union.
+    SpillOut {
+        /// The shard the job was forwarded to.
+        to_shard: ShardId,
+    },
+    /// Federation: the job arrived from a peer shard and entered local
+    /// allocation. Takes the place of `Submitted` in the receiving
+    /// shard's log; the job keeps its home-qualified federation id.
+    SpillIn {
+        /// The home shard that spilled the job here.
+        from_shard: ShardId,
+    },
+    /// Elastic membership: the worker joined the shard at runtime
+    /// (autoscale-up) and is now eligible for contests and placements.
+    WorkerJoined,
+    /// Elastic membership: the worker was told to drain — it accepts
+    /// no new placements but finishes its queue.
+    WorkerDraining,
+    /// Elastic membership: the worker left the roster for good (drain
+    /// completed, or an administrative removal reclaimed its queue).
+    WorkerRemoved,
 }
 
 impl SchedEventKind {
@@ -346,6 +371,11 @@ impl SchedEventKind {
             SchedEventKind::Resent { .. } => 13,
             SchedEventKind::LeaderElected { .. } => 14,
             SchedEventKind::FailoverReplayed { .. } => 15,
+            SchedEventKind::SpillOut { .. } => 16,
+            SchedEventKind::SpillIn { .. } => 17,
+            SchedEventKind::WorkerJoined => 18,
+            SchedEventKind::WorkerDraining => 19,
+            SchedEventKind::WorkerRemoved => 20,
         }
     }
 }
@@ -512,6 +542,31 @@ impl SchedLog {
     /// Number of leader elections after the initial one (failovers).
     pub fn failovers(&self) -> usize {
         self.count(|k| matches!(k, SchedEventKind::LeaderElected { .. }))
+    }
+
+    /// Number of jobs spilled out to peer shards.
+    pub fn spills_out(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::SpillOut { .. }))
+    }
+
+    /// Number of jobs accepted from peer shards.
+    pub fn spills_in(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::SpillIn { .. }))
+    }
+
+    /// Number of workers that joined at runtime.
+    pub fn worker_joins(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::WorkerJoined))
+    }
+
+    /// Number of workers put into draining.
+    pub fn worker_drains(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::WorkerDraining))
+    }
+
+    /// Number of workers removed from the roster.
+    pub fn worker_removals(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::WorkerRemoved))
     }
 
     /// Total committed entries replayed across all failovers.
@@ -851,6 +906,36 @@ mod tests {
         ));
         assert_eq!(log.failovers(), 2);
         assert_eq!(log.replayed_entries(), 4);
+    }
+
+    #[test]
+    fn federation_and_membership_counters() {
+        let mut log = SchedLog::new();
+        log.push(sev(0, None, Some(1), SchedEventKind::Submitted));
+        log.push(sev(
+            1,
+            None,
+            Some(1),
+            SchedEventKind::SpillOut {
+                to_shard: ShardId(2),
+            },
+        ));
+        log.push(sev(
+            2,
+            None,
+            Some(1),
+            SchedEventKind::SpillIn {
+                from_shard: ShardId(0),
+            },
+        ));
+        log.push(sev(3, Some(4), None, SchedEventKind::WorkerJoined));
+        log.push(sev(4, Some(4), None, SchedEventKind::WorkerDraining));
+        log.push(sev(5, Some(4), None, SchedEventKind::WorkerRemoved));
+        assert_eq!(log.spills_out(), 1);
+        assert_eq!(log.spills_in(), 1);
+        assert_eq!(log.worker_joins(), 1);
+        assert_eq!(log.worker_drains(), 1);
+        assert_eq!(log.worker_removals(), 1);
     }
 
     #[test]

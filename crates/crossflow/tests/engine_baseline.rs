@@ -210,6 +210,7 @@ fn downstream_jobs_flow_through_pipeline() {
                             work_bytes: r.bytes / 2,
                             cpu_secs: 0.0,
                             payload: Payload::Pair(k, r.id.0),
+                            origin: None,
                         });
                     }
                 }

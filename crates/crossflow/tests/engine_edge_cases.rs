@@ -70,6 +70,7 @@ fn zero_byte_work_jobs_complete_instantly() {
             work_bytes: 0,
             cpu_secs: 0.0,
             payload: Payload::None,
+            origin: None,
         },
     }];
     let out = run(&[spec("w0")], arrivals);

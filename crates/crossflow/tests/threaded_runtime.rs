@@ -120,6 +120,7 @@ fn downstream_jobs_flow_in_threaded_mode() {
                         work_bytes: r.bytes / 2,
                         cpu_secs: 0.0,
                         payload: job.payload.clone(),
+                        origin: None,
                     });
                 }
             },

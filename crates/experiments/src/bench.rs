@@ -7,7 +7,7 @@
 //!
 //! | field | meaning |
 //! |---|---|
-//! | `runtime` | `sim` or `threaded` |
+//! | `runtime` | `sim`, `threaded`, or `sim-fed<N>` (the N-master federation row) |
 //! | `workers` | cluster size |
 //! | `jobs` | jobs driven through the run |
 //! | `wall_secs` | wall-clock time of the run |
@@ -50,6 +50,10 @@ pub struct BenchConfig {
     pub seed: u64,
     /// Human label for the sweep (recorded in the document).
     pub label: String,
+    /// When ≥ 2, append a federation row: the same workload routed
+    /// through this many shard masters (runtime `sim-fed<N>`), at the
+    /// largest swept cluster size. `0` disables it.
+    pub fed_shards: usize,
 }
 
 impl BenchConfig {
@@ -62,6 +66,7 @@ impl BenchConfig {
             threaded_jobs: 10_000,
             seed: 0xBE7C4,
             label: "full".to_string(),
+            fed_shards: 2,
         }
     }
 
@@ -197,6 +202,82 @@ pub fn run_row(runtime: RuntimeChoice, workers: usize, jobs: usize, seed: u64) -
     }
 }
 
+/// Run one federation cell: the sim workload of [`run_row`] addressed
+/// entirely to shard 0 of an N-master federation, so the row's
+/// throughput includes the routing pre-pass, the spill hand-offs and
+/// the merged-log assembly. `workers` is the federation-wide total.
+pub fn run_fed_row(shards: usize, workers: usize, jobs: usize, seed: u64) -> BenchRow {
+    use crossbid_crossflow::prelude::*;
+
+    let per_shard = (workers / shards).max(1);
+    let mut engine = EngineConfig::ideal();
+    engine.max_events = (jobs as u64) * (per_shard as u64 * 6 + 32) + 1_000_000;
+    let mut spec = FederationSpec::new(
+        (0..shards)
+            .map(|_| ShardSpec::new(WorkerConfig::AllEqual.specs(per_shard)))
+            .collect(),
+    );
+    spec.engine = engine;
+    spec.seed = seed;
+    spec.net_seed = seed;
+    spec.spill_threshold_secs = 5.0;
+    spec.gossip_period_secs = 1.0;
+    spec.time_scale = 1e-4;
+
+    let mut proto = Workflow::new();
+    let task = proto.add_sink("bench");
+    let stream = JobConfig::AllDiffEqual.generate(
+        seed,
+        jobs,
+        task,
+        &ArrivalProcess::Poisson {
+            mean_interval_secs: 0.05,
+        },
+    );
+    let arrivals: Vec<FedArrival> = stream
+        .arrivals
+        .into_iter()
+        .map(|a| FedArrival {
+            at: a.at,
+            home: ShardId(0),
+            spec: a.spec,
+        })
+        .collect();
+
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    let out = crossbid_crossflow::run_federation(
+        &spec,
+        arrivals,
+        &crossbid_core::BiddingAllocator::new(),
+        |_| {
+            let mut wf = Workflow::new();
+            wf.add_sink("bench");
+            wf
+        },
+    );
+    let wall = t0.elapsed().as_secs_f64();
+    let allocs_per_job = match (a0, alloc_count()) {
+        (Some(a0), Some(a1)) if jobs > 0 => Some((a1 - a0) as f64 / jobs as f64),
+        _ => None,
+    };
+
+    // Shard 0 holds the burst, so its contest latencies are the row's.
+    let bid_latency = out.shards[0].metrics.histogram("contest/bid_latency_secs");
+    BenchRow {
+        runtime: format!("sim-fed{shards}"),
+        workers: per_shard * shards,
+        jobs,
+        wall_secs: wall,
+        jobs_per_sec: if wall > 0.0 { jobs as f64 / wall } else { 0.0 },
+        contest_p50_secs: bid_latency.map_or(0.0, |h| h.quantile(0.50)),
+        contest_p99_secs: bid_latency.map_or(0.0, |h| h.quantile(0.99)),
+        events: out.shards.iter().map(|o| o.events).sum(),
+        peak_rss_mb: peak_rss_mb(),
+        allocs_per_job,
+    }
+}
+
 /// Run the whole sweep, logging progress to stderr.
 pub fn run_sweep(cfg: &BenchConfig) -> BenchSweep {
     let mut rows = Vec::new();
@@ -219,6 +300,15 @@ pub fn run_sweep(cfg: &BenchConfig) -> BenchSweep {
             );
             rows.push(row);
         }
+    }
+    if cfg.fed_shards >= 2 {
+        let workers = cfg.workers.iter().copied().max().unwrap_or(64);
+        let row = run_fed_row(cfg.fed_shards, workers, cfg.sim_jobs, cfg.seed);
+        eprintln!(
+            "[bench] {}x{workers}: {} jobs in {:.2}s = {:.0} jobs/s",
+            row.runtime, row.jobs, row.wall_secs, row.jobs_per_sec,
+        );
+        rows.push(row);
     }
     BenchSweep {
         label: cfg.label.clone(),
@@ -254,7 +344,7 @@ impl BenchRow {
 
     pub fn from_json(v: &Json) -> Result<Self, JsonError> {
         let runtime = v.req_str("runtime")?.to_string();
-        if runtime != "sim" && runtime != "threaded" {
+        if runtime != "sim" && runtime != "threaded" && !runtime.starts_with("sim-fed") {
             return Err(JsonError(format!("unknown runtime `{runtime}`")));
         }
         let allocs_per_job = match v.req("allocs_per_job")? {
@@ -440,6 +530,24 @@ mod tests {
         assert!(BenchDoc::parse(empty).is_err(), "empty current rejected");
         let bad_runtime = doc.render().replace("\"sim\"", "\"gpu\"");
         assert!(BenchDoc::parse(&bad_runtime).is_err());
+    }
+
+    #[test]
+    fn a_tiny_federation_row_measures_and_round_trips() {
+        let r = run_fed_row(2, 8, 40, 11);
+        assert_eq!(r.runtime, "sim-fed2");
+        assert_eq!(r.workers, 8);
+        assert!(r.jobs_per_sec > 0.0);
+        assert!(r.events > 0);
+        let doc = BenchDoc::assemble(
+            None,
+            BenchSweep {
+                label: "fed".into(),
+                rows: vec![r],
+            },
+        );
+        let parsed = BenchDoc::parse(&doc.render()).unwrap();
+        assert_eq!(parsed, doc);
     }
 
     #[test]

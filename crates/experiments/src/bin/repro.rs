@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|failover|all]
+//! repro [fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|failover|federate|all]
 //!       [--smoke] [--seed N] [--out DIR] [--trace FILE]
 //! ```
 //!
@@ -41,6 +41,17 @@
 //! repro failover [--iters N] [--seed K]
 //! ```
 //!
+//! The `federate` artifact sweeps the sharded multi-master federation
+//! axis (shard count × spill threshold × membership churn) on both
+//! runtimes, then runs the 1000-worker four-master headline scenario
+//! and its spilling-disabled control; it exits nonzero on any oracle
+//! violation, lost or duplicated hand-off, inert sweep, or if
+//! cross-shard spillover fails to beat the saturated single master:
+//!
+//! ```text
+//! repro federate [--iters N] [--seed K] [--smoke]
+//! ```
+//!
 //! The `trace` artifact runs one scenario with full observability on
 //! either runtime and prints the phase-breakdown table:
 //!
@@ -65,6 +76,7 @@
 use crossbid_experiments::bench::{self, BenchConfig};
 use crossbid_experiments::check::{self, CheckConfig};
 use crossbid_experiments::failover::{self, FailoverConfig};
+use crossbid_experiments::federate::{self, FederateConfig};
 use crossbid_experiments::netfault::{self, NetFaultConfig};
 use crossbid_experiments::trace_run::{self, RuntimeChoice, TraceRunConfig};
 use crossbid_experiments::{
@@ -294,6 +306,29 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "federate" => {
+            let mut fcfg = if smoke {
+                FederateConfig::smoke()
+            } else {
+                FederateConfig::default()
+            };
+            if let Some(v) = args
+                .iter()
+                .position(|a| a == "--iters")
+                .and_then(|i| args.get(i + 1))
+            {
+                fcfg.iters = v.parse().unwrap_or_else(|e| die(&format!("--iters: {e}")));
+            }
+            if let Some(s) = seed {
+                fcfg.seed = s;
+            }
+            let report = federate::run(&fcfg);
+            emit("federate", &report.body);
+            if !report.ok {
+                eprintln!("[repro] federate FAILED");
+                std::process::exit(1);
+            }
+        }
         "trace" => {
             let flag = |name: &str| {
                 args.iter()
@@ -447,7 +482,7 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|failover|bench|all");
+            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|failover|federate|bench|all");
             std::process::exit(2);
         }
     }

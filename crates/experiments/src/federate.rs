@@ -1,0 +1,371 @@
+//! The `repro federate` artifact: the sharded multi-master federation
+//! under one roof.
+//!
+//! Three sections, every run checked by the federated oracle (merged
+//! union log) *and* the per-shard oracle (each master's augmented
+//! log):
+//!
+//! 1. The checker's federation axis on the simulation engine — shard
+//!    count × spill threshold × membership churn, one deterministic
+//!    `(run, chaos, net, membership)` seed tuple per iteration. Spill
+//!    scenarios must actually spill and churn scenarios must actually
+//!    churn, or the sweep proves nothing; the `nospill` baseline must
+//!    conversely never spill.
+//! 2. The same axis on the threaded runtime with aggressive intake
+//!    chaos armed.
+//! 3. The headline acceptance scenario: 1000 workers under four
+//!    masters with elastic churn on every shard (a deferred join, a
+//!    drain, an administrative removal), a CPU burst aimed entirely at
+//!    shard 0, run on both runtimes — and the same overload replayed
+//!    with spilling disabled (`spill_threshold_secs = ∞`), which must
+//!    be measurably slower than the federated run.
+
+use crossbid_checker::{
+    check_log, explore_federation_builtins, FedExploreConfig, FedSeeds, OracleOptions,
+};
+use crossbid_core::BiddingAllocator;
+use crossbid_crossflow::prelude::*;
+use crossbid_simcore::{SeedSequence, SimTime};
+
+/// Parameters for `repro federate`.
+#[derive(Debug, Clone)]
+pub struct FederateConfig {
+    /// Seed tuples swept per scenario (per runtime).
+    pub iters: u32,
+    /// Root seed; tuples and the headline seeds derive from it.
+    pub seed: u64,
+    /// Shape of the headline scenario.
+    pub headline: HeadlineShape,
+}
+
+impl Default for FederateConfig {
+    fn default() -> Self {
+        FederateConfig {
+            iters: 4,
+            seed: 0xC0FFEE,
+            headline: HeadlineShape::full(),
+        }
+    }
+}
+
+impl FederateConfig {
+    /// The reduced sweep CI runs (`repro federate --smoke`).
+    pub fn smoke() -> Self {
+        FederateConfig {
+            iters: 1,
+            headline: HeadlineShape::smoke(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Shape of the headline multi-master scenario: `shards` masters, each
+/// over `workers_per_shard` listed workers (the last one is a deferred
+/// join), and a shard-0 burst of `jobs` CPU jobs.
+#[derive(Debug, Clone)]
+pub struct HeadlineShape {
+    pub shards: usize,
+    pub workers_per_shard: usize,
+    pub jobs: usize,
+    /// CPU seconds per burst job.
+    pub cpu_secs: f64,
+    /// Burst inter-arrival gap in virtual seconds.
+    pub arrival_gap_secs: f64,
+    /// Spill threshold of the federated run (the solo run uses ∞).
+    pub spill_threshold_secs: f64,
+    /// Churn instants `(join, drain, remove)`, applied on every shard.
+    pub churn_at: (f64, f64, f64),
+}
+
+impl HeadlineShape {
+    /// The acceptance-bar shape: 4 masters × 250 workers = 1000
+    /// workers, overloaded roughly 2.4× past shard 0's capacity.
+    pub fn full() -> Self {
+        HeadlineShape {
+            shards: 4,
+            workers_per_shard: 250,
+            jobs: 400,
+            cpu_secs: 300.0,
+            arrival_gap_secs: 0.5,
+            spill_threshold_secs: 2.0,
+            churn_at: (5.0, 60.0, 120.0),
+        }
+    }
+
+    /// A scaled-down copy of the same overload for CI smoke.
+    pub fn smoke() -> Self {
+        HeadlineShape {
+            shards: 4,
+            workers_per_shard: 10,
+            jobs: 60,
+            cpu_secs: 30.0,
+            arrival_gap_secs: 0.5,
+            spill_threshold_secs: 4.0,
+            churn_at: (5.0, 20.0, 40.0),
+        }
+    }
+
+    fn total_workers(&self) -> usize {
+        self.shards * self.workers_per_shard
+    }
+
+    /// Each shard's churn: the spare (last listed) worker joins, then
+    /// worker 0 drains, then worker 1 is removed.
+    fn membership_plan(&self) -> MembershipPlan {
+        let (join, drain, remove) = self.churn_at;
+        MembershipPlan::new()
+            .join_at(
+                SimTime::from_secs_f64(join),
+                WorkerId((self.workers_per_shard - 1) as u32),
+            )
+            .drain_at(SimTime::from_secs_f64(drain), WorkerId(0))
+            .remove_at(SimTime::from_secs_f64(remove), WorkerId(1))
+    }
+
+    /// The federation spec for one runtime; `spill` off replays the
+    /// identical overload as one saturated master that never forwards.
+    fn spec(&self, runtime: FedRuntimeKind, spill: bool, seeds: FedSeeds) -> FederationSpec {
+        let shards = (0..self.shards)
+            .map(|s| {
+                ShardSpec::new(
+                    (0..self.workers_per_shard)
+                        .map(|i| WorkerSpec::builder(format!("s{s}w{i}")).build())
+                        .collect(),
+                )
+                .faults(Faults::new().membership(self.membership_plan()))
+            })
+            .collect();
+        let mut spec = FederationSpec::new(shards);
+        spec.spill_threshold_secs = if spill {
+            self.spill_threshold_secs
+        } else {
+            f64::INFINITY
+        };
+        spec.gossip_period_secs = 2.0;
+        spec.spill_latency_secs = 0.5;
+        spec.seed = seeds.run;
+        spec.net_seed = seeds.net;
+        spec.runtime = runtime;
+        spec.chaos = seeds.chaos.map(ChaosConfig::aggressive);
+        let mut engine = EngineConfig::ideal();
+        engine.max_events =
+            (self.jobs as u64) * (self.workers_per_shard as u64 * 8 + 64) + 1_000_000;
+        spec.engine = engine;
+        spec
+    }
+
+    /// The shard-0 CPU burst.
+    fn arrivals(&self) -> Vec<FedArrival> {
+        (0..self.jobs)
+            .map(|i| FedArrival {
+                at: SimTime::from_secs_f64(i as f64 * self.arrival_gap_secs),
+                home: ShardId(0),
+                spec: JobSpec::compute(TaskId(0), self.cpu_secs, Payload::Index(i as u64)),
+            })
+            .collect()
+    }
+
+    fn run(&self, runtime: FedRuntimeKind, spill: bool, seeds: FedSeeds) -> FederationOutput {
+        run_federation(
+            &self.spec(runtime, spill, seeds),
+            self.arrivals(),
+            &BiddingAllocator::new(),
+            |_| {
+                let mut wf = Workflow::new();
+                wf.add_sink("burst");
+                wf
+            },
+        )
+    }
+}
+
+/// Outcome of a full federation sweep.
+#[derive(Debug, Clone)]
+pub struct FederateReport {
+    /// Rendered report (explorer axes + headline scenario).
+    pub body: String,
+    /// `true` iff every run passed both oracles with the demanded
+    /// spill/churn activity and the federated headline beat the
+    /// single-master overload.
+    pub ok: bool,
+}
+
+/// Built-in scenarios whose sweep must observe at least one spill.
+const MUST_SPILL: &[&str] = &["fed_2shard_spill", "fed_4shard_spill", "fed_4shard_churn"];
+/// Built-in scenarios whose sweep must observe membership churn.
+const MUST_CHURN: &[&str] = &["fed_4shard_churn", "fed_2shard_lossy_gossip_churn"];
+/// Built-in scenarios that must never spill (the ∞-threshold control).
+const MUST_NOT_SPILL: &[&str] = &["fed_2shard_nospill"];
+
+/// Check one explorer sweep against the activity demands above.
+fn explorer_section(body: &mut String, cfg: &FedExploreConfig) -> bool {
+    let mut ok = true;
+    for report in explore_federation_builtins(cfg) {
+        let name = report.scenario.as_str();
+        let mut demands = Vec::new();
+        if MUST_SPILL.contains(&name) && report.spills_observed == 0 {
+            demands.push("no spill fired across the sweep");
+        }
+        if MUST_CHURN.contains(&name) && report.churn_observed == 0 {
+            demands.push("no churn event fired across the sweep");
+        }
+        if MUST_NOT_SPILL.contains(&name) && report.spills_observed > 0 {
+            demands.push("the ∞-threshold baseline spilled");
+        }
+        ok &= report.passed() && demands.is_empty();
+        body.push_str(&report.render());
+        for d in demands {
+            body.push_str(&format!("  FAIL: {d}\n"));
+        }
+    }
+    ok
+}
+
+/// Check one headline run: full conservation, both oracles clean, and
+/// (federated runs) real spill + churn activity.
+fn headline_check(
+    body: &mut String,
+    label: &str,
+    shape: &HeadlineShape,
+    out: &FederationOutput,
+    spill: bool,
+) -> bool {
+    let merged_violations = check_log(
+        &out.merged,
+        OracleOptions {
+            expect_all_complete: true,
+            strict_reoffer: false,
+            workers: None,
+            federated: true,
+        },
+    );
+    let shard_violations: usize = out
+        .shards
+        .iter()
+        .map(|o| {
+            check_log(
+                &o.sched_log,
+                OracleOptions {
+                    expect_all_complete: true,
+                    strict_reoffer: false,
+                    workers: Some(shape.workers_per_shard as u32),
+                    federated: false,
+                },
+            )
+            .len()
+        })
+        .sum();
+    let churn =
+        out.merged.worker_joins() + out.merged.worker_drains() + out.merged.worker_removals();
+    let conserved = out.jobs_completed == shape.jobs as u64;
+    let active = !spill || (!out.spills.is_empty() && churn > 0);
+    let ok = merged_violations.is_empty() && shard_violations == 0 && conserved && active;
+    body.push_str(&format!(
+        "{label}: {} — {}/{} jobs completed, {} spill(s), {} churn event(s), {} merged + {} shard violation(s), makespan {:.1}s\n",
+        if ok { "ok" } else { "FAIL" },
+        out.jobs_completed,
+        shape.jobs,
+        out.spills.len(),
+        churn,
+        merged_violations.len(),
+        shard_violations,
+        out.makespan_secs,
+    ));
+    for v in &merged_violations {
+        body.push_str(&format!("  merged: {v}\n"));
+    }
+    ok
+}
+
+/// Sweep the federation axis on both runtimes, then run the headline
+/// 1000-worker multi-master scenario and its single-master control.
+pub fn run(cfg: &FederateConfig) -> FederateReport {
+    let mut body = format!(
+        "# Federation sweep (iters={}, seed={})\n\n",
+        cfg.iters, cfg.seed
+    );
+    let mut ok = true;
+
+    body.push_str("## Simulation engine — shard count × spill threshold × churn\n\n");
+    ok &= explorer_section(&mut body, &FedExploreConfig::quick(cfg.iters, cfg.seed));
+
+    body.push_str("\n## Threaded runtime — the same axis under intake chaos\n\n");
+    let threaded_iters = cfg.iters.clamp(1, 2);
+    ok &= explorer_section(
+        &mut body,
+        &FedExploreConfig::threaded(threaded_iters, cfg.seed),
+    );
+
+    let shape = &cfg.headline;
+    body.push_str(&format!(
+        "\n## Headline — {} workers, {} masters, elastic churn on every shard\n\n",
+        shape.total_workers(),
+        shape.shards,
+    ));
+    let roots = SeedSequence::new(cfg.seed);
+    let sim_seeds = FedSeeds {
+        run: roots.seed_for(0xFED0),
+        chaos: None,
+        net: roots.seed_for(0xFED1),
+        membership: roots.seed_for(0xFED2),
+    };
+    let fed = shape.run(FedRuntimeKind::Sim, true, sim_seeds);
+    ok &= headline_check(&mut body, "sim, federated", shape, &fed, true);
+
+    let threaded_seeds = FedSeeds {
+        chaos: Some(roots.seed_for(0xFED3)),
+        ..sim_seeds
+    };
+    let threaded = shape.run(FedRuntimeKind::Threaded, true, threaded_seeds);
+    ok &= headline_check(
+        &mut body,
+        "threaded, federated + chaos",
+        shape,
+        &threaded,
+        true,
+    );
+
+    let solo = shape.run(FedRuntimeKind::Sim, false, sim_seeds);
+    ok &= headline_check(&mut body, "sim, spilling disabled", shape, &solo, false);
+
+    let beat = fed.makespan_secs < solo.makespan_secs;
+    ok &= beat;
+    body.push_str(&format!(
+        "\nspillover vs saturated single master: {:.1}s vs {:.1}s ({:.2}x) — {}\n",
+        fed.makespan_secs,
+        solo.makespan_secs,
+        solo.makespan_secs / fed.makespan_secs.max(f64::MIN_POSITIVE),
+        if beat {
+            "cross-shard spillover wins"
+        } else {
+            "FAIL: spilling did not beat the overloaded master"
+        },
+    ));
+
+    body.push_str(&format!("\nresult: {}\n", if ok { "PASS" } else { "FAIL" }));
+    FederateReport { body, ok }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_federate_passes() {
+        let report = run(&FederateConfig::smoke());
+        assert!(report.ok, "{}", report.body);
+        assert!(report.body.contains("result: PASS"));
+        assert!(report.body.contains("spillover wins"));
+    }
+
+    #[test]
+    fn a_rigged_headline_control_cannot_spill() {
+        // The ∞-threshold control of the smoke shape: everything stays
+        // on shard 0 and still completes (exactly-once without ever
+        // handing off).
+        let shape = HeadlineShape::smoke();
+        let out = shape.run(FedRuntimeKind::Sim, false, FedSeeds::plain(9));
+        assert!(out.spills.is_empty());
+        assert_eq!(out.jobs_completed, shape.jobs as u64);
+    }
+}

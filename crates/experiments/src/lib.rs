@@ -25,6 +25,7 @@ pub mod crash_sweep;
 pub mod crossover;
 pub mod extensions;
 pub mod failover;
+pub mod federate;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -172,6 +172,7 @@ impl JobMix {
                     work_bytes: r.bytes,
                     cpu_secs: c.cpu_secs,
                     payload: Payload::Pair(i as u64, r.id.0),
+                    origin: None,
                 },
                 None => JobSpec::compute(task, c.cpu_secs, Payload::Index(i as u64)),
             };

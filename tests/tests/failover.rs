@@ -71,6 +71,7 @@ fn oracle_options(workers: usize) -> OracleOptions {
         expect_all_complete: true,
         strict_reoffer: false,
         workers: Some(workers as u32),
+        ..OracleOptions::default()
     }
 }
 

@@ -8,9 +8,10 @@ use std::collections::BTreeSet;
 
 use crossbid_core::BiddingAllocator;
 use crossbid_crossflow::{
-    parse_run_stream, sched_kind_name, Allocator, Arrival, BaselineAllocator, EngineConfig,
-    FaultPlan, Faults, JobSpec, MasterFaultPlan, NetFaultPlan, Payload, ResourceRef, RunSpec,
-    RunStreamLine, Runtime, TraceKind, WorkerId, WorkerSpec, Workflow,
+    parse_run_stream, run_federation, sched_kind_name, Allocator, Arrival, BaselineAllocator,
+    EngineConfig, FaultPlan, Faults, FedArrival, FedRuntimeKind, FederationSpec, JobSpec,
+    MasterFaultPlan, MembershipPlan, NetFaultPlan, Payload, ResourceRef, RunSpec, RunStreamLine,
+    Runtime, ShardId, ShardSpec, TraceKind, WorkerId, WorkerSpec, Workflow,
 };
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{SimDuration, SimTime};
@@ -146,6 +147,89 @@ fn stream_vocabulary(rt: &mut dyn Runtime, alloc: &dyn Allocator) -> (String, BT
     (text, vocab)
 }
 
+/// A tiny federation whose shard streams cover the v5 vocabulary: a
+/// shard-0 hot-repo burst against one worker's worth of capacity (its
+/// other two churn away mid-run) forces hand-offs, so shard 0 emits
+/// `sched/spill_out` plus all three membership events and shard 1
+/// emits `sched/spill_in`. Returns each shard's JSONL stream and the
+/// union vocabulary.
+fn federation_streams(runtime: FedRuntimeKind) -> (Vec<String>, BTreeSet<String>) {
+    let mut spec = FederationSpec::new(vec![
+        ShardSpec::new(specs(3)).faults(
+            Faults::new().membership(
+                MembershipPlan::new()
+                    .join_at(SimTime::from_secs(2), WorkerId(2))
+                    .drain_at(SimTime::from_secs(4), WorkerId(0))
+                    .remove_at(SimTime::from_secs(6), WorkerId(1)),
+            ),
+        ),
+        ShardSpec::new(specs(2)),
+    ]);
+    spec.spill_threshold_secs = 10.0;
+    spec.gossip_period_secs = 1.0;
+    spec.seed = 7;
+    spec.net_seed = 7;
+    spec.runtime = runtime;
+    spec.time_scale = 1e-3;
+    spec.engine = EngineConfig {
+        control: ControlPlane::instant(),
+        data_latency: SimDuration::ZERO,
+        noise: NoiseModel::None,
+        ..EngineConfig::default()
+    };
+    let arrivals = (0..12)
+        .map(|i| FedArrival {
+            at: SimTime::from_secs_f64(i as f64 * 0.5),
+            home: ShardId(0),
+            spec: JobSpec::scanning(
+                crossbid_crossflow::TaskId(0),
+                ResourceRef {
+                    id: ObjectId(1),
+                    bytes: 100_000_000,
+                },
+                Payload::Index(i),
+            ),
+        })
+        .collect();
+    let out = run_federation(&spec, arrivals, &BiddingAllocator::new(), |_| {
+        let mut wf = Workflow::new();
+        wf.add_sink("scan");
+        wf
+    });
+    assert!(!out.spills.is_empty(), "the burst must spill");
+
+    let mut texts = Vec::new();
+    let mut vocab = BTreeSet::new();
+    for (s, shard) in out.shards.iter().enumerate() {
+        let meta = crossbid_crossflow::RunStreamMeta {
+            runtime: format!("fed-shard{s}"),
+            scheduler: "bidding".to_string(),
+            worker_config: "custom".to_string(),
+            job_config: "custom".to_string(),
+            iteration: 0,
+            seed: 7,
+        };
+        let mut buf = Vec::new();
+        crossbid_crossflow::write_run_stream(&mut buf, &meta, shard).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for line in parse_run_stream(&text).unwrap() {
+            if let RunStreamLine::Sched(ev) = line {
+                vocab.insert(format!("sched/{}", sched_kind_name(&ev.kind)));
+            }
+        }
+        texts.push(text);
+    }
+    assert!(
+        vocab.contains("sched/spill_out")
+            && vocab.contains("sched/spill_in")
+            && vocab.contains("sched/worker_joined")
+            && vocab.contains("sched/worker_draining")
+            && vocab.contains("sched/worker_removed"),
+        "federation streams must cover the v5 event kinds, got {vocab:?}"
+    );
+    (texts, vocab)
+}
+
 #[test]
 fn run_streams_round_trip_byte_identically() {
     // parse(write(run)) re-rendered must be byte-identical to the
@@ -167,6 +251,19 @@ fn run_streams_round_trip_byte_identically() {
             .collect();
         assert_eq!(text, rewritten, "{}: lossy round trip", rt.name());
     }
+    // The federation shard streams carry the v5 spill/membership kinds
+    // (with their shard fields) — they must round trip too.
+    for runtime in [FedRuntimeKind::Sim, FedRuntimeKind::Threaded] {
+        let (texts, _) = federation_streams(runtime);
+        for text in texts {
+            let rewritten: String = parse_run_stream(&text)
+                .unwrap()
+                .iter()
+                .map(|l| l.to_json().render() + "\n")
+                .collect();
+            assert_eq!(text, rewritten, "{runtime:?}: lossy federation round trip");
+        }
+    }
 }
 
 #[test]
@@ -177,14 +274,15 @@ fn both_runtimes_emit_the_golden_event_vocabulary() {
         .filter(|l| !l.is_empty())
         .map(String::from)
         .collect();
-    assert_eq!(golden.len(), 20, "golden file lists every event kind");
+    assert_eq!(golden.len(), 25, "golden file lists every event kind");
     // The bidding protocol never offers (it assigns contest winners)
     // and the Baseline never opens contests, so the full vocabulary is
     // the union of one faulted bidding run (worker crash/recovery plus
     // a master crash for the election events), one fault-free Baseline
     // run (whose first offer of each job is declined: reject-once),
-    // and one partitioned bidding run exercising the reliability
-    // layer's resend/lease/ack events.
+    // one partitioned bidding run exercising the reliability layer's
+    // resend/lease/ack events, and one churned federation run for the
+    // v5 spill and membership kinds.
     let faulted = faulted_spec();
     let lossy = netfault_spec();
     let plain = RunSpec::builder()
@@ -200,20 +298,27 @@ fn both_runtimes_emit_the_golden_event_vocabulary() {
         .seed(7)
         .time_scale(1e-3)
         .build();
-    type RuntimeTriple = (Box<dyn Runtime>, Box<dyn Runtime>, Box<dyn Runtime>);
+    type RuntimeTriple = (
+        Box<dyn Runtime>,
+        Box<dyn Runtime>,
+        Box<dyn Runtime>,
+        FedRuntimeKind,
+    );
     let runtimes: [RuntimeTriple; 2] = [
         (
             Box::new(faulted.sim()),
             Box::new(plain.sim()),
             Box::new(lossy.sim()),
+            FedRuntimeKind::Sim,
         ),
         (
             Box::new(faulted.threaded()),
             Box::new(plain.threaded()),
             Box::new(lossy.threaded()),
+            FedRuntimeKind::Threaded,
         ),
     ];
-    for (mut bidding_rt, mut baseline_rt, mut lossy_rt) in runtimes {
+    for (mut bidding_rt, mut baseline_rt, mut lossy_rt, fed_rt) in runtimes {
         let (_, mut vocab) = stream_vocabulary(bidding_rt.as_mut(), &BiddingAllocator::new());
         let (_, baseline_vocab) = stream_vocabulary(baseline_rt.as_mut(), &BaselineAllocator);
         let (_, lossy_vocab) = stream_vocabulary(lossy_rt.as_mut(), &BiddingAllocator::new());
@@ -231,6 +336,8 @@ fn both_runtimes_emit_the_golden_event_vocabulary() {
         );
         vocab.extend(baseline_vocab);
         vocab.extend(lossy_vocab);
+        let (_, fed_vocab) = federation_streams(fed_rt);
+        vocab.extend(fed_vocab);
         assert_eq!(
             vocab,
             golden,

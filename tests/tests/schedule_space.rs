@@ -9,9 +9,9 @@
 //! Seeds are fixed so CI runs are reproducible; the scheduled
 //! extended-exploration workflow sweeps fresh seeds.
 
-use crossbid_checker::{explore, explore_builtins, ExploreConfig, Protocol};
-use crossbid_checker::{Failure, JobDef, Scenario, Violation};
-use crossbid_crossflow::ProtocolMutation;
+use crossbid_checker::{explore, explore_builtins, explore_federation, ExploreConfig, Protocol};
+use crossbid_checker::{Failure, FedExploreConfig, FedScenario, JobDef, Scenario, Violation};
+use crossbid_crossflow::{FederationMutation, ProtocolMutation};
 
 /// Chaos sweep over every built-in scenario. `CHECKER_ITERS` lets the
 /// scheduled CI job deepen the exploration without a code change.
@@ -338,4 +338,76 @@ fn explorer_catches_reintroduced_reoffer_to_rejector() {
         "{text}"
     );
     assert_replayable(&text, f, false);
+}
+
+// ---------------------------------------------------------------------------
+// Federation self-validation: each canonical way to break the
+// exactly-once cross-shard hand-off must be caught by the federated
+// oracle, with the failing (run, chaos, net, membership) tuple printed
+// as the repro.
+// ---------------------------------------------------------------------------
+
+fn fed_builtin(name: &str) -> FedScenario {
+    FedScenario::builtins()
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("known federation scenario")
+}
+
+fn assert_fed_replay_tuple(text: &str) {
+    assert!(
+        text.contains("run seed") && text.contains("net seed") && text.contains("membership seed"),
+        "failure must print the replay tuple: {text}"
+    );
+}
+
+#[test]
+fn oracle_catches_a_lost_spill() {
+    let sc = fed_builtin("fed_2shard_spill");
+    // Contrast: the correct hand-off passes the same sweep and spills.
+    let clean = explore_federation(&sc, &FedExploreConfig::quick(2, 0xFED5EED));
+    assert!(clean.passed(), "{}", clean.render());
+    assert!(clean.spills_observed > 0, "{}", clean.render());
+
+    let cfg = FedExploreConfig {
+        mutation: FederationMutation::LostSpill,
+        ..FedExploreConfig::quick(2, 0xFED5EED)
+    };
+    let report = explore_federation(&sc, &cfg);
+    let text = report.render();
+    let f = report
+        .failure
+        .as_ref()
+        .unwrap_or_else(|| panic!("a dropped hand-off must be caught: {text}"));
+    assert!(
+        f.merged_violations.iter().any(|v| matches!(
+            v,
+            Violation::SpillOutWithoutSpillIn { .. } | Violation::JobLost { .. }
+        )),
+        "{text}"
+    );
+    assert_fed_replay_tuple(&text);
+}
+
+#[test]
+fn oracle_catches_a_double_spill() {
+    let sc = fed_builtin("fed_2shard_spill");
+    let cfg = FedExploreConfig {
+        mutation: FederationMutation::DoubleSpill,
+        ..FedExploreConfig::quick(2, 0xFED5EED)
+    };
+    let report = explore_federation(&sc, &cfg);
+    let text = report.render();
+    let f = report
+        .failure
+        .as_ref()
+        .unwrap_or_else(|| panic!("a duplicated hand-off must be caught: {text}"));
+    assert!(
+        f.merged_violations.iter().any(|v| matches!(
+            v,
+            Violation::CompletedTwice { .. } | Violation::CompletedAfterSpillOut { .. }
+        )),
+        "{text}"
+    );
+    assert_fed_replay_tuple(&text);
 }
