@@ -24,7 +24,7 @@ use crossbid_crossflow::{
 use crossbid_simcore::{SeedSequence, SimTime};
 
 use crate::oracle::{check_log, Violation};
-use crate::scenario::{FedScenario, FedSeeds, Scenario, ThreadedRun};
+use crate::scenario::{DagScenario, FedScenario, FedSeeds, Scenario, ThreadedRun};
 
 /// Exploration parameters.
 #[derive(Debug, Clone)]
@@ -601,5 +601,165 @@ pub fn explore_federation_builtins(cfg: &FedExploreConfig) -> Vec<FedExploreRepo
     FedScenario::builtins()
         .iter()
         .map(|sc| explore_federation(sc, cfg))
+        .collect()
+}
+
+/// Parameters of the DAG (atomizer) exploration axis.
+#[derive(Debug, Clone)]
+pub struct DagExploreConfig {
+    /// Run seeds to sweep per scenario.
+    pub iters: u32,
+    /// Root seed; per-iteration run seeds derive from it.
+    pub base_seed: u64,
+    /// Which runtime executes the sweep.
+    pub runtime: FedRuntimeKind,
+    /// Reintroduced atomizer bug, if any (checker self-validation).
+    pub mutation: ProtocolMutation,
+}
+
+impl DagExploreConfig {
+    /// A quick deterministic sweep on the sim engine.
+    pub fn quick(iters: u32, base_seed: u64) -> Self {
+        DagExploreConfig {
+            iters,
+            base_seed,
+            runtime: FedRuntimeKind::Sim,
+            mutation: ProtocolMutation::None,
+        }
+    }
+
+    /// The same sweep on real threads.
+    pub fn threaded(iters: u32, base_seed: u64) -> Self {
+        DagExploreConfig {
+            runtime: FedRuntimeKind::Threaded,
+            ..DagExploreConfig::quick(iters, base_seed)
+        }
+    }
+}
+
+/// A failing DAG run. Task jobs are structurally entangled through
+/// their precedence edges, so there is nothing to shrink — the
+/// `(seed, runtime)` pair is the repro.
+#[derive(Debug, Clone)]
+pub struct DagFailure {
+    /// Iteration index at which the violation appeared.
+    pub iteration: u32,
+    /// The replaying run seed.
+    pub seed: u64,
+    /// Oracle violations in the run's scheduler log.
+    pub violations: Vec<Violation>,
+}
+
+/// Result of sweeping one DAG scenario.
+#[derive(Debug, Clone)]
+pub struct DagExploreReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Protocol name.
+    pub protocol: String,
+    /// Which runtime ran the sweep.
+    pub runtime: &'static str,
+    /// Seeds actually run (stops early on failure).
+    pub iterations_run: u32,
+    /// Speculative launches observed across the sweep. A straggler
+    /// scenario whose sweep never speculated proves nothing, so
+    /// `repro atomize` surfaces this count.
+    pub speculations_observed: u64,
+    /// Effective-completion conservation mismatches.
+    pub parity_mismatches: Vec<String>,
+    /// The first failing seed, if any.
+    pub failure: Option<DagFailure>,
+}
+
+impl DagExploreReport {
+    /// No violations and no conservation mismatches.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none() && self.parity_mismatches.is_empty()
+    }
+
+    /// Human-readable report; on failure this is the replay tuple.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} [{} on {}]: {} seed(s), {} speculative launch(es)",
+            self.scenario,
+            self.protocol,
+            self.runtime,
+            self.iterations_run,
+            self.speculations_observed
+        );
+        if self.passed() {
+            out.push_str(" — ok\n");
+            return out;
+        }
+        out.push('\n');
+        for m in &self.parity_mismatches {
+            out.push_str(&format!("  parity: {m}\n"));
+        }
+        if let Some(f) = &self.failure {
+            out.push_str(&format!(
+                "  VIOLATION at iteration {} (run seed {} on the {} runtime)\n",
+                f.iteration, f.seed, self.runtime,
+            ));
+            for v in &f.violations {
+                out.push_str(&format!("    {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Sweep `cfg.iters` run seeds of one DAG scenario: run it, feed the
+/// scheduler log to the oracle (the DAG invariants arm on the first
+/// `TaskOffer`), and cross-check effective-completion conservation.
+/// Stops at the first failing seed.
+pub fn explore_dag(sc: &DagScenario, cfg: &DagExploreConfig) -> DagExploreReport {
+    let mut report = DagExploreReport {
+        scenario: sc.name.to_string(),
+        protocol: sc.protocol.name().to_string(),
+        runtime: match cfg.runtime {
+            FedRuntimeKind::Sim => "sim",
+            FedRuntimeKind::Threaded => "threaded",
+        },
+        iterations_run: 0,
+        speculations_observed: 0,
+        parity_mismatches: Vec::new(),
+        failure: None,
+    };
+    let seeds = SeedSequence::new(cfg.base_seed);
+    for i in 0..cfg.iters {
+        let seed = seeds.seed_for(i as u64);
+        let out = match cfg.runtime {
+            FedRuntimeKind::Sim => sc.run_sim(seed, cfg.mutation),
+            FedRuntimeKind::Threaded => sc.run_threaded(seed, cfg.mutation),
+        };
+        report.iterations_run = i + 1;
+        report.speculations_observed += out.sched_log.spec_launches() as u64;
+        if cfg.mutation == ProtocolMutation::None
+            && out.sched_log.task_dones() as u64 != sc.expected_tasks()
+        {
+            report.parity_mismatches.push(format!(
+                "iteration {i}: expected {} effective completions, observed {}",
+                sc.expected_tasks(),
+                out.sched_log.task_dones()
+            ));
+        }
+        let violations = check_log(&out.sched_log, sc.oracle_options());
+        if !violations.is_empty() {
+            report.failure = Some(DagFailure {
+                iteration: i,
+                seed,
+                violations,
+            });
+            break;
+        }
+    }
+    report
+}
+
+/// Explore every built-in DAG scenario.
+pub fn explore_dag_builtins(cfg: &DagExploreConfig) -> Vec<DagExploreReport> {
+    DagScenario::builtins()
+        .iter()
+        .map(|sc| explore_dag(sc, cfg))
         .collect()
 }

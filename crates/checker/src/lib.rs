@@ -35,8 +35,11 @@ pub mod oracle;
 pub mod scenario;
 
 pub use explorer::{
-    explore, explore_builtins, explore_federation, explore_federation_builtins, ExploreConfig,
+    explore, explore_builtins, explore_dag, explore_dag_builtins, explore_federation,
+    explore_federation_builtins, DagExploreConfig, DagExploreReport, DagFailure, ExploreConfig,
     ExploreReport, Failure, FedExploreConfig, FedExploreReport, FedFailure,
 };
 pub use oracle::{check_log, Oracle, OracleOptions, Violation};
-pub use scenario::{FaultDef, FedScenario, FedSeeds, JobDef, Protocol, Scenario, ThreadedRun};
+pub use scenario::{
+    DagScenario, FaultDef, FedScenario, FedSeeds, JobDef, Protocol, Scenario, ThreadedRun,
+};

@@ -213,6 +213,55 @@ pub enum Violation {
         /// The departed assignee.
         worker: WorkerId,
     },
+    /// Atomization: a task was released (`TaskOffer`) before every
+    /// predecessor had a committed `TaskDone` — the DAG gate was
+    /// ignored.
+    OfferBeforePredecessor {
+        /// Root id of the DAG.
+        root: JobId,
+        /// The prematurely released task.
+        task: u32,
+    },
+    /// Atomization: a second effective completion (`TaskDone`) was
+    /// logged for one task — speculation failed to keep completion
+    /// exactly-once.
+    TaskCompletedTwice {
+        /// Root id of the DAG.
+        root: JobId,
+        /// The doubly completed task.
+        task: u32,
+    },
+    /// Atomization: a second `SpecLaunch` was committed for one task —
+    /// the launched-once guard was bypassed.
+    DuplicateSpeculation {
+        /// Root id of the DAG.
+        root: JobId,
+        /// The doubly speculated task.
+        task: u32,
+    },
+    /// Atomization: a `Completed` was logged for an attempt whose
+    /// `SpecCancel` had already committed — cancellation is terminal.
+    CompletedAfterCancel {
+        /// The cancelled attempt's job id.
+        job: JobId,
+    },
+    /// End of log: a task was released into allocation but never
+    /// effectively completed.
+    TaskNeverCompleted {
+        /// Root id of the DAG.
+        root: JobId,
+        /// The incomplete task.
+        task: u32,
+    },
+    /// End of log: a task of a registered DAG was never released at
+    /// all — its stage was orphaned (e.g. a predecessor's completion
+    /// never unlocked it).
+    OrphanedStage {
+        /// Root id of the DAG.
+        root: JobId,
+        /// The never-released task.
+        task: u32,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -324,6 +373,36 @@ impl std::fmt::Display for Violation {
             Violation::AssignedAfterRemoval { job, worker } => {
                 write!(f, "job {} placed on removed worker w{}", job.0, worker.0)
             }
+            Violation::OfferBeforePredecessor { root, task } => write!(
+                f,
+                "dag {} task {} offered before its predecessors completed",
+                root.0, task
+            ),
+            Violation::TaskCompletedTwice { root, task } => write!(
+                f,
+                "dag {} task {} effectively completed twice",
+                root.0, task
+            ),
+            Violation::DuplicateSpeculation { root, task } => {
+                write!(f, "dag {} task {} speculated twice", root.0, task)
+            }
+            Violation::CompletedAfterCancel { job } => {
+                write!(f, "cancelled attempt {} completed anyway", job.0)
+            }
+            Violation::TaskNeverCompleted { root, task } => {
+                write!(
+                    f,
+                    "dag {} task {} offered but never completed",
+                    root.0, task
+                )
+            }
+            Violation::OrphanedStage { root, task } => {
+                write!(
+                    f,
+                    "dag {} task {} never released (orphaned stage)",
+                    root.0, task
+                )
+            }
         }
     }
 }
@@ -392,6 +471,23 @@ struct JobState {
     spilled_out: Option<ShardId>,
     /// A shard recorded receiving this job (`SpillIn`).
     spilled_in: bool,
+    /// A `SpecCancel` committed for this job: the losing attempt of a
+    /// speculated task. Terminal — exempt from `JobLost`, and any
+    /// later `Completed` is a violation.
+    cancelled: bool,
+}
+
+/// Per-DAG bookkeeping for atomized runs, keyed by root id.
+#[derive(Default)]
+struct DagCheck {
+    /// Task count, from `TaskOffer`'s `total` field.
+    total: u32,
+    /// Tasks with a committed `TaskDone`.
+    done: u64,
+    /// Tasks released by a `TaskOffer`.
+    offered: u64,
+    /// Tasks with a committed `SpecLaunch`.
+    spec_launched: u64,
 }
 
 /// The invariant oracle. Feed events in log order (or just call
@@ -413,6 +509,8 @@ pub struct Oracle {
     /// completions − reclaims).
     depth: HashMap<u32, i64>,
     n_workers_seen: HashSet<u32>,
+    /// Atomized DAGs seen in the log, keyed by root id.
+    dags: HashMap<JobId, DagCheck>,
     idx: usize,
     violations: Vec<Violation>,
 }
@@ -430,6 +528,7 @@ impl Oracle {
             removed: HashSet::new(),
             depth: HashMap::new(),
             n_workers_seen: HashSet::new(),
+            dags: HashMap::new(),
             idx: 0,
             violations: Vec::new(),
         }
@@ -594,6 +693,10 @@ impl Oracle {
                 if js.completed {
                     self.violations
                         .push(Violation::CompletedTwice { job, worker: w });
+                }
+                if js.cancelled {
+                    self.violations
+                        .push(Violation::CompletedAfterCancel { job });
                 }
                 let ever_placed_here = js.placed_at.contains_key(&w.0);
                 let placed_somewhere = js.placed.is_some() || js.redistributed;
@@ -765,6 +868,57 @@ impl Oracle {
             // new term. The markers themselves change no job state.
             SchedEventKind::LeaderElected { .. } => {}
             SchedEventKind::FailoverReplayed { .. } => {}
+            SchedEventKind::TaskOffer {
+                root,
+                task,
+                preds,
+                total,
+            } => {
+                let d = self.dags.entry(*root).or_default();
+                d.total = d.total.max(*total);
+                // Predecessor-before-successor: every pred bit must
+                // already be in the root's done mask.
+                if preds & !d.done != 0 {
+                    self.violations.push(Violation::OfferBeforePredecessor {
+                        root: *root,
+                        task: *task,
+                    });
+                }
+                d.offered |= 1 << task;
+            }
+            // Task bids annotate the generic `BidReceived` the bid
+            // invariants already cover.
+            SchedEventKind::TaskBid { .. } => {}
+            // Placements are checked through the generic
+            // `Assigned`/`Offered` rules on the task's job.
+            SchedEventKind::TaskAssign { .. } => {}
+            SchedEventKind::TaskDone { root, task } => {
+                let d = self.dags.entry(*root).or_default();
+                let bit = 1u64 << task;
+                // At most one *effective* completion per task.
+                if d.done & bit != 0 {
+                    self.violations.push(Violation::TaskCompletedTwice {
+                        root: *root,
+                        task: *task,
+                    });
+                }
+                d.done |= bit;
+            }
+            SchedEventKind::SpecLaunch { root, task } => {
+                let d = self.dags.entry(*root).or_default();
+                let bit = 1u64 << task;
+                if d.spec_launched & bit != 0 {
+                    self.violations.push(Violation::DuplicateSpeculation {
+                        root: *root,
+                        task: *task,
+                    });
+                }
+                d.spec_launched |= bit;
+            }
+            SchedEventKind::SpecCancel { .. } => {
+                let job = job.expect("spec_cancel carries the losing job");
+                self.jobs.entry(job).or_default().cancelled = true;
+            }
         }
         self.idx += 1;
     }
@@ -781,6 +935,7 @@ impl Oracle {
                 .filter(|(_, js)| {
                     js.submitted
                         && !js.completed
+                        && !js.cancelled
                         && (self.opts.federated || js.spilled_out.is_none())
                 })
                 .map(|(id, _)| *id)
@@ -788,6 +943,26 @@ impl Oracle {
             lost.sort_by_key(|j| j.0);
             for job in lost {
                 self.violations.push(Violation::JobLost { job });
+            }
+            // Per-task conservation: every task of every registered
+            // DAG must have been released and effectively completed.
+            let mut roots: Vec<JobId> = self.dags.keys().copied().collect();
+            roots.sort_by_key(|r| r.0);
+            for root in roots {
+                let d = &self.dags[&root];
+                for task in 0..d.total {
+                    let bit = 1u64 << task;
+                    if d.done & bit != 0 {
+                        continue;
+                    }
+                    if d.offered & bit != 0 {
+                        self.violations
+                            .push(Violation::TaskNeverCompleted { root, task });
+                    } else {
+                        self.violations
+                            .push(Violation::OrphanedStage { root, task });
+                    }
+                }
             }
         }
         if self.opts.federated {
@@ -1220,6 +1395,156 @@ mod tests {
         log.push(ev(SchedEventKind::Offered, Some(1), Some(0)));
         log.push(ev(SchedEventKind::AssignAcked, Some(0), Some(0)));
         log.push(ev(SchedEventKind::LeaseExpired, Some(1), Some(0)));
+        let v = check_log(
+            &log,
+            OracleOptions {
+                expect_all_complete: false,
+                ..OracleOptions::default()
+            },
+        );
+        assert_eq!(v, vec![]);
+    }
+
+    #[test]
+    fn task_gating_and_exactly_once_invariants() {
+        let root = 1000u64;
+        let offer = |task: u32, preds: u64, job: u64| {
+            ev(
+                SchedEventKind::TaskOffer {
+                    root: JobId(root),
+                    task,
+                    preds,
+                    total: 2,
+                },
+                None,
+                Some(job),
+            )
+        };
+        let done = |task: u32, job: u64, w: u32| {
+            ev(
+                SchedEventKind::TaskDone {
+                    root: JobId(root),
+                    task,
+                },
+                Some(w),
+                Some(job),
+            )
+        };
+        // Clean two-task chain: offer 0, complete it, offer 1 (pred 0
+        // now done), complete it.
+        let mut log = SchedLog::new();
+        log.push(offer(0, 0, 1));
+        log.push(ev(SchedEventKind::Submitted, None, Some(1)));
+        log.push(ev(SchedEventKind::Offered, Some(0), Some(1)));
+        log.push(ev(SchedEventKind::Completed, Some(0), Some(1)));
+        log.push(done(0, 1, 0));
+        log.push(offer(1, 0b1, 2));
+        log.push(ev(SchedEventKind::Submitted, None, Some(2)));
+        log.push(ev(SchedEventKind::Offered, Some(0), Some(2)));
+        log.push(ev(SchedEventKind::Completed, Some(0), Some(2)));
+        log.push(done(1, 2, 0));
+        assert_eq!(check_log(&log, OracleOptions::default()), vec![]);
+
+        // Offering task 1 before task 0 completed: gate violation.
+        let mut bad = SchedLog::new();
+        bad.push(offer(0, 0, 1));
+        bad.push(offer(1, 0b1, 2));
+        let v = check_log(
+            &bad,
+            OracleOptions {
+                expect_all_complete: false,
+                ..OracleOptions::default()
+            },
+        );
+        assert!(v.contains(&Violation::OfferBeforePredecessor {
+            root: JobId(root),
+            task: 1
+        }));
+
+        // A second TaskDone for one task: exactly-once violation.
+        let mut dup = log.clone();
+        dup.push(done(1, 2, 0));
+        let v = check_log(&dup, OracleOptions::default());
+        assert!(v.contains(&Violation::TaskCompletedTwice {
+            root: JobId(root),
+            task: 1
+        }));
+    }
+
+    #[test]
+    fn speculation_invariants() {
+        let root = JobId(1000);
+        let mut log = SchedLog::new();
+        log.push(ev(
+            SchedEventKind::SpecLaunch { root, task: 3 },
+            None,
+            Some(9),
+        ));
+        log.push(ev(
+            SchedEventKind::SpecLaunch { root, task: 3 },
+            None,
+            Some(10),
+        ));
+        let v = check_log(
+            &log,
+            OracleOptions {
+                expect_all_complete: false,
+                ..OracleOptions::default()
+            },
+        );
+        assert!(v.contains(&Violation::DuplicateSpeculation { root, task: 3 }));
+
+        // A cancelled loser is exempt from JobLost, but a Completed
+        // after its SpecCancel is a violation.
+        let mut c = SchedLog::new();
+        c.push(ev(SchedEventKind::Submitted, None, Some(9)));
+        c.push(ev(SchedEventKind::Offered, Some(0), Some(9)));
+        c.push(ev(
+            SchedEventKind::SpecCancel { root, task: 3 },
+            None,
+            Some(9),
+        ));
+        assert_eq!(check_log(&c, OracleOptions::default()), vec![]);
+        c.push(ev(SchedEventKind::Completed, Some(0), Some(9)));
+        let v = check_log(&c, OracleOptions::default());
+        assert!(v.contains(&Violation::CompletedAfterCancel { job: JobId(9) }));
+    }
+
+    #[test]
+    fn incomplete_dags_are_flagged_at_finish() {
+        let root = JobId(1000);
+        let mut log = SchedLog::new();
+        // total=3: task 0 done, task 1 offered-but-never-done, task 2
+        // never released at all.
+        log.push(ev(
+            SchedEventKind::TaskOffer {
+                root,
+                task: 0,
+                preds: 0,
+                total: 3,
+            },
+            None,
+            Some(1),
+        ));
+        log.push(ev(
+            SchedEventKind::TaskDone { root, task: 0 },
+            Some(0),
+            Some(1),
+        ));
+        log.push(ev(
+            SchedEventKind::TaskOffer {
+                root,
+                task: 1,
+                preds: 0b1,
+                total: 3,
+            },
+            None,
+            Some(2),
+        ));
+        let v = check_log(&log, OracleOptions::default());
+        assert!(v.contains(&Violation::TaskNeverCompleted { root, task: 1 }));
+        assert!(v.contains(&Violation::OrphanedStage { root, task: 2 }));
+        // Partial runs don't demand DAG completion.
         let v = check_log(
             &log,
             OracleOptions {

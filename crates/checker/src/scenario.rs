@@ -11,14 +11,16 @@
 
 use crossbid_core::BiddingAllocator;
 use crossbid_crossflow::{
-    run_federation, Allocator, Arrival, BaselineAllocator, ChaosConfig, EngineConfig, FaultPlan,
-    Faults, FedArrival, FedRuntimeKind, FederationMutation, FederationOutput, FederationSpec,
-    JobSpec, MasterFaultPlan, MembershipPlan, NetFaultPlan, Payload, ProtocolMutation, ResourceRef,
-    RunOutput, RunSpec, ShardId, ShardSpec, TaskId, WorkerId, WorkerSpec, Workflow,
+    run_federation, Allocator, Arrival, AtomizeConfig, BaselineAllocator, ChaosConfig,
+    EngineConfig, FaultPlan, Faults, FedArrival, FedRuntimeKind, FederationMutation,
+    FederationOutput, FederationSpec, JobSpec, MasterFaultPlan, MembershipPlan, NetFaultPlan,
+    Payload, ProtocolMutation, ResourceRef, RunOutput, RunSpec, ShardId, ShardSpec, TaskId,
+    WorkerId, WorkerSpec, Workflow,
 };
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{SimDuration, SimTime};
 use crossbid_storage::ObjectId;
+use crossbid_workload::DagConfig;
 
 use crate::oracle::OracleOptions;
 
@@ -570,6 +572,160 @@ impl FedScenario {
     }
 }
 
+/// A fully-specified atomizer workload: a stream of structured DAG
+/// jobs (from [`DagConfig`]), an optional deliberately slow worker,
+/// and the speculation knobs. Like [`Scenario`] this is data — the
+/// DAG explorer sweeps it across run seeds on either runtime, and a
+/// failing seed *is* the repro (DAG runs have nothing to shrink:
+/// tasks are structurally entangled through their precedence edges).
+#[derive(Debug, Clone)]
+pub struct DagScenario {
+    /// Stable name for reports and `repro atomize` output.
+    pub name: &'static str,
+    /// Which allocation protocol places the task jobs.
+    pub protocol: Protocol,
+    /// Cluster size.
+    pub workers: usize,
+    /// `(index, cpu multiple)` — the deliberate straggler, if any.
+    pub slow_worker: Option<(usize, f64)>,
+    /// DAG shape generator.
+    pub config: DagConfig,
+    /// Number of DAG arrivals.
+    pub dags: usize,
+    /// Speculation knobs for the run.
+    pub atomize: AtomizeConfig,
+}
+
+impl DagScenario {
+    /// The built-in DAG axis: a straggler-rescue scenario (push
+    /// scheduling onto a slow worker, speculation must fire) and a
+    /// skewed-reducer scenario (bidding over map outputs, gating under
+    /// wide fan-in).
+    pub fn builtins() -> Vec<DagScenario> {
+        vec![
+            DagScenario {
+                name: "dag_straggler",
+                protocol: Protocol::Baseline,
+                workers: 3,
+                slow_worker: Some((2, 40.0)),
+                config: DagConfig::RepoSplit {
+                    shards: 8,
+                    repo_mb: 100,
+                    tail_alpha: 1.5,
+                },
+                dags: 2,
+                atomize: AtomizeConfig {
+                    spec_factor: 2.0,
+                    spec_check_secs: 2.0,
+                    min_completed_for_spec: 3,
+                    ..AtomizeConfig::default()
+                },
+            },
+            DagScenario {
+                name: "dag_skewed_reduce",
+                protocol: Protocol::Bidding,
+                workers: 4,
+                slow_worker: None,
+                config: DagConfig::MapReduceSkew {
+                    maps: 6,
+                    reduces: 3,
+                    skew_factor: 8.0,
+                },
+                dags: 2,
+                atomize: AtomizeConfig::default(),
+            },
+        ]
+    }
+
+    /// Effective task completions a clean run must produce.
+    pub fn expected_tasks(&self) -> u64 {
+        (self.config.tasks_per_dag() * self.dags) as u64
+    }
+
+    /// The DAG arrival stream (deterministic in `seed`).
+    pub fn arrivals(&self, seed: u64, task: TaskId) -> Vec<Arrival> {
+        self.config.generate(seed, self.dags, task, 5.0)
+    }
+
+    /// Oracle options matching this scenario. The DAG invariants
+    /// (gating, per-task conservation, at-most-one effective
+    /// completion, no orphaned stage) are always on — they arm
+    /// themselves on the first `TaskOffer` in the log.
+    pub fn oracle_options(&self) -> OracleOptions {
+        OracleOptions {
+            expect_all_complete: true,
+            strict_reoffer: false,
+            workers: Some(self.workers as u32),
+            ..OracleOptions::default()
+        }
+    }
+
+    /// Speculation knobs with a mutation's sabotage applied. The sim
+    /// engine is mutation-agnostic, so the scenario layer arms the
+    /// equivalent atomize flags directly; the threaded runtime maps
+    /// the mutation itself (under the `protocol-mutation` feature).
+    fn mutated_atomize(&self, mutation: ProtocolMutation) -> AtomizeConfig {
+        let mut a = self.atomize;
+        a.release_all |= mutation == ProtocolMutation::OfferBeforePredecessor;
+        a.double_speculate |= mutation == ProtocolMutation::DoubleSpeculate;
+        a
+    }
+
+    /// The [`RunSpec`]: ideal control plane, no noise, no speed
+    /// learning — like [`Scenario::spec`], protocol behavior only.
+    fn spec(&self, seed: u64, atomize: AtomizeConfig) -> RunSpec {
+        RunSpec::builder()
+            .workers((0..self.workers).map(|i| {
+                let mut b = WorkerSpec::builder(format!("w{i}"))
+                    .net_mbps(10.0)
+                    .rw_mbps(100.0)
+                    .storage_gb(10.0);
+                if let Some((slow, factor)) = self.slow_worker {
+                    if slow == i {
+                        b = b.cpu_factor(factor);
+                    }
+                }
+                b.build()
+            }))
+            .engine(EngineConfig {
+                control: ControlPlane::instant(),
+                data_latency: SimDuration::ZERO,
+                noise: NoiseModel::None,
+                atomize,
+                ..EngineConfig::default()
+            })
+            .speed_learning(false)
+            .trace(true)
+            .names("checker", self.name)
+            .seed(seed)
+            .time_scale(1e-3)
+            .build()
+    }
+
+    /// One deterministic run on the simulation engine.
+    pub fn run_sim(&self, seed: u64, mutation: ProtocolMutation) -> RunOutput {
+        let spec = self.spec(seed, self.mutated_atomize(mutation));
+        let mut session = spec.sim();
+        let mut wf = Workflow::new();
+        let task = wf.add_sink("scan");
+        let arrivals = self.arrivals(seed, task);
+        session.run_iteration(&mut wf, self.protocol.allocator().as_ref(), arrivals)
+    }
+
+    /// One run on the threaded runtime. The mutation rides the spec
+    /// (it maps onto the atomizer's flags inside the master, feature
+    /// permitting).
+    pub fn run_threaded(&self, seed: u64, mutation: ProtocolMutation) -> RunOutput {
+        let mut spec = self.spec(seed, self.atomize);
+        spec.mutation = mutation;
+        let mut session = spec.threaded();
+        let mut wf = Workflow::new();
+        let task = wf.add_sink("scan");
+        let arrivals = self.arrivals(seed, task);
+        session.run_iteration(&mut wf, self.protocol.allocator().as_ref(), arrivals)
+    }
+}
+
 /// Everything that parameterizes one threaded run of a scenario. The
 /// explorer mutates `keep_jobs` / `keep_fault_workers` while shrinking
 /// and leaves the rest fixed.
@@ -674,6 +830,34 @@ mod tests {
                 assert!(v.is_empty(), "{}: shard {s} violations {v:?}", sc.name);
             }
         }
+    }
+
+    #[test]
+    fn dag_builtins_pass_the_oracle_and_conserve_tasks_on_the_sim_engine() {
+        for sc in DagScenario::builtins() {
+            let out = sc.run_sim(7, ProtocolMutation::None);
+            assert_eq!(
+                out.sched_log.task_dones() as u64,
+                sc.expected_tasks(),
+                "{}: every task effectively completes exactly once",
+                sc.name
+            );
+            let v = check_log(&out.sched_log, sc.oracle_options());
+            assert!(v.is_empty(), "{}: sim violations {v:?}", sc.name);
+        }
+    }
+
+    #[test]
+    fn dag_straggler_builtin_actually_speculates() {
+        let sc = DagScenario::builtins()
+            .into_iter()
+            .find(|s| s.name == "dag_straggler")
+            .expect("known scenario");
+        let out = sc.run_sim(7, ProtocolMutation::None);
+        assert!(
+            out.sched_log.spec_launches() >= 1,
+            "the straggler scenario must exercise speculation"
+        );
     }
 
     #[test]

@@ -1,0 +1,694 @@
+//! Job atomization: task DAGs, per-task locality bidding, and
+//! speculative straggler re-bidding.
+//!
+//! The unit of allocation elsewhere in this crate is a whole job.
+//! JASDA-style scheduler-driven atomization splits an arriving job
+//! into a [`TaskDag`] — tasks with input artifacts, output sizes and
+//! precedence edges — and lets the *existing* bidding protocol price
+//! each task separately: every released task becomes an ordinary
+//! [`Job`](crate::job::Job) flowing through the unchanged
+//! contest/offer machinery, so locality pricing (which predecessor
+//! outputs a worker already holds) and backlog avoidance fall out for
+//! free. What this module adds is the DAG bookkeeping both runtimes
+//! share:
+//!
+//! * **gating** — a task is released into allocation only when every
+//!   predecessor has a committed `TaskDone` (the `TaskOffer` decision
+//!   is committed to the replicated log *before* the task's job is
+//!   submitted);
+//! * **output crediting** — an effective completion inserts the task's
+//!   output artifact into the executing worker's store, so downstream
+//!   bids see the new locality;
+//! * **speculation** — a straggler detector compares each in-flight
+//!   task's age against the median completed-task duration and
+//!   re-offers the slowest one speculatively (`SpecLaunch`); the first
+//!   completion wins (`TaskDone`), the loser is cancelled exactly once
+//!   (`SpecCancel`) and its eventual completion report is swallowed.
+//!
+//! The runtimes own id allocation, logging and message dispatch;
+//! [`DagState`] makes the pure decisions, so the sim engine and the
+//! threaded master cannot drift.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::job::{JobId, JobSpec, Payload, ResourceRef, TaskId};
+
+/// Hard cap on tasks per DAG: predecessor sets are logged as a `u64`
+/// bitmask (`TaskOffer { preds, .. }`), which keeps the log
+/// self-describing for the oracle.
+pub const MAX_DAG_TASKS: usize = 64;
+
+/// One task of a [`TaskDag`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskNode {
+    /// Bitmask of predecessor task indices. Topological by
+    /// construction: a predecessor's index must be smaller than this
+    /// task's own index ([`TaskDag::validate`]).
+    pub preds: u64,
+    /// The dominant input artifact — either an external resource (a
+    /// repository to clone) or a predecessor's output, in which case
+    /// bidding prices the transfer unless the bidder already holds it.
+    pub input: Option<ResourceRef>,
+    /// The artifact this task produces, credited to the executing
+    /// worker's store on effective completion.
+    pub output: ResourceRef,
+    /// Bytes the processing step scans.
+    pub work_bytes: u64,
+    /// Fixed CPU seconds on a nominal-speed worker.
+    pub cpu_secs: f64,
+}
+
+/// Errors a malformed DAG can carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// More than [`MAX_DAG_TASKS`] tasks.
+    TooManyTasks(usize),
+    /// An empty DAG cannot complete.
+    Empty,
+    /// Task `task` lists itself or a higher index as predecessor —
+    /// the topological numbering (and thus acyclicity) is broken.
+    ForwardPred {
+        /// The offending task index.
+        task: u32,
+    },
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::TooManyTasks(n) => {
+                write!(f, "DAG has {n} tasks, cap is {MAX_DAG_TASKS}")
+            }
+            DagError::Empty => write!(f, "DAG has no tasks"),
+            DagError::ForwardPred { task } => {
+                write!(f, "task {task} names itself or a later task as predecessor")
+            }
+        }
+    }
+}
+
+/// A job's task DAG: what the atomizer turns one arriving job into.
+///
+/// Indices are topological by construction — `tasks[i].preds` may only
+/// set bits `< i` — so acyclicity is a local check, not a search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskDag {
+    /// Tasks in topological order.
+    pub tasks: Vec<TaskNode>,
+}
+
+impl TaskDag {
+    /// Wrap a task list into a DAG, validating it.
+    pub fn new(tasks: Vec<TaskNode>) -> Result<Self, DagError> {
+        let dag = TaskDag { tasks };
+        dag.validate()?;
+        Ok(dag)
+    }
+
+    /// Check the structural invariants (size cap, topological preds).
+    pub fn validate(&self) -> Result<(), DagError> {
+        if self.tasks.is_empty() {
+            return Err(DagError::Empty);
+        }
+        if self.tasks.len() > MAX_DAG_TASKS {
+            return Err(DagError::TooManyTasks(self.tasks.len()));
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            // Bits at or above the task's own index would name itself
+            // or a later task — a cycle under topological numbering.
+            if t.preds >> i != 0 {
+                return Err(DagError::ForwardPred { task: i as u32 });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True iff the DAG has no tasks (never true for a validated DAG).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Bitmask with one bit per task.
+    pub fn full_mask(&self) -> u64 {
+        if self.tasks.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.tasks.len()) - 1
+        }
+    }
+
+    /// The [`JobSpec`] for task `idx`, targeting workflow stage
+    /// `stage`. The payload carries the task index so traces stay
+    /// attributable.
+    pub fn task_spec(&self, stage: TaskId, idx: u32) -> JobSpec {
+        let t = &self.tasks[idx as usize];
+        JobSpec {
+            task: stage,
+            resource: t.input,
+            work_bytes: t.work_bytes,
+            cpu_secs: t.cpu_secs,
+            payload: Payload::Index(idx as u64),
+            origin: None,
+            dag: None,
+        }
+    }
+
+    /// Collapse the whole DAG into a single job — the whole-job
+    /// allocation baseline the atomized run is compared against. Work
+    /// is the sum over tasks; the resource is the first external input
+    /// (predecessor outputs are internal hand-offs, not a resource the
+    /// collapsed job could fetch).
+    pub fn collapsed_spec(&self, stage: TaskId) -> JobSpec {
+        let cpu: f64 = self.tasks.iter().map(|t| t.cpu_secs).sum();
+        let work: u64 = self.tasks.iter().map(|t| t.work_bytes).sum();
+        let resource = self
+            .tasks
+            .iter()
+            .find(|t| t.preds == 0 && t.input.is_some())
+            .and_then(|t| t.input);
+        JobSpec {
+            task: stage,
+            resource,
+            work_bytes: work,
+            cpu_secs: cpu,
+            payload: Payload::None,
+            origin: None,
+            dag: None,
+        }
+    }
+}
+
+/// Atomization knobs, embedded in
+/// [`EngineConfig`](crate::engine::EngineConfig) so both runtimes read
+/// the same values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtomizeConfig {
+    /// An in-flight task is a straggler when its age exceeds
+    /// `spec_factor ×` the median completed-task duration.
+    pub spec_factor: f64,
+    /// Virtual seconds between straggler sweeps.
+    pub spec_check_secs: f64,
+    /// Minimum completed tasks before the median is trusted.
+    pub min_completed_for_spec: usize,
+    /// Mutation hook: release every task at registration, ignoring
+    /// predecessor gating (`ProtocolMutation::OfferBeforePredecessor`).
+    pub release_all: bool,
+    /// Mutation hook: skip the launched-once guard so the detector
+    /// re-speculates a task it already speculated
+    /// (`ProtocolMutation::DoubleSpeculate`).
+    pub double_speculate: bool,
+}
+
+impl Default for AtomizeConfig {
+    fn default() -> Self {
+        AtomizeConfig {
+            spec_factor: 2.0,
+            spec_check_secs: 2.0,
+            min_completed_for_spec: 3,
+            release_all: false,
+            double_speculate: false,
+        }
+    }
+}
+
+/// What a completion report means for the DAG layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DoneOutcome {
+    /// Not a task job — the ordinary whole-job path applies.
+    NotTask,
+    /// The report is from a cancelled losing attempt (or a duplicate
+    /// completion of an already-done task): swallow it. The attempt
+    /// was already accounted when its `SpecCancel` committed, so the
+    /// caller must log nothing and bump nothing.
+    Swallowed,
+    /// First effective completion of the task.
+    Effective {
+        /// Root id of the DAG.
+        root: JobId,
+        /// Task index that completed.
+        task: u32,
+        /// Output artifact to credit to the executing worker's store.
+        output: ResourceRef,
+        /// Successor tasks this completion released, as
+        /// `(task index, job spec)` — the caller commits a `TaskOffer`
+        /// per entry, allocates an id, and submits it.
+        released: Vec<(u32, JobSpec)>,
+        /// Other live attempts of the same task to cancel
+        /// (`SpecCancel` each, exactly once).
+        losers: Vec<JobId>,
+    },
+}
+
+/// A straggler the detector wants to speculate, returned by
+/// [`DagState::straggler`]. The caller commits `SpecLaunch` first and
+/// only then binds the replica ([`DagState::bind`]) — commit before
+/// act.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Speculation {
+    /// Root id of the DAG.
+    pub root: JobId,
+    /// Task index to replicate.
+    pub task: u32,
+    /// Spec for the replica job (fresh id to be allocated by caller).
+    pub spec: JobSpec,
+}
+
+#[derive(Debug)]
+struct TaskRun {
+    /// Live attempts: `(job id, speculative)`.
+    attempts: Vec<(JobId, bool)>,
+    /// Set once a `SpecLaunch` committed for this task.
+    spec_launched: bool,
+}
+
+#[derive(Debug)]
+struct DagRun {
+    dag: TaskDag,
+    /// Workflow stage the task jobs target.
+    stage: TaskId,
+    /// Completed-task bitmask.
+    done: u64,
+    /// Released-task bitmask.
+    offered: u64,
+    tasks: Vec<TaskRun>,
+}
+
+/// Shared DAG bookkeeping for both runtimes. Pure decisions only: the
+/// caller owns the replicated log, id allocation and dispatch, and
+/// must commit the corresponding decision entry *before* acting on
+/// anything returned from here.
+#[derive(Debug, Default)]
+pub struct DagState {
+    cfg: AtomizeConfig,
+    dags: BTreeMap<JobId, DagRun>,
+    /// job → (root, task index, speculative).
+    task_of_job: HashMap<JobId, (JobId, u32, bool)>,
+    /// Losing attempts whose `SpecCancel` committed: their completion
+    /// reports are swallowed.
+    cancelled: HashSet<JobId>,
+    /// Placement instants of live task jobs (virtual seconds).
+    placed_at: HashMap<JobId, f64>,
+    /// Durations of effective completions, for the straggler median.
+    durations: Vec<f64>,
+}
+
+impl DagState {
+    /// Fresh state under `cfg`.
+    pub fn new(cfg: AtomizeConfig) -> Self {
+        DagState {
+            cfg,
+            ..Default::default()
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AtomizeConfig {
+        &self.cfg
+    }
+
+    /// True iff any registered DAG is incomplete — the straggler sweep
+    /// keeps running while this holds.
+    pub fn is_active(&self) -> bool {
+        self.dags.values().any(|d| d.done != d.dag.full_mask())
+    }
+
+    /// True iff any DAG was ever registered.
+    pub fn has_dags(&self) -> bool {
+        !self.dags.is_empty()
+    }
+
+    /// Did `job`'s `SpecCancel` commit? (Its completion report must be
+    /// swallowed and nothing further logged for it.)
+    pub fn is_cancelled(&self, job: JobId) -> bool {
+        self.cancelled.contains(&job)
+    }
+
+    /// `(root, task, speculative)` for a task job, `None` for plain
+    /// jobs.
+    pub fn task_of(&self, job: JobId) -> Option<(JobId, u32, bool)> {
+        self.task_of_job.get(&job).copied()
+    }
+
+    /// Predecessor mask and task count for a task — what the caller
+    /// logs on `TaskOffer`.
+    pub fn offer_payload(&self, root: JobId, task: u32) -> (u64, u32) {
+        let d = &self.dags[&root];
+        (d.dag.tasks[task as usize].preds, d.dag.len() as u32)
+    }
+
+    /// Register an arriving DAG under the allocated `root` id and
+    /// return the initially releasable tasks as `(index, spec)`.
+    /// Source tasks (no predecessors) — or, under the
+    /// `release_all` mutation, every task.
+    pub fn register(&mut self, root: JobId, stage: TaskId, dag: TaskDag) -> Vec<(u32, JobSpec)> {
+        debug_assert!(dag.validate().is_ok(), "unvalidated DAG reached register");
+        let n = dag.len();
+        let mut run = DagRun {
+            stage,
+            done: 0,
+            offered: 0,
+            tasks: (0..n)
+                .map(|_| TaskRun {
+                    attempts: Vec::new(),
+                    spec_launched: false,
+                })
+                .collect(),
+            dag,
+        };
+        let mut released = Vec::new();
+        for i in 0..n as u32 {
+            let gate_open = run.dag.tasks[i as usize].preds == 0;
+            if gate_open || self.cfg.release_all {
+                run.offered |= 1 << i;
+                released.push((i, run.dag.task_spec(stage, i)));
+            }
+        }
+        self.dags.insert(root, run);
+        released
+    }
+
+    /// Bind the job id the caller allocated for a released task (or a
+    /// speculative replica, after its `SpecLaunch` committed).
+    pub fn bind(&mut self, root: JobId, task: u32, job: JobId, speculative: bool) {
+        let d = self.dags.get_mut(&root).expect("bind for unknown DAG");
+        let t = &mut d.tasks[task as usize];
+        t.attempts.push((job, speculative));
+        if speculative {
+            t.spec_launched = true;
+        }
+        self.task_of_job.insert(job, (root, task, speculative));
+    }
+
+    /// Record a placement instant — the straggler clock for this
+    /// attempt (re-placements after failover restart it).
+    pub fn on_placed(&mut self, job: JobId, now_secs: f64) {
+        if self.task_of_job.contains_key(&job) {
+            self.placed_at.insert(job, now_secs);
+        }
+    }
+
+    /// Classify a completion report for `job`.
+    pub fn on_done(&mut self, job: JobId, now_secs: f64) -> DoneOutcome {
+        let Some(&(root, task, _spec)) = self.task_of_job.get(&job) else {
+            return DoneOutcome::NotTask;
+        };
+        if self.cancelled.contains(&job) {
+            return DoneOutcome::Swallowed;
+        }
+        let d = self.dags.get_mut(&root).expect("task of unknown DAG");
+        let bit = 1u64 << task;
+        if d.done & bit != 0 {
+            // Already effectively complete (e.g. both attempts raced
+            // to done in one instant): only the first one counts.
+            return DoneOutcome::Swallowed;
+        }
+        d.done |= bit;
+        if let Some(t0) = self.placed_at.remove(&job) {
+            self.durations.push((now_secs - t0).max(0.0));
+        }
+        let losers: Vec<JobId> = d.tasks[task as usize]
+            .attempts
+            .iter()
+            .map(|&(j, _)| j)
+            .filter(|&j| j != job && !self.cancelled.contains(&j))
+            .collect();
+        for &l in &losers {
+            self.placed_at.remove(&l);
+        }
+        let mut released = Vec::new();
+        if !self.cfg.release_all {
+            for i in 0..d.dag.len() as u32 {
+                let ibit = 1u64 << i;
+                if d.offered & ibit == 0 && d.dag.tasks[i as usize].preds & !d.done == 0 {
+                    d.offered |= ibit;
+                    released.push((i, d.dag.task_spec(d.stage, i)));
+                }
+            }
+        }
+        let output = d.dag.tasks[task as usize].output;
+        DoneOutcome::Effective {
+            root,
+            task,
+            output,
+            released,
+            losers,
+        }
+    }
+
+    /// Mark a losing attempt cancelled — call right after its
+    /// `SpecCancel` committed.
+    pub fn cancel(&mut self, job: JobId) {
+        self.cancelled.insert(job);
+    }
+
+    /// Straggler sweep at `now_secs`: the single slowest in-flight
+    /// task worth speculating, if any. Pure — the caller commits
+    /// `SpecLaunch`, allocates the replica id, then [`bind`]s it
+    /// (which sets the launched-once guard).
+    ///
+    /// [`bind`]: Self::bind
+    pub fn straggler(&self, now_secs: f64) -> Option<Speculation> {
+        if self.durations.len() < self.cfg.min_completed_for_spec {
+            return None;
+        }
+        let mut sorted = self.durations.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let threshold = self.cfg.spec_factor * median;
+        let mut best: Option<(f64, Speculation)> = None;
+        for (&root, d) in &self.dags {
+            for (i, t) in d.tasks.iter().enumerate() {
+                let bit = 1u64 << i;
+                if d.done & bit != 0 {
+                    continue;
+                }
+                if t.spec_launched && !self.cfg.double_speculate {
+                    continue;
+                }
+                // Only primaries age into stragglers; a replica that
+                // straggles too is not re-replicated.
+                let Some(&(job, _)) = t.attempts.iter().find(|&&(_, s)| !s) else {
+                    continue;
+                };
+                let Some(&t0) = self.placed_at.get(&job) else {
+                    continue;
+                };
+                let age = now_secs - t0;
+                if age <= threshold {
+                    continue;
+                }
+                let cand = Speculation {
+                    root,
+                    task: i as u32,
+                    spec: d.dag.task_spec(d.stage, i as u32),
+                };
+                if best.as_ref().is_none_or(|(a, _)| age > *a) {
+                    best = Some((age, cand));
+                }
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbid_storage::ObjectId;
+
+    fn rr(id: u64, bytes: u64) -> ResourceRef {
+        ResourceRef {
+            id: ObjectId(id),
+            bytes,
+        }
+    }
+
+    fn node(preds: u64, input: Option<ResourceRef>, out: u64) -> TaskNode {
+        TaskNode {
+            preds,
+            input,
+            output: rr(out, 1000),
+            work_bytes: input.map_or(0, |r| r.bytes),
+            cpu_secs: 1.0,
+        }
+    }
+
+    /// source → two mid tasks → sink.
+    fn diamond() -> TaskDag {
+        TaskDag::new(vec![
+            node(0b0, Some(rr(1, 4000)), 100),
+            node(0b1, Some(rr(100, 1000)), 101),
+            node(0b1, Some(rr(100, 1000)), 102),
+            node(0b110, Some(rr(101, 1000)), 103),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validate_rejects_malformed_dags() {
+        assert_eq!(TaskDag::new(vec![]).unwrap_err(), DagError::Empty);
+        let self_edge = TaskDag {
+            tasks: vec![node(0b1, None, 1)],
+        };
+        assert_eq!(
+            self_edge.validate().unwrap_err(),
+            DagError::ForwardPred { task: 0 }
+        );
+        let forward = TaskDag {
+            tasks: vec![node(0, None, 1), node(0b100, None, 2), node(0, None, 3)],
+        };
+        assert_eq!(
+            forward.validate().unwrap_err(),
+            DagError::ForwardPred { task: 1 }
+        );
+        let big = TaskDag {
+            tasks: (0..65).map(|_| node(0, None, 9)).collect(),
+        };
+        assert_eq!(big.validate().unwrap_err(), DagError::TooManyTasks(65));
+    }
+
+    #[test]
+    fn gating_releases_tasks_in_precedence_order() {
+        let mut st = DagState::new(AtomizeConfig::default());
+        let root = JobId(1000);
+        let released = st.register(root, TaskId(0), diamond());
+        assert_eq!(released.len(), 1, "only the source is gate-open");
+        assert_eq!(released[0].0, 0);
+        st.bind(root, 0, JobId(1), false);
+        st.on_placed(JobId(1), 0.0);
+
+        let out = st.on_done(JobId(1), 1.0);
+        let DoneOutcome::Effective {
+            released, losers, ..
+        } = out
+        else {
+            panic!("expected effective completion, got {out:?}");
+        };
+        assert_eq!(
+            released.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![1, 2],
+            "both mid tasks unlock together"
+        );
+        assert!(losers.is_empty());
+
+        st.bind(root, 1, JobId(2), false);
+        st.bind(root, 2, JobId(3), false);
+        match st.on_done(JobId(2), 2.0) {
+            DoneOutcome::Effective { released, .. } => {
+                assert!(released.is_empty(), "sink still gated on task 2")
+            }
+            other => panic!("{other:?}"),
+        }
+        match st.on_done(JobId(3), 2.0) {
+            DoneOutcome::Effective { released, .. } => {
+                assert_eq!(
+                    released.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+                    vec![3]
+                )
+            }
+            other => panic!("{other:?}"),
+        }
+        st.bind(root, 3, JobId(4), false);
+        assert!(st.is_active());
+        st.on_done(JobId(4), 3.0);
+        assert!(!st.is_active());
+    }
+
+    #[test]
+    fn release_all_mutation_ignores_gating() {
+        let mut st = DagState::new(AtomizeConfig {
+            release_all: true,
+            ..Default::default()
+        });
+        let released = st.register(JobId(1000), TaskId(0), diamond());
+        assert_eq!(released.len(), 4, "every task escapes the gate at once");
+    }
+
+    #[test]
+    fn first_done_wins_and_the_loser_is_swallowed() {
+        let mut st = DagState::new(AtomizeConfig::default());
+        let root = JobId(1000);
+        st.register(root, TaskId(0), diamond());
+        st.bind(root, 0, JobId(1), false);
+        st.on_placed(JobId(1), 0.0);
+        // Speculative replica of task 0.
+        st.bind(root, 0, JobId(9), true);
+        st.on_placed(JobId(9), 5.0);
+
+        // Replica completes first: it is the effective winner and the
+        // primary is the loser.
+        let out = st.on_done(JobId(9), 6.0);
+        let DoneOutcome::Effective { losers, .. } = out else {
+            panic!("{out:?}");
+        };
+        assert_eq!(losers, vec![JobId(1)]);
+        st.cancel(JobId(1));
+        assert!(st.is_cancelled(JobId(1)));
+        assert_eq!(st.on_done(JobId(1), 7.0), DoneOutcome::Swallowed);
+    }
+
+    #[test]
+    fn straggler_detection_picks_the_slowest_and_fires_once() {
+        let cfg = AtomizeConfig {
+            spec_factor: 2.0,
+            min_completed_for_spec: 3,
+            ..Default::default()
+        };
+        let mut st = DagState::new(cfg);
+        let root = JobId(1000);
+        // Four independent tasks.
+        let dag = TaskDag::new(vec![
+            node(0, None, 1),
+            node(0, None, 2),
+            node(0, None, 3),
+            node(0, None, 4),
+        ])
+        .unwrap();
+        st.register(root, TaskId(0), dag);
+        for (i, j) in [(0u32, 1u64), (1, 2), (2, 3), (3, 4)] {
+            st.bind(root, i, JobId(j), false);
+            st.on_placed(JobId(j), 0.0);
+        }
+        // Three finish around 1s; task 3 lingers.
+        st.on_done(JobId(1), 1.0);
+        st.on_done(JobId(2), 1.1);
+        st.on_done(JobId(3), 0.9);
+        assert!(st.straggler(1.5).is_none(), "below spec_factor × median");
+        let sp = st.straggler(10.0).expect("task 3 is a straggler");
+        assert_eq!((sp.root, sp.task), (root, 3));
+        // Launched-once guard.
+        st.bind(root, 3, JobId(99), true);
+        assert!(st.straggler(20.0).is_none());
+        // …unless the DoubleSpeculate mutation removes it.
+        let mut st2 = DagState::new(AtomizeConfig {
+            double_speculate: true,
+            ..cfg
+        });
+        st2.register(root, TaskId(0), diamond());
+        st2.bind(root, 0, JobId(1), false);
+        st2.on_placed(JobId(1), 0.0);
+        st2.durations = vec![1.0, 1.0, 1.0];
+        st2.bind(root, 0, JobId(9), true);
+        assert!(
+            st2.straggler(10.0).is_some(),
+            "mutation re-speculates a launched task"
+        );
+    }
+
+    #[test]
+    fn collapsed_spec_sums_the_dag() {
+        let d = diamond();
+        let s = d.collapsed_spec(TaskId(7));
+        assert_eq!(s.cpu_secs, 4.0);
+        assert_eq!(s.work_bytes, 4000 + 1000 + 1000 + 1000);
+        assert_eq!(s.resource, Some(rr(1, 4000)));
+        assert_eq!(s.task, TaskId(7));
+    }
+}

@@ -26,6 +26,7 @@ use crossbid_metrics::{Registry, RegistrySnapshot, RunRecord, SchedulerKind};
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{EventQueue, RngStream, SeedSequence, SimDuration, SimTime, Welford};
 
+use crate::atomize::{AtomizeConfig, DagState, DoneOutcome};
 use crate::faults::{
     FaultEvent, FaultPlan, MasterFaultPlan, MembershipAction, MembershipEvent, MembershipPlan,
     NetFaultPlan,
@@ -83,6 +84,11 @@ pub struct EngineConfig {
     /// shard's id space ([`JobId::in_shard`]); shard 0 — the default —
     /// reproduces the historical sequential ids bit-for-bit.
     pub shard: ShardId,
+    /// Job atomization (task DAGs, per-task bidding, speculative
+    /// straggler re-bidding — see [`crate::atomize`]). Only consulted
+    /// for arrivals whose [`JobSpec::dag`] is set; the defaults are
+    /// inert for plain workloads.
+    pub atomize: AtomizeConfig,
     /// Record a per-job lifecycle trace (see [`crate::trace`]).
     pub trace: bool,
     /// Shared metrics sink. When `None` the engine collects into a
@@ -105,6 +111,7 @@ impl Default for EngineConfig {
             master_faults: MasterFaultPlan::none(),
             membership: MembershipPlan::none(),
             shard: ShardId(0),
+            atomize: AtomizeConfig::default(),
             trace: false,
             metrics: None,
         }
@@ -127,6 +134,7 @@ impl EngineConfig {
             master_faults: MasterFaultPlan::none(),
             membership: MembershipPlan::none(),
             shard: ShardId(0),
+            atomize: AtomizeConfig::default(),
             trace: false,
             metrics: None,
         }
@@ -315,6 +323,9 @@ enum Ev {
     /// Periodic idle re-announcement, so a dropped `Idle` only delays
     /// the pull loop.
     IdleBeat(WorkerId),
+    /// Periodic straggler sweep over in-flight DAG tasks (armed only
+    /// while an atomized job is active).
+    SpecCheck,
 }
 
 /// Master-side record of one in-flight placement under the net-fault
@@ -390,6 +401,12 @@ struct Engine<'a> {
     roster: Vec<WorkerHandle>,
     roster_dirty: bool,
     workflow: &'a mut Workflow,
+    /// Shared DAG bookkeeping for atomized jobs (gating, speculation,
+    /// output crediting); inert unless an arrival carried a DAG.
+    dag: DagState,
+    /// A `SpecCheck` event is in flight — keeps exactly one straggler
+    /// sweep armed at a time.
+    spec_check_armed: bool,
 
     rng_control: RngStream,
     rng_master: RngStream,
@@ -498,6 +515,29 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Placement hook for DAG task jobs: commits the `TaskAssign`
+    /// decision alongside the `Assigned`/`Offered` entry and starts
+    /// the attempt's straggler clock. A no-op (`true`) for plain jobs.
+    fn note_task_assign(&mut self, worker: WorkerId, job: JobId) -> bool {
+        let Some((root, task, speculative)) = self.dag.task_of(job) else {
+            return true;
+        };
+        if !self.note_sched(
+            Some(worker),
+            Some(job),
+            SchedEventKind::TaskAssign {
+                root,
+                task,
+                speculative,
+            },
+        ) {
+            return false;
+        }
+        let now = self.q.now().as_secs_f64();
+        self.dag.on_placed(job, now);
+        true
+    }
+
     fn alloc_job_id(&mut self) -> JobId {
         let id = JobId::in_shard(self.cfg.shard, self.next_job_id);
         self.next_job_id += 1;
@@ -517,6 +557,37 @@ impl<'a> Engine<'a> {
             }
             None => self.alloc_job_id(),
         }
+    }
+
+    /// Release one DAG task (or a speculative replica of one) into
+    /// allocation. Commit-before-act: the `TaskOffer`/`SpecLaunch`
+    /// decision is committed under the freshly allocated job id before
+    /// the job is submitted; a truncated append drops the submission
+    /// with the crashing leader.
+    fn submit_task_job(&mut self, root: JobId, idx: u32, spec: JobSpec, speculative: bool) {
+        let id = self.alloc_job_id();
+        let kind = if speculative {
+            SchedEventKind::SpecLaunch { root, task: idx }
+        } else {
+            let (preds, total) = self.dag.offer_payload(root, idx);
+            SchedEventKind::TaskOffer {
+                root,
+                task: idx,
+                preds,
+                total,
+            }
+        };
+        if !self.note_sched(None, Some(id), kind) {
+            return;
+        }
+        self.created += 1;
+        self.note_sched(None, Some(id), SchedEventKind::Submitted);
+        self.dag.bind(root, idx, id, speculative);
+        let job = spec.into_job(id);
+        if !self.cfg.master_faults.is_empty() {
+            self.jobs_inflight.insert(id, job.clone());
+        }
+        self.run_master(|m, ctx| m.on_job(job, ctx));
     }
 
     fn send_to_worker(&mut self, worker: WorkerId, msg: MasterToWorker) {
@@ -703,6 +774,9 @@ impl<'a> Engine<'a> {
                     if !self.note_sched(Some(worker), Some(job.id), SchedEventKind::Assigned) {
                         break;
                     }
+                    if !self.note_task_assign(worker, job.id) {
+                        break;
+                    }
                     let seq = if self.net_active {
                         self.arm_placement(&job, worker, false)
                     } else {
@@ -712,6 +786,9 @@ impl<'a> Engine<'a> {
                 }
                 SchedAction::Offer { worker, job } => {
                     if !self.note_sched(Some(worker), Some(job.id), SchedEventKind::Offered) {
+                        break;
+                    }
+                    if !self.note_task_assign(worker, job.id) {
                         break;
                     }
                     let seq = if self.net_active {
@@ -854,6 +931,25 @@ impl<'a> Engine<'a> {
     fn handle(&mut self, ev: Ev) {
         match ev {
             Ev::Arrival(spec) => {
+                if let Some(dag) = spec.dag.clone() {
+                    // Atomization: the arriving job never enters
+                    // allocation itself. Its DAG is registered under a
+                    // root id (which appears only in Task* payloads)
+                    // and the gate-open tasks are released as ordinary
+                    // jobs through the unchanged bidding machinery.
+                    self.arrivals_seen += 1;
+                    let root = self.alloc_job_id();
+                    let released = self.dag.register(root, spec.task, dag);
+                    for (idx, tspec) in released {
+                        self.submit_task_job(root, idx, tspec, false);
+                    }
+                    if !self.spec_check_armed {
+                        self.spec_check_armed = true;
+                        let d = SimDuration::from_secs_f64(self.cfg.atomize.spec_check_secs);
+                        self.q.schedule_in(d, Ev::SpecCheck);
+                    }
+                    return;
+                }
                 self.arrivals_seen += 1;
                 let id = self.intake_id(&spec);
                 self.created += 1;
@@ -1038,6 +1134,21 @@ impl<'a> Engine<'a> {
                                         estimate_secs: *estimate_secs,
                                     },
                                 );
+                                // A bid on a DAG task additionally
+                                // lands in the per-task vocabulary so
+                                // the oracle can tie pricing to the
+                                // DAG without joining on job ids.
+                                if let Some((root, task, _)) = self.dag.task_of(*job) {
+                                    self.note_sched(
+                                        Some(from),
+                                        Some(*job),
+                                        SchedEventKind::TaskBid {
+                                            root,
+                                            task,
+                                            estimate_secs: *estimate_secs,
+                                        },
+                                    );
+                                }
                             }
                         }
                     }
@@ -1173,6 +1284,12 @@ impl<'a> Engine<'a> {
                     // A late bounce of a job that completed elsewhere.
                     return;
                 }
+                if self.dag.is_cancelled(job.id) {
+                    // A cancelled losing attempt stranded by a crash:
+                    // its accounting happened at `SpecCancel`, so it
+                    // must not re-enter allocation.
+                    return;
+                }
                 let placeable = (0..self.active.len()).any(|i| self.active[i] && !self.draining[i]);
                 if placeable {
                     self.m.jobs_redistributed.inc();
@@ -1253,7 +1370,7 @@ impl<'a> Engine<'a> {
                     self.outstanding_net.remove(&job);
                     self.m.lease_expired.inc();
                     self.note_sched(Some(worker), Some(job), SchedEventKind::LeaseExpired);
-                    if !self.done_ids.contains(&job) {
+                    if !self.done_ids.contains(&job) && !self.dag.is_cancelled(job) {
                         self.run_master(|m, ctx| m.on_job(job_clone, ctx));
                     }
                 }
@@ -1321,6 +1438,20 @@ impl<'a> Engine<'a> {
                     self.q
                         .schedule_in(SimDuration::from_secs_f64(beat), Ev::IdleBeat(worker));
                 }
+            }
+            Ev::SpecCheck => {
+                if !self.dag.is_active() {
+                    // Every DAG drained; a later atomized arrival
+                    // re-arms the sweep.
+                    self.spec_check_armed = false;
+                    return;
+                }
+                let now_secs = self.q.now().as_secs_f64();
+                if let Some(sp) = self.dag.straggler(now_secs) {
+                    self.submit_task_job(sp.root, sp.task, sp.spec, true);
+                }
+                let d = SimDuration::from_secs_f64(self.cfg.atomize.spec_check_secs);
+                self.q.schedule_in(d, Ev::SpecCheck);
             }
         }
     }
@@ -1535,33 +1666,86 @@ impl<'a> Engine<'a> {
 
     fn complete_at_master(&mut self, worker: WorkerId, job: Job) {
         let now = self.q.now();
+        if self.dag.is_cancelled(job.id) {
+            // The losing attempt of a decided speculation race: its
+            // accounting happened when `SpecCancel` committed, so the
+            // late completion report is swallowed — no `Completed`
+            // entry, no counter bump, no downstream effects.
+            self.jobs_inflight.remove(&job.id);
+            return;
+        }
         self.completed += 1;
         self.note_sched(Some(worker), Some(job.id), SchedEventKind::Completed);
         self.jobs_inflight.remove(&job.id);
         self.m.jobs_completed.inc();
         self.last_completion = self.last_completion.max(now);
-        // Run the task logic, spawning downstream jobs.
-        let mut out: Vec<JobSpec> = Vec::new();
-        let ctx = TaskCtx { now, worker };
-        self.workflow
-            .logic_mut(job.task)
-            .process(&job, &ctx, &mut out);
-        for spec in out {
-            debug_assert!(self.workflow.contains(spec.task), "unknown task target");
-            debug_assert!(
-                self.workflow.allows(job.task, spec.task),
-                "task {:?} emitted a job for {:?} outside the declared channels",
-                job.task,
-                spec.task
-            );
-            let id = self.alloc_job_id();
-            self.created += 1;
-            self.note_sched(None, Some(id), SchedEventKind::Submitted);
-            let new_job = spec.into_job(id);
-            if !self.cfg.master_faults.is_empty() {
-                self.jobs_inflight.insert(id, new_job.clone());
+        match self.dag.on_done(job.id, now.as_secs_f64()) {
+            DoneOutcome::NotTask => {
+                // Run the task logic, spawning downstream jobs.
+                let mut out: Vec<JobSpec> = Vec::new();
+                let ctx = TaskCtx { now, worker };
+                self.workflow
+                    .logic_mut(job.task)
+                    .process(&job, &ctx, &mut out);
+                for spec in out {
+                    debug_assert!(self.workflow.contains(spec.task), "unknown task target");
+                    debug_assert!(
+                        self.workflow.allows(job.task, spec.task),
+                        "task {:?} emitted a job for {:?} outside the declared channels",
+                        job.task,
+                        spec.task
+                    );
+                    let id = self.alloc_job_id();
+                    self.created += 1;
+                    self.note_sched(None, Some(id), SchedEventKind::Submitted);
+                    let new_job = spec.into_job(id);
+                    if !self.cfg.master_faults.is_empty() {
+                        self.jobs_inflight.insert(id, new_job.clone());
+                    }
+                    self.run_master(|m, c| m.on_job(new_job, c));
+                }
             }
-            self.run_master(|m, c| m.on_job(new_job, c));
+            // A second completion of an already-done task in the same
+            // instant (both attempts raced to Done): only the first
+            // was effective. Unreachable in the sim — the winner's
+            // `SpecCancel` commits before the loser's report is
+            // handled — but harmless to tolerate.
+            DoneOutcome::Swallowed => {}
+            DoneOutcome::Effective {
+                root,
+                task,
+                output,
+                released,
+                losers,
+            } => {
+                if !self.note_sched(
+                    Some(worker),
+                    Some(job.id),
+                    SchedEventKind::TaskDone { root, task },
+                ) {
+                    return;
+                }
+                // The task's output artifact materializes on the
+                // executing worker — downstream bids price against it.
+                self.worker(worker)
+                    .store
+                    .insert(output.id, output.bytes, now);
+                for loser in losers {
+                    // The loser's `SpecCancel` is its terminal
+                    // accounting event: once committed, the attempt
+                    // counts as complete and its eventual report (or a
+                    // crash bounce) is swallowed.
+                    if self.note_sched(None, Some(loser), SchedEventKind::SpecCancel { root, task })
+                    {
+                        self.dag.cancel(loser);
+                        self.completed += 1;
+                        self.jobs_inflight.remove(&loser);
+                    }
+                }
+                for (idx, tspec) in released {
+                    self.submit_task_job(root, idx, tspec, false);
+                }
+            }
         }
         self.run_master(|m, c| m.on_job_done(worker, &job, c));
     }
@@ -1719,6 +1903,8 @@ pub fn run_workflow(
         roster: Vec::with_capacity(n_workers),
         roster_dirty: true,
         workflow,
+        dag: DagState::new(cfg.atomize),
+        spec_check_armed: false,
         rng_control: seq.stream(0),
         rng_master: seq.stream(1),
         rng_workers: (0..n_workers).map(|i| seq.stream(100 + i as u64)).collect(),

@@ -49,7 +49,15 @@ use crate::trace::{SchedEvent, SchedEventKind, TraceEvent, TraceKind};
 /// and `worker_removed`, emitted when a
 /// [`crate::faults::MembershipPlan`] or a federation routing tier is
 /// active.
-pub const SCHEMA_VERSION: u64 = 5;
+///
+/// v6 added the atomization events `task_offer` (with `root`, `task`,
+/// `preds`, `total`), `task_bid` (with `root`, `task`,
+/// `estimate_secs`), `task_assign` (with `root`, `task`,
+/// `speculative`), `task_done` (with `root`, `task`) and the
+/// speculation events `spec_launch` / `spec_cancel` (with `root`,
+/// `task`), emitted when arrivals carry a
+/// [`TaskDag`](crate::atomize::TaskDag).
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// The stream header: which run produced the lines that follow.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -177,6 +185,12 @@ pub fn sched_kind_name(kind: &SchedEventKind) -> &'static str {
         SchedEventKind::WorkerJoined => "worker_joined",
         SchedEventKind::WorkerDraining => "worker_draining",
         SchedEventKind::WorkerRemoved => "worker_removed",
+        SchedEventKind::TaskOffer { .. } => "task_offer",
+        SchedEventKind::TaskBid { .. } => "task_bid",
+        SchedEventKind::TaskAssign { .. } => "task_assign",
+        SchedEventKind::TaskDone { .. } => "task_done",
+        SchedEventKind::SpecLaunch { .. } => "spec_launch",
+        SchedEventKind::SpecCancel { .. } => "spec_cancel",
     }
 }
 
@@ -226,6 +240,41 @@ fn sched_event_to_json(ev: &SchedEvent) -> Json {
         SchedEventKind::SpillIn { from_shard } => {
             fields.push(("from_shard".to_string(), Json::UInt(from_shard.0 as u64)));
         }
+        SchedEventKind::TaskOffer {
+            root,
+            task,
+            preds,
+            total,
+        } => {
+            fields.push(("root".to_string(), Json::UInt(root.0)));
+            fields.push(("task".to_string(), Json::UInt(task as u64)));
+            fields.push(("preds".to_string(), Json::UInt(preds)));
+            fields.push(("total".to_string(), Json::UInt(total as u64)));
+        }
+        SchedEventKind::TaskBid {
+            root,
+            task,
+            estimate_secs,
+        } => {
+            fields.push(("root".to_string(), Json::UInt(root.0)));
+            fields.push(("task".to_string(), Json::UInt(task as u64)));
+            fields.push(("estimate_secs".to_string(), Json::Num(estimate_secs)));
+        }
+        SchedEventKind::TaskAssign {
+            root,
+            task,
+            speculative,
+        } => {
+            fields.push(("root".to_string(), Json::UInt(root.0)));
+            fields.push(("task".to_string(), Json::UInt(task as u64)));
+            fields.push(("speculative".to_string(), Json::Bool(speculative)));
+        }
+        SchedEventKind::TaskDone { root, task }
+        | SchedEventKind::SpecLaunch { root, task }
+        | SchedEventKind::SpecCancel { root, task } => {
+            fields.push(("root".to_string(), Json::UInt(root.0)));
+            fields.push(("task".to_string(), Json::UInt(task as u64)));
+        }
         _ => {}
     }
     Json::Obj(fields)
@@ -269,6 +318,34 @@ fn sched_event_from_json(v: &Json) -> Result<SchedEvent, JsonError> {
         "worker_joined" => SchedEventKind::WorkerJoined,
         "worker_draining" => SchedEventKind::WorkerDraining,
         "worker_removed" => SchedEventKind::WorkerRemoved,
+        "task_offer" => SchedEventKind::TaskOffer {
+            root: JobId(v.req_u64("root")?),
+            task: v.req_u64("task")? as u32,
+            preds: v.req_u64("preds")?,
+            total: v.req_u64("total")? as u32,
+        },
+        "task_bid" => SchedEventKind::TaskBid {
+            root: JobId(v.req_u64("root")?),
+            task: v.req_u64("task")? as u32,
+            estimate_secs: v.req_f64("estimate_secs")?,
+        },
+        "task_assign" => SchedEventKind::TaskAssign {
+            root: JobId(v.req_u64("root")?),
+            task: v.req_u64("task")? as u32,
+            speculative: v.req_bool("speculative")?,
+        },
+        "task_done" => SchedEventKind::TaskDone {
+            root: JobId(v.req_u64("root")?),
+            task: v.req_u64("task")? as u32,
+        },
+        "spec_launch" => SchedEventKind::SpecLaunch {
+            root: JobId(v.req_u64("root")?),
+            task: v.req_u64("task")? as u32,
+        },
+        "spec_cancel" => SchedEventKind::SpecCancel {
+            root: JobId(v.req_u64("root")?),
+            task: v.req_u64("task")? as u32,
+        },
         other => return Err(JsonError(format!("unknown sched kind {other:?}"))),
     };
     let opt_u64 = |key: &str| -> Result<Option<u64>, JsonError> {
@@ -418,6 +495,34 @@ mod tests {
             SchedEventKind::WorkerJoined,
             SchedEventKind::WorkerDraining,
             SchedEventKind::WorkerRemoved,
+            SchedEventKind::TaskOffer {
+                root: JobId(1000),
+                task: 3,
+                preds: 0b101,
+                total: 7,
+            },
+            SchedEventKind::TaskBid {
+                root: JobId(1000),
+                task: 3,
+                estimate_secs: 1.75,
+            },
+            SchedEventKind::TaskAssign {
+                root: JobId(1000),
+                task: 3,
+                speculative: true,
+            },
+            SchedEventKind::TaskDone {
+                root: JobId(1000),
+                task: 3,
+            },
+            SchedEventKind::SpecLaunch {
+                root: JobId(1000),
+                task: 3,
+            },
+            SchedEventKind::SpecCancel {
+                root: JobId(1000),
+                task: 3,
+            },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let ev = SchedEvent {

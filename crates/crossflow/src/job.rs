@@ -11,6 +11,8 @@ use crossbid_simcore::SimTime;
 use crossbid_storage::ObjectId;
 use serde::{Deserialize, Serialize};
 
+use crate::atomize::TaskDag;
+
 /// Identifier of a federation shard (one master + its worker pool).
 /// Single-master runs are shard 0 throughout.
 #[derive(
@@ -184,6 +186,13 @@ pub struct JobSpec {
     /// `None` (the default) lets the master allocate ids as before.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub origin: Option<FedIdentity>,
+    /// Task DAG to atomize into. `Some` turns arrival into
+    /// atomization: the master never submits this spec as one job —
+    /// it allocates a root id and releases the DAG's source tasks as
+    /// individual jobs instead (`crate::atomize`). The spec's own
+    /// `resource`/`work_bytes`/`cpu_secs` are ignored in that case.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dag: Option<TaskDag>,
 }
 
 impl JobSpec {
@@ -197,6 +206,7 @@ impl JobSpec {
             cpu_secs: 0.0,
             payload,
             origin: None,
+            dag: None,
         }
     }
 
@@ -209,6 +219,21 @@ impl JobSpec {
             cpu_secs,
             payload,
             origin: None,
+            dag: None,
+        }
+    }
+
+    /// A job that atomizes into `dag` on arrival: its tasks become the
+    /// schedulable units, each targeting workflow stage `task`.
+    pub fn atomized(task: TaskId, dag: TaskDag) -> Self {
+        JobSpec {
+            task,
+            resource: None,
+            work_bytes: 0,
+            cpu_secs: 0.0,
+            payload: Payload::None,
+            origin: None,
+            dag: Some(dag),
         }
     }
 

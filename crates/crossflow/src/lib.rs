@@ -60,6 +60,7 @@
 //! assert_eq!(out.record.cache_misses, 1, "second job hits the clone");
 //! ```
 
+pub mod atomize;
 pub mod baseline;
 pub mod engine;
 pub mod export;
@@ -80,6 +81,9 @@ pub mod trace;
 pub mod worker;
 pub mod workflow;
 
+pub use atomize::{
+    AtomizeConfig, DagError, DagState, DoneOutcome, Speculation, TaskDag, TaskNode, MAX_DAG_TASKS,
+};
 pub use baseline::BaselineAllocator;
 pub use engine::{run_workflow, Cluster, EngineConfig, RunMeta, RunOutput};
 pub use export::{
@@ -113,4 +117,4 @@ pub use threaded::{
 };
 pub use trace::{JobPhases, SchedEvent, SchedEventKind, SchedLog, Trace, TraceEvent, TraceKind};
 pub use worker::{WorkerSpec, WorkerSpecBuilder};
-pub use workflow::Workflow;
+pub use workflow::{Workflow, WorkflowError};

@@ -34,6 +34,6 @@ pub use crate::trace::{
     JobPhases, SchedEvent, SchedEventKind, SchedLog, Trace, TraceEvent, TraceKind,
 };
 pub use crate::worker::{WorkerSpec, WorkerSpecBuilder};
-pub use crate::workflow::Workflow;
+pub use crate::workflow::{Workflow, WorkflowError};
 
 pub use crossbid_metrics::{Registry, RegistrySnapshot, RunRecord, SchedulerKind};

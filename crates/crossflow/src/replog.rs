@@ -51,6 +51,10 @@ pub fn is_decision(kind: &SchedEventKind) -> bool {
             | SchedEventKind::ContestClosed { .. }
             | SchedEventKind::Offered
             | SchedEventKind::SpillOut { .. }
+            | SchedEventKind::TaskOffer { .. }
+            | SchedEventKind::TaskAssign { .. }
+            | SchedEventKind::SpecLaunch { .. }
+            | SchedEventKind::SpecCancel { .. }
     )
 }
 
@@ -95,6 +99,9 @@ pub struct JobState {
     pub spilled_to: Option<ShardId>,
     /// `Some(home)` when the job entered this shard by spill-in.
     pub spilled_from: Option<ShardId>,
+    /// A `SpecCancel` entry was committed: the job is the losing
+    /// attempt of a speculated task — terminal here, never re-offered.
+    pub cancelled: bool,
 }
 
 /// The pure scheduler state machine: `replay(log)` folds every
@@ -265,6 +272,28 @@ impl SchedState {
                     self.removed.insert(w);
                 }
             }
+            // Task release/placement markers annotate the ordinary
+            // Submitted/Assigned entries of the task's job; the DAG
+            // bookkeeping itself is rebuilt by the atomizer from the
+            // same entries, so the generic job state needs no extra
+            // fields for them.
+            SchedEventKind::TaskOffer { .. }
+            | SchedEventKind::TaskBid { .. }
+            | SchedEventKind::TaskAssign { .. }
+            | SchedEventKind::TaskDone { .. }
+            | SchedEventKind::SpecLaunch { .. } => {}
+            SchedEventKind::SpecCancel { .. } => {
+                if let Some(id) = ev.job {
+                    // The losing attempt is terminal: strip any live
+                    // placement and make sure a successor never
+                    // re-offers it.
+                    let j = self.job_mut(id);
+                    j.cancelled = true;
+                    j.placed_on = None;
+                    j.acked = false;
+                    j.contest_open = false;
+                }
+            }
         }
     }
 
@@ -307,7 +336,11 @@ impl SchedState {
         self.jobs
             .iter()
             .filter(|(_, j)| {
-                j.submitted && !j.completed && j.placed_on.is_none() && j.spilled_to.is_none()
+                j.submitted
+                    && !j.completed
+                    && !j.cancelled
+                    && j.placed_on.is_none()
+                    && j.spilled_to.is_none()
             })
             .map(|(&id, _)| id)
             .collect()
@@ -617,6 +650,46 @@ mod tests {
             "an uncommitted hand-off must not leave the shard"
         );
         assert_eq!(rlog.log().len(), 0);
+    }
+
+    #[test]
+    fn spec_cancel_is_a_terminal_decision() {
+        // SpecCancel must truncate on a leader crash (an uncommitted
+        // cancellation means the attempt is still live)…
+        let plan = MasterFaultPlan::new().crash_at(1);
+        let mut rlog = ReplicatedLog::new(&plan);
+        assert_eq!(
+            rlog.append(sev(
+                0,
+                None,
+                Some(7),
+                SchedEventKind::SpecCancel {
+                    root: JobId(100),
+                    task: 2,
+                },
+            )),
+            AppendOutcome::LeaderCrashed { truncated: true }
+        );
+        // …and once committed, the losing attempt is terminal: a
+        // successor must not re-offer it.
+        let evs = [
+            sev(0, None, Some(7), SchedEventKind::Submitted),
+            sev(1, Some(1), Some(7), SchedEventKind::Assigned),
+            sev(
+                2,
+                None,
+                Some(7),
+                SchedEventKind::SpecCancel {
+                    root: JobId(100),
+                    task: 2,
+                },
+            ),
+        ];
+        let st = SchedState::replay(evs.iter());
+        assert!(st.job(JobId(7)).unwrap().cancelled);
+        assert_eq!(st.placed_on(JobId(7)), None);
+        assert!(st.unplaced_jobs().is_empty());
+        assert!(st.placements().is_empty());
     }
 
     #[test]

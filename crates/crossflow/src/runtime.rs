@@ -113,6 +113,9 @@ impl ThreadedSession {
         allocator: &dyn Allocator,
         arrivals: Vec<Arrival>,
     ) -> RunOutput {
+        if let Err(e) = workflow.validate() {
+            panic!("{}", crate::spec::SpecError::Workflow(e));
+        }
         let iter_seed = SeedSequence::new(self.spec.seed).seed_for(1000 + self.iteration as u64);
         let scheduler = match allocator.kind() {
             SchedulerKind::Bidding => ThreadedScheduler::Bidding {
@@ -140,6 +143,7 @@ impl ThreadedSession {
             master_faults: self.spec.engine.master_faults.clone(),
             membership: self.spec.engine.membership.clone(),
             shard: self.spec.engine.shard,
+            atomize: self.spec.engine.atomize,
         };
         let meta = RunMeta {
             worker_config: self.spec.worker_config.clone(),

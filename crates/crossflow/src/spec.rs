@@ -27,11 +27,12 @@ use crossbid_metrics::Registry;
 use crossbid_net::NoiseModel;
 
 use crate::engine::EngineConfig;
-use crate::faults::{FaultPlanError, Faults, NetFaultPlan};
+use crate::faults::{FaultPlanError, Faults};
 use crate::runtime::ThreadedSession;
 use crate::session::Session;
 use crate::threaded::{ChaosConfig, ProtocolMutation};
 use crate::worker::WorkerSpec;
+use crate::workflow::WorkflowError;
 
 /// Everything needed to run a scenario on either runtime.
 #[derive(Debug, Clone)]
@@ -153,7 +154,7 @@ impl RunSpecBuilder {
     /// Set every fault axis at once (both runtimes). Takes the unified
     /// [`Faults`] aggregate — or, via `Into`, a lone
     /// [`FaultPlan`](crate::faults::FaultPlan),
-    /// [`NetFaultPlan`] or
+    /// [`NetFaultPlan`](crate::faults::NetFaultPlan) or
     /// [`MasterFaultPlan`](crate::faults::MasterFaultPlan).
     ///
     /// **Replace semantics:** all four engine fault fields are
@@ -167,17 +168,6 @@ impl RunSpecBuilder {
         self.engine.netfaults = f.net;
         self.engine.master_faults = f.master;
         self.engine.membership = f.membership;
-        self
-    }
-
-    /// Lossy master↔worker links plus the at-least-once
-    /// countermeasures (both runtimes).
-    #[deprecated(
-        since = "0.7.0",
-        note = "fold the plan into `faults(Faults::new().net(..))` — per-axis setters are replaced by the unified aggregate"
-    )]
-    pub fn netfaults(mut self, plan: NetFaultPlan) -> Self {
-        self.engine.netfaults = plan;
         self
     }
 
@@ -315,6 +305,12 @@ pub enum SpecError {
     /// The elastic-membership plan contradicts itself or targets a
     /// worker outside the cluster.
     Membership(FaultPlanError),
+    /// The workflow's channel graph is malformed (dangling endpoint,
+    /// self-edge, duplicate channel, or a precedence cycle). Raised
+    /// by the run-entry validation of both runtimes — the workflow
+    /// itself arrives at [`run_iteration`](crate::Runtime), after the
+    /// builder.
+    Workflow(WorkflowError),
 }
 
 impl std::fmt::Display for SpecError {
@@ -326,6 +322,7 @@ impl std::fmt::Display for SpecError {
             SpecError::NetFaults(e) => write!(f, "invalid net-fault plan: {e}"),
             SpecError::MasterFaults(e) => write!(f, "invalid master fault plan: {e}"),
             SpecError::Membership(e) => write!(f, "invalid membership plan: {e}"),
+            SpecError::Workflow(e) => write!(f, "invalid workflow: {e}"),
         }
     }
 }
@@ -337,6 +334,7 @@ impl std::error::Error for SpecError {
             | SpecError::NetFaults(e)
             | SpecError::MasterFaults(e)
             | SpecError::Membership(e) => Some(e),
+            SpecError::Workflow(e) => Some(e),
             _ => None,
         }
     }
@@ -345,6 +343,7 @@ impl std::error::Error for SpecError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::NetFaultPlan;
 
     #[test]
     fn builder_defaults_are_sane() {
@@ -499,13 +498,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_netfaults_shim_still_writes_its_field() {
+    #[should_panic(expected = "invalid workflow")]
+    fn run_entry_rejects_a_cyclic_workflow() {
+        use crate::workflow::Workflow;
+
         let spec = RunSpec::builder()
             .worker(WorkerSpec::builder("w0").build())
-            .netfaults(NetFaultPlan::lossy(7, 0.3, 0.1))
             .build();
-        assert!(spec.engine.netfaults.is_active());
+        let mut wf = Workflow::new();
+        let a = wf.add_sink("a");
+        let b = wf.add_sink("b");
+        wf.connect(a, b);
+        wf.connect(b, a);
+        let _ = spec
+            .sim()
+            .run_iteration(&mut wf, &crate::BaselineAllocator, Vec::new());
     }
 
     #[test]

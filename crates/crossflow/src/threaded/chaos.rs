@@ -545,6 +545,14 @@ pub enum ProtocolMutation {
     /// retries-exhausted Assign/Offer is never bounced back to the
     /// scheduler and its job is silently lost.
     NoLeases,
+    /// Atomization: release every DAG task at registration, ignoring
+    /// predecessor gating — successors are offered before the tasks
+    /// they depend on have completed.
+    OfferBeforePredecessor,
+    /// Atomization: drop the launched-once guard on the straggler
+    /// detector — a task that already has a speculative replica is
+    /// speculated again on every sweep.
+    DoubleSpeculate,
 }
 
 impl ProtocolMutation {
@@ -579,6 +587,14 @@ impl ProtocolMutation {
 
     pub(crate) fn no_leases(self) -> bool {
         cfg!(feature = "protocol-mutation") && self == ProtocolMutation::NoLeases
+    }
+
+    pub(crate) fn ignores_dag_gating(self) -> bool {
+        cfg!(feature = "protocol-mutation") && self == ProtocolMutation::OfferBeforePredecessor
+    }
+
+    pub(crate) fn double_speculates(self) -> bool {
+        cfg!(feature = "protocol-mutation") && self == ProtocolMutation::DoubleSpeculate
     }
 }
 

@@ -12,6 +12,7 @@ use crossbid_net::NoiseModel;
 use crossbid_simcore::{RngStream, SeedSequence, SimDuration, SimTime, Welford};
 use parking_lot::Mutex;
 
+use crate::atomize::{AtomizeConfig, DagState, DoneOutcome};
 use crate::engine::{RunMeta, RunOutput};
 use crate::faults::{
     FaultEvent, FaultPlan, MasterFaultPlan, MembershipAction, MembershipEvent, MembershipPlan,
@@ -104,6 +105,10 @@ pub struct ThreadedConfig {
     /// in their top bits. `ShardId(0)` reproduces the historical
     /// single-master ids bit-for-bit.
     pub shard: ShardId,
+    /// Job atomization (task DAGs, per-task bidding, speculative
+    /// straggler re-bidding — see [`crate::atomize`]). Consulted only
+    /// for arrivals whose [`JobSpec::dag`] is set.
+    pub atomize: AtomizeConfig,
 }
 
 impl Default for ThreadedConfig {
@@ -124,6 +129,7 @@ impl Default for ThreadedConfig {
             master_faults: MasterFaultPlan::none(),
             membership: MembershipPlan::none(),
             shard: ShardId(0),
+            atomize: AtomizeConfig::default(),
         }
     }
 }
@@ -224,6 +230,9 @@ struct MasterState {
     next_seq: u64,
     /// Lossy-link state; `None` leaves every send untouched.
     net: Option<NetMaster>,
+    /// Shared DAG bookkeeping for atomized jobs (gating, speculation,
+    /// output crediting); inert unless an arrival carried a DAG.
+    dag: DagState,
     /// Registry-backed tallies shared with the worker threads.
     m: RuntimeMetrics,
 }
@@ -280,6 +289,30 @@ impl MasterState {
                 !truncated
             }
         }
+    }
+
+    /// Placement hook for DAG task jobs: commits the `TaskAssign`
+    /// decision alongside the `Assigned`/`Offered` entry and starts
+    /// the attempt's straggler clock (`at` is the virtual placement
+    /// instant). A no-op (`true`) for plain jobs.
+    fn commit_task_assign(&mut self, at: SimTime, w: u32, job: JobId) -> bool {
+        let Some((root, task, speculative)) = self.dag.task_of(job) else {
+            return true;
+        };
+        if !self.commit(SchedEvent {
+            at,
+            worker: Some(WorkerId(w)),
+            job: Some(job),
+            kind: SchedEventKind::TaskAssign {
+                root,
+                task,
+                speculative,
+            },
+        }) {
+            return false;
+        }
+        self.dag.on_placed(job, at.as_secs_f64());
+        true
     }
 
     /// Per-(job, placement) retry jitter seed — same recipe as the
@@ -534,6 +567,14 @@ pub(crate) fn run_threaded_with_shareds(
             rng: SeedSequence::new(cfg.netfaults.seed).stream(0x4E37),
             delayed: Vec::new(),
         }),
+        dag: {
+            // The protocol mutations route through the shared DAG
+            // config so both runtimes misbehave identically.
+            let mut acfg = cfg.atomize;
+            acfg.release_all |= cfg.mutation.ignores_dag_gating();
+            acfg.double_speculate |= cfg.mutation.double_speculates();
+            DagState::new(acfg)
+        },
         m: metrics.clone(),
     };
     let mut wait_stats = Welford::new();
@@ -614,6 +655,51 @@ pub(crate) fn run_threaded_with_shareds(
         }
     };
 
+    // Release one DAG task (or a speculative replica) into allocation.
+    // Commit-before-act: the `TaskOffer`/`SpecLaunch` decision commits
+    // under the freshly allocated job id before the job is dispatched.
+    let submit_task_job = |st: &mut MasterState,
+                           txs: &[Sender<ToWorker>],
+                           cfg: &ThreadedConfig,
+                           root: JobId,
+                           idx: u32,
+                           spec: JobSpec,
+                           speculative: bool| {
+        let id = st.alloc_id();
+        let kind = if speculative {
+            SchedEventKind::SpecLaunch { root, task: idx }
+        } else {
+            let (preds, total) = st.dag.offer_payload(root, idx);
+            SchedEventKind::TaskOffer {
+                root,
+                task: idx,
+                preds,
+                total,
+            }
+        };
+        if !st.commit(SchedEvent {
+            at: vnow(),
+            worker: None,
+            job: Some(id),
+            kind,
+        }) {
+            return;
+        }
+        st.created += 1;
+        st.commit(SchedEvent {
+            at: vnow(),
+            worker: None,
+            job: Some(id),
+            kind: SchedEventKind::Submitted,
+        });
+        st.dag.bind(root, idx, id, speculative);
+        let job = spec.into_job(id);
+        if !cfg.master_faults.is_empty() {
+            st.job_payloads.insert(id, job.clone());
+        }
+        dispatch(st, txs, cfg, job);
+    };
+
     let baseline_pump = |st: &mut MasterState, txs: &[Sender<ToWorker>]| {
         while !st.failover_pending && !st.ready.is_empty() && !st.idle.is_empty() {
             let job = st.ready.pop_front().expect("non-empty");
@@ -639,6 +725,11 @@ pub(crate) fn run_threaded_with_shareds(
                 job: Some(job.id),
                 kind: SchedEventKind::Offered,
             }) {
+                st.idle.push(w);
+                st.ready.push_front(job);
+                break;
+            }
+            if !st.commit_task_assign(vnow(), w, job.id) {
                 st.idle.push(w);
                 st.ready.push_front(job);
                 break;
@@ -736,6 +827,10 @@ pub(crate) fn run_threaded_with_shareds(
             job: Some(id),
             kind: SchedEventKind::Assigned,
         }) {
+            st.contest_queue.push_front(c.job);
+            return;
+        }
+        if !st.commit_task_assign(vnow(), w, id) {
             st.contest_queue.push_front(c.job);
             return;
         }
@@ -863,6 +958,11 @@ pub(crate) fn run_threaded_with_shareds(
     });
     let mut last_progress = start;
     let mut seen_log_len = 0usize;
+    // Straggler sweep cadence (real time). The clock keeps advancing
+    // while no DAG is active so the first sweep after an atomized
+    // arrival is at most one interval away.
+    let spec_check_real = virt(cfg.atomize.spec_check_secs).max(Duration::from_millis(1));
+    let mut next_spec_check = start + spec_check_real;
     // Reused across wakeups: one blocking receive drains the whole
     // channel into this batch, so the deadline scan runs once per
     // wakeup instead of once per message.
@@ -891,6 +991,17 @@ pub(crate) fn run_threaded_with_shareds(
         while pending_arrivals.front().is_some_and(|(at, _)| *at <= now) {
             let (_, spec) = pending_arrivals.pop_front().expect("non-empty");
             arrivals_seen += 1;
+            if let Some(dag) = spec.dag.clone() {
+                // Atomization: the arriving job never enters allocation
+                // itself — its DAG is registered under a root id and
+                // the gate-open tasks are released as ordinary jobs.
+                let root = st.alloc_id();
+                let released = st.dag.register(root, spec.task, dag);
+                for (idx, tspec) in released {
+                    submit_task_job(&mut st, &worker_txs, cfg, root, idx, tspec, false);
+                }
+                continue;
+            }
             let id = st.intake_id(&spec);
             st.created += 1;
             // A job spilled here from another shard enters as SpillIn
@@ -911,6 +1022,18 @@ pub(crate) fn run_threaded_with_shareds(
                 st.job_payloads.insert(id, job.clone());
             }
             dispatch(&mut st, &worker_txs, cfg, job);
+        }
+
+        // Straggler sweep: replicate the slowest in-flight task once
+        // enough siblings have completed to price "slow" (the sweep is
+        // committed as SpecLaunch before the replica exists).
+        if now >= next_spec_check {
+            if st.dag.is_active() {
+                if let Some(sp) = st.dag.straggler(vnow().as_secs_f64()) {
+                    submit_task_job(&mut st, &worker_txs, cfg, sp.root, sp.task, sp.spec, true);
+                }
+            }
+            next_spec_check = now + spec_check_real;
         }
 
         // Fire due faults: flip the worker's shared state on the spot,
@@ -1318,6 +1441,7 @@ pub(crate) fn run_threaded_with_shareds(
                         .flatten(),
                 )
                 .chain(stall_limit.map(|l| last_progress + l))
+                .chain(st.dag.is_active().then_some(next_spec_check))
                 .min();
             match intake.recv(next_deadline) {
                 Ok(m) => {
@@ -1394,6 +1518,18 @@ pub(crate) fn run_threaded_with_shareds(
                         job: Some(job),
                         kind: SchedEventKind::BidReceived { estimate_secs },
                     });
+                    if let Some((root, task, _)) = st.dag.task_of(job) {
+                        st.commit(SchedEvent {
+                            at: vnow(),
+                            worker: Some(WorkerId(worker)),
+                            job: Some(job),
+                            kind: SchedEventKind::TaskBid {
+                                root,
+                                task,
+                                estimate_secs,
+                            },
+                        });
+                    }
                 }
                 if !recorded && cfg.mutation.accepts_late_bids() {
                     // The reintroduced bug: a bid arriving after its
@@ -1500,6 +1636,14 @@ pub(crate) fn run_threaded_with_shareds(
                 st.outstanding.remove(&job.id);
                 st.rejected_by.remove(&job.id);
                 finish_drain(&mut st, &down_since, worker);
+                if st.dag.is_cancelled(job.id) {
+                    // Losing speculation replica: its cancellation was
+                    // already committed and accounted — the eventual
+                    // completion is swallowed without side effects.
+                    st.job_payloads.remove(&job.id);
+                    baseline_pump(&mut st, &worker_txs);
+                    continue;
+                }
                 if !st.done_ids.insert(job.id) && !cfg.mutation.drops_dedup() {
                     // A redistributed copy already finished elsewhere,
                     // or an at-least-once duplicate of a completion
@@ -1554,26 +1698,74 @@ pub(crate) fn run_threaded_with_shareds(
                         at: finished,
                     });
                 }
-                let mut out: Vec<JobSpec> = Vec::new();
-                let ctx = TaskCtx {
-                    now: vnow(),
-                    worker: WorkerId(worker),
-                };
-                workflow.logic_mut(job.task).process(&job, &ctx, &mut out);
-                for spec in out {
-                    let id = st.alloc_id();
-                    st.created += 1;
-                    st.commit(SchedEvent {
-                        at: vnow(),
-                        worker: None,
-                        job: Some(id),
-                        kind: SchedEventKind::Submitted,
-                    });
-                    let spawned = spec.into_job(id);
-                    if !cfg.master_faults.is_empty() {
-                        st.job_payloads.insert(id, spawned.clone());
+                match st.dag.on_done(job.id, vnow().as_secs_f64()) {
+                    DoneOutcome::NotTask => {
+                        let mut out: Vec<JobSpec> = Vec::new();
+                        let ctx = TaskCtx {
+                            now: vnow(),
+                            worker: WorkerId(worker),
+                        };
+                        workflow.logic_mut(job.task).process(&job, &ctx, &mut out);
+                        for spec in out {
+                            let id = st.alloc_id();
+                            st.created += 1;
+                            st.commit(SchedEvent {
+                                at: vnow(),
+                                worker: None,
+                                job: Some(id),
+                                kind: SchedEventKind::Submitted,
+                            });
+                            let spawned = spec.into_job(id);
+                            if !cfg.master_faults.is_empty() {
+                                st.job_payloads.insert(id, spawned.clone());
+                            }
+                            dispatch(&mut st, &worker_txs, cfg, spawned);
+                        }
                     }
-                    dispatch(&mut st, &worker_txs, cfg, spawned);
+                    DoneOutcome::Swallowed => {}
+                    DoneOutcome::Effective {
+                        root,
+                        task,
+                        output,
+                        released,
+                        losers,
+                    } => {
+                        if !st.commit(SchedEvent {
+                            at: vnow(),
+                            worker: Some(WorkerId(worker)),
+                            job: Some(job.id),
+                            kind: SchedEventKind::TaskDone { root, task },
+                        }) {
+                            baseline_pump(&mut st, &worker_txs);
+                            continue;
+                        }
+                        // The winner's output is born on its executor:
+                        // downstream task bids see it as local state.
+                        shareds[worker as usize].lock().store.insert(
+                            output.id,
+                            output.bytes,
+                            vnow(),
+                        );
+                        for loser in losers {
+                            // Exactly-once accounting: the loser is
+                            // retired at cancellation, and its eventual
+                            // Done is swallowed at intake above.
+                            if st.commit(SchedEvent {
+                                at: vnow(),
+                                worker: None,
+                                job: Some(loser),
+                                kind: SchedEventKind::SpecCancel { root, task },
+                            }) {
+                                st.dag.cancel(loser);
+                                st.completed += 1;
+                                st.job_payloads.remove(&loser);
+                                st.outstanding.remove(&loser);
+                            }
+                        }
+                        for (idx, tspec) in released {
+                            submit_task_job(&mut st, &worker_txs, cfg, root, idx, tspec, false);
+                        }
+                    }
                 }
                 baseline_pump(&mut st, &worker_txs);
             }

@@ -348,6 +348,81 @@ pub enum SchedEventKind {
     /// Elastic membership: the worker left the roster for good (drain
     /// completed, or an administrative removal reclaimed its queue).
     WorkerRemoved,
+    /// Atomization: the task completed *effectively* — the first
+    /// completion wins; a speculative loser is cancelled and never
+    /// logs a second `TaskDone`. Exactly one per task in a clean run.
+    ///
+    /// Declared (and ranked) before [`TaskOffer`](Self::TaskOffer):
+    /// a completion releases successor tasks *at the same instant*,
+    /// and the two events concern different jobs, so the same-instant
+    /// tiebreak in [`SchedLog::push`] orders them by rank — the
+    /// predecessor's `TaskDone` must sort before the successor's
+    /// `TaskOffer` for the gate invariant to read causally.
+    TaskDone {
+        /// Root id of the DAG.
+        root: JobId,
+        /// Task index within the DAG.
+        task: u32,
+    },
+    /// Atomization: a DAG task was released into allocation — every
+    /// predecessor named in `preds` has a committed
+    /// [`TaskDone`](Self::TaskDone). A *decision* event (committed
+    /// before the task's job is submitted). `job` is the task's job
+    /// id; `root` the parent DAG's root id.
+    TaskOffer {
+        /// Root id of the DAG this task belongs to.
+        root: JobId,
+        /// Task index within the DAG (0-based).
+        task: u32,
+        /// Bitmask of predecessor task indices (DAGs are capped at 64
+        /// tasks so the mask is self-describing in the log).
+        preds: u64,
+        /// Total tasks in the DAG — lets a log consumer detect
+        /// orphaned stages without out-of-band knowledge.
+        total: u32,
+    },
+    /// Atomization: a worker bid on a task's job. Logged alongside the
+    /// generic [`BidReceived`](Self::BidReceived) so task-level
+    /// contests are identifiable without a job→task join.
+    TaskBid {
+        /// Root id of the DAG.
+        root: JobId,
+        /// Task index within the DAG.
+        task: u32,
+        /// The worker's completion-time estimate.
+        estimate_secs: f64,
+    },
+    /// Atomization: a task's job was placed on a worker. A *decision*
+    /// event committed right after the placement it annotates.
+    TaskAssign {
+        /// Root id of the DAG.
+        root: JobId,
+        /// Task index within the DAG.
+        task: u32,
+        /// True iff this placement is a speculative replica.
+        speculative: bool,
+    },
+    /// Atomization: the straggler detector launched a speculative
+    /// replica of an in-flight task. A *decision* event (committed
+    /// before the replica's job is submitted). `job` is the replica's
+    /// fresh job id.
+    SpecLaunch {
+        /// Root id of the DAG.
+        root: JobId,
+        /// Task index within the DAG.
+        task: u32,
+    },
+    /// Atomization: the losing attempt of a speculated task was
+    /// cancelled after the winner's [`TaskDone`](Self::TaskDone)
+    /// committed. A *decision* event; `job` is the cancelled attempt's
+    /// job id — its terminal accounting event (a later completion
+    /// report from the loser is swallowed, never logged).
+    SpecCancel {
+        /// Root id of the DAG.
+        root: JobId,
+        /// Task index within the DAG.
+        task: u32,
+    },
 }
 
 impl SchedEventKind {
@@ -376,6 +451,12 @@ impl SchedEventKind {
             SchedEventKind::WorkerJoined => 18,
             SchedEventKind::WorkerDraining => 19,
             SchedEventKind::WorkerRemoved => 20,
+            SchedEventKind::TaskDone { .. } => 21,
+            SchedEventKind::TaskOffer { .. } => 22,
+            SchedEventKind::TaskBid { .. } => 23,
+            SchedEventKind::TaskAssign { .. } => 24,
+            SchedEventKind::SpecLaunch { .. } => 25,
+            SchedEventKind::SpecCancel { .. } => 26,
         }
     }
 }
@@ -567,6 +648,37 @@ impl SchedLog {
     /// Number of workers removed from the roster.
     pub fn worker_removals(&self) -> usize {
         self.count(|k| matches!(k, SchedEventKind::WorkerRemoved))
+    }
+
+    /// Number of DAG tasks released into allocation.
+    pub fn task_offers(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::TaskOffer { .. }))
+    }
+
+    /// Number of task-level bids received.
+    pub fn task_bids(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::TaskBid { .. }))
+    }
+
+    /// Number of task placements (including speculative replicas).
+    pub fn task_assigns(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::TaskAssign { .. }))
+    }
+
+    /// Number of effective task completions.
+    pub fn task_dones(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::TaskDone { .. }))
+    }
+
+    /// Number of speculative replicas launched by the straggler
+    /// detector.
+    pub fn spec_launches(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::SpecLaunch { .. }))
+    }
+
+    /// Number of speculative losers cancelled.
+    pub fn spec_cancels(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::SpecCancel { .. }))
     }
 
     /// Total committed entries replayed across all failovers.

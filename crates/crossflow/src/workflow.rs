@@ -94,13 +94,61 @@ impl Workflow {
     /// with no declared edges allows any routing; once any edge is
     /// declared, the engine asserts (in debug builds) that every
     /// downstream job follows a declared channel.
+    ///
+    /// The edge is recorded as given; [`Workflow::validate`] (run by
+    /// both runtimes before the first iteration) rejects self-edges,
+    /// duplicates, dangling endpoints and cycles with a typed error.
     pub fn connect(&mut self, from: TaskId, to: TaskId) -> &mut Self {
-        assert!(self.contains(from), "connect: unknown source task");
-        assert!(self.contains(to), "connect: unknown target task");
-        if !self.edges.contains(&(from, to)) {
-            self.edges.push((from, to));
-        }
+        self.edges.push((from, to));
         self
+    }
+
+    /// Check the declared channel graph: every endpoint must name a
+    /// registered task, no edge may be declared twice or loop onto
+    /// its own source, and the graph must be acyclic (a cycle would
+    /// let a pipeline feed itself jobs forever). An edgeless workflow
+    /// is trivially valid — routing is unconstrained then.
+    pub fn validate(&self) -> Result<(), WorkflowError> {
+        let mut seen: Vec<(TaskId, TaskId)> = Vec::with_capacity(self.edges.len());
+        for &(from, to) in &self.edges {
+            if !self.contains(from) || !self.contains(to) {
+                return Err(WorkflowError::DanglingEdge { from, to });
+            }
+            if from == to {
+                return Err(WorkflowError::SelfEdge(from));
+            }
+            if seen.contains(&(from, to)) {
+                return Err(WorkflowError::DuplicateEdge { from, to });
+            }
+            seen.push((from, to));
+        }
+        // Kahn's algorithm: if peeling zero-in-degree tasks cannot
+        // consume every edge, the remainder contains a cycle.
+        let n = self.tasks.len();
+        let mut in_degree = vec![0usize; n];
+        for &(_, to) in &self.edges {
+            in_degree[to.0 as usize] += 1;
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&t| in_degree[t] == 0).collect();
+        let mut peeled = 0usize;
+        while let Some(t) = ready.pop() {
+            peeled += 1;
+            for &(from, to) in &self.edges {
+                if from.0 as usize == t {
+                    in_degree[to.0 as usize] -= 1;
+                    if in_degree[to.0 as usize] == 0 {
+                        ready.push(to.0 as usize);
+                    }
+                }
+            }
+        }
+        if peeled < n {
+            let stuck = (0..n)
+                .find(|&t| in_degree[t] > 0)
+                .expect("unpeeled task remains");
+            return Err(WorkflowError::Cycle(TaskId(stuck as u32)));
+        }
+        Ok(())
     }
 
     /// Declared channels.
@@ -141,6 +189,53 @@ impl Workflow {
             .collect()
     }
 }
+
+/// Why [`Workflow::validate`] rejected a channel graph. Surfaced to
+/// callers as [`SpecError::Workflow`](crate::spec::SpecError) by the
+/// run-entry validation of both runtimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// An edge endpoint names no registered task.
+    DanglingEdge {
+        /// Declared source.
+        from: TaskId,
+        /// Declared target.
+        to: TaskId,
+    },
+    /// A task is connected to itself.
+    SelfEdge(TaskId),
+    /// The same channel was declared twice.
+    DuplicateEdge {
+        /// Declared source.
+        from: TaskId,
+        /// Declared target.
+        to: TaskId,
+    },
+    /// The channel graph contains a precedence cycle through this
+    /// task.
+    Cycle(TaskId),
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::DanglingEdge { from, to } => write!(
+                f,
+                "channel ({} -> {}) names an unregistered task",
+                from.0, to.0
+            ),
+            WorkflowError::SelfEdge(t) => write!(f, "task {} is connected to itself", t.0),
+            WorkflowError::DuplicateEdge { from, to } => {
+                write!(f, "channel ({} -> {}) is declared twice", from.0, to.0)
+            }
+            WorkflowError::Cycle(t) => {
+                write!(f, "the channel graph cycles through task {}", t.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
 
 impl std::fmt::Debug for Workflow {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -199,18 +294,62 @@ mod tests {
         assert!(wf.allows(b, c));
         assert!(!wf.allows(a, c));
         assert_eq!(wf.edges().len(), 2);
-        // Duplicate edges are deduped.
-        wf.connect(a, b);
-        assert_eq!(wf.edges().len(), 2);
         assert_eq!(wf.sources(), vec![a]);
         assert_eq!(wf.sinks(), vec![c]);
+        assert_eq!(wf.validate(), Ok(()));
     }
 
     #[test]
-    #[should_panic]
-    fn connect_rejects_unknown_tasks() {
+    fn validate_rejects_a_cycle() {
+        let mut wf = Workflow::new();
+        let a = wf.add_sink("a");
+        let b = wf.add_sink("b");
+        let c = wf.add_sink("c");
+        wf.connect(a, b);
+        wf.connect(b, c);
+        wf.connect(c, a);
+        assert!(matches!(wf.validate(), Err(WorkflowError::Cycle(_))));
+    }
+
+    #[test]
+    fn validate_rejects_a_self_edge() {
+        let mut wf = Workflow::new();
+        let a = wf.add_sink("a");
+        wf.connect(a, a);
+        assert_eq!(wf.validate(), Err(WorkflowError::SelfEdge(a)));
+    }
+
+    #[test]
+    fn validate_rejects_a_dangling_target() {
         let mut wf = Workflow::new();
         let a = wf.add_sink("a");
         wf.connect(a, TaskId(9));
+        assert_eq!(
+            wf.validate(),
+            Err(WorkflowError::DanglingEdge {
+                from: a,
+                to: TaskId(9)
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_a_duplicate_edge() {
+        let mut wf = Workflow::new();
+        let a = wf.add_sink("a");
+        let b = wf.add_sink("b");
+        wf.connect(a, b);
+        wf.connect(a, b);
+        assert_eq!(
+            wf.validate(),
+            Err(WorkflowError::DuplicateEdge { from: a, to: b })
+        );
+    }
+
+    #[test]
+    fn an_edgeless_workflow_is_trivially_valid() {
+        let mut wf = Workflow::new();
+        wf.add_sink("only");
+        assert_eq!(wf.validate(), Ok(()));
     }
 }

@@ -211,6 +211,7 @@ fn downstream_jobs_flow_through_pipeline() {
                             cpu_secs: 0.0,
                             payload: Payload::Pair(k, r.id.0),
                             origin: None,
+                            dag: None,
                         });
                     }
                 }

@@ -71,6 +71,7 @@ fn zero_byte_work_jobs_complete_instantly() {
             cpu_secs: 0.0,
             payload: Payload::None,
             origin: None,
+            dag: None,
         },
     }];
     let out = run(&[spec("w0")], arrivals);

@@ -121,6 +121,7 @@ fn downstream_jobs_flow_in_threaded_mode() {
                         cpu_secs: 0.0,
                         payload: job.payload.clone(),
                         origin: None,
+                        dag: None,
                     });
                 }
             },

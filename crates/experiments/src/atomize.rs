@@ -1,0 +1,254 @@
+//! The `repro atomize` artifact: task-level locality bidding under
+//! one roof.
+//!
+//! Three sections, every run checked by the protocol oracle (the DAG
+//! invariants — gating, per-task conservation, at-most-one effective
+//! completion, speculation launched at most once — arm themselves on
+//! the first `TaskOffer` in the log):
+//!
+//! 1. The checker's DAG axis on the simulation engine — the straggler
+//!    scenario must actually speculate or the sweep proves nothing.
+//! 2. The same axis on the threaded runtime.
+//! 3. The headline comparison: each built-in DAG scenario run three
+//!    ways on an identical cluster — **task-level** (atomized, tasks
+//!    priced against their own input locality, stragglers re-bid
+//!    speculatively), **whole-job** (each DAG collapsed into a single
+//!    job carrying the summed work, placed by the same protocol), and
+//!    **Spark-static** (the collapsed jobs under the centralized
+//!    stage-synchronous baseline). On the straggler scenario the
+//!    task-level run must beat the whole-job run on makespan, with at
+//!    least one speculative re-bid observed.
+
+use crossbid_baselines::SparkStaticAllocator;
+use crossbid_checker::{check_log, explore_dag_builtins, DagExploreConfig, DagScenario};
+use crossbid_crossflow::{
+    Allocator, Arrival, EngineConfig, ProtocolMutation, RunOutput, RunSpec, WorkerSpec, Workflow,
+};
+use crossbid_net::{ControlPlane, NoiseModel};
+use crossbid_simcore::SimDuration;
+
+/// Parameters for `repro atomize`.
+#[derive(Debug, Clone)]
+pub struct AtomizeConfig {
+    /// Run seeds swept per scenario (per runtime).
+    pub iters: u32,
+    /// Root seed; sweep and headline seeds derive from it.
+    pub seed: u64,
+    /// DAG arrivals per headline run (the explorer sweeps keep each
+    /// scenario's built-in count). Kept above the straggler
+    /// scenario's cluster size so the collapsed whole-job baseline
+    /// cannot dodge the slow worker by round-robin luck.
+    pub headline_dags: usize,
+}
+
+impl Default for AtomizeConfig {
+    fn default() -> Self {
+        AtomizeConfig {
+            iters: 4,
+            seed: 0xA70,
+            headline_dags: 6,
+        }
+    }
+}
+
+impl AtomizeConfig {
+    /// The reduced sweep CI runs (`repro atomize --smoke`).
+    pub fn smoke() -> Self {
+        AtomizeConfig {
+            iters: 2,
+            headline_dags: 4,
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of a full atomizer sweep.
+#[derive(Debug, Clone)]
+pub struct AtomizeReport {
+    /// Rendered report (explorer axes + headline comparison).
+    pub body: String,
+    /// `true` iff every run passed the oracle with the demanded
+    /// speculation activity and task-level beat whole-job on the
+    /// straggler headline.
+    pub ok: bool,
+}
+
+/// Built-in scenarios whose sweep must observe a speculative re-bid.
+const MUST_SPECULATE: &[&str] = &["dag_straggler"];
+
+/// Check one explorer sweep against the activity demands above.
+fn explorer_section(body: &mut String, cfg: &DagExploreConfig) -> bool {
+    let mut ok = true;
+    for report in explore_dag_builtins(cfg) {
+        let name = report.scenario.as_str();
+        let mut demands = Vec::new();
+        if MUST_SPECULATE.contains(&name) && report.speculations_observed == 0 {
+            demands.push("no speculative re-bid fired across the sweep");
+        }
+        ok &= report.passed() && demands.is_empty();
+        body.push_str(&report.render());
+        for d in demands {
+            body.push_str(&format!("  FAIL: {d}\n"));
+        }
+    }
+    ok
+}
+
+/// Run a scenario's arrival stream with every DAG collapsed into one
+/// whole job (`TaskDag::collapsed_spec`), on an identical cluster —
+/// the allocation baseline the atomized run is compared against.
+fn collapsed_run(sc: &DagScenario, seed: u64, allocator: &dyn Allocator) -> RunOutput {
+    let spec = RunSpec::builder()
+        .workers((0..sc.workers).map(|i| {
+            let mut b = WorkerSpec::builder(format!("w{i}"))
+                .net_mbps(10.0)
+                .rw_mbps(100.0)
+                .storage_gb(10.0);
+            if let Some((slow, factor)) = sc.slow_worker {
+                if slow == i {
+                    b = b.cpu_factor(factor);
+                }
+            }
+            b.build()
+        }))
+        .engine(EngineConfig {
+            control: ControlPlane::instant(),
+            data_latency: SimDuration::ZERO,
+            noise: NoiseModel::None,
+            ..EngineConfig::default()
+        })
+        .speed_learning(false)
+        .trace(true)
+        .names("repro", sc.name)
+        .seed(seed)
+        .time_scale(1e-3)
+        .build();
+    let mut session = spec.sim();
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let arrivals: Vec<Arrival> = sc
+        .arrivals(seed, task)
+        .into_iter()
+        .map(|a| {
+            let spec = match &a.spec.dag {
+                Some(dag) => dag.collapsed_spec(a.spec.task),
+                None => a.spec.clone(),
+            };
+            Arrival { at: a.at, spec }
+        })
+        .collect();
+    session.run_iteration(&mut wf, allocator, arrivals)
+}
+
+/// One headline comparison: task-level vs whole-job vs Spark-static
+/// on the same cluster. Returns `false` on any oracle violation, lost
+/// task/job, missing speculation (straggler scenarios), or if
+/// task-level fails to beat whole-job where the scenario demands it.
+fn headline_section(body: &mut String, sc: &DagScenario, seed: u64) -> bool {
+    let atomized = sc.run_sim(seed, ProtocolMutation::None);
+    let violations = check_log(&atomized.sched_log, sc.oracle_options());
+    let tasks_done = atomized.sched_log.task_dones() as u64;
+    let speculations = atomized.sched_log.spec_launches();
+
+    let whole = collapsed_run(sc, seed, sc.protocol.allocator().as_ref());
+    let spark = collapsed_run(sc, seed, &SparkStaticAllocator::with_stage_barrier());
+
+    let conserved = tasks_done == sc.expected_tasks();
+    let whole_done = whole.record.jobs_completed == sc.dags as u64;
+    let spark_done = spark.record.jobs_completed == sc.dags as u64;
+    // The straggler scenario is the acceptance bar: speculation must
+    // fire and atomization must win. The skewed-reduce scenario's
+    // gating pressure is covered by the oracle; its makespan rows are
+    // informational.
+    let demand_win = sc.slow_worker.is_some();
+    let speculated = !demand_win || speculations > 0;
+    let beat = !demand_win || atomized.record.makespan_secs < whole.record.makespan_secs;
+
+    let ok = violations.is_empty() && conserved && whole_done && spark_done && speculated && beat;
+    body.push_str(&format!(
+        "{}: {} — {}/{} tasks done, {} speculative re-bid(s), {} violation(s)\n",
+        sc.name,
+        if ok { "ok" } else { "FAIL" },
+        tasks_done,
+        sc.expected_tasks(),
+        speculations,
+        violations.len(),
+    ));
+    body.push_str(&format!(
+        "  task-level {:.1}s vs whole-job {:.1}s vs spark-static {:.1}s{}\n",
+        atomized.record.makespan_secs,
+        whole.record.makespan_secs,
+        spark.record.makespan_secs,
+        if demand_win {
+            if beat {
+                format!(
+                    " ({:.2}x) — atomization wins",
+                    whole.record.makespan_secs
+                        / atomized.record.makespan_secs.max(f64::MIN_POSITIVE)
+                )
+            } else {
+                " — FAIL: task-level did not beat whole-job".to_string()
+            }
+        } else {
+            String::new()
+        },
+    ));
+    for v in &violations {
+        body.push_str(&format!("  oracle: {v}\n"));
+    }
+    if demand_win && speculations == 0 {
+        body.push_str("  FAIL: no speculative re-bid in the headline run\n");
+    }
+    if !whole_done || !spark_done {
+        body.push_str("  FAIL: a collapsed baseline lost jobs\n");
+    }
+    ok
+}
+
+/// Sweep the DAG axis on both runtimes, then run the headline
+/// task-level vs whole-job vs Spark-static comparison.
+pub fn run(cfg: &AtomizeConfig) -> AtomizeReport {
+    let mut body = format!(
+        "# Atomizer sweep (iters={}, seed={})\n\n",
+        cfg.iters, cfg.seed
+    );
+    let mut ok = true;
+
+    body.push_str("## Simulation engine — DAG shape × speculation knobs\n\n");
+    ok &= explorer_section(&mut body, &DagExploreConfig::quick(cfg.iters, cfg.seed));
+
+    body.push_str("\n## Threaded runtime — the same axis\n\n");
+    let threaded_iters = cfg.iters.clamp(1, 2);
+    ok &= explorer_section(
+        &mut body,
+        &DagExploreConfig::threaded(threaded_iters, cfg.seed),
+    );
+
+    body.push_str(&format!(
+        "\n## Headline — task-level vs whole-job vs Spark-static ({} DAGs)\n\n",
+        cfg.headline_dags
+    ));
+    for sc in DagScenario::builtins() {
+        let sc = DagScenario {
+            dags: cfg.headline_dags,
+            ..sc
+        };
+        ok &= headline_section(&mut body, &sc, cfg.seed ^ 0xDA6);
+    }
+
+    body.push_str(&format!("\nresult: {}\n", if ok { "PASS" } else { "FAIL" }));
+    AtomizeReport { body, ok }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_atomize_passes() {
+        let report = run(&AtomizeConfig::smoke());
+        assert!(report.ok, "{}", report.body);
+        assert!(report.body.contains("result: PASS"));
+        assert!(report.body.contains("atomization wins"));
+    }
+}

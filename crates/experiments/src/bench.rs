@@ -7,9 +7,9 @@
 //!
 //! | field | meaning |
 //! |---|---|
-//! | `runtime` | `sim`, `threaded`, or `sim-fed<N>` (the N-master federation row) |
+//! | `runtime` | `sim`, `threaded`, `sim-fed<N>` (the N-master federation row), or `sim-dag` (the atomized task-stream row) |
 //! | `workers` | cluster size |
-//! | `jobs` | jobs driven through the run |
+//! | `jobs` | jobs driven through the run (tasks, for the `sim-dag` row) |
 //! | `wall_secs` | wall-clock time of the run |
 //! | `jobs_per_sec` | `jobs / wall_secs` — the headline throughput |
 //! | `contest_p50_secs`, `contest_p99_secs` | bid-latency quantiles from `contest/bid_latency_secs` |
@@ -54,6 +54,12 @@ pub struct BenchConfig {
     /// through this many shard masters (runtime `sim-fed<N>`), at the
     /// largest swept cluster size. `0` disables it.
     pub fed_shards: usize,
+    /// When > 0, append an atomizer row (runtime `sim-dag`): this
+    /// many DAG arrivals atomized into task-level jobs on the sim
+    /// engine, at the largest swept cluster size. The row prices the
+    /// whole task pipeline — registration, gated release, per-task
+    /// contests, output credit, straggler sweeps. `0` disables it.
+    pub dag_jobs: usize,
 }
 
 impl BenchConfig {
@@ -67,6 +73,7 @@ impl BenchConfig {
             seed: 0xBE7C4,
             label: "full".to_string(),
             fed_shards: 2,
+            dag_jobs: 2_000,
         }
     }
 
@@ -76,6 +83,7 @@ impl BenchConfig {
             sim_jobs: 10_000,
             threaded_jobs: 1_000,
             label: "smoke".to_string(),
+            dag_jobs: 200,
             ..Self::full()
         }
     }
@@ -278,6 +286,61 @@ pub fn run_fed_row(shards: usize, workers: usize, jobs: usize, seed: u64) -> Ben
     }
 }
 
+/// Run one atomizer cell: a stream of `dags` map-reduce DAGs
+/// atomized into task-level jobs on the sim engine, so the row prices
+/// the whole task pipeline — registration, gated release, per-task
+/// bidding contests, output credit and straggler sweeps. The row's
+/// `jobs` is the number of *tasks* driven (the schedulable unit of an
+/// atomized run).
+pub fn run_dag_row(workers: usize, dags: usize, seed: u64) -> BenchRow {
+    use crossbid_crossflow::RunSpec;
+    use crossbid_workload::DagConfig;
+
+    let shape = DagConfig::MapReduceSkew {
+        maps: 4,
+        reduces: 2,
+        skew_factor: 2.0,
+    };
+    let tasks = shape.tasks_per_dag() * dags;
+    let mut engine = EngineConfig::ideal();
+    engine.max_events = (tasks as u64) * (workers as u64 * 6 + 32) + 1_000_000;
+    let spec = RunSpec::builder()
+        .workers(WorkerConfig::AllEqual.specs(workers))
+        .names(WorkerConfig::AllEqual.name(), "dag-stream")
+        .seed(seed)
+        .engine(engine)
+        .time_scale(1e-4)
+        .build();
+    let mut rt = spec.sim();
+    let allocator = BiddingAllocator::new();
+    let mut wf = Workflow::new();
+    let stage = wf.add_sink("bench");
+    let arrivals = shape.generate(seed, dags, stage, 0.25);
+
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    let out = rt.run_iteration(&mut wf, &allocator, arrivals);
+    let wall = t0.elapsed().as_secs_f64();
+    let allocs_per_job = match (a0, alloc_count()) {
+        (Some(a0), Some(a1)) if tasks > 0 => Some((a1 - a0) as f64 / tasks as f64),
+        _ => None,
+    };
+
+    let bid_latency = out.metrics.histogram("contest/bid_latency_secs");
+    BenchRow {
+        runtime: "sim-dag".to_string(),
+        workers,
+        jobs: tasks,
+        wall_secs: wall,
+        jobs_per_sec: if wall > 0.0 { tasks as f64 / wall } else { 0.0 },
+        contest_p50_secs: bid_latency.map_or(0.0, |h| h.quantile(0.50)),
+        contest_p99_secs: bid_latency.map_or(0.0, |h| h.quantile(0.99)),
+        events: out.events,
+        peak_rss_mb: peak_rss_mb(),
+        allocs_per_job,
+    }
+}
+
 /// Run the whole sweep, logging progress to stderr.
 pub fn run_sweep(cfg: &BenchConfig) -> BenchSweep {
     let mut rows = Vec::new();
@@ -306,6 +369,15 @@ pub fn run_sweep(cfg: &BenchConfig) -> BenchSweep {
         let row = run_fed_row(cfg.fed_shards, workers, cfg.sim_jobs, cfg.seed);
         eprintln!(
             "[bench] {}x{workers}: {} jobs in {:.2}s = {:.0} jobs/s",
+            row.runtime, row.jobs, row.wall_secs, row.jobs_per_sec,
+        );
+        rows.push(row);
+    }
+    if cfg.dag_jobs > 0 {
+        let workers = cfg.workers.iter().copied().max().unwrap_or(64);
+        let row = run_dag_row(workers, cfg.dag_jobs, cfg.seed);
+        eprintln!(
+            "[bench] {}x{workers}: {} tasks in {:.2}s = {:.0} tasks/s",
             row.runtime, row.jobs, row.wall_secs, row.jobs_per_sec,
         );
         rows.push(row);
@@ -344,7 +416,11 @@ impl BenchRow {
 
     pub fn from_json(v: &Json) -> Result<Self, JsonError> {
         let runtime = v.req_str("runtime")?.to_string();
-        if runtime != "sim" && runtime != "threaded" && !runtime.starts_with("sim-fed") {
+        if runtime != "sim"
+            && runtime != "threaded"
+            && runtime != "sim-dag"
+            && !runtime.starts_with("sim-fed")
+        {
             return Err(JsonError(format!("unknown runtime `{runtime}`")));
         }
         let allocs_per_job = match v.req("allocs_per_job")? {
@@ -543,6 +619,24 @@ mod tests {
             None,
             BenchSweep {
                 label: "fed".into(),
+                rows: vec![r],
+            },
+        );
+        let parsed = BenchDoc::parse(&doc.render()).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn a_tiny_dag_row_measures_and_round_trips() {
+        let r = run_dag_row(4, 5, 11);
+        assert_eq!(r.runtime, "sim-dag");
+        assert_eq!(r.jobs, 30, "5 DAGs x 6 tasks");
+        assert!(r.jobs_per_sec > 0.0);
+        assert!(r.events > 0);
+        let doc = BenchDoc::assemble(
+            None,
+            BenchSweep {
+                label: "dag".into(),
                 rows: vec![r],
             },
         );

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|failover|federate|all]
+//! repro [fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|failover|federate|atomize|all]
 //!       [--smoke] [--seed N] [--out DIR] [--trace FILE]
 //! ```
 //!
@@ -52,6 +52,17 @@
 //! repro federate [--iters N] [--seed K] [--smoke]
 //! ```
 //!
+//! The `atomize` artifact sweeps the task-level DAG axis (atomizer +
+//! speculative straggler re-bidding) on both runtimes, then runs the
+//! headline task-level vs whole-job vs Spark-static comparison; it
+//! exits nonzero on any oracle violation, lost task, sweep with no
+//! speculative re-bid, or if task-level fails to beat whole-job on
+//! the straggler scenario:
+//!
+//! ```text
+//! repro atomize [--iters N] [--seed K] [--smoke]
+//! ```
+//!
 //! The `trace` artifact runs one scenario with full observability on
 //! either runtime and prints the phase-breakdown table:
 //!
@@ -73,6 +84,7 @@
 //! repro bench --check FILE     # schema-validate an existing document
 //! ```
 
+use crossbid_experiments::atomize::{self, AtomizeConfig};
 use crossbid_experiments::bench::{self, BenchConfig};
 use crossbid_experiments::check::{self, CheckConfig};
 use crossbid_experiments::failover::{self, FailoverConfig};
@@ -329,6 +341,29 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "atomize" => {
+            let mut acfg = if smoke {
+                AtomizeConfig::smoke()
+            } else {
+                AtomizeConfig::default()
+            };
+            if let Some(v) = args
+                .iter()
+                .position(|a| a == "--iters")
+                .and_then(|i| args.get(i + 1))
+            {
+                acfg.iters = v.parse().unwrap_or_else(|e| die(&format!("--iters: {e}")));
+            }
+            if let Some(s) = seed {
+                acfg.seed = s;
+            }
+            let report = atomize::run(&acfg);
+            emit("atomize", &report.body);
+            if !report.ok {
+                eprintln!("[repro] atomize FAILED");
+                std::process::exit(1);
+            }
+        }
         "trace" => {
             let flag = |name: &str| {
                 args.iter()
@@ -482,7 +517,7 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|failover|federate|bench|all");
+            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|failover|federate|atomize|bench|all");
             std::process::exit(2);
         }
     }

@@ -18,6 +18,7 @@
 
 #[cfg(feature = "bench-alloc")]
 pub mod allocmeter;
+pub mod atomize;
 pub mod bench;
 pub mod check;
 pub mod config;

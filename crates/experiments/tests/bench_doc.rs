@@ -1,8 +1,8 @@
-//! Guards the checked-in performance trajectory (`BENCH_6.json` at
-//! the repo root): it must always parse against the current
-//! `crossbid-bench/v1` schema, carry the pre-optimization baseline it
-//! claims to improve on, and keep the recorded sim speedup at 64
-//! workers at or above the 10× this PR was accepted on. Any writer or
+//! Guards the checked-in performance trajectories (`BENCH_6.json` and
+//! `BENCH_9.json` at the repo root): they must always parse against
+//! the current `crossbid-bench/v1` schema, carry the baselines they
+//! claim to improve on, and keep the recorded sim speedup at 64
+//! workers at or above the 10× PR 6 was accepted on. Any writer or
 //! parser change that silently drifts the document shape fails here
 //! (and in the CI `bench-smoke` job) instead of in the next perf
 //! investigation.
@@ -49,4 +49,32 @@ fn checked_in_trajectory_parses_and_records_the_speedup() {
         speedup >= 10.0,
         "recorded sim@64 speedup fell below the acceptance floor: {speedup:.1}x"
     );
+}
+
+#[test]
+fn atomizer_trajectory_carries_the_task_stream_row() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_9.json at the repo root");
+    let doc = BenchDoc::parse(&text).expect("checked-in document drifted from the schema");
+
+    // The PR 9 sweep is recorded against the PR 6 trajectory.
+    let base = doc.baseline.as_ref().expect("trajectory has a baseline");
+    assert!(!base.rows.is_empty(), "baseline sweep has rows");
+    for w in [7, 64, 256] {
+        assert!(
+            doc.current.sim_row(w).is_some(),
+            "current sweep is missing the sim row at {w} workers"
+        );
+    }
+
+    // The atomizer row: a DAG stream priced task-by-task. Its `jobs`
+    // counts tasks, the schedulable unit of an atomized run.
+    let dag = doc
+        .current
+        .rows
+        .iter()
+        .find(|r| r.runtime == "sim-dag")
+        .expect("trajectory must include the sim-dag row");
+    assert!(dag.jobs > 0, "sim-dag row drove no tasks");
+    assert!(dag.jobs_per_sec > 0.0, "sim-dag row recorded no throughput");
 }

@@ -1,0 +1,277 @@
+//! DAG workload generators for the atomizer (§5's task-level bidding
+//! evaluated on structured jobs).
+//!
+//! Two shapes, both pure functions of a seed:
+//!
+//! * [`DagConfig::RepoSplit`] — one clone stage fans out into
+//!   heavy-tailed shard scans over the cloned working set, closed by a
+//!   merge. The tail makes some shard a natural straggler.
+//! * [`DagConfig::MapReduceSkew`] — independent maps over distinct
+//!   repositories feed a reduce layer in which one reducer carries a
+//!   skew multiple of the others' work (the classic skewed-reducer
+//!   straggler).
+//!
+//! Output artifact ids are carved from a per-arrival block so two
+//! concurrent DAGs can never collide in a worker store — a stale
+//! credit from arrival *k* must not look like locality for arrival
+//! *k+1*.
+
+use crossbid_crossflow::{Arrival, JobSpec, ResourceRef, TaskDag, TaskId, TaskNode};
+use crossbid_simcore::{SeedSequence, SimTime};
+use crossbid_storage::ObjectId;
+use serde::{Deserialize, Serialize};
+
+/// Artifact ids below this are reserved for plain (non-DAG) repos.
+pub const DAG_OBJECT_BASE: u64 = 1 << 32;
+
+/// Ids reserved per arrival: task outputs plus external inputs.
+const IDS_PER_DAG: u64 = 128;
+
+/// A generated DAG stream's shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DagConfig {
+    /// Clone one repository, scan it in `shards` parallel pieces with
+    /// Pareto(`tail_alpha`)-tailed CPU cost, merge the results. All
+    /// arrivals share the same repository, so task-level bidding can
+    /// also exploit clone locality across DAGs.
+    RepoSplit {
+        /// Parallel scan tasks (capped so the DAG stays within the
+        /// 64-task bitmask including clone and merge).
+        shards: usize,
+        /// Size of the shared repository, in MB.
+        repo_mb: u64,
+        /// Pareto tail index; smaller is heavier. `1.5` gives an
+        /// occasional shard several times the median cost.
+        tail_alpha: f64,
+    },
+    /// `maps` independent scans over distinct repositories feeding
+    /// `reduces` reducers that each need *every* map output; reducer 0
+    /// does `skew_factor`× the work of its siblings.
+    MapReduceSkew {
+        /// Map tasks (each reads its own repository).
+        maps: usize,
+        /// Reduce tasks (each gated on all maps).
+        reduces: usize,
+        /// CPU multiple carried by reducer 0.
+        skew_factor: f64,
+    },
+}
+
+impl DagConfig {
+    /// Stable name used in records and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DagConfig::RepoSplit { .. } => "repo_split",
+            DagConfig::MapReduceSkew { .. } => "map_reduce_skew",
+        }
+    }
+
+    /// Tasks per generated DAG.
+    pub fn tasks_per_dag(self) -> usize {
+        match self {
+            DagConfig::RepoSplit { shards, .. } => shards.clamp(1, 62) + 2,
+            DagConfig::MapReduceSkew { maps, reduces, .. } => {
+                maps.clamp(1, 32) + reduces.clamp(1, 31)
+            }
+        }
+    }
+
+    /// Build one DAG. `block` is the arrival's private artifact-id
+    /// range; `rng` drives the heavy tail.
+    fn build(self, block: u64, rng: &mut crossbid_simcore::RngStream) -> TaskDag {
+        let out = |slot: u64, mb: u64| ResourceRef {
+            id: ObjectId(block + slot),
+            bytes: mb.max(1) * 1_000_000,
+        };
+        let tasks = match self {
+            DagConfig::RepoSplit {
+                shards,
+                repo_mb,
+                tail_alpha,
+            } => {
+                let shards = shards.clamp(1, 62);
+                // Every arrival clones the *same* repository: id 0 of
+                // the stream-wide range, outside any per-arrival block.
+                let repo = ResourceRef {
+                    id: ObjectId(DAG_OBJECT_BASE - 1),
+                    bytes: repo_mb.max(1) * 1_000_000,
+                };
+                let working = out(0, repo_mb / 2);
+                let mut tasks = vec![TaskNode {
+                    preds: 0,
+                    input: Some(repo),
+                    output: working,
+                    work_bytes: repo.bytes,
+                    cpu_secs: 0.5,
+                }];
+                for s in 0..shards {
+                    // Pareto tail: u in (0,1) maps to (1-u)^(-1/alpha),
+                    // median ~1.6 at alpha 1.5 with a long right tail.
+                    let u = rng.unit().clamp(0.0, 0.999);
+                    let cpu = (1.0 - u).powf(-1.0 / tail_alpha.max(0.1));
+                    tasks.push(TaskNode {
+                        preds: 1,
+                        input: Some(working),
+                        output: out(1 + s as u64, 1),
+                        work_bytes: working.bytes / shards as u64,
+                        cpu_secs: cpu,
+                    });
+                }
+                let all_shards = ((1u64 << shards) - 1) << 1;
+                tasks.push(TaskNode {
+                    preds: all_shards | 1,
+                    input: Some(out(1, 1)),
+                    output: out(70, 1),
+                    work_bytes: shards as u64 * 1_000_000,
+                    cpu_secs: 0.2,
+                });
+                tasks
+            }
+            DagConfig::MapReduceSkew {
+                maps,
+                reduces,
+                skew_factor,
+            } => {
+                let maps = maps.clamp(1, 32);
+                let reduces = reduces.clamp(1, 31);
+                let mut tasks = Vec::with_capacity(maps + reduces);
+                for m in 0..maps {
+                    let input = out(64 + m as u64, rng.range_inclusive(20, 80));
+                    tasks.push(TaskNode {
+                        preds: 0,
+                        input: Some(input),
+                        output: out(m as u64, 5),
+                        work_bytes: input.bytes,
+                        cpu_secs: input.bytes as f64 / 100_000_000.0,
+                    });
+                }
+                let all_maps = (1u64 << maps) - 1;
+                for r in 0..reduces {
+                    let skew = if r == 0 { skew_factor.max(1.0) } else { 1.0 };
+                    tasks.push(TaskNode {
+                        preds: all_maps,
+                        // Dominant input: the co-indexed map's output —
+                        // locality-aware bids favour that map's worker.
+                        input: Some(out((r % maps) as u64, 5)),
+                        output: out(32 + r as u64, 1),
+                        work_bytes: maps as u64 * 5_000_000,
+                        cpu_secs: 1.0 * skew,
+                    });
+                }
+                tasks
+            }
+        };
+        TaskDag::new(tasks).expect("generated DAGs are valid by construction")
+    }
+
+    /// Generate `n_dags` timed DAG arrivals for workflow stage `task`,
+    /// spaced `interval_secs` apart. Deterministic in `seed`.
+    pub fn generate(
+        self,
+        seed: u64,
+        n_dags: usize,
+        task: TaskId,
+        interval_secs: f64,
+    ) -> Vec<Arrival> {
+        let seq = SeedSequence::new(seed);
+        (0..n_dags)
+            .map(|k| {
+                let mut rng = seq.stream(100 + k as u64);
+                let block = DAG_OBJECT_BASE + k as u64 * IDS_PER_DAG;
+                Arrival {
+                    at: SimTime::from_secs_f64(k as f64 * interval_secs),
+                    spec: JobSpec::atomized(task, self.build(block, &mut rng)),
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for DagConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    const SPLIT: DagConfig = DagConfig::RepoSplit {
+        shards: 8,
+        repo_mb: 200,
+        tail_alpha: 1.5,
+    };
+    const SKEW: DagConfig = DagConfig::MapReduceSkew {
+        maps: 6,
+        reduces: 3,
+        skew_factor: 8.0,
+    };
+
+    #[test]
+    fn generated_dags_validate_and_have_the_declared_size() {
+        for cfg in [SPLIT, SKEW] {
+            let arrivals = cfg.generate(7, 4, TaskId(0), 5.0);
+            assert_eq!(arrivals.len(), 4);
+            for a in &arrivals {
+                let dag = a.spec.dag.as_ref().expect("atomized");
+                assert_eq!(dag.len(), cfg.tasks_per_dag(), "{cfg}");
+                dag.validate().expect("valid");
+            }
+        }
+    }
+
+    #[test]
+    fn output_ids_never_collide_across_arrivals() {
+        for cfg in [SPLIT, SKEW] {
+            let arrivals = cfg.generate(3, 10, TaskId(0), 1.0);
+            let mut seen: HashSet<u64> = HashSet::new();
+            for a in &arrivals {
+                for t in &a.spec.dag.as_ref().unwrap().tasks {
+                    assert!(seen.insert(t.output.id.0), "duplicate output {cfg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repo_split_shares_one_repository_and_carries_a_tail() {
+        let arrivals = SPLIT.generate(11, 6, TaskId(0), 1.0);
+        let mut clones: HashSet<u64> = HashSet::new();
+        let mut cpus: Vec<f64> = Vec::new();
+        for a in &arrivals {
+            let dag = a.spec.dag.as_ref().unwrap();
+            clones.insert(dag.tasks[0].input.unwrap().id.0);
+            cpus.extend(dag.tasks[1..=8].iter().map(|t| t.cpu_secs));
+        }
+        assert_eq!(clones.len(), 1, "all arrivals clone the same repo");
+        let max = cpus.iter().cloned().fold(0.0f64, f64::max);
+        let mut sorted = cpus.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        assert!(
+            max > 2.0 * median,
+            "no tail: max {max:.2} vs median {median:.2}"
+        );
+    }
+
+    #[test]
+    fn skewed_reducer_dominates_its_siblings() {
+        let arrivals = SKEW.generate(5, 1, TaskId(0), 1.0);
+        let dag = arrivals[0].spec.dag.as_ref().unwrap();
+        let reduce0 = &dag.tasks[6];
+        let reduce1 = &dag.tasks[7];
+        assert_eq!(reduce0.preds, 0b111111, "gated on every map");
+        assert!(reduce0.cpu_secs >= 7.9 * reduce1.cpu_secs);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = SPLIT.generate(9, 3, TaskId(0), 2.0);
+        let b = SPLIT.generate(9, 3, TaskId(0), 2.0);
+        let c = SPLIT.generate(10, 3, TaskId(0), 2.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -33,12 +33,14 @@
 //! ```
 
 pub mod arrivals;
+pub mod dags;
 pub mod jobs;
 pub mod mix;
 pub mod repos;
 pub mod workers;
 
 pub use arrivals::ArrivalProcess;
+pub use dags::DagConfig;
 pub use jobs::{JobConfig, JobStream};
 pub use mix::{JobMix, MixComponent, Repetition};
 pub use repos::{RepoCatalog, Repository, SizeClass};

@@ -173,6 +173,7 @@ impl JobMix {
                     cpu_secs: c.cpu_secs,
                     payload: Payload::Pair(i as u64, r.id.0),
                     origin: None,
+                    dag: None,
                 },
                 None => JobSpec::compute(task, c.cpu_secs, Payload::Index(i as u64)),
             };

@@ -8,10 +8,11 @@ use std::collections::BTreeSet;
 
 use crossbid_core::BiddingAllocator;
 use crossbid_crossflow::{
-    parse_run_stream, run_federation, sched_kind_name, Allocator, Arrival, BaselineAllocator,
-    EngineConfig, FaultPlan, Faults, FedArrival, FedRuntimeKind, FederationSpec, JobSpec,
-    MasterFaultPlan, MembershipPlan, NetFaultPlan, Payload, ResourceRef, RunSpec, RunStreamLine,
-    Runtime, ShardId, ShardSpec, TraceKind, WorkerId, WorkerSpec, Workflow,
+    parse_run_stream, run_federation, sched_kind_name, Allocator, Arrival, AtomizeConfig,
+    BaselineAllocator, EngineConfig, FaultPlan, Faults, FedArrival, FedRuntimeKind, FederationSpec,
+    JobSpec, MasterFaultPlan, MembershipPlan, NetFaultPlan, Payload, ResourceRef, RunOutput,
+    RunSpec, RunStreamLine, Runtime, ShardId, ShardSpec, TaskDag, TaskNode, TraceKind, WorkerId,
+    WorkerSpec, Workflow,
 };
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{SimDuration, SimTime};
@@ -90,6 +91,67 @@ fn netfault_spec() -> RunSpec {
         .build()
 }
 
+/// Two workers — one 400× slower on cpu — and six independent
+/// one-second tasks in a single atomized job. The Baseline's blind
+/// round-robin strands half the tasks on the slow worker; with the
+/// aggressive speculation knobs the fast worker's completions
+/// establish the duration median, the sweep replicates the stragglers
+/// and the replicas' wins cancel the primaries — so a Baseline run of
+/// this spec covers `sched/spec_launch` and `sched/spec_cancel` on
+/// top of the task-lifecycle kinds. Under bidding the slow worker
+/// prices itself out (no speculation), but every offer draws
+/// `sched/task_bid`.
+fn atomized_spec() -> RunSpec {
+    let workers = vec![
+        WorkerSpec::builder("fast")
+            .net_mbps(10.0)
+            .rw_mbps(100.0)
+            .storage_gb(10.0)
+            .build(),
+        WorkerSpec::builder("slow")
+            .net_mbps(10.0)
+            .rw_mbps(100.0)
+            .storage_gb(10.0)
+            .cpu_factor(400.0)
+            .build(),
+    ];
+    RunSpec::builder()
+        .workers(workers)
+        .engine(EngineConfig {
+            control: ControlPlane::instant(),
+            data_latency: SimDuration::ZERO,
+            noise: NoiseModel::None,
+            atomize: AtomizeConfig {
+                spec_factor: 2.0,
+                spec_check_secs: 1.0,
+                min_completed_for_spec: 3,
+                ..AtomizeConfig::default()
+            },
+            ..EngineConfig::default()
+        })
+        .speed_learning(false)
+        .trace(true)
+        .seed(7)
+        .time_scale(1e-3)
+        .build()
+}
+
+fn straggler_dag() -> TaskDag {
+    let tasks = (0..6u64)
+        .map(|i| TaskNode {
+            preds: 0,
+            input: None,
+            output: ResourceRef {
+                id: ObjectId(200 + i),
+                bytes: 1_000_000,
+            },
+            work_bytes: 0,
+            cpu_secs: 1.0,
+        })
+        .collect();
+    TaskDag::new(tasks).unwrap()
+}
+
 fn hot_repo_arrivals(task: crossbid_crossflow::TaskId) -> Vec<Arrival> {
     (0..12)
         .map(|i| Arrival {
@@ -115,22 +177,18 @@ fn trace_kind_label(kind: TraceKind) -> &'static str {
     }
 }
 
-/// Stream one run under `alloc` and return `(raw JSONL, vocabulary)`.
-fn stream_vocabulary(rt: &mut dyn Runtime, alloc: &dyn Allocator) -> (String, BTreeSet<String>) {
-    let mut wf = Workflow::new();
-    let task = wf.add_sink("scan");
-    let out = rt.run_iteration(&mut wf, alloc, hot_repo_arrivals(task));
-    assert_eq!(out.record.jobs_completed, 12, "{}", rt.name());
+/// Serialise one run's stream and collect its event vocabulary.
+fn stream_and_vocab(runtime: &str, scheduler: &str, out: &RunOutput) -> (String, BTreeSet<String>) {
     let meta = crossbid_crossflow::RunStreamMeta {
-        runtime: rt.name().to_string(),
-        scheduler: alloc.kind().name().to_string(),
+        runtime: runtime.to_string(),
+        scheduler: scheduler.to_string(),
         worker_config: "custom".to_string(),
         job_config: "custom".to_string(),
         iteration: 0,
         seed: 7,
     };
     let mut buf = Vec::new();
-    crossbid_crossflow::write_run_stream(&mut buf, &meta, &out).unwrap();
+    crossbid_crossflow::write_run_stream(&mut buf, &meta, out).unwrap();
     let text = String::from_utf8(buf).unwrap();
     let mut vocab = BTreeSet::new();
     for line in parse_run_stream(&text).unwrap() {
@@ -145,6 +203,35 @@ fn stream_vocabulary(rt: &mut dyn Runtime, alloc: &dyn Allocator) -> (String, BT
         }
     }
     (text, vocab)
+}
+
+/// Stream one run under `alloc` and return `(raw JSONL, vocabulary)`.
+fn stream_vocabulary(rt: &mut dyn Runtime, alloc: &dyn Allocator) -> (String, BTreeSet<String>) {
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let out = rt.run_iteration(&mut wf, alloc, hot_repo_arrivals(task));
+    assert_eq!(out.record.jobs_completed, 12, "{}", rt.name());
+    stream_and_vocab(rt.name(), alloc.kind().name(), &out)
+}
+
+/// Stream one atomized run of [`straggler_dag`] under `alloc`. Each
+/// of the six tasks is a schedulable job of its own, so the stream
+/// carries the v6 task-lifecycle kinds.
+fn dag_stream_vocabulary(
+    rt: &mut dyn Runtime,
+    alloc: &dyn Allocator,
+) -> (String, BTreeSet<String>) {
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let arrivals = vec![Arrival {
+        at: SimTime::ZERO,
+        spec: JobSpec::atomized(task, straggler_dag()),
+    }];
+    let out = rt.run_iteration(&mut wf, alloc, arrivals);
+    // `jobs_completed` also counts won speculative replicas, so the
+    // exactly-once guarantee lives in the task-done count.
+    assert_eq!(out.sched_log.task_dones(), 6, "{}", rt.name());
+    stream_and_vocab(rt.name(), alloc.kind().name(), &out)
 }
 
 /// A tiny federation whose shard streams cover the v5 vocabulary: a
@@ -251,6 +338,27 @@ fn run_streams_round_trip_byte_identically() {
             .collect();
         assert_eq!(text, rewritten, "{}: lossy round trip", rt.name());
     }
+    // The atomized streams carry the v6 task/speculation kinds (with
+    // their root/task/preds fields) — they must round trip too. The
+    // Baseline run is the one that speculates (see `atomized_spec`),
+    // so the stream is guaranteed to include the race events.
+    let atomized = atomized_spec();
+    let dag_runtimes: [Box<dyn Runtime>; 2] =
+        [Box::new(atomized.sim()), Box::new(atomized.threaded())];
+    for mut rt in dag_runtimes {
+        let (text, vocab) = dag_stream_vocabulary(rt.as_mut(), &BaselineAllocator);
+        assert!(
+            vocab.contains("sched/spec_launch") && vocab.contains("sched/spec_cancel"),
+            "{}: atomized stream must carry the speculation kinds, got {vocab:?}",
+            rt.name()
+        );
+        let rewritten: String = parse_run_stream(&text)
+            .unwrap()
+            .iter()
+            .map(|l| l.to_json().render() + "\n")
+            .collect();
+        assert_eq!(text, rewritten, "{}: lossy atomized round trip", rt.name());
+    }
     // The federation shard streams carry the v5 spill/membership kinds
     // (with their shard fields) — they must round trip too.
     for runtime in [FedRuntimeKind::Sim, FedRuntimeKind::Threaded] {
@@ -274,17 +382,21 @@ fn both_runtimes_emit_the_golden_event_vocabulary() {
         .filter(|l| !l.is_empty())
         .map(String::from)
         .collect();
-    assert_eq!(golden.len(), 25, "golden file lists every event kind");
+    assert_eq!(golden.len(), 31, "golden file lists every event kind");
     // The bidding protocol never offers (it assigns contest winners)
     // and the Baseline never opens contests, so the full vocabulary is
     // the union of one faulted bidding run (worker crash/recovery plus
     // a master crash for the election events), one fault-free Baseline
     // run (whose first offer of each job is declined: reject-once),
     // one partitioned bidding run exercising the reliability layer's
-    // resend/lease/ack events, and one churned federation run for the
-    // v5 spill and membership kinds.
+    // resend/lease/ack events, one churned federation run for the v5
+    // spill and membership kinds, and two atomized straggler runs for
+    // the v6 task kinds — Baseline for the speculation race (under
+    // bidding the slow worker prices itself out), bidding for
+    // `sched/task_bid`.
     let faulted = faulted_spec();
     let lossy = netfault_spec();
+    let atomized = atomized_spec();
     let plain = RunSpec::builder()
         .workers(specs(3))
         .engine(EngineConfig {
@@ -298,51 +410,74 @@ fn both_runtimes_emit_the_golden_event_vocabulary() {
         .seed(7)
         .time_scale(1e-3)
         .build();
-    type RuntimeTriple = (
-        Box<dyn Runtime>,
-        Box<dyn Runtime>,
-        Box<dyn Runtime>,
-        FedRuntimeKind,
-    );
-    let runtimes: [RuntimeTriple; 2] = [
-        (
-            Box::new(faulted.sim()),
-            Box::new(plain.sim()),
-            Box::new(lossy.sim()),
-            FedRuntimeKind::Sim,
-        ),
-        (
-            Box::new(faulted.threaded()),
-            Box::new(plain.threaded()),
-            Box::new(lossy.threaded()),
-            FedRuntimeKind::Threaded,
-        ),
+    struct VocabRuntimes {
+        bidding: Box<dyn Runtime>,
+        baseline: Box<dyn Runtime>,
+        lossy: Box<dyn Runtime>,
+        dag_baseline: Box<dyn Runtime>,
+        dag_bidding: Box<dyn Runtime>,
+        fed: FedRuntimeKind,
+    }
+    let runtimes: [VocabRuntimes; 2] = [
+        VocabRuntimes {
+            bidding: Box::new(faulted.sim()),
+            baseline: Box::new(plain.sim()),
+            lossy: Box::new(lossy.sim()),
+            dag_baseline: Box::new(atomized.sim()),
+            dag_bidding: Box::new(atomized.sim()),
+            fed: FedRuntimeKind::Sim,
+        },
+        VocabRuntimes {
+            bidding: Box::new(faulted.threaded()),
+            baseline: Box::new(plain.threaded()),
+            lossy: Box::new(lossy.threaded()),
+            dag_baseline: Box::new(atomized.threaded()),
+            dag_bidding: Box::new(atomized.threaded()),
+            fed: FedRuntimeKind::Threaded,
+        },
     ];
-    for (mut bidding_rt, mut baseline_rt, mut lossy_rt, fed_rt) in runtimes {
-        let (_, mut vocab) = stream_vocabulary(bidding_rt.as_mut(), &BiddingAllocator::new());
-        let (_, baseline_vocab) = stream_vocabulary(baseline_rt.as_mut(), &BaselineAllocator);
-        let (_, lossy_vocab) = stream_vocabulary(lossy_rt.as_mut(), &BiddingAllocator::new());
+    for mut rt in runtimes {
+        let (_, mut vocab) = stream_vocabulary(rt.bidding.as_mut(), &BiddingAllocator::new());
+        let (_, baseline_vocab) = stream_vocabulary(rt.baseline.as_mut(), &BaselineAllocator);
+        let (_, lossy_vocab) = stream_vocabulary(rt.lossy.as_mut(), &BiddingAllocator::new());
+        let (_, dag_spec_vocab) =
+            dag_stream_vocabulary(rt.dag_baseline.as_mut(), &BaselineAllocator);
+        let (_, dag_bid_vocab) =
+            dag_stream_vocabulary(rt.dag_bidding.as_mut(), &BiddingAllocator::new());
         assert!(
             baseline_vocab.contains("sched/offered") && baseline_vocab.contains("sched/rejected"),
             "{}: baseline run must exercise offer/reject",
-            baseline_rt.name()
+            rt.baseline.name()
         );
         assert!(
             lossy_vocab.contains("sched/resent")
                 && lossy_vocab.contains("sched/lease_expired")
                 && lossy_vocab.contains("sched/assign_acked"),
             "{}: partitioned run must exercise the reliability events",
-            lossy_rt.name()
+            rt.lossy.name()
+        );
+        assert!(
+            dag_spec_vocab.contains("sched/spec_launch")
+                && dag_spec_vocab.contains("sched/spec_cancel"),
+            "{}: atomized baseline run must race a speculative replica",
+            rt.dag_baseline.name()
+        );
+        assert!(
+            dag_bid_vocab.contains("sched/task_bid"),
+            "{}: atomized bidding run must draw per-task bids",
+            rt.dag_bidding.name()
         );
         vocab.extend(baseline_vocab);
         vocab.extend(lossy_vocab);
-        let (_, fed_vocab) = federation_streams(fed_rt);
+        vocab.extend(dag_spec_vocab);
+        vocab.extend(dag_bid_vocab);
+        let (_, fed_vocab) = federation_streams(rt.fed);
         vocab.extend(fed_vocab);
         assert_eq!(
             vocab,
             golden,
             "{}: emitted vocabulary diverged from tests/golden/event_vocabulary.txt",
-            bidding_rt.name()
+            rt.bidding.name()
         );
     }
 }

@@ -10,6 +10,7 @@
 //! extended-exploration workflow sweeps fresh seeds.
 
 use crossbid_checker::{explore, explore_builtins, explore_federation, ExploreConfig, Protocol};
+use crossbid_checker::{explore_dag, explore_dag_builtins, DagExploreConfig, DagScenario};
 use crossbid_checker::{Failure, FedExploreConfig, FedScenario, JobDef, Scenario, Violation};
 use crossbid_crossflow::{FederationMutation, ProtocolMutation};
 
@@ -410,4 +411,74 @@ fn oracle_catches_a_double_spill() {
         "{text}"
     );
     assert_fed_replay_tuple(&text);
+}
+
+fn dag_builtin(name: &str) -> DagScenario {
+    DagScenario::builtins()
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("known DAG scenario")
+}
+
+#[test]
+fn correct_atomizer_survives_both_runtimes_on_every_dag_builtin() {
+    for cfg in [
+        DagExploreConfig::quick(sweep_iters(2), 0xDA61),
+        DagExploreConfig::threaded(sweep_iters(2), 0xDA61),
+    ] {
+        for report in explore_dag_builtins(&cfg) {
+            assert!(report.passed(), "{}", report.render());
+        }
+    }
+}
+
+#[test]
+fn explorer_catches_reintroduced_dag_gate_removal() {
+    // The skewed-reduce DAG has wide fan-in: with the release gate
+    // removed every reducer is offered at registration, long before
+    // its maps complete — an OfferBeforePredecessor violation on the
+    // very first seed.
+    let sc = dag_builtin("dag_skewed_reduce");
+    let cfg = DagExploreConfig {
+        mutation: ProtocolMutation::OfferBeforePredecessor,
+        ..DagExploreConfig::threaded(4, 0xDA62)
+    };
+    let report = explore_dag(&sc, &cfg);
+    let text = report.render();
+    let f = report
+        .failure
+        .as_ref()
+        .unwrap_or_else(|| panic!("an ungated offer must be caught: {text}"));
+    assert!(
+        f.violations
+            .iter()
+            .any(|v| matches!(v, Violation::OfferBeforePredecessor { .. })),
+        "{text}"
+    );
+    assert!(text.contains("run seed"), "replay tuple missing: {text}");
+}
+
+#[test]
+fn explorer_catches_reintroduced_double_speculation() {
+    // With the launched-once guard bypassed, every straggler sweep
+    // re-replicates the same slow task — the second committed
+    // SpecLaunch is a DuplicateSpeculation violation.
+    let sc = dag_builtin("dag_straggler");
+    let cfg = DagExploreConfig {
+        mutation: ProtocolMutation::DoubleSpeculate,
+        ..DagExploreConfig::threaded(4, 0xDA63)
+    };
+    let report = explore_dag(&sc, &cfg);
+    let text = report.render();
+    let f = report
+        .failure
+        .as_ref()
+        .unwrap_or_else(|| panic!("a double speculation must be caught: {text}"));
+    assert!(
+        f.violations
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicateSpeculation { .. })),
+        "{text}"
+    );
+    assert!(text.contains("run seed"), "replay tuple missing: {text}");
 }
