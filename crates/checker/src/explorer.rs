@@ -24,7 +24,7 @@ use crossbid_crossflow::{
 use crossbid_simcore::{SeedSequence, SimTime};
 
 use crate::oracle::{check_log, Violation};
-use crate::scenario::{DagScenario, FedScenario, FedSeeds, Scenario, ThreadedRun};
+use crate::scenario::{DagScenario, FedScenario, FedSeeds, ReplScenario, Scenario, ThreadedRun};
 
 /// Exploration parameters.
 #[derive(Debug, Clone)]
@@ -761,5 +761,197 @@ pub fn explore_dag_builtins(cfg: &DagExploreConfig) -> Vec<DagExploreReport> {
     DagScenario::builtins()
         .iter()
         .map(|sc| explore_dag(sc, cfg))
+        .collect()
+}
+
+/// Parameters of the replication exploration axis.
+#[derive(Debug, Clone)]
+pub struct ReplExploreConfig {
+    /// Seed tuples to sweep per scenario.
+    pub iters: u32,
+    /// Root seed; per-iteration `(run, net)` tuples derive from it on
+    /// independent streams.
+    pub base_seed: u64,
+    /// Which runtime executes the sweep.
+    pub runtime: FedRuntimeKind,
+    /// Reintroduced data-plane bug, if any (checker self-validation).
+    pub mutation: ProtocolMutation,
+    /// Arm lossy links (drop/duplicate/delay plus a timed partition
+    /// window) on top of the scenario's own peer-loss rate.
+    pub netfault: bool,
+}
+
+impl ReplExploreConfig {
+    /// A quick deterministic sweep on the sim engine.
+    pub fn quick(iters: u32, base_seed: u64) -> Self {
+        ReplExploreConfig {
+            iters,
+            base_seed,
+            runtime: FedRuntimeKind::Sim,
+            mutation: ProtocolMutation::None,
+            netfault: false,
+        }
+    }
+
+    /// The same sweep on real threads.
+    pub fn threaded(iters: u32, base_seed: u64) -> Self {
+        ReplExploreConfig {
+            runtime: FedRuntimeKind::Threaded,
+            ..ReplExploreConfig::quick(iters, base_seed)
+        }
+    }
+
+    /// A lossy-link sweep: link faults compose with the scenario's
+    /// seeded peer-transfer loss, so fetches retry across both.
+    pub fn lossy(iters: u32, base_seed: u64) -> Self {
+        ReplExploreConfig {
+            netfault: true,
+            ..ReplExploreConfig::quick(iters, base_seed)
+        }
+    }
+}
+
+/// A failing replication run, identified by its `(run, net)` replay
+/// tuple. Replica state is globally entangled through the pin/repair
+/// protocol, so there is nothing to shrink — the tuple *is* the repro.
+#[derive(Debug, Clone)]
+pub struct ReplFailure {
+    /// Iteration index at which the violation appeared.
+    pub iteration: u32,
+    /// The replaying run seed.
+    pub run_seed: u64,
+    /// Net-fault seed (`None` when the links were reliable).
+    pub net_seed: Option<u64>,
+    /// Oracle violations in the run's scheduler log.
+    pub violations: Vec<Violation>,
+}
+
+/// Result of sweeping one replication scenario.
+#[derive(Debug, Clone)]
+pub struct ReplExploreReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Protocol name.
+    pub protocol: String,
+    /// Which runtime ran the sweep.
+    pub runtime: &'static str,
+    /// Seed tuples actually run (stops early on failure).
+    pub iterations_run: u32,
+    /// Successful peer fetches observed across the sweep. A sweep in
+    /// which no worker ever pulled from a replica proves nothing about
+    /// the peer path, so `repro replicate` surfaces this count.
+    pub peer_fetches_observed: u64,
+    /// Fetch retries (lost peer transfers) observed across the sweep.
+    pub fetch_retries_observed: u64,
+    /// Committed re-replications that completed across the sweep.
+    pub repairs_observed: u64,
+    /// Completion-conservation mismatches.
+    pub parity_mismatches: Vec<String>,
+    /// The first failing seed tuple, if any.
+    pub failure: Option<ReplFailure>,
+}
+
+impl ReplExploreReport {
+    /// No violations and no conservation mismatches.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none() && self.parity_mismatches.is_empty()
+    }
+
+    /// Human-readable report; on failure this is the replay tuple.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} [{} on {}]: {} seed tuple(s), {} peer fetch(es), {} retry(ies), {} repair(s)",
+            self.scenario,
+            self.protocol,
+            self.runtime,
+            self.iterations_run,
+            self.peer_fetches_observed,
+            self.fetch_retries_observed,
+            self.repairs_observed
+        );
+        if self.passed() {
+            out.push_str(" — ok\n");
+            return out;
+        }
+        out.push('\n');
+        for m in &self.parity_mismatches {
+            out.push_str(&format!("  parity: {m}\n"));
+        }
+        if let Some(f) = &self.failure {
+            out.push_str(&format!(
+                "  VIOLATION at iteration {} (run seed {}, net seed {} on the {} runtime)\n",
+                f.iteration,
+                f.run_seed,
+                f.net_seed.map_or("-".into(), |s| s.to_string()),
+                self.runtime,
+            ));
+            for v in &f.violations {
+                out.push_str(&format!("    {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Sweep `cfg.iters` seed tuples of one replication scenario: run it,
+/// feed the scheduler log to the oracle (the replication invariants
+/// arm on the first replica event), and cross-check completion
+/// conservation. Stops at the first failing tuple.
+pub fn explore_replication(sc: &ReplScenario, cfg: &ReplExploreConfig) -> ReplExploreReport {
+    let mut report = ReplExploreReport {
+        scenario: sc.name.to_string(),
+        protocol: sc.protocol.name().to_string(),
+        runtime: match cfg.runtime {
+            FedRuntimeKind::Sim => "sim",
+            FedRuntimeKind::Threaded => "threaded",
+        },
+        iterations_run: 0,
+        peer_fetches_observed: 0,
+        fetch_retries_observed: 0,
+        repairs_observed: 0,
+        parity_mismatches: Vec::new(),
+        failure: None,
+    };
+    let seeds = SeedSequence::new(cfg.base_seed);
+    for i in 0..cfg.iters {
+        let run_seed = seeds.seed_for(i as u64);
+        let net_seed = cfg.netfault.then(|| seeds.seed_for(0x4E37_0000 + i as u64));
+        let net = net_seed.map(net_plan).unwrap_or_else(NetFaultPlan::none);
+        let out = match cfg.runtime {
+            FedRuntimeKind::Sim => sc.run_sim(run_seed, cfg.mutation, net),
+            FedRuntimeKind::Threaded => sc.run_threaded(run_seed, cfg.mutation, net),
+        };
+        report.iterations_run = i + 1;
+        report.peer_fetches_observed += out.sched_log.fetch_oks() as u64;
+        report.fetch_retries_observed += out.sched_log.fetch_fails() as u64;
+        report.repairs_observed += out.sched_log.repair_dones() as u64;
+        if cfg.mutation == ProtocolMutation::None
+            && out.record.jobs_completed != sc.jobs.len() as u64
+        {
+            report.parity_mismatches.push(format!(
+                "iteration {i}: expected {} completions, observed {}",
+                sc.jobs.len(),
+                out.record.jobs_completed
+            ));
+        }
+        let violations = check_log(&out.sched_log, sc.oracle_options());
+        if !violations.is_empty() {
+            report.failure = Some(ReplFailure {
+                iteration: i,
+                run_seed,
+                net_seed,
+                violations,
+            });
+            break;
+        }
+    }
+    report
+}
+
+/// Explore every built-in replication scenario.
+pub fn explore_replication_builtins(cfg: &ReplExploreConfig) -> Vec<ReplExploreReport> {
+    ReplScenario::builtins()
+        .iter()
+        .map(|sc| explore_replication(sc, cfg))
         .collect()
 }

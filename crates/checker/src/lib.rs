@@ -36,10 +36,13 @@ pub mod scenario;
 
 pub use explorer::{
     explore, explore_builtins, explore_dag, explore_dag_builtins, explore_federation,
-    explore_federation_builtins, DagExploreConfig, DagExploreReport, DagFailure, ExploreConfig,
-    ExploreReport, Failure, FedExploreConfig, FedExploreReport, FedFailure,
+    explore_federation_builtins, explore_replication, explore_replication_builtins,
+    DagExploreConfig, DagExploreReport, DagFailure, ExploreConfig, ExploreReport, Failure,
+    FedExploreConfig, FedExploreReport, FedFailure, ReplExploreConfig, ReplExploreReport,
+    ReplFailure,
 };
 pub use oracle::{check_log, Oracle, OracleOptions, Violation};
 pub use scenario::{
-    DagScenario, FaultDef, FedScenario, FedSeeds, JobDef, Protocol, Scenario, ThreadedRun,
+    DagScenario, FaultDef, FedScenario, FedSeeds, JobDef, Protocol, ReplScenario, Scenario,
+    ThreadedRun,
 };

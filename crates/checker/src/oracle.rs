@@ -262,6 +262,51 @@ pub enum Violation {
         /// The never-released task.
         task: u32,
     },
+    /// Replicated data plane: an eviction (`replica_drop` with
+    /// `evicted = true`) removed an object's last live copy. Cache
+    /// pressure must never destroy data the cluster cannot re-create
+    /// from a peer — the sole surviving copy is pinned.
+    EvictedLastCopy {
+        /// The object whose last copy was discarded.
+        object: u64,
+        /// The worker that evicted it.
+        worker: WorkerId,
+    },
+    /// Replicated data plane, end of log: an object's last live copy
+    /// was voluntarily discarded by eviction and never re-established —
+    /// the data plane *ended* the run having thrown the artifact away.
+    /// (Crash-caused losses are involuntary and re-creatable from the
+    /// master; they do not trip this.)
+    LostLastReplica {
+        /// The object that ended the run with zero live copies.
+        object: u64,
+    },
+    /// Replicated data plane, end of log: a re-replication was
+    /// committed (`repair_start`) but its `repair_done` never arrived —
+    /// commit-before-copy promises every committed repair completes.
+    RepairNeverCompleted {
+        /// The object whose repair was abandoned.
+        object: u64,
+    },
+    /// Replicated data plane: a second `repair_start` was committed
+    /// for an object whose previous repair had not completed, or a
+    /// `repair_done` arrived with no open repair — the one-in-flight
+    /// discipline (which is what makes failover resumption idempotent)
+    /// was violated.
+    DuplicateRepair {
+        /// The doubly repaired object.
+        object: u64,
+    },
+    /// Replicated data plane: a peer fetch was requested from a worker
+    /// the log says no longer holds the object (its copy was dropped
+    /// and never re-added) — the scheduler routed a transfer to a
+    /// stale replica.
+    FetchFromNonReplica {
+        /// The requested object.
+        object: u64,
+        /// The stale source.
+        from: WorkerId,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -403,6 +448,32 @@ impl std::fmt::Display for Violation {
                     root.0, task
                 )
             }
+            Violation::EvictedLastCopy { object, worker } => {
+                write!(
+                    f,
+                    "w{} evicted the last copy of object {}",
+                    worker.0, object
+                )
+            }
+            Violation::LostLastReplica { object } => {
+                write!(
+                    f,
+                    "object {object} ended the run with zero live copies after an eviction"
+                )
+            }
+            Violation::RepairNeverCompleted { object } => {
+                write!(f, "committed repair of object {object} never completed")
+            }
+            Violation::DuplicateRepair { object } => {
+                write!(f, "overlapping or unmatched repair for object {object}")
+            }
+            Violation::FetchFromNonReplica { object, from } => {
+                write!(
+                    f,
+                    "peer fetch of object {} requested from w{} which no longer holds it",
+                    object, from.0
+                )
+            }
         }
     }
 }
@@ -511,6 +582,18 @@ pub struct Oracle {
     n_workers_seen: HashSet<u32>,
     /// Atomized DAGs seen in the log, keyed by root id.
     dags: HashMap<JobId, DagCheck>,
+    /// Replicated data plane: live holders per object, from
+    /// `replica_add`/`replica_drop`. (Warm-seeded copies predate the
+    /// log; a holder the oracle never saw is simply unknown, not
+    /// stale.)
+    replica_holders: HashMap<u64, HashSet<u32>>,
+    /// Workers whose copy of an object was dropped and not re-added —
+    /// the *known-stale* sources a fetch must not be routed to.
+    replica_dropped: HashMap<u64, HashSet<u32>>,
+    /// Whether each object's most recent drop was an eviction.
+    last_drop_was_eviction: HashMap<u64, bool>,
+    /// Objects with a committed `repair_start` awaiting `repair_done`.
+    open_repairs: HashSet<u64>,
     idx: usize,
     violations: Vec<Violation>,
 }
@@ -529,6 +612,10 @@ impl Oracle {
             depth: HashMap::new(),
             n_workers_seen: HashSet::new(),
             dags: HashMap::new(),
+            replica_holders: HashMap::new(),
+            replica_dropped: HashMap::new(),
+            last_drop_was_eviction: HashMap::new(),
+            open_repairs: HashSet::new(),
             idx: 0,
             violations: Vec::new(),
         }
@@ -919,6 +1006,54 @@ impl Oracle {
                 let job = job.expect("spec_cancel carries the losing job");
                 self.jobs.entry(job).or_default().cancelled = true;
             }
+            SchedEventKind::FetchReq { object, from } => {
+                if self
+                    .replica_dropped
+                    .get(object)
+                    .is_some_and(|d| d.contains(&from.0))
+                {
+                    self.violations.push(Violation::FetchFromNonReplica {
+                        object: *object,
+                        from: *from,
+                    });
+                }
+            }
+            // Fetch outcomes change no replica state: an ok confirms a
+            // transfer, a fail hands the attempt to the retry loop.
+            SchedEventKind::FetchOk { .. } | SchedEventKind::FetchFail { .. } => {}
+            SchedEventKind::ReplicaAdd { object } => {
+                let w = worker.expect("replica_add carries a worker");
+                self.replica_holders.entry(*object).or_default().insert(w.0);
+                if let Some(d) = self.replica_dropped.get_mut(object) {
+                    d.remove(&w.0);
+                }
+            }
+            SchedEventKind::ReplicaDrop { object, evicted } => {
+                let w = worker.expect("replica_drop carries a worker");
+                let holders = self.replica_holders.entry(*object).or_default();
+                holders.remove(&w.0);
+                let emptied = holders.is_empty();
+                self.replica_dropped.entry(*object).or_default().insert(w.0);
+                self.last_drop_was_eviction.insert(*object, *evicted);
+                if *evicted && emptied {
+                    self.violations.push(Violation::EvictedLastCopy {
+                        object: *object,
+                        worker: w,
+                    });
+                }
+            }
+            SchedEventKind::RepairStart { object, .. } => {
+                if !self.open_repairs.insert(*object) {
+                    self.violations
+                        .push(Violation::DuplicateRepair { object: *object });
+                }
+            }
+            SchedEventKind::RepairDone { object } => {
+                if !self.open_repairs.remove(object) {
+                    self.violations
+                        .push(Violation::DuplicateRepair { object: *object });
+                }
+            }
         }
         self.idx += 1;
     }
@@ -963,6 +1098,33 @@ impl Oracle {
                             .push(Violation::OrphanedStage { root, task });
                     }
                 }
+            }
+        }
+        if self.opts.expect_all_complete {
+            // Commit-before-copy: every committed repair must land
+            // within the run (the engines hold the run open until the
+            // repair queue drains). Partial runs legitimately truncate
+            // repairs, hence the gate.
+            let mut abandoned: Vec<u64> = self.open_repairs.iter().copied().collect();
+            abandoned.sort_unstable();
+            for object in abandoned {
+                self.violations
+                    .push(Violation::RepairNeverCompleted { object });
+            }
+            // An object whose last copy was *evicted* (not crashed
+            // away) and never restored ended the run discarded by
+            // choice.
+            let mut lost: Vec<u64> = self
+                .replica_holders
+                .iter()
+                .filter(|(obj, holders)| {
+                    holders.is_empty() && self.last_drop_was_eviction.get(*obj) == Some(&true)
+                })
+                .map(|(obj, _)| *obj)
+                .collect();
+            lost.sort_unstable();
+            for object in lost {
+                self.violations.push(Violation::LostLastReplica { object });
             }
         }
         if self.opts.federated {

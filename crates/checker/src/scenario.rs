@@ -14,8 +14,8 @@ use crossbid_crossflow::{
     run_federation, Allocator, Arrival, AtomizeConfig, BaselineAllocator, ChaosConfig,
     EngineConfig, FaultPlan, Faults, FedArrival, FedRuntimeKind, FederationMutation,
     FederationOutput, FederationSpec, JobSpec, MasterFaultPlan, MembershipPlan, NetFaultPlan,
-    Payload, ProtocolMutation, ResourceRef, RunOutput, RunSpec, ShardId, ShardSpec, TaskId,
-    WorkerId, WorkerSpec, Workflow,
+    Payload, ProtocolMutation, ReplicationConfig, ResourceRef, RunOutput, RunSpec, ShardId,
+    ShardSpec, TaskId, WorkerId, WorkerSpec, Workflow,
 };
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{SimDuration, SimTime};
@@ -726,6 +726,225 @@ impl DagScenario {
     }
 }
 
+/// A fully-specified replicated-data-plane workload: a cluster with a
+/// replication factor, a job stream over hot artifacts, an optional
+/// crash/recovery schedule and a seeded peer-transfer loss rate. Like
+/// [`Scenario`] this is data — the replication explorer sweeps it
+/// across `(run, net)` seed tuples on either runtime, and a failing
+/// tuple *is* the repro (replica state is globally entangled through
+/// the pin/repair protocol, so there is nothing to shrink).
+#[derive(Debug, Clone)]
+pub struct ReplScenario {
+    /// Stable name for reports and `repro replicate` output.
+    pub name: &'static str,
+    /// Which allocation protocol places the jobs.
+    pub protocol: Protocol,
+    /// Cluster size (homogeneous workers).
+    pub workers: usize,
+    /// Replication target factor.
+    pub factor: u32,
+    /// The workload.
+    pub jobs: Vec<JobDef>,
+    /// Crash/recovery schedule.
+    pub faults: Vec<FaultDef>,
+    /// Seeded peer data-transfer loss probability (drives the
+    /// retry → degraded-master-fallback path).
+    pub peer_drop_prob: f64,
+    /// Per-worker store capacity in GB. Small values create the
+    /// eviction pressure the pin discipline exists to survive.
+    pub storage_gb: f64,
+}
+
+fn spaced_jobs(n: usize, objects: u64, spacing: f64) -> Vec<JobDef> {
+    (0..n)
+        .map(|i| JobDef {
+            at_secs: i as f64 * spacing,
+            object: 1 + (i as u64 % objects),
+            bytes: 100_000_000,
+        })
+        .collect()
+}
+
+impl ReplScenario {
+    /// The built-in replication axis: factor × holder crash × peer
+    /// loss × eviction pressure, both protocols represented.
+    pub fn builtins() -> Vec<ReplScenario> {
+        let crash_recover = vec![
+            FaultDef {
+                at_secs: 21.0,
+                worker: 0,
+                recovers: false,
+            },
+            FaultDef {
+                at_secs: 40.0,
+                worker: 0,
+                recovers: true,
+            },
+        ];
+        vec![
+            ReplScenario {
+                name: "repl_f2_crash",
+                protocol: Protocol::Bidding,
+                workers: 4,
+                factor: 2,
+                jobs: spaced_jobs(12, 2, 2.0),
+                faults: crash_recover.clone(),
+                peer_drop_prob: 0.0,
+                storage_gb: 10.0,
+            },
+            ReplScenario {
+                name: "repl_f3_lossy",
+                protocol: Protocol::Bidding,
+                workers: 4,
+                factor: 3,
+                jobs: spaced_jobs(12, 2, 2.0),
+                faults: Vec::new(),
+                peer_drop_prob: 0.5,
+                storage_gb: 10.0,
+            },
+            ReplScenario {
+                name: "repl_f2_lossy_crash_baseline",
+                protocol: Protocol::Baseline,
+                workers: 4,
+                factor: 2,
+                jobs: spaced_jobs(12, 2, 2.0),
+                faults: crash_recover,
+                peer_drop_prob: 0.3,
+                storage_gb: 10.0,
+            },
+            // One worker, factor 1, three 100 MB artifacts against a
+            // two-slot store: the third insert *must* pass through
+            // because both residents are pinned sole copies. With the
+            // pin discipline sabotaged (`EvictLastCopy`) the insert
+            // evicts a last copy instead — the oracle's
+            // `EvictedLastCopy` catcher.
+            ReplScenario {
+                name: "repl_f1_evict_pressure",
+                protocol: Protocol::Bidding,
+                workers: 1,
+                factor: 1,
+                jobs: spaced_jobs(3, 3, 2.0),
+                faults: Vec::new(),
+                peer_drop_prob: 0.0,
+                storage_gb: 0.21,
+            },
+        ]
+    }
+
+    /// Oracle options matching this scenario (the replication
+    /// invariants arm themselves on the first replica event).
+    pub fn oracle_options(&self) -> OracleOptions {
+        OracleOptions {
+            expect_all_complete: true,
+            strict_reoffer: false,
+            workers: Some(self.workers as u32),
+            ..OracleOptions::default()
+        }
+    }
+
+    /// The crash/recovery plan.
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for f in &self.faults {
+            let at = SimTime::from_secs_f64(f.at_secs);
+            plan = if f.recovers {
+                plan.recover_at(at, WorkerId(f.worker))
+            } else {
+                plan.crash_at(at, WorkerId(f.worker))
+            };
+        }
+        plan.with_detection_delay(SimDuration::from_secs(2))
+    }
+
+    /// The replication knobs with a mutation's sabotage applied. The
+    /// sim engine is mutation-agnostic, so the scenario layer arms the
+    /// equivalent config flags directly; the threaded runtime maps the
+    /// mutation itself (under the `protocol-mutation` feature).
+    fn replication(&self, mutation: ProtocolMutation) -> ReplicationConfig {
+        let mut r = ReplicationConfig::with_factor(self.factor);
+        r.peer_drop_prob = self.peer_drop_prob;
+        r.skip_repair |= mutation == ProtocolMutation::SkipRepair;
+        r.evict_last_copy |= mutation == ProtocolMutation::EvictLastCopy;
+        r
+    }
+
+    /// The arrival stream.
+    pub fn arrivals(&self, task: TaskId) -> Vec<Arrival> {
+        self.jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| Arrival {
+                at: SimTime::from_secs_f64(j.at_secs),
+                spec: JobSpec::scanning(
+                    task,
+                    ResourceRef {
+                        id: ObjectId(j.object),
+                        bytes: j.bytes,
+                    },
+                    Payload::Index(i as u64),
+                ),
+            })
+            .collect()
+    }
+
+    /// The [`RunSpec`]: ideal control plane, no noise, no speed
+    /// learning — like [`Scenario::spec`], protocol behavior only.
+    fn spec(&self, seed: u64, replication: ReplicationConfig, net: NetFaultPlan) -> RunSpec {
+        let mut spec = RunSpec::builder()
+            .workers((0..self.workers).map(|i| {
+                WorkerSpec::builder(format!("w{i}"))
+                    .net_mbps(10.0)
+                    .rw_mbps(100.0)
+                    .storage_gb(self.storage_gb)
+                    .build()
+            }))
+            .engine(EngineConfig {
+                control: ControlPlane::instant(),
+                data_latency: SimDuration::ZERO,
+                noise: NoiseModel::None,
+                ..EngineConfig::default()
+            })
+            .speed_learning(false)
+            .replication(replication)
+            .faults(Faults::new().workers(self.fault_plan()))
+            .trace(true)
+            .names("checker", self.name)
+            .seed(seed)
+            .time_scale(1e-3)
+            .build();
+        spec.engine.netfaults = net;
+        spec
+    }
+
+    /// One deterministic run on the simulation engine.
+    pub fn run_sim(&self, seed: u64, mutation: ProtocolMutation, net: NetFaultPlan) -> RunOutput {
+        let spec = self.spec(seed, self.replication(mutation), net);
+        let mut session = spec.sim();
+        let mut wf = Workflow::new();
+        let task = wf.add_sink("scan");
+        let arrivals = self.arrivals(task);
+        session.run_iteration(&mut wf, self.protocol.allocator().as_ref(), arrivals)
+    }
+
+    /// One run on the threaded runtime. The mutation rides the spec
+    /// (it maps onto the replication flags inside the master, feature
+    /// permitting).
+    pub fn run_threaded(
+        &self,
+        seed: u64,
+        mutation: ProtocolMutation,
+        net: NetFaultPlan,
+    ) -> RunOutput {
+        let mut spec = self.spec(seed, self.replication(ProtocolMutation::None), net);
+        spec.mutation = mutation;
+        let mut session = spec.threaded();
+        let mut wf = Workflow::new();
+        let task = wf.add_sink("scan");
+        let arrivals = self.arrivals(task);
+        session.run_iteration(&mut wf, self.protocol.allocator().as_ref(), arrivals)
+    }
+}
+
 /// Everything that parameterizes one threaded run of a scenario. The
 /// explorer mutates `keep_jobs` / `keep_fault_workers` while shrinking
 /// and leaves the rest fixed.
@@ -858,6 +1077,34 @@ mod tests {
             out.sched_log.spec_launches() >= 1,
             "the straggler scenario must exercise speculation"
         );
+    }
+
+    #[test]
+    fn repl_builtins_cover_the_axis() {
+        let all = ReplScenario::builtins();
+        assert!(all.iter().any(|s| !s.faults.is_empty()));
+        assert!(all.iter().any(|s| s.peer_drop_prob > 0.0));
+        assert!(all.iter().any(|s| s.factor >= 3));
+        assert!(all.iter().any(|s| s.factor == 1 && s.storage_gb < 1.0));
+        assert!(all.iter().any(|s| s.protocol == Protocol::Bidding));
+        assert!(all.iter().any(|s| s.protocol == Protocol::Baseline));
+        let names: std::collections::HashSet<_> = all.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), all.len(), "repl scenario names are unique");
+    }
+
+    #[test]
+    fn every_repl_builtin_passes_the_oracle_on_the_sim_engine() {
+        for sc in ReplScenario::builtins() {
+            let out = sc.run_sim(7, ProtocolMutation::None, NetFaultPlan::none());
+            assert_eq!(
+                out.record.jobs_completed,
+                sc.jobs.len() as u64,
+                "{}: all jobs complete",
+                sc.name
+            );
+            let v = check_log(&out.sched_log, sc.oracle_options());
+            assert!(v.is_empty(), "{}: sim violations {v:?}", sc.name);
+        }
     }
 
     #[test]

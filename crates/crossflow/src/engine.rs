@@ -24,7 +24,9 @@ use std::collections::{HashMap, HashSet};
 
 use crossbid_metrics::{Registry, RegistrySnapshot, RunRecord, SchedulerKind};
 use crossbid_net::{ControlPlane, NoiseModel};
+use crossbid_simcore::rng::splitmix64;
 use crossbid_simcore::{EventQueue, RngStream, SeedSequence, SimDuration, SimTime, Welford};
+use crossbid_storage::{ObjectId, ReplicaMap};
 
 use crate::atomize::{AtomizeConfig, DagState, DoneOutcome};
 use crate::faults::{
@@ -89,6 +91,12 @@ pub struct EngineConfig {
     /// for arrivals whose [`JobSpec::dag`] is set; the defaults are
     /// inert for plain workloads.
     pub atomize: AtomizeConfig,
+    /// Self-healing replicated data plane (ROADMAP item 2): replica-
+    /// aware stores, peer-to-peer fetch from the nearest replica, and
+    /// crash-triggered re-replication committed through the scheduler
+    /// log. The default (disabled) keeps the engine on its exact
+    /// historic code path.
+    pub replication: ReplicationConfig,
     /// Record a per-job lifecycle trace (see [`crate::trace`]).
     pub trace: bool,
     /// Shared metrics sink. When `None` the engine collects into a
@@ -112,6 +120,7 @@ impl Default for EngineConfig {
             membership: MembershipPlan::none(),
             shard: ShardId(0),
             atomize: AtomizeConfig::default(),
+            replication: ReplicationConfig::default(),
             trace: false,
             metrics: None,
         }
@@ -135,9 +144,102 @@ impl EngineConfig {
             membership: MembershipPlan::none(),
             shard: ShardId(0),
             atomize: AtomizeConfig::default(),
+            replication: ReplicationConfig::default(),
             trace: false,
             metrics: None,
         }
+    }
+}
+
+/// Configuration of the self-healing replicated data plane.
+///
+/// When `enabled`, every worker-resident artifact is tracked in a
+/// cluster-wide [`ReplicaMap`] with a target `factor`; workers fetch
+/// missing artifacts from the nearest live replica (a worker→worker
+/// transfer priced into bids), peer transfers are exposed to data-
+/// plane loss and partitions with timeout + seeded-backoff retry, and
+/// the master repairs under-replication after crashes by scheduling
+/// re-replication copies committed through the scheduler log
+/// (commit-before-copy, so a failover resumes repair without
+/// double-copying). Sole surviving copies are pinned in their local
+/// store so cache pressure can never destroy data the cluster cannot
+/// re-create.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationConfig {
+    /// Master switch. Disabled (the default) keeps both runtimes on
+    /// their exact historic code paths — no replica tracking, no peer
+    /// fetches, no repair traffic, no extra log events.
+    pub enabled: bool,
+    /// Target number of live copies per artifact (≥ 1).
+    pub factor: u32,
+    /// Virtual seconds a worker waits for a peer transfer before
+    /// declaring the attempt lost and retrying.
+    pub fetch_timeout_secs: f64,
+    /// Peer-fetch attempts (rotating over live replicas) before the
+    /// worker degrades to a master fetch, which always succeeds.
+    pub max_fetch_attempts: u32,
+    /// Intra-cluster bandwidth advantage of a worker→worker transfer
+    /// over a master fetch: peer transfer time is the master-fetch
+    /// time divided by this factor (> 0).
+    pub peer_bandwidth_scale: f64,
+    /// Probability a peer data transfer is lost in flight. Sampled
+    /// deterministically from a hash of (net seed, object, worker,
+    /// attempt) so both runtimes replay identically; composed with any
+    /// active [`NetFaultPlan`] link loss and partition windows.
+    pub peer_drop_prob: f64,
+    /// Sabotage (protocol-mutation testing): commit `repair_start`
+    /// but never perform the copy — the oracle must report
+    /// [`RepairNeverCompleted`](crate::trace::SchedLog).
+    pub skip_repair: bool,
+    /// Sabotage (protocol-mutation testing): never pin sole surviving
+    /// copies, so eviction may destroy the last replica — the oracle
+    /// must report an `EvictedLastCopy` violation.
+    pub evict_last_copy: bool,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            enabled: false,
+            factor: 2,
+            fetch_timeout_secs: 5.0,
+            max_fetch_attempts: 3,
+            peer_bandwidth_scale: 4.0,
+            peer_drop_prob: 0.0,
+            skip_repair: false,
+            evict_last_copy: false,
+        }
+    }
+}
+
+impl ReplicationConfig {
+    /// An enabled plane with the default knobs and the given factor.
+    pub fn with_factor(factor: u32) -> Self {
+        ReplicationConfig {
+            enabled: true,
+            factor,
+            ..Self::default()
+        }
+    }
+
+    /// Check every knob; returns the offending field on failure.
+    pub fn validate(&self) -> Result<(), (&'static str, f64)> {
+        if self.factor == 0 {
+            return Err(("factor", 0.0));
+        }
+        if !self.fetch_timeout_secs.is_finite() || self.fetch_timeout_secs <= 0.0 {
+            return Err(("fetch_timeout_secs", self.fetch_timeout_secs));
+        }
+        if self.max_fetch_attempts == 0 {
+            return Err(("max_fetch_attempts", 0.0));
+        }
+        if !self.peer_bandwidth_scale.is_finite() || self.peer_bandwidth_scale <= 0.0 {
+            return Err(("peer_bandwidth_scale", self.peer_bandwidth_scale));
+        }
+        if !self.peer_drop_prob.is_finite() || !(0.0..=1.0).contains(&self.peer_drop_prob) {
+            return Err(("peer_drop_prob", self.peer_drop_prob));
+        }
+        Ok(())
     }
 }
 
@@ -236,6 +338,11 @@ pub struct RunOutput {
     /// mean its results are suspect (e.g. the sim event queue clamping
     /// past-time events). Empty for a healthy run.
     pub anomalies: Vec<String>,
+    /// End-of-run replica registry (`Some` iff
+    /// [`ReplicationConfig::enabled`]): which live workers hold each
+    /// artifact. Property tests replay the log's replica events and
+    /// assert they reconstruct exactly this map.
+    pub replicas: Option<ReplicaMap>,
 }
 
 #[derive(Clone)]
@@ -326,6 +433,30 @@ enum Ev {
     /// Periodic straggler sweep over in-flight DAG tasks (armed only
     /// while an atomized job is active).
     SpecCheck,
+    /// A peer-to-peer replica transfer lands at the fetching worker.
+    PeerFetchArrive {
+        worker: WorkerId,
+        epoch: u64,
+    },
+    /// A peer fetch attempt was lost on the data plane and its wait
+    /// timed out; the worker retries (after a seeded backoff) or
+    /// degrades to a master fetch.
+    PeerFetchTimeout {
+        worker: WorkerId,
+        epoch: u64,
+        attempt: u32,
+    },
+    /// Backoff elapsed: start peer-fetch attempt `attempt`.
+    PeerFetchRetry {
+        worker: WorkerId,
+        epoch: u64,
+        attempt: u32,
+    },
+    /// A re-replication copy completes at its destination worker.
+    RepairArrive {
+        object: ObjectId,
+        dest: WorkerId,
+    },
 }
 
 /// Master-side record of one in-flight placement under the net-fault
@@ -347,6 +478,9 @@ struct Slot {
     /// When the current job's fetch completed (processing begin);
     /// `None` while fetching or when the data was already local.
     fetch_done: Option<SimTime>,
+    /// Peer replica the in-flight fetch attempt was requested from
+    /// (`None` for master fetches).
+    fetch_from: Option<WorkerId>,
 }
 
 /// Engine-side view of one undecided bidding contest.
@@ -460,6 +594,17 @@ struct Engine<'a> {
     /// Per-worker: completions not yet acked by the master, kept for
     /// retransmission. Cleared on crash.
     pending_done: Vec<HashMap<JobId, Job>>,
+
+    // Replicated data plane. All of it is inert when `repl_active`
+    // is false — no extra rng draws, no extra events, no log entries.
+    repl_active: bool,
+    /// Cluster-wide artifact → live replica set with the target
+    /// factor; the self-healing plane's source of truth.
+    replicas: ReplicaMap,
+    /// In-flight re-replication copies: object → destination worker.
+    /// Committed (`repair_start`) before the copy begins, removed on
+    /// `repair_done`; the run does not end while one is in flight.
+    repairs: HashMap<ObjectId, WorkerId>,
 }
 
 impl<'a> Engine<'a> {
@@ -828,13 +973,25 @@ impl<'a> Engine<'a> {
 
     fn view_for(&self, w: WorkerId, job: &Job) -> WorkerView {
         let node = &self.nodes[w.0 as usize];
+        let mut est_fetch_secs = node.est_fetch_secs(job, self.cfg.speed_learning);
+        // Replica-aware pricing: a worker that would fetch from a live
+        // peer replica bids the cheaper intra-cluster transfer, so
+        // locality pressure spreads over the whole replica set instead
+        // of concentrating on the one original holder.
+        if self.repl_active && est_fetch_secs > 0.0 {
+            if let Some(r) = job.resource {
+                if !self.peer_sources(r.id, w).is_empty() {
+                    est_fetch_secs /= self.cfg.replication.peer_bandwidth_scale;
+                }
+            }
+        }
         WorkerView {
             id: w,
             now: self.q.now(),
             backlog_secs: node.backlog_secs(),
             has_data: node.has_data(job),
             declined_before: node.declined.contains(&job.id),
-            est_fetch_secs: node.est_fetch_secs(job, self.cfg.speed_learning),
+            est_fetch_secs,
             est_proc_secs: node.est_proc_secs(job, self.cfg.speed_learning),
             queue_len: node.queue.len(),
         }
@@ -878,13 +1035,12 @@ impl<'a> Engine<'a> {
         if needs_fetch {
             let r = job.resource.expect("needs_fetch implies resource");
             node.activity = WorkerActivity::Fetching(job.id);
-            let rng = &mut self.rng_workers[w.0 as usize];
-            let outcome = node.link.transfer(r.bytes, rng);
-            node.net_tracker.observe(outcome.achieved_mb_per_sec());
             self.slots[w.0 as usize].current = Some(job);
-            let epoch = self.epochs[w.0 as usize];
-            self.q
-                .schedule_in(outcome.duration, Ev::FetchDone { worker: w, epoch });
+            if self.repl_active && !self.peer_sources(r.id, w).is_empty() {
+                self.start_peer_fetch(w, 0);
+            } else {
+                self.master_fetch(w);
+            }
         } else {
             self.slots[w.0 as usize].current = Some(job);
             self.begin_processing(w);
@@ -926,6 +1082,292 @@ impl<'a> Engine<'a> {
     fn bounce(&mut self, job: Job) {
         self.q
             .schedule_in(self.cfg.faults.detection_delay, Ev::Redispatch(job));
+    }
+
+    /// Live peers currently holding `obj` (ascending id), excluding
+    /// `exclude` — the candidate sources for a peer fetch.
+    fn peer_sources(&self, obj: ObjectId, exclude: WorkerId) -> Vec<WorkerId> {
+        self.replicas
+            .replicas(obj)
+            .filter(|&h| h != exclude.0 && self.active[h as usize])
+            .map(WorkerId)
+            .collect()
+    }
+
+    /// Deterministic data-plane loss for one peer transfer attempt.
+    ///
+    /// Sampled from a hash of (net seed, object, endpoint, attempt) —
+    /// not from an rng stream — so the decision is independent of
+    /// event timing and identical across both runtimes. Composes the
+    /// replication plane's own `peer_drop_prob` with any active
+    /// [`NetFaultPlan`] link loss as independent failures.
+    fn peer_dropped(&self, obj: ObjectId, w: WorkerId, attempt: u32) -> bool {
+        let keep = (1.0 - self.cfg.replication.peer_drop_prob)
+            * (1.0 - self.cfg.netfaults.to_worker.drop_prob);
+        let p = 1.0 - keep;
+        if p <= 0.0 {
+            return false;
+        }
+        let mut s = self
+            .cfg
+            .netfaults
+            .seed
+            .wrapping_add(obj.0.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(((w.0 as u64) << 32) | attempt as u64);
+        let u = (splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+
+    /// Fall back to the master data plane for the worker's current
+    /// fetch: the repository host serves the bytes at the worker's
+    /// nominal link speed. Always succeeds (the paper's TCP
+    /// assumption) — this is the degraded path that keeps runs
+    /// terminating when every replica is unreachable.
+    fn master_fetch(&mut self, w: WorkerId) {
+        let job = self.slots[w.0 as usize]
+            .current
+            .clone()
+            .expect("fetch without job");
+        let r = job.resource.expect("fetch without resource");
+        self.slots[w.0 as usize].fetch_from = None;
+        let node = &mut self.nodes[w.0 as usize];
+        let rng = &mut self.rng_workers[w.0 as usize];
+        let outcome = node.link.transfer(r.bytes, rng);
+        node.net_tracker.observe(outcome.achieved_mb_per_sec());
+        let epoch = self.epochs[w.0 as usize];
+        self.q
+            .schedule_in(outcome.duration, Ev::FetchDone { worker: w, epoch });
+    }
+
+    /// Start peer-fetch attempt `attempt` for the worker's current
+    /// job, rotating over the live replicas; degrades to a master
+    /// fetch when no replica is live or the attempt budget is spent.
+    fn start_peer_fetch(&mut self, w: WorkerId, attempt: u32) {
+        let job = self.slots[w.0 as usize]
+            .current
+            .clone()
+            .expect("fetch without job");
+        let r = job.resource.expect("fetch without resource");
+        let sources = self.peer_sources(r.id, w);
+        if sources.is_empty() || attempt >= self.cfg.replication.max_fetch_attempts {
+            self.master_fetch(w);
+            return;
+        }
+        let from = sources[attempt as usize % sources.len()];
+        self.slots[w.0 as usize].fetch_from = Some(from);
+        self.note_sched(
+            Some(w),
+            Some(job.id),
+            SchedEventKind::FetchReq {
+                object: r.id.0,
+                from,
+            },
+        );
+        let epoch = self.epochs[w.0 as usize];
+        let now = self.q.now();
+        let blocked = self.cfg.netfaults.link_blocked(from, w, now);
+        if blocked || self.peer_dropped(r.id, w, attempt) {
+            // The transfer is lost in flight; the worker notices via
+            // timeout.
+            let d = SimDuration::from_secs_f64(self.cfg.replication.fetch_timeout_secs);
+            self.q.schedule_in(
+                d,
+                Ev::PeerFetchTimeout {
+                    worker: w,
+                    epoch,
+                    attempt,
+                },
+            );
+            return;
+        }
+        let node = &mut self.nodes[w.0 as usize];
+        let rng = &mut self.rng_workers[w.0 as usize];
+        let outcome = node.link.transfer(r.bytes, rng);
+        let d = outcome
+            .duration
+            .mul_f64(1.0 / self.cfg.replication.peer_bandwidth_scale);
+        self.q
+            .schedule_in(d, Ev::PeerFetchArrive { worker: w, epoch });
+    }
+
+    /// Post-insert replica bookkeeping: commit a `replica_drop` for
+    /// every eviction the insert caused, a `replica_add` if the object
+    /// was retained and is a new copy, re-derive pins, and top up
+    /// toward the target factor. A no-op when replication is off.
+    fn note_replica_insert(
+        &mut self,
+        w: WorkerId,
+        obj: ObjectId,
+        bytes: u64,
+        evicted: Vec<ObjectId>,
+    ) {
+        if !self.repl_active {
+            return;
+        }
+        for gone in evicted {
+            if self.replicas.drop_replica(gone, w.0) {
+                self.note_sched(
+                    Some(w),
+                    None,
+                    SchedEventKind::ReplicaDrop {
+                        object: gone.0,
+                        evicted: true,
+                    },
+                );
+                self.sync_pins(gone);
+            }
+        }
+        // An insert that passed through (pins or capacity blocked
+        // admission) did not create a copy.
+        if self.nodes[w.0 as usize].store.peek(obj) && self.replicas.add(obj, w.0, bytes) {
+            self.note_sched(Some(w), None, SchedEventKind::ReplicaAdd { object: obj.0 });
+            self.sync_pins(obj);
+            if self.replicas.count(obj) < self.replicas.factor() as usize {
+                // Proactive top-up: a fresh artifact is replicated to
+                // the target factor without waiting for a crash.
+                self.start_repair(obj);
+            }
+        }
+    }
+
+    /// Re-derive eviction pins for `obj`: its sole surviving copy is
+    /// pinned (eviction must never destroy data the cluster cannot
+    /// re-create); once a second copy exists the pin is released.
+    fn sync_pins(&mut self, obj: ObjectId) {
+        let holders: Vec<u32> = self.replicas.replicas(obj).collect();
+        if holders.len() == 1 {
+            if !self.cfg.replication.evict_last_copy {
+                self.nodes[holders[0] as usize].store.pin(obj);
+            }
+        } else {
+            for h in holders {
+                self.nodes[h as usize].store.unpin(obj);
+            }
+        }
+    }
+
+    /// The preferred destination for a new copy of `obj`: the live,
+    /// non-draining worker with the most free store bytes that does
+    /// not already hold it (ties broken by lowest id).
+    fn repair_dest(&self, obj: ObjectId) -> Option<WorkerId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.active[i] && !self.draining[i] && !self.replicas.holds(obj, i as u32))
+            .max_by_key(|&i| {
+                let free = self.nodes[i]
+                    .store
+                    .capacity()
+                    .saturating_sub(self.nodes[i].store.used());
+                (free, std::cmp::Reverse(i))
+            })
+            .map(|i| WorkerId(i as u32))
+    }
+
+    /// Begin one re-replication increment for `obj` under the
+    /// commit-before-copy discipline: the `repair_start` decision is
+    /// committed through the replicated log *before* any bytes move,
+    /// so a master failover can resume outstanding repairs from the
+    /// log without double-copying. At most one repair per object is in
+    /// flight; each completion re-checks the factor and starts the
+    /// next increment if needed.
+    fn start_repair(&mut self, obj: ObjectId) {
+        if !self.repl_active || self.repairs.contains_key(&obj) {
+            return;
+        }
+        let Some(bytes) = self.replicas.bytes(obj) else {
+            return;
+        };
+        let Some(&src) = self
+            .replicas
+            .replicas(obj)
+            .filter(|&h| self.active[h as usize])
+            .collect::<Vec<_>>()
+            .first()
+        else {
+            // No live source: the copy cannot be made. If a fetch or
+            // repair was in flight the oracle reports the loss.
+            return;
+        };
+        let Some(dest) = self.repair_dest(obj) else {
+            return;
+        };
+        if !self.note_sched(
+            Some(dest),
+            None,
+            SchedEventKind::RepairStart {
+                object: obj.0,
+                from: WorkerId(src),
+            },
+        ) {
+            return;
+        }
+        self.m.repairs_started.inc();
+        if self.cfg.replication.skip_repair {
+            // Sabotage: the decision is committed but the copy never
+            // happens — the oracle must flag the unmatched start.
+            return;
+        }
+        self.repairs.insert(obj, dest);
+        self.queue_repair_copy(obj, bytes, dest);
+    }
+
+    /// Schedule the physical copy of one repair. Peer-sourced at
+    /// intra-cluster speed when the data plane delivers it; a transfer
+    /// the plane would lose degrades to a master-sourced copy at
+    /// nominal link speed, which always succeeds — a committed repair
+    /// always completes (unless sabotaged).
+    fn queue_repair_copy(&mut self, obj: ObjectId, bytes: u64, dest: WorkerId) {
+        // Attempt key 0x8000_0000 separates repair-copy samples from
+        // fetch-attempt samples of the same (object, worker) pair.
+        let degraded = self.peer_dropped(obj, dest, 0x8000_0000);
+        let node = &mut self.nodes[dest.0 as usize];
+        let rng = &mut self.rng_workers[dest.0 as usize];
+        let outcome = node.link.transfer(bytes, rng);
+        let d = if degraded {
+            outcome.duration
+        } else {
+            outcome
+                .duration
+                .mul_f64(1.0 / self.cfg.replication.peer_bandwidth_scale)
+        };
+        self.q
+            .schedule_in(d, Ev::RepairArrive { object: obj, dest });
+    }
+
+    /// Scan for under-replicated artifacts and start a repair for
+    /// each. Called after crash/removal diffs and after a master
+    /// failover (resuming from the committed log's unmatched starts is
+    /// subsumed: in-flight copies stay in `repairs`, so only truncated
+    /// or missing repairs are re-issued).
+    fn schedule_repairs(&mut self) {
+        if !self.repl_active {
+            return;
+        }
+        for obj in self.replicas.under_replicated() {
+            self.start_repair(obj);
+        }
+    }
+
+    /// Crash/removal hook: `w`'s disk dies, so every copy it held
+    /// leaves the replica set. Commits one `replica_drop` per object
+    /// (evicted = false — this is a failure, not cache pressure),
+    /// re-derives pins, and schedules re-replication for everything
+    /// now under-replicated.
+    fn drop_worker_replicas(&mut self, w: WorkerId) {
+        if !self.repl_active {
+            return;
+        }
+        for obj in self.replicas.drop_node(w.0) {
+            self.note_sched(
+                Some(w),
+                None,
+                SchedEventKind::ReplicaDrop {
+                    object: obj.0,
+                    evicted: false,
+                },
+            );
+            self.sync_pins(obj);
+        }
+        self.schedule_repairs();
     }
 
     fn handle(&mut self, ev: Ev) {
@@ -1174,9 +1616,151 @@ impl<'a> Engine<'a> {
                         .record(now.saturating_since(started).as_secs_f64());
                 }
                 self.slots[worker.0 as usize].fetch_done = Some(now);
-                self.worker(worker).store.insert(r.id, r.bytes, now);
+                let evicted = self.worker(worker).store.insert(r.id, r.bytes, now);
+                self.note_replica_insert(worker, r.id, r.bytes, evicted);
                 self.note_trace(job.id, worker, TraceKind::Fetched);
                 self.begin_processing(worker);
+            }
+            Ev::PeerFetchArrive { worker, epoch } => {
+                if !self.active[worker.0 as usize] || epoch != self.epochs[worker.0 as usize] {
+                    return;
+                }
+                let now = self.q.now();
+                let job = self.slots[worker.0 as usize]
+                    .current
+                    .clone()
+                    .expect("peer fetch without job");
+                let r = job.resource.expect("peer fetch without resource");
+                let from = self.slots[worker.0 as usize]
+                    .fetch_from
+                    .take()
+                    .expect("peer fetch without source");
+                self.note_sched(
+                    Some(worker),
+                    Some(job.id),
+                    SchedEventKind::FetchOk {
+                        object: r.id.0,
+                        from,
+                    },
+                );
+                if let Some(started) = self.slots[worker.0 as usize].started {
+                    self.m
+                        .fetch_secs
+                        .record(now.saturating_since(started).as_secs_f64());
+                }
+                self.slots[worker.0 as usize].fetch_done = Some(now);
+                let node = self.worker(worker);
+                // The lookup in `maybe_start` counted a cold miss;
+                // the bytes came from a peer, so reclassify it.
+                node.store.note_peer_fetch();
+                let evicted = node.store.insert(r.id, r.bytes, now);
+                self.note_replica_insert(worker, r.id, r.bytes, evicted);
+                self.note_trace(job.id, worker, TraceKind::Fetched);
+                self.begin_processing(worker);
+            }
+            Ev::PeerFetchTimeout {
+                worker,
+                epoch,
+                attempt,
+            } => {
+                if !self.active[worker.0 as usize] || epoch != self.epochs[worker.0 as usize] {
+                    return;
+                }
+                let job = self.slots[worker.0 as usize]
+                    .current
+                    .clone()
+                    .expect("peer fetch timeout without job");
+                let r = job.resource.expect("peer fetch without resource");
+                let from = self.slots[worker.0 as usize]
+                    .fetch_from
+                    .take()
+                    .expect("peer fetch without source");
+                self.note_sched(
+                    Some(worker),
+                    Some(job.id),
+                    SchedEventKind::FetchFail {
+                        object: r.id.0,
+                        from,
+                        attempt,
+                    },
+                );
+                self.m.peer_retries.inc();
+                let next = attempt + 1;
+                if next >= self.cfg.replication.max_fetch_attempts {
+                    // Every replica attempt is spent: degrade to the
+                    // master data plane, which always delivers.
+                    self.master_fetch(worker);
+                    return;
+                }
+                // Seeded backoff before rotating to the next replica.
+                let seed = self.retry_seed(job.id, r.id.0);
+                let d = self
+                    .cfg
+                    .netfaults
+                    .retry
+                    .delay_secs(seed, attempt.min(self.cfg.netfaults.retry.max_attempts - 1))
+                    .unwrap_or(self.cfg.netfaults.retry.base_secs);
+                self.q.schedule_in(
+                    SimDuration::from_secs_f64(d),
+                    Ev::PeerFetchRetry {
+                        worker,
+                        epoch,
+                        attempt: next,
+                    },
+                );
+            }
+            Ev::PeerFetchRetry {
+                worker,
+                epoch,
+                attempt,
+            } => {
+                if !self.active[worker.0 as usize] || epoch != self.epochs[worker.0 as usize] {
+                    return;
+                }
+                self.start_peer_fetch(worker, attempt);
+            }
+            Ev::RepairArrive { object, dest } => {
+                let Some(&cur) = self.repairs.get(&object) else {
+                    return;
+                };
+                if cur != dest {
+                    return;
+                }
+                if !self.active[dest.0 as usize] {
+                    // The destination died mid-copy. Re-route the same
+                    // committed repair to a fresh destination — no
+                    // second `repair_start` (that would double-count
+                    // the decision).
+                    let bytes = self.replicas.bytes(object);
+                    match (self.repair_dest(object), bytes) {
+                        (Some(nd), Some(bytes)) => {
+                            self.repairs.insert(object, nd);
+                            self.queue_repair_copy(object, bytes, nd);
+                        }
+                        _ => {
+                            // No destination (or the data is gone):
+                            // retry once somebody recovers.
+                            let d =
+                                SimDuration::from_secs_f64(self.cfg.replication.fetch_timeout_secs);
+                            self.q.schedule_in(d, Ev::RepairArrive { object, dest });
+                        }
+                    }
+                    return;
+                }
+                self.repairs.remove(&object);
+                let now = self.q.now();
+                let bytes = self.replicas.bytes(object).unwrap_or(0);
+                let evicted = self.worker(dest).store.insert(object, bytes, now);
+                self.note_sched(
+                    Some(dest),
+                    None,
+                    SchedEventKind::RepairDone { object: object.0 },
+                );
+                self.m.repairs_completed.inc();
+                self.note_replica_insert(dest, object, bytes, evicted);
+                if self.replicas.count(object) < self.replicas.factor() as usize {
+                    self.start_repair(object);
+                }
             }
             Ev::ProcDone { worker, epoch } => {
                 if !self.active[worker.0 as usize] || epoch != self.epochs[worker.0 as usize] {
@@ -1482,6 +2066,10 @@ impl<'a> Engine<'a> {
             // downloaded before the crash is retained.
             node.store.clear();
         }
+        // The control plane repairs the data plane: diff the dead
+        // worker's resident set against the replica registry and
+        // re-replicate everything now under its target factor.
+        self.drop_worker_replicas(w);
         if self.net_active {
             // The worker's protocol memory dies with it.
             self.accepted[w.0 as usize].clear();
@@ -1597,6 +2185,8 @@ impl<'a> Engine<'a> {
         self.roster_dirty = true;
         self.epochs[i] += 1;
         self.note_sched(Some(w), None, SchedEventKind::WorkerRemoved);
+        // The departed worker's copies leave the cluster with it.
+        self.drop_worker_replicas(w);
         self.run_master(|m, ctx| m.on_worker_failed(w, ctx));
     }
 
@@ -1636,6 +2226,9 @@ impl<'a> Engine<'a> {
             node.busy.set(now, 0.0);
             node.store.clear();
         }
+        // Same data-plane hook as a crash: an administratively removed
+        // worker takes its copies with it.
+        self.drop_worker_replicas(w);
         if self.net_active {
             self.accepted[i].clear();
             self.offer_outcomes[i].clear();
@@ -1727,9 +2320,11 @@ impl<'a> Engine<'a> {
                 }
                 // The task's output artifact materializes on the
                 // executing worker — downstream bids price against it.
-                self.worker(worker)
+                let evicted = self
+                    .worker(worker)
                     .store
                     .insert(output.id, output.bytes, now);
+                self.note_replica_insert(worker, output.id, output.bytes, evicted);
                 for loser in losers {
                     // The loser's `SpecCancel` is its terminal
                     // accounting event: once committed, the attempt
@@ -1809,6 +2404,13 @@ impl<'a> Engine<'a> {
                 .expect("unplaced job without a retained payload");
             self.run_master(|m, ctx| m.on_job(job, ctx));
         }
+        // Resume the data-plane repair obligation. Copies already in
+        // flight stay in `repairs` (commit-before-copy: their
+        // `repair_start` is committed, so re-issuing would double-
+        // copy); anything under-replicated with no copy in flight —
+        // e.g. a repair whose decision truncated with the dead leader
+        // — is re-issued by the new leader here.
+        self.schedule_repairs();
     }
 }
 
@@ -1877,6 +2479,7 @@ pub fn run_workflow(
                 current: None,
                 started: None,
                 fetch_done: None,
+                fetch_from: None,
             })
             .collect(),
         active: (0..n_workers)
@@ -1929,7 +2532,32 @@ pub fn run_workflow(
         accepted: vec![HashSet::new(); n_workers],
         offer_outcomes: vec![HashMap::new(); n_workers],
         pending_done: vec![HashMap::new(); n_workers],
+        repl_active: cfg.replication.enabled,
+        replicas: ReplicaMap::new(cfg.replication.factor),
+        repairs: HashMap::new(),
     };
+    if engine.repl_active {
+        // Warm caches from earlier iterations seed the registry (no
+        // log events — this is pre-run state, not a decision), and
+        // sole copies are pinned from the start.
+        let mut seeded: Vec<ObjectId> = Vec::new();
+        for i in 0..n_workers {
+            let resident: Vec<(ObjectId, u64)> = engine.nodes[i]
+                .store
+                .resident()
+                .map(|o| (o, engine.nodes[i].store.size_of(o).unwrap_or(0)))
+                .collect();
+            for (obj, bytes) in resident {
+                engine.replicas.add(obj, i as u32, bytes);
+                seeded.push(obj);
+            }
+        }
+        seeded.sort_unstable();
+        seeded.dedup();
+        for obj in seeded {
+            engine.sync_pins(obj);
+        }
+    }
     if engine.net_active {
         // Idle heartbeats: a dropped `Idle` must only delay the pull
         // loop, never wedge it.
@@ -1960,7 +2588,11 @@ pub fn run_workflow(
         if engine.arrivals_seen == engine.arrivals_total
             && engine.created > 0
             && engine.completed == engine.created
+            && engine.repairs.is_empty()
         {
+            // A committed repair must complete before the run ends —
+            // the copies are in flight on the data plane and the
+            // oracle holds the log to that promise.
             break;
         }
         if engine.q.events_delivered() >= cfg.max_events {
@@ -2009,10 +2641,12 @@ pub fn run_workflow(
         recovery_secs += makespan.saturating_since(*since).as_secs_f64();
     }
     let kind: SchedulerKind = allocator.kind();
+    let replicas = engine.repl_active.then(|| engine.replicas.clone());
     drop(engine);
 
     let mut misses = 0;
     let mut hits = 0;
+    let mut peer_fetches = 0;
     let mut evictions = 0;
     let mut bytes = 0u64;
     let mut wait = Welford::new();
@@ -2021,6 +2655,7 @@ pub fn run_workflow(
         let s = n.store.stats();
         misses += s.misses;
         hits += s.hits;
+        peer_fetches += s.peer_fetches;
         evictions += s.evictions;
         bytes += s.bytes_admitted;
         wait.merge(&n.wait);
@@ -2030,6 +2665,7 @@ pub fn run_workflow(
     }
     m.cache_misses.add(misses);
     m.cache_hits.add(hits);
+    m.peer_fetches.add(peer_fetches);
     m.cache_evictions.add(evictions);
     m.set_makespan_secs(makespan.as_secs_f64());
     m.set_data_load_mb(bytes as f64 / 1e6);
@@ -2062,5 +2698,6 @@ pub fn run_workflow(
         sched_log,
         metrics: m.snapshot(),
         anomalies,
+        replicas,
     }
 }

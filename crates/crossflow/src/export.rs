@@ -57,7 +57,15 @@ use crate::trace::{SchedEvent, SchedEventKind, TraceEvent, TraceKind};
 /// speculation events `spec_launch` / `spec_cancel` (with `root`,
 /// `task`), emitted when arrivals carry a
 /// [`TaskDag`](crate::atomize::TaskDag).
-pub const SCHEMA_VERSION: u64 = 6;
+///
+/// v7 added the replicated-data-plane events `fetch_req` / `fetch_ok`
+/// (with `object`, `from`), `fetch_fail` (with `object`, `from`,
+/// `attempt`), `replica_add` (with `object`), `replica_drop` (with
+/// `object`, `evicted`) and the re-replication repair events
+/// `repair_start` (with `object`, `from`) / `repair_done` (with
+/// `object`), emitted when a
+/// [`ReplicationConfig`](crate::engine::ReplicationConfig) is active.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// The stream header: which run produced the lines that follow.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -191,6 +199,13 @@ pub fn sched_kind_name(kind: &SchedEventKind) -> &'static str {
         SchedEventKind::TaskDone { .. } => "task_done",
         SchedEventKind::SpecLaunch { .. } => "spec_launch",
         SchedEventKind::SpecCancel { .. } => "spec_cancel",
+        SchedEventKind::FetchReq { .. } => "fetch_req",
+        SchedEventKind::FetchOk { .. } => "fetch_ok",
+        SchedEventKind::FetchFail { .. } => "fetch_fail",
+        SchedEventKind::ReplicaAdd { .. } => "replica_add",
+        SchedEventKind::ReplicaDrop { .. } => "replica_drop",
+        SchedEventKind::RepairStart { .. } => "repair_start",
+        SchedEventKind::RepairDone { .. } => "repair_done",
     }
 }
 
@@ -275,6 +290,30 @@ fn sched_event_to_json(ev: &SchedEvent) -> Json {
             fields.push(("root".to_string(), Json::UInt(root.0)));
             fields.push(("task".to_string(), Json::UInt(task as u64)));
         }
+        SchedEventKind::FetchReq { object, from } | SchedEventKind::FetchOk { object, from } => {
+            fields.push(("object".to_string(), Json::UInt(object)));
+            fields.push(("from".to_string(), Json::UInt(from.0 as u64)));
+        }
+        SchedEventKind::FetchFail {
+            object,
+            from,
+            attempt,
+        } => {
+            fields.push(("object".to_string(), Json::UInt(object)));
+            fields.push(("from".to_string(), Json::UInt(from.0 as u64)));
+            fields.push(("attempt".to_string(), Json::UInt(attempt as u64)));
+        }
+        SchedEventKind::ReplicaAdd { object } | SchedEventKind::RepairDone { object } => {
+            fields.push(("object".to_string(), Json::UInt(object)));
+        }
+        SchedEventKind::ReplicaDrop { object, evicted } => {
+            fields.push(("object".to_string(), Json::UInt(object)));
+            fields.push(("evicted".to_string(), Json::Bool(evicted)));
+        }
+        SchedEventKind::RepairStart { object, from } => {
+            fields.push(("object".to_string(), Json::UInt(object)));
+            fields.push(("from".to_string(), Json::UInt(from.0 as u64)));
+        }
         _ => {}
     }
     Json::Obj(fields)
@@ -345,6 +384,33 @@ fn sched_event_from_json(v: &Json) -> Result<SchedEvent, JsonError> {
         "spec_cancel" => SchedEventKind::SpecCancel {
             root: JobId(v.req_u64("root")?),
             task: v.req_u64("task")? as u32,
+        },
+        "fetch_req" => SchedEventKind::FetchReq {
+            object: v.req_u64("object")?,
+            from: WorkerId(v.req_u64("from")? as u32),
+        },
+        "fetch_ok" => SchedEventKind::FetchOk {
+            object: v.req_u64("object")?,
+            from: WorkerId(v.req_u64("from")? as u32),
+        },
+        "fetch_fail" => SchedEventKind::FetchFail {
+            object: v.req_u64("object")?,
+            from: WorkerId(v.req_u64("from")? as u32),
+            attempt: v.req_u64("attempt")? as u32,
+        },
+        "replica_add" => SchedEventKind::ReplicaAdd {
+            object: v.req_u64("object")?,
+        },
+        "replica_drop" => SchedEventKind::ReplicaDrop {
+            object: v.req_u64("object")?,
+            evicted: v.req_bool("evicted")?,
+        },
+        "repair_start" => SchedEventKind::RepairStart {
+            object: v.req_u64("object")?,
+            from: WorkerId(v.req_u64("from")? as u32),
+        },
+        "repair_done" => SchedEventKind::RepairDone {
+            object: v.req_u64("object")?,
         },
         other => return Err(JsonError(format!("unknown sched kind {other:?}"))),
     };
@@ -523,6 +589,29 @@ mod tests {
                 root: JobId(1000),
                 task: 3,
             },
+            SchedEventKind::FetchReq {
+                object: 42,
+                from: WorkerId(3),
+            },
+            SchedEventKind::FetchOk {
+                object: 42,
+                from: WorkerId(3),
+            },
+            SchedEventKind::FetchFail {
+                object: 42,
+                from: WorkerId(3),
+                attempt: 1,
+            },
+            SchedEventKind::ReplicaAdd { object: 42 },
+            SchedEventKind::ReplicaDrop {
+                object: 42,
+                evicted: true,
+            },
+            SchedEventKind::RepairStart {
+                object: 42,
+                from: WorkerId(5),
+            },
+            SchedEventKind::RepairDone { object: 42 },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let ev = SchedEvent {

@@ -495,6 +495,15 @@ impl NetFaultPlan {
             .any(|p| p.worker.is_none_or(|w| w == worker) && now >= p.from && now < p.until)
     }
 
+    /// Is the worker→worker link between `a` and `b` cut at `at`?
+    ///
+    /// Peer data transfers traverse both endpoints' links, so a
+    /// partition window on either side severs the pair.  Sampled at
+    /// send time like [`Self::partitioned`].
+    pub fn link_blocked(&self, a: WorkerId, b: WorkerId, at: SimTime) -> bool {
+        self.partitioned(a, at) || self.partitioned(b, at)
+    }
+
     /// The instant the last partition window ends ([`SimTime::ZERO`]
     /// when there are none) — the stall detector's healing horizon.
     pub fn partitions_end(&self) -> SimTime {

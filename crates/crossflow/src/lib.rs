@@ -85,7 +85,7 @@ pub use atomize::{
     AtomizeConfig, DagError, DagState, DoneOutcome, Speculation, TaskDag, TaskNode, MAX_DAG_TASKS,
 };
 pub use baseline::BaselineAllocator;
-pub use engine::{run_workflow, Cluster, EngineConfig, RunMeta, RunOutput};
+pub use engine::{run_workflow, Cluster, EngineConfig, ReplicationConfig, RunMeta, RunOutput};
 pub use export::{
     parse_run_stream, sched_kind_name, write_run_stream, RunStreamLine, RunStreamMeta,
     SCHEMA_VERSION,

@@ -52,6 +52,16 @@
 //! | `master/failovers` | counter | leader crashes survived by election |
 //! | `replog/truncated` | counter | decision appends lost with the leader |
 //! | `replay/entries` | counter | committed entries replayed by successors |
+//!
+//! Replicated-data-plane instruments (zero unless
+//! [`crate::engine::ReplicationConfig::enabled`] is set):
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `cache/peer_fetches` | counter | misses served worker→worker instead of from the master |
+//! | `data/peer_retries` | counter | peer fetch attempts that timed out and re-tried |
+//! | `data/repairs_started` | counter | re-replication copies committed to the log |
+//! | `data/repairs_completed` | counter | re-replication copies that landed |
 
 use crossbid_metrics::{Counter, Histogram, Registry, RegistrySnapshot};
 
@@ -91,6 +101,10 @@ pub struct RuntimeMetrics {
     pub master_failovers: Counter,
     pub replog_truncated: Counter,
     pub replay_entries: Counter,
+    pub peer_fetches: Counter,
+    pub peer_retries: Counter,
+    pub repairs_started: Counter,
+    pub repairs_completed: Counter,
 }
 
 impl RuntimeMetrics {
@@ -125,6 +139,10 @@ impl RuntimeMetrics {
             master_failovers: registry.counter("master/failovers"),
             replog_truncated: registry.counter("replog/truncated"),
             replay_entries: registry.counter("replay/entries"),
+            peer_fetches: registry.counter("cache/peer_fetches"),
+            peer_retries: registry.counter("data/peer_retries"),
+            repairs_started: registry.counter("data/repairs_started"),
+            repairs_completed: registry.counter("data/repairs_completed"),
             registry,
         }
     }

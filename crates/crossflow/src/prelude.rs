@@ -9,7 +9,7 @@
 //! trace/export types and the metrics registry.
 
 pub use crate::baseline::BaselineAllocator;
-pub use crate::engine::{Cluster, EngineConfig, RunMeta, RunOutput};
+pub use crate::engine::{Cluster, EngineConfig, ReplicationConfig, RunMeta, RunOutput};
 pub use crate::export::{
     parse_run_stream, write_run_stream, RunStreamLine, RunStreamMeta, SCHEMA_VERSION,
 };

@@ -131,6 +131,16 @@ pub struct SchedState {
     pub spill_outs: u64,
     /// Committed `SpillIn` entries (jobs accepted from peer shards).
     pub spill_ins: u64,
+    /// Data-plane replica sets as reconstructed from committed
+    /// `ReplicaAdd`/`ReplicaDrop` entries: object → holders. Empty
+    /// sets are dropped, so equality against a live replica map is
+    /// exact. (Warm-cache seeding predates the log, so replay starts
+    /// from the first logged add.)
+    pub replicas: BTreeMap<u64, BTreeSet<WorkerId>>,
+    /// Re-replications committed (`RepairStart`) but not yet landed
+    /// (`RepairDone`): object → destination worker. A successor
+    /// resumes exactly these without double-copying.
+    pub repairs_pending: BTreeMap<u64, WorkerId>,
 }
 
 impl SchedState {
@@ -293,6 +303,34 @@ impl SchedState {
                     j.acked = false;
                     j.contest_open = false;
                 }
+            }
+            // Peer-fetch traffic is an observed fact about the data
+            // plane; placement state is untouched.
+            SchedEventKind::FetchReq { .. }
+            | SchedEventKind::FetchOk { .. }
+            | SchedEventKind::FetchFail { .. } => {}
+            SchedEventKind::ReplicaAdd { object } => {
+                if let Some(w) = worker {
+                    self.replicas.entry(object).or_default().insert(w);
+                }
+            }
+            SchedEventKind::ReplicaDrop { object, .. } => {
+                if let Some(w) = worker {
+                    if let Some(set) = self.replicas.get_mut(&object) {
+                        set.remove(&w);
+                        if set.is_empty() {
+                            self.replicas.remove(&object);
+                        }
+                    }
+                }
+            }
+            SchedEventKind::RepairStart { object, .. } => {
+                if let Some(dest) = worker {
+                    self.repairs_pending.insert(object, dest);
+                }
+            }
+            SchedEventKind::RepairDone { object } => {
+                self.repairs_pending.remove(&object);
             }
         }
     }

@@ -144,6 +144,7 @@ impl ThreadedSession {
             membership: self.spec.engine.membership.clone(),
             shard: self.spec.engine.shard,
             atomize: self.spec.engine.atomize,
+            replication: self.spec.engine.replication,
         };
         let meta = RunMeta {
             worker_config: self.spec.worker_config.clone(),

@@ -171,6 +171,15 @@ impl RunSpecBuilder {
         self
     }
 
+    /// Arm the replicated data plane (both runtimes): replica-aware
+    /// stores, worker→worker peer fetch, and crash-triggered
+    /// re-replication toward `cfg.factor` copies. See
+    /// [`ReplicationConfig`](crate::engine::ReplicationConfig).
+    pub fn replication(mut self, cfg: crate::engine::ReplicationConfig) -> Self {
+        self.engine.replication = cfg;
+        self
+    }
+
     /// Record per-job lifecycle traces (both runtimes).
     pub fn trace(mut self, on: bool) -> Self {
         self.engine.trace = on;
@@ -265,6 +274,9 @@ impl RunSpecBuilder {
                 detail: "membership event targets a worker outside the cluster",
             }));
         }
+        if let Err((field, value)) = self.engine.replication.validate() {
+            return Err(SpecError::Replication { field, value });
+        }
         Ok(RunSpec {
             workers: self.workers,
             engine: self.engine,
@@ -311,6 +323,15 @@ pub enum SpecError {
     /// itself arrives at [`run_iteration`](crate::Runtime), after the
     /// builder.
     Workflow(WorkflowError),
+    /// The replication config has an out-of-range field (zero factor,
+    /// non-positive timeout, probability outside `[0, 1]`, ...).
+    Replication {
+        /// Which [`ReplicationConfig`](crate::engine::ReplicationConfig)
+        /// field was rejected.
+        field: &'static str,
+        /// The offending value, lossily cast to `f64`.
+        value: f64,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -323,6 +344,9 @@ impl std::fmt::Display for SpecError {
             SpecError::MasterFaults(e) => write!(f, "invalid master fault plan: {e}"),
             SpecError::Membership(e) => write!(f, "invalid membership plan: {e}"),
             SpecError::Workflow(e) => write!(f, "invalid workflow: {e}"),
+            SpecError::Replication { field, value } => {
+                write!(f, "invalid replication config: {field} = {value}")
+            }
         }
     }
 }

@@ -553,6 +553,14 @@ pub enum ProtocolMutation {
     /// detector — a task that already has a speculative replica is
     /// speculated again on every sweep.
     DoubleSpeculate,
+    /// Replicated data plane: commit `repair_start` but never perform
+    /// the copy — the oracle must flag the unmatched start as
+    /// `RepairNeverCompleted`.
+    SkipRepair,
+    /// Replicated data plane: never pin sole surviving copies, so
+    /// cache pressure may destroy the last live replica — the oracle
+    /// must flag an `EvictedLastCopy` violation.
+    EvictLastCopy,
 }
 
 impl ProtocolMutation {
@@ -595,6 +603,14 @@ impl ProtocolMutation {
 
     pub(crate) fn double_speculates(self) -> bool {
         cfg!(feature = "protocol-mutation") && self == ProtocolMutation::DoubleSpeculate
+    }
+
+    pub(crate) fn skips_repair(self) -> bool {
+        cfg!(feature = "protocol-mutation") && self == ProtocolMutation::SkipRepair
+    }
+
+    pub(crate) fn evicts_last_copy(self) -> bool {
+        cfg!(feature = "protocol-mutation") && self == ProtocolMutation::EvictLastCopy
     }
 }
 

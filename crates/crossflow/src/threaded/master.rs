@@ -12,8 +12,10 @@ use crossbid_net::NoiseModel;
 use crossbid_simcore::{RngStream, SeedSequence, SimDuration, SimTime, Welford};
 use parking_lot::Mutex;
 
+use crossbid_storage::ObjectId;
+
 use crate::atomize::{AtomizeConfig, DagState, DoneOutcome};
-use crate::engine::{RunMeta, RunOutput};
+use crate::engine::{ReplicationConfig, RunMeta, RunOutput};
 use crate::faults::{
     FaultEvent, FaultPlan, MasterFaultPlan, MembershipAction, MembershipEvent, MembershipPlan,
     NetFaultPlan,
@@ -28,6 +30,7 @@ use crate::worker::WorkerSpec;
 use crate::workflow::Workflow;
 
 use super::chaos::{ChaosConfig, Intake, NetIntake, ProtocolMutation};
+use super::repl::{peer_dropped, ReplState, REPAIR_ATTEMPT_KEY};
 use super::worker::{spawn_worker, Protocol, WorkerShared};
 use super::{ToMaster, ToWorker};
 
@@ -109,6 +112,10 @@ pub struct ThreadedConfig {
     /// straggler re-bidding — see [`crate::atomize`]). Consulted only
     /// for arrivals whose [`JobSpec::dag`] is set.
     pub atomize: AtomizeConfig,
+    /// Replicated, self-healing data plane (replica registry, peer
+    /// fetch, crash-triggered re-replication), mirroring the engine's
+    /// semantics. Disabled by default.
+    pub replication: ReplicationConfig,
 }
 
 impl Default for ThreadedConfig {
@@ -130,6 +137,7 @@ impl Default for ThreadedConfig {
             membership: MembershipPlan::none(),
             shard: ShardId(0),
             atomize: AtomizeConfig::default(),
+            replication: ReplicationConfig::default(),
         }
     }
 }
@@ -447,6 +455,41 @@ pub(crate) fn run_threaded_with_shareds(
     let base_redistributed = metrics.jobs_redistributed.get();
     let base_crashes = metrics.worker_crashes.get();
 
+    // Replicated data plane, shared with every worker thread when
+    // armed. The mutation sabotage flags fold into the effective
+    // config so both runtimes misbehave identically under test.
+    let repl: Option<Arc<Mutex<ReplState>>> = {
+        let mut rcfg = cfg.replication;
+        rcfg.skip_repair |= cfg.mutation.skips_repair();
+        rcfg.evict_last_copy |= cfg.mutation.evicts_last_copy();
+        rcfg.enabled.then(|| {
+            let mut rs = ReplState::new(rcfg, cfg.netfaults.clone(), n, cfg.time_scale);
+            for i in 0..n {
+                rs.alive[i] = !cfg.membership.is_deferred(WorkerId(i as u32));
+            }
+            // Warm seeding: copies persisted by earlier iterations of
+            // the session enter the registry without log events (the
+            // log narrates this run only), then pins are re-derived.
+            let mut seeded: Vec<ObjectId> = Vec::new();
+            for (i, shared) in shareds.iter().enumerate() {
+                let s = shared.lock();
+                let resident: Vec<ObjectId> = s.store.resident().collect();
+                for obj in resident {
+                    let bytes = s.store.size_of(obj).unwrap_or(0);
+                    if rs.map.add(obj, i as u32, bytes) {
+                        seeded.push(obj);
+                    }
+                }
+            }
+            seeded.sort_unstable();
+            seeded.dedup();
+            for obj in seeded {
+                rs.sync_pins(obj);
+            }
+            Arc::new(Mutex::new(rs))
+        })
+    };
+
     let (to_master_tx, to_master_rx): (Sender<ToMaster>, Receiver<ToMaster>) = unbounded();
     let mut worker_txs: Vec<Sender<ToWorker>> = Vec::with_capacity(n);
     let mut handles = Vec::with_capacity(n);
@@ -475,6 +518,7 @@ pub(crate) fn run_threaded_with_shareds(
             metrics.clone(),
             bid_delay,
             net_active.then_some(cfg.netfaults.retry),
+            repl.clone(),
         );
         worker_txs.push(tx);
         handles.push(threads);
@@ -482,6 +526,14 @@ pub(crate) fn run_threaded_with_shareds(
     drop(to_master_tx);
 
     let start = Instant::now();
+    if let Some(r) = &repl {
+        // Anchor the data plane's virtual clock (partition windows) to
+        // the run start the master uses, not the construction instant.
+        r.lock().start = start;
+    }
+    // In-flight re-replication copies: `(due, object, dest, bytes)`.
+    // One entry per `ReplState::repairs` entry; fired by the main loop.
+    let mut repair_timers: Vec<(Instant, ObjectId, u32, u64)> = Vec::new();
     // The worker→master half of the lossy link lives in the intake,
     // beneath the chaos layer.
     let net_intake = net_active.then(|| {
@@ -889,6 +941,106 @@ pub(crate) fn run_threaded_with_shareds(
         st.departed[i] = true;
         st.known_live[i] = false;
         st.idle.remove(w);
+        if let Some(r) = &repl {
+            // The departed worker's copies leave the replica set (its
+            // store survives on disk but the cluster cannot reach it).
+            r.lock().drop_worker(w);
+        }
+    };
+
+    // Drain the data plane's journal into the replicated log, in the
+    // order the critical sections produced it. Returns `true` when a
+    // replica set changed — the signal to re-scan for repairs.
+    let drain_repl = |st: &mut MasterState| -> bool {
+        let Some(r) = &repl else {
+            return false;
+        };
+        let entries = std::mem::take(&mut r.lock().journal);
+        let mut changed = false;
+        for (w, job, kind) in entries {
+            changed |= matches!(
+                kind,
+                SchedEventKind::ReplicaAdd { .. } | SchedEventKind::ReplicaDrop { .. }
+            );
+            st.commit(SchedEvent {
+                at: vnow(),
+                worker: Some(WorkerId(w)),
+                job,
+                kind,
+            });
+        }
+        changed
+    };
+
+    // Under-replication scan: for every artifact below its factor with
+    // no repair in flight, pick the live source and the eligible
+    // destination with the most free store bytes, commit the
+    // `repair_start` decision (commit-before-copy), and arm the copy
+    // timer. Free-byte snapshots are collected one shared lock at a
+    // time *before* the repl lock, per the lock order.
+    let scan_repairs = |st: &mut MasterState, timers: &mut Vec<(Instant, ObjectId, u32, u64)>| {
+        let Some(r) = &repl else {
+            return;
+        };
+        if st.failover_pending {
+            return;
+        }
+        let free: Vec<u64> = shareds
+            .iter()
+            .map(|s| {
+                let s = s.lock();
+                s.store.capacity().saturating_sub(s.store.used())
+            })
+            .collect();
+        let picks: Vec<(ObjectId, u32, u32, u64)> = {
+            let rs = r.lock();
+            rs.map
+                .under_replicated()
+                .into_iter()
+                .filter(|obj| !rs.repairs.contains_key(obj))
+                .filter_map(|obj| {
+                    let src = rs.map.replicas(obj).find(|&h| rs.alive[h as usize])?;
+                    let bytes = rs.map.bytes(obj)?;
+                    let dest = (0..n as u32)
+                        .filter(|&w| st.eligible(w) && !rs.map.holds(obj, w))
+                        .max_by_key(|&w| (free[w as usize], std::cmp::Reverse(w)))?;
+                    Some((obj, src, dest, bytes))
+                })
+                .collect()
+        };
+        for (obj, src, dest, bytes) in picks {
+            if !st.commit(SchedEvent {
+                at: vnow(),
+                worker: Some(WorkerId(dest)),
+                job: None,
+                kind: SchedEventKind::RepairStart {
+                    object: obj.0,
+                    from: WorkerId(src),
+                },
+            }) {
+                continue;
+            }
+            st.m.repairs_started.inc();
+            let mut rs = r.lock();
+            if rs.cfg.skip_repair {
+                // Sabotage: the decision is committed but the copy
+                // never happens — the oracle must flag the unmatched
+                // start.
+                continue;
+            }
+            rs.repairs.insert(obj, dest);
+            // A copy the data plane would lose degrades to a
+            // master-sourced transfer at nominal link speed: a
+            // committed repair always completes.
+            let lost = peer_dropped(&rs.cfg, &rs.netfaults, obj, dest, REPAIR_ATTEMPT_KEY);
+            let full = specs[dest as usize].net.time_for(bytes).as_secs_f64();
+            let secs = if lost {
+                full
+            } else {
+                full / rs.cfg.peer_bandwidth_scale
+            };
+            timers.push((Instant::now() + virt(secs), obj, dest, bytes));
+        }
     };
 
     // Leader crash takeover: an elected standby replays the committed
@@ -898,7 +1050,10 @@ pub(crate) fn run_threaded_with_shareds(
     // pool, liveness beliefs, net-layer sequencing and exactly-once
     // memory — survives in place: it models the replica group's shared
     // view of the cluster, not the leader's private decisions.
-    let do_failover = |st: &mut MasterState, txs: &[Sender<ToWorker>], down: &[Option<Instant>]| {
+    let do_failover = |st: &mut MasterState,
+                       txs: &[Sender<ToWorker>],
+                       down: &[Option<Instant>],
+                       timers: &mut Vec<(Instant, ObjectId, u32, u64)>| {
         st.failover_pending = false;
         let (_term, state, entries) = st.log.failover(vnow());
         st.m.master_failovers.inc();
@@ -938,6 +1093,35 @@ pub(crate) fn run_threaded_with_shareds(
         // outstanding set; the takeover must notice the drain is done.
         for w in 0..txs.len() as u32 {
             finish_drain(st, down, w);
+        }
+        // Commit-before-copy pays off here: repairs the log proves
+        // started but not finished resume without a second
+        // `repair_start` — in-flight copies keep their timers, only
+        // the ones whose timer died with the leader are re-armed.
+        if let Some(r) = &repl {
+            let mut rs = r.lock();
+            if !rs.cfg.skip_repair {
+                let resumed: Vec<(ObjectId, u32)> = state
+                    .repairs_pending
+                    .iter()
+                    .map(|(obj, dest)| (ObjectId(*obj), dest.0))
+                    .filter(|(obj, _)| !rs.repairs.contains_key(obj))
+                    .collect();
+                for (obj, dest) in resumed {
+                    let Some(bytes) = rs.map.bytes(obj) else {
+                        continue;
+                    };
+                    rs.repairs.insert(obj, dest);
+                    let lost = peer_dropped(&rs.cfg, &rs.netfaults, obj, dest, REPAIR_ATTEMPT_KEY);
+                    let full = specs[dest as usize].net.time_for(bytes).as_secs_f64();
+                    let secs = if lost {
+                        full
+                    } else {
+                        full / rs.cfg.peer_bandwidth_scale
+                    };
+                    timers.push((Instant::now() + virt(secs), obj, dest, bytes));
+                }
+            }
         }
         baseline_pump(st, txs);
         open_next_contest(st, txs, window_secs);
@@ -1065,6 +1249,12 @@ pub(crate) fn run_threaded_with_shareds(
                         job: None,
                         kind: SchedEventKind::Crash,
                     });
+                    if let Some(r) = &repl {
+                        // The disk dies with the instance: diff its
+                        // resident set out of the registry. The
+                        // under-replication scan below re-replicates.
+                        r.lock().drop_worker(wid.0);
+                    }
                     detections.push_back((now + detection_real, wid.0, now));
                 }
                 FaultEvent::Recover(wid) => {
@@ -1083,6 +1273,12 @@ pub(crate) fn run_threaded_with_shareds(
                     }
                     last_recover[w] = Some(now);
                     st.known_live[w] = true;
+                    if let Some(r) = &repl {
+                        // Back in the data plane: an empty store (the
+                        // crash cleared it), but a valid repair
+                        // destination and peer endpoint again.
+                        r.lock().alive[w] = true;
+                    }
                     st.commit(SchedEvent {
                         at: vnow(),
                         worker: Some(wid),
@@ -1127,6 +1323,9 @@ pub(crate) fn run_threaded_with_shareds(
                     });
                     st.known_live[w] = true;
                     st.draining[w] = false;
+                    if let Some(r) = &repl {
+                        r.lock().alive[w] = true;
+                    }
                     // The dormant worker's initial Idle announcement
                     // was dropped by the liveness filter; re-seat it
                     // the way a recovery does.
@@ -1188,6 +1387,11 @@ pub(crate) fn run_threaded_with_shareds(
                         s.store.clear();
                         s.committed_secs = 0.0;
                         s.declined.clear();
+                    }
+                    if let Some(r) = &repl {
+                        // Reclaimed disk and all: same data-plane diff
+                        // as a crash, but the worker never returns.
+                        r.lock().drop_worker(ev.worker.0);
                     }
                     if let Some(since) = down_since[w].take() {
                         downtime_real += now.saturating_duration_since(since).as_secs_f64();
@@ -1366,18 +1570,100 @@ pub(crate) fn run_threaded_with_shareds(
             }
         }
 
+        // Replicated data plane: land matured repair copies, commit
+        // the journal, and re-scan whenever a replica set changed.
+        if let Some(r) = &repl {
+            let mut i = 0;
+            while i < repair_timers.len() {
+                if repair_timers[i].0 > now {
+                    i += 1;
+                    continue;
+                }
+                let (_, obj, dest, bytes) = repair_timers.remove(i);
+                // Stale timer: the repair was re-routed or superseded.
+                if r.lock().repairs.get(&obj) != Some(&dest) {
+                    continue;
+                }
+                let d = dest as usize;
+                if down_since[d].is_some() || st.departed[d] {
+                    // The destination died mid-copy. Re-route the same
+                    // committed repair to a fresh destination — no
+                    // second `repair_start` (that would double-count
+                    // the decision) — or park until somebody recovers.
+                    let free: Vec<u64> = shareds
+                        .iter()
+                        .map(|s| {
+                            let s = s.lock();
+                            s.store.capacity().saturating_sub(s.store.used())
+                        })
+                        .collect();
+                    let mut rs = r.lock();
+                    let nd = (0..n as u32)
+                        .filter(|&w| st.eligible(w) && !rs.map.holds(obj, w))
+                        .max_by_key(|&w| (free[w as usize], std::cmp::Reverse(w)));
+                    match nd {
+                        Some(nd) => {
+                            rs.repairs.insert(obj, nd);
+                            let lost =
+                                peer_dropped(&rs.cfg, &rs.netfaults, obj, nd, REPAIR_ATTEMPT_KEY);
+                            let full = specs[nd as usize].net.time_for(bytes).as_secs_f64();
+                            let secs = if lost {
+                                full
+                            } else {
+                                full / rs.cfg.peer_bandwidth_scale
+                            };
+                            drop(rs);
+                            repair_timers.push((now + virt(secs), obj, nd, bytes));
+                        }
+                        None => {
+                            let wait = rs.cfg.fetch_timeout_secs;
+                            drop(rs);
+                            repair_timers.push((now + virt(wait), obj, dest, bytes));
+                        }
+                    }
+                    continue;
+                }
+                // The copy lands: insert on the destination (its pins
+                // applied first), journal `repair_done` before the
+                // replica bookkeeping, and let the scan below top up.
+                let mut s = shareds[d].lock();
+                let mut rs = r.lock();
+                rs.apply_pin_ops(dest, &mut s.store);
+                rs.repairs.remove(&obj);
+                let evicted = s.store.insert(obj, bytes, vnow());
+                rs.journal
+                    .push((dest, None, SchedEventKind::RepairDone { object: obj.0 }));
+                st.m.repairs_completed.inc();
+                rs.note_insert(dest, &s.store, obj, bytes, evicted);
+            }
+            if drain_repl(&mut st) {
+                scan_repairs(&mut st, &mut repair_timers);
+            }
+        }
+
         // A leader crash observed anywhere above (or while processing
         // the previous message) elects a standby before the loop can
         // block, break, or take further decisions. Each iteration
         // handles at most one message, so one check per pass suffices.
         if st.failover_pending {
-            do_failover(&mut st, &worker_txs, &down_since);
+            do_failover(&mut st, &worker_txs, &down_since, &mut repair_timers);
         }
 
         // Are we done? (`>=`: the DropDedup mutation can double-count
         // a completion past `created`; the run must still terminate so
         // the oracle can flag it.)
-        if arrivals_seen == total_arrivals && st.created > 0 && st.completed >= st.created {
+        if arrivals_seen == total_arrivals
+            && st.created > 0
+            && st.completed >= st.created
+            && repl.as_ref().is_none_or(|r| {
+                // The run does not end while a committed repair is in
+                // flight or a data-plane event awaits commit.
+                repair_timers.is_empty() && {
+                    let rs = r.lock();
+                    rs.repairs.is_empty() && rs.journal.is_empty()
+                }
+            })
+        {
             break;
         }
         if total_arrivals == 0 {
@@ -1442,6 +1728,7 @@ pub(crate) fn run_threaded_with_shareds(
                 )
                 .chain(stall_limit.map(|l| last_progress + l))
                 .chain(st.dag.is_active().then_some(next_spec_check))
+                .chain(repair_timers.iter().map(|t| t.0))
                 .min();
             match intake.recv(next_deadline) {
                 Ok(m) => {
@@ -1740,12 +2027,19 @@ pub(crate) fn run_threaded_with_shareds(
                             continue;
                         }
                         // The winner's output is born on its executor:
-                        // downstream task bids see it as local state.
-                        shareds[worker as usize].lock().store.insert(
-                            output.id,
-                            output.bytes,
-                            vnow(),
-                        );
+                        // downstream task bids see it as local state —
+                        // and, under replication, as a fresh replica.
+                        {
+                            let mut s = shareds[worker as usize].lock();
+                            if let Some(r) = &repl {
+                                let mut rs = r.lock();
+                                rs.apply_pin_ops(worker, &mut s.store);
+                                let evicted = s.store.insert(output.id, output.bytes, vnow());
+                                rs.note_insert(worker, &s.store, output.id, output.bytes, evicted);
+                            } else {
+                                s.store.insert(output.id, output.bytes, vnow());
+                            }
+                        }
                         for loser in losers {
                             // Exactly-once accounting: the loser is
                             // retired at cancellation, and its eventual
@@ -1808,6 +2102,11 @@ pub(crate) fn run_threaded_with_shareds(
         let _ = h.bidder.join();
         let _ = h.executor.join();
     }
+    // A partial run (stall or all-dead break) can exit the loop with
+    // data-plane events still journaled; commit them so the log stays
+    // a complete serialization of the plane. Workers are joined — no
+    // entry can race this drain.
+    drain_repl(&mut st);
 
     // A run that completed nothing has no makespan: report explicit
     // zeros instead of clock residue.
@@ -1825,6 +2124,7 @@ pub(crate) fn run_threaded_with_shareds(
     }
     let mut misses = 0;
     let mut hits = 0;
+    let mut peer_fetches = 0;
     let mut evictions = 0;
     let mut bytes = 0u64;
     let mut busy = Vec::with_capacity(n);
@@ -1833,6 +2133,7 @@ pub(crate) fn run_threaded_with_shareds(
         let st2 = s.store.stats();
         misses += st2.misses;
         hits += st2.hits;
+        peer_fetches += st2.peer_fetches;
         evictions += st2.evictions;
         bytes += st2.bytes_admitted;
         let frac = if makespan_secs > 0.0 {
@@ -1845,6 +2146,7 @@ pub(crate) fn run_threaded_with_shareds(
     }
     metrics.cache_misses.add(misses);
     metrics.cache_hits.add(hits);
+    metrics.peer_fetches.add(peer_fetches);
     metrics.cache_evictions.add(evictions);
     metrics.set_makespan_secs(makespan_secs);
     metrics.set_data_load_mb(bytes as f64 / 1e6);
@@ -1881,5 +2183,6 @@ pub(crate) fn run_threaded_with_shareds(
         sched_log: st.log.into_log(),
         metrics: metrics.snapshot(),
         anomalies: Vec::new(),
+        replicas: repl.as_ref().map(|r| r.lock().map.clone()),
     }
 }

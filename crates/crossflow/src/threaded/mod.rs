@@ -22,6 +22,7 @@
 
 mod chaos;
 mod master;
+mod repl;
 mod worker;
 
 pub use chaos::{ChaosConfig, DeliveryEntry, DeliveryLog, DeliveryLogHandle, ProtocolMutation};

@@ -1,0 +1,240 @@
+//! Shared state of the replicated data plane in the threaded runtime.
+//!
+//! The simulation engine owns every structure and mutates them inline;
+//! here the plane is concurrent. A single [`ReplState`] behind a mutex
+//! carries the cluster-wide replica registry, a journal of data-plane
+//! events awaiting commit, the pin directives each worker applies to
+//! its own store, and the in-flight repair set.
+//!
+//! **Lock order** (deadlock freedom): a thread that needs both locks
+//! takes its own `WorkerShared` *first*, then `ReplState`. The master
+//! only ever holds one worker's shared state at a time and never takes
+//! a shared lock while holding the repl lock — free-byte snapshots for
+//! repair-destination choice are collected before locking `ReplState`.
+//!
+//! **Event ordering**: every registry mutation and its matching
+//! journal entry happen in the same critical section, so the journal
+//! is a faithful serialization of the data plane. The master drains it
+//! each loop iteration and commits the entries through the replicated
+//! scheduler log in order — the oracle's stale-source check and the
+//! replay property both ride on that order being exact.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use crossbid_simcore::rng::splitmix64;
+use crossbid_simcore::SimTime;
+use crossbid_storage::{LocalStore, ObjectId, ReplicaMap};
+
+use crate::engine::ReplicationConfig;
+use crate::faults::NetFaultPlan;
+use crate::job::{JobId, WorkerId};
+use crate::trace::SchedEventKind;
+
+/// One journaled data-plane event awaiting commit by the master:
+/// `(worker, job, kind)`.
+pub(crate) type JournalEntry = (u32, Option<JobId>, SchedEventKind);
+
+/// Deterministic data-plane loss for one peer transfer attempt — the
+/// exact sampler the simulation engine uses (hash of net seed, object,
+/// endpoint, attempt), so a (seed, plan) pair replays the same drops
+/// on both runtimes. Composes the replication plane's own
+/// `peer_drop_prob` with any active link loss as independent failures.
+pub(crate) fn peer_dropped(
+    cfg: &ReplicationConfig,
+    net: &NetFaultPlan,
+    obj: ObjectId,
+    w: u32,
+    attempt: u32,
+) -> bool {
+    let keep = (1.0 - cfg.peer_drop_prob) * (1.0 - net.to_worker.drop_prob);
+    let p = 1.0 - keep;
+    if p <= 0.0 {
+        return false;
+    }
+    let mut s = net
+        .seed
+        .wrapping_add(obj.0.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(((w as u64) << 32) | attempt as u64);
+    let u = (splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64;
+    u < p
+}
+
+/// Attempt key separating repair-copy loss samples from fetch-attempt
+/// samples of the same (object, worker) pair — same constant as the
+/// engine's.
+pub(crate) const REPAIR_ATTEMPT_KEY: u32 = 0x8000_0000;
+
+pub(crate) struct ReplState {
+    /// Effective config (mutation sabotage flags already folded in).
+    pub cfg: ReplicationConfig,
+    /// Cluster-wide artifact → live replica set; the source of truth.
+    pub map: ReplicaMap,
+    /// Data-plane events produced under this lock, committed in order
+    /// by the master loop.
+    pub journal: Vec<JournalEntry>,
+    /// Pin directives per worker `(object, pin?)`. A worker (or the
+    /// master inserting a repair copy on its behalf) drains its own
+    /// queue under both locks immediately before any store insert —
+    /// the only moment that store can evict — so a queued pin always
+    /// lands before the eviction it must prevent.
+    pin_ops: Vec<Vec<(ObjectId, bool)>>,
+    /// In-flight re-replication copies: object → destination worker.
+    /// Committed (`repair_start`) before the copy begins; removed on
+    /// `repair_done`; the run does not end while one is in flight.
+    pub repairs: HashMap<ObjectId, u32>,
+    /// Liveness mirror maintained by the master (crashes, recoveries,
+    /// joins, removals) for source filtering on the worker side.
+    pub alive: Vec<bool>,
+    /// Net-fault plan: partition windows block peer links, link loss
+    /// composes into the drop sampler, and the retry policy paces the
+    /// fetch backoff.
+    pub netfaults: NetFaultPlan,
+    /// Run-start instant mapping wall time onto the virtual clock the
+    /// partition windows are expressed in.
+    pub start: Instant,
+    /// Real seconds per virtual second.
+    pub time_scale: f64,
+}
+
+impl ReplState {
+    pub fn new(cfg: ReplicationConfig, netfaults: NetFaultPlan, n: usize, time_scale: f64) -> Self {
+        ReplState {
+            map: ReplicaMap::new(cfg.factor),
+            cfg,
+            journal: Vec::new(),
+            pin_ops: vec![Vec::new(); n],
+            repairs: HashMap::new(),
+            alive: vec![true; n],
+            netfaults,
+            start: Instant::now(),
+            time_scale,
+        }
+    }
+
+    /// Current virtual time, for partition-window checks.
+    fn vnow(&self) -> SimTime {
+        SimTime::from_secs_f64(self.start.elapsed().as_secs_f64() / self.time_scale)
+    }
+
+    /// Is the `a`↔`b` peer link cut by a partition right now?
+    pub fn link_blocked(&self, a: u32, b: u32) -> bool {
+        self.netfaults
+            .link_blocked(WorkerId(a), WorkerId(b), self.vnow())
+    }
+
+    /// Deterministic loss sample for one peer transfer attempt.
+    pub fn peer_lost(&self, obj: ObjectId, w: u32, attempt: u32) -> bool {
+        peer_dropped(&self.cfg, &self.netfaults, obj, w, attempt)
+    }
+
+    /// Live peers currently holding `obj` (ascending id), excluding
+    /// `exclude` — the candidate sources for a peer fetch.
+    pub fn peer_sources(&self, obj: ObjectId, exclude: u32) -> Vec<u32> {
+        self.map
+            .replicas(obj)
+            .filter(|&h| h != exclude && self.alive[h as usize])
+            .collect()
+    }
+
+    /// Seeded backoff before rotating to the next replica — the
+    /// engine's recipe, keyed on (net seed, job, object, attempt).
+    pub fn fetch_backoff_secs(&self, job: JobId, obj: ObjectId, attempt: u32) -> f64 {
+        let retry = self.netfaults.retry;
+        let seed = self
+            .netfaults
+            .seed
+            .wrapping_add(job.0.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(obj.0);
+        retry
+            .delay_secs(seed, attempt.min(retry.max_attempts.saturating_sub(1)))
+            .unwrap_or(retry.base_secs)
+    }
+
+    /// Apply every pending pin directive for worker `me` to its store.
+    /// Callers hold `me`'s `WorkerShared` lock and this lock together,
+    /// and call this *before* the insert the directives must protect.
+    pub fn apply_pin_ops(&mut self, me: u32, store: &mut LocalStore) {
+        for (obj, pin) in self.pin_ops[me as usize].drain(..) {
+            if pin {
+                store.pin(obj);
+            } else {
+                store.unpin(obj);
+            }
+        }
+    }
+
+    /// Re-derive eviction pins for `obj`: its sole surviving copy is
+    /// pinned (eviction must never destroy data the cluster cannot
+    /// re-create); once a second copy exists the pins are released.
+    /// Directives are queued per holder and land before that holder's
+    /// next insert — its earliest eviction opportunity.
+    pub fn sync_pins(&mut self, obj: ObjectId) {
+        let holders: Vec<u32> = self.map.replicas(obj).collect();
+        if holders.len() == 1 {
+            if !self.cfg.evict_last_copy {
+                self.pin_ops[holders[0] as usize].push((obj, true));
+            }
+        } else {
+            for h in holders {
+                self.pin_ops[h as usize].push((obj, false));
+            }
+        }
+    }
+
+    /// Post-insert replica bookkeeping, mirroring the engine's
+    /// `note_replica_insert`: journal a `replica_drop` for every
+    /// eviction the insert caused, a `replica_add` if the object was
+    /// retained and is a new copy, and re-derive pins. Top-up repairs
+    /// are the master's job — its under-replication scan runs after
+    /// every journal drain that changed a replica set.
+    pub fn note_insert(
+        &mut self,
+        me: u32,
+        store: &LocalStore,
+        obj: ObjectId,
+        bytes: u64,
+        evicted: Vec<ObjectId>,
+    ) {
+        for gone in evicted {
+            if self.map.drop_replica(gone, me) {
+                self.journal.push((
+                    me,
+                    None,
+                    SchedEventKind::ReplicaDrop {
+                        object: gone.0,
+                        evicted: true,
+                    },
+                ));
+                self.sync_pins(gone);
+            }
+        }
+        // An insert that passed through (pins or capacity blocked
+        // admission) did not create a copy.
+        if store.peek(obj) && self.map.add(obj, me, bytes) {
+            self.journal
+                .push((me, None, SchedEventKind::ReplicaAdd { object: obj.0 }));
+            self.sync_pins(obj);
+        }
+    }
+
+    /// Crash/removal/drain-departure hook: `w`'s copies leave the
+    /// replica set. Journals one `replica_drop` per object
+    /// (`evicted: false` — a failure, not cache pressure) and
+    /// re-derives pins. The master's scan schedules the repairs.
+    pub fn drop_worker(&mut self, w: u32) {
+        self.alive[w as usize] = false;
+        self.pin_ops[w as usize].clear();
+        for obj in self.map.drop_node(w) {
+            self.journal.push((
+                w,
+                None,
+                SchedEventKind::ReplicaDrop {
+                    object: obj.0,
+                    evicted: false,
+                },
+            ));
+            self.sync_pins(obj);
+        }
+    }
+}

@@ -12,10 +12,11 @@ use crossbid_storage::LocalStore;
 use parking_lot::Mutex;
 
 use crate::faults::RetryPolicy;
-use crate::job::{Job, JobId};
+use crate::job::{Job, JobId, ResourceRef, WorkerId};
 use crate::obs::RuntimeMetrics;
 use crate::worker::{SpeedTracker, WorkerSpec};
 
+use super::repl::ReplState;
 use super::{ToMaster, ToWorker};
 
 /// State shared between a worker's bidder and executor threads —
@@ -192,6 +193,9 @@ pub(crate) fn spawn_worker(
     // retransmitted deliveries, resend unacked `Done`s and heartbeat
     // idleness. `None` leaves the worker exactly as before.
     reliability: Option<RetryPolicy>,
+    // Replicated data plane: peer-aware bid pricing and worker→worker
+    // fetches. `None` keeps the historic master-fetch path.
+    repl: Option<Arc<Mutex<ReplState>>>,
 ) -> WorkerThreads {
     let (tx_exec, rx_exec) = crossbeam_channel::unbounded::<ExecItem>();
     let virt = move |v: f64| Duration::from_secs_f64((v * time_scale).max(0.0));
@@ -204,6 +208,7 @@ pub(crate) fn spawn_worker(
         let tx_exec = tx_exec.clone();
         let metrics = metrics.clone();
         let pending = Arc::clone(&pending);
+        let repl = repl.clone();
         std::thread::Builder::new()
             .name(format!("bidder-{id}"))
             .spawn(move || {
@@ -269,7 +274,26 @@ pub(crate) fn spawn_worker(
                                 if !s.alive {
                                     continue;
                                 }
-                                s.estimate_secs(&job, speed_learning)
+                                let mut est = s.estimate_secs(&job, speed_learning);
+                                // Replica-aware pricing: a worker that
+                                // would fetch from a live peer replica
+                                // bids the cheaper intra-cluster
+                                // transfer, spreading locality pressure
+                                // over the whole replica set.
+                                if let (Some(rp), Some(r)) = (repl.as_ref(), job.resource) {
+                                    if !s.store.peek(r.id) {
+                                        let rp = rp.lock();
+                                        if !rp.peer_sources(r.id, id).is_empty() {
+                                            let fetch = s
+                                                .believed_net(speed_learning)
+                                                .time_for(r.bytes)
+                                                .as_secs_f64();
+                                            est -=
+                                                fetch * (1.0 - 1.0 / rp.cfg.peer_bandwidth_scale);
+                                        }
+                                    }
+                                }
+                                est
                             };
                             if bid_delay > Duration::ZERO {
                                 // Chaos: think about it for a while —
@@ -495,6 +519,7 @@ pub(crate) fn spawn_worker(
                     &mut rng,
                     &metrics,
                     relay.as_ref(),
+                    repl.as_ref(),
                 );
                 if completed && rx_exec.is_empty() {
                     let _ = to_master.send(ToMaster::Idle { worker: id });
@@ -525,41 +550,64 @@ fn execute_one(
     rng: &mut RngStream,
     metrics: &RuntimeMetrics,
     relay: Option<&DoneRelay>,
+    repl: Option<&Arc<Mutex<ReplState>>>,
 ) -> bool {
     let stale = |s: &WorkerShared| !s.alive || s.epoch != epoch;
     // ---- fetch phase ----
     let mut fetch_secs = 0.0;
-    let mut fetched: Option<(crossbid_storage::ObjectId, u64)> = None;
-    {
+    let mut fetched = false;
+    let miss = {
         let mut s = shared.lock();
         if stale(&s) {
             return false;
         }
-        if let Some(r) = job.resource {
-            let now = s.vclock;
-            if !s.store.lookup(r.id, now) {
+        match job.resource {
+            Some(r) => {
+                let now = s.vclock;
+                !s.store.lookup(r.id, now)
+            }
+            None => false,
+        }
+    };
+    if miss {
+        let r = job.resource.expect("miss implies a resource");
+        fetched = true;
+        if let Some(rp) = repl {
+            // Replicated data plane: rotate over live peer replicas
+            // with timeout + backoff, degrading to a master fetch.
+            match peer_fetch(
+                id, shared, rp, &job, r, epoch, time_scale, net_noise, rng, metrics,
+            ) {
+                Some(secs) => fetch_secs = secs,
+                None => return false,
+            }
+        } else {
+            let secs = {
+                let mut s = shared.lock();
+                if stale(&s) {
+                    return false;
+                }
                 let m = net_noise.sample(rng);
                 let speed = s.spec.net.scaled(m);
-                fetch_secs = speed.time_for(r.bytes).as_secs_f64();
-                fetched = Some((r.id, r.bytes));
-                if fetch_secs > 0.0 {
-                    let mbps = r.bytes as f64 / 1e6 / fetch_secs;
+                let secs = speed.time_for(r.bytes).as_secs_f64();
+                if secs > 0.0 {
+                    let mbps = r.bytes as f64 / 1e6 / secs;
                     s.net_tracker.observe(mbps);
                 }
+                secs
+            };
+            if secs > 0.0 {
+                sleep_virtual(secs, time_scale);
             }
+            let mut s = shared.lock();
+            if stale(&s) {
+                // Crashed during the transfer: the bytes never landed.
+                return false;
+            }
+            let now = s.vclock + crossbid_simcore::SimDuration::from_secs_f64(secs);
+            s.store.insert(r.id, r.bytes, now);
+            fetch_secs = secs;
         }
-    }
-    if fetch_secs > 0.0 {
-        sleep_virtual(fetch_secs, time_scale);
-    }
-    if let Some((oid, bytes)) = fetched {
-        let mut s = shared.lock();
-        if stale(&s) {
-            // Crashed during the transfer: the bytes never landed.
-            return false;
-        }
-        let now = s.vclock + crossbid_simcore::SimDuration::from_secs_f64(fetch_secs);
-        s.store.insert(oid, bytes, now);
     }
 
     // ---- processing phase ----
@@ -592,7 +640,7 @@ fn execute_one(
         s.busy_secs += fetch_secs + proc_secs;
         s.vclock += crossbid_simcore::SimDuration::from_secs_f64(fetch_secs + proc_secs);
     }
-    if fetched.is_some() {
+    if fetched {
         // One fetch-histogram sample per actual transfer, mirroring
         // the engine's per-FetchDone recording (count == misses).
         metrics.fetch_secs.record(fetch_secs);
@@ -622,6 +670,167 @@ fn execute_one(
         proc_secs,
     });
     true
+}
+
+/// One step of the peer-fetch protocol, decided under both locks.
+enum FetchStep {
+    /// Transfer from peer `from`: either the bytes arrive after
+    /// `secs`, or the attempt is `lost` and the worker notices via
+    /// `timeout_secs`.
+    Peer {
+        from: u32,
+        secs: f64,
+        lost: bool,
+        timeout_secs: f64,
+    },
+    /// Degraded master fetch (no live replica, or budget spent):
+    /// always succeeds at nominal link speed.
+    Master { secs: f64 },
+}
+
+/// Resolve a cache miss through the replicated data plane: rotate
+/// over live replica holders with deterministic loss sampling, a
+/// timeout + seeded backoff between attempts, and a degraded master
+/// fetch once the attempt budget is spent or no replica is live.
+///
+/// Returns the total virtual seconds the resolution took (timeouts
+/// and backoffs included), or `None` if the worker crashed mid-fetch.
+#[allow(clippy::too_many_arguments)]
+fn peer_fetch(
+    id: u32,
+    shared: &Arc<Mutex<WorkerShared>>,
+    repl: &Arc<Mutex<ReplState>>,
+    job: &Job,
+    r: ResourceRef,
+    epoch: u64,
+    time_scale: f64,
+    net_noise: &mut NoiseSampler,
+    rng: &mut RngStream,
+    metrics: &RuntimeMetrics,
+) -> Option<f64> {
+    let stale = |s: &WorkerShared| !s.alive || s.epoch != epoch;
+    let mut total = 0.0;
+    let mut attempt = 0u32;
+    loop {
+        // Source choice, loss sample and the `fetch_req` journal entry
+        // happen in one critical section, so the committed log never
+        // shows a fetch from a source that was already dropped.
+        let step = {
+            let mut s = shared.lock();
+            if stale(&s) {
+                return None;
+            }
+            let mut rp = repl.lock();
+            rp.apply_pin_ops(id, &mut s.store);
+            let sources = rp.peer_sources(r.id, id);
+            if sources.is_empty() || attempt >= rp.cfg.max_fetch_attempts {
+                let m = net_noise.sample(rng);
+                let speed = s.spec.net.scaled(m);
+                let secs = speed.time_for(r.bytes).as_secs_f64();
+                if secs > 0.0 {
+                    let mbps = r.bytes as f64 / 1e6 / secs;
+                    s.net_tracker.observe(mbps);
+                }
+                FetchStep::Master { secs }
+            } else {
+                let from = sources[attempt as usize % sources.len()];
+                rp.journal.push((
+                    id,
+                    Some(job.id),
+                    crate::trace::SchedEventKind::FetchReq {
+                        object: r.id.0,
+                        from: WorkerId(from),
+                    },
+                ));
+                let lost = rp.link_blocked(from, id) || rp.peer_lost(r.id, id, attempt);
+                let m = net_noise.sample(rng);
+                let speed = s.spec.net.scaled(m);
+                FetchStep::Peer {
+                    from,
+                    secs: speed.time_for(r.bytes).as_secs_f64() / rp.cfg.peer_bandwidth_scale,
+                    lost,
+                    timeout_secs: rp.cfg.fetch_timeout_secs,
+                }
+            }
+        };
+        match step {
+            FetchStep::Master { secs } => {
+                if secs > 0.0 {
+                    sleep_virtual(secs, time_scale);
+                }
+                total += secs;
+                let mut s = shared.lock();
+                if stale(&s) {
+                    return None;
+                }
+                let mut rp = repl.lock();
+                rp.apply_pin_ops(id, &mut s.store);
+                let now = s.vclock + crossbid_simcore::SimDuration::from_secs_f64(total);
+                let evicted = s.store.insert(r.id, r.bytes, now);
+                rp.note_insert(id, &s.store, r.id, r.bytes, evicted);
+                return Some(total);
+            }
+            FetchStep::Peer {
+                from,
+                secs,
+                lost,
+                timeout_secs,
+            } => {
+                if lost {
+                    // The transfer is lost in flight; the worker
+                    // notices via timeout, records the failure and
+                    // backs off before rotating to the next replica.
+                    sleep_virtual(timeout_secs, time_scale);
+                    total += timeout_secs;
+                    metrics.peer_retries.inc();
+                    let backoff = {
+                        let s = shared.lock();
+                        if stale(&s) {
+                            return None;
+                        }
+                        let mut rp = repl.lock();
+                        rp.journal.push((
+                            id,
+                            Some(job.id),
+                            crate::trace::SchedEventKind::FetchFail {
+                                object: r.id.0,
+                                from: WorkerId(from),
+                                attempt,
+                            },
+                        ));
+                        rp.fetch_backoff_secs(job.id, r.id, attempt)
+                    };
+                    sleep_virtual(backoff, time_scale);
+                    total += backoff;
+                    attempt += 1;
+                    continue;
+                }
+                sleep_virtual(secs, time_scale);
+                total += secs;
+                let mut s = shared.lock();
+                if stale(&s) {
+                    return None;
+                }
+                let mut rp = repl.lock();
+                rp.apply_pin_ops(id, &mut s.store);
+                rp.journal.push((
+                    id,
+                    Some(job.id),
+                    crate::trace::SchedEventKind::FetchOk {
+                        object: r.id.0,
+                        from: WorkerId(from),
+                    },
+                ));
+                // The lookup counted a cold miss; the bytes came from
+                // a peer, so reclassify it.
+                s.store.note_peer_fetch();
+                let now = s.vclock + crossbid_simcore::SimDuration::from_secs_f64(total);
+                let evicted = s.store.insert(r.id, r.bytes, now);
+                rp.note_insert(id, &s.store, r.id, r.bytes, evicted);
+                return Some(total);
+            }
+        }
+    }
 }
 
 fn sleep_virtual(virtual_secs: f64, time_scale: f64) {

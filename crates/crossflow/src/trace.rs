@@ -423,6 +423,75 @@ pub enum SchedEventKind {
         /// Task index within the DAG.
         task: u32,
     },
+    /// Data plane: the worker (`worker`) started fetching an artifact
+    /// from a peer replica instead of the master. `job` is the driving
+    /// job, or `None` for a repair copy.
+    FetchReq {
+        /// The artifact being fetched.
+        object: u64,
+        /// The peer replica holder serving the transfer.
+        from: WorkerId,
+    },
+    /// Data plane: the peer transfer completed and the artifact is now
+    /// resident on `worker`.
+    FetchOk {
+        /// The artifact fetched.
+        object: u64,
+        /// The peer that served it.
+        from: WorkerId,
+    },
+    /// Data plane: a peer fetch attempt timed out or was lost by the
+    /// network; the requester retries (next replica, seeded backoff)
+    /// or falls back to a degraded master fetch.
+    FetchFail {
+        /// The artifact whose transfer failed.
+        object: u64,
+        /// The peer that failed to serve it.
+        from: WorkerId,
+        /// 0-based attempt number that failed.
+        attempt: u32,
+    },
+    /// Data plane: `worker` now holds a live copy of the artifact
+    /// (master fetch, peer fetch, DAG output, or completed repair).
+    ReplicaAdd {
+        /// The artifact admitted.
+        object: u64,
+    },
+    /// Data plane: `worker` no longer holds a copy — evicted under
+    /// cache pressure (`evicted: true`) or destroyed by a crash /
+    /// removal (`evicted: false`). The distinction matters to the
+    /// oracle: an eviction that destroys the last live copy means the
+    /// pin protocol failed ([`EvictedLastCopy`]); a crash doing the
+    /// same is data loss the repair path exists to prevent.
+    ///
+    /// [`EvictedLastCopy`]: SchedEventKind::ReplicaDrop
+    ReplicaDrop {
+        /// The artifact dropped.
+        object: u64,
+        /// True iff dropped by eviction rather than crash/removal.
+        evicted: bool,
+    },
+    /// Data plane repair: the master committed its intent to restore
+    /// the artifact's replication factor by copying from `from` to
+    /// `worker`. A *decision* event (commit-before-copy): after a
+    /// failover the elected master resumes every `RepairStart` without
+    /// a matching [`RepairDone`](Self::RepairDone) instead of
+    /// re-committing it.
+    RepairStart {
+        /// The under-replicated artifact.
+        object: u64,
+        /// The surviving replica serving as copy source.
+        from: WorkerId,
+    },
+    /// Data plane repair: the copy landed and the artifact is back at
+    /// (or closer to) its target replication factor. `worker` is the
+    /// destination that now holds the new replica — it may differ from
+    /// the `RepairStart` destination if the original target died
+    /// mid-copy and the repair was re-routed.
+    RepairDone {
+        /// The repaired artifact.
+        object: u64,
+    },
 }
 
 impl SchedEventKind {
@@ -457,6 +526,13 @@ impl SchedEventKind {
             SchedEventKind::TaskAssign { .. } => 24,
             SchedEventKind::SpecLaunch { .. } => 25,
             SchedEventKind::SpecCancel { .. } => 26,
+            SchedEventKind::FetchReq { .. } => 27,
+            SchedEventKind::FetchOk { .. } => 28,
+            SchedEventKind::FetchFail { .. } => 29,
+            SchedEventKind::ReplicaAdd { .. } => 30,
+            SchedEventKind::ReplicaDrop { .. } => 31,
+            SchedEventKind::RepairStart { .. } => 32,
+            SchedEventKind::RepairDone { .. } => 33,
         }
     }
 }
@@ -679,6 +755,42 @@ impl SchedLog {
     /// Number of speculative losers cancelled.
     pub fn spec_cancels(&self) -> usize {
         self.count(|k| matches!(k, SchedEventKind::SpecCancel { .. }))
+    }
+
+    /// Number of peer-to-peer fetches started.
+    pub fn fetch_reqs(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::FetchReq { .. }))
+    }
+
+    /// Number of peer-to-peer fetches completed.
+    pub fn fetch_oks(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::FetchOk { .. }))
+    }
+
+    /// Number of peer fetch attempts that failed (and were retried or
+    /// degraded to a master fetch).
+    pub fn fetch_fails(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::FetchFail { .. }))
+    }
+
+    /// Number of replicas admitted into worker stores.
+    pub fn replica_adds(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::ReplicaAdd { .. }))
+    }
+
+    /// Number of replicas dropped (eviction or crash).
+    pub fn replica_drops(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::ReplicaDrop { .. }))
+    }
+
+    /// Number of re-replication repairs committed.
+    pub fn repair_starts(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::RepairStart { .. }))
+    }
+
+    /// Number of re-replication repairs completed.
+    pub fn repair_dones(&self) -> usize {
+        self.count(|k| matches!(k, SchedEventKind::RepairDone { .. }))
     }
 
     /// Total committed entries replayed across all failovers.

@@ -7,7 +7,7 @@
 //!
 //! | field | meaning |
 //! |---|---|
-//! | `runtime` | `sim`, `threaded`, `sim-fed<N>` (the N-master federation row), or `sim-dag` (the atomized task-stream row) |
+//! | `runtime` | `sim`, `threaded`, `sim-fed<N>` (the N-master federation row), `sim-dag` (the atomized task-stream row), or `sim-repl` (the factor-2 replicated-stream row) |
 //! | `workers` | cluster size |
 //! | `jobs` | jobs driven through the run (tasks, for the `sim-dag` row) |
 //! | `wall_secs` | wall-clock time of the run |
@@ -60,6 +60,13 @@ pub struct BenchConfig {
     /// whole task pipeline — registration, gated release, per-task
     /// contests, output credit, straggler sweeps. `0` disables it.
     pub dag_jobs: usize,
+    /// When > 0, append a replicated-stream row (runtime `sim-repl`):
+    /// this many jobs over a hot 32-artifact working set with factor-2
+    /// replication enabled on the sim engine, at the largest swept
+    /// cluster size. The row prices the whole data plane — replica
+    /// bookkeeping, pin upkeep, peer-priced bids, top-up repairs. `0`
+    /// disables it.
+    pub repl_jobs: usize,
 }
 
 impl BenchConfig {
@@ -74,6 +81,7 @@ impl BenchConfig {
             label: "full".to_string(),
             fed_shards: 2,
             dag_jobs: 2_000,
+            repl_jobs: 2_000,
         }
     }
 
@@ -84,6 +92,7 @@ impl BenchConfig {
             threaded_jobs: 1_000,
             label: "smoke".to_string(),
             dag_jobs: 200,
+            repl_jobs: 200,
             ..Self::full()
         }
     }
@@ -341,6 +350,68 @@ pub fn run_dag_row(workers: usize, dags: usize, seed: u64) -> BenchRow {
     }
 }
 
+/// Run one replicated-data-plane cell: a stream of `jobs` over a hot
+/// 32-artifact working set with factor-2 replication enabled on the
+/// sim engine, so the row prices the whole data plane — replica
+/// bookkeeping, eviction-pin upkeep, peer-priced bids, peer transfers
+/// and factor top-up repairs.
+pub fn run_repl_row(workers: usize, jobs: usize, seed: u64) -> BenchRow {
+    use crossbid_crossflow::{Arrival, JobSpec, Payload, ReplicationConfig, ResourceRef, RunSpec};
+    use crossbid_simcore::SimTime;
+    use crossbid_storage::ObjectId;
+
+    let mut engine = EngineConfig::ideal();
+    engine.max_events = (jobs as u64) * (workers as u64 * 6 + 32) + 1_000_000;
+    engine.replication = ReplicationConfig::with_factor(2);
+    let spec = RunSpec::builder()
+        .workers(WorkerConfig::AllEqual.specs(workers))
+        .names(WorkerConfig::AllEqual.name(), "repl-stream")
+        .seed(seed)
+        .engine(engine)
+        .time_scale(1e-4)
+        .build();
+    let mut rt = spec.sim();
+    let allocator = BiddingAllocator::new();
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("bench");
+    let arrivals: Vec<Arrival> = (0..jobs)
+        .map(|i| Arrival {
+            at: SimTime::from_secs_f64(i as f64 * 0.05),
+            spec: JobSpec::scanning(
+                task,
+                ResourceRef {
+                    id: ObjectId(1 + (i % 32) as u64),
+                    bytes: 100_000_000,
+                },
+                Payload::Index(i as u64),
+            ),
+        })
+        .collect();
+
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    let out = rt.run_iteration(&mut wf, &allocator, arrivals);
+    let wall = t0.elapsed().as_secs_f64();
+    let allocs_per_job = match (a0, alloc_count()) {
+        (Some(a0), Some(a1)) if jobs > 0 => Some((a1 - a0) as f64 / jobs as f64),
+        _ => None,
+    };
+
+    let bid_latency = out.metrics.histogram("contest/bid_latency_secs");
+    BenchRow {
+        runtime: "sim-repl".to_string(),
+        workers,
+        jobs,
+        wall_secs: wall,
+        jobs_per_sec: if wall > 0.0 { jobs as f64 / wall } else { 0.0 },
+        contest_p50_secs: bid_latency.map_or(0.0, |h| h.quantile(0.50)),
+        contest_p99_secs: bid_latency.map_or(0.0, |h| h.quantile(0.99)),
+        events: out.events,
+        peak_rss_mb: peak_rss_mb(),
+        allocs_per_job,
+    }
+}
+
 /// Run the whole sweep, logging progress to stderr.
 pub fn run_sweep(cfg: &BenchConfig) -> BenchSweep {
     let mut rows = Vec::new();
@@ -382,6 +453,15 @@ pub fn run_sweep(cfg: &BenchConfig) -> BenchSweep {
         );
         rows.push(row);
     }
+    if cfg.repl_jobs > 0 {
+        let workers = cfg.workers.iter().copied().max().unwrap_or(64);
+        let row = run_repl_row(workers, cfg.repl_jobs, cfg.seed);
+        eprintln!(
+            "[bench] {}x{workers}: {} jobs in {:.2}s = {:.0} jobs/s",
+            row.runtime, row.jobs, row.wall_secs, row.jobs_per_sec,
+        );
+        rows.push(row);
+    }
     BenchSweep {
         label: cfg.label.clone(),
         rows,
@@ -419,6 +499,7 @@ impl BenchRow {
         if runtime != "sim"
             && runtime != "threaded"
             && runtime != "sim-dag"
+            && runtime != "sim-repl"
             && !runtime.starts_with("sim-fed")
         {
             return Err(JsonError(format!("unknown runtime `{runtime}`")));
@@ -637,6 +718,24 @@ mod tests {
             None,
             BenchSweep {
                 label: "dag".into(),
+                rows: vec![r],
+            },
+        );
+        let parsed = BenchDoc::parse(&doc.render()).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn a_tiny_replicated_row_measures_and_round_trips() {
+        let r = run_repl_row(4, 40, 11);
+        assert_eq!(r.runtime, "sim-repl");
+        assert_eq!(r.jobs, 40);
+        assert!(r.jobs_per_sec > 0.0);
+        assert!(r.events > 0);
+        let doc = BenchDoc::assemble(
+            None,
+            BenchSweep {
+                label: "repl".into(),
                 rows: vec![r],
             },
         );

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|failover|federate|atomize|all]
+//! repro [fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|failover|federate|atomize|replicate|all]
 //!       [--smoke] [--seed N] [--out DIR] [--trace FILE]
 //! ```
 //!
@@ -63,6 +63,17 @@
 //! repro atomize [--iters N] [--seed K] [--smoke]
 //! ```
 //!
+//! The `replicate` artifact sweeps the replicated-data-plane axis
+//! (replication factor × holder crash × peer-transfer loss × eviction
+//! pressure) on both runtimes, then runs the factor {1,2,3} × crash ×
+//! loss headline product; it exits nonzero on any oracle violation,
+//! lost or duplicated job, sweep that never completed a
+//! re-replication, or headline row with no peer fetch retry:
+//!
+//! ```text
+//! repro replicate [--iters N] [--seed K] [--smoke]
+//! ```
+//!
 //! The `trace` artifact runs one scenario with full observability on
 //! either runtime and prints the phase-breakdown table:
 //!
@@ -90,6 +101,7 @@ use crossbid_experiments::check::{self, CheckConfig};
 use crossbid_experiments::failover::{self, FailoverConfig};
 use crossbid_experiments::federate::{self, FederateConfig};
 use crossbid_experiments::netfault::{self, NetFaultConfig};
+use crossbid_experiments::replicate::{self, ReplicateConfig};
 use crossbid_experiments::trace_run::{self, RuntimeChoice, TraceRunConfig};
 use crossbid_experiments::{
     crash_sweep, crossover, extensions, fig2, fig3, fig4, replication, summary, tables,
@@ -341,6 +353,29 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "replicate" => {
+            let mut rcfg = if smoke {
+                ReplicateConfig::smoke()
+            } else {
+                ReplicateConfig::default()
+            };
+            if let Some(v) = args
+                .iter()
+                .position(|a| a == "--iters")
+                .and_then(|i| args.get(i + 1))
+            {
+                rcfg.iters = v.parse().unwrap_or_else(|e| die(&format!("--iters: {e}")));
+            }
+            if let Some(s) = seed {
+                rcfg.seed = s;
+            }
+            let report = replicate::run(&rcfg);
+            emit("replicate", &report.body);
+            if !report.ok {
+                eprintln!("[repro] replicate FAILED");
+                std::process::exit(1);
+            }
+        }
         "atomize" => {
             let mut acfg = if smoke {
                 AtomizeConfig::smoke()
@@ -517,7 +552,7 @@ fn main() {
             }
         }
         other => {
-            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|failover|federate|atomize|bench|all");
+            eprintln!("unknown artifact '{other}'; use fig2|fig3|fig4|tables|summary|extensions|crash_sweep|crossover|replication|trace|check|netfault|failover|federate|atomize|replicate|bench|all");
             std::process::exit(2);
         }
     }

@@ -31,6 +31,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod netfault;
+pub mod replicate;
 pub mod replication;
 pub mod runner;
 pub mod summary;

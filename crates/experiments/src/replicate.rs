@@ -1,0 +1,231 @@
+//! The `repro replicate` artifact: the self-healing replicated data
+//! plane under one roof.
+//!
+//! Three sections, every run checked by the protocol oracle (the
+//! replication invariants — no fetch from a non-replica, eviction
+//! never destroys a last copy, every committed repair completes, no
+//! double repair — arm themselves on the first replica event):
+//!
+//! 1. The checker's replication axis on the simulation engine — the
+//!    crash scenario must actually repair and the lossy scenario must
+//!    actually retry, or the sweep proves nothing.
+//! 2. The same axis under lossy links (drop/duplicate/delay plus a
+//!    timed partition window composed with the scenarios' own seeded
+//!    peer-transfer loss).
+//! 3. The same axis on the threaded runtime.
+//! 4. The headline product: replication factor {1, 2, 3} × a holder
+//!    crash × peer loss, run on **both** runtimes. Every cell must
+//!    complete every job exactly once with zero violations; the
+//!    factor ≥ 2 cells must commit and complete at least one
+//!    re-replication, and each runtime must observe at least one peer
+//!    fetch retry across its headline row.
+
+use crossbid_checker::{
+    check_log, explore_replication_builtins, FaultDef, JobDef, Protocol, ReplExploreConfig,
+    ReplScenario,
+};
+use crossbid_crossflow::{NetFaultPlan, ProtocolMutation};
+
+/// Parameters for `repro replicate`.
+#[derive(Debug, Clone)]
+pub struct ReplicateConfig {
+    /// Seed tuples swept per scenario (per runtime).
+    pub iters: u32,
+    /// Root seed; sweep and headline seeds derive from it.
+    pub seed: u64,
+}
+
+impl Default for ReplicateConfig {
+    fn default() -> Self {
+        ReplicateConfig {
+            iters: 4,
+            seed: 0x9E11,
+        }
+    }
+}
+
+impl ReplicateConfig {
+    /// The reduced sweep CI runs (`repro replicate --smoke`).
+    pub fn smoke() -> Self {
+        ReplicateConfig {
+            iters: 2,
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of a full replication sweep.
+#[derive(Debug, Clone)]
+pub struct ReplicateReport {
+    /// Rendered report (explorer axes + headline product).
+    pub body: String,
+    /// `true` iff every run passed the oracle with the demanded
+    /// repair/retry activity.
+    pub ok: bool,
+}
+
+/// Built-in scenarios whose sweep must complete a re-replication.
+const MUST_REPAIR: &[&str] = &["repl_f2_crash"];
+/// Built-in scenarios whose sweep must retry a lost peer transfer.
+const MUST_RETRY: &[&str] = &["repl_f3_lossy"];
+
+/// Check one explorer sweep against the activity demands above. The
+/// demands apply only to the clean sweeps (`demand_activity`): under
+/// the lossy-link plan the partition windows legitimately suppress
+/// peer traffic, and that sweep's job is survival, not activity.
+fn explorer_section(body: &mut String, cfg: &ReplExploreConfig, demand_activity: bool) -> bool {
+    let mut ok = true;
+    for report in explore_replication_builtins(cfg) {
+        let name = report.scenario.as_str();
+        let mut demands = Vec::new();
+        if demand_activity && MUST_REPAIR.contains(&name) && report.repairs_observed == 0 {
+            demands.push("no committed re-replication completed across the sweep");
+        }
+        if demand_activity && MUST_RETRY.contains(&name) && report.fetch_retries_observed == 0 {
+            demands.push("no lost peer transfer was retried across the sweep");
+        }
+        ok &= report.passed() && demands.is_empty();
+        body.push_str(&report.render());
+        for d in demands {
+            body.push_str(&format!("  FAIL: {d}\n"));
+        }
+    }
+    ok
+}
+
+/// One headline cell: factor `f` with a holder crash and seeded peer
+/// loss, on four workers over two hot artifacts.
+fn headline_scenario(factor: u32) -> ReplScenario {
+    ReplScenario {
+        name: match factor {
+            1 => "repl_headline_f1",
+            2 => "repl_headline_f2",
+            _ => "repl_headline_f3",
+        },
+        protocol: Protocol::Bidding,
+        workers: 4,
+        factor,
+        jobs: (0..12)
+            .map(|i| JobDef {
+                at_secs: i as f64 * 2.0,
+                object: 1 + (i % 2) as u64,
+                bytes: 100_000_000,
+            })
+            .collect(),
+        faults: vec![
+            FaultDef {
+                at_secs: 21.0,
+                worker: 0,
+                recovers: false,
+            },
+            FaultDef {
+                at_secs: 40.0,
+                worker: 0,
+                recovers: true,
+            },
+        ],
+        peer_drop_prob: 0.5,
+        storage_gb: 10.0,
+    }
+}
+
+/// Run the factor × crash × loss product on one runtime. Returns
+/// `false` on any violation, lost/duplicated job, missing repair
+/// (factor ≥ 2), or if the whole row saw no peer fetch retry.
+fn headline_section(body: &mut String, runtime: &str, seed: u64) -> bool {
+    let mut ok = true;
+    let mut retries = 0u64;
+    for factor in [1u32, 2, 3] {
+        let sc = headline_scenario(factor);
+        let out = match runtime {
+            "sim" => sc.run_sim(seed, ProtocolMutation::None, NetFaultPlan::none()),
+            _ => sc.run_threaded(seed, ProtocolMutation::None, NetFaultPlan::none()),
+        };
+        let violations = check_log(&out.sched_log, sc.oracle_options());
+        let done = out.record.jobs_completed;
+        let repairs = out.sched_log.repair_dones() as u64;
+        let fetches = out.sched_log.fetch_oks() as u64;
+        let fails = out.sched_log.fetch_fails() as u64;
+        retries += fails;
+        let conserved = done == sc.jobs.len() as u64;
+        let repaired = factor < 2 || repairs >= 1;
+        let cell_ok = violations.is_empty() && conserved && repaired;
+        ok &= cell_ok;
+        body.push_str(&format!(
+            "factor {factor} × crash × loss on {runtime}: {} — {}/{} jobs, {} peer fetch(es), {} retry(ies), {} repair(s), {} violation(s), makespan {:.1}s\n",
+            if cell_ok { "ok" } else { "FAIL" },
+            done,
+            sc.jobs.len(),
+            fetches,
+            fails,
+            repairs,
+            violations.len(),
+            out.record.makespan_secs,
+        ));
+        for v in &violations {
+            body.push_str(&format!("  oracle: {v}\n"));
+        }
+        if !repaired {
+            body.push_str("  FAIL: no committed re-replication completed\n");
+        }
+    }
+    if retries == 0 {
+        body.push_str(&format!(
+            "  FAIL: no peer fetch retry observed across the {runtime} headline\n"
+        ));
+        ok = false;
+    }
+    ok
+}
+
+/// Sweep the replication axis on both runtimes, then run the factor ×
+/// crash × loss headline product.
+pub fn run(cfg: &ReplicateConfig) -> ReplicateReport {
+    let mut body = format!(
+        "# Replication sweep (iters={}, seed={})\n\n",
+        cfg.iters, cfg.seed
+    );
+    let mut ok = true;
+
+    body.push_str("## Simulation engine — factor × crash × peer loss × eviction pressure\n\n");
+    ok &= explorer_section(
+        &mut body,
+        &ReplExploreConfig::quick(cfg.iters, cfg.seed),
+        true,
+    );
+
+    body.push_str("\n## Simulation engine — the same axis under lossy links\n\n");
+    ok &= explorer_section(
+        &mut body,
+        &ReplExploreConfig::lossy(cfg.iters, cfg.seed),
+        false,
+    );
+
+    body.push_str("\n## Threaded runtime — the same axis\n\n");
+    let threaded_iters = cfg.iters.clamp(1, 2);
+    ok &= explorer_section(
+        &mut body,
+        &ReplExploreConfig::threaded(threaded_iters, cfg.seed),
+        true,
+    );
+
+    body.push_str("\n## Headline — replication factor {1,2,3} × holder crash × peer loss\n\n");
+    ok &= headline_section(&mut body, "sim", cfg.seed ^ 0x9E1);
+    ok &= headline_section(&mut body, "threaded", cfg.seed ^ 0x9E1);
+
+    body.push_str(&format!("\nresult: {}\n", if ok { "PASS" } else { "FAIL" }));
+    ReplicateReport { body, ok }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_replicate_passes() {
+        let report = run(&ReplicateConfig::smoke());
+        assert!(report.ok, "{}", report.body);
+        assert!(report.body.contains("result: PASS"));
+        assert!(report.body.contains("repair(s)"));
+    }
+}

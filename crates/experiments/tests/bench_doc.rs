@@ -1,5 +1,6 @@
-//! Guards the checked-in performance trajectories (`BENCH_6.json` and
-//! `BENCH_9.json` at the repo root): they must always parse against
+//! Guards the checked-in performance trajectories (`BENCH_6.json`,
+//! `BENCH_9.json` and `BENCH_10.json` at the repo root): they must
+//! always parse against
 //! the current `crossbid-bench/v1` schema, carry the baselines they
 //! claim to improve on, and keep the recorded sim speedup at 64
 //! workers at or above the 10× PR 6 was accepted on. Any writer or
@@ -77,4 +78,36 @@ fn atomizer_trajectory_carries_the_task_stream_row() {
         .expect("trajectory must include the sim-dag row");
     assert!(dag.jobs > 0, "sim-dag row drove no tasks");
     assert!(dag.jobs_per_sec > 0.0, "sim-dag row recorded no throughput");
+}
+
+#[test]
+fn replicated_trajectory_carries_the_data_plane_row() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_10.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_10.json at the repo root");
+    let doc = BenchDoc::parse(&text).expect("checked-in document drifted from the schema");
+
+    // The PR 10 sweep is recorded against the PR 9 trajectory.
+    let base = doc.baseline.as_ref().expect("trajectory has a baseline");
+    assert!(!base.rows.is_empty(), "baseline sweep has rows");
+    for w in [7, 64, 256] {
+        assert!(
+            doc.current.sim_row(w).is_some(),
+            "current sweep is missing the sim row at {w} workers"
+        );
+    }
+
+    // The data-plane row: the streaming workload with replication
+    // factor 2, so every contest prices peer fetches and the stream
+    // pays for replica bookkeeping.
+    let repl = doc
+        .current
+        .rows
+        .iter()
+        .find(|r| r.runtime == "sim-repl")
+        .expect("trajectory must include the sim-repl row");
+    assert!(repl.jobs > 0, "sim-repl row drove no jobs");
+    assert!(
+        repl.jobs_per_sec > 0.0,
+        "sim-repl row recorded no throughput"
+    );
 }

@@ -11,9 +11,15 @@
 //! **cache miss** and **data load** (§6.1) are computed from this
 //! store's accounting.
 //!
-//! * [`LocalStore`] — capacity-bounded store of sized objects.
+//! * [`LocalStore`] — capacity-bounded store of sized objects, with
+//!   pin support so the last surviving replica of an artifact is never
+//!   an eviction victim.
 //! * [`EvictionPolicy`] — LRU / LFU / FIFO / size-aware policies.
-//! * [`StoreStats`] — hits, misses, evictions, bytes admitted/evicted.
+//! * [`StoreStats`] — hits, misses, peer fetches, evictions, bytes
+//!   admitted/evicted.
+//! * [`ReplicaMap`] — cluster-wide artifact → replica-set registry
+//!   with a target replication factor (the self-healing data plane's
+//!   source of truth).
 
 //! ```
 //! use crossbid_simcore::SimTime;
@@ -30,7 +36,9 @@
 //! ```
 
 pub mod eviction;
+pub mod replica;
 pub mod store;
 
 pub use eviction::EvictionPolicy;
+pub use replica::ReplicaMap;
 pub use store::{LocalStore, ObjectId, StoreStats};

@@ -17,8 +17,16 @@ pub struct StoreStats {
     /// Lookups that found the object locally.
     pub hits: u64,
     /// Lookups that did not ("the number of times workers did not
-    /// have the necessary data locally", §6.1 metric 3).
+    /// have the necessary data locally", §6.1 metric 3) and were
+    /// served by a master fetch — true *cold* misses.
     pub misses: u64,
+    /// Lookups that missed locally but were satisfied from a peer
+    /// replica instead of the master. These are locality wins of the
+    /// replicated data plane, not cold misses, so they are accounted
+    /// separately — `merge`/`hit_ratio` must not lump them into
+    /// `misses` or cluster-level miss counts inflate as soon as
+    /// replication is enabled.
+    pub peer_fetches: u64,
     /// Objects evicted to make room.
     pub evictions: u64,
     /// Total bytes admitted into the store — for objects fetched over
@@ -29,13 +37,17 @@ pub struct StoreStats {
 }
 
 impl StoreStats {
-    /// Hit ratio in `[0, 1]`; 0 when no lookups happened.
+    /// Hit ratio in `[0, 1]`; 0 when no lookups happened. Peer-fetch
+    /// hits count toward the numerator: the data stayed inside the
+    /// cluster, which is what the locality metric measures. Only cold
+    /// (master-served) misses count against it.
     pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let local = self.hits + self.peer_fetches;
+        let total = local + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            local as f64 / total as f64
         }
     }
 
@@ -43,6 +55,7 @@ impl StoreStats {
     pub fn merge(&mut self, other: &StoreStats) {
         self.hits += other.hits;
         self.misses += other.misses;
+        self.peer_fetches += other.peer_fetches;
         self.evictions += other.evictions;
         self.bytes_admitted += other.bytes_admitted;
         self.bytes_evicted += other.bytes_evicted;
@@ -58,6 +71,11 @@ struct Entry {
     last_seq: u64,
     inserted_seq: u64,
     uses: u64,
+    /// Pinned entries are never picked as eviction victims. The
+    /// replica manager pins an object on the node holding its last
+    /// surviving copy, so local cache pressure can never destroy data
+    /// the cluster cannot re-create.
+    pinned: bool,
 }
 
 /// A worker's local resource store.
@@ -72,6 +90,9 @@ struct Entry {
 pub struct LocalStore {
     capacity: u64,
     used: u64,
+    /// Bytes held by pinned entries — kept incrementally so insert's
+    /// "can this ever fit" check stays O(1).
+    pinned_bytes: u64,
     policy: EvictionPolicy,
     entries: HashMap<ObjectId, Entry>,
     seq: u64,
@@ -84,6 +105,7 @@ impl LocalStore {
         LocalStore {
             capacity,
             used: 0,
+            pinned_bytes: 0,
             policy,
             entries: HashMap::new(),
             seq: 0,
@@ -171,15 +193,19 @@ impl LocalStore {
             e.uses += 1;
             return Vec::new();
         }
-        if size > self.capacity {
-            // Pass-through: downloaded but cannot be retained.
+        if size > self.capacity.saturating_sub(self.pinned_bytes) {
+            // Pass-through: downloaded but cannot be retained, either
+            // because the object exceeds the whole capacity or because
+            // pinned last-copy entries leave too little evictable
+            // room. Evicting nothing (rather than partially) keeps the
+            // resident set intact when admission is impossible.
             return Vec::new();
         }
         let mut evicted = Vec::new();
         while self.used + size > self.capacity {
             let victim = self
                 .pick_victim()
-                .expect("used > 0 implies a victim exists");
+                .expect("unpinned bytes cover the shortfall");
             let e = self.entries.remove(&victim).expect("victim resident");
             self.used -= e.size;
             self.stats.evictions += 1;
@@ -195,16 +221,21 @@ impl LocalStore {
                 last_seq: self.seq,
                 inserted_seq: self.seq,
                 uses: 1,
+                pinned: false,
             },
         );
         evicted
     }
 
     /// Remove an object explicitly (fault injection / manual cache
-    /// management). Returns true if it was resident.
+    /// management). Returns true if it was resident. Removal ignores
+    /// pins — a crash destroys pinned copies too.
     pub fn remove(&mut self, id: ObjectId) -> bool {
         if let Some(e) = self.entries.remove(&id) {
             self.used -= e.size;
+            if e.pinned {
+                self.pinned_bytes -= e.size;
+            }
             true
         } else {
             false
@@ -215,6 +246,50 @@ impl LocalStore {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.used = 0;
+        self.pinned_bytes = 0;
+    }
+
+    /// Pin a resident object: it will never be picked as an eviction
+    /// victim until [`unpin`](Self::unpin)ned. Returns true if the
+    /// object is resident (and is now pinned).
+    pub fn pin(&mut self, id: ObjectId) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(e) => {
+                if !e.pinned {
+                    e.pinned = true;
+                    self.pinned_bytes += e.size;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Release a pin. Returns true if the object was resident and
+    /// pinned.
+    pub fn unpin(&mut self, id: ObjectId) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(e) if e.pinned => {
+                e.pinned = false;
+                self.pinned_bytes -= e.size;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True iff `id` is resident and pinned.
+    pub fn is_pinned(&self, id: ObjectId) -> bool {
+        self.entries.get(&id).is_some_and(|e| e.pinned)
+    }
+
+    /// Reclassify the most recent miss as a peer fetch: the lookup
+    /// did miss locally, but a peer replica (not the master) served
+    /// the bytes. Call after a [`lookup`](Self::lookup) miss once the
+    /// peer transfer succeeds.
+    pub fn note_peer_fetch(&mut self) {
+        self.stats.misses = self.stats.misses.saturating_sub(1);
+        self.stats.peer_fetches += 1;
     }
 
     /// Resident object ids in unspecified order.
@@ -224,25 +299,19 @@ impl LocalStore {
 
     fn pick_victim(&self) -> Option<ObjectId> {
         // Deterministic: ties broken by (key metric, ObjectId).
+        // Pinned entries (last surviving copies) are never candidates.
+        let candidates = self.entries.iter().filter(|(_, e)| !e.pinned);
         match self.policy {
-            EvictionPolicy::Lru => self
-                .entries
-                .iter()
+            EvictionPolicy::Lru => candidates
                 .min_by_key(|(id, e)| (e.last_seq, **id))
                 .map(|(id, _)| *id),
-            EvictionPolicy::Lfu => self
-                .entries
-                .iter()
+            EvictionPolicy::Lfu => candidates
                 .min_by_key(|(id, e)| (e.uses, e.last_seq, **id))
                 .map(|(id, _)| *id),
-            EvictionPolicy::Fifo => self
-                .entries
-                .iter()
+            EvictionPolicy::Fifo => candidates
                 .min_by_key(|(id, e)| (e.inserted_seq, **id))
                 .map(|(id, _)| *id),
-            EvictionPolicy::LargestFirst => self
-                .entries
-                .iter()
+            EvictionPolicy::LargestFirst => candidates
                 .max_by_key(|(id, e)| (e.size, std::cmp::Reverse(**id)))
                 .map(|(id, _)| *id),
         }
@@ -385,6 +454,7 @@ mod tests {
         let mut a = StoreStats {
             hits: 1,
             misses: 2,
+            peer_fetches: 6,
             evictions: 3,
             bytes_admitted: 4,
             bytes_evicted: 5,
@@ -392,7 +462,66 @@ mod tests {
         let b = a;
         a.merge(&b);
         assert_eq!(a.hits, 2);
+        assert_eq!(a.peer_fetches, 12, "peer fetches merge separately");
         assert_eq!(a.bytes_evicted, 10);
+    }
+
+    #[test]
+    fn peer_fetch_is_not_a_cold_miss() {
+        let mut s = LocalStore::new(100, EvictionPolicy::Lru);
+        assert!(!s.lookup(ObjectId(1), t(0))); // miss, then peer serves it
+        s.note_peer_fetch();
+        s.insert(ObjectId(1), 40, t(0));
+        assert!(s.lookup(ObjectId(1), t(1))); // warm hit
+        assert_eq!(s.stats().misses, 0, "peer fetch reclassified the miss");
+        assert_eq!(s.stats().peer_fetches, 1);
+        // Both the hit and the peer fetch count as locality wins.
+        assert!((s.stats().hit_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinned_entry_survives_eviction_pressure() {
+        let mut s = LocalStore::new(100, EvictionPolicy::Lru);
+        s.insert(ObjectId(1), 40, t(0));
+        s.insert(ObjectId(2), 40, t(1));
+        assert!(s.pin(ObjectId(1)));
+        // Object 1 is the LRU victim, but it is pinned: 2 goes instead.
+        let evicted = s.insert(ObjectId(3), 40, t(2));
+        assert_eq!(evicted, vec![ObjectId(2)]);
+        assert!(s.peek(ObjectId(1)), "pinned last copy survives");
+        assert!(s.is_pinned(ObjectId(1)));
+    }
+
+    #[test]
+    fn insert_passes_through_when_pins_block_admission() {
+        let mut s = LocalStore::new(100, EvictionPolicy::Lru);
+        s.insert(ObjectId(1), 80, t(0));
+        assert!(s.pin(ObjectId(1)));
+        let evicted = s.insert(ObjectId(2), 50, t(1));
+        assert!(evicted.is_empty(), "nothing evicted when admission fails");
+        assert!(!s.peek(ObjectId(2)), "pass-through: not retained");
+        assert!(s.peek(ObjectId(1)), "pinned copy untouched");
+        // Unpinning restores normal admission.
+        assert!(s.unpin(ObjectId(1)));
+        let evicted = s.insert(ObjectId(2), 50, t(2));
+        assert_eq!(evicted, vec![ObjectId(1)]);
+        assert!(s.peek(ObjectId(2)));
+    }
+
+    #[test]
+    fn remove_and_clear_release_pins() {
+        let mut s = LocalStore::new(100, EvictionPolicy::Lru);
+        s.insert(ObjectId(1), 60, t(0));
+        s.pin(ObjectId(1));
+        assert!(s.remove(ObjectId(1)), "crash removal ignores the pin");
+        // Pinned-byte accounting released: a 90-byte object fits again.
+        let evicted = s.insert(ObjectId(2), 90, t(1));
+        assert!(evicted.is_empty());
+        assert!(s.peek(ObjectId(2)));
+        s.pin(ObjectId(2));
+        s.clear();
+        assert!(s.insert(ObjectId(3), 100, t(2)).is_empty());
+        assert!(s.peek(ObjectId(3)), "clear released pinned bytes");
     }
 
     #[test]

@@ -10,9 +10,9 @@ use crossbid_core::BiddingAllocator;
 use crossbid_crossflow::{
     parse_run_stream, run_federation, sched_kind_name, Allocator, Arrival, AtomizeConfig,
     BaselineAllocator, EngineConfig, FaultPlan, Faults, FedArrival, FedRuntimeKind, FederationSpec,
-    JobSpec, MasterFaultPlan, MembershipPlan, NetFaultPlan, Payload, ResourceRef, RunOutput,
-    RunSpec, RunStreamLine, Runtime, ShardId, ShardSpec, TaskDag, TaskNode, TraceKind, WorkerId,
-    WorkerSpec, Workflow,
+    JobSpec, MasterFaultPlan, MembershipPlan, NetFaultPlan, Payload, ReplicationConfig,
+    ResourceRef, RunOutput, RunSpec, RunStreamLine, Runtime, ShardId, ShardSpec, TaskDag, TaskNode,
+    TraceKind, WorkerId, WorkerSpec, Workflow,
 };
 use crossbid_net::{ControlPlane, NoiseModel};
 use crossbid_simcore::{SimDuration, SimTime};
@@ -136,6 +136,62 @@ fn atomized_spec() -> RunSpec {
         .build()
 }
 
+/// Replicated data plane under a holder crash (same workload shape as
+/// `tests/replication.rs`): the first fetch of each artifact draws
+/// `sched/replica_add` and the factor-2 top-up draws
+/// `sched/repair_start` / `sched/repair_done`; queue pressure pushes
+/// later jobs onto data-less workers whose transfers come from peers
+/// (`sched/fetch_req` / `sched/fetch_ok`); and the mid-run crash of
+/// worker 0 drops its copies (`sched/replica_drop`) and re-replicates
+/// them.
+fn replicated_spec() -> RunSpec {
+    RunSpec::builder()
+        .workers(specs(4))
+        .engine(EngineConfig {
+            control: ControlPlane::instant(),
+            data_latency: SimDuration::ZERO,
+            noise: NoiseModel::None,
+            ..EngineConfig::default()
+        })
+        .speed_learning(false)
+        .replication(ReplicationConfig::with_factor(2))
+        .faults(
+            Faults::new().workers(
+                FaultPlan::new()
+                    .crash_at(SimTime::from_secs(21), WorkerId(0))
+                    .recover_at(SimTime::from_secs(40), WorkerId(0)),
+            ),
+        )
+        .trace(true)
+        .seed(3)
+        .time_scale(1e-3)
+        .build()
+}
+
+/// Total data-plane loss: every peer transfer attempt times out, so a
+/// data-less worker's fetch burns its attempt budget (`sched/
+/// fetch_fail`) before degrading to the master path.
+fn replicated_lossy_spec() -> RunSpec {
+    RunSpec::builder()
+        .workers(specs(3))
+        .engine(EngineConfig {
+            control: ControlPlane::instant(),
+            data_latency: SimDuration::ZERO,
+            noise: NoiseModel::None,
+            ..EngineConfig::default()
+        })
+        .speed_learning(false)
+        .replication(ReplicationConfig {
+            peer_drop_prob: 1.0,
+            fetch_timeout_secs: 0.5,
+            ..ReplicationConfig::with_factor(2)
+        })
+        .trace(true)
+        .seed(11)
+        .time_scale(1e-3)
+        .build()
+}
+
 fn straggler_dag() -> TaskDag {
     let tasks = (0..6u64)
         .map(|i| TaskNode {
@@ -212,6 +268,55 @@ fn stream_vocabulary(rt: &mut dyn Runtime, alloc: &dyn Allocator) -> (String, BT
     let out = rt.run_iteration(&mut wf, alloc, hot_repo_arrivals(task));
     assert_eq!(out.record.jobs_completed, 12, "{}", rt.name());
     stream_and_vocab(rt.name(), alloc.kind().name(), &out)
+}
+
+/// Stream one [`replicated_spec`] run: twelve jobs alternating over
+/// two hot artifacts, so the v7 data-plane kinds (peer fetches,
+/// replica bookkeeping, crash-triggered repair) all appear.
+fn repl_stream_vocabulary(rt: &mut dyn Runtime) -> (String, BTreeSet<String>) {
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let arrivals = (0..12)
+        .map(|i| Arrival {
+            at: SimTime::from_secs_f64(i as f64 * 2.0),
+            spec: JobSpec::scanning(
+                task,
+                ResourceRef {
+                    id: ObjectId(1 + (i % 2)),
+                    bytes: 100_000_000,
+                },
+                Payload::Index(i),
+            ),
+        })
+        .collect();
+    let out = rt.run_iteration(&mut wf, &BiddingAllocator::new(), arrivals);
+    assert_eq!(out.record.jobs_completed, 12, "{}", rt.name());
+    stream_and_vocab(rt.name(), "bidding", &out)
+}
+
+/// Stream one [`replicated_lossy_spec`] run: a seeding job establishes
+/// the artifact and its factor-2 copies, then a burst forces a
+/// placement onto the data-less third worker, whose peer attempts all
+/// drop (`sched/fetch_fail`) before the degraded master fetch.
+fn repl_lossy_stream_vocabulary(rt: &mut dyn Runtime) -> (String, BTreeSet<String>) {
+    let mut wf = Workflow::new();
+    let task = wf.add_sink("scan");
+    let mk = |i: u64, at: f64| Arrival {
+        at: SimTime::from_secs_f64(at),
+        spec: JobSpec::scanning(
+            task,
+            ResourceRef {
+                id: ObjectId(1),
+                bytes: 100_000_000,
+            },
+            Payload::Index(i),
+        ),
+    };
+    let mut arrivals = vec![mk(0, 0.0)];
+    arrivals.extend((1..10).map(|i| mk(i, 30.0 + i as f64 * 0.25)));
+    let out = rt.run_iteration(&mut wf, &BiddingAllocator::new(), arrivals);
+    assert_eq!(out.record.jobs_completed, 10, "{}", rt.name());
+    stream_and_vocab(rt.name(), "bidding", &out)
 }
 
 /// Stream one atomized run of [`straggler_dag`] under `alloc`. Each
@@ -338,6 +443,35 @@ fn run_streams_round_trip_byte_identically() {
             .collect();
         assert_eq!(text, rewritten, "{}: lossy round trip", rt.name());
     }
+    // The replicated streams carry the v7 data-plane kinds (with
+    // their object/from/attempt/evicted fields) — they must round
+    // trip too.
+    let replicated = replicated_spec();
+    let repl_lossy = replicated_lossy_spec();
+    let repl_runtimes: [(Box<dyn Runtime>, bool); 4] = [
+        (Box::new(replicated.sim()), false),
+        (Box::new(replicated.threaded()), false),
+        (Box::new(repl_lossy.sim()), true),
+        (Box::new(repl_lossy.threaded()), true),
+    ];
+    for (mut rt, lossy_plane) in repl_runtimes {
+        let (text, _) = if lossy_plane {
+            repl_lossy_stream_vocabulary(rt.as_mut())
+        } else {
+            repl_stream_vocabulary(rt.as_mut())
+        };
+        let rewritten: String = parse_run_stream(&text)
+            .unwrap()
+            .iter()
+            .map(|l| l.to_json().render() + "\n")
+            .collect();
+        assert_eq!(
+            text,
+            rewritten,
+            "{}: lossy replicated round trip",
+            rt.name()
+        );
+    }
     // The atomized streams carry the v6 task/speculation kinds (with
     // their root/task/preds fields) — they must round trip too. The
     // Baseline run is the one that speculates (see `atomized_spec`),
@@ -382,7 +516,7 @@ fn both_runtimes_emit_the_golden_event_vocabulary() {
         .filter(|l| !l.is_empty())
         .map(String::from)
         .collect();
-    assert_eq!(golden.len(), 31, "golden file lists every event kind");
+    assert_eq!(golden.len(), 38, "golden file lists every event kind");
     // The bidding protocol never offers (it assigns contest winners)
     // and the Baseline never opens contests, so the full vocabulary is
     // the union of one faulted bidding run (worker crash/recovery plus
@@ -390,10 +524,12 @@ fn both_runtimes_emit_the_golden_event_vocabulary() {
     // run (whose first offer of each job is declined: reject-once),
     // one partitioned bidding run exercising the reliability layer's
     // resend/lease/ack events, one churned federation run for the v5
-    // spill and membership kinds, and two atomized straggler runs for
+    // spill and membership kinds, two atomized straggler runs for
     // the v6 task kinds — Baseline for the speculation race (under
     // bidding the slow worker prices itself out), bidding for
-    // `sched/task_bid`.
+    // `sched/task_bid` — and two replicated runs for the v7
+    // data-plane kinds (a holder crash for the repair cycle, total
+    // peer loss for `sched/fetch_fail`).
     let faulted = faulted_spec();
     let lossy = netfault_spec();
     let atomized = atomized_spec();
@@ -416,8 +552,12 @@ fn both_runtimes_emit_the_golden_event_vocabulary() {
         lossy: Box<dyn Runtime>,
         dag_baseline: Box<dyn Runtime>,
         dag_bidding: Box<dyn Runtime>,
+        replicated: Box<dyn Runtime>,
+        repl_lossy: Box<dyn Runtime>,
         fed: FedRuntimeKind,
     }
+    let replicated = replicated_spec();
+    let repl_lossy = replicated_lossy_spec();
     let runtimes: [VocabRuntimes; 2] = [
         VocabRuntimes {
             bidding: Box::new(faulted.sim()),
@@ -425,6 +565,8 @@ fn both_runtimes_emit_the_golden_event_vocabulary() {
             lossy: Box::new(lossy.sim()),
             dag_baseline: Box::new(atomized.sim()),
             dag_bidding: Box::new(atomized.sim()),
+            replicated: Box::new(replicated.sim()),
+            repl_lossy: Box::new(repl_lossy.sim()),
             fed: FedRuntimeKind::Sim,
         },
         VocabRuntimes {
@@ -433,6 +575,8 @@ fn both_runtimes_emit_the_golden_event_vocabulary() {
             lossy: Box::new(lossy.threaded()),
             dag_baseline: Box::new(atomized.threaded()),
             dag_bidding: Box::new(atomized.threaded()),
+            replicated: Box::new(replicated.threaded()),
+            repl_lossy: Box::new(repl_lossy.threaded()),
             fed: FedRuntimeKind::Threaded,
         },
     ];
@@ -467,10 +611,33 @@ fn both_runtimes_emit_the_golden_event_vocabulary() {
             "{}: atomized bidding run must draw per-task bids",
             rt.dag_bidding.name()
         );
+        let (_, repl_vocab) = repl_stream_vocabulary(rt.replicated.as_mut());
+        let (_, repl_lossy_vocab) = repl_lossy_stream_vocabulary(rt.repl_lossy.as_mut());
+        for kind in [
+            "sched/fetch_req",
+            "sched/fetch_ok",
+            "sched/replica_add",
+            "sched/replica_drop",
+            "sched/repair_start",
+            "sched/repair_done",
+        ] {
+            assert!(
+                repl_vocab.contains(kind),
+                "{}: replicated run must emit {kind}, got {repl_vocab:?}",
+                rt.replicated.name()
+            );
+        }
+        assert!(
+            repl_lossy_vocab.contains("sched/fetch_fail"),
+            "{}: total-loss run must fail a peer attempt, got {repl_lossy_vocab:?}",
+            rt.repl_lossy.name()
+        );
         vocab.extend(baseline_vocab);
         vocab.extend(lossy_vocab);
         vocab.extend(dag_spec_vocab);
         vocab.extend(dag_bid_vocab);
+        vocab.extend(repl_vocab);
+        vocab.extend(repl_lossy_vocab);
         let (_, fed_vocab) = federation_streams(rt.fed);
         vocab.extend(fed_vocab);
         assert_eq!(

@@ -11,7 +11,9 @@
 
 use crossbid_checker::{explore, explore_builtins, explore_federation, ExploreConfig, Protocol};
 use crossbid_checker::{explore_dag, explore_dag_builtins, DagExploreConfig, DagScenario};
+use crossbid_checker::{explore_replication, explore_replication_builtins};
 use crossbid_checker::{Failure, FedExploreConfig, FedScenario, JobDef, Scenario, Violation};
+use crossbid_checker::{ReplExploreConfig, ReplScenario};
 use crossbid_crossflow::{FederationMutation, ProtocolMutation};
 
 /// Chaos sweep over every built-in scenario. `CHECKER_ITERS` lets the
@@ -481,4 +483,104 @@ fn explorer_catches_reintroduced_double_speculation() {
         "{text}"
     );
     assert!(text.contains("run seed"), "replay tuple missing: {text}");
+}
+
+// ---------------------------------------------------------------------------
+// Replicated-data-plane self-validation: the canonical ways to break
+// the self-healing promise (committing a repair and never copying;
+// evicting a sole surviving replica) must be caught on both runtimes,
+// with the failing (run, net) tuple printed as the repro.
+// ---------------------------------------------------------------------------
+
+fn repl_builtin(name: &str) -> ReplScenario {
+    ReplScenario::builtins()
+        .into_iter()
+        .find(|s| s.name == name)
+        .expect("known replication scenario")
+}
+
+#[test]
+fn correct_replication_survives_both_runtimes_on_every_repl_builtin() {
+    for cfg in [
+        ReplExploreConfig::quick(sweep_iters(2), 0x9E97),
+        ReplExploreConfig::lossy(sweep_iters(2), 0x9E97),
+        ReplExploreConfig::threaded(sweep_iters(2), 0x9E97),
+    ] {
+        for report in explore_replication_builtins(&cfg) {
+            assert!(report.passed(), "{}", report.render());
+        }
+    }
+}
+
+#[test]
+fn explorer_catches_reintroduced_skipped_repair() {
+    // The crash scenario loses worker 0's replicas mid-run, so the
+    // master must commit `repair_start` entries. With the copy step
+    // sabotaged every committed repair dangles — the oracle's
+    // end-of-log RepairNeverCompleted catcher.
+    let sc = repl_builtin("repl_f2_crash");
+    for cfg in [
+        ReplExploreConfig {
+            mutation: ProtocolMutation::SkipRepair,
+            ..ReplExploreConfig::quick(2, 0x9E98)
+        },
+        ReplExploreConfig {
+            mutation: ProtocolMutation::SkipRepair,
+            ..ReplExploreConfig::threaded(2, 0x9E98)
+        },
+    ] {
+        let report = explore_replication(&sc, &cfg);
+        let text = report.render();
+        let f = report.failure.as_ref().unwrap_or_else(|| {
+            panic!(
+                "{}: a skipped repair must be caught: {text}",
+                report.runtime
+            )
+        });
+        assert!(
+            f.violations
+                .iter()
+                .any(|v| matches!(v, Violation::RepairNeverCompleted { .. })),
+            "{text}"
+        );
+        assert!(
+            text.contains("run seed") && text.contains("net seed"),
+            "replay tuple missing: {text}"
+        );
+    }
+}
+
+#[test]
+fn explorer_catches_reintroduced_last_copy_eviction() {
+    // The eviction-pressure scenario's third insert must pass through
+    // (both resident objects are pinned sole copies). With the pin
+    // discipline sabotaged the store evicts a last copy instead — an
+    // EvictedLastCopy violation at the drop event.
+    let sc = repl_builtin("repl_f1_evict_pressure");
+    for cfg in [
+        ReplExploreConfig {
+            mutation: ProtocolMutation::EvictLastCopy,
+            ..ReplExploreConfig::quick(2, 0x9E99)
+        },
+        ReplExploreConfig {
+            mutation: ProtocolMutation::EvictLastCopy,
+            ..ReplExploreConfig::threaded(2, 0x9E99)
+        },
+    ] {
+        let report = explore_replication(&sc, &cfg);
+        let text = report.render();
+        let f = report.failure.as_ref().unwrap_or_else(|| {
+            panic!(
+                "{}: a last-copy eviction must be caught: {text}",
+                report.runtime
+            )
+        });
+        assert!(
+            f.violations
+                .iter()
+                .any(|v| matches!(v, Violation::EvictedLastCopy { .. })),
+            "{text}"
+        );
+        assert!(text.contains("run seed"), "replay tuple missing: {text}");
+    }
 }
